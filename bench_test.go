@@ -1,0 +1,127 @@
+// Top-level benchmark harness: one testing.B target per paper table and
+// figure (see DESIGN.md §4), each driving the same entry points as
+// cmd/experiments on reduced grids so the whole suite is runnable with
+// `go test -bench=. -benchmem`. Paper-scale runs: `go run ./cmd/experiments`.
+package relsyn_test
+
+import (
+	"testing"
+
+	"relsyn/internal/experiments"
+)
+
+var benchFractions = []float64{0, 0.5, 1}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig2(1, 7000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig4(benchFractions); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(benchFractions); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig6(b *testing.B) {
+	cfg := experiments.Fig6Config{Inputs: 8, Outputs: 2, FunctionsPerClass: 2,
+		Fractions: []float64{0, 1}, Seed: 900}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(experiments.DefaultThreshold); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table3(experiments.DefaultThreshold); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationThreshold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.ThresholdSweep([]float64{0.45, 0.65}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAblationTies(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.TiesAblation(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFlows(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Flows(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNodal(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Nodal([]string{"bench"}, 0.7); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFaults(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Faults([]string{"bench"}, experiments.DefaultThreshold); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMultiBit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.MultiBit([]string{"bench"}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkQuality(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Quality(1, 8000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

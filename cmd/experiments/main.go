@@ -1,0 +1,125 @@
+// Command experiments regenerates the paper's tables and figures (see
+// DESIGN.md §4 for the experiment index).
+//
+// Usage:
+//
+//	experiments [-quick] [-threshold 0.55] [table1 fig2 fig4 fig5 fig6 table2 table3 threshold ties nodal | all]
+//
+// -quick shrinks the sweep grids and sample counts so the full set runs
+// in a couple of minutes on one core; omit it for paper-scale runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"relsyn/internal/experiments"
+)
+
+func main() {
+	var (
+		quick     = flag.Bool("quick", false, "reduced grids and sample counts")
+		threshold = flag.Float64("threshold", experiments.DefaultThreshold, "LC^f threshold for tables 2-3")
+	)
+	flag.Parse()
+	names := flag.Args()
+	if len(names) == 0 || (len(names) == 1 && names[0] == "all") {
+		names = []string{"table1", "fig2", "fig4", "fig5", "fig6", "table2", "table3",
+			"threshold", "ties", "nodal", "flows", "faults", "multibit", "quality", "conflicts"}
+	}
+
+	fractions := experiments.DefaultFractions
+	fig2Samples := 3
+	fig6 := experiments.DefaultFig6()
+	if *quick {
+		fractions = []float64{0, 0.25, 0.5, 0.75, 1}
+		fig2Samples = 1
+		fig6 = experiments.Fig6Config{Inputs: 9, Outputs: 4, FunctionsPerClass: 3,
+			Fractions: []float64{0, 0.5, 1}, Seed: 4000}
+	}
+
+	for _, name := range names {
+		start := time.Now()
+		var (
+			out string
+			err error
+		)
+		switch name {
+		case "table1":
+			var rows []experiments.Table1Row
+			rows, err = experiments.Table1()
+			out = experiments.RenderTable1(rows)
+		case "fig2":
+			var pts []experiments.Fig2Point
+			pts, err = experiments.Fig2(fig2Samples, 7000)
+			out = experiments.RenderFig2(pts)
+		case "fig4":
+			var rows []experiments.Fig4Row
+			rows, err = experiments.Fig4(fractions)
+			out = experiments.RenderFig4(rows)
+		case "fig5":
+			var res []experiments.Fig5Result
+			res, err = experiments.Fig5(fractions)
+			out = experiments.RenderFig5(res)
+		case "fig6":
+			var fams []experiments.Fig6Family
+			fams, err = experiments.Fig6(fig6)
+			out = experiments.RenderFig6(fams)
+		case "table2":
+			var rows []experiments.Table2Row
+			rows, err = experiments.Table2(*threshold)
+			out = experiments.RenderTable2(rows)
+		case "table3":
+			var rows []experiments.Table3Row
+			rows, err = experiments.Table3(*threshold)
+			out = experiments.RenderTable3(rows)
+		case "threshold":
+			var pts []experiments.ThresholdPoint
+			pts, err = experiments.ThresholdSweep([]float64{0.35, 0.45, 0.55, 0.65, 0.75})
+			out = experiments.RenderThresholdSweep(pts)
+		case "ties":
+			var rows []experiments.TiesPoint
+			rows, err = experiments.TiesAblation()
+			out = experiments.RenderTies(rows)
+		case "nodal":
+			var rows []experiments.NodalRow
+			rows, err = experiments.Nodal(nil, 0.7)
+			out = experiments.RenderNodal(rows)
+		case "flows":
+			var rows []experiments.FlowRow
+			rows, err = experiments.Flows()
+			out = experiments.RenderFlows(rows)
+		case "faults":
+			var rows []experiments.FaultRow
+			rows, err = experiments.Faults(nil, *threshold)
+			out = experiments.RenderFaults(rows)
+		case "multibit":
+			var rows []experiments.MultiBitRow
+			rows, err = experiments.MultiBit(nil)
+			out = experiments.RenderMultiBit(rows)
+		case "quality":
+			samples := 10
+			if *quick {
+				samples = 3
+			}
+			var rows []experiments.QualityRow
+			rows, err = experiments.Quality(samples, 8000)
+			out = experiments.RenderQuality(rows)
+		case "conflicts":
+			var rows []experiments.ConflictRow
+			rows, err = experiments.Conflicts()
+			out = experiments.RenderConflicts(rows)
+		default:
+			fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q\n", name)
+			os.Exit(2)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+		fmt.Printf("[%s completed in %v]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,276 @@
+// Command relsyn is the CLI front-end to the library: inspect .pla
+// specifications, apply reliability-driven DC assignment, and run the
+// synthesis flow.
+//
+// Usage:
+//
+//	relsyn stats  [-in spec.pla]
+//	relsyn assign [-in spec.pla] [-out out.pla] -method rank|lcf|complete \
+//	              [-fraction 0.5] [-threshold 0.55]
+//	relsyn synth  [-in spec.pla] [-objective delay|power|area] [-flow sop|resyn]
+//
+// A benchmark name from the built-in suite (e.g. "ex1010") may be given
+// via -bench instead of -in.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"relsyn"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "stats":
+		err = runStats(os.Args[2:])
+	case "assign":
+		err = runAssign(os.Args[2:])
+	case "synth":
+		err = runSynth(os.Args[2:])
+	case "verilog":
+		err = runVerilog(os.Args[2:])
+	case "decompose":
+		err = runDecompose(os.Args[2:])
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "relsyn: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "relsyn: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  relsyn stats  [-in spec.pla | -bench name]
+  relsyn assign [-in spec.pla | -bench name] [-out out.pla] -method rank|lcf|complete [-fraction F] [-threshold T]
+  relsyn synth  [-in spec.pla | -bench name] [-objective delay|power|area] [-flow sop|resyn]
+  relsyn verilog [-in spec.pla | -bench name] [-module name] [-out file.v]
+  relsyn decompose [-in spec.pla | -bench name] [-k 5] [-threshold 0.7] [-blif file.blif]`)
+}
+
+// inputFlags registers the shared spec-source flags on fs.
+func inputFlags(fs *flag.FlagSet) (in, bench *string) {
+	in = fs.String("in", "", "input .pla file (default: stdin)")
+	bench = fs.String("bench", "", "built-in benchmark name instead of -in")
+	return in, bench
+}
+
+func loadSpec(in, bench string) (*relsyn.Function, error) {
+	if bench != "" {
+		return relsyn.LoadBenchmark(bench)
+	}
+	var r io.Reader = os.Stdin
+	if in != "" {
+		f, err := os.Open(in)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return relsyn.ParsePLA(f)
+	}
+	return relsyn.ParsePLA(r)
+}
+
+func runStats(args []string) error {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	in, bench := inputFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := loadSpec(*in, *bench)
+	if err != nil {
+		return err
+	}
+	lo, hi := relsyn.ExactBounds(f)
+	sig := relsyn.SignalEstimate(f)
+	bor := relsyn.BorderEstimate(f)
+	fmt.Printf("inputs            %d\n", f.NumIn)
+	fmt.Printf("outputs           %d\n", f.NumOut())
+	fmt.Printf("%%DC               %.1f\n", 100*f.DCFraction())
+	fmt.Printf("C^f               %.3f\n", relsyn.ComplexityFactor(f))
+	fmt.Printf("E[C^f]            %.3f\n", relsyn.ExpectedComplexityFactor(f))
+	fmt.Printf("exact bounds      [%.3f, %.3f]\n", lo, hi)
+	fmt.Printf("signal estimate   [%.3f, %.3f]\n", sig.Min, sig.Max)
+	fmt.Printf("border estimate   [%.3f, %.3f]\n", bor.Min, bor.Max)
+	return nil
+}
+
+func runAssign(args []string) error {
+	fs := flag.NewFlagSet("assign", flag.ExitOnError)
+	in, bench := inputFlags(fs)
+	out := fs.String("out", "", "output .pla file (default: stdout)")
+	method := fs.String("method", "rank", "assignment method: rank, lcf, or complete")
+	fraction := fs.Float64("fraction", 0.5, "fraction of ranked DCs to assign (rank)")
+	threshold := fs.Float64("threshold", 0.55, "LC^f threshold (lcf)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := loadSpec(*in, *bench)
+	if err != nil {
+		return err
+	}
+	var res *relsyn.AssignResult
+	switch *method {
+	case "rank":
+		res, err = relsyn.RankingAssign(f, *fraction)
+	case "lcf":
+		res, err = relsyn.LCFAssign(f, *threshold)
+	case "complete":
+		res = relsyn.CompleteAssign(f)
+	default:
+		return fmt.Errorf("unknown method %q", *method)
+	}
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "assigned %d of %d DC minterms (%.1f%%)\n",
+		len(res.Assigned), res.TotalDCs, 100*res.FractionAssigned())
+	w := os.Stdout
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		w = file
+	}
+	return relsyn.WritePLA(w, res.Func)
+}
+
+func runSynth(args []string) error {
+	fs := flag.NewFlagSet("synth", flag.ExitOnError)
+	in, bench := inputFlags(fs)
+	objective := fs.String("objective", "power", "optimization objective: delay, power, or area")
+	flow := fs.String("flow", "sop", "synthesis flow: sop or resyn")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := loadSpec(*in, *bench)
+	if err != nil {
+		return err
+	}
+	opt := relsyn.SynthOptions{}
+	switch *objective {
+	case "delay":
+		opt.Objective = relsyn.OptimizeDelay
+	case "power":
+		opt.Objective = relsyn.OptimizePower
+	case "area":
+		opt.Objective = relsyn.OptimizeArea
+	default:
+		return fmt.Errorf("unknown objective %q", *objective)
+	}
+	switch *flow {
+	case "sop":
+		opt.Flow = relsyn.FlowSOP
+	case "resyn":
+		opt.Flow = relsyn.FlowResyn
+	default:
+		return fmt.Errorf("unknown flow %q", *flow)
+	}
+	res, err := relsyn.Synthesize(f, opt)
+	if err != nil {
+		return err
+	}
+	m := res.Metrics
+	fmt.Printf("area        %.2f\n", m.Area)
+	fmt.Printf("delay       %.1f ps\n", m.DelayPs)
+	fmt.Printf("power       %.2f\n", m.Power)
+	fmt.Printf("gates       %d\n", m.Gates)
+	fmt.Printf("literals    %d\n", m.Literals)
+	fmt.Printf("aig nodes   %d (depth %d)\n", m.AIGNodes, m.AIGDepth)
+	fmt.Printf("error rate  %.4f\n", relsyn.ErrorRate(f, res.Impl))
+	return nil
+}
+
+func runDecompose(args []string) error {
+	fs := flag.NewFlagSet("decompose", flag.ExitOnError)
+	in, bench := inputFlags(fs)
+	k := fs.Int("k", 5, "node fanin bound (2..6)")
+	threshold := fs.Float64("threshold", 0.7, "LC^f threshold for internal reassignment")
+	blifOut := fs.String("blif", "", "write reassigned network as BLIF to this file")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := loadSpec(*in, *bench)
+	if err != nil {
+		return err
+	}
+	res, err := relsyn.Synthesize(f, relsyn.SynthOptions{Objective: relsyn.OptimizePower})
+	if err != nil {
+		return err
+	}
+	conv, err := relsyn.Decompose(res.Graph, *k)
+	if err != nil {
+		return err
+	}
+	rel, err := relsyn.Decompose(res.Graph, *k)
+	if err != nil {
+		return err
+	}
+	if err := conv.CompleteConventionalAll(); err != nil {
+		return err
+	}
+	assigned, err := rel.ReassignLCF(*threshold)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("nodes                %d (k=%d)\n", conv.NumNodes(), *k)
+	fmt.Printf("internal DCs bound   %d\n", assigned)
+	fmt.Printf("node-output err rate %.4f -> %.4f\n", conv.InternalErrorRate(), rel.InternalErrorRate())
+	fmt.Printf("node-input err rate  %.4f -> %.4f\n", conv.InputErrorRate(), rel.InputErrorRate())
+	fmt.Printf("SOP literals         %d -> %d\n", conv.TotalLiterals(), rel.TotalLiterals())
+	if *blifOut != "" {
+		file, err := os.Create(*blifOut)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		if err := relsyn.WriteBLIF(file, rel, "relsyn"); err != nil {
+			return err
+		}
+		fmt.Printf("BLIF written to      %s\n", *blifOut)
+	}
+	return nil
+}
+
+func runVerilog(args []string) error {
+	fs := flag.NewFlagSet("verilog", flag.ExitOnError)
+	in, bench := inputFlags(fs)
+	module := fs.String("module", "top", "Verilog module name")
+	out := fs.String("out", "", "output .v file (default: stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := loadSpec(*in, *bench)
+	if err != nil {
+		return err
+	}
+	res, err := relsyn.Synthesize(f, relsyn.SynthOptions{Objective: relsyn.OptimizeArea})
+	if err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		w = file
+	}
+	return res.Netlist.WriteVerilog(w, *module, f.NumIn)
+}

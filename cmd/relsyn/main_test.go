@@ -1,0 +1,178 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// capture runs fn with os.Stdout redirected to a pipe and returns what
+// it printed.
+func capture(t *testing.T, fn func() error) (string, error) {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	buf := make([]byte, 1<<20)
+	n, _ := r.Read(buf)
+	r.Close()
+	return string(buf[:n]), errRun
+}
+
+const testPLA = `
+.i 3
+.o 2
+01- 10
+1-1 01
+000 -0
+.e
+`
+
+func writeTemp(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "spec.pla")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunStats(t *testing.T) {
+	path := writeTemp(t, testPLA)
+	out, err := capture(t, func() error { return runStats([]string{"-in", path}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"inputs            3", "outputs           2", "exact bounds"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("stats output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunStatsBench(t *testing.T) {
+	out, err := capture(t, func() error { return runStats([]string{"-bench", "bench"}) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "inputs            6") {
+		t.Fatalf("bench stats wrong:\n%s", out)
+	}
+}
+
+func TestRunAssignRoundTrip(t *testing.T) {
+	in := writeTemp(t, testPLA)
+	out := filepath.Join(t.TempDir(), "out.pla")
+	_, err := capture(t, func() error {
+		return runAssign([]string{"-in", in, "-out", out, "-method", "rank", "-fraction", "1"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), ".i 3") {
+		t.Fatalf("assigned PLA malformed:\n%s", data)
+	}
+	// The output must itself be consumable by stats.
+	if _, err := capture(t, func() error { return runStats([]string{"-in", out}) }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunAssignMethods(t *testing.T) {
+	in := writeTemp(t, testPLA)
+	for _, method := range []string{"rank", "lcf", "complete"} {
+		out := filepath.Join(t.TempDir(), method+".pla")
+		if _, err := capture(t, func() error {
+			return runAssign([]string{"-in", in, "-out", out, "-method", method})
+		}); err != nil {
+			t.Fatalf("%s: %v", method, err)
+		}
+	}
+	if _, err := capture(t, func() error {
+		return runAssign([]string{"-in", in, "-method", "bogus"})
+	}); err == nil {
+		t.Fatal("bogus method accepted")
+	}
+}
+
+func TestRunSynth(t *testing.T) {
+	in := writeTemp(t, testPLA)
+	out, err := capture(t, func() error {
+		return runSynth([]string{"-in", in, "-objective", "delay"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"area", "delay", "gates", "error rate"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("synth output missing %q:\n%s", want, out)
+		}
+	}
+	if _, err := capture(t, func() error {
+		return runSynth([]string{"-in", in, "-objective", "bogus"})
+	}); err == nil {
+		t.Fatal("bogus objective accepted")
+	}
+	if _, err := capture(t, func() error {
+		return runSynth([]string{"-in", in, "-flow", "bogus"})
+	}); err == nil {
+		t.Fatal("bogus flow accepted")
+	}
+}
+
+func TestRunVerilog(t *testing.T) {
+	in := writeTemp(t, testPLA)
+	outPath := filepath.Join(t.TempDir(), "top.v")
+	if _, err := capture(t, func() error {
+		return runVerilog([]string{"-in", in, "-module", "dut", "-out", outPath})
+	}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(outPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "module dut(") || !strings.Contains(string(data), "endmodule") {
+		t.Fatalf("Verilog malformed:\n%s", data)
+	}
+}
+
+func TestRunDecompose(t *testing.T) {
+	blifPath := filepath.Join(t.TempDir(), "net.blif")
+	out, err := capture(t, func() error {
+		return runDecompose([]string{"-bench", "bench", "-k", "4", "-blif", blifPath})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "nodes") || !strings.Contains(out, "err rate") {
+		t.Fatalf("decompose output malformed:\n%s", out)
+	}
+	data, err := os.ReadFile(blifPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), ".model relsyn") {
+		t.Fatalf("BLIF malformed:\n%s", data)
+	}
+}
+
+func TestLoadSpecMissingFile(t *testing.T) {
+	if _, err := loadSpec("/nonexistent/file.pla", ""); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if _, err := loadSpec("", "nonesuch-benchmark"); err == nil {
+		t.Fatal("unknown benchmark accepted")
+	}
+}

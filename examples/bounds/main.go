@@ -1,0 +1,64 @@
+// Bounds: reproduce the paper's Fig. 8 observation — two functions with
+// identical signal probabilities but different border counts get
+// identical signal-probability estimates yet very different actual
+// reliability ranges, which only the border-based estimate can see.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"relsyn"
+)
+
+func main() {
+	// Function A: clustered — on-set, off-set and DC-set each occupy a
+	// contiguous quarter/half arrangement (few borders).
+	clustered := relsyn.NewFunction(4, 1)
+	for m := 0; m < 4; m++ {
+		clustered.SetPhase(0, m, relsyn.On) // subcube x2=0,x3=0
+	}
+	for m := 4; m < 8; m++ {
+		clustered.SetPhase(0, m, relsyn.DC) // subcube x2=1,x3=0
+	}
+	// minterms 8..15 stay off.
+
+	// Function B: scattered — same set sizes (4 on, 4 DC, 8 off) but
+	// interleaved (many borders).
+	scattered := relsyn.NewFunction(4, 1)
+	for _, m := range []int{0, 3, 5, 6} {
+		scattered.SetPhase(0, m, relsyn.On)
+	}
+	for _, m := range []int{9, 10, 12, 15} {
+		scattered.SetPhase(0, m, relsyn.DC)
+	}
+
+	show := func(name string, f *relsyn.Function) {
+		f0, f1, fdc := f.SignalProbabilities(0)
+		lo, hi := relsyn.ExactBounds(f)
+		sig := relsyn.SignalEstimate(f)
+		bor := relsyn.BorderEstimate(f)
+		fmt.Printf("%s: f0=%.2f f1=%.2f fDC=%.2f\n", name, f0, f1, fdc)
+		fmt.Printf("  exact bounds    [%.3f, %.3f]\n", lo, hi)
+		fmt.Printf("  signal estimate [%.3f, %.3f]   (sees only probabilities)\n", sig.Min, sig.Max)
+		fmt.Printf("  border estimate [%.3f, %.3f]   (sees structure)\n\n", bor.Min, bor.Max)
+	}
+	show("clustered (few borders)", clustered)
+	show("scattered (many borders)", scattered)
+
+	sigA, sigB := relsyn.SignalEstimate(clustered), relsyn.SignalEstimate(scattered)
+	if sigA == sigB {
+		fmt.Println("signal-probability estimates are IDENTICAL for both functions;")
+		fmt.Println("only the border-based estimate distinguishes their reliability ranges.")
+	}
+
+	// The analytic story carries through synthesis too.
+	for name, f := range map[string]*relsyn.Function{"clustered": clustered, "scattered": scattered} {
+		impl, err := relsyn.Synthesize(f, relsyn.SynthOptions{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%s synthesized: %d gates, measured error rate %.3f\n",
+			name, impl.Metrics.Gates, relsyn.ErrorRate(f, impl.Impl))
+	}
+}

@@ -1,0 +1,49 @@
+// Sweep: reproduce a single benchmark's Fig. 4/5 trajectory — error
+// rate and implementation overheads as a function of the fraction of
+// DCs assigned for reliability, under both synthesis objectives.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"relsyn"
+)
+
+func main() {
+	spec, err := relsyn.LoadBenchmark("exam")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exam: %.1f%% DC, C^f=%.3f\n\n", 100*spec.DCFraction(), relsyn.ComplexityFactor(spec))
+
+	for _, obj := range []struct {
+		name string
+		o    relsyn.SynthOptions
+	}{
+		{"delay-optimized", relsyn.SynthOptions{Objective: relsyn.OptimizeDelay}},
+		{"power-optimized", relsyn.SynthOptions{Objective: relsyn.OptimizePower}},
+	} {
+		fmt.Printf("[%s]\n", obj.name)
+		fmt.Printf("%9s %10s %10s %10s %10s\n", "fraction", "norm.area", "norm.delay", "norm.power", "norm.ER")
+		var baseArea, baseDelay, basePower, baseER float64
+		for _, fr := range []float64{0, 0.25, 0.5, 0.75, 1} {
+			res, err := relsyn.RankingAssign(spec, fr)
+			if err != nil {
+				log.Fatal(err)
+			}
+			impl, err := relsyn.Synthesize(res.Func, obj.o)
+			if err != nil {
+				log.Fatal(err)
+			}
+			er := relsyn.ErrorRate(spec, impl.Impl)
+			m := impl.Metrics
+			if fr == 0 {
+				baseArea, baseDelay, basePower, baseER = m.Area, m.DelayPs, m.Power, er
+			}
+			fmt.Printf("%9.2f %10.3f %10.3f %10.3f %10.3f\n", fr,
+				m.Area/baseArea, m.DelayPs/baseDelay, m.Power/basePower, er/baseER)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,3 @@
+module relsyn
+
+go 1.23

@@ -1,0 +1,282 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+
+	"relsyn/internal/bitset"
+	"relsyn/internal/cube"
+)
+
+func TestTerminals(t *testing.T) {
+	m := New(3)
+	if m.Eval(TrueRef, 0) != true || m.Eval(FalseRef, 5) != false {
+		t.Fatal("terminal evaluation wrong")
+	}
+	if m.Not(TrueRef) != FalseRef || m.Not(FalseRef) != TrueRef {
+		t.Fatal("terminal negation wrong")
+	}
+}
+
+func TestVarSemantics(t *testing.T) {
+	m := New(4)
+	for i := 0; i < 4; i++ {
+		v := m.Var(i)
+		nv := m.NVar(i)
+		for mt := uint(0); mt < 16; mt++ {
+			want := mt>>uint(i)&1 == 1
+			if m.Eval(v, mt) != want {
+				t.Fatalf("Var(%d) eval wrong at %04b", i, mt)
+			}
+			if m.Eval(nv, mt) != !want {
+				t.Fatalf("NVar(%d) eval wrong at %04b", i, mt)
+			}
+		}
+		if m.Not(v) != nv {
+			t.Fatalf("Not(Var(%d)) != NVar(%d): canonicity broken", i, i)
+		}
+	}
+}
+
+func TestCanonicity(t *testing.T) {
+	m := New(3)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	// (a∧b)∨c computed two different ways must give the same Ref.
+	x := m.Or(m.And(a, b), c)
+	y := m.Not(m.And(m.Not(m.And(a, b)), m.Not(c)))
+	if x != y {
+		t.Fatal("equivalent functions got different refs")
+	}
+	// a⊕b == (a∨b)∧¬(a∧b)
+	x1 := m.Xor(a, b)
+	x2 := m.And(m.Or(a, b), m.Not(m.And(a, b)))
+	if x1 != x2 {
+		t.Fatal("xor identity broken")
+	}
+}
+
+func TestOpsMatchTruthTables(t *testing.T) {
+	rng := rand.New(rand.NewSource(71))
+	n := 5
+	m := New(n)
+	// Build random functions bottom-up and cross-check every operator
+	// against direct evaluation.
+	randFn := func() (Ref, []bool) {
+		bits := make([]bool, 1<<uint(n))
+		s := bitset.New(1 << uint(n))
+		for i := range bits {
+			if rng.Intn(2) == 0 {
+				bits[i] = true
+				s.Set(i)
+			}
+		}
+		return m.FromBitset(s), bits
+	}
+	for trial := 0; trial < 20; trial++ {
+		f, fb := randFn()
+		g, gb := randFn()
+		h, hb := randFn()
+		checks := []struct {
+			name string
+			r    Ref
+			fn   func(i int) bool
+		}{
+			{"and", m.And(f, g), func(i int) bool { return fb[i] && gb[i] }},
+			{"or", m.Or(f, g), func(i int) bool { return fb[i] || gb[i] }},
+			{"xor", m.Xor(f, g), func(i int) bool { return fb[i] != gb[i] }},
+			{"not", m.Not(f), func(i int) bool { return !fb[i] }},
+			{"implies", m.Implies(f, g), func(i int) bool { return !fb[i] || gb[i] }},
+			{"ite", m.ITE(f, g, h), func(i int) bool {
+				if fb[i] {
+					return gb[i]
+				}
+				return hb[i]
+			}},
+		}
+		for _, ck := range checks {
+			for i := 0; i < 1<<uint(n); i++ {
+				if m.Eval(ck.r, uint(i)) != ck.fn(i) {
+					t.Fatalf("%s wrong at minterm %d", ck.name, i)
+				}
+			}
+		}
+	}
+}
+
+func TestFromToBitsetRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(72))
+	for _, n := range []int{1, 3, 6, 10} {
+		m := New(n)
+		s := bitset.New(1 << uint(n))
+		for i := 0; i < s.Len(); i++ {
+			if rng.Intn(2) == 0 {
+				s.Set(i)
+			}
+		}
+		f := m.FromBitset(s)
+		back := m.ToBitset(f)
+		if !back.Equal(s) {
+			t.Fatalf("n=%d: bitset round trip failed", n)
+		}
+		if got := m.SatCount(f); got != uint64(s.Count()) {
+			t.Fatalf("n=%d: SatCount=%d, want %d", n, got, s.Count())
+		}
+	}
+}
+
+func TestFromCube(t *testing.T) {
+	m := New(4)
+	c, _ := cube.Parse("01-1")
+	f := m.FromCube(c)
+	for mt := uint(0); mt < 16; mt++ {
+		if m.Eval(f, mt) != c.ContainsMinterm(mt) {
+			t.Fatalf("FromCube wrong at %04b", mt)
+		}
+	}
+	if got := m.SatCount(f); got != 2 {
+		t.Fatalf("SatCount = %d, want 2", got)
+	}
+}
+
+func TestFromCover(t *testing.T) {
+	rng := rand.New(rand.NewSource(73))
+	n := 6
+	m := New(n)
+	cv := cube.NewCover(n)
+	for i := 0; i < 8; i++ {
+		c := cube.New(n)
+		for v := 0; v < n; v++ {
+			switch rng.Intn(3) {
+			case 0:
+				c = c.SetVal(v, cube.Zero)
+			case 1:
+				c = c.SetVal(v, cube.One)
+			}
+		}
+		cv.Add(c)
+	}
+	f := m.FromCover(cv)
+	for mt := uint(0); mt < 1<<uint(n); mt++ {
+		if m.Eval(f, mt) != cv.ContainsMinterm(mt) {
+			t.Fatalf("FromCover wrong at minterm %d", mt)
+		}
+	}
+}
+
+func TestRestrictAndQuantify(t *testing.T) {
+	m := New(3)
+	a, b, c := m.Var(0), m.Var(1), m.Var(2)
+	f := m.Or(m.And(a, b), m.And(m.Not(a), c))
+	// f|a=1 = b; f|a=0 = c.
+	if m.Restrict(f, 0, true) != b {
+		t.Fatal("restrict a=1 should be b")
+	}
+	if m.Restrict(f, 0, false) != c {
+		t.Fatal("restrict a=0 should be c")
+	}
+	// ∃a.f = b ∨ c; ∀a.f = b ∧ c.
+	if m.Exists(f, 0) != m.Or(b, c) {
+		t.Fatal("exists wrong")
+	}
+	if m.Forall(f, 0) != m.And(b, c) {
+		t.Fatal("forall wrong")
+	}
+	// Restricting a variable not in the support is the identity.
+	if m.Restrict(b, 0, true) != b {
+		t.Fatal("restrict of free var should be identity")
+	}
+}
+
+func TestSatCountSkippedLevels(t *testing.T) {
+	// f = x2 over 5 vars: satcount must be 16.
+	m := New(5)
+	if got := m.SatCount(m.Var(2)); got != 16 {
+		t.Fatalf("SatCount(x2) = %d, want 16", got)
+	}
+	if got := m.SatCount(TrueRef); got != 32 {
+		t.Fatalf("SatCount(1) = %d, want 32", got)
+	}
+	if got := m.SatCount(FalseRef); got != 0 {
+		t.Fatalf("SatCount(0) = %d, want 0", got)
+	}
+}
+
+func TestSupport(t *testing.T) {
+	m := New(5)
+	f := m.And(m.Var(1), m.Or(m.Var(3), m.NVar(1)))
+	sup := m.Support(f)
+	if len(sup) != 2 || sup[0] != 1 || sup[1] != 3 {
+		t.Fatalf("Support = %v, want [1 3]", sup)
+	}
+	if len(m.Support(TrueRef)) != 0 {
+		t.Fatal("terminal support should be empty")
+	}
+}
+
+func TestNodeCount(t *testing.T) {
+	m := New(3)
+	if got := m.NodeCount(TrueRef); got != 1 {
+		t.Fatalf("NodeCount(1) = %d", got)
+	}
+	v := m.Var(0)
+	if got := m.NodeCount(v); got != 3 {
+		t.Fatalf("NodeCount(x0) = %d, want 3", got)
+	}
+}
+
+// The XOR of n variables has the canonical 2n+... ROBDD size: 2 internal
+// nodes per level except the first, plus terminals: 2n-1 internal nodes.
+func TestXorChainNodeCount(t *testing.T) {
+	n := 8
+	m := New(n)
+	f := FalseRef
+	for i := 0; i < n; i++ {
+		f = m.Xor(f, m.Var(i))
+	}
+	want := 2*n - 1 + 2
+	if got := m.NodeCount(f); got != want {
+		t.Fatalf("xor%d node count = %d, want %d", n, got, want)
+	}
+	if got := m.SatCount(f); got != 1<<uint(n-1) {
+		t.Fatalf("xor%d satcount = %d, want %d", n, got, 1<<uint(n-1))
+	}
+}
+
+func TestVarOutOfRangePanics(t *testing.T) {
+	m := New(2)
+	for _, fn := range []func(){
+		func() { m.Var(2) },
+		func() { m.NVar(-1) },
+		func() { m.Restrict(TrueRef, 5, true) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func BenchmarkITERandom10(b *testing.B) {
+	rng := rand.New(rand.NewSource(74))
+	n := 10
+	m := New(n)
+	s1, s2 := bitset.New(1<<uint(n)), bitset.New(1<<uint(n))
+	for i := 0; i < 1<<uint(n); i++ {
+		if rng.Intn(2) == 0 {
+			s1.Set(i)
+		}
+		if rng.Intn(2) == 0 {
+			s2.Set(i)
+		}
+	}
+	f, g := m.FromBitset(s1), m.FromBitset(s2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.And(f, g)
+	}
+}

@@ -1,0 +1,145 @@
+package bdd
+
+import "fmt"
+
+// Permute returns the function obtained from f by renaming variable i to
+// perm[i] (perm must be a bijection on [0, NumVars)). Formally, the
+// result r satisfies
+//
+//	Eval(r, t) == Eval(f, s)  where bit perm[i] of t equals bit i of s.
+//
+// Renaming is how variable reordering is expressed against this
+// package's fixed-order managers: the size of f under a candidate order
+// is the size of the correspondingly permuted function.
+func (m *Manager) Permute(f Ref, perm []int) Ref {
+	if len(perm) != m.numVars {
+		panic(fmt.Sprintf("bdd: perm has %d entries for %d vars", len(perm), m.numVars))
+	}
+	seen := make([]bool, m.numVars)
+	for _, p := range perm {
+		if p < 0 || p >= m.numVars || seen[p] {
+			panic("bdd: perm is not a bijection")
+		}
+		seen[p] = true
+	}
+	memo := make(map[Ref]Ref)
+	var rec func(Ref) Ref
+	rec = func(g Ref) Ref {
+		if g == FalseRef || g == TrueRef {
+			return g
+		}
+		if r, ok := memo[g]; ok {
+			return r
+		}
+		n := m.nodes[g]
+		v := m.Var(perm[n.level])
+		r := m.ITE(v, rec(n.hi), rec(n.lo))
+		memo[g] = r
+		return r
+	}
+	return rec(f)
+}
+
+// SharedNodeCount returns the number of distinct nodes reachable from
+// any of fs (terminals included once) — the cost function variable
+// reordering minimizes.
+func (m *Manager) SharedNodeCount(fs []Ref) int {
+	seen := map[Ref]bool{}
+	var rec func(Ref)
+	rec = func(g Ref) {
+		if seen[g] {
+			return
+		}
+		seen[g] = true
+		if g == FalseRef || g == TrueRef {
+			return
+		}
+		n := m.nodes[g]
+		rec(n.lo)
+		rec(n.hi)
+	}
+	for _, f := range fs {
+		rec(f)
+	}
+	return len(seen)
+}
+
+// SizeUnderOrder measures the shared node count of fs under the
+// candidate variable order, where order[level] gives the variable placed
+// at that level. The measurement happens in a scratch manager so m's
+// arena is not polluted.
+func (m *Manager) SizeUnderOrder(fs []Ref, order []int) int {
+	perm := make([]int, len(order)) // perm[var] = level
+	for level, v := range order {
+		perm[v] = level
+	}
+	scratch := New(m.numVars)
+	translated := make([]Ref, len(fs))
+	for i, f := range fs {
+		translated[i] = transfer(m, scratch, f, perm)
+	}
+	return scratch.SharedNodeCount(translated)
+}
+
+// transfer rebuilds src-manager function f inside dst with variable i of
+// src placed at level perm[i] of dst.
+func transfer(src, dst *Manager, f Ref, perm []int) Ref {
+	memo := make(map[Ref]Ref)
+	var rec func(Ref) Ref
+	rec = func(g Ref) Ref {
+		if g == FalseRef || g == TrueRef {
+			return g
+		}
+		if r, ok := memo[g]; ok {
+			return r
+		}
+		n := src.nodes[g]
+		r := dst.ITE(dst.Var(perm[n.level]), rec(n.hi), rec(n.lo))
+		memo[g] = r
+		return r
+	}
+	return rec(f)
+}
+
+// FindOrder searches for a variable order minimizing the shared node
+// count of fs, by greedy adjacent transpositions (a lightweight stand-in
+// for CUDD's sifting). It returns the best order found
+// (order[level] = variable) and its node count.
+func (m *Manager) FindOrder(fs []Ref) ([]int, int) {
+	order := make([]int, m.numVars)
+	for i := range order {
+		order[i] = i
+	}
+	best := m.SizeUnderOrder(fs, order)
+	improved := true
+	for improved {
+		improved = false
+		for i := 0; i+1 < len(order); i++ {
+			order[i], order[i+1] = order[i+1], order[i]
+			if size := m.SizeUnderOrder(fs, order); size < best {
+				best = size
+				improved = true
+			} else {
+				order[i], order[i+1] = order[i+1], order[i]
+			}
+		}
+	}
+	return order, best
+}
+
+// ApplyOrder rebuilds fs in a fresh manager under the given order
+// (order[level] = variable) and returns the new manager and translated
+// refs. Eval semantics change per Permute: bit `level` of a minterm in
+// the new manager corresponds to original variable order[level].
+func (m *Manager) ApplyOrder(fs []Ref, order []int) (*Manager, []Ref) {
+	perm := make([]int, len(order))
+	for level, v := range order {
+		perm[v] = level
+	}
+	dst := New(m.numVars)
+	out := make([]Ref, len(fs))
+	for i, f := range fs {
+		out[i] = transfer(m, dst, f, perm)
+	}
+	return dst, out
+}

@@ -1,0 +1,152 @@
+package bdd
+
+import (
+	"math/rand"
+	"testing"
+
+	"relsyn/internal/bitset"
+)
+
+// interleavedAdder builds f = x0·x1 + x2·x3 + ... (pair products), the
+// classic order-sensitivity example: with pairs adjacent the BDD is
+// linear, with pairs separated it is exponential.
+func pairProduct(m *Manager, pairs [][2]int) Ref {
+	f := FalseRef
+	for _, p := range pairs {
+		f = m.Or(f, m.And(m.Var(p[0]), m.Var(p[1])))
+	}
+	return f
+}
+
+func TestPermuteSemantics(t *testing.T) {
+	rng := rand.New(rand.NewSource(191))
+	n := 6
+	m := New(n)
+	s := bitset.New(1 << uint(n))
+	for i := 0; i < s.Len(); i++ {
+		if rng.Intn(2) == 0 {
+			s.Set(i)
+		}
+	}
+	f := m.FromBitset(s)
+	perm := rng.Perm(n)
+	g := m.Permute(f, perm)
+	for mt := uint(0); mt < 1<<uint(n); mt++ {
+		// Build t with bit perm[i] = bit i of mt.
+		var tgt uint
+		for i := 0; i < n; i++ {
+			if mt>>uint(i)&1 == 1 {
+				tgt |= 1 << uint(perm[i])
+			}
+		}
+		if m.Eval(g, tgt) != m.Eval(f, mt) {
+			t.Fatalf("permute semantics wrong at minterm %d (perm %v)", mt, perm)
+		}
+	}
+}
+
+func TestPermuteIdentity(t *testing.T) {
+	m := New(4)
+	f := m.Xor(m.Var(0), m.And(m.Var(1), m.Var(3)))
+	if g := m.Permute(f, []int{0, 1, 2, 3}); g != f {
+		t.Fatal("identity permutation changed the ref")
+	}
+}
+
+func TestPermuteValidation(t *testing.T) {
+	m := New(3)
+	for _, perm := range [][]int{{0, 1}, {0, 0, 1}, {0, 1, 5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("bad perm %v accepted", perm)
+				}
+			}()
+			m.Permute(TrueRef, perm)
+		}()
+	}
+}
+
+func TestOrderSensitivityAndFindOrder(t *testing.T) {
+	// 3 product pairs over 6 vars, deliberately separated:
+	// f = x0·x3 + x1·x4 + x2·x5 under natural order is large; under
+	// pair-adjacent order it is linear.
+	n := 6
+	m := New(n)
+	f := pairProduct(m, [][2]int{{0, 3}, {1, 4}, {2, 5}})
+	natural := []int{0, 1, 2, 3, 4, 5}
+	adjacent := []int{0, 3, 1, 4, 2, 5}
+	sizeNat := m.SizeUnderOrder([]Ref{f}, natural)
+	sizeAdj := m.SizeUnderOrder([]Ref{f}, adjacent)
+	if sizeAdj >= sizeNat {
+		t.Fatalf("pair-adjacent order (%d nodes) should beat natural (%d)", sizeAdj, sizeNat)
+	}
+	order, best := m.FindOrder([]Ref{f})
+	if best > sizeAdj {
+		t.Fatalf("FindOrder best %d worse than known good %d (order %v)", best, sizeAdj, order)
+	}
+}
+
+func TestApplyOrderPreservesFunction(t *testing.T) {
+	n := 6
+	m := New(n)
+	f := pairProduct(m, [][2]int{{0, 3}, {1, 4}, {2, 5}})
+	order, want := m.FindOrder([]Ref{f})
+	dst, fs := m.ApplyOrder([]Ref{f}, order)
+	if got := dst.SharedNodeCount(fs); got != want {
+		t.Fatalf("applied order size %d != measured %d", got, want)
+	}
+	// Semantics: bit level of dst minterm = original var order[level].
+	for mt := uint(0); mt < 1<<uint(n); mt++ {
+		var tgt uint
+		for level, v := range order {
+			if mt>>uint(v)&1 == 1 {
+				tgt |= 1 << uint(level)
+			}
+		}
+		if dst.Eval(fs[0], tgt) != m.Eval(f, mt) {
+			t.Fatalf("ApplyOrder semantics wrong at %d", mt)
+		}
+	}
+}
+
+func TestSharedNodeCount(t *testing.T) {
+	m := New(3)
+	a := m.And(m.Var(0), m.Var(1))
+	b := m.Or(a, m.Var(2))
+	// Shared count must be at most the sum of individual counts minus the
+	// two terminals counted twice, and at least the larger individual.
+	ca, cb := m.NodeCount(a), m.NodeCount(b)
+	shared := m.SharedNodeCount([]Ref{a, b})
+	if shared > ca+cb-2 {
+		t.Fatalf("shared %d exceeds %d+%d-2", shared, ca, cb)
+	}
+	if shared < cb || shared < ca {
+		t.Fatalf("shared %d below max(%d,%d)", shared, ca, cb)
+	}
+	// Sharing a function with itself adds nothing.
+	if got := m.SharedNodeCount([]Ref{b, b}); got != cb {
+		t.Fatalf("self sharing: got %d, want %d", got, cb)
+	}
+	if m.SharedNodeCount(nil) != 0 {
+		t.Fatal("empty shared count should be 0")
+	}
+}
+
+func BenchmarkFindOrder8(b *testing.B) {
+	rng := rand.New(rand.NewSource(192))
+	n := 8
+	m := New(n)
+	s := bitset.New(1 << uint(n))
+	for i := 0; i < s.Len(); i++ {
+		if rng.Intn(2) == 0 {
+			s.Set(i)
+		}
+	}
+	f := m.FromBitset(s)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.FindOrder([]Ref{f})
+	}
+}

@@ -1,0 +1,113 @@
+// Package benchmarks provides the evaluation suite: deterministic
+// synthetic stand-ins for the MCNC .pla benchmarks of paper Table 1.
+//
+// The original MCNC files are not redistributable here, so each stand-in
+// is generated (internal/synthetic, fixed seeds) to match the published
+// structural properties that drive the paper's algorithms: input and
+// output counts, %DC, complexity factor C^f, and — via the expected
+// complexity factor E[C^f] = f0²+f1²+fDC² — the on/off signal
+// probability split. The paper's own random1–random3 benchmarks were
+// generated exactly this way by the authors.
+//
+// On/off splits below are recovered from Table 1 by solving
+// f0+f1 = 1−fDC and f0²+f1² = E[C^f]−fDC² per benchmark.
+package benchmarks
+
+import (
+	"fmt"
+	"sync"
+
+	"relsyn/internal/synthetic"
+	"relsyn/internal/tt"
+)
+
+// Spec describes one suite benchmark's published properties (paper
+// Table 1) and the generator parameters that realize them.
+type Spec struct {
+	Name    string
+	Inputs  int
+	Outputs int
+	// Published properties (targets for the stand-in).
+	DCFraction float64 // %DC / 100
+	ExpectedCf float64 // E[C^f]
+	Cf         float64 // measured C^f
+	// OnFraction implied by (DCFraction, ExpectedCf); the smaller care
+	// phase is assigned to the on-set, the PLA convention.
+	OnFraction float64
+	Seed       int64
+}
+
+// Specs lists the twelve Table 1 benchmarks in paper order.
+func Specs() []Spec {
+	return []Spec{
+		{Name: "bench", Inputs: 6, Outputs: 8, DCFraction: 0.689, ExpectedCf: 0.533, Cf: 0.540, OnFraction: 0.085, Seed: 1001},
+		{Name: "fout", Inputs: 6, Outputs: 10, DCFraction: 0.414, ExpectedCf: 0.351, Cf: 0.338, OnFraction: 0.230, Seed: 1002},
+		{Name: "p3", Inputs: 8, Outputs: 14, DCFraction: 0.796, ExpectedCf: 0.671, Cf: 0.805, OnFraction: 0.011, Seed: 1003},
+		{Name: "p1", Inputs: 8, Outputs: 18, DCFraction: 0.777, ExpectedCf: 0.641, Cf: 0.788, OnFraction: 0.032, Seed: 1004},
+		{Name: "exp", Inputs: 8, Outputs: 18, DCFraction: 0.772, ExpectedCf: 0.644, Cf: 0.788, OnFraction: 0.009, Seed: 1005},
+		{Name: "test4", Inputs: 8, Outputs: 30, DCFraction: 0.715, ExpectedCf: 0.560, Cf: 0.557, OnFraction: 0.079, Seed: 1006},
+		{Name: "ex1010", Inputs: 10, Outputs: 10, DCFraction: 0.703, ExpectedCf: 0.540, Cf: 0.539, OnFraction: 0.119, Seed: 1007},
+		{Name: "exam", Inputs: 10, Outputs: 10, DCFraction: 0.868, ExpectedCf: 0.768, Cf: 0.802, OnFraction: 0.012, Seed: 1008},
+		{Name: "t4", Inputs: 12, Outputs: 8, DCFraction: 0.439, ExpectedCf: 0.477, Cf: 0.867, OnFraction: 0.029, Seed: 1009},
+		{Name: "random1", Inputs: 12, Outputs: 12, DCFraction: 0.686, ExpectedCf: 0.52, Cf: 0.49, OnFraction: 0.150, Seed: 1010},
+		{Name: "random2", Inputs: 12, Outputs: 12, DCFraction: 0.686, ExpectedCf: 0.52, Cf: 0.667, OnFraction: 0.150, Seed: 1011},
+		{Name: "random3", Inputs: 12, Outputs: 12, DCFraction: 0.686, ExpectedCf: 0.52, Cf: 0.826, OnFraction: 0.150, Seed: 1012},
+	}
+}
+
+var (
+	cacheMu sync.Mutex
+	cache   = map[string]*tt.Function{}
+)
+
+// Load generates (or returns the cached) stand-in for the named
+// benchmark. Generation is deterministic per name.
+func Load(name string) (*tt.Function, error) {
+	cacheMu.Lock()
+	defer cacheMu.Unlock()
+	if f, ok := cache[name]; ok {
+		return f.Clone(), nil
+	}
+	for _, s := range Specs() {
+		if s.Name != name {
+			continue
+		}
+		f, err := generate(s)
+		if err != nil {
+			return nil, err
+		}
+		cache[name] = f
+		return f.Clone(), nil
+	}
+	return nil, fmt.Errorf("benchmarks: unknown benchmark %q", name)
+}
+
+// LoadAll generates the whole suite in paper order.
+func LoadAll() ([]*tt.Function, error) {
+	var out []*tt.Function
+	for _, s := range Specs() {
+		f, err := Load(s.Name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+func generate(s Spec) (*tt.Function, error) {
+	f, err := synthetic.Generate(synthetic.Params{
+		Inputs:     s.Inputs,
+		Outputs:    s.Outputs,
+		DCFraction: s.DCFraction,
+		OnFraction: s.OnFraction,
+		TargetCf:   s.Cf,
+		Tolerance:  0.02,
+		Seed:       s.Seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("benchmarks: generating %s: %w", s.Name, err)
+	}
+	f.Name = s.Name
+	return f, nil
+}

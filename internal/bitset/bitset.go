@@ -1,0 +1,367 @@
+// Package bitset provides dense fixed-size bit vectors.
+//
+// A Set indexes minterms of an n-input Boolean function: bit i corresponds
+// to the minterm whose binary encoding is i (input 0 is the least
+// significant bit). All paper metrics (complexity factor, error rates,
+// border counts) reduce to bulk operations over such sets, so the package
+// favors word-at-a-time operations.
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+const wordBits = 64
+
+// Set is a fixed-capacity bit vector. The zero value is an empty set of
+// capacity 0; use New to allocate capacity. Operations that combine two
+// sets require equal capacity and panic otherwise: mismatched capacities
+// indicate mixing functions with different input counts, which is a
+// programming error rather than a runtime condition.
+type Set struct {
+	n     int
+	words []uint64
+}
+
+// New returns an empty set with capacity for n bits.
+func New(n int) *Set {
+	if n < 0 {
+		panic("bitset: negative capacity")
+	}
+	return &Set{n: n, words: make([]uint64, (n+wordBits-1)/wordBits)}
+}
+
+// Len returns the capacity in bits.
+func (s *Set) Len() int { return s.n }
+
+// Words exposes the backing words for read-only bulk scans.
+// The final word's bits beyond Len are always zero.
+func (s *Set) Words() []uint64 { return s.words }
+
+func (s *Set) check(i int) {
+	if i < 0 || i >= s.n {
+		panic(fmt.Sprintf("bitset: index %d out of range [0,%d)", i, s.n))
+	}
+}
+
+// Test reports whether bit i is set.
+func (s *Set) Test(i int) bool {
+	s.check(i)
+	return s.words[i/wordBits]&(1<<(uint(i)%wordBits)) != 0
+}
+
+// Set sets bit i.
+func (s *Set) Set(i int) {
+	s.check(i)
+	s.words[i/wordBits] |= 1 << (uint(i) % wordBits)
+}
+
+// Clear clears bit i.
+func (s *Set) Clear(i int) {
+	s.check(i)
+	s.words[i/wordBits] &^= 1 << (uint(i) % wordBits)
+}
+
+// SetTo sets bit i to v.
+func (s *Set) SetTo(i int, v bool) {
+	if v {
+		s.Set(i)
+	} else {
+		s.Clear(i)
+	}
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	c := 0
+	for _, w := range s.words {
+		c += bits.OnesCount64(w)
+	}
+	return c
+}
+
+// None reports whether the set is empty.
+func (s *Set) None() bool {
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Any reports whether at least one bit is set.
+func (s *Set) Any() bool { return !s.None() }
+
+// Clone returns a deep copy.
+func (s *Set) Clone() *Set {
+	c := &Set{n: s.n, words: make([]uint64, len(s.words))}
+	copy(c.words, s.words)
+	return c
+}
+
+// Copy overwrites s with the contents of o.
+func (s *Set) Copy(o *Set) {
+	s.mustMatch(o)
+	copy(s.words, o.words)
+}
+
+// Reset clears all bits.
+func (s *Set) Reset() {
+	for i := range s.words {
+		s.words[i] = 0
+	}
+}
+
+// FillAll sets all n bits.
+func (s *Set) FillAll() {
+	for i := range s.words {
+		s.words[i] = ^uint64(0)
+	}
+	s.trim()
+}
+
+func (s *Set) trim() {
+	if rem := s.n % wordBits; rem != 0 && len(s.words) > 0 {
+		s.words[len(s.words)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+func (s *Set) mustMatch(o *Set) {
+	if s.n != o.n {
+		panic(fmt.Sprintf("bitset: capacity mismatch %d vs %d", s.n, o.n))
+	}
+}
+
+// InPlaceUnion sets s = s | o.
+func (s *Set) InPlaceUnion(o *Set) {
+	s.mustMatch(o)
+	for i, w := range o.words {
+		s.words[i] |= w
+	}
+}
+
+// InPlaceIntersect sets s = s & o.
+func (s *Set) InPlaceIntersect(o *Set) {
+	s.mustMatch(o)
+	for i, w := range o.words {
+		s.words[i] &= w
+	}
+}
+
+// InPlaceDifference sets s = s &^ o.
+func (s *Set) InPlaceDifference(o *Set) {
+	s.mustMatch(o)
+	for i, w := range o.words {
+		s.words[i] &^= w
+	}
+}
+
+// InPlaceSymDiff sets s = s ^ o.
+func (s *Set) InPlaceSymDiff(o *Set) {
+	s.mustMatch(o)
+	for i, w := range o.words {
+		s.words[i] ^= w
+	}
+}
+
+// Union returns s | o as a new set.
+func (s *Set) Union(o *Set) *Set {
+	c := s.Clone()
+	c.InPlaceUnion(o)
+	return c
+}
+
+// Intersect returns s & o as a new set.
+func (s *Set) Intersect(o *Set) *Set {
+	c := s.Clone()
+	c.InPlaceIntersect(o)
+	return c
+}
+
+// Difference returns s &^ o as a new set.
+func (s *Set) Difference(o *Set) *Set {
+	c := s.Clone()
+	c.InPlaceDifference(o)
+	return c
+}
+
+// Complement returns the complement of s within its capacity.
+func (s *Set) Complement() *Set {
+	c := s.Clone()
+	for i := range c.words {
+		c.words[i] = ^c.words[i]
+	}
+	c.trim()
+	return c
+}
+
+// IntersectsWith reports whether s & o is non-empty.
+func (s *Set) IntersectsWith(o *Set) bool {
+	s.mustMatch(o)
+	for i, w := range o.words {
+		if s.words[i]&w != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// IntersectionCount returns |s & o| without allocating.
+func (s *Set) IntersectionCount(o *Set) int {
+	s.mustMatch(o)
+	c := 0
+	for i, w := range o.words {
+		c += bits.OnesCount64(s.words[i] & w)
+	}
+	return c
+}
+
+// SubsetOf reports whether every bit of s is also in o.
+func (s *Set) SubsetOf(o *Set) bool {
+	s.mustMatch(o)
+	for i, w := range s.words {
+		if w&^o.words[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Equal reports whether the two sets hold identical bits.
+func (s *Set) Equal(o *Set) bool {
+	if s.n != o.n {
+		return false
+	}
+	for i, w := range s.words {
+		if w != o.words[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// NextSet returns the index of the first set bit at or after i, or -1.
+func (s *Set) NextSet(i int) int {
+	if i < 0 {
+		i = 0
+	}
+	if i >= s.n {
+		return -1
+	}
+	wi := i / wordBits
+	w := s.words[wi] >> (uint(i) % wordBits)
+	if w != 0 {
+		return i + bits.TrailingZeros64(w)
+	}
+	for wi++; wi < len(s.words); wi++ {
+		if s.words[wi] != 0 {
+			return wi*wordBits + bits.TrailingZeros64(s.words[wi])
+		}
+	}
+	return -1
+}
+
+// ForEach calls fn for every set bit in ascending order.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.words {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*wordBits + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Indices returns the indices of all set bits in ascending order.
+func (s *Set) Indices() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// ShiftXor returns a new set t with t[i] = s[i XOR 1<<bit]; that is, each
+// minterm is mapped to its 1-Hamming neighbor along input `bit`. Since
+// XOR with a power of two is an involution, applying ShiftXor twice yields
+// the original set. For bit < 6 the permutation acts inside each word and
+// is computed with masked shifts; for larger bits it swaps whole words.
+func (s *Set) ShiftXor(bit int) *Set {
+	if s.n == 0 || s.n&(s.n-1) != 0 {
+		panic(fmt.Sprintf("bitset: ShiftXor requires power-of-two capacity, got %d", s.n))
+	}
+	if bit < 0 || (s.n > 1 && bit >= bits.Len(uint(s.n-1))) {
+		panic(fmt.Sprintf("bitset: ShiftXor bit %d out of range for capacity %d", bit, s.n))
+	}
+	c := New(s.n)
+	if bit < 6 {
+		sh := uint(1) << uint(bit)
+		mask := xorMasks[bit]
+		for i, w := range s.words {
+			// Bits whose `bit` is 0 move up by sh; bits whose `bit` is 1 move down.
+			c.words[i] = (w&mask)<<sh | (w>>sh)&mask
+		}
+	} else {
+		stride := 1 << uint(bit-6) // distance in words
+		for i := range s.words {
+			c.words[i] = s.words[i^stride]
+		}
+	}
+	c.trim()
+	return c
+}
+
+// VarPattern returns the set of indices i in [0,n) whose bit v is 1 —
+// the truth table of input variable v over a 2^k minterm space. n must be
+// a power of two with v < log2(n).
+func VarPattern(n, v int) *Set {
+	if n <= 0 || n&(n-1) != 0 {
+		panic(fmt.Sprintf("bitset: VarPattern requires power-of-two capacity, got %d", n))
+	}
+	if v < 0 || 1<<uint(v) >= n {
+		panic(fmt.Sprintf("bitset: VarPattern bit %d out of range for capacity %d", v, n))
+	}
+	s := New(n)
+	if v < 6 {
+		pat := ^xorMasks[v] // bits where bit v of the index is 1
+		for i := range s.words {
+			s.words[i] = pat
+		}
+	} else {
+		stride := 1 << uint(v-6)
+		for i := range s.words {
+			if i&stride != 0 {
+				s.words[i] = ^uint64(0)
+			}
+		}
+	}
+	s.trim()
+	return s
+}
+
+// xorMasks[b] has a 1 in bit position i iff bit b of i is 0, for b in [0,6).
+var xorMasks = [6]uint64{
+	0x5555555555555555,
+	0x3333333333333333,
+	0x0f0f0f0f0f0f0f0f,
+	0x00ff00ff00ff00ff,
+	0x0000ffff0000ffff,
+	0x00000000ffffffff,
+}
+
+// String renders the set as indices, e.g. "{1, 5, 9}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			b.WriteString(", ")
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+	})
+	b.WriteByte('}')
+	return b.String()
+}

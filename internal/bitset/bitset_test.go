@@ -1,0 +1,317 @@
+package bitset
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewEmpty(t *testing.T) {
+	s := New(100)
+	if s.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", s.Len())
+	}
+	if s.Count() != 0 || s.Any() {
+		t.Fatalf("new set not empty: count=%d", s.Count())
+	}
+}
+
+func TestSetTestClear(t *testing.T) {
+	s := New(130)
+	for _, i := range []int{0, 1, 63, 64, 65, 127, 128, 129} {
+		if s.Test(i) {
+			t.Fatalf("bit %d set before Set", i)
+		}
+		s.Set(i)
+		if !s.Test(i) {
+			t.Fatalf("bit %d not set after Set", i)
+		}
+	}
+	if got := s.Count(); got != 8 {
+		t.Fatalf("Count = %d, want 8", got)
+	}
+	s.Clear(64)
+	if s.Test(64) {
+		t.Fatal("bit 64 still set after Clear")
+	}
+	s.SetTo(64, true)
+	if !s.Test(64) {
+		t.Fatal("SetTo(true) did not set")
+	}
+	s.SetTo(64, false)
+	if s.Test(64) {
+		t.Fatal("SetTo(false) did not clear")
+	}
+}
+
+func TestOutOfRangePanics(t *testing.T) {
+	s := New(10)
+	for _, fn := range []func(){
+		func() { s.Test(10) },
+		func() { s.Set(-1) },
+		func() { s.Clear(10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic for out-of-range index")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCapacityMismatchPanics(t *testing.T) {
+	a, b := New(10), New(11)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on capacity mismatch")
+		}
+	}()
+	a.InPlaceUnion(b)
+}
+
+func TestFillAllAndComplement(t *testing.T) {
+	for _, n := range []int{1, 63, 64, 65, 100, 128} {
+		s := New(n)
+		s.FillAll()
+		if s.Count() != n {
+			t.Fatalf("n=%d: FillAll count=%d", n, s.Count())
+		}
+		c := s.Complement()
+		if c.Any() {
+			t.Fatalf("n=%d: complement of full set not empty", n)
+		}
+		if !c.Complement().Equal(s) {
+			t.Fatalf("n=%d: double complement mismatch", n)
+		}
+	}
+}
+
+func randomSet(rng *rand.Rand, n int, density float64) *Set {
+	s := New(n)
+	for i := 0; i < n; i++ {
+		if rng.Float64() < density {
+			s.Set(i)
+		}
+	}
+	return s
+}
+
+func TestSetAlgebra(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(300)
+		a := randomSet(rng, n, 0.4)
+		b := randomSet(rng, n, 0.4)
+		u := a.Union(b)
+		x := a.Intersect(b)
+		d := a.Difference(b)
+		for i := 0; i < n; i++ {
+			if u.Test(i) != (a.Test(i) || b.Test(i)) {
+				t.Fatalf("union wrong at %d", i)
+			}
+			if x.Test(i) != (a.Test(i) && b.Test(i)) {
+				t.Fatalf("intersect wrong at %d", i)
+			}
+			if d.Test(i) != (a.Test(i) && !b.Test(i)) {
+				t.Fatalf("difference wrong at %d", i)
+			}
+		}
+		// |A| + |B| = |A∪B| + |A∩B|
+		if a.Count()+b.Count() != u.Count()+x.Count() {
+			t.Fatal("inclusion-exclusion violated")
+		}
+		if x.Count() != a.IntersectionCount(b) {
+			t.Fatal("IntersectionCount mismatch")
+		}
+		if a.IntersectsWith(b) != x.Any() {
+			t.Fatal("IntersectsWith mismatch")
+		}
+		if !x.SubsetOf(a) || !x.SubsetOf(b) || !a.SubsetOf(u) {
+			t.Fatal("SubsetOf violated")
+		}
+	}
+}
+
+func TestInPlaceOpsMatchPure(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for trial := 0; trial < 30; trial++ {
+		n := 1 + rng.Intn(200)
+		a := randomSet(rng, n, 0.5)
+		b := randomSet(rng, n, 0.5)
+
+		u := a.Clone()
+		u.InPlaceUnion(b)
+		if !u.Equal(a.Union(b)) {
+			t.Fatal("InPlaceUnion mismatch")
+		}
+		x := a.Clone()
+		x.InPlaceIntersect(b)
+		if !x.Equal(a.Intersect(b)) {
+			t.Fatal("InPlaceIntersect mismatch")
+		}
+		d := a.Clone()
+		d.InPlaceDifference(b)
+		if !d.Equal(a.Difference(b)) {
+			t.Fatal("InPlaceDifference mismatch")
+		}
+		sd := a.Clone()
+		sd.InPlaceSymDiff(b)
+		want := a.Union(b).Difference(a.Intersect(b))
+		if !sd.Equal(want) {
+			t.Fatal("InPlaceSymDiff mismatch")
+		}
+	}
+}
+
+func TestNextSetAndForEach(t *testing.T) {
+	s := New(200)
+	want := []int{3, 64, 65, 130, 199}
+	for _, i := range want {
+		s.Set(i)
+	}
+	var got []int
+	for i := s.NextSet(0); i != -1; i = s.NextSet(i + 1) {
+		got = append(got, i)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("NextSet walk got %v want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("NextSet walk got %v want %v", got, want)
+		}
+	}
+	var fe []int
+	s.ForEach(func(i int) { fe = append(fe, i) })
+	if len(fe) != len(want) {
+		t.Fatalf("ForEach got %v", fe)
+	}
+	idx := s.Indices()
+	for i := range want {
+		if fe[i] != want[i] || idx[i] != want[i] {
+			t.Fatalf("ForEach/Indices mismatch at %d", i)
+		}
+	}
+	if s.NextSet(200) != -1 {
+		t.Fatal("NextSet past end should be -1")
+	}
+}
+
+func TestShiftXorSmall(t *testing.T) {
+	// n = 16 minterms (4 variables). Set minterm 0b0101 = 5.
+	s := New(16)
+	s.Set(5)
+	for bit := 0; bit < 4; bit++ {
+		got := s.ShiftXor(bit)
+		want := 5 ^ (1 << bit)
+		if got.Count() != 1 || !got.Test(want) {
+			t.Fatalf("ShiftXor(%d): got %v, want {%d}", bit, got, want)
+		}
+	}
+}
+
+func TestShiftXorInvolution(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, logn := range []int{1, 3, 6, 7, 9, 12} {
+		n := 1 << logn
+		s := randomSet(rng, n, 0.3)
+		for bit := 0; bit < logn; bit++ {
+			twice := s.ShiftXor(bit).ShiftXor(bit)
+			if !twice.Equal(s) {
+				t.Fatalf("n=%d bit=%d: ShiftXor not an involution", n, bit)
+			}
+		}
+	}
+}
+
+func TestShiftXorMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, logn := range []int{2, 5, 6, 8, 10} {
+		n := 1 << logn
+		s := randomSet(rng, n, 0.4)
+		for bit := 0; bit < logn; bit++ {
+			fast := s.ShiftXor(bit)
+			slow := New(n)
+			for i := 0; i < n; i++ {
+				if s.Test(i ^ (1 << bit)) {
+					slow.Set(i)
+				}
+			}
+			if !fast.Equal(slow) {
+				t.Fatalf("n=%d bit=%d: ShiftXor mismatch", n, bit)
+			}
+		}
+	}
+}
+
+func TestShiftXorPreservesCount(t *testing.T) {
+	f := func(seed int64, bitRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 << 9
+		s := randomSet(rng, n, 0.5)
+		bit := int(bitRaw) % 9
+		return s.ShiftXor(bit).Count() == s.Count()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShiftXorRejectsNonPowerOfTwo(t *testing.T) {
+	s := New(100)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-power-of-two capacity")
+		}
+	}()
+	s.ShiftXor(0)
+}
+
+func TestString(t *testing.T) {
+	s := New(10)
+	s.Set(1)
+	s.Set(5)
+	if got := s.String(); got != "{1, 5}" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := New(3).String(); got != "{}" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	a := New(64)
+	a.Set(10)
+	b := a.Clone()
+	b.Set(20)
+	if a.Test(20) {
+		t.Fatal("Clone shares storage with original")
+	}
+	c := New(64)
+	c.Copy(b)
+	c.Clear(10)
+	if !b.Test(10) {
+		t.Fatal("Copy shares storage")
+	}
+}
+
+func BenchmarkShiftXorLowBit(b *testing.B) {
+	s := New(1 << 16)
+	s.FillAll()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.ShiftXor(3)
+	}
+}
+
+func BenchmarkShiftXorHighBit(b *testing.B) {
+	s := New(1 << 16)
+	s.FillAll()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.ShiftXor(12)
+	}
+}

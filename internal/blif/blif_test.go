@@ -1,0 +1,165 @@
+package blif
+
+import (
+	"bytes"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"relsyn/internal/network"
+	"relsyn/internal/synth"
+	"relsyn/internal/tt"
+)
+
+func buildNetwork(t *testing.T, seed int64, n, m int) *network.Network {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	f := tt.New(n, m)
+	for o := 0; o < m; o++ {
+		for mm := 0; mm < f.Size(); mm++ {
+			r := rng.Float64()
+			switch {
+			case r < 0.3:
+				f.SetPhase(o, mm, tt.DC)
+			case r < 0.65:
+				f.SetPhase(o, mm, tt.On)
+			}
+		}
+	}
+	res, err := synth.Synthesize(f, synth.Options{Objective: synth.OptimizePower})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := network.FromAIG(res.Graph, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nw
+}
+
+func TestRoundTrip(t *testing.T) {
+	for seed := int64(0); seed < 5; seed++ {
+		nw := buildNetwork(t, 201+seed, 5, 2)
+		var buf bytes.Buffer
+		if err := WriteNetwork(&buf, nw, "test"); err != nil {
+			t.Fatal(err)
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("seed %d: %v\nsource:\n%s", seed, err, buf.String())
+		}
+		if back.NumPI != nw.NumPI || len(back.POs) != len(nw.POs) {
+			t.Fatal("interface mismatch after round trip")
+		}
+		for m := uint(0); m < 1<<uint(nw.NumPI); m++ {
+			a, b := nw.Eval(m), back.Eval(m)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("seed %d: PO %d differs at minterm %d", seed, i, m)
+				}
+			}
+		}
+	}
+}
+
+func TestParseHandwritten(t *testing.T) {
+	src := `
+# full adder
+.model fa
+.inputs a b cin
+.outputs sum cout
+.names a b cin sum
+100 1
+010 1
+001 1
+111 1
+.names a b cin cout
+11- 1
+1-1 1
+-11 1
+.end
+`
+	nw, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumPI != 3 || len(nw.POs) != 2 {
+		t.Fatalf("interface wrong: %d inputs, %d outputs", nw.NumPI, len(nw.POs))
+	}
+	for m := uint(0); m < 8; m++ {
+		a := m&1 == 1
+		b := m>>1&1 == 1
+		c := m>>2&1 == 1
+		n := 0
+		for _, v := range []bool{a, b, c} {
+			if v {
+				n++
+			}
+		}
+		out := nw.Eval(m)
+		if out[0] != (n%2 == 1) {
+			t.Fatalf("sum wrong at %03b", m)
+		}
+		if out[1] != (n >= 2) {
+			t.Fatalf("cout wrong at %03b", m)
+		}
+	}
+}
+
+func TestParseZeroRows(t *testing.T) {
+	// '0' rows define the off-set; the function is the complement.
+	src := ".model z\n.inputs a b\n.outputs y\n.names a b y\n11 0\n.end\n"
+	nw, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m := uint(0); m < 4; m++ {
+		want := m != 3
+		if nw.Eval(m)[0] != want {
+			t.Fatalf("complement semantics wrong at %02b", m)
+		}
+	}
+}
+
+func TestParseConstants(t *testing.T) {
+	src := ".model c\n.inputs a\n.outputs z0 z1\n.names z0\n.names z1\n1\n.end\n"
+	nw, err := Parse(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := nw.Eval(0)
+	if out[0] != false || out[1] != true {
+		t.Fatalf("constants wrong: %v", out)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		".model x\n.inputs a\n.outputs y\n.names a y\n1 1\n.names a y\n0 1\n.end\n", // double drive
+		".model x\n.inputs a\n.outputs y\n.end\n",                                   // undriven output
+		".model x\n.inputs a\n.outputs y\n.latch a y\n.end\n",                       // latch
+		".model x\n.inputs a\n.outputs y\n.names a y\n1 1\n0 0\n.end\n",             // mixed planes
+		".model x\n.inputs a\n.outputs y\n.names y a y\n1- 1\n.end\n",               // cycle (y depends on y)
+		"", // empty
+		".model x\n.inputs a b c d e f g\n.outputs y\n.names a b c d e f g y\n1111111 1\n.end\n", // too many fanins
+	}
+	for i, src := range cases {
+		if _, err := Parse(strings.NewReader(src)); err == nil {
+			t.Errorf("case %d: no error", i)
+		}
+	}
+}
+
+func TestWriteFormat(t *testing.T) {
+	nw := buildNetwork(t, 301, 4, 1)
+	var buf bytes.Buffer
+	if err := WriteNetwork(&buf, nw, "m1"); err != nil {
+		t.Fatal(err)
+	}
+	src := buf.String()
+	for _, want := range []string{".model m1", ".inputs i0 i1 i2 i3", ".outputs o0", ".end"} {
+		if !strings.Contains(src, want) {
+			t.Fatalf("missing %q in:\n%s", want, src)
+		}
+	}
+}

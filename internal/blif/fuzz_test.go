@@ -1,0 +1,41 @@
+package blif
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the BLIF parser never panics and that accepted
+// networks survive a write/parse round trip functionally.
+func FuzzParse(f *testing.F) {
+	f.Add(".model m\n.inputs a b\n.outputs y\n.names a b y\n11 1\n.end\n")
+	f.Add(".model m\n.inputs a\n.outputs y z\n.names a y\n0 1\n.names z\n1\n.end\n")
+	f.Add(".model m\n.inputs a b c\n.outputs s\n.names a b c s\n100 1\n010 1\n001 1\n111 1\n.end\n")
+	f.Add("garbage\n.names x\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		nw, err := Parse(strings.NewReader(src))
+		if err != nil {
+			return
+		}
+		if nw.NumPI > 10 || nw.NumNodes() > 200 {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteNetwork(&buf, nw, "fz"); err != nil {
+			t.Fatalf("write failed on accepted network: %v", err)
+		}
+		back, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("round trip parse failed: %v\n%s", err, buf.String())
+		}
+		for m := uint(0); m < 1<<uint(nw.NumPI); m++ {
+			a, b := nw.Eval(m), back.Eval(m)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("round trip changed PO %d at minterm %d", i, m)
+				}
+			}
+		}
+	})
+}

@@ -1,0 +1,283 @@
+package cec
+
+import (
+	"math/rand"
+	"testing"
+
+	"relsyn/internal/aig"
+	"relsyn/internal/core"
+	"relsyn/internal/synth"
+	"relsyn/internal/tt"
+)
+
+func randomFunction(rng *rand.Rand, n, m int, dcFrac float64) *tt.Function {
+	f := tt.New(n, m)
+	for o := 0; o < m; o++ {
+		for mm := 0; mm < f.Size(); mm++ {
+			r := rng.Float64()
+			switch {
+			case r < dcFrac:
+				f.SetPhase(o, mm, tt.DC)
+			case r < dcFrac+(1-dcFrac)/2:
+				f.SetPhase(o, mm, tt.On)
+			}
+		}
+	}
+	return f
+}
+
+func TestEquivalentRestructurings(t *testing.T) {
+	rng := rand.New(rand.NewSource(221))
+	for trial := 0; trial < 6; trial++ {
+		f := randomFunction(rng, 5+rng.Intn(3), 1+rng.Intn(3), 0)
+		a, err := synth.Synthesize(f, synth.Options{Flow: synth.FlowSOP})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := synth.Synthesize(f, synth.Options{Flow: synth.FlowResyn})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq, cex, err := Check(a.Graph, b.Graph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatalf("trial %d: equivalent flows reported different (cex %+v)", trial, cex)
+		}
+	}
+}
+
+func TestBalanceAndCleanupEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(222))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(rng, 6, 60, 3)
+		eq, _, err := Check(g, g.Balance())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatal("Balance broke equivalence (or cec is wrong)")
+		}
+		eq, _, err = Check(g, g.Cleanup())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !eq {
+			t.Fatal("Cleanup broke equivalence (or cec is wrong)")
+		}
+	}
+}
+
+// Different DC assignments give inequivalent circuits; cec must find a
+// concrete distinguishing input lying inside the original DC set.
+func TestInequivalentWithCounterexample(t *testing.T) {
+	rng := rand.New(rand.NewSource(223))
+	found := 0
+	for trial := 0; trial < 10 && found < 5; trial++ {
+		f := randomFunction(rng, 6, 1, 0.5)
+		conv, err := synth.Synthesize(f, synth.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		comp, err := synth.Synthesize(core.Complete(f).Func, synth.Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		eq, cex, err := Check(conv.Graph, comp.Graph)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if eq {
+			continue // assignments happened to coincide
+		}
+		found++
+		// Validate the counterexample against both graphs directly.
+		va := conv.Graph.Eval(cex.Minterm)[cex.Output]
+		vb := comp.Graph.Eval(cex.Minterm)[cex.Output]
+		if va == vb {
+			t.Fatalf("counterexample %+v does not distinguish the circuits", cex)
+		}
+		// The distinguishing input must be a DC minterm of the spec.
+		if f.Phase(cex.Output, int(cex.Minterm)) != tt.DC {
+			t.Fatalf("counterexample %+v lies in the care set (both circuits implement f!)", cex)
+		}
+	}
+	if found == 0 {
+		t.Fatal("no inequivalent pair found in 10 trials (suspicious)")
+	}
+}
+
+func TestCheckAgainstExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(224))
+	for trial := 0; trial < 20; trial++ {
+		g1 := randomGraph(rng, 5, 30, 2)
+		var g2 *aig.Graph
+		if rng.Intn(2) == 0 {
+			g2 = g1.Balance() // equivalent
+		} else {
+			g2 = mutate(rng, g1) // possibly different
+		}
+		want := exhaustiveEqual(g1, g2)
+		got, cex, err := Check(g1, g2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("trial %d: cec=%v exhaustive=%v", trial, got, want)
+		}
+		if !got {
+			if g1.Eval(cex.Minterm)[cex.Output] == g2.Eval(cex.Minterm)[cex.Output] {
+				t.Fatalf("trial %d: invalid counterexample", trial)
+			}
+		}
+	}
+}
+
+func TestInterfaceMismatch(t *testing.T) {
+	a, b := aig.New(2), aig.New(3)
+	a.AddPO(a.PI(0))
+	b.AddPO(b.PI(0))
+	if _, _, err := Check(a, b); err == nil {
+		t.Fatal("interface mismatch accepted")
+	}
+}
+
+func TestConstantOutputs(t *testing.T) {
+	a, b := aig.New(2), aig.New(2)
+	a.AddPO(aig.ConstTrue)
+	b.AddPO(b.Or(b.PI(0), b.PI(0).Not())) // also constant true after strash
+	eq, _, err := Check(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("two constant-true outputs reported different")
+	}
+	c := aig.New(2)
+	c.AddPO(aig.ConstFalse)
+	eq, cex, err := Check(a, c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if eq || cex == nil {
+		t.Fatal("constant true vs false reported equivalent")
+	}
+}
+
+func exhaustiveEqual(a, b *aig.Graph) bool {
+	for m := uint(0); m < 1<<uint(a.NumPI()); m++ {
+		va, vb := a.Eval(m), b.Eval(m)
+		for i := range va {
+			if va[i] != vb[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func randomGraph(rng *rand.Rand, numPI, ands, pos int) *aig.Graph {
+	g := aig.New(numPI)
+	lits := []aig.Lit{}
+	for i := 0; i < numPI; i++ {
+		lits = append(lits, g.PI(i))
+	}
+	for i := 0; i < ands; i++ {
+		a := lits[rng.Intn(len(lits))]
+		b := lits[rng.Intn(len(lits))]
+		if rng.Intn(2) == 0 {
+			a = a.Not()
+		}
+		if rng.Intn(2) == 0 {
+			b = b.Not()
+		}
+		lits = append(lits, g.And(a, b))
+	}
+	for i := 0; i < pos; i++ {
+		l := lits[rng.Intn(len(lits))]
+		if rng.Intn(2) == 0 {
+			l = l.Not()
+		}
+		g.AddPO(l)
+	}
+	return g.Cleanup()
+}
+
+// mutate rebuilds g with one PO possibly complemented.
+func mutate(rng *rand.Rand, g *aig.Graph) *aig.Graph {
+	out := g.Cleanup()
+	// Rebuild with a complemented PO by reconstructing: easiest is a new
+	// graph that re-evaluates g and flips one output.
+	h := aig.New(g.NumPI())
+	mapped := make([]aig.Lit, 0, g.NumPO())
+	// Copy structure via Eval-based truth tables is overkill; instead
+	// re-add POs from out and flip one.
+	for i := 0; i < out.NumPO(); i++ {
+		mapped = append(mapped, out.PO(i))
+	}
+	flip := rng.Intn(len(mapped))
+	rebuilt := rebuildInto(h, out)
+	for i, l := range rebuilt {
+		if i == flip {
+			l = l.Not()
+		}
+		h.AddPO(l)
+	}
+	return h
+}
+
+// rebuildInto copies out's PO cones into h and returns the PO literals.
+func rebuildInto(h *aig.Graph, src *aig.Graph) []aig.Lit {
+	memo := map[int]aig.Lit{0: aig.ConstFalse}
+	for i := 0; i < src.NumPI(); i++ {
+		memo[1+i] = h.PI(i)
+	}
+	var rec func(n int) aig.Lit
+	rec = func(n int) aig.Lit {
+		if l, ok := memo[n]; ok {
+			return l
+		}
+		f0, f1 := src.Fanins(n)
+		a := rec(f0.Node())
+		if f0.Compl() {
+			a = a.Not()
+		}
+		b := rec(f1.Node())
+		if f1.Compl() {
+			b = b.Not()
+		}
+		l := h.And(a, b)
+		memo[n] = l
+		return l
+	}
+	var outs []aig.Lit
+	for i := 0; i < src.NumPO(); i++ {
+		po := src.PO(i)
+		l := rec(po.Node())
+		if po.Compl() {
+			l = l.Not()
+		}
+		outs = append(outs, l)
+	}
+	return outs
+}
+
+func BenchmarkCheckEquivalent(b *testing.B) {
+	rng := rand.New(rand.NewSource(225))
+	f := randomFunction(rng, 8, 4, 0.3)
+	x, err := synth.Synthesize(f, synth.Options{Flow: synth.FlowSOP})
+	if err != nil {
+		b.Fatal(err)
+	}
+	y, err := synth.Synthesize(f, synth.Options{Flow: synth.FlowResyn})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if eq, _, err := Check(x.Graph, y.Graph); err != nil || !eq {
+			b.Fatal("check failed")
+		}
+	}
+}

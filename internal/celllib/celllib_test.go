@@ -1,0 +1,91 @@
+package celllib
+
+import "testing"
+
+func TestGeneric70Functions(t *testing.T) {
+	lib := Generic70()
+	// Spot-check truth tables: row bit i is pin i.
+	cases := []struct {
+		name string
+		rows map[uint]bool // row -> expected output
+	}{
+		{"INV", map[uint]bool{0: true, 1: false}},
+		{"NAND2", map[uint]bool{0: true, 1: true, 2: true, 3: false}},
+		{"NOR2", map[uint]bool{0: true, 1: false, 2: false, 3: false}},
+		{"XOR2", map[uint]bool{0: false, 1: true, 2: true, 3: false}},
+		{"AOI21", map[uint]bool{0: true, 3: false, 4: false, 7: false, 1: true}},
+		{"MUX2", map[uint]bool{0b000: false, 0b001: true, 0b100: false, 0b101: false, 0b110: true}},
+		{"MAJ3", map[uint]bool{0b011: true, 0b101: true, 0b001: false, 0b111: true}},
+	}
+	for _, tc := range cases {
+		c, err := lib.ByName(tc.name)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		for row, want := range tc.rows {
+			if got := c.Table>>row&1 == 1; got != want {
+				t.Errorf("%s row %b: got %v want %v", tc.name, row, got, want)
+			}
+		}
+	}
+}
+
+func TestLibraryWellFormed(t *testing.T) {
+	lib := Generic70()
+	seen := map[string]bool{}
+	for _, c := range lib.Cells {
+		if seen[c.Name] {
+			t.Errorf("duplicate cell %s", c.Name)
+		}
+		seen[c.Name] = true
+		if c.NumIn < 1 || c.NumIn > 4 {
+			t.Errorf("%s: bad arity %d", c.Name, c.NumIn)
+		}
+		if c.Area <= 0 || c.Delay <= 0 || c.InputCap <= 0 || c.Leakage <= 0 {
+			t.Errorf("%s: non-positive physical parameters", c.Name)
+		}
+		// Table must fit the arity.
+		if c.NumIn < 4 && c.Table >= 1<<(1<<uint(c.NumIn)) {
+			t.Errorf("%s: table has bits beyond 2^%d rows", c.Name, c.NumIn)
+		}
+		// Cells must not be constant functions.
+		mask := uint16(1)<<(1<<uint(c.NumIn)) - 1
+		if c.NumIn == 4 {
+			mask = 0xffff
+		}
+		if c.Table&mask == 0 || c.Table&mask == mask {
+			t.Errorf("%s: constant cell", c.Name)
+		}
+	}
+	if lib.Inv.Name != "INV" {
+		t.Error("designated inverter missing")
+	}
+	if _, err := lib.ByName("NOPE"); err == nil {
+		t.Error("unknown cell lookup should fail")
+	}
+}
+
+// Ordering sanity: an AND2 (two stages) must cost more area and delay
+// than a NAND2; XOR gates are the most expensive 2-input cells.
+func TestLibraryOrdering(t *testing.T) {
+	lib := Generic70()
+	get := func(n string) Cell {
+		c, err := lib.ByName(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	if !(get("AND2").Area > get("NAND2").Area) {
+		t.Error("AND2 should out-cost NAND2 in area")
+	}
+	if !(get("AND2").Delay > get("NAND2").Delay) {
+		t.Error("AND2 should be slower than NAND2")
+	}
+	if !(get("XOR2").Area > get("OR2").Area) {
+		t.Error("XOR2 should be the most expensive 2-input cell")
+	}
+	if !(get("INV").Area < get("NAND2").Area) {
+		t.Error("INV should be the cheapest cell")
+	}
+}

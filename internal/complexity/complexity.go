@@ -1,0 +1,122 @@
+// Package complexity implements the Boolean complexity-factor metrics of
+// the paper (§2.2 and §4).
+//
+// The (normalized) complexity factor of an n-input function f is
+//
+//	C^f = |{(x1,x2) : f(x1)=f(x2), D_H(x1,x2)=1}| / (n·2^n)
+//
+// counting ordered pairs of 1-Hamming neighbors that share a phase
+// (on/off/DC). It is the probability that a random neighbor of a random
+// minterm shares its phase; high C^f means a "simpler" function with a
+// smaller minimal SOP (the counter-intuitive historical definition the
+// paper inherits from Hurst/Miller/Muzio).
+//
+// The local complexity factor of a minterm x (paper §4) looks one more
+// step out:
+//
+//	LC^f(x) = |{(xj,xk) : D_H(x,xj)=1, D_H(xj,xk)=1, f(xj)=f(xk)}| / n²
+package complexity
+
+import (
+	"math/bits"
+
+	"relsyn/internal/tt"
+)
+
+// SamePhaseNeighbors returns, for every minterm m, the number of m's n
+// 1-Hamming neighbors that share m's phase in output o. This is the O(n·2^n)
+// kernel shared by Factor and Local.
+func SamePhaseNeighbors(f *tt.Function, o int) []int {
+	n := f.NumIn
+	size := f.Size()
+	out := f.Outs[o]
+	on, dc := out.On, out.DC
+
+	same := make([]int, size)
+	for b := 0; b < n; b++ {
+		onSh := on.ShiftXor(b)
+		dcSh := dc.ShiftXor(b)
+		// A pair (m, m^2^b) shares phase iff both on, both dc, or both off.
+		onW, dcW := on.Words(), dc.Words()
+		onShW, dcShW := onSh.Words(), dcSh.Words()
+		for wi := range onW {
+			bothOn := onW[wi] & onShW[wi]
+			bothDC := dcW[wi] & dcShW[wi]
+			bothOff := ^(onW[wi] | dcW[wi]) & ^(onShW[wi] | dcShW[wi])
+			match := bothOn | bothDC | bothOff
+			base := wi * 64
+			for match != 0 {
+				idx := base + bits.TrailingZeros64(match)
+				if idx < size {
+					same[idx]++
+				}
+				match &= match - 1
+			}
+		}
+	}
+	return same
+}
+
+// Factor returns C^f for output o.
+func Factor(f *tt.Function, o int) float64 {
+	same := SamePhaseNeighbors(f, o)
+	total := 0
+	for _, s := range same {
+		total += s
+	}
+	return float64(total) / float64(f.NumIn*f.Size())
+}
+
+// FactorMean returns the mean C^f across all outputs — the per-benchmark
+// figure reported in paper Table 1.
+func FactorMean(f *tt.Function) float64 {
+	sum := 0.0
+	for o := range f.Outs {
+		sum += Factor(f, o)
+	}
+	return sum / float64(f.NumOut())
+}
+
+// Expected returns E[C^f] for output o: the complexity factor a random
+// function with the same signal probabilities would have,
+// f0² + f1² + fDC² (paper §3.1).
+func Expected(f *tt.Function, o int) float64 {
+	f0, f1, fdc := f.SignalProbabilities(o)
+	return f0*f0 + f1*f1 + fdc*fdc
+}
+
+// ExpectedMean returns the mean E[C^f] across outputs.
+func ExpectedMean(f *tt.Function) float64 {
+	sum := 0.0
+	for o := range f.Outs {
+		sum += Expected(f, o)
+	}
+	return sum / float64(f.NumOut())
+}
+
+// Local returns LC^f for minterm m of output o.
+func Local(f *tt.Function, o, m int) float64 {
+	same := SamePhaseNeighbors(f, o)
+	return localFrom(f, same, m)
+}
+
+// LocalAll returns LC^f for every minterm of output o in one pass —
+// used by the complexity-factor-based assignment algorithm, which needs
+// the value for every DC minterm.
+func LocalAll(f *tt.Function, o int) []float64 {
+	same := SamePhaseNeighbors(f, o)
+	out := make([]float64, f.Size())
+	for m := range out {
+		out[m] = localFrom(f, same, m)
+	}
+	return out
+}
+
+func localFrom(f *tt.Function, same []int, m int) float64 {
+	n := f.NumIn
+	total := 0
+	for b := 0; b < n; b++ {
+		total += same[m^(1<<uint(b))]
+	}
+	return float64(total) / float64(n*n)
+}

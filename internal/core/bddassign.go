@@ -1,0 +1,174 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"relsyn/internal/bdd"
+	"relsyn/internal/tt"
+)
+
+// The *BDD variants below run the same algorithms as Ranking and LCF but
+// maintain and manipulate the on-, off-, and DC-sets as BDDs, the way
+// the paper's tool does with CUDD (§3: "the on-set, off-set, and DC-set
+// are independently maintained and manipulated using the CUDD BDD
+// package"). Neighbor membership tests use per-variable set flips
+// (Manager.FlipVar); DC minterms are enumerated straight off the DC-set
+// BDD. Results are bit-identical to the dense-truth-table variants —
+// the property tests in bddassign_test.go enforce this — so the dense
+// path is the default and these exist for large-support functions and
+// as an independent oracle.
+
+// outSets holds one output's three sets and their per-variable flips.
+type outSets struct {
+	man     *bdd.Manager
+	on, off bdd.Ref
+	dc      bdd.Ref
+	onFlip  []bdd.Ref // onFlip[b] = {x : x⊕e_b ∈ on}
+	offFlip []bdd.Ref
+	dcFlip  []bdd.Ref
+}
+
+func newOutSets(f *tt.Function, o int) *outSets {
+	n := f.NumIn
+	man := bdd.New(n)
+	s := &outSets{man: man}
+	s.on = man.FromBitset(f.Outs[o].On)
+	s.dc = man.FromBitset(f.Outs[o].DC)
+	s.off = man.And(man.Not(s.on), man.Not(s.dc))
+	for b := 0; b < n; b++ {
+		s.onFlip = append(s.onFlip, man.FlipVar(s.on, b))
+		s.offFlip = append(s.offFlip, man.FlipVar(s.off, b))
+		s.dcFlip = append(s.dcFlip, man.FlipVar(s.dc, b))
+	}
+	return s
+}
+
+// neighborCounts returns minterm m's on- and off-neighbor counts using
+// only BDD membership queries.
+func (s *outSets) neighborCounts(m uint) (on, off int) {
+	for b := range s.onFlip {
+		if s.man.Eval(s.onFlip[b], m) {
+			on++
+		}
+		if s.man.Eval(s.offFlip[b], m) {
+			off++
+		}
+	}
+	return on, off
+}
+
+// phase classifies minterm m from the set BDDs.
+func (s *outSets) phase(m uint) tt.Phase {
+	switch {
+	case s.man.Eval(s.dc, m):
+		return tt.DC
+	case s.man.Eval(s.on, m):
+		return tt.On
+	default:
+		return tt.Off
+	}
+}
+
+// decideBDD mirrors decide using BDD queries.
+func (s *outSets) decideBDD(o int, m uint, opt Options) (Assignment, bool) {
+	on, off := s.neighborCounts(m)
+	w := on - off
+	if w < 0 {
+		w = -w
+	}
+	a := Assignment{Output: o, Minterm: int(m), Weight: w}
+	switch {
+	case on > off:
+		a.Value = tt.On
+	case off > on:
+		a.Value = tt.Off
+	default:
+		if !opt.AssignTies {
+			return Assignment{}, false
+		}
+		a.Value = tt.Off
+	}
+	return a, true
+}
+
+// RankingBDD is Ranking computed over BDD set representations.
+func RankingBDD(f *tt.Function, fraction float64, opt Options) (*Result, error) {
+	if fraction < 0 || fraction > 1 {
+		return nil, fmt.Errorf("core: fraction %v outside [0,1]", fraction)
+	}
+	res := newResult(f)
+	for o := range f.Outs {
+		s := newOutSets(f, o)
+		var cands []Assignment
+		s.man.ForEachMinterm(s.dc, func(m uint) bool {
+			if a, ok := s.decideBDD(o, m, opt); ok {
+				cands = append(cands, a)
+			}
+			return true
+		})
+		sort.SliceStable(cands, func(i, j int) bool {
+			if cands[i].Weight != cands[j].Weight {
+				return cands[i].Weight > cands[j].Weight
+			}
+			return cands[i].Minterm < cands[j].Minterm
+		})
+		k := int(math.Round(fraction * float64(len(cands))))
+		res.apply(o, cands[:k])
+	}
+	return res, nil
+}
+
+// LCFBDD is LCF computed over BDD set representations. The local
+// complexity factor of a DC minterm x sums, over x's neighbors y, the
+// number of y's neighbors sharing y's phase — all via flipped-set
+// membership queries.
+func LCFBDD(f *tt.Function, threshold float64, opt Options) (*Result, error) {
+	if threshold < 0 || threshold > 1 {
+		return nil, fmt.Errorf("core: threshold %v outside [0,1]", threshold)
+	}
+	n := f.NumIn
+	res := newResult(f)
+	for o := range f.Outs {
+		s := newOutSets(f, o)
+		samePhaseNeighbors := func(y uint) int {
+			var flips []bdd.Ref
+			switch s.phase(y) {
+			case tt.On:
+				flips = s.onFlip
+			case tt.Off:
+				flips = s.offFlip
+			default:
+				flips = s.dcFlip
+			}
+			c := 0
+			for b := 0; b < n; b++ {
+				if s.man.Eval(flips[b], y) {
+					c++
+				}
+			}
+			return c
+		}
+		var sel []Assignment
+		s.man.ForEachMinterm(s.dc, func(m uint) bool {
+			total := 0
+			for b := 0; b < n; b++ {
+				total += samePhaseNeighbors(m ^ 1<<uint(b))
+			}
+			if float64(total)/float64(n*n) >= threshold {
+				return true
+			}
+			if a, ok := s.decideBDD(o, m, opt); ok {
+				sel = append(sel, a)
+			}
+			return true
+		})
+		// ForEachMinterm enumerates in bit-reversed order; the dense path
+		// visits minterms in ascending order. Normalize for bit-identical
+		// results.
+		sort.Slice(sel, func(i, j int) bool { return sel[i].Minterm < sel[j].Minterm })
+		res.apply(o, sel)
+	}
+	return res, nil
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"relsyn/internal/tt"
+)
+
+// The BDD-backed variants must be bit-identical to the dense variants:
+// same function, same assignment list, same order.
+
+func resultsEqual(a, b *Result) bool {
+	if !a.Func.Equal(b.Func) || len(a.Assigned) != len(b.Assigned) || a.TotalDCs != b.TotalDCs {
+		return false
+	}
+	for i := range a.Assigned {
+		if a.Assigned[i] != b.Assigned[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRankingBDDMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(151))
+	for trial := 0; trial < 20; trial++ {
+		f := randomFunction(rng, 3+rng.Intn(5), 1+rng.Intn(2), 0.5)
+		for _, fr := range []float64{0, 0.3, 0.7, 1} {
+			for _, opt := range []Options{{}, {AssignTies: true}} {
+				dense, err := Ranking(f, fr, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				viaBDD, err := RankingBDD(f, fr, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !resultsEqual(dense, viaBDD) {
+					t.Fatalf("trial %d fr=%v opt=%+v: BDD ranking diverges from dense",
+						trial, fr, opt)
+				}
+			}
+		}
+	}
+}
+
+func TestLCFBDDMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(152))
+	for trial := 0; trial < 20; trial++ {
+		f := randomFunction(rng, 3+rng.Intn(5), 1+rng.Intn(2), 0.5)
+		for _, th := range []float64{0, 0.4, 0.6, 1} {
+			dense, err := LCF(f, th, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			viaBDD, err := LCFBDD(f, th, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !resultsEqual(dense, viaBDD) {
+				t.Fatalf("trial %d th=%v: BDD LCF diverges from dense", trial, th)
+			}
+		}
+	}
+}
+
+func TestBDDVariantsValidateParameters(t *testing.T) {
+	f := tt.New(3, 1)
+	if _, err := RankingBDD(f, -0.5, Options{}); err == nil {
+		t.Fatal("negative fraction accepted")
+	}
+	if _, err := LCFBDD(f, 2, Options{}); err == nil {
+		t.Fatal("threshold > 1 accepted")
+	}
+}
+
+// quick-check style property: for random seeds, the two paths agree on
+// the count of assignments at a random threshold.
+func TestBDDLCFCountProperty(t *testing.T) {
+	f := func(seed int64, thRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fn := randomFunction(rng, 5, 1, 0.6)
+		th := float64(thRaw%100) / 100
+		a, err1 := LCF(fn, th, Options{})
+		b, err2 := LCFBDD(fn, th, Options{})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return len(a.Assigned) == len(b.Assigned)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkRankingDense8(b *testing.B) {
+	rng := rand.New(rand.NewSource(153))
+	f := randomFunction(rng, 8, 2, 0.6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Ranking(f, 1, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRankingBDD8(b *testing.B) {
+	rng := rand.New(rand.NewSource(153))
+	f := randomFunction(rng, 8, 2, 0.6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RankingBDD(f, 1, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

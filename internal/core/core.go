@@ -1,0 +1,233 @@
+// Package core implements the paper's contribution: reliability-driven
+// selective assignment of input don't-cares.
+//
+// Both algorithms decide, per DC minterm of each output, whether to bind
+// the minterm to the on- or off-set so that single-bit input errors from
+// neighboring specified minterms are masked, or to leave it don't-care for
+// the downstream (conventional, area-driven) optimizer:
+//
+//   - Ranking-based assignment (paper Fig. 3) ranks DC minterms by
+//     w = |#on-neighbors − #off-neighbors| and assigns the top fraction of
+//     the ranked list to the majority phase.
+//   - Complexity-factor-based assignment (paper Fig. 7) assigns a DC
+//     minterm iff its local complexity factor LC^f is below a threshold;
+//     low-LC^f neighborhoods are the ones where reliability can be bought
+//     without an area penalty (paper §3.1, Fig. 6).
+//
+// Neighbor counts and LC^f are computed once against the original
+// specification, matching the paper's algorithms (they are one-shot, not
+// iterated after each assignment).
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"relsyn/internal/complexity"
+	"relsyn/internal/tt"
+)
+
+// Assignment records one DC minterm decision.
+type Assignment struct {
+	Output  int
+	Minterm int
+	Value   tt.Phase // On or Off
+	Weight  int      // |on-neighbors − off-neighbors| at decision time
+}
+
+// Result is the outcome of an assignment pass.
+type Result struct {
+	// Func is a deep copy of the input with the selected DC minterms bound;
+	// unselected DCs remain don't-care for later conventional optimization.
+	Func *tt.Function
+	// Assigned lists every binding made, in application order.
+	Assigned []Assignment
+	// TotalDCs is the number of DC (output, minterm) pairs in the input.
+	TotalDCs int
+	// PerOutputFraction[o] is assigned-DCs / total-DCs for output o
+	// (0 when output o had no DCs).
+	PerOutputFraction []float64
+}
+
+// FractionAssigned returns assigned / total DCs over the whole function.
+func (r *Result) FractionAssigned() float64 {
+	if r.TotalDCs == 0 {
+		return 0
+	}
+	return float64(len(r.Assigned)) / float64(r.TotalDCs)
+}
+
+// Options tunes the assignment algorithms.
+type Options struct {
+	// AssignTies also binds DC minterms whose on- and off-neighbor counts
+	// are equal (to the off-set, following the `else` arm of paper Fig. 7).
+	// The default (false) leaves ties don't-care: a tie contributes nothing
+	// to error masking, so retaining flexibility is never worse. The paper's
+	// Fig. 3 excludes ties from the ranked list; its Fig. 7 pseudocode
+	// assigns them — set AssignTies to reproduce that literal behaviour.
+	AssignTies bool
+}
+
+// Ranking runs the ranking-based algorithm of paper Fig. 3, binding the
+// given fraction (in [0,1]) of each output's rankable DC minterms.
+func Ranking(f *tt.Function, fraction float64, opt Options) (*Result, error) {
+	if fraction < 0 || fraction > 1 {
+		return nil, fmt.Errorf("core: fraction %v outside [0,1]", fraction)
+	}
+	res := newResult(f)
+	for o := range f.Outs {
+		cands := rankCandidates(f, o, opt)
+		// Decreasing weight; ties broken by minterm index for determinism.
+		sort.SliceStable(cands, func(i, j int) bool {
+			if cands[i].Weight != cands[j].Weight {
+				return cands[i].Weight > cands[j].Weight
+			}
+			return cands[i].Minterm < cands[j].Minterm
+		})
+		k := int(math.Round(fraction * float64(len(cands))))
+		res.apply(o, cands[:k])
+	}
+	return res, nil
+}
+
+// RankingPerOutput is Ranking with an independent fraction per output,
+// used to compare against an LC^f run at matched fractions (paper Table 2
+// keeps "the fraction of DCs assigned the same in both cases").
+func RankingPerOutput(f *tt.Function, fractions []float64, opt Options) (*Result, error) {
+	if len(fractions) != f.NumOut() {
+		return nil, fmt.Errorf("core: %d fractions for %d outputs", len(fractions), f.NumOut())
+	}
+	res := newResult(f)
+	for o := range f.Outs {
+		fr := fractions[o]
+		if fr < 0 || fr > 1 {
+			return nil, fmt.Errorf("core: fraction %v outside [0,1]", fr)
+		}
+		cands := rankCandidates(f, o, opt)
+		sort.SliceStable(cands, func(i, j int) bool {
+			if cands[i].Weight != cands[j].Weight {
+				return cands[i].Weight > cands[j].Weight
+			}
+			return cands[i].Minterm < cands[j].Minterm
+		})
+		k := int(math.Round(fr * float64(len(cands))))
+		res.apply(o, cands[:k])
+	}
+	return res, nil
+}
+
+// LCF runs the complexity-factor-based algorithm of paper Fig. 7: a DC
+// minterm is bound to its majority neighbor phase iff its local
+// complexity factor is strictly below threshold. Thresholds in 0.45–0.65
+// trade performance (low) against reliability (high) per the paper §4.
+func LCF(f *tt.Function, threshold float64, opt Options) (*Result, error) {
+	if threshold < 0 || threshold > 1 {
+		return nil, fmt.Errorf("core: threshold %v outside [0,1]", threshold)
+	}
+	res := newResult(f)
+	for o := range f.Outs {
+		local := complexity.LocalAll(f, o)
+		var sel []Assignment
+		f.Outs[o].DC.ForEach(func(m int) {
+			if local[m] >= threshold {
+				return
+			}
+			if a, ok := decide(f, o, m, opt); ok {
+				sel = append(sel, a)
+			}
+		})
+		res.apply(o, sel)
+	}
+	return res, nil
+}
+
+// Complete binds every DC minterm to its majority neighbor phase — the
+// "Complete" column of paper Table 2 (full reliability-driven assignment,
+// maximal error masking, typically large area overhead). Ties are bound
+// to the off-set so that the result is completely specified.
+func Complete(f *tt.Function) *Result {
+	res := newResult(f)
+	for o := range f.Outs {
+		var sel []Assignment
+		f.Outs[o].DC.ForEach(func(m int) {
+			a, ok := decide(f, o, m, Options{AssignTies: true})
+			if !ok {
+				panic("core: Complete decide must always assign")
+			}
+			sel = append(sel, a)
+		})
+		res.apply(o, sel)
+	}
+	return res
+}
+
+func newResult(f *tt.Function) *Result {
+	total := 0
+	for _, o := range f.Outs {
+		total += o.DC.Count()
+	}
+	return &Result{
+		Func:              f.Clone(),
+		TotalDCs:          total,
+		PerOutputFraction: make([]float64, f.NumOut()),
+	}
+}
+
+// RankableCounts returns, per output, how many DC minterms are eligible
+// for ranking (non-tied under opt) — the denominator for matching an
+// LC^f run's per-output assignment fractions in a Ranking run.
+func RankableCounts(f *tt.Function, opt Options) []int {
+	out := make([]int, f.NumOut())
+	for o := range f.Outs {
+		out[o] = len(rankCandidates(f, o, opt))
+	}
+	return out
+}
+
+// rankCandidates lists output o's DC minterms eligible for ranking.
+func rankCandidates(f *tt.Function, o int, opt Options) []Assignment {
+	var cands []Assignment
+	f.Outs[o].DC.ForEach(func(m int) {
+		if a, ok := decide(f, o, m, opt); ok {
+			cands = append(cands, a)
+		}
+	})
+	return cands
+}
+
+// decide computes the majority-phase binding for DC minterm m of output o.
+// It returns ok=false for a tie unless opt.AssignTies is set.
+func decide(f *tt.Function, o, m int, opt Options) (Assignment, bool) {
+	on := f.OnNeighbors(o, m)
+	off := f.OffNeighbors(o, m)
+	w := on - off
+	if w < 0 {
+		w = -w
+	}
+	a := Assignment{Output: o, Minterm: m, Weight: w}
+	switch {
+	case on > off:
+		a.Value = tt.On
+	case off > on:
+		a.Value = tt.Off
+	default:
+		if !opt.AssignTies {
+			return Assignment{}, false
+		}
+		a.Value = tt.Off
+	}
+	return a, true
+}
+
+// apply binds the selected minterms on res.Func and updates bookkeeping.
+func (res *Result) apply(o int, sel []Assignment) {
+	dcs := res.Func.Outs[o].DC.Count()
+	for _, a := range sel {
+		res.Func.SetPhase(a.Output, a.Minterm, a.Value)
+	}
+	res.Assigned = append(res.Assigned, sel...)
+	if dcs > 0 {
+		res.PerOutputFraction[o] = float64(len(sel)) / float64(dcs)
+	}
+}

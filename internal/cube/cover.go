@@ -1,0 +1,131 @@
+package cube
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Cover is a sum (disjunction) of cubes over a common variable count.
+// A Cover with no cubes denotes the constant-0 function.
+type Cover struct {
+	n     int
+	Cubes []Cube
+}
+
+// NewCover returns an empty cover over n variables.
+func NewCover(n int) *Cover {
+	return &Cover{n: n}
+}
+
+// CoverOf builds a cover from the given cubes, which must all have n vars.
+func CoverOf(n int, cubes ...Cube) *Cover {
+	c := NewCover(n)
+	for _, cb := range cubes {
+		c.Add(cb)
+	}
+	return c
+}
+
+// NumVars returns the number of input variables.
+func (cv *Cover) NumVars() int { return cv.n }
+
+// Len returns the number of cubes.
+func (cv *Cover) Len() int { return len(cv.Cubes) }
+
+// Add appends a cube to the cover.
+func (cv *Cover) Add(c Cube) {
+	if c.NumVars() != cv.n {
+		panic(fmt.Sprintf("cube: adding %d-var cube to %d-var cover", c.NumVars(), cv.n))
+	}
+	cv.Cubes = append(cv.Cubes, c)
+}
+
+// Clone returns a deep copy of the cover.
+func (cv *Cover) Clone() *Cover {
+	out := NewCover(cv.n)
+	out.Cubes = make([]Cube, len(cv.Cubes))
+	for i, c := range cv.Cubes {
+		out.Cubes[i] = c.Clone()
+	}
+	return out
+}
+
+// ContainsMinterm reports whether any cube covers minterm m.
+func (cv *Cover) ContainsMinterm(m uint) bool {
+	for _, c := range cv.Cubes {
+		if c.ContainsMinterm(m) {
+			return true
+		}
+	}
+	return false
+}
+
+// LiteralCount returns the total number of literals across all cubes,
+// the classic two-level cost measure.
+func (cv *Cover) LiteralCount() int {
+	total := 0
+	for _, c := range cv.Cubes {
+		total += c.NumLiterals()
+	}
+	return total
+}
+
+// RemoveContained deletes every cube that is contained in another single
+// cube of the cover (single-cube containment).
+func (cv *Cover) RemoveContained() {
+	keep := cv.Cubes[:0]
+	for i, c := range cv.Cubes {
+		contained := false
+		for j, d := range cv.Cubes {
+			if i == j {
+				continue
+			}
+			if d.Contains(c) && !(c.Contains(d) && j > i) {
+				// When two cubes are identical, keep the earlier one.
+				contained = true
+				break
+			}
+		}
+		if !contained {
+			keep = append(keep, c)
+		}
+	}
+	cv.Cubes = keep
+}
+
+// Sort orders cubes by descending minterm count, then lexicographically,
+// giving deterministic output for serialization and tests.
+func (cv *Cover) Sort() {
+	sort.SliceStable(cv.Cubes, func(i, j int) bool {
+		a, b := cv.Cubes[i], cv.Cubes[j]
+		am, bm := a.MintermCount(), b.MintermCount()
+		if am != bm {
+			return am > bm
+		}
+		return a.String() < b.String()
+	})
+}
+
+// Cofactor returns the cover's Shannon cofactor with respect to cube p.
+func (cv *Cover) Cofactor(p Cube) *Cover {
+	out := NewCover(cv.n)
+	for _, c := range cv.Cubes {
+		if cf, ok := c.Cofactor(p); ok {
+			out.Add(cf)
+		}
+	}
+	return out
+}
+
+// String renders the cover one cube per line.
+func (cv *Cover) String() string {
+	var b strings.Builder
+	for i, c := range cv.Cubes {
+		if i > 0 {
+			b.WriteByte('\n')
+		}
+		b.WriteString(c.String())
+	}
+	return b.String()
+}

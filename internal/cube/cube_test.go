@@ -1,0 +1,355 @@
+package cube
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, s string) Cube {
+	t.Helper()
+	c, err := Parse(s)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", s, err)
+	}
+	return c
+}
+
+func TestParseAndString(t *testing.T) {
+	for _, s := range []string{"", "0", "1", "-", "01-1", "----", "110010"} {
+		c := mustParse(t, s)
+		if got := c.String(); got != s {
+			t.Fatalf("round trip %q -> %q", s, got)
+		}
+	}
+	if c := mustParse(t, "2xX-"); c.String() != "----" {
+		t.Fatalf("alt DC chars: got %q", c.String())
+	}
+	if _, err := Parse("01a"); err == nil {
+		t.Fatal("expected error for invalid char")
+	}
+}
+
+func TestValSetVal(t *testing.T) {
+	c := New(40) // spans two words
+	for i := 0; i < 40; i++ {
+		if c.Val(i) != Full {
+			t.Fatalf("new cube var %d = %v, want Full", i, c.Val(i))
+		}
+	}
+	c2 := c.SetVal(0, Zero).SetVal(33, One).SetVal(39, Zero)
+	if c2.Val(0) != Zero || c2.Val(33) != One || c2.Val(39) != Zero {
+		t.Fatal("SetVal values not read back")
+	}
+	if c.Val(0) != Full {
+		t.Fatal("SetVal mutated the receiver (should copy on write)")
+	}
+	if c2.Val(1) != Full || c2.Val(34) != Full {
+		t.Fatal("SetVal disturbed neighboring variables")
+	}
+}
+
+func TestDistance(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want int
+	}{
+		{"01-1", "01-1", 0},
+		{"01-1", "11-1", 1},
+		{"0101", "1010", 4},
+		{"----", "0101", 0},
+		{"0---", "1---", 1},
+		{"00--", "11--", 2},
+	}
+	for _, tc := range cases {
+		a, b := mustParse(t, tc.a), mustParse(t, tc.b)
+		if got := a.Distance(b); got != tc.want {
+			t.Errorf("Distance(%s,%s) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+		if got := b.Distance(a); got != tc.want {
+			t.Errorf("Distance symmetric fail (%s,%s)", tc.b, tc.a)
+		}
+	}
+}
+
+func TestDistanceWideCube(t *testing.T) {
+	// 70 variables spans three words; place conflicts in each word.
+	a := New(70).SetVal(0, Zero).SetVal(35, One).SetVal(69, Zero)
+	b := New(70).SetVal(0, One).SetVal(35, Zero).SetVal(69, One)
+	if got := a.Distance(b); got != 3 {
+		t.Fatalf("wide Distance = %d, want 3", got)
+	}
+}
+
+func TestIntersect(t *testing.T) {
+	a := mustParse(t, "0--1")
+	b := mustParse(t, "-1-1")
+	r, ok := a.Intersect(b)
+	if !ok || r.String() != "01-1" {
+		t.Fatalf("Intersect = %q ok=%v", r.String(), ok)
+	}
+	c := mustParse(t, "1---")
+	if _, ok := a.Intersect(c); ok {
+		t.Fatal("disjoint cubes reported intersecting")
+	}
+	if a.Intersects(c) {
+		t.Fatal("Intersects wrong for disjoint cubes")
+	}
+}
+
+func TestContains(t *testing.T) {
+	big := mustParse(t, "0---")
+	small := mustParse(t, "01-1")
+	if !big.Contains(small) {
+		t.Fatal("0--- should contain 01-1")
+	}
+	if small.Contains(big) {
+		t.Fatal("01-1 should not contain 0---")
+	}
+	if !big.Contains(big) {
+		t.Fatal("cube should contain itself")
+	}
+}
+
+func TestContainsMinterm(t *testing.T) {
+	c := mustParse(t, "01-1") // x0=0, x1=1, x2 free, x3=1
+	// minterm bits: variable i is bit i.
+	want := map[uint]bool{
+		0b1010: true,  // x0=0,x1=1,x2=0,x3=1
+		0b1110: true,  // x2=1
+		0b1011: false, // x0=1
+		0b0010: false, // x3=0
+	}
+	for m, w := range want {
+		if got := c.ContainsMinterm(m); got != w {
+			t.Errorf("ContainsMinterm(%04b) = %v, want %v", m, got, w)
+		}
+	}
+}
+
+func TestSupercube(t *testing.T) {
+	a := mustParse(t, "010")
+	b := mustParse(t, "011")
+	if got := a.Supercube(b).String(); got != "01-" {
+		t.Fatalf("Supercube = %q, want 01-", got)
+	}
+	c := mustParse(t, "111")
+	if got := a.Supercube(c).String(); got != "-1-" {
+		t.Fatalf("Supercube = %q, want -1-", got)
+	}
+}
+
+func TestConsensus(t *testing.T) {
+	a := mustParse(t, "01-")
+	b := mustParse(t, "11-")
+	r, ok := a.Consensus(b)
+	if !ok || r.String() != "-1-" {
+		t.Fatalf("Consensus = %q ok=%v, want -1-", r.String(), ok)
+	}
+	// Distance 2: no consensus.
+	c := mustParse(t, "10-")
+	if _, ok := a.Consensus(c); ok {
+		t.Fatal("consensus should not exist at distance 2")
+	}
+	// Distance 0: no consensus either (per definition used here).
+	d := mustParse(t, "0--")
+	if _, ok := a.Consensus(d); ok {
+		t.Fatal("consensus should not exist at distance 0")
+	}
+}
+
+func TestCofactor(t *testing.T) {
+	c := mustParse(t, "01-1")
+	p := mustParse(t, "0---")
+	r, ok := c.Cofactor(p)
+	if !ok || r.String() != "-1-1" {
+		t.Fatalf("Cofactor = %q ok=%v, want -1-1", r.String(), ok)
+	}
+	conflict := mustParse(t, "1---")
+	if _, ok := c.Cofactor(conflict); ok {
+		t.Fatal("cofactor of conflicting cube should be empty")
+	}
+}
+
+func TestLiteralAndMintermCounts(t *testing.T) {
+	cases := []struct {
+		s    string
+		lits int
+		mins uint64
+	}{
+		{"----", 0, 16},
+		{"0---", 1, 8},
+		{"01-1", 3, 2},
+		{"0101", 4, 1},
+	}
+	for _, tc := range cases {
+		c := mustParse(t, tc.s)
+		if got := c.NumLiterals(); got != tc.lits {
+			t.Errorf("%s NumLiterals = %d, want %d", tc.s, got, tc.lits)
+		}
+		if got := c.MintermCount(); got != tc.mins {
+			t.Errorf("%s MintermCount = %d, want %d", tc.s, got, tc.mins)
+		}
+	}
+}
+
+func TestMintermsEnumeration(t *testing.T) {
+	c := mustParse(t, "-1-0")
+	var got []uint
+	c.Minterms(func(m uint) { got = append(got, m) })
+	if uint64(len(got)) != c.MintermCount() {
+		t.Fatalf("enumerated %d minterms, want %d", len(got), c.MintermCount())
+	}
+	seen := map[uint]bool{}
+	for _, m := range got {
+		if !c.ContainsMinterm(m) {
+			t.Fatalf("enumerated minterm %04b not in cube", m)
+		}
+		if seen[m] {
+			t.Fatalf("duplicate minterm %04b", m)
+		}
+		seen[m] = true
+	}
+}
+
+func TestFromMinterm(t *testing.T) {
+	c := FromMinterm(4, 0b1010)
+	if c.String() != "0101" {
+		t.Fatalf("FromMinterm = %q, want 0101", c.String())
+	}
+	if !c.ContainsMinterm(0b1010) || c.MintermCount() != 1 {
+		t.Fatal("FromMinterm should cover exactly its minterm")
+	}
+}
+
+func randomCube(rng *rand.Rand, n int) Cube {
+	c := New(n)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(3) {
+		case 0:
+			c = c.SetVal(i, Zero)
+		case 1:
+			c = c.SetVal(i, One)
+		}
+	}
+	return c
+}
+
+// Property: Distance(a,b) == 0 iff a and b share a minterm (checked
+// exhaustively on small n).
+func TestDistanceZeroIffSharedMinterm(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(8)
+		a, b := randomCube(rng, n), randomCube(rng, n)
+		shared := false
+		for m := uint(0); m < 1<<uint(n); m++ {
+			if a.ContainsMinterm(m) && b.ContainsMinterm(m) {
+				shared = true
+				break
+			}
+		}
+		if (a.Distance(b) == 0) != shared {
+			t.Fatalf("distance/minterm disagreement: %s vs %s", a, b)
+		}
+	}
+}
+
+// Property: Contains(a,b) iff every minterm of b is in a.
+func TestContainsMatchesMinterms(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(8)
+		a, b := randomCube(rng, n), randomCube(rng, n)
+		all := true
+		b.Minterms(func(m uint) {
+			if !a.ContainsMinterm(m) {
+				all = false
+			}
+		})
+		if a.Contains(b) != all {
+			t.Fatalf("contains/minterm disagreement: %s vs %s", a, b)
+		}
+	}
+}
+
+// Property: supercube contains both operands.
+func TestSupercubeContainsOperands(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(40)
+		a, b := randomCube(rng, n), randomCube(rng, n)
+		s := a.Supercube(b)
+		return s.Contains(a) && s.Contains(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCoverBasics(t *testing.T) {
+	cv := NewCover(4)
+	cv.Add(mustParse(t, "01--"))
+	cv.Add(mustParse(t, "1--1"))
+	if cv.Len() != 2 || cv.NumVars() != 4 {
+		t.Fatal("cover shape wrong")
+	}
+	if !cv.ContainsMinterm(0b0010) { // x0=0,x1=1 matches first cube
+		t.Fatal("cover should contain 0b0010")
+	}
+	if cv.ContainsMinterm(0b0100) {
+		t.Fatal("cover should not contain 0b0100")
+	}
+	if got := cv.LiteralCount(); got != 4 {
+		t.Fatalf("LiteralCount = %d, want 4", got)
+	}
+}
+
+func TestCoverRemoveContained(t *testing.T) {
+	cv := CoverOf(3,
+		mustParse(t, "01-"),
+		mustParse(t, "010"), // contained in 01-
+		mustParse(t, "1--"),
+		mustParse(t, "1--"), // duplicate
+	)
+	cv.RemoveContained()
+	if cv.Len() != 2 {
+		t.Fatalf("RemoveContained left %d cubes, want 2:\n%s", cv.Len(), cv)
+	}
+}
+
+func TestCoverCofactor(t *testing.T) {
+	cv := CoverOf(3,
+		mustParse(t, "01-"),
+		mustParse(t, "1--"),
+	)
+	cf := cv.Cofactor(mustParse(t, "0--"))
+	if cf.Len() != 1 || cf.Cubes[0].String() != "-1-" {
+		t.Fatalf("cofactor wrong:\n%s", cf)
+	}
+}
+
+func TestCoverSortDeterministic(t *testing.T) {
+	cv := CoverOf(3,
+		mustParse(t, "111"),
+		mustParse(t, "0--"),
+		mustParse(t, "-1-"),
+	)
+	cv.Sort()
+	want := []string{"-1-", "0--", "111"}
+	for i, w := range want {
+		if cv.Cubes[i].String() != w {
+			t.Fatalf("sort order: got %s at %d, want %s", cv.Cubes[i], i, w)
+		}
+	}
+}
+
+func TestCoverAddWrongWidthPanics(t *testing.T) {
+	cv := NewCover(3)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic adding wrong-width cube")
+		}
+	}()
+	cv.Add(New(4))
+}

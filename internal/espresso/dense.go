@@ -1,0 +1,256 @@
+package espresso
+
+import (
+	"sort"
+
+	"relsyn/internal/bitset"
+	"relsyn/internal/cube"
+)
+
+// DenseLimit is the largest input count routed to the dense (bitset)
+// minimization engine. Above it, Minimize falls back to the pure
+// cube-algebra path. 2^16 minterms × an int counter per minterm keeps the
+// working set comfortably in cache.
+const DenseLimit = 16
+
+// denseCtx carries the precomputed per-variable truth-table patterns and
+// the fixed on/dc/off sets of one minimization run.
+type denseCtx struct {
+	n    int
+	size int
+	pats []*bitset.Set // pats[v] = minterms with bit v set
+	on   *bitset.Set
+	dc   *bitset.Set
+	off  *bitset.Set
+}
+
+func newDenseCtx(n int, on, dc *cube.Cover) *denseCtx {
+	ctx := &denseCtx{n: n, size: 1 << uint(n)}
+	ctx.pats = make([]*bitset.Set, n)
+	for v := 0; v < n; v++ {
+		ctx.pats[v] = bitset.VarPattern(ctx.size, v)
+	}
+	ctx.on = ctx.coverBits(on)
+	ctx.dc = ctx.coverBits(dc)
+	care := ctx.on.Union(ctx.dc)
+	ctx.off = care.Complement()
+	return ctx
+}
+
+// cubeBits materializes a cube's minterm set with word-level AND of the
+// variable patterns: O(n·2^n/64).
+func (ctx *denseCtx) cubeBits(c cube.Cube) *bitset.Set {
+	s := bitset.New(ctx.size)
+	s.FillAll()
+	for v := 0; v < ctx.n; v++ {
+		switch c.Val(v) {
+		case cube.One:
+			s.InPlaceIntersect(ctx.pats[v])
+		case cube.Zero:
+			s.InPlaceDifference(ctx.pats[v])
+		}
+	}
+	return s
+}
+
+func (ctx *denseCtx) coverBits(f *cube.Cover) *bitset.Set {
+	s := bitset.New(ctx.size)
+	if f == nil {
+		return s
+	}
+	for _, c := range f.Cubes {
+		s.InPlaceUnion(ctx.cubeBits(c))
+	}
+	return s
+}
+
+// expand raises each cube to a prime implicant of on∪dc, biggest cubes
+// first, dropping cubes already covered by accumulated primes. The
+// variant selects a different (still deterministic) raise order, used by
+// the last-gasp pass to escape the default order's local optimum.
+func (ctx *denseCtx) expand(f *cube.Cover, variant int) *cube.Cover {
+	work := f.Clone()
+	work.Sort()
+	if variant == 2 {
+		// Smallest cubes first: they are the most constrained and claim
+		// their primes before the big cubes lock in the covering.
+		for i, j := 0, len(work.Cubes)-1; i < j; i, j = i+1, j-1 {
+			work.Cubes[i], work.Cubes[j] = work.Cubes[j], work.Cubes[i]
+		}
+	}
+	out := cube.NewCover(ctx.n)
+	covered := bitset.New(ctx.size)
+	for _, c := range work.Cubes {
+		cb := ctx.cubeBits(c)
+		if cb.SubsetOf(covered) {
+			continue
+		}
+		p := ctx.expandCube(c, variant)
+		out.Add(p)
+		covered.InPlaceUnion(ctx.cubeBits(p))
+	}
+	out.RemoveContained()
+	return out
+}
+
+// expandCube greedily raises literals, preferring variables whose raise
+// exposes the fewest off-set minterms (zero exposures are valid raises;
+// the count orders the attempts deterministically). Variant 1 breaks
+// ties toward the highest variable index instead of the lowest.
+func (ctx *denseCtx) expandCube(c cube.Cube, variant int) cube.Cube {
+	type cand struct{ v, exposed int }
+	var cands []cand
+	for v := 0; v < ctx.n; v++ {
+		if c.Val(v) == cube.Full {
+			continue
+		}
+		raised := ctx.cubeBits(c.SetVal(v, cube.Full))
+		cands = append(cands, cand{v, raised.IntersectionCount(ctx.off)})
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		if cands[i].exposed != cands[j].exposed {
+			return cands[i].exposed < cands[j].exposed
+		}
+		if variant == 1 {
+			return cands[i].v > cands[j].v
+		}
+		return cands[i].v < cands[j].v
+	})
+	for _, cd := range cands {
+		raised := c.SetVal(cd.v, cube.Full)
+		if !ctx.cubeBits(raised).IntersectsWith(ctx.off) {
+			c = raised
+		}
+	}
+	return c
+}
+
+// coverageCounts returns, per minterm, how many cubes of f cover it.
+func (ctx *denseCtx) coverageCounts(f *cube.Cover) []int32 {
+	counts := make([]int32, ctx.size)
+	for _, c := range f.Cubes {
+		ctx.cubeBits(c).ForEach(func(m int) { counts[m]++ })
+	}
+	return counts
+}
+
+// irredundant removes cubes whose on-set minterms are all covered at
+// least twice, smallest cubes first, maintaining exact counts.
+func (ctx *denseCtx) irredundant(f *cube.Cover) *cube.Cover {
+	work := f.Clone()
+	work.Sort() // big first; iterate from the back (small first)
+	counts := ctx.coverageCounts(work)
+	for i := work.Len() - 1; i >= 0; i-- {
+		cb := ctx.cubeBits(work.Cubes[i])
+		needed := false
+		cb.ForEach(func(m int) {
+			if counts[m] == 1 && ctx.on.Test(m) {
+				needed = true
+			}
+		})
+		if needed {
+			continue
+		}
+		cb.ForEach(func(m int) { counts[m]-- })
+		work.Cubes = append(work.Cubes[:i], work.Cubes[i+1:]...)
+	}
+	return work
+}
+
+// reduce shrinks each cube to the bounding cube of the on-set minterms
+// only it covers, sequentially so later cubes see earlier reductions.
+func (ctx *denseCtx) reduce(f *cube.Cover) *cube.Cover {
+	work := f.Clone()
+	work.Sort()
+	counts := ctx.coverageCounts(work)
+	for i, c := range work.Cubes {
+		cb := ctx.cubeBits(c)
+		unique := bitset.New(ctx.size)
+		cb.ForEach(func(m int) {
+			if counts[m] == 1 && ctx.on.Test(m) {
+				unique.Set(m)
+			}
+		})
+		if unique.None() {
+			continue // fully redundant; leave for irredundant
+		}
+		reduced := boundingCube(ctx.n, unique)
+		rb := ctx.cubeBits(reduced)
+		// Give up coverage of the abandoned minterms.
+		aband := cb.Difference(rb)
+		aband.ForEach(func(m int) { counts[m]-- })
+		work.Cubes[i] = reduced
+	}
+	return work
+}
+
+// boundingCube returns the smallest cube containing every minterm of s.
+// s must be non-empty.
+func boundingCube(n int, s *bitset.Set) cube.Cube {
+	c := cube.New(n)
+	first := s.NextSet(0)
+	for v := 0; v < n; v++ {
+		bit := first>>uint(v)&1 == 1
+		uniform := true
+		s.ForEach(func(m int) {
+			if (m>>uint(v)&1 == 1) != bit {
+				uniform = false
+			}
+		})
+		if uniform {
+			if bit {
+				c = c.SetVal(v, cube.One)
+			} else {
+				c = c.SetVal(v, cube.Zero)
+			}
+		}
+	}
+	return c
+}
+
+// minimizeDense is the bitset-backed Minimize engine for n ≤ DenseLimit.
+func minimizeDense(on, dc *cube.Cover) *cube.Cover {
+	n := on.NumVars()
+	ctx := newDenseCtx(n, on, dc)
+	if ctx.on.None() {
+		return cube.NewCover(n)
+	}
+	if ctx.off.None() {
+		return cube.CoverOf(n, cube.New(n)) // tautology: single universe cube
+	}
+	f := ctx.expand(on, 0)
+	f = ctx.irredundant(f)
+	best := f
+	bestCost := CostOf(f)
+	for iter := 0; iter < 8; iter++ {
+		g := ctx.reduce(best)
+		g = ctx.expand(g, 0)
+		g = ctx.irredundant(g)
+		cost := CostOf(g)
+		if !cost.Less(bestCost) {
+			break
+		}
+		best, bestCost = g, cost
+	}
+	// Last gasp: re-run the improvement loop from alternative expansion
+	// orders; keep whichever cover is cheapest.
+	for variant := 1; variant <= 2; variant++ {
+		g := ctx.reduce(best)
+		g = ctx.expand(g, variant)
+		g = ctx.irredundant(g)
+		for iter := 0; iter < 4; iter++ {
+			h := ctx.reduce(g)
+			h = ctx.expand(h, variant)
+			h = ctx.irredundant(h)
+			if !CostOf(h).Less(CostOf(g)) {
+				break
+			}
+			g = h
+		}
+		if cost := CostOf(g); cost.Less(bestCost) {
+			best, bestCost = g, cost
+		}
+	}
+	best.Sort()
+	return best
+}

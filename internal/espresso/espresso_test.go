@@ -1,0 +1,397 @@
+package espresso
+
+import (
+	"math/rand"
+	"testing"
+
+	"relsyn/internal/cube"
+	"relsyn/internal/tt"
+)
+
+func mustParse(t *testing.T, s string) cube.Cube {
+	t.Helper()
+	c, err := cube.Parse(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func coverFrom(t *testing.T, n int, cubes ...string) *cube.Cover {
+	t.Helper()
+	cv := cube.NewCover(n)
+	for _, s := range cubes {
+		cv.Add(mustParse(t, s))
+	}
+	return cv
+}
+
+// bitsOf evaluates a cover exhaustively.
+func bitsOf(cv *cube.Cover) []bool {
+	out := make([]bool, 1<<uint(cv.NumVars()))
+	for m := range out {
+		out[m] = cv.ContainsMinterm(uint(m))
+	}
+	return out
+}
+
+func randomCover(rng *rand.Rand, n, k int) *cube.Cover {
+	cv := cube.NewCover(n)
+	for i := 0; i < k; i++ {
+		c := cube.New(n)
+		for v := 0; v < n; v++ {
+			switch rng.Intn(3) {
+			case 0:
+				c = c.SetVal(v, cube.Zero)
+			case 1:
+				c = c.SetVal(v, cube.One)
+			}
+		}
+		cv.Add(c)
+	}
+	return cv
+}
+
+func TestTautologyBasics(t *testing.T) {
+	// x + x̄ is a tautology.
+	if !Tautology(coverFrom(t, 1, "0", "1")) {
+		t.Fatal("x + x̄ should be tautology")
+	}
+	if Tautology(coverFrom(t, 1, "0")) {
+		t.Fatal("x̄ alone is not a tautology")
+	}
+	if !Tautology(coverFrom(t, 3, "---")) {
+		t.Fatal("universe cube is a tautology")
+	}
+	if Tautology(cube.NewCover(3)) {
+		t.Fatal("empty cover is not a tautology")
+	}
+	// Shannon expansion of 1 over two vars.
+	if !Tautology(coverFrom(t, 2, "0-", "11", "10")) {
+		t.Fatal("complete cover should be tautology")
+	}
+	if Tautology(coverFrom(t, 2, "0-", "11")) {
+		t.Fatal("cover missing minterm 10 reported tautology")
+	}
+}
+
+func TestTautologyMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 300; trial++ {
+		n := 1 + rng.Intn(6)
+		// Mix sparse and dense covers; dense ones are often tautologies.
+		cv := randomCover(rng, n, 1+rng.Intn(10))
+		want := true
+		for _, b := range bitsOf(cv) {
+			if !b {
+				want = false
+				break
+			}
+		}
+		if got := Tautology(cv); got != want {
+			t.Fatalf("n=%d cover:\n%s\nTautology=%v, want %v", n, cv, got, want)
+		}
+	}
+}
+
+func TestSharpSingleCube(t *testing.T) {
+	c := mustParse(t, "01-")
+	comp := sharp(c)
+	bits := bitsOf(comp)
+	for m := 0; m < 8; m++ {
+		if bits[m] == c.ContainsMinterm(uint(m)) {
+			t.Fatalf("sharp overlaps or misses minterm %d", m)
+		}
+	}
+	// Sharp must produce disjoint cubes.
+	for i := 0; i < comp.Len(); i++ {
+		for j := i + 1; j < comp.Len(); j++ {
+			if comp.Cubes[i].Distance(comp.Cubes[j]) == 0 {
+				t.Fatal("sharp cubes not disjoint")
+			}
+		}
+	}
+}
+
+func TestComplementMatchesExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(62))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(6)
+		cv := randomCover(rng, n, 1+rng.Intn(8))
+		comp := Complement(cv)
+		b, cb := bitsOf(cv), bitsOf(comp)
+		for m := range b {
+			if b[m] == cb[m] {
+				t.Fatalf("n=%d minterm %d: cover=%v comp=%v\ncover:\n%s\ncomp:\n%s",
+					n, m, b[m], cb[m], cv, comp)
+			}
+		}
+	}
+}
+
+func TestComplementEdgeCases(t *testing.T) {
+	// ¬0 = 1
+	comp := Complement(cube.NewCover(3))
+	if comp.Len() != 1 || comp.Cubes[0].NumLiterals() != 0 {
+		t.Fatal("complement of empty cover should be the universe")
+	}
+	// ¬1 = 0
+	comp = Complement(coverFrom(t, 3, "---"))
+	if comp.Len() != 0 {
+		t.Fatal("complement of universe should be empty")
+	}
+}
+
+func TestCoverContainsCube(t *testing.T) {
+	cv := coverFrom(t, 3, "0--", "-1-")
+	if !CoverContainsCube(cv, mustParse(t, "01-")) {
+		t.Fatal("cover should contain 01-")
+	}
+	if CoverContainsCube(cv, mustParse(t, "1-0")) {
+		t.Fatal("cover should not contain 1-0")
+	}
+	// Containment requiring cooperation of two cubes.
+	cv2 := coverFrom(t, 2, "0-", "1-")
+	if !CoverContainsCube(cv2, mustParse(t, "--")) {
+		t.Fatal("split cover should contain the universe")
+	}
+}
+
+func checkMinimized(t *testing.T, name string, impl, on, dc *cube.Cover) {
+	t.Helper()
+	n := on.NumVars()
+	onB, dcB, implB := bitsOf(on), bitsOf(dc), bitsOf(impl)
+	for m := 0; m < 1<<uint(n); m++ {
+		if onB[m] && !implB[m] {
+			t.Fatalf("%s: on-set minterm %d not covered", name, m)
+		}
+		if implB[m] && !onB[m] && !dcB[m] {
+			t.Fatalf("%s: off-set minterm %d covered", name, m)
+		}
+	}
+	// Primality: raising any literal of any cube must hit the off-set.
+	for ci, c := range impl.Cubes {
+		for v := 0; v < n; v++ {
+			if c.Val(v) == cube.Full {
+				continue
+			}
+			raised := c.SetVal(v, cube.Full)
+			hitsOff := false
+			raised.Minterms(func(m uint) {
+				if !onB[m] && !dcB[m] {
+					hitsOff = true
+				}
+			})
+			if !hitsOff {
+				t.Fatalf("%s: cube %d (%s) is not prime (var %d raisable)", name, ci, c, v)
+			}
+		}
+	}
+	// Irredundancy: no cube removable.
+	for ci := range impl.Cubes {
+		rest := cube.NewCover(n)
+		for j, o := range impl.Cubes {
+			if j != ci {
+				rest.Add(o)
+			}
+		}
+		restB := bitsOf(rest)
+		removable := true
+		for m := 0; m < 1<<uint(n); m++ {
+			if onB[m] && implB[m] && !restB[m] {
+				// This on-set minterm is covered only via cube ci... unless
+				// another cube covers it; restB says not.
+				if impl.Cubes[ci].ContainsMinterm(uint(m)) {
+					removable = false
+					break
+				}
+			}
+		}
+		if removable {
+			t.Fatalf("%s: cube %d (%s) is redundant", name, ci, impl.Cubes[ci])
+		}
+	}
+}
+
+func TestMinimizeRandomBothEngines(t *testing.T) {
+	rng := rand.New(rand.NewSource(63))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(6)
+		f := tt.New(n, 1)
+		for m := 0; m < f.Size(); m++ {
+			f.SetPhase(0, m, tt.Phase(rng.Intn(3)))
+		}
+		on, dc := f.OnCover(0), f.DCCover(0)
+		dense := minimizeDense(on, dc)
+		checkMinimized(t, "dense", dense, on, dc)
+		generic := minimizeGeneric(on, dc)
+		checkMinimized(t, "generic", generic, on, dc)
+	}
+}
+
+func TestMinimizeKnownSizes(t *testing.T) {
+	// Minimal SOP sizes that any competent minimizer must reach.
+	cases := []struct {
+		name  string
+		n     int
+		onset func(m int) bool
+		want  int // exact minimal cube count
+	}{
+		{"xor3", 3, func(m int) bool { return popcount(m)%2 == 1 }, 4},
+		{"xor4", 4, func(m int) bool { return popcount(m)%2 == 1 }, 8},
+		{"and4", 4, func(m int) bool { return m == 15 }, 1},
+		{"or4-as-minterms", 4, func(m int) bool { return m != 0 }, 4},
+		{"maj3", 3, func(m int) bool { return popcount(m) >= 2 }, 3},
+	}
+	for _, tc := range cases {
+		f := tt.New(tc.n, 1)
+		for m := 0; m < f.Size(); m++ {
+			if tc.onset(m) {
+				f.SetPhase(0, m, tt.On)
+			}
+		}
+		impl := Minimize(f.OnCover(0), nil)
+		checkMinimized(t, tc.name, impl, f.OnCover(0), cube.NewCover(tc.n))
+		if impl.Len() != tc.want {
+			t.Errorf("%s: got %d cubes, want %d\n%s", tc.name, impl.Len(), tc.want, impl)
+		}
+	}
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		c += x & 1
+		x >>= 1
+	}
+	return c
+}
+
+func TestMinimizeUsesDontCares(t *testing.T) {
+	// f on {11}, dc {10, 01}: minimal cover with DCs is a single literal
+	// cube; without them it is the single minterm.
+	f := tt.New(2, 1)
+	f.SetPhase(0, 3, tt.On)
+	f.SetPhase(0, 1, tt.DC)
+	f.SetPhase(0, 2, tt.DC)
+	withDC := Minimize(f.OnCover(0), f.DCCover(0))
+	if withDC.Len() != 1 || withDC.Cubes[0].NumLiterals() != 1 {
+		t.Fatalf("DC-aware minimization should give one 1-literal cube, got\n%s", withDC)
+	}
+	without := Minimize(f.OnCover(0), nil)
+	if without.Len() != 1 || without.Cubes[0].NumLiterals() != 2 {
+		t.Fatalf("DC-free minimization should keep the minterm, got\n%s", without)
+	}
+}
+
+func TestMinimizeConstants(t *testing.T) {
+	// Empty on-set -> empty cover.
+	if got := Minimize(cube.NewCover(3), nil); got.Len() != 0 {
+		t.Fatal("constant 0 should minimize to empty cover")
+	}
+	// Full on-set -> single universe cube.
+	f := tt.New(3, 1)
+	for m := 0; m < 8; m++ {
+		f.SetPhase(0, m, tt.On)
+	}
+	got := Minimize(f.OnCover(0), nil)
+	if got.Len() != 1 || got.Cubes[0].NumLiterals() != 0 {
+		t.Fatalf("constant 1 should minimize to the universe cube, got\n%s", got)
+	}
+	// On-set empty but DC-full: prefer the empty cover.
+	g := tt.New(3, 1)
+	for m := 0; m < 8; m++ {
+		g.SetPhase(0, m, tt.DC)
+	}
+	if got := Minimize(g.OnCover(0), g.DCCover(0)); got.Len() != 0 {
+		t.Fatalf("all-DC with empty on-set should give empty cover, got\n%s", got)
+	}
+}
+
+func TestMinimizeDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(64))
+	f := tt.New(7, 1)
+	for m := 0; m < f.Size(); m++ {
+		f.SetPhase(0, m, tt.Phase(rng.Intn(3)))
+	}
+	a := Minimize(f.OnCover(0), f.DCCover(0))
+	b := Minimize(f.OnCover(0), f.DCCover(0))
+	if a.String() != b.String() {
+		t.Fatal("Minimize is not deterministic")
+	}
+}
+
+func TestVerify(t *testing.T) {
+	on := coverFrom(t, 3, "11-")
+	dc := coverFrom(t, 3, "0-0")
+	good := coverFrom(t, 3, "11-")
+	if !Verify(good, on, dc) {
+		t.Fatal("valid cover rejected")
+	}
+	overreach := coverFrom(t, 3, "1--")
+	if Verify(overreach, on, dc) {
+		t.Fatal("cover exceeding on∪dc accepted")
+	}
+	undercover := cube.NewCover(3)
+	if Verify(undercover, on, dc) {
+		t.Fatal("cover missing on-set accepted")
+	}
+}
+
+func TestExpandProducesPrimes(t *testing.T) {
+	// Start from minterms of x0 on 3 vars; expand against the off-set.
+	f := tt.New(3, 1)
+	for m := 0; m < 8; m++ {
+		if m&1 == 1 {
+			f.SetPhase(0, m, tt.On)
+		}
+	}
+	r := Complement(f.OnCover(0))
+	exp := Expand(f.OnCover(0), r)
+	if exp.Len() != 1 || exp.Cubes[0].String() != "1--" {
+		t.Fatalf("expand of x0 minterms = %s, want single cube 1--", exp)
+	}
+}
+
+func TestReduceExpandEscapesLocalMinimum(t *testing.T) {
+	// Classic case where the first irredundant cover is not minimum and a
+	// reduce/expand pass improves it — at minimum, the loop must never
+	// worsen cost and must stay valid.
+	rng := rand.New(rand.NewSource(65))
+	for trial := 0; trial < 20; trial++ {
+		n := 5
+		f := tt.New(n, 1)
+		for m := 0; m < f.Size(); m++ {
+			if rng.Intn(2) == 0 {
+				f.SetPhase(0, m, tt.On)
+			}
+		}
+		on := f.OnCover(0)
+		first := minimizeDense(on, cube.NewCover(n))
+		checkMinimized(t, "loop", first, on, cube.NewCover(n))
+	}
+}
+
+func BenchmarkMinimizeDense10(b *testing.B) {
+	rng := rand.New(rand.NewSource(66))
+	f := tt.New(10, 1)
+	for m := 0; m < f.Size(); m++ {
+		f.SetPhase(0, m, tt.Phase(rng.Intn(3)))
+	}
+	on, dc := f.OnCover(0), f.DCCover(0)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		minimizeDense(on, dc)
+	}
+}
+
+func BenchmarkTautology8(b *testing.B) {
+	rng := rand.New(rand.NewSource(67))
+	cv := randomCover(rng, 8, 40)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Tautology(cv)
+	}
+}

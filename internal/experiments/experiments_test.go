@@ -1,0 +1,380 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// quickFractions keeps the sweep tests fast; cmd/experiments uses the
+// full DefaultFractions grid.
+var quickFractions = []float64{0, 0.5, 1}
+
+func TestTable1(t *testing.T) {
+	rows, err := Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows, want 12", len(rows))
+	}
+	for _, r := range rows {
+		if r.DCPct <= 0 || r.DCPct >= 100 {
+			t.Errorf("%s: %%DC = %v", r.Name, r.DCPct)
+		}
+		if r.Cf <= 0 || r.Cf >= 1 {
+			t.Errorf("%s: C^f = %v", r.Name, r.Cf)
+		}
+	}
+	out := RenderTable1(rows)
+	for _, name := range []string{"bench", "ex1010", "random3"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("render missing %s", name)
+		}
+	}
+}
+
+func TestFig2ShapeQuick(t *testing.T) {
+	pts, err := Fig2(1, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	// The paper's curve: implicant count decreases as C^f rises, starting
+	// near 512 at very low C^f and reaching ~0 at high C^f. Check the
+	// monotone trend via endpoints.
+	lo, hi := pts[0], pts[len(pts)-1]
+	if lo.Cf > hi.Cf {
+		t.Fatalf("points not ordered by target: %v vs %v", lo.Cf, hi.Cf)
+	}
+	if lo.Implicants < 256 {
+		t.Errorf("low-C^f implicant count %d should be near 512", lo.Implicants)
+	}
+	if hi.Implicants > lo.Implicants/4 {
+		t.Errorf("high-C^f implicants %d not far below low-C^f %d", hi.Implicants, lo.Implicants)
+	}
+	if s := RenderFig2(pts); !strings.Contains(s, "implicants") {
+		t.Error("render missing header")
+	}
+}
+
+func TestFig4Quick(t *testing.T) {
+	rows, err := Fig4(quickFractions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	improvedAtFull := 0
+	for _, r := range rows {
+		if math.Abs(r.NormER[0]-1) > 1e-9 {
+			t.Fatalf("%s: fraction-0 not normalized to 1: %v", r.Name, r.NormER[0])
+		}
+		last := r.NormER[len(r.NormER)-1]
+		if last > 1+1e-9 {
+			t.Errorf("%s: full assignment worsened error rate: %v", r.Name, last)
+		}
+		if last < 1-1e-9 {
+			improvedAtFull++
+		}
+	}
+	// The paper's headline: reliability-driven assignment is effective —
+	// the bulk of the suite improves.
+	if improvedAtFull < 8 {
+		t.Errorf("only %d/12 benchmarks improved at full assignment", improvedAtFull)
+	}
+	_ = RenderFig4(rows)
+}
+
+func TestFig5Quick(t *testing.T) {
+	results, err := Fig5(quickFractions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("want 2 objectives, got %d", len(results))
+	}
+	for _, r := range results {
+		for _, s := range [][]Fig5Stat{r.Area, r.Delay, r.Power} {
+			if len(s) != len(quickFractions) {
+				t.Fatal("missing sweep points")
+			}
+			if math.Abs(s[0].Mean-1) > 1e-9 || math.Abs(s[0].Min-1) > 1e-9 {
+				t.Fatalf("fraction-0 stats not normalized: %+v", s[0])
+			}
+			for _, p := range s {
+				if p.Min > p.Mean+1e-9 || p.Mean > p.Max+1e-9 {
+					t.Fatalf("stat ordering broken: %+v", p)
+				}
+			}
+		}
+		// Paper: mean overhead grows with the fraction assigned.
+		if r.Area[len(r.Area)-1].Mean < r.Area[0].Mean {
+			t.Errorf("[%s] mean area should not shrink at full assignment", r.Objective)
+		}
+	}
+	_ = RenderFig5(results)
+}
+
+func TestFig6Quick(t *testing.T) {
+	cfg := Fig6Config{Inputs: 8, Outputs: 2, FunctionsPerClass: 2,
+		Fractions: []float64{0, 1}, Seed: 900}
+	fams, err := Fig6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fams) != 5 {
+		t.Fatalf("want 5 families, got %d", len(fams))
+	}
+	for _, f := range fams {
+		if math.Abs(f.Points[0].NormArea-1) > 1e-9 || math.Abs(f.Points[0].NormER-1) > 1e-9 {
+			t.Fatalf("family %v not normalized at fraction 0", f.TargetCf)
+		}
+		last := f.Points[len(f.Points)-1]
+		if last.NormER > 1+1e-9 {
+			t.Errorf("family %v: error rate worsened at full assignment: %v",
+				f.TargetCf, last.NormER)
+		}
+	}
+	_ = RenderFig6(fams)
+}
+
+func TestTable2Quick(t *testing.T) {
+	rows, err := Table2(DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		// Complete assignment always achieves at least the LCF reliability
+		// improvement (it binds a superset toward the same phases).
+		if r.CompleteER < r.LCFER-1e-6 {
+			t.Errorf("%s: complete ER improvement %v below LCF %v",
+				r.Name, r.CompleteER, r.LCFER)
+		}
+		if r.FractionAssigned < 0 || r.FractionAssigned > 1 {
+			t.Errorf("%s: fraction %v", r.Name, r.FractionAssigned)
+		}
+	}
+	// Paper's claim: LC^f-based assignment avoids the large overheads of
+	// complete assignment — its mean area improvement dominates.
+	var lcfArea, compArea float64
+	for _, r := range rows {
+		lcfArea += r.LCFArea
+		compArea += r.CompleteArea
+	}
+	if lcfArea < compArea {
+		t.Errorf("LCF mean area improvement %v should beat complete %v",
+			lcfArea/12, compArea/12)
+	}
+	_ = RenderTable2(rows)
+}
+
+func TestTable3Quick(t *testing.T) {
+	rows, err := Table3(DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	bracketOK, overshootOK := 0, 0
+	for _, r := range rows {
+		if r.ExactLo > r.ExactHi {
+			t.Errorf("%s: inverted exact bounds", r.Name)
+		}
+		// Measured rates always land inside the exact bounds.
+		for _, rate := range []float64{r.ConvRate, r.LCFRate} {
+			if rate < r.ExactLo-1e-9 || rate > r.ExactHi+1e-9 {
+				t.Errorf("%s: measured rate %v outside exact bounds [%v,%v]",
+					r.Name, rate, r.ExactLo, r.ExactHi)
+			}
+		}
+		if r.ConvDiff < -1e-9 || r.LCFDiff < -1e-9 {
+			t.Errorf("%s: negative %%diff", r.Name)
+		}
+		if r.BorderLo <= r.ExactLo+0.02 && r.BorderHi >= r.ExactHi-0.02 {
+			bracketOK++
+		}
+		if r.SignalLo >= r.ExactLo-1e-9 {
+			overshootOK++
+		}
+		if r.Gates <= 0 {
+			t.Errorf("%s: no gates", r.Name)
+		}
+	}
+	if bracketOK < 10 {
+		t.Errorf("border-based bracketed exact bounds on only %d/12", bracketOK)
+	}
+	if overshootOK < 10 {
+		t.Errorf("signal-based overshoot seen on only %d/12", overshootOK)
+	}
+	// LC^f assignment should sit closer to the floor than conventional on
+	// suite average.
+	var convD, lcfD float64
+	for _, r := range rows {
+		convD += r.ConvDiff
+		lcfD += r.LCFDiff
+	}
+	if lcfD > convD+1e-9 {
+		t.Errorf("LCF mean %%diff %v above conventional %v", lcfD/12, convD/12)
+	}
+	_ = RenderTable3(rows)
+}
+
+func TestThresholdSweepQuick(t *testing.T) {
+	pts, err := ThresholdSweep([]float64{0.35, 0.65})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatal("wrong point count")
+	}
+	// Higher threshold assigns at least as many DCs and buys at least as
+	// much reliability (suite mean).
+	if pts[1].MeanFraction < pts[0].MeanFraction {
+		t.Errorf("fraction not monotone in threshold: %+v", pts)
+	}
+	if pts[1].MeanERImp < pts[0].MeanERImp-1e-6 {
+		t.Errorf("reliability not monotone in threshold: %+v", pts)
+	}
+	_ = RenderThresholdSweep(pts)
+}
+
+func TestNodalQuick(t *testing.T) {
+	rows, err := Nodal([]string{"bench"}, 0.7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].Nodes == 0 {
+		t.Fatalf("bad rows: %+v", rows)
+	}
+	r := rows[0]
+	if r.ConvRate <= 0 || r.ConvRate > 1 || r.ReassignRate <= 0 || r.ReassignRate > 1 {
+		t.Fatalf("rates out of range: %+v", r)
+	}
+	_ = RenderNodal(rows)
+}
+
+func TestFlowsQuick(t *testing.T) {
+	rows, err := Flows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	agree := 0
+	for _, r := range rows {
+		// Both flows complete the DCs with the same minimizer, so the
+		// implemented functions — and hence the reliability improvements —
+		// must agree exactly; the flows differ in structure (area).
+		if math.Abs(r.SOPERImp-r.ResynERImp) > 1e-6 {
+			t.Errorf("%s: ER improvement differs between flows: %v vs %v",
+				r.Name, r.SOPERImp, r.ResynERImp)
+		}
+		if (r.SOPAreaOvh >= -1) == (r.ResynAreaOvh >= -1) {
+			agree++
+		}
+	}
+	// The overhead direction must agree on the bulk of the suite — the
+	// paper's cross-validation claim.
+	if agree < 9 {
+		t.Errorf("area trend agreed on only %d/12 benchmarks", agree)
+	}
+	_ = RenderFlows(rows)
+}
+
+func TestFaultsQuick(t *testing.T) {
+	rows, err := Faults([]string{"bench"}, DefaultThreshold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	if r.ConvGates == 0 || r.LCFGates == 0 {
+		t.Fatalf("missing gates: %+v", r)
+	}
+	for _, obs := range []float64{r.ConvObs, r.LCFObs} {
+		if obs <= 0 || obs > 1 {
+			t.Fatalf("observability out of range: %+v", r)
+		}
+	}
+	_ = RenderFaults(rows)
+}
+
+func TestMultiBitQuick(t *testing.T) {
+	rows, err := MultiBit([]string{"bench"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rows[0]
+	// Complete assignment minimizes the single-bit rate by construction.
+	if r.Full[0] > r.Conv[0]+1e-12 {
+		t.Fatalf("complete assignment worsened 1-bit rate: %+v", r)
+	}
+	for k := 0; k < 3; k++ {
+		if r.Conv[k] < 0 || r.Conv[k] > 1 || r.Full[k] < 0 || r.Full[k] > 1 {
+			t.Fatalf("rate out of range: %+v", r)
+		}
+	}
+	_ = RenderMultiBit(rows)
+}
+
+func TestQualityQuick(t *testing.T) {
+	rows, err := Quality(2, 8000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.HeurCubes < r.ExactCubes {
+			t.Fatalf("heuristic beat exact at C^f %v: %+v", r.TargetCf, r)
+		}
+		if r.ExactCubes == 0 && r.HeurCubes > 0 {
+			t.Fatalf("inconsistent counts: %+v", r)
+		}
+	}
+	_ = RenderQuality(rows)
+}
+
+func TestConflictsQuick(t *testing.T) {
+	rows, err := Conflicts()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	total, conf := 0, 0
+	for _, r := range rows {
+		if r.Conflicts > r.RankableDCs {
+			t.Fatalf("%s: conflicts exceed candidates", r.Name)
+		}
+		total += r.RankableDCs
+		conf += r.Conflicts
+	}
+	if total == 0 {
+		t.Fatal("no rankable DCs across the suite")
+	}
+	// Paper §2.1 reports ~30%; allow a broad band around it.
+	pct := 100 * float64(conf) / float64(total)
+	if pct < 5 || pct > 60 {
+		t.Errorf("overall conflict rate %.1f%% far from the paper's ~30%%", pct)
+	}
+	_ = RenderConflicts(rows)
+}
+
+func TestTiesAblationQuick(t *testing.T) {
+	rows, err := TiesAblation()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 12 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	_ = RenderTies(rows)
+}

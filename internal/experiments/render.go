@@ -1,0 +1,234 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+)
+
+// RenderTable1 prints the suite properties in paper Table 1's layout.
+func RenderTable1(rows []Table1Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 1: Published and synthetic benchmark properties (stand-in suite)\n")
+	fmt.Fprintf(&b, "%-9s %6s %7s %7s %8s %7s\n", "Name", "Inputs", "Outputs", "%DC", "E[C^f]", "C^f")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %6d %7d %7.1f %8.3f %7.3f\n",
+			r.Name, r.Inputs, r.Outputs, r.DCPct, r.ExpectedCf, r.Cf)
+	}
+	return b.String()
+}
+
+// RenderFig2 prints (C^f, implicant count) pairs binned by target.
+func RenderFig2(pts []Fig2Point) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 2: SOP size vs complexity factor (10-input, 1-output synthetics)\n")
+	fmt.Fprintf(&b, "%8s %8s %10s\n", "target", "C^f", "implicants")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%8.2f %8.3f %10d\n", p.TargetCf, p.Cf, p.Implicants)
+	}
+	return b.String()
+}
+
+// RenderFig4 prints each benchmark's normalized error-rate series.
+func RenderFig4(rows []Fig4Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 4: Normalized error rate vs fraction of DCs assigned (ranking-based)\n")
+	if len(rows) == 0 {
+		return b.String()
+	}
+	fmt.Fprintf(&b, "%-9s", "bench")
+	for _, fr := range rows[0].Fractions {
+		fmt.Fprintf(&b, " %6.3f", fr)
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s", r.Name)
+		for _, v := range r.NormER {
+			fmt.Fprintf(&b, " %6.3f", v)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// RenderFig5 prints min/max/mean normalized area, delay, power per
+// objective.
+func RenderFig5(results []Fig5Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5: Normalized min/max/mean overhead vs fraction assigned\n")
+	for _, r := range results {
+		fmt.Fprintf(&b, "[%s-optimized]\n", r.Objective)
+		fmt.Fprintf(&b, "%8s | %-23s | %-23s | %-23s\n", "fraction",
+			"area min/mean/max", "delay min/mean/max", "power min/mean/max")
+		for i := range r.Area {
+			a, d, p := r.Area[i], r.Delay[i], r.Power[i]
+			fmt.Fprintf(&b, "%8.3f | %7.3f %7.3f %7.3f | %7.3f %7.3f %7.3f | %7.3f %7.3f %7.3f\n",
+				a.Fraction, a.Min, a.Mean, a.Max, d.Min, d.Mean, d.Max, p.Min, p.Mean, p.Max)
+		}
+	}
+	return b.String()
+}
+
+// RenderFig6 prints per-family (area, error-rate) trajectories.
+func RenderFig6(fams []Fig6Family) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 6: Area vs error rate for synthetic benchmark families\n")
+	for _, f := range fams {
+		fmt.Fprintf(&b, "[C^f ≈ %.2f]\n", f.TargetCf)
+		fmt.Fprintf(&b, "%10s %10s %10s\n", "fraction", "norm.area", "norm.ER")
+		for _, p := range f.Points {
+			fmt.Fprintf(&b, "%10.3f %10.3f %10.3f\n", p.Fraction, p.NormArea, p.NormER)
+		}
+	}
+	return b.String()
+}
+
+// RenderTable2 prints percentage improvements per assignment strategy.
+func RenderTable2(rows []Table2Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 2: Complexity-factor-based assignment results (%% improvement; negative = overhead)\n")
+	fmt.Fprintf(&b, "%-9s %3s %3s %6s | %7s %7s | %7s %7s | %7s %7s | %6s\n",
+		"Name", "i", "o", "C^f", "LCFarea", "LCF ER", "RNKarea", "RNK ER", "CMParea", "CMP ER", "frac")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %3d %3d %6.3f | %7.1f %7.1f | %7.1f %7.1f | %7.1f %7.1f | %6.2f\n",
+			r.Name, r.Inputs, r.Outputs, r.Cf,
+			r.LCFArea, r.LCFER, r.RankArea, r.RankER,
+			r.CompleteArea, r.CompleteER, r.FractionAssigned)
+	}
+	return b.String()
+}
+
+// RenderTable3 prints the min-max estimates and measured rates.
+func RenderTable3(rows []Table3Row) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Table 3: Min-max reliability estimates\n")
+	fmt.Fprintf(&b, "%-9s %5s | %6s %6s | %6s %6s | %6s %6s | %6s %7s | %6s %7s\n",
+		"Name", "Gates", "ExLo", "ExHi", "SigLo", "SigHi", "BrdLo", "BrdHi",
+		"Conv", "%Diff", "LCF", "%Diff")
+	var convD, lcfD, convR, lcfR float64
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %5d | %6.3f %6.3f | %6.3f %6.3f | %6.3f %6.3f | %6.3f %7.1f | %6.3f %7.1f\n",
+			r.Name, r.Gates, r.ExactLo, r.ExactHi, r.SignalLo, r.SignalHi,
+			r.BorderLo, r.BorderHi, r.ConvRate, r.ConvDiff, r.LCFRate, r.LCFDiff)
+		convD += r.ConvDiff
+		lcfD += r.LCFDiff
+		convR += r.ConvRate
+		lcfR += r.LCFRate
+	}
+	n := float64(len(rows))
+	fmt.Fprintf(&b, "%-9s %5s | %6s %6s | %6s %6s | %6s %6s | %6.3f %7.1f | %6.3f %7.1f\n",
+		"Average", "-", "", "", "", "", "", "", convR/n, convD/n, lcfR/n, lcfD/n)
+	return b.String()
+}
+
+// RenderThresholdSweep prints the LC^f threshold ablation.
+func RenderThresholdSweep(pts []ThresholdPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation A2: LC^f threshold sweep (suite means)\n")
+	fmt.Fprintf(&b, "%9s %12s %12s %10s\n", "threshold", "area imp %", "ER imp %", "fraction")
+	for _, p := range pts {
+		fmt.Fprintf(&b, "%9.2f %12.2f %12.2f %10.3f\n",
+			p.Threshold, p.MeanAreaImp, p.MeanERImp, p.MeanFraction)
+	}
+	return b.String()
+}
+
+// RenderTies prints the tie-handling ablation.
+func RenderTies(rows []TiesPoint) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Ablation A1: tie handling at full ranking assignment (%% improvement)\n")
+	fmt.Fprintf(&b, "%-9s | %9s %9s | %9s %9s\n", "Name",
+		"flexArea", "flexER", "litArea", "litER")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s | %9.1f %9.1f | %9.1f %9.1f\n",
+			r.Name, r.FlexAreaImp, r.FlexER, r.LiteralAreaImp, r.LiteralER)
+	}
+	return b.String()
+}
+
+// RenderFlows prints the flow cross-validation.
+func RenderFlows(rows []FlowRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Cross-validation: full ranking assignment under two independent flows\n")
+	fmt.Fprintf(&b, "%-9s | %10s %10s | %10s %10s\n", "Name",
+		"SOP ERimp%", "SOP area%", "RSN ERimp%", "RSN area%")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s | %10.1f %10.1f | %10.1f %10.1f\n",
+			r.Name, r.SOPERImp, r.SOPAreaOvh, r.ResynERImp, r.ResynAreaOvh)
+	}
+	return b.String()
+}
+
+// RenderFaults prints the gate-level stuck-at extension.
+func RenderFaults(rows []FaultRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension A4: gate-level stuck-at fault observability (exhaustive)\n")
+	fmt.Fprintf(&b, "%-9s | %6s %9s %6s | %6s %9s %6s\n", "Name",
+		"gates", "conv obs", "undet", "gates", "LCF obs", "undet")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s | %6d %9.4f %6d | %6d %9.4f %6d\n",
+			r.Name, r.ConvGates, r.ConvObs, r.ConvUndet,
+			r.LCFGates, r.LCFObs, r.LCFUndet)
+	}
+	return b.String()
+}
+
+// RenderMultiBit prints the k-bit error-rate extension.
+func RenderMultiBit(rows []MultiBitRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension A5: exact k-bit input error rates (conventional vs complete assignment)\n")
+	fmt.Fprintf(&b, "%-9s | %8s %8s %8s | %8s %8s %8s\n", "Name",
+		"conv k=1", "k=2", "k=3", "full k=1", "k=2", "k=3")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s | %8.4f %8.4f %8.4f | %8.4f %8.4f %8.4f\n",
+			r.Name, r.Conv[0], r.Conv[1], r.Conv[2], r.Full[0], r.Full[1], r.Full[2])
+	}
+	return b.String()
+}
+
+// RenderConflicts prints the §2.1 conflict measurement.
+func RenderConflicts(rows []ConflictRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Conflict rate: reliability-preferred phase vs conventional completion (paper §2.1: ~30%%)\n")
+	fmt.Fprintf(&b, "%-9s %12s %10s %10s\n", "Name", "rankableDCs", "conflicts", "%%")
+	total, conf := 0, 0
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %12d %10d %10.1f\n", r.Name, r.RankableDCs, r.Conflicts, r.ConflictPct)
+		total += r.RankableDCs
+		conf += r.Conflicts
+	}
+	if total > 0 {
+		fmt.Fprintf(&b, "%-9s %12d %10d %10.1f\n", "Overall", total, conf,
+			100*float64(conf)/float64(total))
+	}
+	return b.String()
+}
+
+// RenderQuality prints the espresso-vs-exact audit.
+func RenderQuality(rows []QualityRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension A6: espresso vs exact minimization (8-input, 40%% DC synthetics)\n")
+	fmt.Fprintf(&b, "%6s %8s | %9s %9s %8s | %9s %9s\n", "C^f", "samples",
+		"heur cub", "exact cub", "worstGap", "heur lit", "exact lit")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%6.2f %8d | %9d %9d %8d | %9d %9d\n",
+			r.TargetCf, r.Samples, r.HeurCubes, r.ExactCubes, r.WorstGap,
+			r.HeurLits, r.ExactLits)
+	}
+	return b.String()
+}
+
+// RenderNodal prints the §4 nodal-decomposition extension results.
+func RenderNodal(rows []NodalRow) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Extension A3: nodal decomposition — internal DC reassignment (k=%d)\n", NodalK)
+	fmt.Fprintf(&b, "%-9s %6s | %9s %9s %7s | %9s %9s %7s | %8s %8s %8s\n",
+		"Name", "nodes", "out conv", "out LCF", "imp %",
+		"in conv", "in LCF", "imp %", "conv lit", "LCF lit", "DCs set")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%-9s %6d | %9.4f %9.4f %7.1f | %9.4f %9.4f %7.1f | %8d %8d %8d\n",
+			r.Name, r.Nodes, r.ConvRate, r.ReassignRate, r.ImprovementPct,
+			r.ConvInputRate, r.ReassignInputRate, r.InputImprovementPct,
+			r.ConvLiterals, r.ReassignLits, r.DCsAssigned)
+	}
+	return b.String()
+}

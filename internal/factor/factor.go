@@ -1,0 +1,322 @@
+package factor
+
+import (
+	"sort"
+
+	"relsyn/internal/cube"
+)
+
+// litOf encodes a literal as 2*var+1 for positive, 2*var for negative.
+func litOf(v int, positive bool) int {
+	l := 2 * v
+	if positive {
+		l++
+	}
+	return l
+}
+
+// litVal returns the cube.Literal a literal index binds.
+func litVal(l int) (v int, val cube.Literal) {
+	if l%2 == 1 {
+		return l / 2, cube.One
+	}
+	return l / 2, cube.Zero
+}
+
+// litCounts tallies how many cubes of f contain each literal.
+func litCounts(f *cube.Cover) []int {
+	counts := make([]int, 2*f.NumVars())
+	for _, c := range f.Cubes {
+		for v := 0; v < f.NumVars(); v++ {
+			switch c.Val(v) {
+			case cube.One:
+				counts[litOf(v, true)]++
+			case cube.Zero:
+				counts[litOf(v, false)]++
+			}
+		}
+	}
+	return counts
+}
+
+// cubeHasLit reports whether cube c contains literal l.
+func cubeHasLit(c cube.Cube, l int) bool {
+	v, val := litVal(l)
+	return c.Val(v) == val
+}
+
+// divideByLit returns the quotient cover f / literal l: cubes containing
+// l, with l removed.
+func divideByLit(f *cube.Cover, l int) *cube.Cover {
+	v, _ := litVal(l)
+	q := cube.NewCover(f.NumVars())
+	for _, c := range f.Cubes {
+		if cubeHasLit(c, l) {
+			q.Add(c.SetVal(v, cube.Full))
+		}
+	}
+	return q
+}
+
+// divisible reports whether cube c contains every literal of cube d,
+// i.e. d's literal set is a subset of c's (so c = (c/d)·d algebraically).
+func divisible(c, d cube.Cube) bool {
+	for v := 0; v < d.NumVars(); v++ {
+		dv := d.Val(v)
+		if dv != cube.Full && c.Val(v) != dv {
+			return false
+		}
+	}
+	return true
+}
+
+// removeLits returns c with all of d's literals raised to Full.
+func removeLits(c, d cube.Cube) cube.Cube {
+	for v := 0; v < d.NumVars(); v++ {
+		if d.Val(v) != cube.Full {
+			c = c.SetVal(v, cube.Full)
+		}
+	}
+	return c
+}
+
+// mergeCubes returns the conjunction of two support-disjoint cubes.
+func mergeCubes(a, b cube.Cube) cube.Cube {
+	r, ok := a.Intersect(b)
+	if !ok {
+		// Algebraic products have disjoint supports, so this cannot happen
+		// when called from Divide.
+		panic("factor: merging conflicting cubes")
+	}
+	return r
+}
+
+// Divide performs algebraic (weak) division f / d, returning quotient and
+// remainder covers such that f = q·d + r as cube sets, with q maximal.
+func Divide(f, d *cube.Cover) (q, r *cube.Cover) {
+	n := f.NumVars()
+	if d.Len() == 0 {
+		return cube.NewCover(n), f.Clone()
+	}
+	// Quotient: intersection over divisor cubes of {c/dc : dc ⊆ c}.
+	var qset map[string]cube.Cube
+	for i, dc := range d.Cubes {
+		cur := map[string]cube.Cube{}
+		for _, c := range f.Cubes {
+			if divisible(c, dc) {
+				rc := removeLits(c, dc)
+				cur[rc.String()] = rc
+			}
+		}
+		if i == 0 {
+			qset = cur
+		} else {
+			for k := range qset {
+				if _, ok := cur[k]; !ok {
+					delete(qset, k)
+				}
+			}
+		}
+		if len(qset) == 0 {
+			break
+		}
+	}
+	q = cube.NewCover(n)
+	keys := make([]string, 0, len(qset))
+	for k := range qset {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		q.Add(qset[k])
+	}
+	// Remainder: cubes of f not produced by q·d.
+	produced := map[string]bool{}
+	for _, qc := range q.Cubes {
+		for _, dc := range d.Cubes {
+			produced[mergeCubes(qc, dc).String()] = true
+		}
+	}
+	r = cube.NewCover(n)
+	for _, c := range f.Cubes {
+		if !produced[c.String()] {
+			r.Add(c)
+		}
+	}
+	return q, r
+}
+
+// largestCommonCube returns the cube of literals common to every cube of
+// f (the universe cube if f is cube-free or empty).
+func largestCommonCube(f *cube.Cover) cube.Cube {
+	common := cube.New(f.NumVars())
+	if f.Len() == 0 {
+		return common
+	}
+	for v := 0; v < f.NumVars(); v++ {
+		val := f.Cubes[0].Val(v)
+		if val == cube.Full {
+			continue
+		}
+		all := true
+		for _, c := range f.Cubes[1:] {
+			if c.Val(v) != val {
+				all = false
+				break
+			}
+		}
+		if all {
+			common = common.SetVal(v, val)
+		}
+	}
+	return common
+}
+
+// makeCubeFree divides out the largest common cube.
+func makeCubeFree(f *cube.Cover) *cube.Cover {
+	cc := largestCommonCube(f)
+	if cc.NumLiterals() == 0 {
+		return f
+	}
+	out := cube.NewCover(f.NumVars())
+	for _, c := range f.Cubes {
+		out.Add(removeLits(c, cc))
+	}
+	return out
+}
+
+// isCubeFree reports whether no literal is shared by all cubes.
+func isCubeFree(f *cube.Cover) bool {
+	return f.Len() > 0 && largestCommonCube(f).NumLiterals() == 0
+}
+
+// Kernels enumerates the kernels of f (cube-free primary divisors) with
+// Brayton's recursive algorithm, up to limit entries (0 = unlimited).
+// The top-level cover itself is included when it is cube-free.
+func Kernels(f *cube.Cover, limit int) []*cube.Cover {
+	var out []*cube.Cover
+	seen := map[string]bool{}
+	add := func(k *cube.Cover) bool {
+		kk := k.Clone()
+		kk.Sort()
+		key := kk.String()
+		if seen[key] {
+			return true
+		}
+		seen[key] = true
+		out = append(out, kk)
+		return limit == 0 || len(out) < limit
+	}
+	var rec func(j int, g *cube.Cover) bool
+	rec = func(j int, g *cube.Cover) bool {
+		if isCubeFree(g) && g.Len() >= 2 {
+			if !add(g) {
+				return false
+			}
+		}
+		counts := litCounts(g)
+		for l := j; l < len(counts); l++ {
+			if counts[l] < 2 {
+				continue
+			}
+			d := makeCubeFree(divideByLit(g, l))
+			// Skip if some earlier literal appears in every cube of d
+			// (that kernel was or will be found via the earlier literal).
+			dCounts := litCounts(d)
+			dominated := false
+			for k := 0; k < l; k++ {
+				if dCounts[k] == d.Len() && d.Len() > 0 {
+					dominated = true
+					break
+				}
+			}
+			if dominated {
+				continue
+			}
+			if !rec(l+1, d) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, makeCubeFree(f))
+	return out
+}
+
+// GoodFactor produces a factored expression for the cover, recursively
+// dividing by the best-value kernel; when no kernel helps, it falls back
+// to most-frequent-literal (quick) factoring, and finally to flat SOP.
+func GoodFactor(f *cube.Cover) *Expr {
+	switch {
+	case f.Len() == 0:
+		return NewConst(false)
+	case f.Len() == 1:
+		return FromCube(f.Cubes[0])
+	}
+	for _, c := range f.Cubes {
+		if c.NumLiterals() == 0 {
+			return NewConst(true)
+		}
+	}
+
+	// Try the best kernel divisor.
+	if e := bestKernelFactor(f); e != nil {
+		return e
+	}
+
+	// Quick factor on the most frequent literal.
+	counts := litCounts(f)
+	bestLit, bestCount := -1, 1
+	for l, c := range counts {
+		if c > bestCount {
+			bestLit, bestCount = l, c
+		}
+	}
+	if bestLit >= 0 {
+		v, val := litVal(bestLit)
+		d := cube.CoverOf(f.NumVars(), cube.New(f.NumVars()).SetVal(v, val))
+		q, r := Divide(f, d)
+		if q.Len() > 0 {
+			lit := NewLit(v, val == cube.Zero)
+			return NewOr(NewAnd(lit, GoodFactor(q)), GoodFactor(r))
+		}
+	}
+	return SOP(f)
+}
+
+// bestKernelFactor returns the factoring of f by its best kernel, or nil
+// if no kernel yields a literal saving.
+func bestKernelFactor(f *cube.Cover) *Expr {
+	const kernelCap = 64
+	kernels := Kernels(f, kernelCap)
+	type scored struct {
+		k     *cube.Cover
+		q     *cube.Cover
+		r     *cube.Cover
+		value int
+	}
+	var best *scored
+	flatCost := f.LiteralCount()
+	for _, k := range kernels {
+		if k.Len() < 2 {
+			continue
+		}
+		// Dividing f by itself gives the trivial factoring 1·f.
+		q, r := Divide(f, k)
+		if q.Len() == 0 || (q.Len() == 1 && q.Cubes[0].NumLiterals() == 0) {
+			continue
+		}
+		cost := q.LiteralCount() + k.LiteralCount() + r.LiteralCount()
+		value := flatCost - cost
+		if value <= 0 {
+			continue
+		}
+		if best == nil || value > best.value {
+			best = &scored{k: k, q: q, r: r, value: value}
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	return NewOr(NewAnd(GoodFactor(best.q), GoodFactor(best.k)), GoodFactor(best.r))
+}

@@ -1,0 +1,229 @@
+// Package faultsim analyzes single stuck-at faults on mapped netlists by
+// exhaustive bit-parallel fault simulation: for every gate output net and
+// both stuck values, it measures the fraction of input vectors at which
+// the fault is observable at a primary output.
+//
+// This extends the paper's input-error derating story down to the gate
+// level: the complement of mean observability is the circuit's logical
+// masking of internal (e.g. soft-error-induced) faults, the quantity the
+// cited reliability-synthesis literature optimizes. The experiments use
+// it to check whether input-DC reliability assignment also shifts
+// gate-level masking.
+package faultsim
+
+import (
+	"fmt"
+	"sort"
+
+	"relsyn/internal/bitset"
+	"relsyn/internal/mapper"
+)
+
+// Report summarizes the fault behaviour of one netlist.
+type Report struct {
+	// Faults is the number of (net, stuck-value) pairs analyzed:
+	// two per gate output net.
+	Faults int
+	// MeanObservability is the average over faults of the fraction of the
+	// 2^n input vectors at which the fault flips some primary output.
+	MeanObservability float64
+	// Undetectable counts faults with zero observability (redundant
+	// logic or faults hidden by downstream masking on every vector).
+	Undetectable int
+	// WorstObservability is the single highest per-fault observability.
+	WorstObservability float64
+}
+
+// Analyze runs exhaustive stuck-at fault simulation. numPI is the
+// primary-input count of the circuit the netlist was mapped from
+// (numPI ≤ 16 to keep simulation exhaustive).
+func Analyze(r *mapper.Result, numPI int) (*Report, error) {
+	if numPI < 0 || numPI > 16 {
+		return nil, fmt.Errorf("faultsim: %d inputs outside [0,16]", numPI)
+	}
+	size := 1 << uint(numPI)
+	sim := newSim(r, numPI, size)
+	good := sim.run(nil)
+
+	// Consumers index: for each net, the gate indices reading it.
+	consumers := map[mapper.Net][]int{}
+	for gi, gt := range r.Gates {
+		for _, in := range gt.Inputs {
+			consumers[in] = append(consumers[in], gi)
+		}
+	}
+
+	rep := &Report{}
+	for gi := range r.Gates {
+		net := r.Gates[gi].Output
+		affected := downstream(r, consumers, gi)
+		for _, stuck := range []bool{false, true} {
+			rep.Faults++
+			obs := sim.observability(good, net, stuck, affected)
+			frac := float64(obs) / float64(size)
+			rep.MeanObservability += frac
+			if obs == 0 {
+				rep.Undetectable++
+			}
+			if frac > rep.WorstObservability {
+				rep.WorstObservability = frac
+			}
+		}
+	}
+	if rep.Faults > 0 {
+		rep.MeanObservability /= float64(rep.Faults)
+	}
+	return rep, nil
+}
+
+// downstream returns the gate indices reachable from gate gi's output
+// (including none), in ascending (topological) order.
+func downstream(r *mapper.Result, consumers map[mapper.Net][]int, gi int) []int {
+	seen := map[int]bool{}
+	var stack []int
+	push := func(net mapper.Net) {
+		for _, gj := range consumers[net] {
+			if !seen[gj] {
+				seen[gj] = true
+				stack = append(stack, gj)
+			}
+		}
+	}
+	push(r.Gates[gi].Output)
+	for i := 0; i < len(stack); i++ {
+		push(r.Gates[stack[i]].Output)
+	}
+	out := make([]int, 0, len(seen))
+	for gj := range seen {
+		out = append(out, gj)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// sim evaluates the netlist word-parallel over all input vectors.
+type sim struct {
+	r     *mapper.Result
+	numPI int
+	size  int
+	// pi[i] is the truth table of input i.
+	pi []*bitset.Set
+}
+
+func newSim(r *mapper.Result, numPI, size int) *sim {
+	s := &sim{r: r, numPI: numPI, size: size}
+	for i := 0; i < numPI; i++ {
+		s.pi = append(s.pi, bitset.VarPattern(size, i))
+	}
+	return s
+}
+
+// netValues maps nets to truth tables for one (possibly faulty) run.
+type netValues map[mapper.Net]*bitset.Set
+
+// value resolves a net's table, deriving complements and constants.
+func (s *sim) value(vals netValues, n mapper.Net) *bitset.Set {
+	if t, ok := vals[n]; ok {
+		return t
+	}
+	var t *bitset.Set
+	switch {
+	case n.Node == 0:
+		t = bitset.New(s.size)
+		if n.Neg {
+			t.FillAll()
+		}
+	case n.Node >= 1 && n.Node <= s.numPI:
+		t = s.pi[n.Node-1].Clone()
+		if n.Neg {
+			t = t.Complement()
+		}
+	default:
+		panic(fmt.Sprintf("faultsim: undriven net %+v", n))
+	}
+	vals[n] = t
+	return t
+}
+
+// evalGate computes a gate's output table from its input tables with
+// word-level sum-of-rows evaluation.
+func (s *sim) evalGate(vals netValues, gt mapper.Gate) *bitset.Set {
+	k := gt.Cell.NumIn
+	ins := make([][]uint64, k)
+	for i, in := range gt.Inputs {
+		ins[i] = s.value(vals, in).Words()
+	}
+	out := bitset.New(s.size)
+	w := out.Words()
+	for wi := range w {
+		var acc uint64
+		for row := uint(0); row < 1<<uint(k); row++ {
+			if gt.Cell.Table>>row&1 == 0 {
+				continue
+			}
+			term := ^uint64(0)
+			for pin := 0; pin < k; pin++ {
+				x := ins[pin][wi]
+				if row>>uint(pin)&1 == 0 {
+					x = ^x
+				}
+				term &= x
+			}
+			acc |= term
+		}
+		w[wi] = acc
+	}
+	trim(out, s.size)
+	return out
+}
+
+func trim(s *bitset.Set, size int) {
+	if rem := size % 64; rem != 0 {
+		w := s.Words()
+		w[len(w)-1] &= (1 << uint(rem)) - 1
+	}
+}
+
+// run simulates all gates; override, when non-nil, replaces specific net
+// tables before dependent gates evaluate.
+func (s *sim) run(override netValues) netValues {
+	vals := netValues{}
+	for n, t := range override {
+		vals[n] = t
+	}
+	for _, gt := range s.r.Gates {
+		if _, forced := vals[gt.Output]; forced {
+			continue
+		}
+		vals[gt.Output] = s.evalGate(vals, gt)
+	}
+	return vals
+}
+
+// observability counts input vectors where forcing `net` to `stuck`
+// changes at least one PO, resimulating only the affected gates.
+func (s *sim) observability(good netValues, net mapper.Net, stuck bool, affected []int) int {
+	faulty := netValues{}
+	// Copy all good values; the forced net and affected gates recompute.
+	for n, t := range good {
+		faulty[n] = t
+	}
+	forced := bitset.New(s.size)
+	if stuck {
+		forced.FillAll()
+	}
+	faulty[net] = forced
+	for _, gi := range affected {
+		gt := s.r.Gates[gi]
+		faulty[gt.Output] = s.evalGate(faulty, gt)
+	}
+	diff := bitset.New(s.size)
+	for _, po := range s.r.PONets {
+		g := s.value(good, po)
+		f := s.value(faulty, po)
+		d := g.Clone()
+		d.InPlaceSymDiff(f)
+		diff.InPlaceUnion(d)
+	}
+	return diff.Count()
+}

@@ -1,0 +1,199 @@
+package mapper
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+
+	"relsyn/internal/aig"
+	"relsyn/internal/celllib"
+)
+
+// evalVerilogish is a tiny evaluator for the writer's output subset:
+// `assign <name> = <expr>;` lines with ~, &, | and parentheses, over
+// i<k>/w<k>/w<k>n wires and 1'b0/1'b1 literals. It lets the test check
+// functional equivalence of the emitted netlist without a Verilog tool.
+type verilogModule struct {
+	assigns []struct{ name, expr string }
+	outputs int
+}
+
+var assignRe = regexp.MustCompile(`^\s*assign\s+(\S+)\s*=\s*(.+?);`)
+
+func parseVerilogish(t *testing.T, src string) *verilogModule {
+	t.Helper()
+	m := &verilogModule{}
+	for _, line := range strings.Split(src, "\n") {
+		if mm := assignRe.FindStringSubmatch(line); mm != nil {
+			m.assigns = append(m.assigns, struct{ name, expr string }{mm[1], mm[2]})
+			if strings.HasPrefix(mm[1], "o") {
+				m.outputs++
+			}
+		}
+	}
+	return m
+}
+
+func (m *verilogModule) eval(t *testing.T, minterm uint) map[string]bool {
+	t.Helper()
+	env := map[string]bool{}
+	var evalExpr func(s string) bool
+	// Shunting-free recursive descent: | lowest, & next, ~ and atoms.
+	var pos int
+	var src string
+	skip := func() {
+		for pos < len(src) && src[pos] == ' ' {
+			pos++
+		}
+	}
+	var parseOr, parseAnd, parseAtom func() bool
+	parseOr = func() bool {
+		v := parseAnd()
+		for {
+			skip()
+			if pos < len(src) && src[pos] == '|' {
+				pos++
+				v2 := parseAnd()
+				v = v || v2
+				continue
+			}
+			return v
+		}
+	}
+	parseAnd = func() bool {
+		v := parseAtom()
+		for {
+			skip()
+			if pos < len(src) && src[pos] == '&' {
+				pos++
+				v2 := parseAtom()
+				v = v && v2
+				continue
+			}
+			return v
+		}
+	}
+	parseAtom = func() bool {
+		skip()
+		if pos >= len(src) {
+			t.Fatalf("expr truncated: %q", src)
+		}
+		switch {
+		case src[pos] == '~':
+			pos++
+			return !parseAtom()
+		case src[pos] == '(':
+			pos++
+			v := parseOr()
+			skip()
+			if pos >= len(src) || src[pos] != ')' {
+				t.Fatalf("missing ) in %q", src)
+			}
+			pos++
+			return v
+		case strings.HasPrefix(src[pos:], "1'b0"):
+			pos += 4
+			return false
+		case strings.HasPrefix(src[pos:], "1'b1"):
+			pos += 4
+			return true
+		default:
+			start := pos
+			for pos < len(src) && (isIdent(src[pos])) {
+				pos++
+			}
+			name := src[start:pos]
+			if strings.HasPrefix(name, "i") {
+				var idx int
+				fmt.Sscanf(name[1:], "%d", &idx)
+				return minterm>>uint(idx)&1 == 1
+			}
+			v, ok := env[name]
+			if !ok {
+				t.Fatalf("wire %s used before assignment", name)
+			}
+			return v
+		}
+	}
+	evalExpr = func(s string) bool {
+		src, pos = s, 0
+		return parseOr()
+	}
+	for _, a := range m.assigns {
+		env[a.name] = evalExpr(a.expr)
+	}
+	return env
+}
+
+func isIdent(b byte) bool {
+	return b >= 'a' && b <= 'z' || b >= '0' && b <= '9' || b == '_'
+}
+
+func TestWriteVerilogEquivalence(t *testing.T) {
+	lib := celllib.Generic70()
+	rng := rand.New(rand.NewSource(171))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(rng, 4+rng.Intn(3), 20+rng.Intn(40), 1+rng.Intn(4))
+		r, err := Map(g, lib, Area)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := r.WriteVerilog(&buf, "dut", g.NumPI()); err != nil {
+			t.Fatal(err)
+		}
+		src := buf.String()
+		if !strings.Contains(src, "module dut(") || !strings.Contains(src, "endmodule") {
+			t.Fatalf("malformed module:\n%s", src)
+		}
+		mod := parseVerilogish(t, src)
+		if mod.outputs != g.NumPO() {
+			t.Fatalf("emitted %d outputs, want %d", mod.outputs, g.NumPO())
+		}
+		for m := uint(0); m < 1<<uint(g.NumPI()); m++ {
+			want := g.Eval(m)
+			env := mod.eval(t, m)
+			for o := 0; o < g.NumPO(); o++ {
+				got, ok := env[fmt.Sprintf("o%d", o)]
+				if !ok {
+					t.Fatalf("output o%d not assigned", o)
+				}
+				if got != want[o] {
+					t.Fatalf("trial %d: o%d wrong at minterm %d\n%s", trial, o, m, src)
+				}
+			}
+		}
+	}
+}
+
+func TestWriteVerilogConstantsAndPIs(t *testing.T) {
+	lib := celllib.Generic70()
+	g := aig.New(2)
+	g.AddPO(aig.ConstTrue)
+	g.AddPO(g.PI(0))
+	g.AddPO(g.PI(1).Not())
+	r, err := Map(g, lib, Delay)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := r.WriteVerilog(&buf, "tiny", 2); err != nil {
+		t.Fatal(err)
+	}
+	src := buf.String()
+	for _, want := range []string{"assign o0 = 1'b1;", "assign o1 = i0;"} {
+		if !strings.Contains(src, want) {
+			t.Fatalf("missing %q in:\n%s", want, src)
+		}
+	}
+	mod := parseVerilogish(t, src)
+	for m := uint(0); m < 4; m++ {
+		env := mod.eval(t, m)
+		if env["o2"] != (m>>1&1 == 0) {
+			t.Fatalf("inverted PI output wrong at %d", m)
+		}
+	}
+}

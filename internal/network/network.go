@@ -1,0 +1,555 @@
+// Package network implements the paper's §4 "nodal decomposition"
+// extension: decompose a multi-level circuit into SOP nodes (the role of
+// ABC's `renode`), extract each node's satisfiability and observability
+// don't-cares exactly by exhaustive bit-parallel simulation, and reassign
+// those internal DCs with the complexity-factor-based algorithm to
+// increase logical masking of errors *inside* the circuit.
+//
+// A node's satisfiability DCs (SDCs) are local input patterns that never
+// occur in fault-free operation; its observability DCs (ODCs) are primary
+// input minterms where the node's value does not affect any primary
+// output. Binding those patterns to the majority phase of their local
+// neighbors means that when an upstream error drives the node into
+// normally-unreachable territory, the node is more likely to mask it.
+// Because the extracted DCs are exact, reassignment never changes the
+// circuit's primary-output functions.
+package network
+
+import (
+	"fmt"
+	"sort"
+
+	"relsyn/internal/aig"
+	"relsyn/internal/bitset"
+	"relsyn/internal/core"
+	"relsyn/internal/cube"
+	"relsyn/internal/espresso"
+	"relsyn/internal/tt"
+)
+
+// MaxFanins bounds node support so local functions stay enumerable.
+const MaxFanins = 6
+
+// Node is one SOP node: a single-output function over its fanin signals.
+type Node struct {
+	Fanins []int       // signal ids (see Network)
+	Table  *bitset.Set // truth table over len(Fanins) inputs
+}
+
+// NumIn returns the node's fanin count.
+func (nd *Node) NumIn() int { return len(nd.Fanins) }
+
+// Network is a DAG of SOP nodes. Signal ids: 0..NumPI-1 are primary
+// inputs; NumPI+i is the output of Nodes[i]. Nodes are topologically
+// ordered.
+type Network struct {
+	NumPI int
+	Nodes []Node
+	POs   []int // signal ids (no complement flags: nodes absorb polarity)
+
+	// poConst marks POs that are constant; for those, POs[i] is 0 or 1
+	// reinterpreted as the constant value.
+	poConst []int // -1 = normal, else constant 0/1
+}
+
+// NumNodes returns the node count.
+func (nw *Network) NumNodes() int { return len(nw.Nodes) }
+
+// POConst reports whether primary output i is constant: -1 for a normal
+// output, otherwise the constant value 0 or 1.
+func (nw *Network) POConst(i int) int { return nw.poConst[i] }
+
+// AddPO appends a primary output driven by signal s. Builders outside
+// this package (e.g. the BLIF reader) use it to keep the PO bookkeeping
+// consistent.
+func (nw *Network) AddPO(s int) {
+	nw.POs = append(nw.POs, s)
+	nw.poConst = append(nw.poConst, -1)
+}
+
+// FromAIG clusters the graph into k-feasible nodes (k ≤ MaxFanins) using
+// cut-based covering that minimizes node count, then materializes each
+// chosen cone as an SOP node. PO polarity is folded into dedicated nodes.
+func FromAIG(g *aig.Graph, k int) (*Network, error) {
+	if k < 2 || k > MaxFanins {
+		return nil, fmt.Errorf("network: k %d outside [2,%d]", k, MaxFanins)
+	}
+	total := 1 + g.NumPI() + g.NumNodes()
+	cuts := enumerateCuts(g, k)
+
+	// Area-flow DP: cost of implementing each AND node as one SOP node.
+	type choice struct {
+		cut  []int
+		flow float64
+	}
+	chosen := make([]choice, total)
+	fo := g.FanoutCounts()
+	for i := g.NumPI() + 1; i < total; i++ {
+		best := choice{flow: -1}
+		for _, c := range cuts[i] {
+			fl := 1.0
+			for _, leaf := range c {
+				if leaf > g.NumPI() {
+					d := float64(fo[leaf])
+					if d < 1 {
+						d = 1
+					}
+					fl += chosen[leaf].flow / d
+				}
+			}
+			if best.flow < 0 || fl < best.flow {
+				best = choice{cut: c, flow: fl}
+			}
+		}
+		if best.flow < 0 {
+			return nil, fmt.Errorf("network: node %d has no cuts", i)
+		}
+		chosen[i] = best
+	}
+
+	nw := &Network{NumPI: g.NumPI()}
+	sigOf := map[int]int{} // AIG node -> signal id (positive phase)
+	for i := 1; i <= g.NumPI(); i++ {
+		sigOf[i] = i - 1
+	}
+	var build func(andNode int) int
+	build = func(andNode int) int {
+		if s, ok := sigOf[andNode]; ok {
+			return s
+		}
+		c := chosen[andNode]
+		fanins := make([]int, len(c.cut))
+		for j, leaf := range c.cut {
+			if leaf <= g.NumPI() {
+				fanins[j] = leaf - 1
+			} else {
+				fanins[j] = build(leaf)
+			}
+		}
+		table := coneTable(g, andNode, c.cut)
+		nw.Nodes = append(nw.Nodes, Node{Fanins: fanins, Table: table})
+		s := nw.NumPI + len(nw.Nodes) - 1
+		sigOf[andNode] = s
+		return s
+	}
+
+	for i := 0; i < g.NumPO(); i++ {
+		l := g.PO(i)
+		switch {
+		case l == aig.ConstFalse:
+			nw.POs = append(nw.POs, 0)
+			nw.poConst = append(nw.poConst, 0)
+			continue
+		case l == aig.ConstTrue:
+			nw.POs = append(nw.POs, 0)
+			nw.poConst = append(nw.poConst, 1)
+			continue
+		}
+		var sig int
+		if l.Node() <= g.NumPI() {
+			sig = l.Node() - 1
+		} else {
+			sig = build(l.Node())
+		}
+		if l.Compl() {
+			// Polarity node: single-input inverter node.
+			tbl := bitset.New(2)
+			tbl.Set(0)
+			nw.Nodes = append(nw.Nodes, Node{Fanins: []int{sig}, Table: tbl})
+			sig = nw.NumPI + len(nw.Nodes) - 1
+		}
+		nw.POs = append(nw.POs, sig)
+		nw.poConst = append(nw.poConst, -1)
+	}
+	return nw, nil
+}
+
+// enumerateCuts returns per-AND-node k-feasible cuts (trivial cut
+// included so parents can stop at any node).
+func enumerateCuts(g *aig.Graph, k int) [][][]int {
+	total := 1 + g.NumPI() + g.NumNodes()
+	const maxCuts = 10
+	cuts := make([][][]int, total)
+	for i := 1; i <= g.NumPI(); i++ {
+		cuts[i] = [][]int{{i}}
+	}
+	for i := g.NumPI() + 1; i < total; i++ {
+		f0, f1 := g.Fanins(i)
+		seen := map[string]bool{}
+		var cs [][]int
+		for _, c0 := range cuts[f0.Node()] {
+			for _, c1 := range cuts[f1.Node()] {
+				merged := mergeSorted(c0, c1, k)
+				if merged == nil {
+					continue
+				}
+				key := fmt.Sprint(merged)
+				if seen[key] {
+					continue
+				}
+				seen[key] = true
+				cs = append(cs, merged)
+			}
+		}
+		sort.SliceStable(cs, func(a, b int) bool {
+			if len(cs[a]) != len(cs[b]) {
+				return len(cs[a]) < len(cs[b])
+			}
+			return fmt.Sprint(cs[a]) < fmt.Sprint(cs[b])
+		})
+		if len(cs) > maxCuts {
+			cs = cs[:maxCuts]
+		}
+		cuts[i] = append(cs, []int{i})
+	}
+	// Strip trivial self-cuts for the DP (they are only for parents).
+	for i := g.NumPI() + 1; i < total; i++ {
+		var cs [][]int
+		for _, c := range cuts[i] {
+			if !(len(c) == 1 && c[0] == i) {
+				cs = append(cs, c)
+			}
+		}
+		cuts[i] = cs
+	}
+	return cuts
+}
+
+func mergeSorted(a, b []int, k int) []int {
+	out := make([]int, 0, k)
+	i, j := 0, 0
+	for i < len(a) || j < len(b) {
+		var v int
+		switch {
+		case i >= len(a):
+			v = b[j]
+			j++
+		case j >= len(b):
+			v = a[i]
+			i++
+		case a[i] < b[j]:
+			v = a[i]
+			i++
+		case a[i] > b[j]:
+			v = b[j]
+			j++
+		default:
+			v = a[i]
+			i++
+			j++
+		}
+		if len(out) == k {
+			return nil
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// coneTable computes the truth table of AIG node root over the given cut
+// leaves by local evaluation.
+func coneTable(g *aig.Graph, root int, leaves []int) *bitset.Set {
+	k := len(leaves)
+	size := 1 << uint(k)
+	table := bitset.New(size)
+	leafPos := map[int]int{}
+	for i, l := range leaves {
+		leafPos[l] = i
+	}
+	for row := 0; row < size; row++ {
+		memo := map[int]bool{0: false}
+		var eval func(n int) bool
+		eval = func(n int) bool {
+			if v, ok := memo[n]; ok {
+				return v
+			}
+			if p, ok := leafPos[n]; ok {
+				v := row>>uint(p)&1 == 1
+				memo[n] = v
+				return v
+			}
+			f0, f1 := g.Fanins(n)
+			v0 := eval(f0.Node()) != f0.Compl()
+			v1 := eval(f1.Node()) != f1.Compl()
+			v := v0 && v1
+			memo[n] = v
+			return v
+		}
+		if eval(root) {
+			table.Set(row)
+		}
+	}
+	return table
+}
+
+// SignalTables simulates the network over the whole PI space, returning
+// one truth table (2^NumPI bits) per signal.
+func (nw *Network) SignalTables() []*bitset.Set {
+	size := 1 << uint(nw.NumPI)
+	tabs := make([]*bitset.Set, nw.NumPI+len(nw.Nodes))
+	for i := 0; i < nw.NumPI; i++ {
+		tabs[i] = bitset.VarPattern(size, i)
+	}
+	for ni, nd := range nw.Nodes {
+		out := bitset.New(size)
+		for m := 0; m < size; m++ {
+			if nd.Table.Test(nw.localRow(tabs, nd, m)) {
+				out.Set(m)
+			}
+		}
+		tabs[nw.NumPI+ni] = out
+	}
+	return tabs
+}
+
+// localRow extracts node nd's local input pattern at PI minterm m.
+func (nw *Network) localRow(tabs []*bitset.Set, nd Node, m int) int {
+	row := 0
+	for j, f := range nd.Fanins {
+		if tabs[f].Test(m) {
+			row |= 1 << uint(j)
+		}
+	}
+	return row
+}
+
+// Eval evaluates all POs on one PI minterm.
+func (nw *Network) Eval(minterm uint) []bool {
+	vals := make([]bool, nw.NumPI+len(nw.Nodes))
+	for i := 0; i < nw.NumPI; i++ {
+		vals[i] = minterm>>uint(i)&1 == 1
+	}
+	for ni, nd := range nw.Nodes {
+		row := 0
+		for j, f := range nd.Fanins {
+			if vals[f] {
+				row |= 1 << uint(j)
+			}
+		}
+		vals[nw.NumPI+ni] = nd.Table.Test(row)
+	}
+	out := make([]bool, len(nw.POs))
+	for i, s := range nw.POs {
+		if nw.poConst[i] >= 0 {
+			out[i] = nw.poConst[i] == 1
+		} else {
+			out[i] = vals[s]
+		}
+	}
+	return out
+}
+
+// POFunction returns the network's PO truth tables as a tt.Function.
+func (nw *Network) POFunction() *tt.Function {
+	tabs := nw.SignalTables()
+	f := tt.New(nw.NumPI, len(nw.POs))
+	for i, s := range nw.POs {
+		switch {
+		case nw.poConst[i] == 0:
+			// all off
+		case nw.poConst[i] == 1:
+			f.Outs[i].On.FillAll()
+		default:
+			f.Outs[i].On.Copy(tabs[s])
+		}
+	}
+	return f
+}
+
+// odcMask returns, for node ni, the set of PI minterms where
+// complementing the node's output leaves every PO unchanged.
+func (nw *Network) odcMask(tabs []*bitset.Set, ni int) *bitset.Set {
+	size := 1 << uint(nw.NumPI)
+	// Resimulate downstream with node ni complemented.
+	alt := make([]*bitset.Set, len(tabs))
+	copy(alt, tabs)
+	alt[nw.NumPI+ni] = tabs[nw.NumPI+ni].Complement()
+	for nj := ni + 1; nj < len(nw.Nodes); nj++ {
+		nd := nw.Nodes[nj]
+		changed := false
+		for _, f := range nd.Fanins {
+			if !alt[f].Equal(tabs[f]) {
+				changed = true
+				break
+			}
+		}
+		if !changed {
+			continue
+		}
+		out := bitset.New(size)
+		for m := 0; m < size; m++ {
+			row := 0
+			for j, f := range nd.Fanins {
+				if alt[f].Test(m) {
+					row |= 1 << uint(j)
+				}
+			}
+			if nd.Table.Test(row) {
+				out.Set(m)
+			}
+		}
+		alt[nj+nw.NumPI] = out
+	}
+	diff := bitset.New(size)
+	for i, s := range nw.POs {
+		if nw.poConst[i] >= 0 {
+			continue
+		}
+		d := alt[s].Clone()
+		d.InPlaceSymDiff(tabs[s])
+		diff.InPlaceUnion(d)
+	}
+	return diff.Complement()
+}
+
+// LocalSpec builds node ni's local function with its exact internal
+// don't-cares: local patterns that never occur (SDC) or whose occurrences
+// are all output-insensitive (ODC) become DC.
+func (nw *Network) LocalSpec(ni int) *tt.Function {
+	tabs := nw.SignalTables()
+	return nw.localSpec(tabs, ni)
+}
+
+func (nw *Network) localSpec(tabs []*bitset.Set, ni int) *tt.Function {
+	nd := nw.Nodes[ni]
+	k := nd.NumIn()
+	size := 1 << uint(nw.NumPI)
+	odc := nw.odcMask(tabs, ni)
+
+	occurs := make([]bool, 1<<uint(k))
+	sensitive := make([]bool, 1<<uint(k))
+	for m := 0; m < size; m++ {
+		row := nw.localRow(tabs, nd, m)
+		occurs[row] = true
+		if !odc.Test(m) {
+			sensitive[row] = true
+		}
+	}
+	spec := tt.New(k, 1)
+	for row := 0; row < 1<<uint(k); row++ {
+		switch {
+		case !occurs[row] || !sensitive[row]:
+			spec.SetPhase(0, row, tt.DC)
+		case nd.Table.Test(row):
+			spec.SetPhase(0, row, tt.On)
+		}
+	}
+	return spec
+}
+
+// ReassignLCF rewrites every node's function: extract exact internal DCs,
+// bind those with local complexity factor below threshold to the majority
+// neighbor phase (paper Fig. 7 applied to internal DCs), and complete the
+// rest with espresso minimization (conventional assignment). Nodes are
+// processed in topological order with DCs re-extracted after each change,
+// so the primary-output functions are preserved exactly. It returns the
+// number of DC patterns bound for reliability.
+func (nw *Network) ReassignLCF(threshold float64) (int, error) {
+	assigned := 0
+	for ni := range nw.Nodes {
+		tabs := nw.SignalTables()
+		spec := nw.localSpec(tabs, ni)
+		res, err := core.LCF(spec, threshold, core.Options{})
+		if err != nil {
+			return assigned, err
+		}
+		assigned += len(res.Assigned)
+		nw.Nodes[ni].Table = completeConventional(res.Func)
+	}
+	return assigned, nil
+}
+
+// CompleteConventionalAll rewrites every node by espresso-minimizing its
+// local function against its internal DCs (conventional assignment only)
+// — the baseline ReassignLCF is compared against.
+func (nw *Network) CompleteConventionalAll() error {
+	for ni := range nw.Nodes {
+		tabs := nw.SignalTables()
+		spec := nw.localSpec(tabs, ni)
+		nw.Nodes[ni].Table = completeConventional(spec)
+	}
+	return nil
+}
+
+// completeConventional spends remaining DCs via espresso and returns the
+// completely specified table.
+func completeConventional(spec *tt.Function) *bitset.Set {
+	cov := espresso.Minimize(spec.OnCover(0), spec.DCCover(0))
+	table := bitset.New(spec.Size())
+	for m := 0; m < spec.Size(); m++ {
+		if cov.ContainsMinterm(uint(m)) {
+			table.Set(m)
+		}
+	}
+	return table
+}
+
+// InternalErrorRate measures the fraction of (node, PI minterm) events —
+// a single erroneous node output under an otherwise-correct input — that
+// propagate to at least one primary output. Lower is more resilient.
+func (nw *Network) InternalErrorRate() float64 {
+	if len(nw.Nodes) == 0 {
+		return 0
+	}
+	tabs := nw.SignalTables()
+	size := 1 << uint(nw.NumPI)
+	propagating := 0
+	for ni := range nw.Nodes {
+		odc := nw.odcMask(tabs, ni)
+		propagating += size - odc.Count()
+	}
+	return float64(propagating) / float64(len(nw.Nodes)*size)
+}
+
+// InputErrorRate measures the fraction of (node, fanin wire, PI minterm)
+// events — a single erroneous value on one fanin wire of one node under
+// an otherwise-correct input — that propagate to a primary output. This
+// is the node-granular analogue of the paper's input-error model and the
+// quantity LC^f reassignment of internal DCs directly targets: an error
+// arriving at a node is masked when the node's (possibly reassigned)
+// local function gives the same output for the erroneous pattern.
+func (nw *Network) InputErrorRate() float64 {
+	if len(nw.Nodes) == 0 {
+		return 0
+	}
+	tabs := nw.SignalTables()
+	size := 1 << uint(nw.NumPI)
+	propagating, events := 0, 0
+	for ni, nd := range nw.Nodes {
+		odc := nw.odcMask(tabs, ni)
+		for b := 0; b < nd.NumIn(); b++ {
+			events += size
+			for m := 0; m < size; m++ {
+				row := nw.localRow(tabs, nd, m)
+				if nd.Table.Test(row) == nd.Table.Test(row^(1<<uint(b))) {
+					continue // masked at the node itself
+				}
+				if !odc.Test(m) {
+					propagating++
+				}
+			}
+		}
+	}
+	return float64(propagating) / float64(events)
+}
+
+// TotalLiterals sums espresso-minimized SOP literals over all nodes, the
+// customary technology-independent area proxy for SOP networks.
+func (nw *Network) TotalLiterals() int {
+	total := 0
+	for _, nd := range nw.Nodes {
+		cov := espresso.Minimize(tableCover(nd), nil)
+		total += cov.LiteralCount()
+	}
+	return total
+}
+
+func tableCover(nd Node) *cube.Cover {
+	cv := cube.NewCover(nd.NumIn())
+	nd.Table.ForEach(func(m int) { cv.Add(cube.FromMinterm(nd.NumIn(), uint(m))) })
+	return cv
+}
+
+// OnCover returns the node's on-set as a cover of minterm cubes over its
+// local inputs.
+func (nd Node) OnCover() *cube.Cover { return tableCover(nd) }

@@ -1,0 +1,246 @@
+package network_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"relsyn/internal/aig"
+	"relsyn/internal/network"
+	"relsyn/internal/synth"
+	"relsyn/internal/tt"
+)
+
+func randomFunction(rng *rand.Rand, n, m int, dcFrac float64) *tt.Function {
+	f := tt.New(n, m)
+	for o := 0; o < m; o++ {
+		for mm := 0; mm < f.Size(); mm++ {
+			r := rng.Float64()
+			switch {
+			case r < dcFrac:
+				f.SetPhase(o, mm, tt.DC)
+			case r < dcFrac+(1-dcFrac)/2:
+				f.SetPhase(o, mm, tt.On)
+			}
+		}
+	}
+	return f
+}
+
+func synthAIG(t *testing.T, rng *rand.Rand, n, m int) *aig.Graph {
+	t.Helper()
+	f := randomFunction(rng, n, m, 0.4)
+	res, err := synth.Synthesize(f, synth.Options{Objective: synth.OptimizePower})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Graph
+}
+
+func checkEquivalent(t *testing.T, g *aig.Graph, nw *network.Network) {
+	t.Helper()
+	for m := uint(0); m < 1<<uint(g.NumPI()); m++ {
+		want := g.Eval(m)
+		got := nw.Eval(m)
+		if len(want) != len(got) {
+			t.Fatal("PO count mismatch")
+		}
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("network differs from AIG at minterm %d PO %d", m, i)
+			}
+		}
+	}
+}
+
+func TestFromAIGEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(141))
+	for trial := 0; trial < 6; trial++ {
+		g := synthAIG(t, rng, 5+rng.Intn(3), 1+rng.Intn(3))
+		nw, err := network.FromAIG(g, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkEquivalent(t, g, nw)
+		for ni, nd := range nw.Nodes {
+			if nd.NumIn() > 4 {
+				t.Fatalf("node %d has %d fanins, k=4", ni, nd.NumIn())
+			}
+			for _, f := range nd.Fanins {
+				if f >= nw.NumPI+ni {
+					t.Fatalf("node %d fanin %d not topological", ni, f)
+				}
+			}
+		}
+	}
+}
+
+func TestFromAIGConstantsAndPassthrough(t *testing.T) {
+	g := aig.New(2)
+	g.AddPO(aig.ConstFalse)
+	g.AddPO(aig.ConstTrue)
+	g.AddPO(g.PI(0))
+	g.AddPO(g.PI(1).Not())
+	nw, err := network.FromAIG(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkEquivalent(t, g, nw)
+	if nw.NumNodes() != 1 {
+		t.Fatalf("expected one inverter node, got %d", nw.NumNodes())
+	}
+}
+
+func TestFromAIGRejectsBadK(t *testing.T) {
+	g := aig.New(2)
+	g.AddPO(g.And(g.PI(0), g.PI(1)))
+	if _, err := network.FromAIG(g, 1); err == nil {
+		t.Fatal("k=1 accepted")
+	}
+	if _, err := network.FromAIG(g, network.MaxFanins+1); err == nil {
+		t.Fatal("k too large accepted")
+	}
+}
+
+func TestPOFunctionMatchesEval(t *testing.T) {
+	rng := rand.New(rand.NewSource(142))
+	g := synthAIG(t, rng, 6, 2)
+	nw, err := network.FromAIG(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pf := nw.POFunction()
+	for m := uint(0); m < 64; m++ {
+		ev := nw.Eval(m)
+		for o := range ev {
+			if ev[o] != (pf.Phase(o, int(m)) == tt.On) {
+				t.Fatalf("POFunction disagrees with Eval at %d out %d", m, o)
+			}
+		}
+	}
+}
+
+func TestLocalSpecDCsAreSafe(t *testing.T) {
+	// Binding local DC rows arbitrarily must never change the POs.
+	rng := rand.New(rand.NewSource(143))
+	g := synthAIG(t, rng, 6, 2)
+	nw, err := network.FromAIG(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := nw.POFunction()
+	for ni := range nw.Nodes {
+		spec := nw.LocalSpec(ni)
+		// Flip the node's output at every DC row to the opposite of its
+		// current value — the most adversarial safe rewrite.
+		tbl := nw.Nodes[ni].Table.Clone()
+		spec.Outs[0].DC.ForEach(func(row int) {
+			if tbl.Test(row) {
+				tbl.Clear(row)
+			} else {
+				tbl.Set(row)
+			}
+		})
+		old := nw.Nodes[ni].Table
+		nw.Nodes[ni].Table = tbl
+		after := nw.POFunction()
+		if !after.Equal(before) {
+			t.Fatalf("binding DC rows of node %d changed the circuit", ni)
+		}
+		nw.Nodes[ni].Table = old
+	}
+}
+
+func TestReassignLCFPreservesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(144))
+	for trial := 0; trial < 4; trial++ {
+		g := synthAIG(t, rng, 6, 2)
+		nw, err := network.FromAIG(g, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		before := nw.POFunction()
+		if _, err := nw.ReassignLCF(0.65); err != nil {
+			t.Fatal(err)
+		}
+		after := nw.POFunction()
+		if !after.Equal(before) {
+			t.Fatalf("trial %d: ReassignLCF changed the circuit function", trial)
+		}
+	}
+}
+
+func TestCompleteConventionalPreservesFunction(t *testing.T) {
+	rng := rand.New(rand.NewSource(145))
+	g := synthAIG(t, rng, 6, 2)
+	nw, err := network.FromAIG(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := nw.POFunction()
+	if err := nw.CompleteConventionalAll(); err != nil {
+		t.Fatal(err)
+	}
+	if !nw.POFunction().Equal(before) {
+		t.Fatal("conventional completion changed the circuit function")
+	}
+}
+
+func TestInternalErrorRateRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(146))
+	g := synthAIG(t, rng, 6, 2)
+	nw, err := network.FromAIG(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := nw.InternalErrorRate()
+	if r < 0 || r > 1 {
+		t.Fatalf("internal error rate %v outside [0,1]", r)
+	}
+	// The PO-driving nodes are always observable somewhere, so the rate
+	// is positive for any nonconstant circuit.
+	if nw.NumNodes() > 0 && r == 0 {
+		t.Fatal("internal error rate 0 for nonconstant circuit")
+	}
+}
+
+// Aggregate claim of the paper's nodal-decomposition extension:
+// reliability-driven assignment of internal DCs reduces internal error
+// propagation versus conventional-only completion.
+func TestReassignImprovesInternalMaskingAggregate(t *testing.T) {
+	rng := rand.New(rand.NewSource(147))
+	sumConv, sumRel := 0.0, 0.0
+	for trial := 0; trial < 5; trial++ {
+		g := synthAIG(t, rng, 7, 2)
+		nwConv, err := network.FromAIG(g, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		nwRel, err := network.FromAIG(g, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := nwConv.CompleteConventionalAll(); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := nwRel.ReassignLCF(0.7); err != nil {
+			t.Fatal(err)
+		}
+		sumConv += nwConv.InternalErrorRate()
+		sumRel += nwRel.InternalErrorRate()
+	}
+	if sumRel > sumConv*1.02 {
+		t.Fatalf("internal reassignment worsened masking: rel=%v conv=%v", sumRel, sumConv)
+	}
+}
+
+func TestTotalLiteralsPositive(t *testing.T) {
+	rng := rand.New(rand.NewSource(148))
+	g := synthAIG(t, rng, 6, 2)
+	nw, err := network.FromAIG(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumNodes() > 0 && nw.TotalLiterals() <= 0 {
+		t.Fatal("TotalLiterals should be positive for nonempty network")
+	}
+}

@@ -1,0 +1,196 @@
+package network
+
+import (
+	"fmt"
+
+	"relsyn/internal/cube"
+	"relsyn/internal/espresso"
+	"relsyn/internal/sat"
+	"relsyn/internal/tt"
+)
+
+// LocalSpecSAT computes node ni's local function with its internal
+// don't-cares using SAT instead of exhaustive simulation — the
+// simulation-and-satisfiability approach of the paper's reference [16]
+// (Mishchenko et al.). A local input pattern v is don't-care iff the
+// miter
+//
+//	network ∧ network[node ni complemented] ∧ (some PO differs) ∧ (ni fanins = v)
+//
+// is unsatisfiable: either no primary input produces v (satisfiability
+// DC) or every occurrence is unobservable at the outputs (observability
+// DC). One incremental SAT call decides each of the 2^k patterns, so the
+// approach scales to networks beyond the exhaustive 2^NumPI range.
+//
+// It returns the same specification as LocalSpec (the exhaustive
+// extractor); the test suite enforces the agreement.
+func (nw *Network) LocalSpecSAT(ni int) (*tt.Function, error) {
+	if ni < 0 || ni >= len(nw.Nodes) {
+		return nil, fmt.Errorf("network: node %d out of range", ni)
+	}
+	nd := nw.Nodes[ni]
+	k := nd.NumIn()
+	spec := tt.New(k, 1)
+
+	enc := newNetEncoder(nw, ni)
+	hasDiff := enc.buildMiter()
+	if !hasDiff {
+		// No non-constant POs: nothing is observable; everything is DC.
+		for v := 0; v < 1<<uint(k); v++ {
+			spec.SetPhase(0, v, tt.DC)
+		}
+		return spec, nil
+	}
+
+	for v := 0; v < 1<<uint(k); v++ {
+		assumptions := make([]sat.Lit, k)
+		for j, f := range nd.Fanins {
+			assumptions[j] = enc.refA(f)
+			if v>>uint(j)&1 == 0 {
+				assumptions[j] = assumptions[j].Not()
+			}
+		}
+		switch enc.s.Solve(assumptions...) {
+		case sat.Unsat:
+			spec.SetPhase(0, v, tt.DC)
+		case sat.Unknown:
+			return nil, fmt.Errorf("network: SAT budget exhausted on node %d pattern %d", ni, v)
+		default:
+			if nd.Table.Test(v) {
+				spec.SetPhase(0, v, tt.On)
+			}
+		}
+	}
+	return spec, nil
+}
+
+// netEncoder Tseitin-encodes two copies of the network sharing PIs, with
+// node `flip` complemented in copy B.
+type netEncoder struct {
+	nw   *Network
+	flip int
+	s    *sat.Solver
+	next int
+	varA []int // signal vars, copy A (PIs shared at the front)
+	varB []int
+}
+
+func newNetEncoder(nw *Network, flip int) *netEncoder {
+	total := nw.NumPI + len(nw.Nodes)
+	// Generous variable budget: PIs + 2 copies × (node + term vars) + miter.
+	budget := nw.NumPI + 2
+	for _, nd := range nw.Nodes {
+		budget += 2 * (2 + (1 << uint(nd.NumIn())))
+	}
+	budget += 4 * (len(nw.POs) + 1)
+	e := &netEncoder{
+		nw: nw, flip: flip,
+		s:    sat.New(budget),
+		varA: make([]int, total),
+		varB: make([]int, total),
+	}
+	for i := 0; i < nw.NumPI; i++ {
+		e.next++
+		e.varA[i] = e.next
+		e.varB[i] = e.next // shared
+	}
+	return e
+}
+
+func (e *netEncoder) alloc() int {
+	e.next++
+	return e.next
+}
+
+// refA returns copy A's literal for a signal.
+func (e *netEncoder) refA(sig int) sat.Lit { return sat.MkLit(e.varA[sig], false) }
+
+// refB returns copy B's literal for a signal, complementing the flipped
+// node's output.
+func (e *netEncoder) refB(sig int) sat.Lit {
+	l := sat.MkLit(e.varB[sig], false)
+	if sig == e.nw.NumPI+e.flip {
+		l = l.Not()
+	}
+	return l
+}
+
+// buildMiter encodes both copies and asserts that some PO differs.
+// It reports false when the network has no non-constant POs.
+func (e *netEncoder) buildMiter() bool {
+	for ni, nd := range e.nw.Nodes {
+		e.varA[e.nw.NumPI+ni] = e.encodeNode(nd, e.refA)
+		e.varB[e.nw.NumPI+ni] = e.encodeNode(nd, e.refB)
+	}
+	var diffs []sat.Lit
+	for i, s := range e.nw.POs {
+		if e.nw.poConst[i] >= 0 {
+			continue
+		}
+		a, b := e.refA(s), e.refB(s)
+		d := sat.MkLit(e.alloc(), false)
+		// d ↔ a ⊕ b
+		e.s.AddClause(d.Not(), a, b)
+		e.s.AddClause(d.Not(), a.Not(), b.Not())
+		e.s.AddClause(d, a, b.Not())
+		e.s.AddClause(d, a.Not(), b)
+		diffs = append(diffs, d)
+	}
+	if len(diffs) == 0 {
+		return false
+	}
+	e.s.AddClause(diffs...)
+	return true
+}
+
+// encodeNode emits clauses defining a fresh variable as the node's SOP
+// over ref(fanin) literals and returns that variable.
+func (e *netEncoder) encodeNode(nd Node, ref func(int) sat.Lit) int {
+	y := e.alloc()
+	yl := sat.MkLit(y, false)
+	cov := espresso.Minimize(tableCover(nd), nil)
+	if cov.Len() == 0 { // constant 0
+		e.s.AddClause(yl.Not())
+		return y
+	}
+	var terms []sat.Lit
+	for _, c := range cov.Cubes {
+		lits := cubeLits(c, nd.Fanins, ref)
+		if len(lits) == 0 { // universe cube: constant 1
+			e.s.AddClause(yl)
+			return y
+		}
+		t := sat.MkLit(e.alloc(), false)
+		// t ↔ ∧ lits
+		long := []sat.Lit{t}
+		for _, l := range lits {
+			e.s.AddClause(t.Not(), l)
+			long = append(long, l.Not())
+		}
+		e.s.AddClause(long...)
+		terms = append(terms, t)
+	}
+	// y ↔ ∨ terms
+	or := []sat.Lit{yl.Not()}
+	for _, t := range terms {
+		e.s.AddClause(t.Not(), yl)
+		or = append(or, t)
+	}
+	e.s.AddClause(or...)
+	return y
+}
+
+// cubeLits converts a cube's bound literals to solver literals over the
+// node's fanin signals.
+func cubeLits(c cube.Cube, fanins []int, ref func(int) sat.Lit) []sat.Lit {
+	var out []sat.Lit
+	for v := 0; v < c.NumVars(); v++ {
+		switch c.Val(v) {
+		case cube.One:
+			out = append(out, ref(fanins[v]))
+		case cube.Zero:
+			out = append(out, ref(fanins[v]).Not())
+		}
+	}
+	return out
+}

@@ -1,0 +1,217 @@
+// Package reliability computes exact input-error propagation metrics over
+// incompletely specified functions (paper §2 and §5).
+//
+// Error model (paper §2): single-bit input errors on otherwise-correct
+// input vectors; errors on different pins are uncorrelated and rare, so
+// multi-bit errors are ignored. A correct input vector is always a *care*
+// minterm of the original specification — minterms in the DC-set "can
+// never occur in practice" (paper §2.1) — while the erroneous vector may
+// land anywhere. The error propagates iff the implementation's value
+// differs between the two vectors.
+//
+// All rates are normalized by n·2^n, the number of ordered
+// (minterm, flipped-bit) events, so that rates are directly comparable
+// across functions and with the paper's analytical estimates. Rates for a
+// multi-output function are the per-output mean.
+package reliability
+
+import (
+	"fmt"
+
+	"relsyn/internal/bitset"
+	"relsyn/internal/tt"
+)
+
+// Counts holds the raw exact pair counts for one output of a
+// specification (paper §5 formulas).
+type Counts struct {
+	// BasePairs is 2·|{(xi,xj) : xi∈on, xj∈off, D_H=1}| — the ordered
+	// care-to-care pairs whose error propagation is fixed regardless of DC
+	// assignment.
+	BasePairs int
+	// MinDCPairs is Σ over DC minterms of min(on-neighbors, off-neighbors):
+	// the fewest additional propagating events any DC assignment can incur.
+	MinDCPairs int
+	// MaxDCPairs is the analogous worst case.
+	MaxDCPairs int
+}
+
+// NormBase returns BasePairs normalized by n·2^n.
+func (c Counts) NormBase(n, size int) float64 { return float64(c.BasePairs) / float64(n*size) }
+
+// NormMin returns the exact minimum error rate, (base + min-dc)/(n·2^n).
+func (c Counts) NormMin(n, size int) float64 {
+	return float64(c.BasePairs+c.MinDCPairs) / float64(n*size)
+}
+
+// NormMax returns the exact maximum error rate, (base + max-dc)/(n·2^n).
+func (c Counts) NormMax(n, size int) float64 {
+	return float64(c.BasePairs+c.MaxDCPairs) / float64(n*size)
+}
+
+// ExactCounts computes the base/min-dc/max-dc pair counts for output o.
+func ExactCounts(f *tt.Function, o int) Counts {
+	var c Counts
+	out := f.Outs[o]
+	off := f.OffSet(o)
+	n := f.NumIn
+	// Base: ordered on-off neighbor pairs, counted in both directions.
+	for b := 0; b < n; b++ {
+		offSh := off.ShiftXor(b)
+		c.BasePairs += 2 * out.On.IntersectionCount(offSh)
+	}
+	out.DC.ForEach(func(m int) {
+		on := f.OnNeighbors(o, m)
+		offN := f.OffNeighbors(o, m)
+		c.MinDCPairs += min(on, offN)
+		c.MaxDCPairs += max(on, offN)
+	})
+	return c
+}
+
+// Bounds returns the exact minimum and maximum achievable error rates for
+// output o over all possible DC assignments.
+func Bounds(f *tt.Function, o int) (lo, hi float64) {
+	c := ExactCounts(f, o)
+	return c.NormMin(f.NumIn, f.Size()), c.NormMax(f.NumIn, f.Size())
+}
+
+// BoundsMean returns Bounds averaged over all outputs.
+func BoundsMean(f *tt.Function) (lo, hi float64) {
+	for o := range f.Outs {
+		l, h := Bounds(f, o)
+		lo += l
+		hi += h
+	}
+	m := float64(f.NumOut())
+	return lo / m, hi / m
+}
+
+// ErrorRate returns the exact single-bit input error rate of output o of
+// implementation impl, evaluated against the care set of specification
+// spec: the fraction of (care minterm, bit) events whose flip changes
+// impl's output value. impl must be completely specified on the care set
+// of spec and is typically a fully specified function. The two functions
+// must have the same dimensions.
+func ErrorRate(spec, impl *tt.Function, o int) float64 {
+	if spec.NumIn != impl.NumIn {
+		panic(fmt.Sprintf("reliability: input count mismatch %d vs %d", spec.NumIn, impl.NumIn))
+	}
+	n := spec.NumIn
+	care := spec.Outs[o].DC.Complement()
+	val := implValue(impl, o)
+	errs := 0
+	for b := 0; b < n; b++ {
+		valSh := val.ShiftXor(b)
+		diff := val.Clone()
+		diff.InPlaceSymDiff(valSh) // minterms whose value differs from the b-neighbor
+		errs += diff.IntersectionCount(care)
+	}
+	return float64(errs) / float64(n*spec.Size())
+}
+
+// implValue returns impl's output-o value vector. DC minterms of impl are
+// taken at value 0; callers measuring implementations should pass fully
+// specified functions (a synthesized circuit always is).
+func implValue(impl *tt.Function, o int) *bitset.Set {
+	return impl.Outs[o].On.Clone()
+}
+
+// ErrorRateMean returns ErrorRate averaged over all outputs — the
+// per-benchmark reliability number used throughout the paper's plots.
+func ErrorRateMean(spec, impl *tt.Function) float64 {
+	sum := 0.0
+	for o := range spec.Outs {
+		sum += ErrorRate(spec, impl, o)
+	}
+	return sum / float64(spec.NumOut())
+}
+
+// SelfErrorRate measures a completely specified function against its own
+// care set (all minterms): the plain fraction of adjacent minterm pairs
+// with differing values.
+func SelfErrorRate(f *tt.Function, o int) float64 {
+	return ErrorRate(f, f, o)
+}
+
+// ErrorRateMulti generalizes ErrorRate to simultaneous k-bit input
+// errors: the fraction of (care minterm, k-subset of input bits) events
+// whose joint flip changes output o of impl. k = 1 reproduces ErrorRate.
+// The paper argues single-bit errors dominate when pin errors are rare
+// and uncorrelated (§2); this extension quantifies the k ≥ 2 tail.
+func ErrorRateMulti(spec, impl *tt.Function, o, k int) float64 {
+	if spec.NumIn != impl.NumIn {
+		panic(fmt.Sprintf("reliability: input count mismatch %d vs %d", spec.NumIn, impl.NumIn))
+	}
+	n := spec.NumIn
+	if k < 1 || k > n {
+		panic(fmt.Sprintf("reliability: error multiplicity %d outside [1,%d]", k, n))
+	}
+	care := spec.Outs[o].DC.Complement()
+	val := implValue(impl, o)
+	errs, events := 0, 0
+	forEachSubset(n, k, func(mask uint) {
+		events++
+		valSh := val
+		for b := 0; b < n; b++ {
+			if mask>>uint(b)&1 == 1 {
+				valSh = valSh.ShiftXor(b)
+			}
+		}
+		diff := val.Clone()
+		diff.InPlaceSymDiff(valSh)
+		errs += diff.IntersectionCount(care)
+	})
+	return float64(errs) / float64(events*spec.Size())
+}
+
+// ErrorRateMultiMean averages ErrorRateMulti over all outputs.
+func ErrorRateMultiMean(spec, impl *tt.Function, k int) float64 {
+	sum := 0.0
+	for o := range spec.Outs {
+		sum += ErrorRateMulti(spec, impl, o, k)
+	}
+	return sum / float64(spec.NumOut())
+}
+
+// forEachSubset enumerates the C(n,k) bit masks with exactly k of n bits
+// set, in ascending order.
+func forEachSubset(n, k int, fn func(mask uint)) {
+	var rec func(start int, mask uint, left int)
+	rec = func(start int, mask uint, left int) {
+		if left == 0 {
+			fn(mask)
+			return
+		}
+		for b := start; b <= n-left; b++ {
+			rec(b+1, mask|1<<uint(b), left-1)
+		}
+	}
+	rec(0, 0, k)
+}
+
+// Borders holds the border counts of paper §5: ordered pairs of 1-Hamming
+// neighbors whose first element is in the named set and whose second is
+// outside it.
+type Borders struct {
+	B0  int // first ∈ off-set
+	B1  int // first ∈ on-set
+	BDC int // first ∈ DC-set
+}
+
+// CountBorders computes the three border counts for output o.
+func CountBorders(f *tt.Function, o int) Borders {
+	out := f.Outs[o]
+	off := f.OffSet(o)
+	var b Borders
+	for bit := 0; bit < f.NumIn; bit++ {
+		onSh := out.On.ShiftXor(bit)
+		dcSh := out.DC.ShiftXor(bit)
+		offSh := off.ShiftXor(bit)
+		// (x ∈ on, neighbor ∉ on): neighbor in off or dc.
+		b.B1 += out.On.IntersectionCount(offSh) + out.On.IntersectionCount(dcSh)
+		b.B0 += off.IntersectionCount(onSh) + off.IntersectionCount(dcSh)
+		b.BDC += out.DC.IntersectionCount(onSh) + out.DC.IntersectionCount(offSh)
+	}
+	return b
+}

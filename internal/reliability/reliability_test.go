@@ -1,0 +1,389 @@
+package reliability
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"relsyn/internal/tt"
+)
+
+func randomFunction(rng *rand.Rand, n, m int) *tt.Function {
+	f := tt.New(n, m)
+	for o := 0; o < m; o++ {
+		for mm := 0; mm < f.Size(); mm++ {
+			f.SetPhase(o, mm, tt.Phase(rng.Intn(3)))
+		}
+	}
+	return f
+}
+
+func naiveExact(f *tt.Function, o int) Counts {
+	var c Counts
+	n := f.NumIn
+	for m := 0; m < f.Size(); m++ {
+		switch f.Phase(o, m) {
+		case tt.On, tt.Off:
+			for b := 0; b < n; b++ {
+				nb := f.Phase(o, m^(1<<uint(b)))
+				if (f.Phase(o, m) == tt.On && nb == tt.Off) || (f.Phase(o, m) == tt.Off && nb == tt.On) {
+					c.BasePairs++
+				}
+			}
+		case tt.DC:
+			on, off := 0, 0
+			for b := 0; b < n; b++ {
+				switch f.Phase(o, m^(1<<uint(b))) {
+				case tt.On:
+					on++
+				case tt.Off:
+					off++
+				}
+			}
+			if on < off {
+				c.MinDCPairs += on
+				c.MaxDCPairs += off
+			} else {
+				c.MinDCPairs += off
+				c.MaxDCPairs += on
+			}
+		}
+	}
+	return c
+}
+
+func TestExactCountsMatchesNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, n := range []int{2, 4, 6, 8} {
+		for trial := 0; trial < 5; trial++ {
+			f := randomFunction(rng, n, 1)
+			got := ExactCounts(f, 0)
+			want := naiveExact(f, 0)
+			if got != want {
+				t.Fatalf("n=%d: got %+v want %+v", n, got, want)
+			}
+		}
+	}
+}
+
+func TestExactCountsXOR(t *testing.T) {
+	// Fully specified parity: every one of the n·2^n events propagates.
+	n := 5
+	f := tt.New(n, 1)
+	for m := 0; m < f.Size(); m++ {
+		if popcount(m)%2 == 1 {
+			f.SetPhase(0, m, tt.On)
+		}
+	}
+	c := ExactCounts(f, 0)
+	if c.BasePairs != n*f.Size() {
+		t.Fatalf("XOR base pairs = %d, want %d", c.BasePairs, n*f.Size())
+	}
+	if c.MinDCPairs != 0 || c.MaxDCPairs != 0 {
+		t.Fatal("fully specified function should have zero DC pair counts")
+	}
+	lo, hi := Bounds(f, 0)
+	if lo != 1.0 || hi != 1.0 {
+		t.Fatalf("XOR bounds = (%v,%v), want (1,1)", lo, hi)
+	}
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		c += x & 1
+		x >>= 1
+	}
+	return c
+}
+
+func TestExactCountsConstant(t *testing.T) {
+	f := tt.New(4, 1)
+	c := ExactCounts(f, 0)
+	if c.BasePairs != 0 || c.MinDCPairs != 0 || c.MaxDCPairs != 0 {
+		t.Fatalf("constant function counts = %+v, want zeros", c)
+	}
+}
+
+func TestBoundsOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 30; trial++ {
+		f := randomFunction(rng, 6, 1)
+		lo, hi := Bounds(f, 0)
+		if lo > hi {
+			t.Fatalf("lo %v > hi %v", lo, hi)
+		}
+		if lo < 0 || hi > 1 {
+			t.Fatalf("bounds (%v,%v) out of [0,1]", lo, hi)
+		}
+	}
+}
+
+// Any complete assignment of the DCs must land inside [lo, hi] when its
+// error rate is measured against the original care set.
+func TestBoundsContainAllAssignments(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 20; trial++ {
+		spec := randomFunction(rng, 5, 1)
+		lo, hi := Bounds(spec, 0)
+		for assignTrial := 0; assignTrial < 10; assignTrial++ {
+			impl := spec.Clone()
+			spec.Outs[0].DC.ForEach(func(m int) {
+				if rng.Intn(2) == 0 {
+					impl.SetPhase(0, m, tt.On)
+				} else {
+					impl.SetPhase(0, m, tt.Off)
+				}
+			})
+			er := ErrorRate(spec, impl, 0)
+			if er < lo-1e-12 || er > hi+1e-12 {
+				t.Fatalf("assignment error rate %v outside bounds [%v,%v]", er, lo, hi)
+			}
+		}
+	}
+}
+
+// Assigning every DC minterm to the majority phase of its specified
+// neighbors achieves... not necessarily the lower bound (DC neighbors also
+// change), but the bound is achieved when DCs are assigned minterm-wise by
+// specified-neighbor majority *and* errors only count care→x events. Here
+// we verify the min bound is met by that greedy assignment.
+func TestMinBoundAchievedByGreedy(t *testing.T) {
+	rng := rand.New(rand.NewSource(44))
+	for trial := 0; trial < 20; trial++ {
+		spec := randomFunction(rng, 5, 1)
+		lo, _ := Bounds(spec, 0)
+		impl := spec.Clone()
+		spec.Outs[0].DC.ForEach(func(m int) {
+			if spec.OnNeighbors(0, m) >= spec.OffNeighbors(0, m) {
+				impl.SetPhase(0, m, tt.On)
+			} else {
+				impl.SetPhase(0, m, tt.Off)
+			}
+		})
+		er := ErrorRate(spec, impl, 0)
+		if math.Abs(er-lo) > 1e-12 {
+			t.Fatalf("greedy assignment rate %v != exact min %v", er, lo)
+		}
+	}
+}
+
+func TestErrorRateNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(45))
+	for trial := 0; trial < 10; trial++ {
+		spec := randomFunction(rng, 5, 1)
+		impl := spec.Clone()
+		spec.Outs[0].DC.ForEach(func(m int) {
+			impl.SetPhase(0, m, tt.Phase(1+rng.Intn(2)%2))
+		})
+		got := ErrorRate(spec, impl, 0)
+		// Naive recount.
+		n := spec.NumIn
+		errs := 0
+		for m := 0; m < spec.Size(); m++ {
+			if spec.Phase(0, m) == tt.DC {
+				continue
+			}
+			for b := 0; b < n; b++ {
+				v1 := impl.Phase(0, m) == tt.On
+				v2 := impl.Phase(0, m^(1<<uint(b))) == tt.On
+				if v1 != v2 {
+					errs++
+				}
+			}
+		}
+		want := float64(errs) / float64(n*spec.Size())
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("ErrorRate = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestErrorRateMean(t *testing.T) {
+	rng := rand.New(rand.NewSource(46))
+	spec := randomFunction(rng, 4, 3)
+	impl := spec.Clone()
+	for o := 0; o < 3; o++ {
+		spec.Outs[o].DC.ForEach(func(m int) { impl.SetPhase(o, m, tt.Off) })
+	}
+	sum := 0.0
+	for o := 0; o < 3; o++ {
+		sum += ErrorRate(spec, impl, o)
+	}
+	if got := ErrorRateMean(spec, impl); math.Abs(got-sum/3) > 1e-12 {
+		t.Fatalf("ErrorRateMean = %v, want %v", got, sum/3)
+	}
+}
+
+func TestSelfErrorRateXORAndConstant(t *testing.T) {
+	n := 4
+	xor := tt.New(n, 1)
+	for m := 0; m < xor.Size(); m++ {
+		if popcount(m)%2 == 1 {
+			xor.SetPhase(0, m, tt.On)
+		}
+	}
+	if got := SelfErrorRate(xor, 0); got != 1.0 {
+		t.Fatalf("XOR self error rate = %v, want 1", got)
+	}
+	if got := SelfErrorRate(tt.New(n, 1), 0); got != 0.0 {
+		t.Fatalf("constant self error rate = %v, want 0", got)
+	}
+}
+
+func TestCountBordersNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(47))
+	for trial := 0; trial < 10; trial++ {
+		f := randomFunction(rng, 6, 1)
+		got := CountBorders(f, 0)
+		var want Borders
+		for m := 0; m < f.Size(); m++ {
+			for b := 0; b < f.NumIn; b++ {
+				p1 := f.Phase(0, m)
+				p2 := f.Phase(0, m^(1<<uint(b)))
+				if p1 == p2 {
+					continue
+				}
+				switch p1 {
+				case tt.Off:
+					want.B0++
+				case tt.On:
+					want.B1++
+				case tt.DC:
+					want.BDC++
+				}
+			}
+		}
+		if got != want {
+			t.Fatalf("borders got %+v want %+v", got, want)
+		}
+	}
+}
+
+// Border identity: every off↔on, off↔dc, on↔dc adjacency is counted once
+// from each side, so B0+B1+BDC is even and the base pairs relate as
+// BasePairs = B0 + B1 - BDC... no — BasePairs counts only on↔off pairs
+// (both directions). Check the weaker consistency: BasePairs ≤ B0 + B1.
+func TestBorderConsistency(t *testing.T) {
+	rng := rand.New(rand.NewSource(48))
+	for trial := 0; trial < 20; trial++ {
+		f := randomFunction(rng, 6, 1)
+		b := CountBorders(f, 0)
+		c := ExactCounts(f, 0)
+		if c.BasePairs > b.B0+b.B1 {
+			t.Fatalf("BasePairs %d > B0+B1 %d", c.BasePairs, b.B0+b.B1)
+		}
+		// (B0+B1+BDC) counts each mixed-phase unordered pair exactly twice.
+		if (b.B0+b.B1+b.BDC)%2 != 0 {
+			t.Fatalf("border total %d should be even", b.B0+b.B1+b.BDC)
+		}
+		// on↔off pairs counted from both sides: base = B0+B1-2·(dc-adjacent
+		// specified pairs)... direct identity: B0 + B1 - BasePairs equals the
+		// number of ordered specified↔DC adjacencies, which equals BDC.
+		if b.B0+b.B1-c.BasePairs != b.BDC {
+			t.Fatalf("identity B0+B1-Base == BDC violated: %d vs %d",
+				b.B0+b.B1-c.BasePairs, b.BDC)
+		}
+	}
+}
+
+func TestErrorRateMultiK1MatchesErrorRate(t *testing.T) {
+	rng := rand.New(rand.NewSource(481))
+	for trial := 0; trial < 10; trial++ {
+		spec := randomFunction(rng, 6, 1)
+		impl := spec.Clone()
+		spec.Outs[0].DC.ForEach(func(m int) { impl.SetPhase(0, m, tt.Off) })
+		a := ErrorRate(spec, impl, 0)
+		b := ErrorRateMulti(spec, impl, 0, 1)
+		if math.Abs(a-b) > 1e-12 {
+			t.Fatalf("k=1 multi rate %v != single rate %v", b, a)
+		}
+	}
+}
+
+func TestErrorRateMultiNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(482))
+	spec := randomFunction(rng, 5, 1)
+	impl := spec.Clone()
+	spec.Outs[0].DC.ForEach(func(m int) { impl.SetPhase(0, m, tt.On) })
+	for _, k := range []int{2, 3} {
+		got := ErrorRateMulti(spec, impl, 0, k)
+		// Naive: enumerate all k-subsets and care minterms.
+		n := spec.NumIn
+		errs, events := 0, 0
+		var masks []uint
+		forEachSubset(n, k, func(m uint) { masks = append(masks, m) })
+		for _, mask := range masks {
+			events++
+			for m := 0; m < spec.Size(); m++ {
+				if spec.Phase(0, m) == tt.DC {
+					continue
+				}
+				v1 := impl.Phase(0, m) == tt.On
+				v2 := impl.Phase(0, m^int(mask)) == tt.On
+				if v1 != v2 {
+					errs++
+				}
+			}
+		}
+		want := float64(errs) / float64(events*spec.Size())
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("k=%d: got %v want %v", k, got, want)
+		}
+	}
+}
+
+func TestErrorRateMultiXOR(t *testing.T) {
+	// Parity flips on every odd-multiplicity error and never on even.
+	n := 5
+	f := tt.New(n, 1)
+	for m := 0; m < f.Size(); m++ {
+		if popcount(m)%2 == 1 {
+			f.SetPhase(0, m, tt.On)
+		}
+	}
+	if got := ErrorRateMulti(f, f, 0, 2); got != 0 {
+		t.Fatalf("XOR 2-bit rate = %v, want 0", got)
+	}
+	if got := ErrorRateMulti(f, f, 0, 3); got != 1 {
+		t.Fatalf("XOR 3-bit rate = %v, want 1", got)
+	}
+}
+
+func TestForEachSubsetCount(t *testing.T) {
+	count := 0
+	seen := map[uint]bool{}
+	forEachSubset(6, 3, func(m uint) {
+		count++
+		if popcount(int(m)) != 3 {
+			t.Fatalf("mask %b has wrong popcount", m)
+		}
+		if seen[m] {
+			t.Fatalf("duplicate mask %b", m)
+		}
+		seen[m] = true
+	})
+	if count != 20 { // C(6,3)
+		t.Fatalf("enumerated %d subsets, want 20", count)
+	}
+}
+
+func TestErrorRateDimensionMismatchPanics(t *testing.T) {
+	a, b := tt.New(3, 1), tt.New(4, 1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on dimension mismatch")
+		}
+	}()
+	ErrorRate(a, b, 0)
+}
+
+func BenchmarkExactCounts12(b *testing.B) {
+	rng := rand.New(rand.NewSource(49))
+	f := randomFunction(rng, 12, 1)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ExactCounts(f, 0)
+	}
+}

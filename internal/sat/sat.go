@@ -1,0 +1,388 @@
+// Package sat is a small CNF satisfiability solver: DPLL search with
+// two-watched-literal unit propagation, conflict-driven clause learning
+// (first-UIP), non-chronological backjumping, and VSIDS-style activity
+// ordering. It is the engine behind SAT-based equivalence checking of
+// AIGs (package aig), the scalable alternative to exhaustive simulation
+// — the role SAT plays in the paper's reference [16] (Mishchenko et al.,
+// "Using simulation and satisfiability to compute flexibilities in
+// Boolean networks").
+package sat
+
+import "fmt"
+
+// Lit is a literal: variable index shifted left once, LSB = negated.
+// Variables are 1-based so the zero Lit is invalid.
+type Lit int32
+
+// MkLit builds a literal from a 1-based variable and polarity.
+func MkLit(v int, neg bool) Lit {
+	l := Lit(v << 1)
+	if neg {
+		l |= 1
+	}
+	return l
+}
+
+// Var returns the literal's 1-based variable.
+func (l Lit) Var() int { return int(l >> 1) }
+
+// Neg reports whether the literal is negated.
+func (l Lit) Neg() bool { return l&1 == 1 }
+
+// Not complements the literal.
+func (l Lit) Not() Lit { return l ^ 1 }
+
+func (l Lit) String() string {
+	if l.Neg() {
+		return fmt.Sprintf("-%d", l.Var())
+	}
+	return fmt.Sprintf("%d", l.Var())
+}
+
+type lbool int8
+
+const (
+	lUndef lbool = iota
+	lTrue
+	lFalse
+)
+
+// Solver holds the clause database and search state.
+type Solver struct {
+	numVars int
+	clauses [][]Lit // clause 0.. ; learned clauses appended
+	watches map[Lit][]int
+
+	assign   []lbool // 1-based by variable
+	level    []int
+	reason   []int // clause index or -1 for decisions/unassigned
+	trail    []Lit
+	trailLim []int
+
+	activity []float64
+	varInc   float64
+
+	propagations int64
+	conflicts    int64
+	maxConflicts int64
+}
+
+// New returns a solver for numVars variables (1-based).
+func New(numVars int) *Solver {
+	s := &Solver{
+		numVars:      numVars,
+		watches:      map[Lit][]int{},
+		assign:       make([]lbool, numVars+1),
+		level:        make([]int, numVars+1),
+		reason:       make([]int, numVars+1),
+		activity:     make([]float64, numVars+1),
+		varInc:       1,
+		maxConflicts: 1 << 22,
+	}
+	for i := range s.reason {
+		s.reason[i] = -1
+	}
+	return s
+}
+
+// NumVars returns the declared variable count.
+func (s *Solver) NumVars() int { return s.numVars }
+
+// AddClause adds a clause; it returns false if the database is already
+// trivially unsatisfiable (empty clause).
+func (s *Solver) AddClause(lits ...Lit) bool {
+	// Deduplicate and detect tautologies.
+	seen := map[Lit]bool{}
+	var c []Lit
+	for _, l := range lits {
+		if l.Var() < 1 || l.Var() > s.numVars {
+			panic(fmt.Sprintf("sat: literal %v out of range", l))
+		}
+		if seen[l.Not()] {
+			return true // tautology: x ∨ ¬x
+		}
+		if !seen[l] {
+			seen[l] = true
+			c = append(c, l)
+		}
+	}
+	if len(c) == 0 {
+		s.clauses = append(s.clauses, c)
+		return false
+	}
+	s.attach(c)
+	return true
+}
+
+func (s *Solver) attach(c []Lit) {
+	idx := len(s.clauses)
+	s.clauses = append(s.clauses, c)
+	s.watches[c[0]] = append(s.watches[c[0]], idx)
+	if len(c) > 1 {
+		s.watches[c[1]] = append(s.watches[c[1]], idx)
+	}
+}
+
+func (s *Solver) value(l Lit) lbool {
+	v := s.assign[l.Var()]
+	if v == lUndef {
+		return lUndef
+	}
+	if l.Neg() {
+		if v == lTrue {
+			return lFalse
+		}
+		return lTrue
+	}
+	return v
+}
+
+func (s *Solver) enqueue(l Lit, reason int) bool {
+	switch s.value(l) {
+	case lTrue:
+		return true
+	case lFalse:
+		return false
+	}
+	v := l.Var()
+	if l.Neg() {
+		s.assign[v] = lFalse
+	} else {
+		s.assign[v] = lTrue
+	}
+	s.level[v] = s.decisionLevel()
+	s.reason[v] = reason
+	s.trail = append(s.trail, l)
+	return true
+}
+
+func (s *Solver) decisionLevel() int { return len(s.trailLim) }
+
+// propagate runs unit propagation; it returns the index of a conflicting
+// clause or -1.
+func (s *Solver) propagate(qhead *int) int {
+	for *qhead < len(s.trail) {
+		l := s.trail[*qhead]
+		*qhead++
+		s.propagations++
+		falsified := l.Not()
+		ws := s.watches[falsified]
+		var kept []int
+		for wi := 0; wi < len(ws); wi++ {
+			ci := ws[wi]
+			c := s.clauses[ci]
+			if len(c) == 1 {
+				// A watched unit clause whose literal got falsified.
+				kept = append(kept, ci)
+				kept = append(kept, ws[wi+1:]...)
+				s.watches[falsified] = kept
+				return ci
+			}
+			// Ensure the falsified literal is at position 1.
+			if c[0] == falsified {
+				c[0], c[1] = c[1], c[0]
+			}
+			if s.value(c[0]) == lTrue {
+				kept = append(kept, ci)
+				continue
+			}
+			// Find a new watch.
+			moved := false
+			for k := 2; k < len(c); k++ {
+				if s.value(c[k]) != lFalse {
+					c[1], c[k] = c[k], c[1]
+					s.watches[c[1]] = append(s.watches[c[1]], ci)
+					moved = true
+					break
+				}
+			}
+			if moved {
+				continue
+			}
+			kept = append(kept, ci)
+			// Unit or conflicting.
+			if !s.enqueue(c[0], ci) {
+				kept = append(kept, ws[wi+1:]...)
+				s.watches[falsified] = kept
+				return ci
+			}
+		}
+		s.watches[falsified] = kept
+	}
+	return -1
+}
+
+// analyze computes the first-UIP learned clause and backjump level.
+func (s *Solver) analyze(conflict int) ([]Lit, int) {
+	learned := []Lit{0} // slot 0 for the asserting literal
+	seen := make([]bool, s.numVars+1)
+	counter := 0
+	var p Lit
+	idx := len(s.trail) - 1
+	ci := conflict
+
+	for {
+		c := s.clauses[ci]
+		for _, q := range c {
+			if p != 0 && q == p {
+				continue
+			}
+			v := q.Var()
+			if !seen[v] && s.level[v] > 0 {
+				seen[v] = true
+				s.bumpVar(v)
+				if s.level[v] == s.decisionLevel() {
+					counter++
+				} else {
+					learned = append(learned, q)
+				}
+			}
+		}
+		// Pick the next trail literal at the current level to resolve on.
+		for !seen[s.trail[idx].Var()] {
+			idx--
+		}
+		p = s.trail[idx]
+		idx--
+		seen[p.Var()] = false
+		counter--
+		if counter == 0 {
+			break
+		}
+		ci = s.reason[p.Var()]
+	}
+	learned[0] = p.Not()
+
+	// Backjump level = max level among the other literals.
+	bl := 0
+	for _, q := range learned[1:] {
+		if s.level[q.Var()] > bl {
+			bl = s.level[q.Var()]
+		}
+	}
+	return learned, bl
+}
+
+func (s *Solver) bumpVar(v int) {
+	s.activity[v] += s.varInc
+	if s.activity[v] > 1e100 {
+		for i := range s.activity {
+			s.activity[i] *= 1e-100
+		}
+		s.varInc *= 1e-100
+	}
+}
+
+func (s *Solver) cancelUntil(level int) {
+	if s.decisionLevel() <= level {
+		return
+	}
+	limit := s.trailLim[level]
+	for i := len(s.trail) - 1; i >= limit; i-- {
+		v := s.trail[i].Var()
+		s.assign[v] = lUndef
+		s.reason[v] = -1
+	}
+	s.trail = s.trail[:limit]
+	s.trailLim = s.trailLim[:level]
+}
+
+func (s *Solver) pickBranchVar() int {
+	best, bestAct := 0, -1.0
+	for v := 1; v <= s.numVars; v++ {
+		if s.assign[v] == lUndef && s.activity[v] > bestAct {
+			best, bestAct = v, s.activity[v]
+		}
+	}
+	return best
+}
+
+// Result of a Solve call.
+type Result int
+
+// Solve outcomes.
+const (
+	Unsat Result = iota
+	Sat
+	Unknown // conflict budget exhausted
+)
+
+// Solve decides satisfiability under the optional assumptions. On Sat,
+// Model reports the satisfying assignment.
+func (s *Solver) Solve(assumptions ...Lit) Result {
+	// Empty clause already present? Enqueue root-level units.
+	s.cancelUntil(0)
+	qhead := 0
+	for ci, c := range s.clauses {
+		switch len(c) {
+		case 0:
+			return Unsat
+		case 1:
+			if !s.enqueue(c[0], ci) {
+				return Unsat
+			}
+		}
+	}
+	if s.propagate(&qhead) != -1 {
+		return Unsat
+	}
+	// Apply assumptions as level-1.. decisions.
+	for _, a := range assumptions {
+		switch s.value(a) {
+		case lTrue:
+			continue
+		case lFalse:
+			s.cancelUntil(0)
+			return Unsat
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.enqueue(a, -1)
+		if s.propagate(&qhead) != -1 {
+			s.cancelUntil(0)
+			return Unsat
+		}
+	}
+	assumptionLevel := s.decisionLevel()
+
+	for {
+		conflict := s.propagate(&qhead)
+		if conflict != -1 {
+			s.conflicts++
+			if s.conflicts > s.maxConflicts {
+				s.cancelUntil(0)
+				return Unknown
+			}
+			if s.decisionLevel() <= assumptionLevel {
+				s.cancelUntil(0)
+				return Unsat
+			}
+			learned, bl := s.analyze(conflict)
+			if bl < assumptionLevel {
+				bl = assumptionLevel
+			}
+			s.cancelUntil(bl)
+			qhead = len(s.trail)
+			// Attach the learned clause (units too, so the knowledge
+			// survives later backjumps) and assert its first literal.
+			s.attach(learned)
+			if !s.enqueue(learned[0], len(s.clauses)-1) {
+				s.cancelUntil(0)
+				return Unsat
+			}
+			s.varInc *= 1.05
+			continue
+		}
+		v := s.pickBranchVar()
+		if v == 0 {
+			return Sat // all assigned, no conflict
+		}
+		s.trailLim = append(s.trailLim, len(s.trail))
+		s.enqueue(MkLit(v, true), -1) // branch false first
+	}
+}
+
+// Model returns the value of variable v after a Sat result.
+func (s *Solver) Model(v int) bool { return s.assign[v] == lTrue }
+
+// Stats reports (propagations, conflicts).
+func (s *Solver) Stats() (int64, int64) { return s.propagations, s.conflicts }

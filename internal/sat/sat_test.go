@@ -1,0 +1,188 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestTrivial(t *testing.T) {
+	s := New(2)
+	s.AddClause(MkLit(1, false))
+	s.AddClause(MkLit(2, true))
+	if got := s.Solve(); got != Sat {
+		t.Fatalf("Solve = %v, want Sat", got)
+	}
+	if !s.Model(1) || s.Model(2) {
+		t.Fatalf("model wrong: x1=%v x2=%v", s.Model(1), s.Model(2))
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	s := New(1)
+	if ok := s.AddClause(); ok {
+		t.Fatal("empty clause reported satisfiable database")
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("empty clause not Unsat")
+	}
+}
+
+func TestContradictoryUnits(t *testing.T) {
+	s := New(1)
+	s.AddClause(MkLit(1, false))
+	s.AddClause(MkLit(1, true))
+	if s.Solve() != Unsat {
+		t.Fatal("x ∧ ¬x should be Unsat")
+	}
+}
+
+func TestTautologyClauseDropped(t *testing.T) {
+	s := New(2)
+	s.AddClause(MkLit(1, false), MkLit(1, true)) // x ∨ ¬x
+	s.AddClause(MkLit(2, false))
+	if s.Solve() != Sat {
+		t.Fatal("tautology should not constrain anything")
+	}
+}
+
+func TestPigeonhole3into2(t *testing.T) {
+	// PHP(3,2): 3 pigeons, 2 holes — classic small Unsat instance.
+	// var p(i,h) = 1 + i*2 + h, i in 0..2, h in 0..1.
+	v := func(i, h int) Lit { return MkLit(1+i*2+h, false) }
+	s := New(6)
+	for i := 0; i < 3; i++ {
+		s.AddClause(v(i, 0), v(i, 1)) // each pigeon somewhere
+	}
+	for h := 0; h < 2; h++ {
+		for i := 0; i < 3; i++ {
+			for j := i + 1; j < 3; j++ {
+				s.AddClause(v(i, h).Not(), v(j, h).Not()) // no sharing
+			}
+		}
+	}
+	if s.Solve() != Unsat {
+		t.Fatal("PHP(3,2) should be Unsat")
+	}
+}
+
+func TestAssumptions(t *testing.T) {
+	// (x1 ∨ x2) ∧ (¬x1 ∨ x3)
+	s := New(3)
+	s.AddClause(MkLit(1, false), MkLit(2, false))
+	s.AddClause(MkLit(1, true), MkLit(3, false))
+	if s.Solve(MkLit(1, false), MkLit(3, true)) != Unsat {
+		t.Fatal("assuming x1 ∧ ¬x3 should be Unsat")
+	}
+	if s.Solve(MkLit(1, false)) != Sat {
+		t.Fatal("assuming x1 alone should be Sat")
+	}
+	if !s.Model(3) {
+		t.Fatal("x3 must be true when x1 assumed")
+	}
+	// Solver must be reusable after assumption calls.
+	if s.Solve() != Sat {
+		t.Fatal("plain Solve after assumptions should be Sat")
+	}
+}
+
+// brute checks satisfiability by exhaustive enumeration.
+func brute(numVars int, clauses [][]Lit) bool {
+	for m := 0; m < 1<<uint(numVars); m++ {
+		ok := true
+		for _, c := range clauses {
+			sat := false
+			for _, l := range c {
+				val := m>>uint(l.Var()-1)&1 == 1
+				if val != l.Neg() {
+					sat = true
+					break
+				}
+			}
+			if !sat {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRandom3SATAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(211))
+	for trial := 0; trial < 300; trial++ {
+		n := 3 + rng.Intn(10)
+		// Around the 3-SAT phase transition for small n.
+		m := 2 + rng.Intn(5*n)
+		var clauses [][]Lit
+		s := New(n)
+		for i := 0; i < m; i++ {
+			var c []Lit
+			for k := 0; k < 3; k++ {
+				c = append(c, MkLit(1+rng.Intn(n), rng.Intn(2) == 0))
+			}
+			clauses = append(clauses, c)
+			s.AddClause(c...)
+		}
+		want := brute(n, clauses)
+		got := s.Solve()
+		if got == Unknown {
+			t.Fatal("budget exhausted on tiny instance")
+		}
+		if (got == Sat) != want {
+			t.Fatalf("trial %d: Solve=%v, brute=%v (n=%d m=%d)", trial, got, want, n, m)
+		}
+		if got == Sat {
+			// The returned model must actually satisfy every clause.
+			for _, c := range clauses {
+				sat := false
+				for _, l := range c {
+					if s.Model(l.Var()) != l.Neg() {
+						sat = true
+						break
+					}
+				}
+				if !sat {
+					t.Fatalf("trial %d: model does not satisfy clause %v", trial, c)
+				}
+			}
+		}
+	}
+}
+
+func TestLitHelpers(t *testing.T) {
+	l := MkLit(7, true)
+	if l.Var() != 7 || !l.Neg() || l.Not().Neg() || l.Not().Var() != 7 {
+		t.Fatal("literal helpers broken")
+	}
+	if l.String() != "-7" || l.Not().String() != "7" {
+		t.Fatalf("String: %s %s", l, l.Not())
+	}
+}
+
+func TestOutOfRangeLiteralPanics(t *testing.T) {
+	s := New(2)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	s.AddClause(MkLit(3, false))
+}
+
+func BenchmarkRandom3SAT50(b *testing.B) {
+	rng := rand.New(rand.NewSource(212))
+	for i := 0; i < b.N; i++ {
+		n := 50
+		s := New(n)
+		for j := 0; j < 4*n; j++ {
+			s.AddClause(
+				MkLit(1+rng.Intn(n), rng.Intn(2) == 0),
+				MkLit(1+rng.Intn(n), rng.Intn(2) == 0),
+				MkLit(1+rng.Intn(n), rng.Intn(2) == 0))
+		}
+		s.Solve()
+	}
+}

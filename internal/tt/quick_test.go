@@ -1,0 +1,89 @@
+package tt
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: after any random sequence of SetPhase operations, the
+// representation invariant (On ∩ DC = ∅) holds and Phase reads back the
+// last write for every minterm.
+func TestQuickSetPhaseConsistency(t *testing.T) {
+	f := func(seed int64, nRaw, mRaw uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + int(nRaw)%6
+		m := 1 + int(mRaw)%3
+		fn := New(n, m)
+		shadow := make([][]Phase, m)
+		for o := range shadow {
+			shadow[o] = make([]Phase, fn.Size())
+		}
+		for i := 0; i < 200; i++ {
+			o := rng.Intn(m)
+			mm := rng.Intn(fn.Size())
+			p := Phase(rng.Intn(3))
+			fn.SetPhase(o, mm, p)
+			shadow[o][mm] = p
+		}
+		if err := fn.Validate(); err != nil {
+			return false
+		}
+		for o := 0; o < m; o++ {
+			for mm := 0; mm < fn.Size(); mm++ {
+				if fn.Phase(o, mm) != shadow[o][mm] {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: signal probabilities always sum to 1 and the off-set
+// complement identity holds.
+func TestQuickProbabilityPartition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fn := New(1+rng.Intn(7), 1)
+		for mm := 0; mm < fn.Size(); mm++ {
+			fn.SetPhase(0, mm, Phase(rng.Intn(3)))
+		}
+		f0, f1, fdc := fn.SignalProbabilities(0)
+		if f0+f1+fdc < 0.999999 || f0+f1+fdc > 1.000001 {
+			return false
+		}
+		off := fn.OffSet(0)
+		return off.Count() == int(f0*float64(fn.Size())+0.5) &&
+			!off.IntersectsWith(fn.Outs[0].On) &&
+			!off.IntersectsWith(fn.Outs[0].DC)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: cover round trip (OnCover/DCCover -> SetFromCover) is the
+// identity for any random function.
+func TestQuickCoverRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		fn := New(1+rng.Intn(6), 1+rng.Intn(3))
+		for o := 0; o < fn.NumOut(); o++ {
+			for mm := 0; mm < fn.Size(); mm++ {
+				fn.SetPhase(o, mm, Phase(rng.Intn(3)))
+			}
+		}
+		g := New(fn.NumIn, fn.NumOut())
+		for o := 0; o < fn.NumOut(); o++ {
+			g.SetFromCover(o, fn.OnCover(o), fn.DCCover(o))
+		}
+		return fn.Equal(g)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

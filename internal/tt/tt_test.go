@@ -1,0 +1,195 @@
+package tt
+
+import (
+	"math/rand"
+	"testing"
+
+	"relsyn/internal/cube"
+)
+
+func TestNewShape(t *testing.T) {
+	f := New(4, 3)
+	if f.Size() != 16 || f.NumOut() != 3 || f.NumIn != 4 {
+		t.Fatalf("shape wrong: size=%d outs=%d", f.Size(), f.NumOut())
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for o := 0; o < 3; o++ {
+		for m := 0; m < 16; m++ {
+			if f.Phase(o, m) != Off {
+				t.Fatalf("new function not all-off at (%d,%d)", o, m)
+			}
+		}
+	}
+}
+
+func TestSetPhaseRoundTrip(t *testing.T) {
+	f := New(3, 1)
+	for m := 0; m < 8; m++ {
+		p := Phase(m % 3)
+		f.SetPhase(0, m, p)
+		if got := f.Phase(0, m); got != p {
+			t.Fatalf("phase(%d) = %v, want %v", m, got, p)
+		}
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite DC with On and check disjointness is preserved.
+	f.SetPhase(0, 2, DC)
+	f.SetPhase(0, 2, On)
+	if err := f.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if f.Phase(0, 2) != On {
+		t.Fatal("overwrite DC->On failed")
+	}
+}
+
+func TestOffSetAndSignalProbabilities(t *testing.T) {
+	f := New(3, 1) // 8 minterms
+	f.SetPhase(0, 0, On)
+	f.SetPhase(0, 1, On)
+	f.SetPhase(0, 2, DC)
+	f0, f1, fdc := f.SignalProbabilities(0)
+	if f1 != 2.0/8 || fdc != 1.0/8 || f0 != 5.0/8 {
+		t.Fatalf("probabilities = %v %v %v", f0, f1, fdc)
+	}
+	off := f.OffSet(0)
+	if off.Count() != 5 || off.Test(0) || off.Test(2) || !off.Test(3) {
+		t.Fatalf("offset wrong: %v", off)
+	}
+	if f0+f1+fdc != 1.0 {
+		t.Fatal("probabilities do not sum to 1")
+	}
+}
+
+func TestDCFraction(t *testing.T) {
+	f := New(2, 2) // 4 minterms x 2 outputs
+	f.SetPhase(0, 0, DC)
+	f.SetPhase(1, 0, DC)
+	f.SetPhase(1, 1, DC)
+	if got := f.DCFraction(); got != 3.0/8 {
+		t.Fatalf("DCFraction = %v, want 3/8", got)
+	}
+	if f.CompletelySpecified() {
+		t.Fatal("function with DCs reported completely specified")
+	}
+	g := New(2, 2)
+	if !g.CompletelySpecified() {
+		t.Fatal("all-off function should be completely specified")
+	}
+}
+
+func TestNeighborCounts(t *testing.T) {
+	// 3 inputs; set minterm 0's neighbors: 1 (on), 2 (dc), 4 (off).
+	f := New(3, 1)
+	f.SetPhase(0, 1, On)
+	f.SetPhase(0, 2, DC)
+	if got := f.OnNeighbors(0, 0); got != 1 {
+		t.Fatalf("OnNeighbors = %d, want 1", got)
+	}
+	if got := f.OffNeighbors(0, 0); got != 1 {
+		t.Fatalf("OffNeighbors = %d, want 1", got)
+	}
+	// on + off + dc neighbors == NumIn
+	dcN := f.NumIn - f.OnNeighbors(0, 0) - f.OffNeighbors(0, 0)
+	if dcN != 1 {
+		t.Fatalf("DC neighbors = %d, want 1", dcN)
+	}
+}
+
+func TestNeighborCountsExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	f := New(5, 1)
+	for m := 0; m < 32; m++ {
+		f.SetPhase(0, m, Phase(rng.Intn(3)))
+	}
+	for m := 0; m < 32; m++ {
+		on, off, dc := 0, 0, 0
+		for b := 0; b < 5; b++ {
+			switch f.Phase(0, m^(1<<b)) {
+			case On:
+				on++
+			case Off:
+				off++
+			case DC:
+				dc++
+			}
+		}
+		if f.OnNeighbors(0, m) != on || f.OffNeighbors(0, m) != off {
+			t.Fatalf("neighbor counts wrong at %d", m)
+		}
+		if on+off+dc != 5 {
+			t.Fatal("neighbor classification does not partition")
+		}
+	}
+}
+
+func TestCoversRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	f := New(6, 2)
+	for o := 0; o < 2; o++ {
+		for m := 0; m < 64; m++ {
+			f.SetPhase(o, m, Phase(rng.Intn(3)))
+		}
+	}
+	g := New(6, 2)
+	for o := 0; o < 2; o++ {
+		g.SetFromCover(o, f.OnCover(o), f.DCCover(o))
+	}
+	if !f.Equal(g) {
+		t.Fatal("cover round trip lost information")
+	}
+}
+
+func TestSetFromCoverDCWins(t *testing.T) {
+	f := New(2, 1)
+	on, _ := cube.Parse("1-")
+	dc, _ := cube.Parse("11")
+	f.SetFromCover(0, cube.CoverOf(2, on), cube.CoverOf(2, dc))
+	if f.Phase(0, 0b01) != On { // x0=1,x1=0
+		t.Fatal("minterm 01 should be on")
+	}
+	if f.Phase(0, 0b11) != DC {
+		t.Fatal("overlapping minterm should be DC (fd semantics)")
+	}
+}
+
+func TestEvalCover(t *testing.T) {
+	f := New(3, 1)
+	f.SetPhase(0, 0b011, On)
+	f.SetPhase(0, 0b111, DC)
+	// Implementation: x0 & x1 — covers minterms 0b011 and 0b111.
+	c, _ := cube.Parse("11-")
+	impl := cube.CoverOf(3, c)
+	if m, ok := f.EvalCover(0, impl); !ok {
+		t.Fatalf("valid implementation rejected at minterm %d", m)
+	}
+	// Breaking implementation: misses the on-set minterm.
+	bad := cube.NewCover(3)
+	if m, ok := f.EvalCover(0, bad); ok || m != 0b011 {
+		t.Fatalf("invalid implementation accepted (m=%d ok=%v)", m, ok)
+	}
+}
+
+func TestCloneAndEqual(t *testing.T) {
+	f := New(3, 1)
+	f.SetPhase(0, 5, On)
+	g := f.Clone()
+	if !f.Equal(g) {
+		t.Fatal("clone not equal")
+	}
+	g.SetPhase(0, 6, DC)
+	if f.Equal(g) {
+		t.Fatal("mutated clone still equal")
+	}
+	if f.Phase(0, 6) != Off {
+		t.Fatal("clone shares storage")
+	}
+	h := New(4, 1)
+	if f.Equal(h) {
+		t.Fatal("different widths reported equal")
+	}
+}

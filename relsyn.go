@@ -1,0 +1,238 @@
+// Package relsyn is a library for reliability-driven don't-care
+// assignment in logic synthesis, reproducing Zukoski, Choudhury &
+// Mohanram, "Reliability-driven don't care assignment for logic
+// synthesis" (DATE 2011).
+//
+// Incompletely specified Boolean functions carry don't-care (DC)
+// minterms that conventional synthesis spends purely on area. This
+// package instead assigns selected DCs to maximize logical derating of
+// single-bit input errors, then hands the remaining flexibility to a
+// conventional flow:
+//
+//	spec, _ := relsyn.LoadBenchmark("ex1010")
+//	res, _ := relsyn.RankingAssign(spec, 0.5)       // paper Fig. 3
+//	impl, _ := relsyn.Synthesize(res.Func, relsyn.SynthOptions{})
+//	fmt.Println(relsyn.ErrorRate(spec, impl.Impl))  // input-error rate
+//	fmt.Println(impl.Metrics.Area)                   // mapped area
+//
+// The package is a facade over the internal packages: truth tables
+// (internal/tt), .pla I/O (internal/pla), the assignment algorithms
+// (internal/core), complexity-factor metrics (internal/complexity),
+// exact reliability metrics (internal/reliability), analytical bounds
+// (internal/estimate), an espresso-style minimizer, algebraic factoring,
+// AIG optimization and technology mapping (internal/{espresso, factor,
+// aig, mapper, celllib, synth}), synthetic benchmark generation
+// (internal/synthetic, internal/benchmarks), and nodal decomposition
+// with internal-DC reassignment (internal/network).
+package relsyn
+
+import (
+	"io"
+
+	"relsyn/internal/aig"
+	"relsyn/internal/benchmarks"
+	"relsyn/internal/blif"
+	"relsyn/internal/cec"
+	"relsyn/internal/complexity"
+	"relsyn/internal/core"
+	"relsyn/internal/estimate"
+	"relsyn/internal/faultsim"
+	"relsyn/internal/network"
+	"relsyn/internal/pla"
+	"relsyn/internal/reliability"
+	"relsyn/internal/synth"
+	"relsyn/internal/synthetic"
+	"relsyn/internal/tt"
+)
+
+// Function is an incompletely specified multi-output Boolean function
+// held as dense truth tables (one on-set and one DC-set per output).
+type Function = tt.Function
+
+// Phase classifies a minterm for one output: Off, On, or DC.
+type Phase = tt.Phase
+
+// Minterm phases.
+const (
+	Off = tt.Off
+	On  = tt.On
+	DC  = tt.DC
+)
+
+// NewFunction returns an all-zero function with n inputs and m outputs.
+func NewFunction(n, m int) *Function { return tt.New(n, m) }
+
+// ParsePLA reads an Espresso-format .pla description (types f, fd, fr,
+// fdr) into a dense function.
+func ParsePLA(r io.Reader) (*Function, error) {
+	file, err := pla.Parse(r)
+	if err != nil {
+		return nil, err
+	}
+	return file.ToFunction()
+}
+
+// WritePLA serializes a function as a type-fd .pla file with one row per
+// on-set or DC minterm.
+func WritePLA(w io.Writer, f *Function) error {
+	return pla.FromFunction(f, nil, nil).Write(w)
+}
+
+// BenchmarkSpec describes one benchmark of the evaluation suite (the
+// stand-ins for paper Table 1; see internal/benchmarks).
+type BenchmarkSpec = benchmarks.Spec
+
+// Benchmarks lists the evaluation suite in paper order.
+func Benchmarks() []BenchmarkSpec { return benchmarks.Specs() }
+
+// LoadBenchmark deterministically generates the named suite benchmark.
+func LoadBenchmark(name string) (*Function, error) { return benchmarks.Load(name) }
+
+// AssignOptions tunes the assignment algorithms; see core.Options.
+type AssignOptions = core.Options
+
+// AssignResult reports an assignment pass; Func holds the partially
+// bound function, ready for synthesis.
+type AssignResult = core.Result
+
+// RankingAssign runs the paper's Fig. 3 ranking-based algorithm, binding
+// the top fraction ∈ [0,1] of each output's rankable DC minterms to the
+// majority phase of their specified neighbors.
+func RankingAssign(f *Function, fraction float64) (*AssignResult, error) {
+	return core.Ranking(f, fraction, core.Options{})
+}
+
+// LCFAssign runs the paper's Fig. 7 complexity-factor-based algorithm:
+// a DC minterm is bound iff its local complexity factor is below
+// threshold (0.45–0.65 recommended).
+func LCFAssign(f *Function, threshold float64) (*AssignResult, error) {
+	return core.LCF(f, threshold, core.Options{})
+}
+
+// CompleteAssign binds every DC minterm for reliability (the paper's
+// "Complete" column — maximal masking, typically large overhead).
+func CompleteAssign(f *Function) *AssignResult { return core.Complete(f) }
+
+// RankingAssignBDD is RankingAssign computed over BDD set
+// representations (the paper's CUDD-based implementation); results are
+// bit-identical to RankingAssign.
+func RankingAssignBDD(f *Function, fraction float64) (*AssignResult, error) {
+	return core.RankingBDD(f, fraction, core.Options{})
+}
+
+// LCFAssignBDD is LCFAssign computed over BDD set representations;
+// results are bit-identical to LCFAssign.
+func LCFAssignBDD(f *Function, threshold float64) (*AssignResult, error) {
+	return core.LCFBDD(f, threshold, core.Options{})
+}
+
+// ComplexityFactor returns the mean normalized complexity factor C^f
+// across outputs (paper §2.2).
+func ComplexityFactor(f *Function) float64 { return complexity.FactorMean(f) }
+
+// ExpectedComplexityFactor returns the mean E[C^f] = f0²+f1²+fDC².
+func ExpectedComplexityFactor(f *Function) float64 { return complexity.ExpectedMean(f) }
+
+// LocalComplexityFactor returns LC^f for one minterm of one output
+// (paper §4).
+func LocalComplexityFactor(f *Function, output, minterm int) float64 {
+	return complexity.Local(f, output, minterm)
+}
+
+// ErrorRate returns the exact single-bit input error rate of impl
+// measured against spec's care set, averaged over outputs and normalized
+// by the n·2^n possible (minterm, bit) error events.
+func ErrorRate(spec, impl *Function) float64 {
+	return reliability.ErrorRateMean(spec, impl)
+}
+
+// ExactBounds returns the minimum and maximum error rates achievable by
+// any DC assignment of f (paper §5 exact formulas), averaged over
+// outputs.
+func ExactBounds(f *Function) (lo, hi float64) { return reliability.BoundsMean(f) }
+
+// ErrorRateMulti returns the exact k-bit input error rate of impl
+// against spec (k = 1 reproduces ErrorRate), averaged over outputs.
+func ErrorRateMulti(spec, impl *Function, k int) float64 {
+	return reliability.ErrorRateMultiMean(spec, impl, k)
+}
+
+// FaultReport summarizes exhaustive stuck-at fault simulation of a
+// mapped netlist; see internal/faultsim.
+type FaultReport = faultsim.Report
+
+// AnalyzeFaults runs exhaustive single-stuck-at fault simulation over a
+// synthesized implementation's netlist.
+func AnalyzeFaults(res *SynthResult, numPI int) (*FaultReport, error) {
+	return faultsim.Analyze(res.Netlist, numPI)
+}
+
+// EstimateBounds is an analytically estimated [Min, Max] error-rate
+// interval.
+type EstimateBounds = estimate.Bounds
+
+// SignalEstimate returns the Gaussian signal-probability min-max
+// estimate (paper §5), averaged over outputs.
+func SignalEstimate(f *Function) EstimateBounds { return estimate.SignalBasedMean(f) }
+
+// BorderEstimate returns the Poisson border-count min-max estimate
+// (paper §5), averaged over outputs.
+func BorderEstimate(f *Function) EstimateBounds { return estimate.BorderBasedMean(f) }
+
+// SynthOptions configures the synthesis flow; see synth.Options.
+type SynthOptions = synth.Options
+
+// SynthResult bundles a synthesized implementation with its metrics.
+type SynthResult = synth.Result
+
+// Synthesis objectives and flows (re-exported from internal/synth).
+const (
+	OptimizeDelay = synth.OptimizeDelay
+	OptimizePower = synth.OptimizePower
+	OptimizeArea  = synth.OptimizeArea
+	FlowSOP       = synth.FlowSOP
+	FlowResyn     = synth.FlowResyn
+)
+
+// Synthesize runs espresso minimization (spending the remaining DCs),
+// algebraic factoring, AIG optimization, and technology mapping onto the
+// generic 70 nm-class library, returning the completely specified
+// implementation and its area/delay/power metrics.
+func Synthesize(f *Function, opt SynthOptions) (*SynthResult, error) {
+	return synth.Synthesize(f, opt)
+}
+
+// SyntheticParams configures synthetic benchmark generation; see
+// synthetic.Params.
+type SyntheticParams = synthetic.Params
+
+// GenerateSynthetic produces a function with a designated complexity
+// factor and DC density by seeded local search (paper §2.2).
+func GenerateSynthetic(p SyntheticParams) (*Function, error) { return synthetic.Generate(p) }
+
+// Network is a multi-level SOP-node decomposition of a circuit.
+type Network = network.Network
+
+// Decompose clusters a synthesized circuit's AIG into k-feasible SOP
+// nodes (paper §4 "nodal decomposition"; k ≤ 6). The returned network
+// supports exact internal-DC extraction and LC^f reassignment.
+func Decompose(g *aig.Graph, k int) (*Network, error) { return network.FromAIG(g, k) }
+
+// WriteBLIF serializes a decomposed network in the combinational BLIF
+// subset (ABC-compatible).
+func WriteBLIF(w io.Writer, nw *Network, model string) error {
+	return blif.WriteNetwork(w, nw, model)
+}
+
+// ParseBLIF reads a combinational BLIF model into a network.
+func ParseBLIF(r io.Reader) (*Network, error) { return blif.Parse(r) }
+
+// Counterexample is a distinguishing input found by CheckEquivalence.
+type Counterexample = cec.Counterexample
+
+// CheckEquivalence proves or refutes combinational equivalence of two
+// synthesized circuits by SAT on a miter (scales beyond the exhaustive
+// range). Pass the Graph fields of two SynthResults.
+func CheckEquivalence(g1, g2 *aig.Graph) (bool, *Counterexample, error) {
+	return cec.Check(g1, g2)
+}

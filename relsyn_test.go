@@ -1,0 +1,236 @@
+package relsyn_test
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"relsyn"
+)
+
+func TestPLARoundTripThroughFacade(t *testing.T) {
+	src := `
+.i 3
+.o 1
+01- 1
+000 -
+.e
+`
+	f, err := relsyn.ParsePLA(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.NumIn != 3 || f.NumOut() != 1 {
+		t.Fatal("shape wrong")
+	}
+	var buf bytes.Buffer
+	if err := relsyn.WritePLA(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	back, err := relsyn.ParsePLA(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.Equal(back) {
+		t.Fatal("round trip mismatch")
+	}
+}
+
+func TestQuickstartPipeline(t *testing.T) {
+	spec, err := relsyn.LoadBenchmark("bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conventional baseline.
+	conv, err := relsyn.Synthesize(spec, relsyn.SynthOptions{Objective: relsyn.OptimizePower})
+	if err != nil {
+		t.Fatal(err)
+	}
+	convER := relsyn.ErrorRate(spec, conv.Impl)
+
+	// Reliability-driven: rank and bind half the DCs.
+	res, err := relsyn.RankingAssign(spec, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel, err := relsyn.Synthesize(res.Func, relsyn.SynthOptions{Objective: relsyn.OptimizePower})
+	if err != nil {
+		t.Fatal(err)
+	}
+	relER := relsyn.ErrorRate(spec, rel.Impl)
+
+	lo, hi := relsyn.ExactBounds(spec)
+	for _, er := range []float64{convER, relER} {
+		if er < lo-1e-12 || er > hi+1e-12 {
+			t.Fatalf("error rate %v outside exact bounds [%v, %v]", er, lo, hi)
+		}
+	}
+	if relER > convER+1e-12 {
+		t.Fatalf("half ranking assignment worsened error rate: %v > %v", relER, convER)
+	}
+	if conv.Metrics.Area <= 0 || conv.Metrics.Gates <= 0 {
+		t.Fatal("metrics missing")
+	}
+}
+
+func TestFacadeMetrics(t *testing.T) {
+	spec, err := relsyn.LoadBenchmark("fout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cf := relsyn.ComplexityFactor(spec)
+	if cf <= 0 || cf >= 1 {
+		t.Fatalf("C^f = %v", cf)
+	}
+	ecf := relsyn.ExpectedComplexityFactor(spec)
+	if ecf <= 0 || ecf >= 1 {
+		t.Fatalf("E[C^f] = %v", ecf)
+	}
+	lcf := relsyn.LocalComplexityFactor(spec, 0, 0)
+	if lcf < 0 || lcf > 1 {
+		t.Fatalf("LC^f = %v", lcf)
+	}
+	sig := relsyn.SignalEstimate(spec)
+	bor := relsyn.BorderEstimate(spec)
+	if sig.Min > sig.Max || bor.Min > bor.Max {
+		t.Fatal("estimate intervals inverted")
+	}
+}
+
+func TestCompleteAndLCFAssign(t *testing.T) {
+	spec, err := relsyn.LoadBenchmark("bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	comp := relsyn.CompleteAssign(spec)
+	if !comp.Func.CompletelySpecified() {
+		t.Fatal("CompleteAssign left DCs")
+	}
+	lcf, err := relsyn.LCFAssign(spec, 0.55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lcf.FractionAssigned() < 0 || lcf.FractionAssigned() > 1 {
+		t.Fatal("bad fraction")
+	}
+}
+
+func TestFacadeExtensions(t *testing.T) {
+	spec, err := relsyn.LoadBenchmark("bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := relsyn.Synthesize(spec, relsyn.SynthOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 := relsyn.ErrorRateMulti(spec, res.Impl, 1); math.Abs(r1-relsyn.ErrorRate(spec, res.Impl)) > 1e-12 {
+		t.Fatal("ErrorRateMulti(k=1) disagrees with ErrorRate")
+	}
+	if r2 := relsyn.ErrorRateMulti(spec, res.Impl, 2); r2 < 0 || r2 > 1 {
+		t.Fatalf("2-bit rate out of range: %v", r2)
+	}
+	rep, err := relsyn.AnalyzeFaults(res, spec.NumIn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Faults == 0 || rep.MeanObservability <= 0 {
+		t.Fatalf("fault report implausible: %+v", rep)
+	}
+	// BLIF through the facade.
+	nw, err := relsyn.Decompose(res.Graph, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := relsyn.WriteBLIF(&buf, nw, "m"); err != nil {
+		t.Fatal(err)
+	}
+	back, err := relsyn.ParseBLIF(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumPI != spec.NumIn {
+		t.Fatal("BLIF round trip lost inputs")
+	}
+	// BDD variants agree with the dense ones.
+	a, err := relsyn.RankingAssign(spec, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := relsyn.RankingAssignBDD(spec, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Func.Equal(b.Func) {
+		t.Fatal("BDD ranking facade diverges")
+	}
+	l1, err := relsyn.LCFAssign(spec, 0.55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l2, err := relsyn.LCFAssignBDD(spec, 0.55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !l1.Func.Equal(l2.Func) {
+		t.Fatal("BDD LCF facade diverges")
+	}
+	// SAT-based equivalence checking through the facade.
+	res2, err := relsyn.Synthesize(spec, relsyn.SynthOptions{Flow: relsyn.FlowResyn})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eq, _, err := relsyn.CheckEquivalence(res.Graph, res2.Graph)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eq {
+		t.Fatal("two flows of the same completion reported inequivalent")
+	}
+}
+
+func TestBenchmarksList(t *testing.T) {
+	specs := relsyn.Benchmarks()
+	if len(specs) != 12 {
+		t.Fatalf("suite has %d entries, want 12", len(specs))
+	}
+	if specs[0].Name != "bench" || specs[11].Name != "random3" {
+		t.Fatal("suite order wrong")
+	}
+}
+
+func TestGenerateSyntheticFacade(t *testing.T) {
+	f, err := relsyn.GenerateSynthetic(relsyn.SyntheticParams{
+		Inputs: 7, Outputs: 1, DCFraction: 0.5, TargetCf: 0.6, Seed: 42,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := relsyn.ComplexityFactor(f); math.Abs(got-0.6) > 0.011 {
+		t.Fatalf("C^f = %v, want ~0.6", got)
+	}
+}
+
+func TestDecomposeFacade(t *testing.T) {
+	spec, err := relsyn.LoadBenchmark("bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := relsyn.Synthesize(spec, relsyn.SynthOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	nw, err := relsyn.Decompose(res.Graph, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nw.NumNodes() == 0 {
+		t.Fatal("empty decomposition")
+	}
+	r := nw.InternalErrorRate()
+	if r <= 0 || r > 1 {
+		t.Fatalf("internal error rate %v", r)
+	}
+}
