@@ -14,6 +14,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -57,6 +59,8 @@ func usage() {
   relsyn stats  [-in spec.pla | -bench name]
   relsyn assign [-in spec.pla | -bench name] [-out out.pla] -method rank|lcf|complete [-fraction F] [-threshold T]
   relsyn synth  [-in spec.pla | -bench name] [-objective delay|power|area] [-flow sop|resyn]
+                [-method none|rank|lcf|complete] [-fraction F] [-threshold T]
+                [-timeout D] [-max-bdd-nodes N] [-max-conflicts N] [-max-aig-nodes N] [-strict]
   relsyn verilog [-in spec.pla | -bench name] [-module name] [-out file.v]
   relsyn decompose [-in spec.pla | -bench name] [-k 5] [-threshold 0.7] [-blif file.blif]`)
 }
@@ -66,6 +70,32 @@ func inputFlags(fs *flag.FlagSet) (in, bench *string) {
 	in = fs.String("in", "", "input .pla file (default: stdin)")
 	bench = fs.String("bench", "", "built-in benchmark name instead of -in")
 	return in, bench
+}
+
+// checkFraction validates the -fraction flag: the assigned fraction of
+// ranked DC minterms must lie in the closed interval [0, 1].
+func checkFraction(v float64) error {
+	if v < 0 || v > 1 {
+		return fmt.Errorf("-fraction must be in [0,1], got %g", v)
+	}
+	return nil
+}
+
+// checkThreshold validates the -threshold flag: LC^f thresholds are
+// meaningful only strictly inside (0, 1).
+func checkThreshold(v float64) error {
+	if v <= 0 || v >= 1 {
+		return fmt.Errorf("-threshold must be in (0,1), got %g", v)
+	}
+	return nil
+}
+
+// checkK validates the -k flag: the node fanin bound must be at least 1.
+func checkK(k int) error {
+	if k < 1 {
+		return fmt.Errorf("-k must be >= 1, got %d", k)
+	}
+	return nil
 }
 
 func loadSpec(in, bench string) (*relsyn.Function, error) {
@@ -118,6 +148,12 @@ func runAssign(args []string) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := checkFraction(*fraction); err != nil {
+		return err
+	}
+	if err := checkThreshold(*threshold); err != nil {
+		return err
+	}
 	f, err := loadSpec(*in, *bench)
 	if err != nil {
 		return err
@@ -155,45 +191,105 @@ func runSynth(args []string) error {
 	in, bench := inputFlags(fs)
 	objective := fs.String("objective", "power", "optimization objective: delay, power, or area")
 	flow := fs.String("flow", "sop", "synthesis flow: sop or resyn")
+	method := fs.String("method", "none", "DC assignment before synthesis: none, rank, lcf, or complete")
+	fraction := fs.Float64("fraction", 0.5, "fraction of ranked DCs to assign (rank)")
+	threshold := fs.Float64("threshold", 0.55, "LC^f threshold (lcf)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = unlimited)")
+	maxBDD := fs.Int("max-bdd-nodes", 0, "BDD node budget for assignment (0 = unlimited)")
+	maxConflicts := fs.Int64("max-conflicts", 0, "SAT conflict budget for verification (0 = default)")
+	maxAIG := fs.Int("max-aig-nodes", 0, "AIG node budget for synthesis (0 = unlimited)")
+	strict := fs.Bool("strict", false, "fail on budget exhaustion instead of degrading")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := checkFraction(*fraction); err != nil {
+		return err
+	}
+	if err := checkThreshold(*threshold); err != nil {
 		return err
 	}
 	f, err := loadSpec(*in, *bench)
 	if err != nil {
 		return err
 	}
-	opt := relsyn.SynthOptions{}
+	opt := relsyn.PipelineOptions{
+		Strict: *strict,
+		Budget: relsyn.PipelineBudget{
+			Timeout:      *timeout,
+			MaxBDDNodes:  *maxBDD,
+			MaxConflicts: *maxConflicts,
+			MaxAIGNodes:  *maxAIG,
+		},
+	}
 	switch *objective {
 	case "delay":
-		opt.Objective = relsyn.OptimizeDelay
+		opt.Synth.Objective = relsyn.OptimizeDelay
 	case "power":
-		opt.Objective = relsyn.OptimizePower
+		opt.Synth.Objective = relsyn.OptimizePower
 	case "area":
-		opt.Objective = relsyn.OptimizeArea
+		opt.Synth.Objective = relsyn.OptimizeArea
 	default:
 		return fmt.Errorf("unknown objective %q", *objective)
 	}
 	switch *flow {
 	case "sop":
-		opt.Flow = relsyn.FlowSOP
+		opt.Synth.Flow = relsyn.FlowSOP
 	case "resyn":
-		opt.Flow = relsyn.FlowResyn
+		opt.Synth.Flow = relsyn.FlowResyn
 	default:
 		return fmt.Errorf("unknown flow %q", *flow)
 	}
-	res, err := relsyn.Synthesize(f, opt)
+	switch *method {
+	case "none":
+		opt.Assign.Method = relsyn.MethodNone
+	case "rank":
+		opt.Assign = relsyn.PipelineAssign{
+			Method: relsyn.MethodRanking, Fraction: *fraction, UseBDD: true}
+	case "lcf":
+		opt.Assign = relsyn.PipelineAssign{
+			Method: relsyn.MethodLCF, Threshold: *threshold, UseBDD: true}
+	case "complete":
+		opt.Assign.Method = relsyn.MethodComplete
+	default:
+		return fmt.Errorf("unknown method %q", *method)
+	}
+	res, err := relsyn.RunPipeline(context.Background(), f, opt)
 	if err != nil {
+		var se *relsyn.StageError
+		if errors.As(err, &se) {
+			reportFallbacks(res)
+			return fmt.Errorf("stage %s failed (%s, attempt %s): %w",
+				se.Stage, se.Reason, se.Attempt, se.Err)
+		}
 		return err
 	}
-	m := res.Metrics
+	m := res.Synth.Metrics
 	fmt.Printf("area        %.2f\n", m.Area)
 	fmt.Printf("delay       %.1f ps\n", m.DelayPs)
 	fmt.Printf("power       %.2f\n", m.Power)
 	fmt.Printf("gates       %d\n", m.Gates)
 	fmt.Printf("literals    %d\n", m.Literals)
 	fmt.Printf("aig nodes   %d (depth %d)\n", m.AIGNodes, m.AIGDepth)
-	fmt.Printf("error rate  %.4f\n", relsyn.ErrorRate(f, res.Impl))
+	er, err := relsyn.ErrorRate(f, res.Synth.Impl)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("error rate  %.4f\n", er)
+	fmt.Printf("verified    %v (%s)\n", res.Verified, res.VerifyMethod)
+	reportFallbacks(res)
 	return nil
+}
+
+// reportFallbacks prints each degradation-ladder step a pipeline run took
+// to stderr, so scripted callers parsing stdout metrics stay unaffected.
+func reportFallbacks(res *relsyn.PipelineResult) {
+	if res == nil {
+		return
+	}
+	for _, fb := range res.Fallbacks {
+		fmt.Fprintf(os.Stderr, "fallback    %s: %s -> %s (%v)\n",
+			fb.Stage, fb.From, fb.To, fb.Cause)
+	}
 }
 
 func runDecompose(args []string) error {
@@ -203,6 +299,12 @@ func runDecompose(args []string) error {
 	threshold := fs.Float64("threshold", 0.7, "LC^f threshold for internal reassignment")
 	blifOut := fs.String("blif", "", "write reassigned network as BLIF to this file")
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := checkK(*k); err != nil {
+		return err
+	}
+	if err := checkThreshold(*threshold); err != nil {
 		return err
 	}
 	f, err := loadSpec(*in, *bench)

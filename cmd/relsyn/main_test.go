@@ -168,6 +168,83 @@ func TestRunDecompose(t *testing.T) {
 	}
 }
 
+// Each numeric flag is validated with a clear error before any work
+// starts: -fraction in [0,1], -threshold in (0,1), -k >= 1.
+func TestFlagValidation(t *testing.T) {
+	in := writeTemp(t, testPLA)
+	cases := []struct {
+		name string
+		run  func([]string) error
+		args []string
+		want string
+	}{
+		{"assign fraction high", runAssign, []string{"-in", in, "-fraction", "1.5"}, "-fraction"},
+		{"assign fraction negative", runAssign, []string{"-in", in, "-fraction", "-0.1"}, "-fraction"},
+		{"assign threshold zero", runAssign, []string{"-in", in, "-threshold", "0"}, "-threshold"},
+		{"assign threshold high", runAssign, []string{"-in", in, "-threshold", "1.2"}, "-threshold"},
+		{"synth fraction high", runSynth, []string{"-in", in, "-fraction", "2"}, "-fraction"},
+		{"synth threshold one", runSynth, []string{"-in", in, "-threshold", "1"}, "-threshold"},
+		{"decompose k zero", runDecompose, []string{"-in", in, "-k", "0"}, "-k"},
+		{"decompose k negative", runDecompose, []string{"-in", in, "-k", "-3"}, "-k"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := capture(t, func() error { return tc.run(tc.args) })
+			if err == nil {
+				t.Fatalf("invalid flag accepted: %v", tc.args)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not name the offending flag %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// The pipeline knobs demonstrably change behavior: a tiny -timeout turns
+// a succeeding run into a prompt cancellation error; -max-bdd-nodes
+// forces the dense-assignment fallback, which -strict turns into a
+// budget error.
+func TestRunSynthPipelineFlags(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full synthesis runs in -short mode")
+	}
+	// Baseline: succeeds and reports verification.
+	out, err := capture(t, func() error {
+		return runSynth([]string{"-bench", "bench", "-method", "lcf"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "verified    true") {
+		t.Fatalf("synth output missing verification line:\n%s", out)
+	}
+
+	// -timeout: the same invocation under a 1ns budget is cancelled.
+	if _, err := capture(t, func() error {
+		return runSynth([]string{"-bench", "bench", "-method", "lcf", "-timeout", "1ns"})
+	}); err == nil {
+		t.Fatal("-timeout 1ns did not fail the run")
+	} else if !strings.Contains(err.Error(), "cancel") {
+		t.Fatalf("timeout error not classified as cancellation: %v", err)
+	}
+
+	// -max-bdd-nodes: BDD assignment exhausts its arena but the run
+	// degrades to the dense path and still succeeds...
+	if _, err := capture(t, func() error {
+		return runSynth([]string{"-bench", "bench", "-method", "lcf", "-max-bdd-nodes", "8"})
+	}); err != nil {
+		t.Fatalf("-max-bdd-nodes should degrade, not fail: %v", err)
+	}
+	// ...unless -strict forbids degradation.
+	if _, err := capture(t, func() error {
+		return runSynth([]string{"-bench", "bench", "-method", "lcf", "-max-bdd-nodes", "8", "-strict"})
+	}); err == nil {
+		t.Fatal("-strict with exhausted BDD budget did not fail")
+	} else if !strings.Contains(err.Error(), "budget") {
+		t.Fatalf("strict BDD exhaustion not classified as budget: %v", err)
+	}
+}
+
 func TestLoadSpecMissingFile(t *testing.T) {
 	if _, err := loadSpec("/nonexistent/file.pla", ""); err == nil {
 		t.Fatal("missing file accepted")

@@ -58,7 +58,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
+		er, err := relsyn.ErrorRate(f, impl.Impl)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%s synthesized: %d gates, measured error rate %.3f\n",
-			name, impl.Metrics.Gates, relsyn.ErrorRate(f, impl.Impl))
+			name, impl.Metrics.Gates, er)
 	}
 }

@@ -56,10 +56,16 @@ func main() {
 	}
 	fmt.Printf("total disagreements (all inside the DC space): %d minterms\n\n", diffMinterms)
 
-	fmt.Printf("conventional: area %7.1f  error rate %.4f\n",
-		conv.Metrics.Area, relsyn.ErrorRate(spec, conv.Impl))
-	fmt.Printf("reliability:  area %7.1f  error rate %.4f\n",
-		rel.Metrics.Area, relsyn.ErrorRate(spec, rel.Impl))
+	convER, err := relsyn.ErrorRate(spec, conv.Impl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	relER, err := relsyn.ErrorRate(spec, rel.Impl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("conventional: area %7.1f  error rate %.4f\n", conv.Metrics.Area, convER)
+	fmt.Printf("reliability:  area %7.1f  error rate %.4f\n", rel.Metrics.Area, relER)
 
 	// Bonus: BDD variable-order sensitivity of the spec itself.
 	var fs []bdd.Ref

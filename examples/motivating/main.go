@@ -46,6 +46,9 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("\nexact error-rate bounds [%.4f, %.4f]; achieved %.4f\n",
-		lo, hi, relsyn.ErrorRate(f, impl.Impl))
+	er, err := relsyn.ErrorRate(f, impl.Impl)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nexact error-rate bounds [%.4f, %.4f]; achieved %.4f\n", lo, hi, er)
 }

@@ -26,7 +26,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	convER := relsyn.ErrorRate(spec, conv.Impl)
+	convER, err := relsyn.ErrorRate(spec, conv.Impl)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("conventional:       area %7.1f   error rate %.4f\n", conv.Metrics.Area, convER)
 
 	// Reliability-driven: bind the most valuable half of the ranked DCs
@@ -40,7 +43,10 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		er := relsyn.ErrorRate(spec, impl.Impl)
+		er, err := relsyn.ErrorRate(spec, impl.Impl)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("ranking %4.0f%%:      area %7.1f   error rate %.4f   (%.1f%% fewer errors)\n",
 			100*fraction, impl.Metrics.Area, er, 100*(convER-er)/convER)
 	}

@@ -36,7 +36,10 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			er := relsyn.ErrorRate(spec, impl.Impl)
+			er, err := relsyn.ErrorRate(spec, impl.Impl)
+			if err != nil {
+				log.Fatal(err)
+			}
 			m := impl.Metrics
 			if fr == 0 {
 				baseArea, baseDelay, basePower, baseER = m.Area, m.DelayPs, m.Power, er

@@ -7,11 +7,28 @@
 package cec
 
 import (
+	"errors"
 	"fmt"
 
 	"relsyn/internal/aig"
 	"relsyn/internal/sat"
 )
+
+// ErrUnknown is wrapped by errors returned when the SAT solver gives up
+// (conflict budget exhausted or interrupted) before proving either
+// equivalence or inequivalence. Callers may retry with a larger budget or
+// fall back to exhaustive comparison (CheckExhaustive, n ≤ 16).
+var ErrUnknown = errors.New("cec: solver verdict unknown")
+
+// Options bounds the effort of a Check run.
+type Options struct {
+	// MaxConflicts caps the per-output SAT conflict budget
+	// (<= 0: sat.DefaultMaxConflicts).
+	MaxConflicts int64
+	// Interrupt, when non-nil, is polled during the search; returning true
+	// aborts the run with an ErrUnknown-wrapped error.
+	Interrupt func() bool
+}
 
 // encoder Tseitin-encodes AIG nodes into solver variables.
 type encoder struct {
@@ -72,6 +89,11 @@ type Counterexample struct {
 // interface sizes. It returns (true, nil) when equivalent, and
 // (false, cex) with a concrete distinguishing input otherwise.
 func Check(g1, g2 *aig.Graph) (bool, *Counterexample, error) {
+	return CheckOpt(g1, g2, Options{})
+}
+
+// CheckOpt is Check under an explicit effort budget.
+func CheckOpt(g1, g2 *aig.Graph, opt Options) (bool, *Counterexample, error) {
 	if g1.NumPI() != g2.NumPI() || g1.NumPO() != g2.NumPO() {
 		return false, nil, fmt.Errorf("cec: interface mismatch: %dx%d vs %dx%d",
 			g1.NumPI(), g1.NumPO(), g2.NumPI(), g2.NumPO())
@@ -79,7 +101,7 @@ func Check(g1, g2 *aig.Graph) (bool, *Counterexample, error) {
 	// Check outputs one at a time: separate miters keep learned clauses
 	// local and give per-output counterexamples.
 	for o := 0; o < g1.NumPO(); o++ {
-		eq, cex, err := checkOutput(g1, g2, o)
+		eq, cex, err := checkOutput(g1, g2, o, opt)
 		if err != nil {
 			return false, nil, err
 		}
@@ -90,11 +112,40 @@ func Check(g1, g2 *aig.Graph) (bool, *Counterexample, error) {
 	return true, nil, nil
 }
 
-func checkOutput(g1, g2 *aig.Graph, o int) (bool, *Counterexample, error) {
+// CheckExhaustive decides equivalence by bit-parallel truth-table
+// comparison over all 2^n input vectors. It needs no SAT budget and its
+// runtime is a predictable Θ(2^n · |AIG|), so it serves as the
+// degradation target when the SAT verdict is Unknown; it requires
+// n ≤ 16 inputs.
+func CheckExhaustive(g1, g2 *aig.Graph) (bool, *Counterexample, error) {
+	if g1.NumPI() != g2.NumPI() || g1.NumPO() != g2.NumPO() {
+		return false, nil, fmt.Errorf("cec: interface mismatch: %dx%d vs %dx%d",
+			g1.NumPI(), g1.NumPO(), g2.NumPI(), g2.NumPO())
+	}
+	if g1.NumPI() > 16 {
+		return false, nil, fmt.Errorf("cec: exhaustive check limited to 16 inputs, got %d", g1.NumPI())
+	}
+	tts1 := g1.NodeTruthTables()
+	tts2 := g2.NodeTruthTables()
+	for o := 0; o < g1.NumPO(); o++ {
+		t1 := g1.LitTable(tts1, g1.PO(o))
+		t2 := g2.LitTable(tts2, g2.PO(o))
+		diff := t1.Clone()
+		diff.InPlaceSymDiff(t2)
+		if diff.Any() {
+			return false, &Counterexample{Minterm: uint(diff.NextSet(0)), Output: o}, nil
+		}
+	}
+	return true, nil, nil
+}
+
+func checkOutput(g1, g2 *aig.Graph, o int, opt Options) (bool, *Counterexample, error) {
 	numPI := g1.NumPI()
 	// Variable budget: inputs + const + one per AND node + miter output.
 	maxVars := numPI + 1 + g1.NumNodes() + g2.NumNodes() + 4
 	s := sat.New(maxVars)
+	s.SetMaxConflicts(opt.MaxConflicts)
+	s.SetInterrupt(opt.Interrupt)
 	next := 0
 	alloc := func() int { next++; return next }
 	inVars := make([]int, numPI)
@@ -117,7 +168,7 @@ func checkOutput(g1, g2 *aig.Graph, o int) (bool, *Counterexample, error) {
 	case sat.Unsat:
 		return true, nil, nil
 	case sat.Unknown:
-		return false, nil, fmt.Errorf("cec: solver budget exhausted on output %d", o)
+		return false, nil, fmt.Errorf("%w (output %d)", ErrUnknown, o)
 	}
 	var m uint
 	for i, v := range inVars {

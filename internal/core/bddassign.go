@@ -30,9 +30,22 @@ type outSets struct {
 	dcFlip  []bdd.Ref
 }
 
-func newOutSets(f *tt.Function, o int) *outSets {
+// recoverBDDLimit converts a node-budget panic raised by the BDD manager
+// into a returned error; all other panics propagate.
+func recoverBDDLimit(err *error) {
+	if r := recover(); r != nil {
+		if le, ok := r.(*bdd.LimitError); ok {
+			*err = le
+			return
+		}
+		panic(r)
+	}
+}
+
+func newOutSets(f *tt.Function, o int, opt Options) *outSets {
 	n := f.NumIn
 	man := bdd.New(n)
+	man.SetMaxNodes(opt.MaxBDDNodes)
 	s := &outSets{man: man}
 	s.on = man.FromBitset(f.Outs[o].On)
 	s.dc = man.FromBitset(f.Outs[o].DC)
@@ -93,14 +106,20 @@ func (s *outSets) decideBDD(o int, m uint, opt Options) (Assignment, bool) {
 	return a, true
 }
 
-// RankingBDD is Ranking computed over BDD set representations.
-func RankingBDD(f *tt.Function, fraction float64, opt Options) (*Result, error) {
+// RankingBDD is Ranking computed over BDD set representations. With
+// Options.MaxBDDNodes set, a blown-up set representation returns a
+// *bdd.LimitError instead of consuming unbounded memory.
+func RankingBDD(f *tt.Function, fraction float64, opt Options) (res *Result, err error) {
 	if fraction < 0 || fraction > 1 {
 		return nil, fmt.Errorf("core: fraction %v outside [0,1]", fraction)
 	}
-	res := newResult(f)
+	defer recoverBDDLimit(&err)
+	res = newResult(f)
 	for o := range f.Outs {
-		s := newOutSets(f, o)
+		if err := opt.check(); err != nil {
+			return nil, err
+		}
+		s := newOutSets(f, o, opt)
 		var cands []Assignment
 		s.man.ForEachMinterm(s.dc, func(m uint) bool {
 			if a, ok := s.decideBDD(o, m, opt); ok {
@@ -124,14 +143,18 @@ func RankingBDD(f *tt.Function, fraction float64, opt Options) (*Result, error) 
 // complexity factor of a DC minterm x sums, over x's neighbors y, the
 // number of y's neighbors sharing y's phase — all via flipped-set
 // membership queries.
-func LCFBDD(f *tt.Function, threshold float64, opt Options) (*Result, error) {
+func LCFBDD(f *tt.Function, threshold float64, opt Options) (res *Result, err error) {
 	if threshold < 0 || threshold > 1 {
 		return nil, fmt.Errorf("core: threshold %v outside [0,1]", threshold)
 	}
+	defer recoverBDDLimit(&err)
 	n := f.NumIn
-	res := newResult(f)
+	res = newResult(f)
 	for o := range f.Outs {
-		s := newOutSets(f, o)
+		if err := opt.check(); err != nil {
+			return nil, err
+		}
+		s := newOutSets(f, o, opt)
 		samePhaseNeighbors := func(y uint) int {
 			var flips []bdd.Ref
 			switch s.phase(y) {

@@ -67,6 +67,25 @@ type Options struct {
 	// Fig. 3 excludes ties from the ranked list; its Fig. 7 pseudocode
 	// assigns them — set AssignTies to reproduce that literal behaviour.
 	AssignTies bool
+
+	// Interrupt, when non-nil, is polled at least once per output; a
+	// non-nil return aborts the pass with that error. Wire a
+	// context-derived check here for cooperative cancellation.
+	Interrupt func() error
+
+	// MaxBDDNodes caps the per-output BDD manager arena in the *BDD
+	// variants (0 = unlimited). Exhaustion aborts the pass with a
+	// *bdd.LimitError; callers may then fall back to the dense
+	// truth-table path, which computes the identical result.
+	MaxBDDNodes int
+}
+
+// check polls the Interrupt hook.
+func (o Options) check() error {
+	if o.Interrupt == nil {
+		return nil
+	}
+	return o.Interrupt()
 }
 
 // Ranking runs the ranking-based algorithm of paper Fig. 3, binding the
@@ -77,6 +96,9 @@ func Ranking(f *tt.Function, fraction float64, opt Options) (*Result, error) {
 	}
 	res := newResult(f)
 	for o := range f.Outs {
+		if err := opt.check(); err != nil {
+			return nil, err
+		}
 		cands := rankCandidates(f, o, opt)
 		// Decreasing weight; ties broken by minterm index for determinism.
 		sort.SliceStable(cands, func(i, j int) bool {
@@ -104,6 +126,9 @@ func RankingPerOutput(f *tt.Function, fractions []float64, opt Options) (*Result
 		if fr < 0 || fr > 1 {
 			return nil, fmt.Errorf("core: fraction %v outside [0,1]", fr)
 		}
+		if err := opt.check(); err != nil {
+			return nil, err
+		}
 		cands := rankCandidates(f, o, opt)
 		sort.SliceStable(cands, func(i, j int) bool {
 			if cands[i].Weight != cands[j].Weight {
@@ -127,6 +152,9 @@ func LCF(f *tt.Function, threshold float64, opt Options) (*Result, error) {
 	}
 	res := newResult(f)
 	for o := range f.Outs {
+		if err := opt.check(); err != nil {
+			return nil, err
+		}
 		local := complexity.LocalAll(f, o)
 		var sel []Assignment
 		f.Outs[o].DC.ForEach(func(m int) {

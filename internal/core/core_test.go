@@ -127,7 +127,11 @@ func TestRankingReducesErrorRateMonotonically(t *testing.T) {
 		measure := func(g *tt.Function) float64 {
 			impl := g.Clone()
 			g.Outs[0].DC.ForEach(func(m int) { impl.SetPhase(0, m, tt.Off) })
-			return reliability.ErrorRate(f, impl, 0)
+			r, err := reliability.ErrorRate(f, impl, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return r
 		}
 		prev := math.Inf(1)
 		_ = prev
@@ -170,7 +174,10 @@ func TestRankingFullAchievesExactMin(t *testing.T) {
 				impl.SetPhase(0, m, tt.Off)
 			}
 		})
-		got := reliability.ErrorRate(f, impl, 0)
+		got, err := reliability.ErrorRate(f, impl, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if math.Abs(got-lo) > 1e-12 {
 			t.Fatalf("full ranking + arbitrary ties = %v, want exact min %v", got, lo)
 		}
@@ -188,7 +195,10 @@ func TestCompleteSpecifiesEverything(t *testing.T) {
 		t.Fatalf("assigned %d of %d", len(res.Assigned), res.TotalDCs)
 	}
 	lo, _ := reliability.BoundsMean(f)
-	got := reliability.ErrorRateMean(f, res.Func)
+	got, err := reliability.ErrorRateMean(f, res.Func)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(got-lo) > 1e-12 {
 		t.Fatalf("Complete error rate %v != exact min %v", got, lo)
 	}

@@ -22,6 +22,7 @@ type denseCtx struct {
 	on   *bitset.Set
 	dc   *bitset.Set
 	off  *bitset.Set
+	poll func() error // cooperative cancellation hook (nil = never)
 }
 
 func newDenseCtx(n int, on, dc *cube.Cover) *denseCtx {
@@ -81,6 +82,7 @@ func (ctx *denseCtx) expand(f *cube.Cover, variant int) *cube.Cover {
 	out := cube.NewCover(ctx.n)
 	covered := bitset.New(ctx.size)
 	for _, c := range work.Cubes {
+		check(ctx.poll)
 		cb := ctx.cubeBits(c)
 		if cb.SubsetOf(covered) {
 			continue
@@ -141,6 +143,7 @@ func (ctx *denseCtx) irredundant(f *cube.Cover) *cube.Cover {
 	work.Sort() // big first; iterate from the back (small first)
 	counts := ctx.coverageCounts(work)
 	for i := work.Len() - 1; i >= 0; i-- {
+		check(ctx.poll)
 		cb := ctx.cubeBits(work.Cubes[i])
 		needed := false
 		cb.ForEach(func(m int) {
@@ -164,6 +167,7 @@ func (ctx *denseCtx) reduce(f *cube.Cover) *cube.Cover {
 	work.Sort()
 	counts := ctx.coverageCounts(work)
 	for i, c := range work.Cubes {
+		check(ctx.poll)
 		cb := ctx.cubeBits(c)
 		unique := bitset.New(ctx.size)
 		cb.ForEach(func(m int) {
@@ -209,9 +213,11 @@ func boundingCube(n int, s *bitset.Set) cube.Cube {
 }
 
 // minimizeDense is the bitset-backed Minimize engine for n ≤ DenseLimit.
-func minimizeDense(on, dc *cube.Cover) *cube.Cover {
+// poll (nil = never) is checked at cube granularity inside every pass.
+func minimizeDense(on, dc *cube.Cover, poll func() error) *cube.Cover {
 	n := on.NumVars()
 	ctx := newDenseCtx(n, on, dc)
+	ctx.poll = poll
 	if ctx.on.None() {
 		return cube.NewCover(n)
 	}

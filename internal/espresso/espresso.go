@@ -171,22 +171,56 @@ func Reduce(f, d *cube.Cover) *cube.Cover {
 // implicants of on ∪ dc. Functions with up to DenseLimit inputs use a
 // bitset-backed engine; larger ones use pure cube algebra.
 func Minimize(on, dc *cube.Cover) *cube.Cover {
+	cov, _ := MinimizeInterruptible(on, dc, nil)
+	return cov
+}
+
+// interrupted carries the poll error out of the deep minimization loops.
+type interrupted struct{ err error }
+
+// MinimizeInterruptible is Minimize with a cooperative cancellation hook:
+// poll (nil = never interrupt) is checked at cube granularity inside the
+// EXPAND / IRREDUNDANT / REDUCE passes, and a non-nil return aborts the
+// run with that error. The successful result is identical to Minimize's.
+func MinimizeInterruptible(on, dc *cube.Cover, poll func() error) (cov *cube.Cover, err error) {
 	n := on.NumVars()
 	if dc == nil {
 		dc = cube.NewCover(n)
 	}
 	if on.Len() == 0 {
-		return cube.NewCover(n)
+		return cube.NewCover(n), nil
+	}
+	if poll != nil {
+		defer func() {
+			if r := recover(); r != nil {
+				if ie, ok := r.(interrupted); ok {
+					cov, err = nil, ie.err
+					return
+				}
+				panic(r)
+			}
+		}()
 	}
 	if n <= DenseLimit {
-		return minimizeDense(on, dc)
+		return minimizeDense(on, dc, poll), nil
 	}
-	return minimizeGeneric(on, dc)
+	return minimizeGeneric(on, dc, poll), nil
+}
+
+// check aborts the minimization via panic when poll reports an error; the
+// panic is recovered at the MinimizeInterruptible boundary.
+func check(poll func() error) {
+	if poll == nil {
+		return
+	}
+	if err := poll(); err != nil {
+		panic(interrupted{err})
+	}
 }
 
 // minimizeGeneric is the cover-algebra engine behind Minimize, usable at
-// any width.
-func minimizeGeneric(on, dc *cube.Cover) *cube.Cover {
+// any width. poll (nil = never) is checked between passes.
+func minimizeGeneric(on, dc *cube.Cover, poll func() error) *cube.Cover {
 	if dc == nil {
 		dc = cube.NewCover(on.NumVars())
 	}
@@ -200,11 +234,13 @@ func minimizeGeneric(on, dc *cube.Cover) *cube.Cover {
 	}
 	r := Complement(all)
 
+	check(poll)
 	f := Expand(on, r)
 	f = Irredundant(f, dc)
 	best := f
 	bestCost := CostOf(f)
 	for iter := 0; iter < 8; iter++ {
+		check(poll)
 		g := Reduce(best, dc)
 		g = Expand(g, r)
 		g = Irredundant(g, dc)

@@ -222,9 +222,9 @@ func TestMinimizeRandomBothEngines(t *testing.T) {
 			f.SetPhase(0, m, tt.Phase(rng.Intn(3)))
 		}
 		on, dc := f.OnCover(0), f.DCCover(0)
-		dense := minimizeDense(on, dc)
+		dense := minimizeDense(on, dc, nil)
 		checkMinimized(t, "dense", dense, on, dc)
-		generic := minimizeGeneric(on, dc)
+		generic := minimizeGeneric(on, dc, nil)
 		checkMinimized(t, "generic", generic, on, dc)
 	}
 }
@@ -367,7 +367,7 @@ func TestReduceExpandEscapesLocalMinimum(t *testing.T) {
 			}
 		}
 		on := f.OnCover(0)
-		first := minimizeDense(on, cube.NewCover(n))
+		first := minimizeDense(on, cube.NewCover(n), nil)
 		checkMinimized(t, "loop", first, on, cube.NewCover(n))
 	}
 }
@@ -382,7 +382,7 @@ func BenchmarkMinimizeDense10(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		minimizeDense(on, dc)
+		minimizeDense(on, dc, nil)
 	}
 }
 

@@ -78,8 +78,8 @@ func TestQuickEngineAgreement(t *testing.T) {
 			fn.SetPhase(0, m, tt.Phase(rng.Intn(3)))
 		}
 		on, dc := fn.OnCover(0), fn.DCCover(0)
-		a := minimizeDense(on, dc)
-		b := minimizeGeneric(on, dc)
+		a := minimizeDense(on, dc, nil)
+		b := minimizeGeneric(on, dc, nil)
 		// Both must be valid; exact sizes may differ slightly between
 		// heuristics, but not wildly.
 		if !Verify(a, on, dc) || !Verify(b, on, dc) {

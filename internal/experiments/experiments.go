@@ -72,7 +72,11 @@ func synthER(spec, f *tt.Function, obj synth.Objective) (synth.Metrics, float64,
 	if err != nil {
 		return synth.Metrics{}, 0, err
 	}
-	return res.Metrics, reliability.ErrorRateMean(spec, res.Impl), nil
+	er, err := reliability.ErrorRateMean(spec, res.Impl)
+	if err != nil {
+		return synth.Metrics{}, 0, err
+	}
+	return res.Metrics, er, nil
 }
 
 // ---------------------------------------------------------------------

@@ -195,8 +195,12 @@ func MultiBit(names []string) ([]MultiBitRow, error) {
 		}
 		row := MultiBitRow{Name: names[i]}
 		for k := 1; k <= 3; k++ {
-			row.Conv[k-1] = reliability.ErrorRateMultiMean(spec, conv.Impl, k)
-			row.Full[k-1] = reliability.ErrorRateMultiMean(spec, full.Impl, k)
+			if row.Conv[k-1], err = reliability.ErrorRateMultiMean(spec, conv.Impl, k); err != nil {
+				return err
+			}
+			if row.Full[k-1], err = reliability.ErrorRateMultiMean(spec, full.Impl, k); err != nil {
+				return err
+			}
 		}
 		rows[i] = row
 		return nil

@@ -41,7 +41,11 @@ func Flows() ([]FlowRow, error) {
 				if err != nil {
 					return synth.Metrics{}, 0, err
 				}
-				return res.Metrics, reliability.ErrorRateMean(spec, res.Impl), nil
+				er, err := reliability.ErrorRateMean(spec, res.Impl)
+				if err != nil {
+					return synth.Metrics{}, 0, err
+				}
+				return res.Metrics, er, nil
 			}
 			baseM, baseER, err := run(spec)
 			if err != nil {

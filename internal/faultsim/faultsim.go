@@ -36,10 +36,20 @@ type Report struct {
 
 // Analyze runs exhaustive stuck-at fault simulation. numPI is the
 // primary-input count of the circuit the netlist was mapped from
-// (numPI ≤ 16 to keep simulation exhaustive).
+// (numPI ≤ 16 to keep simulation exhaustive). Malformed netlists — nil,
+// empty, or referencing a net no gate drives — are reported as errors.
 func Analyze(r *mapper.Result, numPI int) (*Report, error) {
 	if numPI < 0 || numPI > 16 {
 		return nil, fmt.Errorf("faultsim: %d inputs outside [0,16]", numPI)
+	}
+	if r == nil {
+		return nil, fmt.Errorf("faultsim: nil netlist")
+	}
+	if len(r.Gates) == 0 && len(r.PONets) == 0 {
+		return nil, fmt.Errorf("faultsim: empty netlist (no gates, no primary outputs)")
+	}
+	if err := validateNets(r, numPI); err != nil {
+		return nil, err
 	}
 	size := 1 << uint(numPI)
 	sim := newSim(r, numPI, size)
@@ -74,6 +84,32 @@ func Analyze(r *mapper.Result, numPI int) (*Report, error) {
 		rep.MeanObservability /= float64(rep.Faults)
 	}
 	return rep, nil
+}
+
+// validateNets checks that every net referenced by a gate input or by a
+// primary output is driven: a constant (node 0), a primary input, or a
+// preceding gate's output. Undriven references would otherwise surface
+// as a panic deep inside the simulator; detecting them up front turns a
+// malformed netlist into a rejected request.
+func validateNets(r *mapper.Result, numPI int) error {
+	driven := map[mapper.Net]bool{}
+	isDriven := func(n mapper.Net) bool {
+		return n.Node == 0 || (n.Node >= 1 && n.Node <= numPI) || driven[n]
+	}
+	for gi, gt := range r.Gates {
+		for pin, in := range gt.Inputs {
+			if !isDriven(in) {
+				return fmt.Errorf("faultsim: gate %d input %d reads undriven net %+v", gi, pin, in)
+			}
+		}
+		driven[gt.Output] = true
+	}
+	for oi, po := range r.PONets {
+		if !isDriven(po) {
+			return fmt.Errorf("faultsim: primary output %d reads undriven net %+v", oi, po)
+		}
+	}
+	return nil
 }
 
 // downstream returns the gate indices reachable from gate gi's output

@@ -2,6 +2,7 @@ package faultsim
 
 import (
 	"math/rand"
+	"strings"
 	"testing"
 
 	"relsyn/internal/aig"
@@ -199,5 +200,77 @@ func TestEmptyNetlist(t *testing.T) {
 	}
 	if rep.Faults != 0 || rep.MeanObservability != 0 {
 		t.Fatalf("constant netlist should have no faults: %+v", rep)
+	}
+}
+
+// Malformed-netlist error paths: Analyze must reject (with errors, not
+// panics) nil results, netlists with neither gates nor primary outputs,
+// and references to nets no gate drives.
+func TestAnalyzeRejectsMalformedNetlists(t *testing.T) {
+	if _, err := Analyze(nil, 2); err == nil {
+		t.Fatal("nil netlist accepted")
+	}
+	if _, err := Analyze(&mapper.Result{}, 2); err == nil {
+		t.Fatal("empty netlist accepted")
+	}
+	if _, err := Analyze(&mapper.Result{}, -1); err == nil {
+		t.Fatal("negative input count accepted")
+	}
+
+	lib := celllib.Generic70()
+	var inv celllib.Cell
+	found := false
+	for _, c := range lib.Cells {
+		if c.NumIn == 1 {
+			inv, found = c, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("library has no 1-input cell")
+	}
+
+	// Gate input reads node 9, which is neither constant, PI, nor any
+	// gate's output.
+	undrivenIn := &mapper.Result{
+		Gates: []mapper.Gate{{
+			Cell:   inv,
+			Inputs: []mapper.Net{{Node: 9}},
+			Output: mapper.Net{Node: 3},
+		}},
+		PONets: []mapper.Net{{Node: 3}},
+	}
+	if _, err := Analyze(undrivenIn, 2); err == nil {
+		t.Fatal("undriven gate input accepted")
+	} else if !strings.Contains(err.Error(), "undriven") {
+		t.Fatalf("error does not mention undriven net: %v", err)
+	}
+
+	// PO reads a net that no gate drives.
+	undrivenPO := &mapper.Result{
+		Gates: []mapper.Gate{{
+			Cell:   inv,
+			Inputs: []mapper.Net{{Node: 1}},
+			Output: mapper.Net{Node: 3},
+		}},
+		PONets: []mapper.Net{{Node: 7}},
+	}
+	if _, err := Analyze(undrivenPO, 2); err == nil {
+		t.Fatal("undriven primary output accepted")
+	} else if !strings.Contains(err.Error(), "undriven") {
+		t.Fatalf("error does not mention undriven net: %v", err)
+	}
+
+	// The well-formed version of the same netlist is accepted.
+	ok := &mapper.Result{
+		Gates: []mapper.Gate{{
+			Cell:   inv,
+			Inputs: []mapper.Net{{Node: 1}},
+			Output: mapper.Net{Node: 3},
+		}},
+		PONets: []mapper.Net{{Node: 3}},
+	}
+	if _, err := Analyze(ok, 2); err != nil {
+		t.Fatalf("well-formed netlist rejected: %v", err)
 	}
 }

@@ -1,0 +1,533 @@
+// Package pipeline is the fault-tolerant staged runner for the full
+// synthesis stack: reliability-driven DC assignment (internal/core), the
+// synthesis flow (internal/synth), and independent verification
+// (internal/cec), all under one context.Context and one resource Budget.
+//
+// The runner upholds three guarantees that the bare library calls do not:
+//
+//  1. No panics escape. Each stage attempt runs under panic recovery;
+//     library panics surface as typed *StageError values.
+//  2. Bounded effort. The Budget caps wall-clock time (deadline), BDD
+//     manager nodes, SAT conflicts, and AIG nodes; every long-running
+//     loop in the stack polls a context-derived interrupt, so cancelled
+//     runs return promptly.
+//  3. Degrade, don't die. When an attempt fails on a budget, a panic, or
+//     an internal error, the runner walks an explicit degradation ladder
+//     instead of failing the job:
+//
+//     assign: BDD set representation  -> dense truth-table path
+//     synth:  resyn flow              -> sop flow
+//     verify: SAT CEC                 -> exhaustive CEC (n <= 16)
+//
+//     Every fallback taken is recorded in Result.Fallbacks. Options.Strict
+//     disables the ladder: the first failure is returned as-is. A
+//     cancelled context never degrades — the caller asked to stop.
+//
+// The paper's own framing motivates this: LCF assignment is a knob that
+// trades reliability for cost under a budget, and the SAT-based complete
+// don't-care literature (Mishchenko & Brayton) keeps complete DC
+// computation tractable with exactly this kind of conflict/resource
+// limiting. The pipeline generalizes that discipline to the whole flow.
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"relsyn/internal/aig"
+	"relsyn/internal/bdd"
+	"relsyn/internal/cec"
+	"relsyn/internal/core"
+	"relsyn/internal/espresso"
+	"relsyn/internal/factor"
+	"relsyn/internal/synth"
+	"relsyn/internal/tt"
+)
+
+// Stage identifies one phase of the pipeline.
+type Stage string
+
+// Pipeline stages in execution order.
+const (
+	StageAssign Stage = "assign"
+	StageSynth  Stage = "synth"
+	StageVerify Stage = "verify"
+)
+
+// Reason classifies why a stage attempt failed.
+type Reason string
+
+// Failure reasons.
+const (
+	// ReasonPanic: a library panic was recovered at the stage boundary.
+	ReasonPanic Reason = "panic"
+	// ReasonBudget: a resource budget (BDD nodes, SAT conflicts, AIG
+	// nodes, or an injected budget) was exhausted.
+	ReasonBudget Reason = "budget"
+	// ReasonCancel: the context was cancelled or its deadline passed.
+	ReasonCancel Reason = "cancel"
+	// ReasonError: any other failure (invariant violation, verification
+	// mismatch, I/O, ...).
+	ReasonError Reason = "error"
+)
+
+// ErrBudget is a generic budget-exhaustion sentinel. The fault-injection
+// harness returns errors wrapping it; libraries use their own typed
+// budget errors (bdd.LimitError, synth.ErrAIGBudget, cec.ErrUnknown),
+// which the runner classifies identically.
+var ErrBudget = errors.New("pipeline: budget exhausted")
+
+// StageError is the typed failure the pipeline returns instead of
+// panicking or hanging.
+type StageError struct {
+	// Stage is the pipeline phase that failed.
+	Stage Stage
+	// Attempt names the ladder rung that failed, e.g. "synth/resyn".
+	Attempt string
+	// Reason classifies the failure.
+	Reason Reason
+	// Err is the underlying error (for ReasonPanic, a synthesized error
+	// carrying the panic value).
+	Err error
+	// Stack holds the goroutine stack for recovered panics, nil otherwise.
+	Stack []byte
+}
+
+func (e *StageError) Error() string {
+	return fmt.Sprintf("pipeline: stage %s (%s) failed [%s]: %v", e.Stage, e.Attempt, e.Reason, e.Err)
+}
+
+// Unwrap exposes the underlying error to errors.Is / errors.As.
+func (e *StageError) Unwrap() error { return e.Err }
+
+// Retryable reports whether retrying with a larger budget (or without
+// cancellation) could succeed. Panics and verification mismatches are
+// not retryable; budget exhaustion and cancellation are.
+func (e *StageError) Retryable() bool {
+	return e.Reason == ReasonBudget || e.Reason == ReasonCancel
+}
+
+// Fallback records one degradation-ladder step the runner took.
+type Fallback struct {
+	Stage Stage
+	// From and To name the failed and substituted attempts.
+	From, To string
+	// Cause is the failure that triggered the fallback.
+	Cause *StageError
+}
+
+func (f Fallback) String() string {
+	return fmt.Sprintf("%s: %s -> %s (%s)", f.Stage, f.From, f.To, f.Cause.Reason)
+}
+
+// Budget bounds the pipeline's resource consumption. Zero values mean
+// "library default / unlimited".
+type Budget struct {
+	// Timeout is the wall-clock deadline for the whole run (0 = none).
+	// It layers onto any deadline already carried by the context.
+	Timeout time.Duration
+	// MaxBDDNodes caps each BDD manager arena used by the BDD assignment
+	// path (0 = unlimited).
+	MaxBDDNodes int
+	// MaxConflicts caps the per-output SAT conflict budget of the CEC
+	// verification stage (0 = sat.DefaultMaxConflicts).
+	MaxConflicts int64
+	// MaxAIGNodes caps the optimized AIG size (0 = unlimited).
+	MaxAIGNodes int
+}
+
+// AssignMethod selects the DC-assignment algorithm.
+type AssignMethod string
+
+// Assignment methods.
+const (
+	MethodNone     AssignMethod = "none"     // skip assignment
+	MethodRanking  AssignMethod = "rank"     // paper Fig. 3
+	MethodLCF      AssignMethod = "lcf"      // paper Fig. 7
+	MethodComplete AssignMethod = "complete" // bind every DC
+)
+
+// AssignSpec configures the assignment stage.
+type AssignSpec struct {
+	Method    AssignMethod // default MethodNone
+	Fraction  float64      // MethodRanking: fraction of ranked DCs in [0,1]
+	Threshold float64      // MethodLCF: LC^f threshold in (0,1)
+	// UseBDD prefers the BDD set-representation path; on BDD node-budget
+	// exhaustion (or a panic) the runner falls back to the dense
+	// truth-table path, which computes the identical result.
+	UseBDD bool
+	// AssignTies forwards core.Options.AssignTies.
+	AssignTies bool
+}
+
+// Options configures Run.
+type Options struct {
+	// Assign configures the DC-assignment stage.
+	Assign AssignSpec
+	// Synth configures the synthesis stage. Interrupt and MaxAIGNodes are
+	// overwritten by the runner from the context and Budget.
+	Synth synth.Options
+	// Budget bounds the run's resources.
+	Budget Budget
+	// Strict disables the degradation ladder: the first stage failure is
+	// returned instead of degraded around.
+	Strict bool
+	// SkipVerify skips the CEC verification stage (the synthesis stage's
+	// own care-set consistency check still runs).
+	SkipVerify bool
+	// Inject, when non-nil, is called at every stage-boundary attempt
+	// with the attempt name ("assign/bdd", "synth/sop", ...). It may
+	// panic or return an error (e.g. wrapping ErrBudget) to simulate
+	// faults; see internal/faultinject. Production callers leave it nil.
+	Inject func(point string) error
+}
+
+// StageReport records one executed stage for observability.
+type StageReport struct {
+	Stage Stage
+	// Attempts lists the ladder rungs tried, in order.
+	Attempts []string
+	// Took is the stage's wall-clock duration.
+	Took time.Duration
+}
+
+// Result is a successful pipeline run.
+type Result struct {
+	// Assign is the assignment-pass outcome (nil with MethodNone).
+	Assign *core.Result
+	// Synth is the synthesized implementation; Synth.Impl is consistent
+	// with the input function's care set.
+	Synth *synth.Result
+	// Verified reports that the verify stage proved Synth.Graph
+	// equivalent to an independently constructed reference circuit.
+	Verified bool
+	// VerifyMethod is "sat" or "exhaustive" ("" when skipped).
+	VerifyMethod string
+	// Fallbacks lists every degradation-ladder step taken, in order.
+	Fallbacks []Fallback
+	// Stages reports per-stage attempts and timing.
+	Stages []StageReport
+	// Elapsed is the total wall-clock duration.
+	Elapsed time.Duration
+}
+
+// Degraded reports whether any fallback fired.
+func (r *Result) Degraded() bool { return len(r.Fallbacks) > 0 }
+
+// runner threads shared state through the stages.
+type runner struct {
+	ctx context.Context
+	opt Options
+	res *Result
+}
+
+// Run executes assignment, synthesis, and verification on f under opt.
+// It returns the (possibly degraded) result, or the partial result plus
+// a *StageError describing the first unrecoverable failure. It never
+// panics on library faults and returns promptly once ctx is done.
+func Run(ctx context.Context, f *tt.Function, opt Options) (*Result, error) {
+	if f == nil {
+		return nil, fmt.Errorf("pipeline: nil function")
+	}
+	if err := f.Validate(); err != nil {
+		return nil, fmt.Errorf("pipeline: invalid input: %w", err)
+	}
+	if err := validateAssign(opt.Assign); err != nil {
+		return nil, err
+	}
+	if opt.Budget.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Budget.Timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	r := &runner{ctx: ctx, opt: opt, res: &Result{}}
+	defer func() { r.res.Elapsed = time.Since(start) }()
+
+	if serr := r.runAssign(f); serr != nil {
+		return r.res, serr
+	}
+	fa := f
+	if r.res.Assign != nil {
+		fa = r.res.Assign.Func
+	}
+	if serr := r.runSynth(fa); serr != nil {
+		return r.res, serr
+	}
+	if !opt.SkipVerify {
+		if serr := r.runVerify(); serr != nil {
+			return r.res, serr
+		}
+	}
+	return r.res, nil
+}
+
+func validateAssign(a AssignSpec) error {
+	switch a.Method {
+	case "", MethodNone, MethodComplete:
+	case MethodRanking:
+		if a.Fraction < 0 || a.Fraction > 1 {
+			return fmt.Errorf("pipeline: ranking fraction %v outside [0,1]", a.Fraction)
+		}
+	case MethodLCF:
+		if a.Threshold <= 0 || a.Threshold >= 1 {
+			return fmt.Errorf("pipeline: LCF threshold %v outside (0,1)", a.Threshold)
+		}
+	default:
+		return fmt.Errorf("pipeline: unknown assignment method %q", a.Method)
+	}
+	return nil
+}
+
+// interrupt returns a context-poll hook for the library Interrupt options.
+func (r *runner) interrupt() error { return r.ctx.Err() }
+
+// interruptBool adapts interrupt for the SAT solver's polling hook.
+func (r *runner) interruptBool() bool { return r.ctx.Err() != nil }
+
+// attempt runs fn for one ladder rung under panic recovery, firing the
+// injection hook first, and classifies any failure into a *StageError.
+func (r *runner) attempt(stage Stage, name string, fn func() error) (serr *StageError) {
+	r.recordAttempt(stage, name)
+	defer func() {
+		if p := recover(); p != nil {
+			serr = &StageError{
+				Stage:   stage,
+				Attempt: name,
+				Reason:  ReasonPanic,
+				Err:     fmt.Errorf("recovered panic: %v", p),
+				Stack:   debug.Stack(),
+			}
+		}
+	}()
+	if err := r.ctx.Err(); err != nil {
+		return r.classify(stage, name, err)
+	}
+	if r.opt.Inject != nil {
+		if err := r.opt.Inject(name); err != nil {
+			return r.classify(stage, name, err)
+		}
+	}
+	if err := fn(); err != nil {
+		return r.classify(stage, name, err)
+	}
+	return nil
+}
+
+// classify maps an error to a StageError with the right Reason.
+func (r *runner) classify(stage Stage, name string, err error) *StageError {
+	reason := ReasonError
+	var limit *bdd.LimitError
+	switch {
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		reason = ReasonCancel
+	case errors.Is(err, ErrBudget),
+		errors.Is(err, synth.ErrAIGBudget),
+		errors.Is(err, cec.ErrUnknown),
+		errors.As(err, &limit):
+		reason = ReasonBudget
+	}
+	return &StageError{Stage: stage, Attempt: name, Reason: reason, Err: err}
+}
+
+// degrade decides whether cause may be absorbed by stepping down to the
+// rung named to. It returns nil (and records the fallback) when
+// degradation is allowed, or the terminal error otherwise.
+func (r *runner) degrade(cause *StageError, to string) *StageError {
+	if r.opt.Strict || cause.Reason == ReasonCancel {
+		return cause
+	}
+	r.res.Fallbacks = append(r.res.Fallbacks, Fallback{
+		Stage: cause.Stage,
+		From:  cause.Attempt,
+		To:    to,
+		Cause: cause,
+	})
+	return nil
+}
+
+func (r *runner) recordAttempt(stage Stage, name string) {
+	n := len(r.res.Stages)
+	if n == 0 || r.res.Stages[n-1].Stage != stage {
+		r.res.Stages = append(r.res.Stages, StageReport{Stage: stage})
+		n++
+	}
+	r.res.Stages[n-1].Attempts = append(r.res.Stages[n-1].Attempts, name)
+}
+
+func (r *runner) finishStage(stage Stage, began time.Time) {
+	for i := range r.res.Stages {
+		if r.res.Stages[i].Stage == stage {
+			r.res.Stages[i].Took = time.Since(began)
+		}
+	}
+}
+
+// --- assign stage ---
+
+func (r *runner) runAssign(f *tt.Function) *StageError {
+	a := r.opt.Assign
+	if a.Method == "" || a.Method == MethodNone {
+		return nil
+	}
+	began := time.Now()
+	defer r.finishStage(StageAssign, began)
+
+	copt := core.Options{
+		AssignTies:  a.AssignTies,
+		Interrupt:   r.interrupt,
+		MaxBDDNodes: r.opt.Budget.MaxBDDNodes,
+	}
+	dense := func() error {
+		var err error
+		switch a.Method {
+		case MethodRanking:
+			r.res.Assign, err = core.Ranking(f, a.Fraction, copt)
+		case MethodLCF:
+			r.res.Assign, err = core.LCF(f, a.Threshold, copt)
+		case MethodComplete:
+			r.res.Assign = core.Complete(f)
+		}
+		return err
+	}
+	if a.UseBDD && a.Method != MethodComplete {
+		serr := r.attempt(StageAssign, "assign/bdd", func() error {
+			var err error
+			switch a.Method {
+			case MethodRanking:
+				r.res.Assign, err = core.RankingBDD(f, a.Fraction, copt)
+			case MethodLCF:
+				r.res.Assign, err = core.LCFBDD(f, a.Threshold, copt)
+			}
+			return err
+		})
+		if serr == nil {
+			return nil
+		}
+		if serr = r.degrade(serr, "assign/dense"); serr != nil {
+			return serr
+		}
+	}
+	return r.attempt(StageAssign, "assign/dense", dense)
+}
+
+// --- synth stage ---
+
+func (r *runner) runSynth(fa *tt.Function) *StageError {
+	began := time.Now()
+	defer r.finishStage(StageSynth, began)
+
+	sopt := r.opt.Synth
+	sopt.Interrupt = r.interrupt
+	sopt.MaxAIGNodes = r.opt.Budget.MaxAIGNodes
+
+	runFlow := func(name string, flow synth.Flow) *StageError {
+		return r.attempt(StageSynth, name, func() error {
+			o := sopt
+			o.Flow = flow
+			res, err := synth.Synthesize(fa, o)
+			if err != nil {
+				return err
+			}
+			r.res.Synth = res
+			return nil
+		})
+	}
+	if sopt.Flow == synth.FlowResyn {
+		serr := runFlow("synth/resyn", synth.FlowResyn)
+		if serr == nil {
+			return nil
+		}
+		if serr = r.degrade(serr, "synth/sop"); serr != nil {
+			return serr
+		}
+	}
+	return runFlow("synth/sop", synth.FlowSOP)
+}
+
+// --- verify stage ---
+
+// runVerify independently re-derives a reference circuit from the
+// implemented truth table (fresh two-level minimization, factoring, and
+// AIG construction) and proves the optimized, mapped graph equivalent to
+// it: first by SAT CEC under the conflict budget, then — when the SAT
+// verdict is Unknown or the solver faults — by exhaustive bit-parallel
+// CEC for n <= 16. A genuine mismatch is terminal: it is never degraded
+// around, in strict mode or not.
+func (r *runner) runVerify() *StageError {
+	began := time.Now()
+	defer r.finishStage(StageVerify, began)
+
+	impl := r.res.Synth.Impl
+	g := r.res.Synth.Graph
+	var ref *aig.Graph
+	buildRef := func() error {
+		if ref != nil {
+			return nil
+		}
+		ref = aig.New(impl.NumIn)
+		for o := range impl.Outs {
+			cov, err := espresso.MinimizeInterruptible(impl.OnCover(o), nil, r.interrupt)
+			if err != nil {
+				return err
+			}
+			ref.AddPO(ref.FromExpr(factor.GoodFactor(cov)))
+		}
+		ref = ref.Cleanup()
+		return nil
+	}
+
+	serr := r.attempt(StageVerify, "verify/sat", func() error {
+		if err := buildRef(); err != nil {
+			return err
+		}
+		eq, cex, err := cec.CheckOpt(g, ref, cec.Options{
+			MaxConflicts: r.opt.Budget.MaxConflicts,
+			Interrupt:    r.interruptBool,
+		})
+		if err != nil {
+			return err
+		}
+		if !eq {
+			return mismatchError(cex)
+		}
+		r.res.Verified, r.res.VerifyMethod = true, "sat"
+		return nil
+	})
+	if serr == nil {
+		return nil
+	}
+	// Mismatches and other hard errors are terminal; only budget
+	// exhaustion and solver faults may degrade to the exhaustive path.
+	if serr.Reason != ReasonBudget && serr.Reason != ReasonPanic {
+		return serr
+	}
+	if impl.NumIn > 16 {
+		return serr
+	}
+	if serr = r.degrade(serr, "verify/exhaustive"); serr != nil {
+		return serr
+	}
+	return r.attempt(StageVerify, "verify/exhaustive", func() error {
+		if err := buildRef(); err != nil {
+			return err
+		}
+		eq, cex, err := cec.CheckExhaustive(g, ref)
+		if err != nil {
+			return err
+		}
+		if !eq {
+			return mismatchError(cex)
+		}
+		r.res.Verified, r.res.VerifyMethod = true, "exhaustive"
+		return nil
+	})
+}
+
+func mismatchError(cex *cec.Counterexample) error {
+	return fmt.Errorf("verify: implementation differs from reference at minterm %d, output %d",
+		cex.Minterm, cex.Output)
+}

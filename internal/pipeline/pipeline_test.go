@@ -1,0 +1,411 @@
+package pipeline_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"relsyn/internal/benchmarks"
+	"relsyn/internal/cec"
+	"relsyn/internal/faultinject"
+	"relsyn/internal/pipeline"
+	"relsyn/internal/reliability"
+	"relsyn/internal/synth"
+	"relsyn/internal/tt"
+)
+
+func load(t *testing.T, name string) *tt.Function {
+	t.Helper()
+	f, err := benchmarks.Load(name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func baseOptions() pipeline.Options {
+	return pipeline.Options{
+		Assign: pipeline.AssignSpec{Method: pipeline.MethodLCF, Threshold: 0.55, UseBDD: true},
+		Synth:  synth.Options{Flow: synth.FlowResyn},
+	}
+}
+
+// checkConsistent asserts that the pipeline's implementation respects the
+// specification's care set.
+func checkConsistent(t *testing.T, spec *tt.Function, res *pipeline.Result) {
+	t.Helper()
+	if res.Synth == nil || res.Synth.Impl == nil {
+		t.Fatal("pipeline succeeded without an implementation")
+	}
+	impl := res.Synth.Impl
+	for o := range spec.Outs {
+		if miss := spec.Outs[o].On.Difference(impl.Outs[o].On); miss.Any() {
+			t.Fatalf("output %d drops on-set minterm %d", o, miss.NextSet(0))
+		}
+		if hit := impl.Outs[o].On.Intersect(spec.OffSet(o)); hit.Any() {
+			t.Fatalf("output %d asserts off-set minterm %d", o, hit.NextSet(0))
+		}
+	}
+}
+
+func TestRunHappyPath(t *testing.T) {
+	spec := load(t, "bench")
+	res, err := pipeline.Run(context.Background(), spec, baseOptions())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified || res.VerifyMethod != "sat" {
+		t.Fatalf("want SAT-verified result, got verified=%v method=%q", res.Verified, res.VerifyMethod)
+	}
+	if res.Degraded() {
+		t.Fatalf("unexpected fallbacks: %v", res.Fallbacks)
+	}
+	if res.Assign == nil || res.Assign.TotalDCs == 0 {
+		t.Fatal("assignment stage did not run")
+	}
+	checkConsistent(t, spec, res)
+	if len(res.Stages) != 3 {
+		t.Fatalf("want 3 stage reports, got %v", res.Stages)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	spec := load(t, "bench")
+	cases := []pipeline.Options{
+		{Assign: pipeline.AssignSpec{Method: pipeline.MethodRanking, Fraction: 1.5}},
+		{Assign: pipeline.AssignSpec{Method: pipeline.MethodLCF, Threshold: 0}},
+		{Assign: pipeline.AssignSpec{Method: pipeline.MethodLCF, Threshold: 1}},
+		{Assign: pipeline.AssignSpec{Method: "bogus"}},
+	}
+	for i, opt := range cases {
+		if _, err := pipeline.Run(context.Background(), spec, opt); err == nil {
+			t.Fatalf("case %d: invalid options accepted", i)
+		}
+	}
+	if _, err := pipeline.Run(context.Background(), nil, pipeline.Options{}); err == nil {
+		t.Fatal("nil function accepted")
+	}
+}
+
+// sweepBenchmarks returns the benchmarks the injection sweep runs on:
+// every suite entry with <= 10 inputs (the 12-input entries are exercised
+// by the cancellation-latency test, where the deadline caps their cost).
+func sweepBenchmarks(t *testing.T) []string {
+	if testing.Short() {
+		return []string{"bench", "fout"}
+	}
+	var names []string
+	for _, s := range benchmarks.Specs() {
+		if s.Inputs <= 10 {
+			names = append(names, s.Name)
+		}
+	}
+	return names
+}
+
+// degradable maps each injection point to whether the ladder has a rung
+// below it, and names the forcer point that routes execution to it.
+var sweepTopology = map[string]struct {
+	degradable bool
+	forcer     string // point to pre-exhaust so execution reaches this rung
+}{
+	"assign/bdd":        {degradable: true},
+	"assign/dense":      {degradable: false, forcer: "assign/bdd"},
+	"synth/resyn":       {degradable: true},
+	"synth/sop":         {degradable: false, forcer: "synth/resyn"},
+	"verify/sat":        {degradable: true},
+	"verify/exhaustive": {degradable: false, forcer: "verify/sat"},
+}
+
+// TestInjectionSweep crosses every stage-boundary injection point with
+// every fault kind on the benchmark suite and asserts the pipeline's core
+// guarantee: each run ends in a care-set-consistent, CEC-verified
+// implementation via a documented fallback, or in a typed *StageError —
+// never a process panic, never a hang.
+func TestInjectionSweep(t *testing.T) {
+	for _, bench := range sweepBenchmarks(t) {
+		spec := load(t, bench)
+		for _, c := range faultinject.Plan() {
+			c := c
+			t.Run(bench+"/"+c.String(), func(t *testing.T) {
+				topo, ok := sweepTopology[c.Point]
+				if !ok {
+					t.Fatalf("unknown injection point %q", c.Point)
+				}
+				h := faultinject.New(c.Point, c.Kind)
+				ctx := h.Bind(context.Background())
+				hook := h.Hook
+				if topo.forcer != "" {
+					forcer := faultinject.New(topo.forcer, faultinject.Budget)
+					hook = faultinject.Chain(forcer.Hook, h.Hook)
+				}
+				opt := baseOptions()
+				opt.Inject = hook
+				res, err := pipeline.Run(ctx, spec, opt)
+				if !h.Fired() {
+					t.Fatalf("injection at %s never fired", c.Point)
+				}
+
+				if c.Kind == faultinject.Cancel {
+					assertStageError(t, err, c.Point, pipeline.ReasonCancel)
+					return
+				}
+				wantReason := pipeline.ReasonPanic
+				if c.Kind == faultinject.Budget {
+					wantReason = pipeline.ReasonBudget
+				}
+				if topo.degradable {
+					if err != nil {
+						t.Fatalf("degradable point %s did not degrade: %v", c.Point, err)
+					}
+					if !res.Verified {
+						t.Fatalf("degraded run not verified (fallbacks %v)", res.Fallbacks)
+					}
+					checkConsistent(t, spec, res)
+					if !hasFallbackFrom(res, c.Point) {
+						t.Fatalf("no fallback recorded from %s: %v", c.Point, res.Fallbacks)
+					}
+				} else {
+					assertStageError(t, err, c.Point, wantReason)
+				}
+			})
+		}
+	}
+}
+
+func hasFallbackFrom(res *pipeline.Result, from string) bool {
+	for _, fb := range res.Fallbacks {
+		if fb.From == from {
+			return true
+		}
+	}
+	return false
+}
+
+func assertStageError(t *testing.T, err error, attempt string, reason pipeline.Reason) {
+	t.Helper()
+	if err == nil {
+		t.Fatalf("want *StageError at %s [%s], got success", attempt, reason)
+	}
+	var serr *pipeline.StageError
+	if !errors.As(err, &serr) {
+		t.Fatalf("want *StageError, got %T: %v", err, err)
+	}
+	if serr.Attempt != attempt || serr.Reason != reason {
+		t.Fatalf("want failure at %s [%s], got %s [%s]: %v",
+			attempt, reason, serr.Attempt, serr.Reason, serr.Err)
+	}
+	wantRetryable := reason == pipeline.ReasonBudget || reason == pipeline.ReasonCancel
+	if serr.Retryable() != wantRetryable {
+		t.Fatalf("Retryable() = %v for reason %s", serr.Retryable(), reason)
+	}
+	if reason == pipeline.ReasonPanic && serr.Stack == nil {
+		t.Fatal("panic StageError missing stack")
+	}
+}
+
+// TestStrictDisablesDegradation checks that Options.Strict turns the
+// first recoverable failure into a terminal StageError.
+func TestStrictDisablesDegradation(t *testing.T) {
+	spec := load(t, "bench")
+	h := faultinject.New("synth/resyn", faultinject.Panic)
+	opt := baseOptions()
+	opt.Strict = true
+	opt.Inject = h.Hook
+	_, err := pipeline.Run(context.Background(), spec, opt)
+	assertStageError(t, err, "synth/resyn", pipeline.ReasonPanic)
+
+	// The same fault degrades to synth/sop without Strict.
+	h2 := faultinject.New("synth/resyn", faultinject.Panic)
+	opt.Strict = false
+	opt.Inject = h2.Hook
+	res, err := pipeline.Run(context.Background(), spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasFallbackFrom(res, "synth/resyn") || !res.Verified {
+		t.Fatalf("non-strict run should degrade and verify: %+v", res.Fallbacks)
+	}
+}
+
+// TestBDDBudgetFallsBackToDense drives the assign stage into a real (not
+// injected) BDD node-budget exhaustion and checks both the fallback and
+// that the degraded result is bit-identical to the dense path's.
+func TestBDDBudgetFallsBackToDense(t *testing.T) {
+	spec := load(t, "bench")
+	opt := baseOptions()
+	opt.Budget.MaxBDDNodes = 8 // far below any useful set representation
+	res, err := pipeline.Run(context.Background(), spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !hasFallbackFrom(res, "assign/bdd") {
+		t.Fatalf("tiny BDD budget did not trigger fallback: %v", res.Fallbacks)
+	}
+	if res.Fallbacks[0].Cause.Reason != pipeline.ReasonBudget {
+		t.Fatalf("fallback cause = %s, want budget", res.Fallbacks[0].Cause.Reason)
+	}
+
+	opt2 := baseOptions()
+	opt2.Assign.UseBDD = false
+	want, err := pipeline.Run(context.Background(), spec, opt2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Assign.Func.Equal(want.Assign.Func) {
+		t.Fatal("degraded BDD run disagrees with dense run")
+	}
+	// Strict mode surfaces the same exhaustion as a typed error.
+	opt.Strict = true
+	_, err = pipeline.Run(context.Background(), spec, opt)
+	assertStageError(t, err, "assign/bdd", pipeline.ReasonBudget)
+}
+
+// TestAIGBudget checks that a too-small AIG cap surfaces as a retryable
+// budget StageError wrapping synth.ErrAIGBudget.
+func TestAIGBudget(t *testing.T) {
+	spec := load(t, "bench")
+	opt := baseOptions()
+	opt.Synth.Flow = synth.FlowSOP
+	opt.Budget.MaxAIGNodes = 2
+	_, err := pipeline.Run(context.Background(), spec, opt)
+	assertStageError(t, err, "synth/sop", pipeline.ReasonBudget)
+	if !errors.Is(err, synth.ErrAIGBudget) {
+		t.Fatalf("want ErrAIGBudget, got %v", err)
+	}
+}
+
+// TestConflictBudgetFallsBackToExhaustive starves the SAT verifier so the
+// verdict is Unknown, and checks the exhaustive CEC rung takes over.
+func TestConflictBudgetFallsBackToExhaustive(t *testing.T) {
+	spec := load(t, "p3")
+	opt := baseOptions()
+	opt.Budget.MaxConflicts = 1
+	res, err := pipeline.Run(context.Background(), spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Verified {
+		t.Fatal("degraded run not verified")
+	}
+	if res.VerifyMethod != "exhaustive" || !hasFallbackFrom(res, "verify/sat") {
+		t.Fatalf("want exhaustive fallback, got method=%q fallbacks=%v",
+			res.VerifyMethod, res.Fallbacks)
+	}
+	if !errors.Is(res.Fallbacks[0].Cause, cec.ErrUnknown) {
+		t.Fatalf("fallback cause should wrap cec.ErrUnknown: %v", res.Fallbacks[0].Cause)
+	}
+	// Strict mode surfaces the Unknown verdict instead.
+	opt.Strict = true
+	_, err = pipeline.Run(context.Background(), spec, opt)
+	assertStageError(t, err, "verify/sat", pipeline.ReasonBudget)
+}
+
+// TestDeadlineReturnsPromptly runs the whole benchmark suite under
+// deadlines that land mid-stage and asserts every run returns within
+// latencySlack of the deadline — the pipeline's bounded-cancellation
+// guarantee.
+func TestDeadlineReturnsPromptly(t *testing.T) {
+	timeouts := []time.Duration{5 * time.Millisecond, 50 * time.Millisecond, 200 * time.Millisecond}
+	if testing.Short() {
+		timeouts = timeouts[:2]
+	}
+	for _, spec := range benchmarks.Specs() {
+		f := load(t, spec.Name)
+		for _, d := range timeouts {
+			opt := baseOptions()
+			opt.Budget.Timeout = d
+			start := time.Now()
+			res, err := pipeline.Run(context.Background(), f, opt)
+			elapsed := time.Since(start)
+			if over := elapsed - d; err != nil && over > latencySlack {
+				t.Errorf("%s timeout=%v: returned %v past the deadline (limit %v)",
+					spec.Name, d, over, latencySlack)
+			}
+			if err == nil {
+				checkConsistent(t, f, res)
+				continue
+			}
+			var serr *pipeline.StageError
+			if !errors.As(err, &serr) {
+				t.Fatalf("%s: deadline produced %T, want *StageError: %v", spec.Name, err, err)
+			}
+			if serr.Reason != pipeline.ReasonCancel {
+				t.Fatalf("%s: deadline produced reason %s: %v", spec.Name, serr.Reason, err)
+			}
+		}
+	}
+}
+
+// TestCancelBeforeStart covers immediate cancellation.
+func TestCancelBeforeStart(t *testing.T) {
+	spec := load(t, "bench")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := pipeline.Run(ctx, spec, baseOptions())
+	var serr *pipeline.StageError
+	if !errors.As(err, &serr) || serr.Reason != pipeline.ReasonCancel {
+		t.Fatalf("want cancel StageError, got %v", err)
+	}
+}
+
+// TestMethodsAndFlows exercises the full option matrix end to end.
+func TestMethodsAndFlows(t *testing.T) {
+	spec := load(t, "fout")
+	methods := []pipeline.AssignSpec{
+		{Method: pipeline.MethodNone},
+		{Method: pipeline.MethodRanking, Fraction: 0.5},
+		{Method: pipeline.MethodRanking, Fraction: 0.5, UseBDD: true},
+		{Method: pipeline.MethodLCF, Threshold: 0.55},
+		{Method: pipeline.MethodComplete},
+	}
+	for _, m := range methods {
+		for _, flow := range []synth.Flow{synth.FlowSOP, synth.FlowResyn} {
+			res, err := pipeline.Run(context.Background(), spec, pipeline.Options{
+				Assign: m,
+				Synth:  synth.Options{Flow: flow},
+			})
+			if err != nil {
+				t.Fatalf("%v/%v: %v", m.Method, flow, err)
+			}
+			if !res.Verified {
+				t.Fatalf("%v/%v: not verified", m.Method, flow)
+			}
+			checkConsistent(t, spec, res)
+		}
+	}
+}
+
+// TestDegradedResultStillImprovesReliability sanity-checks that even a
+// degraded pipeline (BDD and resyn rungs knocked out) still delivers the
+// paper's reliability win over conventional synthesis.
+func TestDegradedResultStillImprovesReliability(t *testing.T) {
+	spec := load(t, "bench")
+	conv, err := pipeline.Run(context.Background(), spec, pipeline.Options{
+		Synth: synth.Options{Flow: synth.FlowSOP},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hBDD := faultinject.New("assign/bdd", faultinject.Panic)
+	hResyn := faultinject.New("synth/resyn", faultinject.Budget)
+	opt := baseOptions()
+	opt.Assign = pipeline.AssignSpec{Method: pipeline.MethodComplete}
+	opt.Inject = faultinject.Chain(hBDD.Hook, hResyn.Hook)
+	rel, err := pipeline.Run(context.Background(), spec, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	convER, err := reliability.ErrorRateMean(spec, conv.Synth.Impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relER, err := reliability.ErrorRateMean(spec, rel.Synth.Impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if relER > convER {
+		t.Fatalf("degraded reliability run worse than conventional: %v > %v", relER, convER)
+	}
+}

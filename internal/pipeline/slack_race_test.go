@@ -1,0 +1,10 @@
+//go:build race
+
+package pipeline_test
+
+import "time"
+
+// latencySlack under the race detector: instrumentation slows the
+// interrupt-poll hot loops by roughly an order of magnitude, so the
+// cancellation bound is relaxed proportionally.
+const latencySlack = 1 * time.Second

@@ -1,0 +1,9 @@
+//go:build !race
+
+package pipeline_test
+
+import "time"
+
+// latencySlack is how far past its deadline a cancelled run may return:
+// the acceptance bound for cooperative-cancellation granularity.
+const latencySlack = 100 * time.Millisecond

@@ -87,15 +87,32 @@ func BoundsMean(f *tt.Function) (lo, hi float64) {
 	return lo / m, hi / m
 }
 
+// checkPair validates the public-API boundary: spec and impl must have
+// identical dimensions and o must be a valid output index. Violations are
+// returned as errors (not panics) so that a serving process can reject a
+// bad request instead of crashing.
+func checkPair(spec, impl *tt.Function, o int) error {
+	if spec.NumIn != impl.NumIn {
+		return fmt.Errorf("reliability: input count mismatch %d vs %d", spec.NumIn, impl.NumIn)
+	}
+	if spec.NumOut() != impl.NumOut() {
+		return fmt.Errorf("reliability: output count mismatch %d vs %d", spec.NumOut(), impl.NumOut())
+	}
+	if o < 0 || o >= spec.NumOut() {
+		return fmt.Errorf("reliability: output %d outside [0,%d)", o, spec.NumOut())
+	}
+	return nil
+}
+
 // ErrorRate returns the exact single-bit input error rate of output o of
 // implementation impl, evaluated against the care set of specification
 // spec: the fraction of (care minterm, bit) events whose flip changes
 // impl's output value. impl must be completely specified on the care set
 // of spec and is typically a fully specified function. The two functions
-// must have the same dimensions.
-func ErrorRate(spec, impl *tt.Function, o int) float64 {
-	if spec.NumIn != impl.NumIn {
-		panic(fmt.Sprintf("reliability: input count mismatch %d vs %d", spec.NumIn, impl.NumIn))
+// must have the same dimensions; mismatches are reported as errors.
+func ErrorRate(spec, impl *tt.Function, o int) (float64, error) {
+	if err := checkPair(spec, impl, o); err != nil {
+		return 0, err
 	}
 	n := spec.NumIn
 	care := spec.Outs[o].DC.Complement()
@@ -107,7 +124,7 @@ func ErrorRate(spec, impl *tt.Function, o int) float64 {
 		diff.InPlaceSymDiff(valSh) // minterms whose value differs from the b-neighbor
 		errs += diff.IntersectionCount(care)
 	}
-	return float64(errs) / float64(n*spec.Size())
+	return float64(errs) / float64(n*spec.Size()), nil
 }
 
 // implValue returns impl's output-o value vector. DC minterms of impl are
@@ -119,19 +136,29 @@ func implValue(impl *tt.Function, o int) *bitset.Set {
 
 // ErrorRateMean returns ErrorRate averaged over all outputs — the
 // per-benchmark reliability number used throughout the paper's plots.
-func ErrorRateMean(spec, impl *tt.Function) float64 {
+func ErrorRateMean(spec, impl *tt.Function) (float64, error) {
 	sum := 0.0
 	for o := range spec.Outs {
-		sum += ErrorRate(spec, impl, o)
+		r, err := ErrorRate(spec, impl, o)
+		if err != nil {
+			return 0, err
+		}
+		sum += r
 	}
-	return sum / float64(spec.NumOut())
+	return sum / float64(spec.NumOut()), nil
 }
 
 // SelfErrorRate measures a completely specified function against its own
 // care set (all minterms): the plain fraction of adjacent minterm pairs
 // with differing values.
 func SelfErrorRate(f *tt.Function, o int) float64 {
-	return ErrorRate(f, f, o)
+	r, err := ErrorRate(f, f, o)
+	if err != nil {
+		// Unreachable: a function always matches its own dimensions, and
+		// callers pass a valid output index (internal invariant).
+		panic(err)
+	}
+	return r
 }
 
 // ErrorRateMulti generalizes ErrorRate to simultaneous k-bit input
@@ -139,13 +166,13 @@ func SelfErrorRate(f *tt.Function, o int) float64 {
 // whose joint flip changes output o of impl. k = 1 reproduces ErrorRate.
 // The paper argues single-bit errors dominate when pin errors are rare
 // and uncorrelated (§2); this extension quantifies the k ≥ 2 tail.
-func ErrorRateMulti(spec, impl *tt.Function, o, k int) float64 {
-	if spec.NumIn != impl.NumIn {
-		panic(fmt.Sprintf("reliability: input count mismatch %d vs %d", spec.NumIn, impl.NumIn))
+func ErrorRateMulti(spec, impl *tt.Function, o, k int) (float64, error) {
+	if err := checkPair(spec, impl, o); err != nil {
+		return 0, err
 	}
 	n := spec.NumIn
 	if k < 1 || k > n {
-		panic(fmt.Sprintf("reliability: error multiplicity %d outside [1,%d]", k, n))
+		return 0, fmt.Errorf("reliability: error multiplicity %d outside [1,%d]", k, n)
 	}
 	care := spec.Outs[o].DC.Complement()
 	val := implValue(impl, o)
@@ -162,16 +189,20 @@ func ErrorRateMulti(spec, impl *tt.Function, o, k int) float64 {
 		diff.InPlaceSymDiff(valSh)
 		errs += diff.IntersectionCount(care)
 	})
-	return float64(errs) / float64(events*spec.Size())
+	return float64(errs) / float64(events*spec.Size()), nil
 }
 
 // ErrorRateMultiMean averages ErrorRateMulti over all outputs.
-func ErrorRateMultiMean(spec, impl *tt.Function, k int) float64 {
+func ErrorRateMultiMean(spec, impl *tt.Function, k int) (float64, error) {
 	sum := 0.0
 	for o := range spec.Outs {
-		sum += ErrorRateMulti(spec, impl, o, k)
+		r, err := ErrorRateMulti(spec, impl, o, k)
+		if err != nil {
+			return 0, err
+		}
+		sum += r
 	}
-	return sum / float64(spec.NumOut())
+	return sum / float64(spec.NumOut()), nil
 }
 
 // forEachSubset enumerates the C(n,k) bit masks with exactly k of n bits

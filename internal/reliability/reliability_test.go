@@ -8,6 +8,18 @@ import (
 	"relsyn/internal/tt"
 )
 
+// mustRate unwraps an (ErrorRate*, error) pair for tests whose inputs
+// are dimensionally valid by construction: mustRate(t)(ErrorRate(...)).
+func mustRate(t *testing.T) func(float64, error) float64 {
+	return func(r float64, err error) float64 {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+}
+
 func randomFunction(rng *rand.Rand, n, m int) *tt.Function {
 	f := tt.New(n, m)
 	for o := 0; o < m; o++ {
@@ -135,7 +147,7 @@ func TestBoundsContainAllAssignments(t *testing.T) {
 					impl.SetPhase(0, m, tt.Off)
 				}
 			})
-			er := ErrorRate(spec, impl, 0)
+			er := mustRate(t)(ErrorRate(spec, impl, 0))
 			if er < lo-1e-12 || er > hi+1e-12 {
 				t.Fatalf("assignment error rate %v outside bounds [%v,%v]", er, lo, hi)
 			}
@@ -161,7 +173,7 @@ func TestMinBoundAchievedByGreedy(t *testing.T) {
 				impl.SetPhase(0, m, tt.Off)
 			}
 		})
-		er := ErrorRate(spec, impl, 0)
+		er := mustRate(t)(ErrorRate(spec, impl, 0))
 		if math.Abs(er-lo) > 1e-12 {
 			t.Fatalf("greedy assignment rate %v != exact min %v", er, lo)
 		}
@@ -176,7 +188,7 @@ func TestErrorRateNaive(t *testing.T) {
 		spec.Outs[0].DC.ForEach(func(m int) {
 			impl.SetPhase(0, m, tt.Phase(1+rng.Intn(2)%2))
 		})
-		got := ErrorRate(spec, impl, 0)
+		got := mustRate(t)(ErrorRate(spec, impl, 0))
 		// Naive recount.
 		n := spec.NumIn
 		errs := 0
@@ -208,9 +220,9 @@ func TestErrorRateMean(t *testing.T) {
 	}
 	sum := 0.0
 	for o := 0; o < 3; o++ {
-		sum += ErrorRate(spec, impl, o)
+		sum += mustRate(t)(ErrorRate(spec, impl, o))
 	}
-	if got := ErrorRateMean(spec, impl); math.Abs(got-sum/3) > 1e-12 {
+	if got := mustRate(t)(ErrorRateMean(spec, impl)); math.Abs(got-sum/3) > 1e-12 {
 		t.Fatalf("ErrorRateMean = %v, want %v", got, sum/3)
 	}
 }
@@ -293,8 +305,8 @@ func TestErrorRateMultiK1MatchesErrorRate(t *testing.T) {
 		spec := randomFunction(rng, 6, 1)
 		impl := spec.Clone()
 		spec.Outs[0].DC.ForEach(func(m int) { impl.SetPhase(0, m, tt.Off) })
-		a := ErrorRate(spec, impl, 0)
-		b := ErrorRateMulti(spec, impl, 0, 1)
+		a := mustRate(t)(ErrorRate(spec, impl, 0))
+		b := mustRate(t)(ErrorRateMulti(spec, impl, 0, 1))
 		if math.Abs(a-b) > 1e-12 {
 			t.Fatalf("k=1 multi rate %v != single rate %v", b, a)
 		}
@@ -307,7 +319,7 @@ func TestErrorRateMultiNaive(t *testing.T) {
 	impl := spec.Clone()
 	spec.Outs[0].DC.ForEach(func(m int) { impl.SetPhase(0, m, tt.On) })
 	for _, k := range []int{2, 3} {
-		got := ErrorRateMulti(spec, impl, 0, k)
+		got := mustRate(t)(ErrorRateMulti(spec, impl, 0, k))
 		// Naive: enumerate all k-subsets and care minterms.
 		n := spec.NumIn
 		errs, events := 0, 0
@@ -342,10 +354,10 @@ func TestErrorRateMultiXOR(t *testing.T) {
 			f.SetPhase(0, m, tt.On)
 		}
 	}
-	if got := ErrorRateMulti(f, f, 0, 2); got != 0 {
+	if got := mustRate(t)(ErrorRateMulti(f, f, 0, 2)); got != 0 {
 		t.Fatalf("XOR 2-bit rate = %v, want 0", got)
 	}
-	if got := ErrorRateMulti(f, f, 0, 3); got != 1 {
+	if got := mustRate(t)(ErrorRateMulti(f, f, 0, 3)); got != 1 {
 		t.Fatalf("XOR 3-bit rate = %v, want 1", got)
 	}
 }
@@ -368,14 +380,38 @@ func TestForEachSubsetCount(t *testing.T) {
 	}
 }
 
-func TestErrorRateDimensionMismatchPanics(t *testing.T) {
+// The public API boundary rejects malformed requests with errors rather
+// than panicking (so a serving process survives bad inputs).
+func TestErrorRateBoundaryErrors(t *testing.T) {
 	a, b := tt.New(3, 1), tt.New(4, 1)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic on dimension mismatch")
+	if _, err := ErrorRate(a, b, 0); err == nil {
+		t.Fatal("expected error on input-count mismatch")
+	}
+	c := tt.New(3, 2)
+	if _, err := ErrorRate(a, c, 0); err == nil {
+		t.Fatal("expected error on output-count mismatch")
+	}
+	if _, err := ErrorRate(a, a, 1); err == nil {
+		t.Fatal("expected error on out-of-range output index")
+	}
+	if _, err := ErrorRate(a, a, -1); err == nil {
+		t.Fatal("expected error on negative output index")
+	}
+	if _, err := ErrorRateMean(a, b); err == nil {
+		t.Fatal("expected ErrorRateMean to propagate the mismatch error")
+	}
+}
+
+func TestErrorRateMultiMultiplicityErrors(t *testing.T) {
+	f := tt.New(3, 1)
+	for _, k := range []int{0, -1, 4} {
+		if _, err := ErrorRateMulti(f, f, 0, k); err == nil {
+			t.Fatalf("expected error for multiplicity k=%d", k)
 		}
-	}()
-	ErrorRate(a, b, 0)
+	}
+	if _, err := ErrorRateMultiMean(f, tt.New(4, 1), 1); err == nil {
+		t.Fatal("expected ErrorRateMultiMean to propagate the mismatch error")
+	}
 }
 
 func BenchmarkExactCounts12(b *testing.B) {

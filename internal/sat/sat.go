@@ -65,7 +65,11 @@ type Solver struct {
 	propagations int64
 	conflicts    int64
 	maxConflicts int64
+	interrupt    func() bool
 }
+
+// DefaultMaxConflicts is the conflict budget applied when none is set.
+const DefaultMaxConflicts = 1 << 22
 
 // New returns a solver for numVars variables (1-based).
 func New(numVars int) *Solver {
@@ -77,7 +81,7 @@ func New(numVars int) *Solver {
 		reason:       make([]int, numVars+1),
 		activity:     make([]float64, numVars+1),
 		varInc:       1,
-		maxConflicts: 1 << 22,
+		maxConflicts: DefaultMaxConflicts,
 	}
 	for i := range s.reason {
 		s.reason[i] = -1
@@ -87,6 +91,22 @@ func New(numVars int) *Solver {
 
 // NumVars returns the declared variable count.
 func (s *Solver) NumVars() int { return s.numVars }
+
+// SetMaxConflicts bounds the search effort: once the solver has analyzed
+// more than max conflicts, Solve returns Unknown. max <= 0 restores the
+// default budget (DefaultMaxConflicts). Callers that need a hard-real-time
+// answer pair this with SetInterrupt.
+func (s *Solver) SetMaxConflicts(max int64) {
+	if max <= 0 {
+		max = DefaultMaxConflicts
+	}
+	s.maxConflicts = max
+}
+
+// SetInterrupt installs a cooperative cancellation hook: fn is polled at
+// every conflict and, when it reports true, Solve stops and returns
+// Unknown. A nil fn removes the hook.
+func (s *Solver) SetInterrupt(fn func() bool) { s.interrupt = fn }
 
 // AddClause adds a clause; it returns false if the database is already
 // trivially unsatisfiable (empty clause).
@@ -348,7 +368,7 @@ func (s *Solver) Solve(assumptions ...Lit) Result {
 		conflict := s.propagate(&qhead)
 		if conflict != -1 {
 			s.conflicts++
-			if s.conflicts > s.maxConflicts {
+			if s.conflicts > s.maxConflicts || (s.interrupt != nil && s.interrupt()) {
 				s.cancelUntil(0)
 				return Unknown
 			}
@@ -371,6 +391,10 @@ func (s *Solver) Solve(assumptions ...Lit) Result {
 			}
 			s.varInc *= 1.05
 			continue
+		}
+		if s.interrupt != nil && s.interrupt() {
+			s.cancelUntil(0)
+			return Unknown
 		}
 		v := s.pickBranchVar()
 		if v == 0 {

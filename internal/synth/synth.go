@@ -20,6 +20,7 @@
 package synth
 
 import (
+	"errors"
 	"fmt"
 
 	"relsyn/internal/aig"
@@ -71,11 +72,43 @@ func (f Flow) String() string {
 	return "sop"
 }
 
+// ErrAIGBudget is wrapped by errors returned when the optimized AIG
+// exceeds Options.MaxAIGNodes. The run is retryable with a larger cap.
+var ErrAIGBudget = errors.New("synth: AIG node budget exhausted")
+
 // Options configures Synthesize.
 type Options struct {
 	Objective Objective
 	Flow      Flow
 	Library   *celllib.Library // nil = celllib.Generic70()
+
+	// Interrupt, when non-nil, is polled between per-output minimization
+	// passes and between flow phases; a non-nil return aborts Synthesize
+	// with that error (cooperative cancellation).
+	Interrupt func() error
+
+	// MaxAIGNodes caps the AND-node count of the constructed AIG
+	// (0 = unlimited). The cap is checked after initial construction and
+	// after each restructuring phase; exhaustion returns an error wrapping
+	// ErrAIGBudget.
+	MaxAIGNodes int
+}
+
+// check polls the Interrupt hook.
+func (o Options) check() error {
+	if o.Interrupt == nil {
+		return nil
+	}
+	return o.Interrupt()
+}
+
+// checkAIG enforces the node cap on g.
+func (o Options) checkAIG(g *aig.Graph, phase string) error {
+	if o.MaxAIGNodes > 0 && g.NumNodes() > o.MaxAIGNodes {
+		return fmt.Errorf("%w: %d nodes after %s (limit %d)",
+			ErrAIGBudget, g.NumNodes(), phase, o.MaxAIGNodes)
+	}
+	return nil
 }
 
 // Metrics are the implementation costs of a synthesized circuit.
@@ -112,18 +145,39 @@ func Synthesize(f *tt.Function, opt Options) (*Result, error) {
 	g := aig.New(f.NumIn)
 	literals := 0
 	for o := range f.Outs {
-		cov := espresso.Minimize(f.OnCover(o), f.DCCover(o))
+		if err := opt.check(); err != nil {
+			return nil, err
+		}
+		cov, err := espresso.MinimizeInterruptible(f.OnCover(o), f.DCCover(o), opt.Interrupt)
+		if err != nil {
+			return nil, err
+		}
 		e := factor.GoodFactor(cov)
 		literals += e.NumLiterals()
 		g.AddPO(g.FromExpr(e))
 	}
 	g = g.Cleanup().Balance()
+	if err := opt.checkAIG(g, "construction"); err != nil {
+		return nil, err
+	}
 	if opt.Flow == FlowResyn {
-		g = Refactor(g)
-		if g2, err := ResynNodes(g, 6); err == nil {
+		var err error
+		g, err = refactorPoll(g, opt.Interrupt)
+		if err != nil {
+			return nil, err
+		}
+		if g2, err := resynNodesPoll(g, 6, opt.Interrupt); err == nil {
 			g = g2
+		} else if opt.Interrupt != nil && opt.Interrupt() != nil {
+			return nil, err
 		}
 		g = g.Balance()
+		if err := opt.checkAIG(g, "resyn"); err != nil {
+			return nil, err
+		}
+	}
+	if err := opt.check(); err != nil {
+		return nil, err
 	}
 
 	mode := mapper.Area
@@ -184,23 +238,32 @@ func implFunction(spec *tt.Function, g *aig.Graph) (*tt.Function, error) {
 // a fresh strashed graph. Cones whose rebuild is larger keep their
 // original structure.
 func Refactor(g *aig.Graph) *aig.Graph {
+	out, _ := refactorPoll(g, nil)
+	return out
+}
+
+// refactorPoll is Refactor with a cooperative cancellation hook.
+func refactorPoll(g *aig.Graph, poll func() error) (*aig.Graph, error) {
 	n := g.NumPI()
 	if n > 16 {
-		return g
+		return g, nil
 	}
 	tts := g.NodeTruthTables()
 	out := aig.New(n)
 	for o := 0; o < g.NumPO(); o++ {
 		table := g.LitTable(tts, g.PO(o))
-		cov := espresso.Minimize(coverFromBits(n, table), nil)
+		cov, err := espresso.MinimizeInterruptible(coverFromBits(n, table), nil, poll)
+		if err != nil {
+			return nil, err
+		}
 		e := factor.GoodFactor(cov)
 		out.AddPO(out.FromExpr(e))
 	}
 	out = out.Cleanup()
 	if out.NumNodes() >= g.NumNodes() {
-		return g
+		return g, nil
 	}
-	return out
+	return out, nil
 }
 
 func coverFromBits(n int, s *bitset.Set) *cube.Cover {
@@ -215,6 +278,11 @@ func coverFromBits(n int, s *bitset.Set) *cube.Cover {
 // function, and compose the factored forms back into a fresh strashed
 // graph. The rebuild is kept only if it has fewer AND nodes.
 func ResynNodes(g *aig.Graph, k int) (*aig.Graph, error) {
+	return resynNodesPoll(g, k, nil)
+}
+
+// resynNodesPoll is ResynNodes with a cooperative cancellation hook.
+func resynNodesPoll(g *aig.Graph, k int, poll func() error) (*aig.Graph, error) {
 	nw, err := network.FromAIG(g, k)
 	if err != nil {
 		return nil, err
@@ -225,7 +293,10 @@ func ResynNodes(g *aig.Graph, k int) (*aig.Graph, error) {
 		sig[i] = out.PI(i)
 	}
 	for ni, nd := range nw.Nodes {
-		cov := espresso.Minimize(nd.OnCover(), nil)
+		cov, err := espresso.MinimizeInterruptible(nd.OnCover(), nil, poll)
+		if err != nil {
+			return nil, err
+		}
 		e := factor.GoodFactor(cov)
 		leaves := make([]aig.Lit, nd.NumIn())
 		for j, f := range nd.Fanins {

@@ -143,14 +143,20 @@ func TestPipelineErrorRateImproves(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		convER := reliability.ErrorRateMean(spec, conv.Impl)
+		convER, err := reliability.ErrorRateMean(spec, conv.Impl)
+		if err != nil {
+			t.Fatal(err)
+		}
 
 		complete := core.Complete(spec)
 		rel, err := Synthesize(complete.Func, Options{Objective: OptimizePower})
 		if err != nil {
 			t.Fatal(err)
 		}
-		relER := reliability.ErrorRateMean(spec, rel.Impl)
+		relER, err := reliability.ErrorRateMean(spec, rel.Impl)
+		if err != nil {
+			t.Fatal(err)
+		}
 
 		lo, hi := reliability.BoundsMean(spec)
 		if relER < lo-1e-12 || convER < lo-1e-12 || relER > hi+1e-12 || convER > hi+1e-12 {

@@ -27,6 +27,7 @@
 package relsyn
 
 import (
+	"context"
 	"io"
 
 	"relsyn/internal/aig"
@@ -38,6 +39,7 @@ import (
 	"relsyn/internal/estimate"
 	"relsyn/internal/faultsim"
 	"relsyn/internal/network"
+	"relsyn/internal/pipeline"
 	"relsyn/internal/pla"
 	"relsyn/internal/reliability"
 	"relsyn/internal/synth"
@@ -141,8 +143,9 @@ func LocalComplexityFactor(f *Function, output, minterm int) float64 {
 
 // ErrorRate returns the exact single-bit input error rate of impl
 // measured against spec's care set, averaged over outputs and normalized
-// by the n·2^n possible (minterm, bit) error events.
-func ErrorRate(spec, impl *Function) float64 {
+// by the n·2^n possible (minterm, bit) error events. Dimension mismatches
+// between spec and impl are reported as errors.
+func ErrorRate(spec, impl *Function) (float64, error) {
 	return reliability.ErrorRateMean(spec, impl)
 }
 
@@ -153,7 +156,8 @@ func ExactBounds(f *Function) (lo, hi float64) { return reliability.BoundsMean(f
 
 // ErrorRateMulti returns the exact k-bit input error rate of impl
 // against spec (k = 1 reproduces ErrorRate), averaged over outputs.
-func ErrorRateMulti(spec, impl *Function, k int) float64 {
+// Dimension mismatches and k outside [1, n] are reported as errors.
+func ErrorRateMulti(spec, impl *Function, k int) (float64, error) {
 	return reliability.ErrorRateMultiMean(spec, impl, k)
 }
 
@@ -235,4 +239,42 @@ type Counterexample = cec.Counterexample
 // range). Pass the Graph fields of two SynthResults.
 func CheckEquivalence(g1, g2 *aig.Graph) (bool, *Counterexample, error) {
 	return cec.Check(g1, g2)
+}
+
+// PipelineOptions configures RunPipeline; see pipeline.Options.
+type PipelineOptions = pipeline.Options
+
+// PipelineResult is a (possibly degraded) pipeline run; see
+// pipeline.Result.
+type PipelineResult = pipeline.Result
+
+// PipelineBudget bounds a pipeline run's resources (wall clock, BDD
+// nodes, SAT conflicts, AIG nodes); see pipeline.Budget.
+type PipelineBudget = pipeline.Budget
+
+// PipelineAssign configures the pipeline's assignment stage.
+type PipelineAssign = pipeline.AssignSpec
+
+// StageError is the typed failure RunPipeline returns instead of
+// panicking or hanging; see pipeline.StageError.
+type StageError = pipeline.StageError
+
+// Fallback records one degradation-ladder step a pipeline run took.
+type Fallback = pipeline.Fallback
+
+// Assignment-method selectors for PipelineAssign.Method.
+const (
+	MethodNone     = pipeline.MethodNone
+	MethodRanking  = pipeline.MethodRanking
+	MethodLCF      = pipeline.MethodLCF
+	MethodComplete = pipeline.MethodComplete
+)
+
+// RunPipeline executes assignment, synthesis, and verification on f as a
+// fault-tolerant staged job: panics become typed *StageError values,
+// resource budgets bound the effort, and budget exhaustion degrades along
+// an explicit ladder (BDD assignment → dense; resyn flow → sop; SAT CEC →
+// exhaustive CEC) instead of failing. See internal/pipeline.
+func RunPipeline(ctx context.Context, f *Function, opt PipelineOptions) (*PipelineResult, error) {
+	return pipeline.Run(ctx, f, opt)
 }

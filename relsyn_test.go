@@ -47,7 +47,10 @@ func TestQuickstartPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	convER := relsyn.ErrorRate(spec, conv.Impl)
+	convER, err := relsyn.ErrorRate(spec, conv.Impl)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	// Reliability-driven: rank and bind half the DCs.
 	res, err := relsyn.RankingAssign(spec, 0.5)
@@ -58,7 +61,10 @@ func TestQuickstartPipeline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	relER := relsyn.ErrorRate(spec, rel.Impl)
+	relER, err := relsyn.ErrorRate(spec, rel.Impl)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	lo, hi := relsyn.ExactBounds(spec)
 	for _, er := range []float64{convER, relER} {
@@ -125,10 +131,22 @@ func TestFacadeExtensions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r1 := relsyn.ErrorRateMulti(spec, res.Impl, 1); math.Abs(r1-relsyn.ErrorRate(spec, res.Impl)) > 1e-12 {
+	r1, err := relsyn.ErrorRateMulti(spec, res.Impl, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := relsyn.ErrorRate(spec, res.Impl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(r1-single) > 1e-12 {
 		t.Fatal("ErrorRateMulti(k=1) disagrees with ErrorRate")
 	}
-	if r2 := relsyn.ErrorRateMulti(spec, res.Impl, 2); r2 < 0 || r2 > 1 {
+	r2, err := relsyn.ErrorRateMulti(spec, res.Impl, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2 < 0 || r2 > 1 {
 		t.Fatalf("2-bit rate out of range: %v", r2)
 	}
 	rep, err := relsyn.AnalyzeFaults(res, spec.NumIn)
