@@ -5,9 +5,17 @@
 package relsyn_test
 
 import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
 	"testing"
 
 	"relsyn/internal/experiments"
+	"relsyn/internal/server"
 )
 
 var benchFractions = []float64{0, 0.5, 1}
@@ -124,4 +132,105 @@ func BenchmarkQuality(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// benchServerPLA generates one of the distinct 4-input specifications
+// used by BenchmarkServerThroughput: deterministic per seed, with a mix
+// of on-set and DC rows so the full assign+synth+verify pipeline runs.
+func benchServerPLA(seed int) string {
+	var sb strings.Builder
+	sb.WriteString(".i 4\n.o 1\n.type fd\n")
+	for m := 0; m < 16; m++ {
+		switch (m*31 + seed*17 + seed*seed) % 5 {
+		case 0, 3:
+			fmt.Fprintf(&sb, "%04b 1\n", m)
+		case 1:
+			fmt.Fprintf(&sb, "%04b -\n", m)
+		}
+	}
+	sb.WriteString(".e\n")
+	return sb.String()
+}
+
+// fireServerRequests posts total concurrent synth requests (cycling
+// through specs) against base and fails the benchmark on any non-OK or
+// non-done response.
+func fireServerRequests(b *testing.B, base string, specs []string, total int) {
+	b.Helper()
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			body, err := json.Marshal(map[string]any{
+				"pla":     specs[i%len(specs)],
+				"options": map[string]any{"method": "rank", "fraction": 1.0},
+			})
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			resp, err := http.Post(base+"/v1/synth", "application/json", bytes.NewReader(body))
+			if err != nil {
+				b.Error(err)
+				return
+			}
+			defer resp.Body.Close()
+			var env struct {
+				Status string `json:"status"`
+				Error  string `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+				b.Error(err)
+				return
+			}
+			if resp.StatusCode != http.StatusOK || env.Status != "done" {
+				b.Errorf("request %d: status %d / %q (%s)", i, resp.StatusCode, env.Status, env.Error)
+			}
+		}(i)
+	}
+	wg.Wait()
+}
+
+// BenchmarkServerThroughput measures the relsynd service end to end: 64
+// concurrent requests over 8 distinct specifications through the HTTP
+// front end, job queue, worker pool, and result cache.
+//
+//   - cold: every iteration starts an empty cache, so each distinct spec
+//     synthesizes once and its 7 duplicates coalesce or hit the cache.
+//   - warm: the cache is primed before the timer starts, so all 64
+//     requests are cache hits — the serving-path overhead in isolation.
+func BenchmarkServerThroughput(b *testing.B) {
+	const total, distinct = 64, 8
+	specs := make([]string, distinct)
+	for i := range specs {
+		specs[i] = benchServerPLA(i)
+	}
+	cfg := server.Config{Workers: 4, QueueDepth: 2 * total, CacheSize: 2 * distinct}
+
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			srv := server.New(cfg)
+			ts := httptest.NewServer(srv.Handler())
+			b.StartTimer()
+			fireServerRequests(b, ts.URL, specs, total)
+			b.StopTimer()
+			ts.Close()
+			srv.Close()
+			b.StartTimer()
+		}
+	})
+
+	b.Run("warm", func(b *testing.B) {
+		srv := server.New(cfg)
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		defer srv.Close()
+		fireServerRequests(b, ts.URL, specs, distinct) // prime the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fireServerRequests(b, ts.URL, specs, total)
+		}
+	})
 }

@@ -15,6 +15,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -24,10 +25,25 @@ import (
 	"relsyn"
 )
 
+// Exit codes (stable; documented in README):
+//
+//	0  success (including degraded runs — inspect stderr/-json for fallbacks)
+//	1  hard failure: the run itself failed (I/O, spec, stage error)
+//	2  usage: unknown subcommand/flag or invalid flag value
+//	3  resource-limited: the run was stopped by a budget or timeout and
+//	   could succeed with more resources (includes strict-mode refusals
+//	   to degrade)
+const (
+	exitOK       = 0
+	exitFailure  = 1
+	exitUsage    = 2
+	exitResource = 3
+)
+
 func main() {
 	if len(os.Args) < 2 {
 		usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	var err error
 	switch os.Args[1] {
@@ -46,12 +62,40 @@ func main() {
 	default:
 		fmt.Fprintf(os.Stderr, "relsyn: unknown subcommand %q\n", os.Args[1])
 		usage()
-		os.Exit(2)
+		os.Exit(exitUsage)
 	}
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "relsyn: %v\n", err)
-		os.Exit(1)
+		os.Exit(exitCode(err))
 	}
+}
+
+// usageError marks command-line mistakes (invalid flag values, unknown
+// enum spellings) so main can exit 2, like flag-parse errors, instead of
+// 1.
+type usageError struct{ err error }
+
+func (e usageError) Error() string { return e.err.Error() }
+func (e usageError) Unwrap() error { return e.err }
+
+func usagef(format string, args ...any) error {
+	return usageError{fmt.Errorf(format, args...)}
+}
+
+// exitCode classifies err per the table above.
+func exitCode(err error) int {
+	if err == nil {
+		return exitOK
+	}
+	var ue usageError
+	if errors.As(err, &ue) {
+		return exitUsage
+	}
+	var se *relsyn.StageError
+	if errors.As(err, &se) && se.Retryable() {
+		return exitResource
+	}
+	return exitFailure
 }
 
 func usage() {
@@ -61,8 +105,11 @@ func usage() {
   relsyn synth  [-in spec.pla | -bench name] [-objective delay|power|area] [-flow sop|resyn]
                 [-method none|rank|lcf|complete] [-fraction F] [-threshold T]
                 [-timeout D] [-max-bdd-nodes N] [-max-conflicts N] [-max-aig-nodes N] [-strict]
+                [-json]
   relsyn verilog [-in spec.pla | -bench name] [-module name] [-out file.v]
-  relsyn decompose [-in spec.pla | -bench name] [-k 5] [-threshold 0.7] [-blif file.blif]`)
+  relsyn decompose [-in spec.pla | -bench name] [-k 5] [-threshold 0.7] [-blif file.blif]
+
+exit codes: 0 ok, 1 failure, 2 usage, 3 resource-limited (budget/timeout)`)
 }
 
 // inputFlags registers the shared spec-source flags on fs.
@@ -76,7 +123,7 @@ func inputFlags(fs *flag.FlagSet) (in, bench *string) {
 // ranked DC minterms must lie in the closed interval [0, 1].
 func checkFraction(v float64) error {
 	if v < 0 || v > 1 {
-		return fmt.Errorf("-fraction must be in [0,1], got %g", v)
+		return usagef("-fraction must be in [0,1], got %g", v)
 	}
 	return nil
 }
@@ -85,7 +132,7 @@ func checkFraction(v float64) error {
 // meaningful only strictly inside (0, 1).
 func checkThreshold(v float64) error {
 	if v <= 0 || v >= 1 {
-		return fmt.Errorf("-threshold must be in (0,1), got %g", v)
+		return usagef("-threshold must be in (0,1), got %g", v)
 	}
 	return nil
 }
@@ -93,7 +140,7 @@ func checkThreshold(v float64) error {
 // checkK validates the -k flag: the node fanin bound must be at least 1.
 func checkK(k int) error {
 	if k < 1 {
-		return fmt.Errorf("-k must be >= 1, got %d", k)
+		return usagef("-k must be >= 1, got %d", k)
 	}
 	return nil
 }
@@ -167,7 +214,7 @@ func runAssign(args []string) error {
 	case "complete":
 		res = relsyn.CompleteAssign(f)
 	default:
-		return fmt.Errorf("unknown method %q", *method)
+		return usagef("unknown method %q", *method)
 	}
 	if err != nil {
 		return err
@@ -186,6 +233,27 @@ func runAssign(args []string) error {
 	return relsyn.WritePLA(w, res.Func)
 }
 
+// stageFailure renders a pipeline stage error in the CLI's message
+// format while keeping the typed *StageError reachable for exit-code
+// classification via errors.As.
+type stageFailure struct{ se *relsyn.StageError }
+
+func (e stageFailure) Error() string {
+	return fmt.Sprintf("stage %s failed (%s, attempt %s): %v",
+		e.se.Stage, e.se.Reason, e.se.Attempt, e.se.Err)
+}
+
+func (e stageFailure) Unwrap() error { return e.se }
+
+// synthEnvelope is the machine-readable wrapper printed by `synth
+// -json`: the same JobResult struct the relsynd HTTP API returns, plus
+// the server's status vocabulary ("done" / "failed").
+type synthEnvelope struct {
+	Status string            `json:"status"`
+	Result *relsyn.JobResult `json:"result,omitempty"`
+	Error  string            `json:"error,omitempty"`
+}
+
 func runSynth(args []string) error {
 	fs := flag.NewFlagSet("synth", flag.ExitOnError)
 	in, bench := inputFlags(fs)
@@ -199,6 +267,7 @@ func runSynth(args []string) error {
 	maxConflicts := fs.Int64("max-conflicts", 0, "SAT conflict budget for verification (0 = default)")
 	maxAIG := fs.Int("max-aig-nodes", 0, "AIG node budget for synthesis (0 = unlimited)")
 	strict := fs.Bool("strict", false, "fail on budget exhaustion instead of degrading")
+	jsonOut := fs.Bool("json", false, "print the result as JSON (the relsynd wire format)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -208,87 +277,94 @@ func runSynth(args []string) error {
 	if err := checkThreshold(*threshold); err != nil {
 		return err
 	}
+	switch *method {
+	case "none", "rank", "lcf", "complete":
+	default:
+		return usagef("unknown method %q", *method)
+	}
+	switch *objective {
+	case "delay", "power", "area":
+	default:
+		return usagef("unknown objective %q", *objective)
+	}
+	switch *flow {
+	case "sop", "resyn":
+	default:
+		return usagef("unknown flow %q", *flow)
+	}
 	f, err := loadSpec(*in, *bench)
 	if err != nil {
 		return err
 	}
-	opt := relsyn.PipelineOptions{
-		Strict: *strict,
-		Budget: relsyn.PipelineBudget{
-			Timeout:      *timeout,
-			MaxBDDNodes:  *maxBDD,
-			MaxConflicts: *maxConflicts,
-			MaxAIGNodes:  *maxAIG,
-		},
-	}
-	switch *objective {
-	case "delay":
-		opt.Synth.Objective = relsyn.OptimizeDelay
-	case "power":
-		opt.Synth.Objective = relsyn.OptimizePower
-	case "area":
-		opt.Synth.Objective = relsyn.OptimizeArea
-	default:
-		return fmt.Errorf("unknown objective %q", *objective)
-	}
-	switch *flow {
-	case "sop":
-		opt.Synth.Flow = relsyn.FlowSOP
-	case "resyn":
-		opt.Synth.Flow = relsyn.FlowResyn
-	default:
-		return fmt.Errorf("unknown flow %q", *flow)
+	jo := relsyn.JobOptions{
+		Method:       *method,
+		Objective:    *objective,
+		Flow:         *flow,
+		Strict:       *strict,
+		MaxBDDNodes:  *maxBDD,
+		MaxConflicts: *maxConflicts,
+		MaxAIGNodes:  *maxAIG,
 	}
 	switch *method {
-	case "none":
-		opt.Assign.Method = relsyn.MethodNone
 	case "rank":
-		opt.Assign = relsyn.PipelineAssign{
-			Method: relsyn.MethodRanking, Fraction: *fraction, UseBDD: true}
+		jo.Fraction, jo.UseBDD = *fraction, true
 	case "lcf":
-		opt.Assign = relsyn.PipelineAssign{
-			Method: relsyn.MethodLCF, Threshold: *threshold, UseBDD: true}
-	case "complete":
-		opt.Assign.Method = relsyn.MethodComplete
-	default:
-		return fmt.Errorf("unknown method %q", *method)
+		jo.Threshold, jo.UseBDD = *threshold, true
 	}
-	res, err := relsyn.RunPipeline(context.Background(), f, opt)
+	// The CLI enforces -timeout via a context deadline rather than the
+	// wire field timeout_ms, preserving sub-millisecond budgets exactly.
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
+	jr, err := relsyn.RunJob(ctx, f, jo)
+	if *jsonOut {
+		env := synthEnvelope{Status: "done", Result: jr}
+		if err != nil {
+			env.Status, env.Error = "failed", err.Error()
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if encErr := enc.Encode(env); encErr != nil {
+			return encErr
+		}
+	}
 	if err != nil {
+		reportFallbacks(jr)
 		var se *relsyn.StageError
 		if errors.As(err, &se) {
-			reportFallbacks(res)
-			return fmt.Errorf("stage %s failed (%s, attempt %s): %w",
-				se.Stage, se.Reason, se.Attempt, se.Err)
+			return stageFailure{se}
 		}
 		return err
 	}
-	m := res.Synth.Metrics
+	if *jsonOut {
+		return nil
+	}
+	m := jr.Metrics
 	fmt.Printf("area        %.2f\n", m.Area)
 	fmt.Printf("delay       %.1f ps\n", m.DelayPs)
 	fmt.Printf("power       %.2f\n", m.Power)
 	fmt.Printf("gates       %d\n", m.Gates)
 	fmt.Printf("literals    %d\n", m.Literals)
 	fmt.Printf("aig nodes   %d (depth %d)\n", m.AIGNodes, m.AIGDepth)
-	er, err := relsyn.ErrorRate(f, res.Synth.Impl)
-	if err != nil {
-		return err
-	}
-	fmt.Printf("error rate  %.4f\n", er)
-	fmt.Printf("verified    %v (%s)\n", res.Verified, res.VerifyMethod)
-	reportFallbacks(res)
+	fmt.Printf("error rate  %.4f\n", jr.ErrorRate)
+	fmt.Printf("verified    %v (%s)\n", jr.Verified, jr.VerifyMethod)
+	reportFallbacks(jr)
 	return nil
 }
 
 // reportFallbacks prints each degradation-ladder step a pipeline run took
 // to stderr, so scripted callers parsing stdout metrics stay unaffected.
-func reportFallbacks(res *relsyn.PipelineResult) {
-	if res == nil {
+func reportFallbacks(jr *relsyn.JobResult) {
+	if jr == nil {
 		return
 	}
-	for _, fb := range res.Fallbacks {
-		fmt.Fprintf(os.Stderr, "fallback    %s: %s -> %s (%v)\n",
-			fb.Stage, fb.From, fb.To, fb.Cause)
+	for _, fb := range jr.Fallbacks {
+		fmt.Fprintf(os.Stderr, "fallback    %s: %s -> %s (%s)\n",
+			fb.Stage, fb.From, fb.To, fb.Reason)
 	}
 }
 

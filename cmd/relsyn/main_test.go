@@ -1,10 +1,15 @@
 package main
 
 import (
+	"encoding/json"
+	"errors"
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"relsyn/internal/pipeline"
 )
 
 // capture runs fn with os.Stdout redirected to a pipe and returns what
@@ -242,6 +247,123 @@ func TestRunSynthPipelineFlags(t *testing.T) {
 		t.Fatal("-strict with exhausted BDD budget did not fail")
 	} else if !strings.Contains(err.Error(), "budget") {
 		t.Fatalf("strict BDD exhaustion not classified as budget: %v", err)
+	}
+}
+
+// synth -json prints the relsynd wire format: a status envelope around
+// pipeline.JobResult.
+func TestRunSynthJSON(t *testing.T) {
+	in := writeTemp(t, testPLA)
+	out, err := capture(t, func() error {
+		return runSynth([]string{"-in", in, "-method", "rank", "-fraction", "1", "-json"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Status string `json:"status"`
+		Result *struct {
+			Spec struct {
+				Inputs  int `json:"inputs"`
+				Outputs int `json:"outputs"`
+			} `json:"spec"`
+			Assign *struct {
+				Method   string `json:"method"`
+				Assigned int    `json:"assigned"`
+			} `json:"assign"`
+			Metrics struct {
+				Gates    int `json:"gates"`
+				Literals int `json:"literals"`
+			} `json:"metrics"`
+			Verified bool `json:"verified"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal([]byte(out), &env); err != nil {
+		t.Fatalf("synth -json output is not JSON: %v\n%s", err, out)
+	}
+	if env.Status != "done" || env.Result == nil {
+		t.Fatalf("envelope %+v", env)
+	}
+	if env.Result.Spec.Inputs != 3 || env.Result.Spec.Outputs != 2 {
+		t.Fatalf("spec %+v", env.Result.Spec)
+	}
+	if env.Result.Assign == nil || env.Result.Assign.Method != "rank" {
+		t.Fatalf("assign %+v", env.Result.Assign)
+	}
+	if env.Result.Metrics.Gates <= 0 || !env.Result.Verified {
+		t.Fatalf("metrics/verified %+v", env.Result)
+	}
+	// Human metric lines must not leak into the JSON stream.
+	if strings.Contains(out, "area        ") {
+		t.Fatalf("human output mixed into -json stream:\n%s", out)
+	}
+}
+
+// A failing strict run under -json still prints a machine-readable
+// envelope (status "failed" + error) before exiting non-zero.
+func TestRunSynthJSONFailure(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full synthesis runs in -short mode")
+	}
+	out, err := capture(t, func() error {
+		return runSynth([]string{"-bench", "bench", "-method", "lcf",
+			"-max-bdd-nodes", "8", "-strict", "-json"})
+	})
+	if err == nil {
+		t.Fatal("strict budget exhaustion did not fail")
+	}
+	var env struct {
+		Status string `json:"status"`
+		Error  string `json:"error"`
+	}
+	if jerr := json.Unmarshal([]byte(out), &env); jerr != nil {
+		t.Fatalf("failure output is not JSON: %v\n%s", jerr, out)
+	}
+	if env.Status != "failed" || !strings.Contains(env.Error, "budget") {
+		t.Fatalf("envelope %+v", env)
+	}
+	if exitCode(err) != exitResource {
+		t.Fatalf("exit code %d, want %d (resource-limited)", exitCode(err), exitResource)
+	}
+}
+
+// Exit codes are stable: usage mistakes are distinct from hard failures,
+// which are distinct from budget/timeout stops.
+func TestExitCodes(t *testing.T) {
+	if exitCode(nil) != exitOK {
+		t.Fatal("nil error must exit 0")
+	}
+	if c := exitCode(usagef("-fraction out of range")); c != exitUsage {
+		t.Fatalf("usage error exit %d", c)
+	}
+	if c := exitCode(errors.New("spec parse failed")); c != exitFailure {
+		t.Fatalf("plain error exit %d", c)
+	}
+	budget := &pipeline.StageError{Stage: pipeline.StageAssign, Reason: pipeline.ReasonBudget}
+	if c := exitCode(fmt.Errorf("wrapped: %w", budget)); c != exitResource {
+		t.Fatalf("budget error exit %d", c)
+	}
+	cancel := &pipeline.StageError{Stage: pipeline.StageSynth, Reason: pipeline.ReasonCancel}
+	if c := exitCode(cancel); c != exitResource {
+		t.Fatalf("cancel error exit %d", c)
+	}
+	hard := &pipeline.StageError{Stage: pipeline.StageSynth, Reason: pipeline.ReasonPanic}
+	if c := exitCode(hard); c != exitFailure {
+		t.Fatalf("panic stage error exit %d", c)
+	}
+	// Flag-validation paths produce usage errors end-to-end.
+	in := writeTemp(t, testPLA)
+	_, err := capture(t, func() error {
+		return runSynth([]string{"-in", in, "-fraction", "1.5"})
+	})
+	if exitCode(err) != exitUsage {
+		t.Fatalf("bad -fraction classified as %d", exitCode(err))
+	}
+	_, err = capture(t, func() error {
+		return runSynth([]string{"-in", in, "-objective", "bogus"})
+	})
+	if exitCode(err) != exitUsage {
+		t.Fatalf("bad -objective classified as %d", exitCode(err))
 	}
 }
 

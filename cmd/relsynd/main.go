@@ -1,0 +1,172 @@
+// Command relsynd is the long-running synthesis service: an HTTP/JSON
+// front end over a bounded job queue, a fixed worker pool running the
+// reliability-driven synthesis pipeline, and a content-addressed result
+// cache. See internal/server for the API surface.
+//
+// Usage:
+//
+//	relsynd [-addr :8337] [-workers N] [-queue-depth N] [-cache-size N]
+//	        [-default-timeout 30s] [-max-timeout 5m] [-retry-after 1s]
+//	        [-drain-timeout 30s]
+//	        [-max-bdd-nodes N] [-max-conflicts N] [-max-aig-nodes N]
+//
+// SIGINT/SIGTERM starts a graceful drain: the listener stops accepting,
+// queued and in-flight jobs run to completion (bounded by
+// -drain-timeout), then the process exits 0. A second signal forces an
+// immediate stop with exit 1.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"relsyn/internal/pipeline"
+	"relsyn/internal/server"
+	"relsyn/internal/tt"
+)
+
+func main() {
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, sig))
+}
+
+// daemonConfig is the parsed flag set.
+type daemonConfig struct {
+	addr         string
+	drainTimeout time.Duration
+	server       server.Config
+	budget       budgetDefaults
+}
+
+// budgetDefaults are server-wide resource caps applied to jobs that do
+// not carry their own.
+type budgetDefaults struct {
+	maxBDDNodes  int
+	maxConflicts int64
+	maxAIGNodes  int
+}
+
+func parseFlags(args []string, stderr io.Writer) (*daemonConfig, error) {
+	fs := flag.NewFlagSet("relsynd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfg := &daemonConfig{}
+	fs.StringVar(&cfg.addr, "addr", ":8337", "listen address")
+	fs.IntVar(&cfg.server.Workers, "workers", 0, "worker pool size (default: GOMAXPROCS)")
+	fs.IntVar(&cfg.server.QueueDepth, "queue-depth", 0, "job queue depth (default 256)")
+	fs.IntVar(&cfg.server.CacheSize, "cache-size", 0, "result cache entries (default 512)")
+	fs.BoolVar(&cfg.server.DisableCache, "no-cache", false, "disable the result cache")
+	fs.DurationVar(&cfg.server.DefaultTimeout, "default-timeout", 0, "per-job budget when the request carries none (default 30s)")
+	fs.DurationVar(&cfg.server.MaxTimeout, "max-timeout", 0, "cap on requested per-job timeouts (default 5m)")
+	fs.DurationVar(&cfg.server.RetryAfter, "retry-after", 0, "Retry-After hint on 429 responses (default 1s)")
+	fs.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "grace period for finishing jobs on shutdown")
+	fs.IntVar(&cfg.budget.maxBDDNodes, "max-bdd-nodes", 0, "default BDD node budget for jobs that carry none (0 = unlimited)")
+	fs.Int64Var(&cfg.budget.maxConflicts, "max-conflicts", 0, "default SAT conflict budget for jobs that carry none (0 = unlimited)")
+	fs.IntVar(&cfg.budget.maxAIGNodes, "max-aig-nodes", 0, "default AIG node budget for jobs that carry none (0 = unlimited)")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	return cfg, nil
+}
+
+// backendWithDefaults wraps pipeline.RunJob, filling in server-wide
+// resource budgets for jobs that do not set their own. Applied in the
+// backend (after the cache key is derived) so the defaults do not
+// fragment the cache when they change across restarts.
+func (b budgetDefaults) backend() server.Backend {
+	return func(ctx context.Context, f *tt.Function, jo pipeline.JobOptions) (*pipeline.JobResult, error) {
+		if jo.MaxBDDNodes == 0 {
+			jo.MaxBDDNodes = b.maxBDDNodes
+		}
+		if jo.MaxConflicts == 0 {
+			jo.MaxConflicts = b.maxConflicts
+		}
+		if jo.MaxAIGNodes == 0 {
+			jo.MaxAIGNodes = b.maxAIGNodes
+		}
+		return pipeline.RunJob(ctx, f, jo)
+	}
+}
+
+// run is the testable entry point: flags in, exit code out, shutdown by
+// signal channel. Exit codes: 0 clean (including graceful drain), 1
+// runtime failure or forced stop, 2 flag errors.
+func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
+	cfg, err := parseFlags(args, stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		fmt.Fprintf(stderr, "relsynd: %v\n", err)
+		return 2
+	}
+	cfg.server.Backend = cfg.budget.backend()
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "relsynd: listen: %v\n", err)
+		return 1
+	}
+
+	srv := server.New(cfg.server)
+	httpSrv := &http.Server{
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	fmt.Fprintf(stdout, "relsynd: listening on %s\n", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		// Listener died underneath us; nothing to drain cleanly.
+		srv.Close()
+		fmt.Fprintf(stderr, "relsynd: serve: %v\n", err)
+		return 1
+	case s := <-sig:
+		fmt.Fprintf(stdout, "relsynd: %v received, draining (up to %s)\n", s, cfg.drainTimeout)
+	}
+
+	// Graceful drain: stop admitting, finish the backlog, then close the
+	// listener. A second signal or the drain deadline forces the stop.
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	go func() {
+		select {
+		case s := <-sig:
+			fmt.Fprintf(stderr, "relsynd: second %v, forcing stop\n", s)
+			cancel()
+		case <-drainCtx.Done():
+		}
+	}()
+
+	drainErr := srv.Drain(drainCtx)
+	shutErr := httpSrv.Shutdown(drainCtx)
+	if drainErr != nil || (shutErr != nil && !errors.Is(shutErr, context.Canceled) && !errors.Is(shutErr, context.DeadlineExceeded)) {
+		if drainErr != nil {
+			fmt.Fprintf(stderr, "relsynd: drain: %v\n", drainErr)
+		}
+		if shutErr != nil {
+			fmt.Fprintf(stderr, "relsynd: shutdown: %v\n", shutErr)
+		}
+		httpSrv.Close()
+		return 1
+	}
+	fmt.Fprintln(stdout, "relsynd: drained cleanly")
+	return 0
+}

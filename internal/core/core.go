@@ -88,6 +88,17 @@ func (o Options) check() error {
 	return o.Interrupt()
 }
 
+// Canonical returns o reduced to the fields that determine the computed
+// assignment, with every operational knob (cancellation hooks, resource
+// budgets) cleared. Two Options values with equal Canonical() forms
+// produce bit-identical results on the same input, so cache keys and
+// request-coalescing identities (internal/server) must be derived from
+// the canonical form — deriving them from the raw struct would split
+// identical work across cache entries.
+func (o Options) Canonical() Options {
+	return Options{AssignTies: o.AssignTies}
+}
+
 // Ranking runs the ranking-based algorithm of paper Fig. 3, binding the
 // given fraction (in [0,1]) of each output's rankable DC minterms.
 func Ranking(f *tt.Function, fraction float64, opt Options) (*Result, error) {

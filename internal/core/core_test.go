@@ -377,3 +377,25 @@ func TestFractionAssigned(t *testing.T) {
 		t.Fatal("empty result fraction should be 0")
 	}
 }
+
+// Canonical strips operational knobs (hooks, budgets) and keeps only the
+// fields that change the computed assignment, so equal canonical forms
+// imply equal results.
+func TestOptionsCanonical(t *testing.T) {
+	loaded := Options{
+		AssignTies:  true,
+		Interrupt:   func() error { return nil },
+		MaxBDDNodes: 1234,
+	}
+	c := loaded.Canonical()
+	if !c.AssignTies {
+		t.Fatal("Canonical dropped AssignTies")
+	}
+	if c.Interrupt != nil || c.MaxBDDNodes != 0 {
+		t.Fatalf("Canonical kept operational knobs: %+v", c)
+	}
+	c2 := Options{MaxBDDNodes: 7}.Canonical()
+	if c2.AssignTies || c2.Interrupt != nil || c2.MaxBDDNodes != 0 {
+		t.Fatalf("Canonical of budget-only options not zero: %+v", c2)
+	}
+}

@@ -1,0 +1,65 @@
+// Package flight coalesces concurrent work by key — the singleflight
+// pattern, adapted to handle-based jobs. Unlike the classic
+// call-and-block singleflight, Do never waits for the work to finish: it
+// returns a shared handle (the leader's V) immediately, so both
+// synchronous waiters and fire-and-forget submitters can join the same
+// in-flight job. The owner removes the key with Forget once the job's
+// result has been published (e.g. to a cache), closing the window in
+// which duplicates could start redundant work.
+package flight
+
+import "sync"
+
+// Group tracks in-flight values by key. The zero value is ready to use.
+type Group[V any] struct {
+	mu sync.Mutex
+	m  map[string]V
+}
+
+// Do returns the in-flight value for key, starting one with start() if
+// none exists. started reports whether this call created the value
+// (i.e. the caller is the leader); joiners get started == false. If
+// start fails, nothing is registered and the error is returned.
+//
+// start runs under the group lock: it must be fast (allocate a handle,
+// enqueue) and must not call back into the Group.
+func (g *Group[V]) Do(key string, start func() (V, error)) (v V, started bool, err error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.m == nil {
+		g.m = make(map[string]V)
+	}
+	if v, ok := g.m[key]; ok {
+		return v, false, nil
+	}
+	v, err = start()
+	if err != nil {
+		var zero V
+		return zero, false, err
+	}
+	g.m[key] = v
+	return v, true, nil
+}
+
+// Get returns the in-flight value for key, if any.
+func (g *Group[V]) Get(key string) (V, bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	v, ok := g.m[key]
+	return v, ok
+}
+
+// Forget removes key so the next Do starts fresh work. Publish the
+// result (cache insert) before forgetting to avoid duplicate recompute.
+func (g *Group[V]) Forget(key string) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	delete(g.m, key)
+}
+
+// Len returns the number of in-flight keys.
+func (g *Group[V]) Len() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return len(g.m)
+}

@@ -1,0 +1,102 @@
+package flight
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestLeaderAndJoiners(t *testing.T) {
+	var g Group[*int]
+	x := 42
+	v, started, err := g.Do("k", func() (*int, error) { return &x, nil })
+	if err != nil || !started || v != &x {
+		t.Fatalf("leader: %v %v %v", v, started, err)
+	}
+	v2, started2, err := g.Do("k", func() (*int, error) {
+		t.Fatal("start called for joiner")
+		return nil, nil
+	})
+	if err != nil || started2 || v2 != &x {
+		t.Fatalf("joiner: %v %v %v", v2, started2, err)
+	}
+	if g.Len() != 1 {
+		t.Fatalf("len %d", g.Len())
+	}
+}
+
+func TestStartErrorRegistersNothing(t *testing.T) {
+	var g Group[*int]
+	boom := errors.New("boom")
+	_, started, err := g.Do("k", func() (*int, error) { return nil, boom })
+	if !errors.Is(err, boom) || started {
+		t.Fatalf("%v %v", started, err)
+	}
+	if _, ok := g.Get("k"); ok {
+		t.Fatal("failed start registered a value")
+	}
+	// Next Do becomes the leader.
+	x := 1
+	_, started, err = g.Do("k", func() (*int, error) { return &x, nil })
+	if err != nil || !started {
+		t.Fatalf("retry: %v %v", started, err)
+	}
+}
+
+func TestForget(t *testing.T) {
+	var g Group[int]
+	g.Do("k", func() (int, error) { return 1, nil })
+	g.Forget("k")
+	if g.Len() != 0 {
+		t.Fatalf("len %d", g.Len())
+	}
+	_, started, _ := g.Do("k", func() (int, error) { return 2, nil })
+	if !started {
+		t.Fatal("Do after Forget did not start fresh work")
+	}
+}
+
+// Exactly one leader per key under concurrency; everyone shares the
+// leader's handle.
+func TestConcurrentSingleLeader(t *testing.T) {
+	var g Group[*atomic.Int64]
+	const keys, goroutines = 4, 32
+	var starts [keys]atomic.Int64
+	var wg sync.WaitGroup
+	handles := make([][]*atomic.Int64, keys)
+	var mu sync.Mutex
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			k := i % keys
+			v, _, err := g.Do(fmt.Sprintf("key%d", k), func() (*atomic.Int64, error) {
+				starts[k].Add(1)
+				return &atomic.Int64{}, nil
+			})
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			handles[k] = append(handles[k], v)
+			mu.Unlock()
+		}(i)
+	}
+	wg.Wait()
+	for k := 0; k < keys; k++ {
+		if starts[k].Load() != 1 {
+			t.Fatalf("key %d started %d times", k, starts[k].Load())
+		}
+		for _, h := range handles[k] {
+			if h != handles[k][0] {
+				t.Fatalf("key %d handles diverge", k)
+			}
+		}
+	}
+	if g.Len() != keys {
+		t.Fatalf("len %d, want %d", g.Len(), keys)
+	}
+}

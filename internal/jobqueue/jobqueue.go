@@ -1,0 +1,218 @@
+// Package jobqueue is a bounded, priority-ordered FIFO for synthesis
+// jobs with per-job context deadlines and explicit backpressure.
+//
+// Semantics:
+//
+//   - Bounded: Enqueue on a full queue fails immediately with ErrFull —
+//     backpressure is the caller's signal to shed load (the HTTP front
+//     end maps it to 429 + Retry-After).
+//   - Priority: higher Item.Priority dequeues first; items of equal
+//     priority dequeue in arrival order (stable FIFO via sequence
+//     numbers), so the queue degenerates to a plain FIFO when all
+//     priorities are equal.
+//   - Deadlines: an Item may carry a context; items whose context is
+//     already done when they reach the head are dropped (counted in
+//     Stats.Expired, with the item's OnExpire hook invoked) instead of
+//     being handed to a worker — a job that waited out its deadline in
+//     the queue must not consume worker time.
+//   - Drain: Close stops admissions but lets consumers drain the
+//     backlog; Dequeue returns ErrClosed only once the queue is both
+//     closed and empty. This is the graceful-shutdown half of the
+//     service's SIGTERM handling.
+package jobqueue
+
+import (
+	"container/heap"
+	"context"
+	"errors"
+	"sync"
+	"time"
+)
+
+// Queue-state errors.
+var (
+	// ErrFull is returned by Enqueue when the queue is at capacity.
+	ErrFull = errors.New("jobqueue: queue full")
+	// ErrClosed is returned by Enqueue after Close, and by Dequeue once
+	// the queue is closed and drained.
+	ErrClosed = errors.New("jobqueue: queue closed")
+)
+
+// Item is one queued unit of work.
+type Item struct {
+	// ID identifies the job for logs and observability.
+	ID string
+	// Priority orders dequeues: higher first, FIFO within a level.
+	Priority int
+	// Ctx, when non-nil, carries the job's deadline/cancellation. Items
+	// whose context is done at dequeue time are dropped as expired.
+	Ctx context.Context
+	// OnExpire, when non-nil, is called (outside the queue lock) when the
+	// item is dropped because its context was done.
+	OnExpire func()
+	// Payload is the caller's work description.
+	Payload any
+	// EnqueuedAt is stamped by Enqueue.
+	EnqueuedAt time.Time
+
+	seq uint64
+}
+
+// Stats are monotonic queue counters plus current occupancy.
+type Stats struct {
+	Depth    int   `json:"depth"`    // configured capacity
+	Len      int   `json:"len"`      // current occupancy
+	MaxLen   int   `json:"max_len"`  // high-water mark
+	Enqueued int64 `json:"enqueued"` // accepted items
+	Dequeued int64 `json:"dequeued"` // items handed to consumers
+	Rejected int64 `json:"rejected"` // ErrFull admissions
+	Expired  int64 `json:"expired"`  // deadline drops
+}
+
+// Queue is a bounded priority FIFO. The zero value is unusable; use New.
+type Queue struct {
+	mu     sync.Mutex
+	notify chan struct{} // closed and replaced on every state change
+	h      itemHeap
+	depth  int
+	seq    uint64
+	closed bool
+	stats  Stats
+}
+
+// New returns an empty queue with the given capacity (minimum 1).
+func New(depth int) *Queue {
+	if depth < 1 {
+		depth = 1
+	}
+	return &Queue{
+		notify: make(chan struct{}),
+		depth:  depth,
+		stats:  Stats{Depth: depth},
+	}
+}
+
+// Enqueue admits it or fails fast with ErrFull / ErrClosed. It never
+// blocks.
+func (q *Queue) Enqueue(it *Item) error {
+	if it == nil {
+		return errors.New("jobqueue: nil item")
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrClosed
+	}
+	if len(q.h) >= q.depth {
+		q.stats.Rejected++
+		return ErrFull
+	}
+	q.seq++
+	it.seq = q.seq
+	it.EnqueuedAt = time.Now()
+	heap.Push(&q.h, it)
+	q.stats.Enqueued++
+	if len(q.h) > q.stats.MaxLen {
+		q.stats.MaxLen = len(q.h)
+	}
+	q.broadcastLocked()
+	return nil
+}
+
+// Dequeue blocks until an item is available, the queue is closed and
+// drained (ErrClosed), or ctx is done (ctx.Err()). Expired items are
+// dropped transparently; their OnExpire hooks run on the dequeuing
+// goroutine before it continues waiting.
+func (q *Queue) Dequeue(ctx context.Context) (*Item, error) {
+	for {
+		q.mu.Lock()
+		var expired []*Item
+		for len(q.h) > 0 {
+			it := heap.Pop(&q.h).(*Item)
+			if it.Ctx != nil && it.Ctx.Err() != nil {
+				q.stats.Expired++
+				expired = append(expired, it)
+				continue
+			}
+			q.stats.Dequeued++
+			q.mu.Unlock()
+			runExpiry(expired)
+			return it, nil
+		}
+		closed := q.closed
+		ch := q.notify
+		q.mu.Unlock()
+		runExpiry(expired)
+		if closed {
+			return nil, ErrClosed
+		}
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		case <-ch:
+		}
+	}
+}
+
+func runExpiry(items []*Item) {
+	for _, it := range items {
+		if it.OnExpire != nil {
+			it.OnExpire()
+		}
+	}
+}
+
+// Close stops admissions. Queued items remain dequeueable; consumers see
+// ErrClosed once the backlog is drained. Close is idempotent.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return
+	}
+	q.closed = true
+	q.broadcastLocked()
+}
+
+// Len returns the current occupancy.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.h)
+}
+
+// Stats returns a snapshot of the queue counters.
+func (q *Queue) Stats() Stats {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	s := q.stats
+	s.Len = len(q.h)
+	return s
+}
+
+// broadcastLocked wakes every waiter. Callers hold q.mu.
+func (q *Queue) broadcastLocked() {
+	close(q.notify)
+	q.notify = make(chan struct{})
+}
+
+// itemHeap orders by (Priority desc, seq asc).
+type itemHeap []*Item
+
+func (h itemHeap) Len() int { return len(h) }
+func (h itemHeap) Less(i, j int) bool {
+	if h[i].Priority != h[j].Priority {
+		return h[i].Priority > h[j].Priority
+	}
+	return h[i].seq < h[j].seq
+}
+func (h itemHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *itemHeap) Push(x any)   { *h = append(*h, x.(*Item)) }
+func (h *itemHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,285 @@
+package jobqueue
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFIFOWithinPriority(t *testing.T) {
+	q := New(8)
+	for i := 0; i < 5; i++ {
+		if err := q.Enqueue(&Item{ID: fmt.Sprint(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		it, err := q.Dequeue(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if it.ID != fmt.Sprint(i) {
+			t.Fatalf("dequeue %d got %s", i, it.ID)
+		}
+	}
+}
+
+func TestPriorityOrdering(t *testing.T) {
+	q := New(8)
+	ids := []struct {
+		id   string
+		prio int
+	}{{"low1", 0}, {"high1", 5}, {"low2", 0}, {"mid", 3}, {"high2", 5}}
+	for _, s := range ids {
+		if err := q.Enqueue(&Item{ID: s.id, Priority: s.prio}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []string{"high1", "high2", "mid", "low1", "low2"}
+	for i, w := range want {
+		it, err := q.Dequeue(context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if it.ID != w {
+			t.Fatalf("dequeue %d = %s, want %s", i, it.ID, w)
+		}
+	}
+}
+
+func TestBackpressure(t *testing.T) {
+	q := New(2)
+	if err := q.Enqueue(&Item{ID: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue(&Item{ID: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue(&Item{ID: "c"}); !errors.Is(err, ErrFull) {
+		t.Fatalf("overfull enqueue: %v, want ErrFull", err)
+	}
+	if _, err := q.Dequeue(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue(&Item{ID: "c"}); err != nil {
+		t.Fatalf("enqueue after drain: %v", err)
+	}
+	st := q.Stats()
+	if st.Rejected != 1 || st.Enqueued != 3 || st.MaxLen != 2 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDequeueBlocksUntilEnqueue(t *testing.T) {
+	q := New(4)
+	got := make(chan *Item, 1)
+	go func() {
+		it, err := q.Dequeue(context.Background())
+		if err != nil {
+			t.Error(err)
+		}
+		got <- it
+	}()
+	time.Sleep(10 * time.Millisecond)
+	if err := q.Enqueue(&Item{ID: "x"}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case it := <-got:
+		if it.ID != "x" {
+			t.Fatalf("got %s", it.ID)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("dequeue did not wake")
+	}
+}
+
+func TestDequeueCtxCancel(t *testing.T) {
+	q := New(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := q.Dequeue(ctx)
+		done <- err
+	}()
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("err %v", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("dequeue did not observe cancellation")
+	}
+}
+
+// Items whose context expires while queued are dropped at the head with
+// their OnExpire hook fired, and never reach a consumer.
+func TestExpiredItemsDropped(t *testing.T) {
+	q := New(8)
+	expiredCtx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var fired atomic.Int32
+	for i := 0; i < 3; i++ {
+		if err := q.Enqueue(&Item{
+			ID: fmt.Sprintf("dead%d", i), Ctx: expiredCtx,
+			OnExpire: func() { fired.Add(1) },
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := q.Enqueue(&Item{ID: "live", Ctx: context.Background()}); err != nil {
+		t.Fatal(err)
+	}
+	it, err := q.Dequeue(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.ID != "live" {
+		t.Fatalf("dequeued %s, want live", it.ID)
+	}
+	if fired.Load() != 3 {
+		t.Fatalf("OnExpire fired %d times, want 3", fired.Load())
+	}
+	st := q.Stats()
+	if st.Expired != 3 || st.Dequeued != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// Close lets consumers drain the backlog, then reports ErrClosed; new
+// admissions fail immediately.
+func TestCloseDrains(t *testing.T) {
+	q := New(8)
+	for i := 0; i < 3; i++ {
+		if err := q.Enqueue(&Item{ID: fmt.Sprint(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q.Close()
+	q.Close() // idempotent
+	if err := q.Enqueue(&Item{ID: "late"}); !errors.Is(err, ErrClosed) {
+		t.Fatalf("enqueue after close: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := q.Dequeue(context.Background()); err != nil {
+			t.Fatalf("drain %d: %v", i, err)
+		}
+	}
+	if _, err := q.Dequeue(context.Background()); !errors.Is(err, ErrClosed) {
+		t.Fatalf("dequeue on drained closed queue: %v", err)
+	}
+}
+
+// Close wakes blocked consumers.
+func TestCloseWakesWaiters(t *testing.T) {
+	q := New(4)
+	done := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			_, err := q.Dequeue(context.Background())
+			done <- err
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	q.Close()
+	for i := 0; i < 2; i++ {
+		select {
+		case err := <-done:
+			if !errors.Is(err, ErrClosed) {
+				t.Fatalf("err %v", err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatal("waiter not woken by Close")
+		}
+	}
+}
+
+// Hammer the queue from many producers and consumers under -race: every
+// accepted item is dequeued exactly once, none invented, none lost.
+func TestConcurrentProducersConsumers(t *testing.T) {
+	const producers, perProducer, consumers = 8, 50, 4
+	q := New(64)
+	var accepted, consumed atomic.Int64
+	seen := sync.Map{}
+
+	var cwg sync.WaitGroup
+	for c := 0; c < consumers; c++ {
+		cwg.Add(1)
+		go func() {
+			defer cwg.Done()
+			for {
+				it, err := q.Dequeue(context.Background())
+				if errors.Is(err, ErrClosed) {
+					return
+				}
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if _, dup := seen.LoadOrStore(it.ID, true); dup {
+					t.Errorf("item %s dequeued twice", it.ID)
+				}
+				consumed.Add(1)
+			}
+		}()
+	}
+
+	var pwg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		pwg.Add(1)
+		go func(p int) {
+			defer pwg.Done()
+			for i := 0; i < perProducer; i++ {
+				it := &Item{ID: fmt.Sprintf("p%d-%d", p, i), Priority: i % 3}
+				for {
+					err := q.Enqueue(it)
+					if err == nil {
+						accepted.Add(1)
+						break
+					}
+					if errors.Is(err, ErrFull) {
+						time.Sleep(time.Millisecond)
+						continue
+					}
+					t.Error(err)
+					return
+				}
+			}
+		}(p)
+	}
+	pwg.Wait()
+	q.Close()
+	cwg.Wait()
+
+	if accepted.Load() != producers*perProducer {
+		t.Fatalf("accepted %d, want %d", accepted.Load(), producers*perProducer)
+	}
+	if consumed.Load() != accepted.Load() {
+		t.Fatalf("consumed %d of %d accepted", consumed.Load(), accepted.Load())
+	}
+	st := q.Stats()
+	if st.Dequeued != accepted.Load() || st.Len != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestNilItemAndTinyDepth(t *testing.T) {
+	q := New(0) // clamped to 1
+	if err := q.Enqueue(nil); err == nil {
+		t.Fatal("nil item accepted")
+	}
+	if err := q.Enqueue(&Item{ID: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue(&Item{ID: "b"}); !errors.Is(err, ErrFull) {
+		t.Fatalf("depth clamp failed: %v", err)
+	}
+	if q.Stats().Depth != 1 {
+		t.Fatalf("depth %d", q.Stats().Depth)
+	}
+}

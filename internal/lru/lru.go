@@ -1,0 +1,93 @@
+// Package lru is a small, thread-safe, generic LRU cache used for
+// content-addressed synthesis results (internal/server): keys are
+// canonical content hashes, values are serializable job results. A
+// capacity of zero disables the cache entirely (every Get misses, Add is
+// a no-op), which keeps call sites free of nil checks.
+package lru
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a fixed-capacity least-recently-used map.
+type Cache[K comparable, V any] struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[K]*list.Element
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// New returns a cache holding at most capacity entries. capacity <= 0
+// yields a disabled cache.
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	if capacity < 0 {
+		capacity = 0
+	}
+	return &Cache[K, V]{
+		cap:   capacity,
+		ll:    list.New(),
+		items: make(map[K]*list.Element),
+	}
+}
+
+// Get returns the value for k and marks it most recently used.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Add inserts or refreshes k -> v, evicting the least recently used
+// entry when over capacity.
+func (c *Cache[K, V]) Add(k K, v V) {
+	if c.cap == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[k]; ok {
+		el.Value.(*entry[K, V]).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[k] = c.ll.PushFront(&entry[K, V]{key: k, val: v})
+	if c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*entry[K, V]).key)
+	}
+}
+
+// Remove deletes k, reporting whether it was present.
+func (c *Cache[K, V]) Remove(k K) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[k]
+	if !ok {
+		return false
+	}
+	c.ll.Remove(el)
+	delete(c.items, k)
+	return true
+}
+
+// Len returns the current entry count.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Cap returns the configured capacity.
+func (c *Cache[K, V]) Cap() int { return c.cap }

@@ -1,0 +1,109 @@
+package lru
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+func TestBasicAddGet(t *testing.T) {
+	c := New[string, int](2)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Add("a", 1)
+	c.Add("b", 2)
+	if v, ok := c.Get("a"); !ok || v != 1 {
+		t.Fatalf("a = %d,%v", v, ok)
+	}
+	if c.Len() != 2 || c.Cap() != 2 {
+		t.Fatalf("len %d cap %d", c.Len(), c.Cap())
+	}
+}
+
+func TestEvictsLeastRecentlyUsed(t *testing.T) {
+	c := New[string, int](2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	c.Get("a")    // a is now MRU
+	c.Add("c", 3) // evicts b
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b not evicted")
+	}
+	if _, ok := c.Get("a"); !ok {
+		t.Fatal("a wrongly evicted")
+	}
+	if _, ok := c.Get("c"); !ok {
+		t.Fatal("c missing")
+	}
+}
+
+func TestAddRefreshesExisting(t *testing.T) {
+	c := New[string, int](2)
+	c.Add("a", 1)
+	c.Add("b", 2)
+	c.Add("a", 10) // refresh value + recency, no eviction
+	if c.Len() != 2 {
+		t.Fatalf("len %d", c.Len())
+	}
+	c.Add("c", 3) // evicts b, not a
+	if v, ok := c.Get("a"); !ok || v != 10 {
+		t.Fatalf("a = %d,%v", v, ok)
+	}
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b not evicted")
+	}
+}
+
+func TestRemove(t *testing.T) {
+	c := New[string, int](4)
+	c.Add("a", 1)
+	if !c.Remove("a") {
+		t.Fatal("remove miss")
+	}
+	if c.Remove("a") {
+		t.Fatal("double remove hit")
+	}
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("removed key hit")
+	}
+}
+
+func TestZeroCapacityDisabled(t *testing.T) {
+	c := New[string, int](0)
+	c.Add("a", 1)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache stored a value")
+	}
+	if c.Len() != 0 || c.Cap() != 0 {
+		t.Fatalf("len %d cap %d", c.Len(), c.Cap())
+	}
+	neg := New[string, int](-5)
+	neg.Add("a", 1)
+	if neg.Cap() != 0 || neg.Len() != 0 {
+		t.Fatal("negative capacity not clamped to disabled")
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	c := New[string, int](32)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				k := fmt.Sprintf("k%d", i%48)
+				c.Add(k, i)
+				c.Get(k)
+				if i%17 == 0 {
+					c.Remove(k)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if c.Len() > 32 {
+		t.Fatalf("len %d exceeds capacity", c.Len())
+	}
+}

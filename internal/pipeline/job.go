@@ -1,0 +1,331 @@
+// Job-shaped entry point: a fully serializable request/response pair
+// around Run, shared by the relsyn CLI (-json) and the relsynd service.
+//
+// JobOptions is the wire form of Options — plain strings and numbers, no
+// function hooks — with an explicit Normalize step that (a) fills
+// defaults and (b) clears knobs that are meaningless for the selected
+// method, so that semantically identical requests have byte-identical
+// normalized forms. Key() hashes that normalized form; combined with the
+// spec content hash (internal/pla.HashFunction) it is the cache /
+// coalescing identity used by internal/server.
+package pipeline
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"relsyn/internal/core"
+	"relsyn/internal/reliability"
+	"relsyn/internal/synth"
+	"relsyn/internal/tt"
+)
+
+// JobOptions is the serializable configuration of one synthesis job.
+// The zero value normalizes to: no assignment, power objective, sop
+// flow, no budgets, full verification.
+type JobOptions struct {
+	// Method selects DC assignment: "none", "rank", "lcf", or "complete".
+	Method string `json:"method,omitempty"`
+	// Fraction is the ranked-DC fraction in [0,1] (method "rank").
+	Fraction float64 `json:"fraction,omitempty"`
+	// Threshold is the LC^f threshold in (0,1) (method "lcf").
+	Threshold float64 `json:"threshold,omitempty"`
+	// UseBDD prefers the BDD assignment path (falls back to dense).
+	UseBDD bool `json:"use_bdd,omitempty"`
+	// AssignTies forwards core.Options.AssignTies.
+	AssignTies bool `json:"assign_ties,omitempty"`
+	// Objective is "delay", "power", or "area".
+	Objective string `json:"objective,omitempty"`
+	// Flow is "sop" or "resyn".
+	Flow string `json:"flow,omitempty"`
+	// Strict disables the degradation ladder.
+	Strict bool `json:"strict,omitempty"`
+	// SkipVerify skips the independent CEC stage.
+	SkipVerify bool `json:"skip_verify,omitempty"`
+
+	// TimeoutMs is the wall-clock budget in milliseconds (0 = none).
+	TimeoutMs int64 `json:"timeout_ms,omitempty"`
+	// MaxBDDNodes caps each BDD manager arena (0 = unlimited).
+	MaxBDDNodes int `json:"max_bdd_nodes,omitempty"`
+	// MaxConflicts caps the SAT conflict budget (0 = default).
+	MaxConflicts int64 `json:"max_conflicts,omitempty"`
+	// MaxAIGNodes caps the optimized AIG size (0 = unlimited).
+	MaxAIGNodes int `json:"max_aig_nodes,omitempty"`
+}
+
+// Job option string values.
+const (
+	JobMethodNone     = "none"
+	JobMethodRank     = "rank"
+	JobMethodLCF      = "lcf"
+	JobMethodComplete = "complete"
+)
+
+// Normalize returns o with defaults filled and method-irrelevant knobs
+// cleared: Method/Objective/Flow lower-cased with defaults "none",
+// "power", "sop"; Fraction is kept only for "rank", Threshold only for
+// "lcf"; UseBDD only where a BDD path exists (rank/lcf); AssignTies is
+// cleared for "none" (no assignment runs) and for "complete" (which
+// always binds ties), mirroring core.Options.Canonical. Two requests
+// that normalize equal compute identical results, so Key() — and every
+// cache keyed on it — must only ever see normalized options.
+func (o JobOptions) Normalize() JobOptions {
+	n := o
+	n.Method = strings.ToLower(strings.TrimSpace(n.Method))
+	if n.Method == "" {
+		n.Method = JobMethodNone
+	}
+	n.Objective = strings.ToLower(strings.TrimSpace(n.Objective))
+	if n.Objective == "" {
+		n.Objective = "power"
+	}
+	n.Flow = strings.ToLower(strings.TrimSpace(n.Flow))
+	if n.Flow == "" {
+		n.Flow = "sop"
+	}
+	if n.Method != JobMethodRank {
+		n.Fraction = 0
+	}
+	if n.Method != JobMethodLCF {
+		n.Threshold = 0
+	}
+	if n.Method != JobMethodRank && n.Method != JobMethodLCF {
+		n.UseBDD = false
+	}
+	if n.Method == JobMethodNone || n.Method == JobMethodComplete {
+		// core.Options.Canonical(): ties handling is the only semantic
+		// assignment knob, and it is inert for these methods.
+		n.AssignTies = core.Options{}.Canonical().AssignTies
+	}
+	return n
+}
+
+// Validate checks a normalized JobOptions. Call Normalize first.
+func (o JobOptions) Validate() error {
+	switch o.Method {
+	case JobMethodNone, JobMethodComplete:
+	case JobMethodRank:
+		if o.Fraction < 0 || o.Fraction > 1 {
+			return fmt.Errorf("pipeline: job fraction %v outside [0,1]", o.Fraction)
+		}
+	case JobMethodLCF:
+		if o.Threshold <= 0 || o.Threshold >= 1 {
+			return fmt.Errorf("pipeline: job threshold %v outside (0,1)", o.Threshold)
+		}
+	default:
+		return fmt.Errorf("pipeline: unknown job method %q", o.Method)
+	}
+	switch o.Objective {
+	case "delay", "power", "area":
+	default:
+		return fmt.Errorf("pipeline: unknown job objective %q", o.Objective)
+	}
+	switch o.Flow {
+	case "sop", "resyn":
+	default:
+		return fmt.Errorf("pipeline: unknown job flow %q", o.Flow)
+	}
+	if o.TimeoutMs < 0 || o.MaxBDDNodes < 0 || o.MaxConflicts < 0 || o.MaxAIGNodes < 0 {
+		return fmt.Errorf("pipeline: job budgets must be non-negative")
+	}
+	return nil
+}
+
+// Key returns a stable digest of the normalized options, suitable for
+// combining with a spec content hash into a result-cache key.
+func (o JobOptions) Key() string {
+	b, err := json.Marshal(o.Normalize())
+	if err != nil { // unreachable: plain struct of scalars
+		panic(fmt.Sprintf("pipeline: marshal job options: %v", err))
+	}
+	sum := sha256.Sum256(append([]byte("relsyn/job/v1\n"), b...))
+	return hex.EncodeToString(sum[:])
+}
+
+// Options lowers the job options onto the runner's Options. The receiver
+// is normalized and validated first.
+func (o JobOptions) Options() (Options, error) {
+	n := o.Normalize()
+	if err := n.Validate(); err != nil {
+		return Options{}, err
+	}
+	opt := Options{
+		Strict:     n.Strict,
+		SkipVerify: n.SkipVerify,
+		Budget: Budget{
+			Timeout:      time.Duration(n.TimeoutMs) * time.Millisecond,
+			MaxBDDNodes:  n.MaxBDDNodes,
+			MaxConflicts: n.MaxConflicts,
+			MaxAIGNodes:  n.MaxAIGNodes,
+		},
+	}
+	switch n.Method {
+	case JobMethodNone:
+		opt.Assign.Method = MethodNone
+	case JobMethodRank:
+		opt.Assign = AssignSpec{Method: MethodRanking, Fraction: n.Fraction,
+			UseBDD: n.UseBDD, AssignTies: n.AssignTies}
+	case JobMethodLCF:
+		opt.Assign = AssignSpec{Method: MethodLCF, Threshold: n.Threshold,
+			UseBDD: n.UseBDD, AssignTies: n.AssignTies}
+	case JobMethodComplete:
+		opt.Assign.Method = MethodComplete
+	}
+	switch n.Objective {
+	case "delay":
+		opt.Synth.Objective = synth.OptimizeDelay
+	case "power":
+		opt.Synth.Objective = synth.OptimizePower
+	case "area":
+		opt.Synth.Objective = synth.OptimizeArea
+	}
+	switch n.Flow {
+	case "sop":
+		opt.Synth.Flow = synth.FlowSOP
+	case "resyn":
+		opt.Synth.Flow = synth.FlowResyn
+	}
+	return opt, nil
+}
+
+// JobSpecInfo describes the input specification.
+type JobSpecInfo struct {
+	Inputs     int     `json:"inputs"`
+	Outputs    int     `json:"outputs"`
+	DCFraction float64 `json:"dc_fraction"`
+}
+
+// JobAssignInfo reports the assignment stage.
+type JobAssignInfo struct {
+	Method   string  `json:"method"`
+	Assigned int     `json:"assigned"`
+	TotalDCs int     `json:"total_dcs"`
+	Fraction float64 `json:"fraction"`
+}
+
+// JobMetrics reports implementation costs with stable wire names.
+type JobMetrics struct {
+	Area     float64 `json:"area"`
+	DelayPs  float64 `json:"delay_ps"`
+	Power    float64 `json:"power"`
+	Gates    int     `json:"gates"`
+	Literals int     `json:"literals"`
+	AIGNodes int     `json:"aig_nodes"`
+	AIGDepth int     `json:"aig_depth"`
+}
+
+// JobBounds is the exact reliability envelope of the specification: the
+// minimum and maximum error rates achievable by any DC assignment.
+type JobBounds struct {
+	Min float64 `json:"min"`
+	Max float64 `json:"max"`
+}
+
+// JobFallback is the wire form of one degradation-ladder step.
+type JobFallback struct {
+	Stage  string `json:"stage"`
+	From   string `json:"from"`
+	To     string `json:"to"`
+	Reason string `json:"reason"`
+}
+
+// JobStage is the wire form of one stage report.
+type JobStage struct {
+	Stage    string   `json:"stage"`
+	Attempts []string `json:"attempts"`
+	TookMs   float64  `json:"took_ms"`
+}
+
+// JobResult is the serializable outcome of one synthesis job. On
+// pipeline failure RunJob returns a partial JobResult (fallbacks and
+// stages populated, metrics zero) alongside the error so callers can
+// still report what was attempted.
+type JobResult struct {
+	Spec         JobSpecInfo    `json:"spec"`
+	Assign       *JobAssignInfo `json:"assign,omitempty"`
+	Metrics      JobMetrics     `json:"metrics"`
+	ErrorRate    float64        `json:"error_rate"`
+	Bounds       JobBounds      `json:"reliability_bounds"`
+	Verified     bool           `json:"verified"`
+	VerifyMethod string         `json:"verify_method,omitempty"`
+	Degraded     bool           `json:"degraded"`
+	Fallbacks    []JobFallback  `json:"fallbacks,omitempty"`
+	Stages       []JobStage     `json:"stages,omitempty"`
+	ElapsedMs    float64        `json:"elapsed_ms"`
+}
+
+// RunJob executes one serializable synthesis job: normalize and validate
+// jo, run the fault-tolerant pipeline, and fold the outcome (metrics,
+// fallback ladder, reliability figures) into a JobResult. On pipeline
+// failure the partial JobResult and the error (carrying any *StageError)
+// are both returned.
+func RunJob(ctx context.Context, f *tt.Function, jo JobOptions) (*JobResult, error) {
+	opt, err := jo.Options()
+	if err != nil {
+		return nil, err
+	}
+	n := jo.Normalize()
+	res, runErr := Run(ctx, f, opt)
+	if res == nil {
+		return nil, runErr
+	}
+	jr := &JobResult{
+		Spec: JobSpecInfo{
+			Inputs:     f.NumIn,
+			Outputs:    f.NumOut(),
+			DCFraction: f.DCFraction(),
+		},
+		Degraded:  res.Degraded(),
+		ElapsedMs: float64(res.Elapsed) / float64(time.Millisecond),
+	}
+	for _, fb := range res.Fallbacks {
+		jr.Fallbacks = append(jr.Fallbacks, JobFallback{
+			Stage:  string(fb.Stage),
+			From:   fb.From,
+			To:     fb.To,
+			Reason: string(fb.Cause.Reason),
+		})
+	}
+	for _, st := range res.Stages {
+		jr.Stages = append(jr.Stages, JobStage{
+			Stage:    string(st.Stage),
+			Attempts: append([]string(nil), st.Attempts...),
+			TookMs:   float64(st.Took) / float64(time.Millisecond),
+		})
+	}
+	if runErr != nil {
+		return jr, runErr
+	}
+	if res.Assign != nil {
+		jr.Assign = &JobAssignInfo{
+			Method:   n.Method,
+			Assigned: len(res.Assign.Assigned),
+			TotalDCs: res.Assign.TotalDCs,
+			Fraction: res.Assign.FractionAssigned(),
+		}
+	}
+	m := res.Synth.Metrics
+	jr.Metrics = JobMetrics{
+		Area:     m.Area,
+		DelayPs:  m.DelayPs,
+		Power:    m.Power,
+		Gates:    m.Gates,
+		Literals: m.Literals,
+		AIGNodes: m.AIGNodes,
+		AIGDepth: m.AIGDepth,
+	}
+	jr.Verified, jr.VerifyMethod = res.Verified, res.VerifyMethod
+	er, err := reliability.ErrorRateMean(f, res.Synth.Impl)
+	if err != nil {
+		return jr, fmt.Errorf("pipeline: error-rate report: %w", err)
+	}
+	jr.ErrorRate = er
+	lo, hi := reliability.BoundsMean(f)
+	jr.Bounds = JobBounds{Min: lo, Max: hi}
+	return jr, nil
+}

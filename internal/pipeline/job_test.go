@@ -1,0 +1,201 @@
+package pipeline
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+
+	"relsyn/internal/tt"
+)
+
+// jobTestFunction builds a small incompletely specified function.
+func jobTestFunction() *tt.Function {
+	f := tt.New(4, 2)
+	for _, m := range []int{1, 3, 5, 7, 9} {
+		f.SetPhase(0, m, tt.On)
+	}
+	for _, m := range []int{0, 2, 8} {
+		f.SetPhase(0, m, tt.DC)
+	}
+	for _, m := range []int{4, 6, 12, 14} {
+		f.SetPhase(1, m, tt.On)
+	}
+	for _, m := range []int{5, 13} {
+		f.SetPhase(1, m, tt.DC)
+	}
+	return f
+}
+
+func TestJobOptionsNormalizeDefaults(t *testing.T) {
+	n := JobOptions{}.Normalize()
+	if n.Method != JobMethodNone || n.Objective != "power" || n.Flow != "sop" {
+		t.Fatalf("zero value normalized to %+v", n)
+	}
+	// Irrelevant knobs are cleared per method.
+	n = JobOptions{Method: "Complete", Fraction: 0.7, Threshold: 0.5,
+		UseBDD: true, AssignTies: true}.Normalize()
+	if n.Method != JobMethodComplete {
+		t.Fatalf("method not lower-cased: %q", n.Method)
+	}
+	if n.Fraction != 0 || n.Threshold != 0 || n.UseBDD || n.AssignTies {
+		t.Fatalf("complete-method normalization kept inert knobs: %+v", n)
+	}
+	n = JobOptions{Method: "rank", Fraction: 0.7, Threshold: 0.5}.Normalize()
+	if n.Fraction != 0.7 || n.Threshold != 0 {
+		t.Fatalf("rank normalization wrong: %+v", n)
+	}
+}
+
+// Equivalent requests must collide on Key; different option structs must
+// not (the satellite counterpart to the PLA canonicalization tests).
+func TestJobOptionsKey(t *testing.T) {
+	base := JobOptions{Method: "lcf", Threshold: 0.55}
+	same := []JobOptions{
+		{Method: "LCF", Threshold: 0.55},
+		{Method: "lcf", Threshold: 0.55, Fraction: 0.9}, // fraction inert for lcf
+		{Method: " lcf ", Threshold: 0.55, Objective: "power", Flow: "sop"},
+	}
+	for i, o := range same {
+		if o.Key() != base.Key() {
+			t.Fatalf("equivalent options %d produced a different key", i)
+		}
+	}
+	different := []JobOptions{
+		{Method: "lcf", Threshold: 0.56},
+		{Method: "lcf", Threshold: 0.55, UseBDD: true},
+		{Method: "lcf", Threshold: 0.55, AssignTies: true},
+		{Method: "rank", Fraction: 0.55},
+		{Method: "lcf", Threshold: 0.55, Objective: "area"},
+		{Method: "lcf", Threshold: 0.55, Flow: "resyn"},
+		{Method: "lcf", Threshold: 0.55, SkipVerify: true},
+		{Method: "lcf", Threshold: 0.55, Strict: true},
+		{Method: "lcf", Threshold: 0.55, TimeoutMs: 1000},
+		{Method: "lcf", Threshold: 0.55, MaxBDDNodes: 64},
+		{},
+	}
+	seen := map[string]int{base.Key(): -1}
+	for i, o := range different {
+		k := o.Key()
+		if j, ok := seen[k]; ok {
+			t.Fatalf("options %d and %d collided", i, j)
+		}
+		seen[k] = i
+	}
+}
+
+func TestJobOptionsValidate(t *testing.T) {
+	bad := []JobOptions{
+		{Method: "bogus"},
+		{Method: "rank", Fraction: 1.5},
+		{Method: "rank", Fraction: -0.1},
+		{Method: "lcf", Threshold: 0},
+		{Method: "lcf", Threshold: 1},
+		{Objective: "speed"},
+		{Flow: "fast"},
+		{TimeoutMs: -1},
+		{MaxBDDNodes: -2},
+	}
+	for i, o := range bad {
+		if err := o.Normalize().Validate(); err == nil {
+			t.Fatalf("case %d: invalid options %+v accepted", i, o)
+		}
+		if _, err := o.Options(); err == nil {
+			t.Fatalf("case %d: Options() accepted invalid %+v", i, o)
+		}
+	}
+	if err := (JobOptions{}).Normalize().Validate(); err != nil {
+		t.Fatalf("zero value invalid: %v", err)
+	}
+}
+
+func TestRunJobLCF(t *testing.T) {
+	f := jobTestFunction()
+	res, err := RunJob(context.Background(), f, JobOptions{Method: "lcf", Threshold: 0.55})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Spec.Inputs != 4 || res.Spec.Outputs != 2 {
+		t.Fatalf("spec info wrong: %+v", res.Spec)
+	}
+	if res.Assign == nil || res.Assign.Method != "lcf" || res.Assign.TotalDCs != 5 {
+		t.Fatalf("assign info wrong: %+v", res.Assign)
+	}
+	if !res.Verified || res.VerifyMethod == "" {
+		t.Fatalf("job not verified: %+v", res)
+	}
+	if res.Metrics.Gates <= 0 || res.Metrics.Area <= 0 {
+		t.Fatalf("metrics not populated: %+v", res.Metrics)
+	}
+	if res.Bounds.Min > res.ErrorRate+1e-12 || res.ErrorRate > res.Bounds.Max+1e-12 {
+		t.Fatalf("error rate %v outside bounds [%v,%v]",
+			res.ErrorRate, res.Bounds.Min, res.Bounds.Max)
+	}
+	// The result must round-trip through JSON with stable field names.
+	b, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"spec"`, `"metrics"`, `"error_rate"`,
+		`"reliability_bounds"`, `"verified"`, `"elapsed_ms"`, `"aig_nodes"`} {
+		if !strings.Contains(string(b), want) {
+			t.Fatalf("JSON missing %s:\n%s", want, b)
+		}
+	}
+	var back JobResult
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Metrics != res.Metrics || back.Verified != res.Verified {
+		t.Fatalf("JSON round trip mutated result")
+	}
+}
+
+// A strict run with an exhausted BDD budget fails with a budget
+// StageError, and the partial JobResult still reports the attempt.
+func TestRunJobStrictBudgetFailure(t *testing.T) {
+	f := jobTestFunction()
+	res, err := RunJob(context.Background(), f, JobOptions{
+		Method: "lcf", Threshold: 0.55, UseBDD: true, MaxBDDNodes: 4, Strict: true,
+	})
+	if err == nil {
+		t.Fatal("strict run with tiny BDD budget succeeded")
+	}
+	var se *StageError
+	if !errors.As(err, &se) || se.Reason != ReasonBudget {
+		t.Fatalf("error not a budget StageError: %v", err)
+	}
+	if res == nil || len(res.Stages) == 0 {
+		t.Fatalf("partial result missing stage reports: %+v", res)
+	}
+}
+
+// The same budget without Strict degrades to the dense path and succeeds,
+// and the fallback is visible in the serialized result.
+func TestRunJobDegrades(t *testing.T) {
+	f := jobTestFunction()
+	res, err := RunJob(context.Background(), f, JobOptions{
+		Method: "lcf", Threshold: 0.55, UseBDD: true, MaxBDDNodes: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Degraded || len(res.Fallbacks) == 0 {
+		t.Fatalf("degradation not reported: %+v", res)
+	}
+	fb := res.Fallbacks[0]
+	if fb.Stage != "assign" || fb.To != "assign/dense" || fb.Reason != "budget" {
+		t.Fatalf("fallback wrong: %+v", fb)
+	}
+}
+
+func TestRunJobNilAndInvalid(t *testing.T) {
+	if _, err := RunJob(context.Background(), nil, JobOptions{}); err == nil {
+		t.Fatal("nil function accepted")
+	}
+	if _, err := RunJob(context.Background(), jobTestFunction(),
+		JobOptions{Method: "bogus"}); err == nil {
+		t.Fatal("invalid options accepted")
+	}
+}

@@ -7,10 +7,12 @@
 //
 //  1. No panics escape. Each stage attempt runs under panic recovery;
 //     library panics surface as typed *StageError values.
+//
 //  2. Bounded effort. The Budget caps wall-clock time (deadline), BDD
 //     manager nodes, SAT conflicts, and AIG nodes; every long-running
 //     loop in the stack polls a context-derived interrupt, so cancelled
 //     runs return promptly.
+//
 //  3. Degrade, don't die. When an attempt fails on a budget, a panic, or
 //     an internal error, the runner walks an explicit degradation ladder
 //     instead of failing the job:

@@ -1,0 +1,250 @@
+// HTTP/JSON front end.
+//
+// Endpoints:
+//
+//	POST /v1/synth        submit one job ({"pla": "...", "options": {...},
+//	                      "priority": 0, "wait": true}); wait=false returns
+//	                      202 + job id for later polling
+//	POST /v1/synth/batch  submit many jobs ({"jobs": [...]}), wait for all
+//	GET  /v1/jobs/{id}    poll a job
+//	GET  /healthz         liveness; 503 + "draining" during shutdown
+//	GET  /statsz          queue/worker/cache counters as JSON
+//
+// Status mapping: 400 malformed request or spec, 404 unknown job, 429
+// queue full (with Retry-After), 503 draining, 200/202 otherwise. A job
+// that *ran* and failed is reported inside a 200 envelope with
+// status "failed" — the request was served; the job outcome is data.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+
+	"relsyn/internal/pipeline"
+	"relsyn/internal/pla"
+	"relsyn/internal/tt"
+)
+
+const maxBodyBytes = 8 << 20
+
+// SynthRequest is the POST /v1/synth body.
+type SynthRequest struct {
+	// PLA is the specification in Espresso .pla format.
+	PLA string `json:"pla"`
+	// Options configures the pipeline job (all fields optional).
+	Options pipeline.JobOptions `json:"options"`
+	// Priority orders the queue; higher dequeues first (default 0).
+	Priority int `json:"priority"`
+	// Wait, when false, returns 202 immediately with a job id.
+	// Default true.
+	Wait *bool `json:"wait,omitempty"`
+}
+
+func (r *SynthRequest) wait() bool { return r.Wait == nil || *r.Wait }
+
+// SynthResponse is the envelope for job submissions and polls.
+type SynthResponse struct {
+	JobID     string              `json:"job_id,omitempty"`
+	Status    string              `json:"status"`
+	Cached    bool                `json:"cached,omitempty"`
+	Coalesced bool                `json:"coalesced,omitempty"`
+	Result    *pipeline.JobResult `json:"result,omitempty"`
+	Error     string              `json:"error,omitempty"`
+}
+
+// BatchRequest is the POST /v1/synth/batch body.
+type BatchRequest struct {
+	Jobs []SynthRequest `json:"jobs"`
+}
+
+// BatchResponse mirrors the request order one envelope per job.
+type BatchResponse struct {
+	Results []SynthResponse `json:"results"`
+}
+
+// Handler returns the service's HTTP handler.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/synth", s.handleSynth)
+	mux.HandleFunc("POST /v1/synth/batch", s.handleBatch)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, SynthResponse{Status: "error", Error: fmt.Sprintf(format, args...)})
+}
+
+// parseSpec turns a request's PLA text into a dense function plus its
+// content hash.
+func parseSpec(text string) (*tt.Function, string, error) {
+	if strings.TrimSpace(text) == "" {
+		return nil, "", errors.New("empty pla")
+	}
+	file, err := pla.Parse(strings.NewReader(text))
+	if err != nil {
+		return nil, "", err
+	}
+	fn, err := file.ToFunction()
+	if err != nil {
+		return nil, "", err
+	}
+	return fn, pla.HashFunction(fn), nil
+}
+
+// submitRequest runs the shared admission path for single and batch
+// submissions. The returned response is terminal for rejected/invalid
+// submissions; otherwise outcome carries the job handle.
+func (s *Server) submitRequest(req *SynthRequest) (*SubmitOutcome, *SynthResponse) {
+	fn, hash, err := parseSpec(req.PLA)
+	if err != nil {
+		return nil, &SynthResponse{Status: "invalid", Error: fmt.Sprintf("parse pla: %v", err)}
+	}
+	out, err := s.Submit(fn, hash, req.Options, req.Priority)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		return nil, &SynthResponse{Status: "rejected", Error: err.Error()}
+	case errors.Is(err, ErrDraining):
+		return nil, &SynthResponse{Status: "draining", Error: err.Error()}
+	case err != nil:
+		return nil, &SynthResponse{Status: "invalid", Error: err.Error()}
+	}
+	return out, nil
+}
+
+// respond renders a finished (or polled) job state.
+func respond(js *jobState, cached, coalesced bool) SynthResponse {
+	status, res, errMsg := js.snapshot()
+	return SynthResponse{
+		JobID:     js.id,
+		Status:    status,
+		Cached:    cached,
+		Coalesced: coalesced,
+		Result:    res,
+		Error:     errMsg,
+	}
+}
+
+func (s *Server) handleSynth(w http.ResponseWriter, r *http.Request) {
+	var req SynthRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	out, rejected := s.submitRequest(&req)
+	if rejected != nil {
+		s.writeRejection(w, rejected)
+		return
+	}
+	js := out.Job
+	if !req.wait() {
+		writeJSON(w, http.StatusAccepted, respond(js, out.Cached, out.Coalesced))
+		return
+	}
+	select {
+	case <-js.done:
+		writeJSON(w, http.StatusOK, respond(js, out.Cached, out.Coalesced))
+	case <-r.Context().Done():
+		// Client gone; the job keeps running and lands in the cache.
+	}
+}
+
+func (s *Server) writeRejection(w http.ResponseWriter, resp *SynthResponse) {
+	switch resp.Status {
+	case "rejected":
+		w.Header().Set("Retry-After",
+			strconv.Itoa(int(max64(1, int64(s.cfg.RetryAfter.Seconds())))))
+		writeJSON(w, http.StatusTooManyRequests, resp)
+	case "draining":
+		writeJSON(w, http.StatusServiceUnavailable, resp)
+	default:
+		writeJSON(w, http.StatusBadRequest, resp)
+	}
+}
+
+func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
+	var req BatchRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	if len(req.Jobs) == 0 {
+		writeError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	// Admit everything first so duplicates coalesce within the batch,
+	// then wait; per-item rejections ride along inline.
+	type slot struct {
+		out  *SubmitOutcome
+		resp *SynthResponse
+	}
+	slots := make([]slot, len(req.Jobs))
+	for i := range req.Jobs {
+		out, rejected := s.submitRequest(&req.Jobs[i])
+		slots[i] = slot{out: out, resp: rejected}
+	}
+	results := make([]SynthResponse, len(slots))
+	for i, sl := range slots {
+		if sl.resp != nil {
+			results[i] = *sl.resp
+			continue
+		}
+		select {
+		case <-sl.out.Job.done:
+		case <-r.Context().Done():
+			writeError(w, http.StatusRequestTimeout, "client cancelled batch")
+			return
+		}
+		results[i] = respond(sl.out.Job, sl.out.Cached, sl.out.Coalesced)
+	}
+	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	js, ok := s.Lookup(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, respond(js, false, false))
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

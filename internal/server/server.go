@@ -1,0 +1,492 @@
+// Package server is the long-running synthesis service: a bounded job
+// queue (internal/jobqueue) feeding a fixed worker pool that executes
+// pipeline jobs (internal/pipeline.RunJob), fronted by an HTTP/JSON API
+// and a content-addressed result cache.
+//
+// Request identity is the pair (spec content hash, normalized job
+// options): internal/pla.HashFunction collapses cube order, redundant
+// cubes, and logic-type encodings, and pipeline.JobOptions.Normalize
+// collapses equivalent option structs. Identical requests therefore
+//
+//   - coalesce while in flight (internal/flight: one queue slot, one
+//     worker execution, any number of waiters), and
+//   - hit the LRU result cache (internal/lru) afterwards.
+//
+// Overload is explicit: a full queue rejects with ErrQueueFull, which
+// the HTTP layer maps to 429 + Retry-After. Shutdown is graceful: Drain
+// stops admissions, lets the workers finish the backlog, and only then
+// returns — the service half of relsynd's SIGTERM handling.
+package server
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"relsyn/internal/flight"
+	"relsyn/internal/jobqueue"
+	"relsyn/internal/lru"
+	"relsyn/internal/pipeline"
+	"relsyn/internal/tt"
+)
+
+// Service-level errors surfaced by Submit.
+var (
+	// ErrQueueFull reports backpressure: the job queue is at capacity.
+	ErrQueueFull = errors.New("server: queue full")
+	// ErrDraining reports that the server no longer admits work.
+	ErrDraining = errors.New("server: draining")
+)
+
+// Backend executes one synthesis job. The default is pipeline.RunJob;
+// tests (and future remote/sharded backends) substitute their own.
+type Backend func(ctx context.Context, f *tt.Function, opt pipeline.JobOptions) (*pipeline.JobResult, error)
+
+// Config sizes the service.
+type Config struct {
+	// Workers is the worker-pool size (default: GOMAXPROCS).
+	Workers int
+	// QueueDepth bounds the job queue (default 256).
+	QueueDepth int
+	// CacheSize bounds the result cache in entries (default 512; 0 with
+	// DisableCache set disables caching).
+	CacheSize int
+	// DisableCache turns the result cache off even if CacheSize is 0
+	// (meaning "default") elsewhere.
+	DisableCache bool
+	// DefaultTimeout is applied to jobs that carry no timeout_ms
+	// (default 30s). It bounds queue wait plus execution.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps any requested per-job timeout (default 5m).
+	MaxTimeout time.Duration
+	// RetryAfter is the hint returned with 429 responses (default 1s).
+	RetryAfter time.Duration
+	// MaxJobStates bounds the finished-job registry served by
+	// GET /v1/jobs/{id} (default 4096).
+	MaxJobStates int
+	// Backend overrides the job executor (default pipeline.RunJob).
+	Backend Backend
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 512
+	}
+	if c.DisableCache {
+		c.CacheSize = 0
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxJobStates <= 0 {
+		c.MaxJobStates = 4096
+	}
+	if c.Backend == nil {
+		c.Backend = pipeline.RunJob
+	}
+	return c
+}
+
+// Job lifecycle states.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+	StatusExpired = "expired"
+)
+
+// jobState is the shared handle for one logical job: the queue item's
+// payload, the singleflight value, and the registry entry all point at
+// the same state. Result/Err are written exactly once before done is
+// closed; poll reads go through the mutex.
+type jobState struct {
+	id  string
+	key string
+
+	mu       sync.Mutex
+	status   string
+	result   *pipeline.JobResult
+	err      string
+	created  time.Time
+	finished time.Time
+
+	done   chan struct{}
+	cancel context.CancelFunc
+}
+
+func (js *jobState) setRunning() {
+	js.mu.Lock()
+	if js.status == StatusQueued {
+		js.status = StatusRunning
+	}
+	js.mu.Unlock()
+}
+
+// finish publishes the terminal state exactly once.
+func (js *jobState) finish(status string, res *pipeline.JobResult, err error) {
+	js.mu.Lock()
+	if js.status == StatusDone || js.status == StatusFailed || js.status == StatusExpired {
+		js.mu.Unlock()
+		return
+	}
+	js.status = status
+	js.result = res
+	if err != nil {
+		js.err = err.Error()
+	}
+	js.finished = time.Now()
+	js.mu.Unlock()
+	if js.cancel != nil {
+		js.cancel()
+	}
+	close(js.done)
+}
+
+func (js *jobState) snapshot() (status string, res *pipeline.JobResult, errMsg string) {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return js.status, js.result, js.err
+}
+
+func (js *jobState) isFinished() bool {
+	select {
+	case <-js.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// work is the queue payload.
+type work struct {
+	state *jobState
+	ctx   context.Context
+	fn    *tt.Function
+	opts  pipeline.JobOptions
+}
+
+// counters are the service-level monotonic metrics exported on /statsz.
+type counters struct {
+	submitted   atomic.Int64
+	completed   atomic.Int64
+	failed      atomic.Int64
+	rejected    atomic.Int64
+	expired     atomic.Int64
+	coalesced   atomic.Int64
+	cacheHits   atomic.Int64
+	cacheMisses atomic.Int64
+	busyWorkers atomic.Int64
+}
+
+// Server is the concurrent synthesis service.
+type Server struct {
+	cfg     Config
+	baseCtx context.Context
+	stop    context.CancelFunc
+
+	queue *jobqueue.Queue
+	cache *lru.Cache[string, *pipeline.JobResult]
+	inFly flight.Group[*jobState]
+
+	mu       sync.Mutex
+	jobs     map[string]*jobState
+	jobOrder []string
+
+	wg       sync.WaitGroup
+	draining atomic.Bool
+	started  time.Time
+	c        counters
+}
+
+// New builds and starts a server: the worker pool begins consuming
+// immediately. Callers must eventually Drain (or Close) it.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:     cfg,
+		baseCtx: ctx,
+		stop:    cancel,
+		queue:   jobqueue.New(cfg.QueueDepth),
+		cache:   lru.New[string, *pipeline.JobResult](cfg.CacheSize),
+		jobs:    make(map[string]*jobState),
+		started: time.Now(),
+	}
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// SubmitOutcome reports how a submission was satisfied.
+type SubmitOutcome struct {
+	Job *jobState
+	// Cached: served directly from the result cache (already done).
+	Cached bool
+	// Coalesced: joined an identical in-flight job.
+	Coalesced bool
+}
+
+// Submit admits one job: cache lookup, in-flight coalescing, then queue
+// admission. The returned state's done channel closes when the result
+// (or error) is available. priority orders the queue (higher first).
+func (s *Server) Submit(fn *tt.Function, specHash string, jo pipeline.JobOptions, priority int) (*SubmitOutcome, error) {
+	if s.draining.Load() {
+		return nil, ErrDraining
+	}
+	// Server defaults are applied before normalization so that an
+	// explicit timeout equal to the default and an omitted timeout key
+	// identically.
+	if jo.TimeoutMs == 0 {
+		jo.TimeoutMs = s.cfg.DefaultTimeout.Milliseconds()
+	}
+	if max := s.cfg.MaxTimeout.Milliseconds(); jo.TimeoutMs > max {
+		jo.TimeoutMs = max
+	}
+	jo = jo.Normalize()
+	if err := jo.Validate(); err != nil {
+		return nil, err
+	}
+	s.c.submitted.Add(1)
+	key := specHash + "|" + jo.Key()
+
+	if res, ok := s.cache.Get(key); ok {
+		s.c.cacheHits.Add(1)
+		js := s.completedState(key, res)
+		s.register(js)
+		return &SubmitOutcome{Job: js, Cached: true}, nil
+	}
+	s.c.cacheMisses.Add(1)
+
+	js, started, err := s.inFly.Do(key, func() (*jobState, error) {
+		js := &jobState{
+			id:      newJobID(),
+			key:     key,
+			status:  StatusQueued,
+			created: time.Now(),
+			done:    make(chan struct{}),
+		}
+		ctx, cancel := context.WithTimeout(s.baseCtx,
+			time.Duration(jo.TimeoutMs)*time.Millisecond)
+		js.cancel = cancel
+		item := &jobqueue.Item{
+			ID:       js.id,
+			Priority: priority,
+			Ctx:      ctx,
+			Payload:  &work{state: js, ctx: ctx, fn: fn, opts: jo},
+			OnExpire: func() { s.expireJob(js) },
+		}
+		if err := s.queue.Enqueue(item); err != nil {
+			cancel()
+			switch {
+			case errors.Is(err, jobqueue.ErrFull):
+				s.c.rejected.Add(1)
+				return nil, ErrQueueFull
+			case errors.Is(err, jobqueue.ErrClosed):
+				return nil, ErrDraining
+			default:
+				return nil, err
+			}
+		}
+		return js, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if !started {
+		s.c.coalesced.Add(1)
+		return &SubmitOutcome{Job: js, Coalesced: true}, nil
+	}
+	s.register(js)
+	return &SubmitOutcome{Job: js}, nil
+}
+
+// Lookup returns the job registered under id.
+func (s *Server) Lookup(id string) (*jobState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	js, ok := s.jobs[id]
+	return js, ok
+}
+
+// register adds js to the bounded job registry, evicting the oldest
+// finished entries beyond MaxJobStates.
+func (s *Server) register(js *jobState) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.jobs[js.id] = js
+	s.jobOrder = append(s.jobOrder, js.id)
+	for len(s.jobOrder) > s.cfg.MaxJobStates {
+		oldest := s.jobOrder[0]
+		if old, ok := s.jobs[oldest]; ok && !old.isFinished() {
+			break // never evict live jobs; backlog is bounded by the queue
+		}
+		delete(s.jobs, oldest)
+		s.jobOrder = s.jobOrder[1:]
+	}
+}
+
+// completedState wraps a cache hit in an immediately-done jobState so
+// cached and computed responses share one shape.
+func (s *Server) completedState(key string, res *pipeline.JobResult) *jobState {
+	js := &jobState{
+		id:      newJobID(),
+		key:     key,
+		status:  StatusDone,
+		result:  res,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	js.finished = js.created
+	close(js.done)
+	return js
+}
+
+// expireJob marks a job dropped by the queue's deadline check.
+func (s *Server) expireJob(js *jobState) {
+	s.c.expired.Add(1)
+	js.finish(StatusExpired, nil, fmt.Errorf("server: job %s expired in queue", js.id))
+	s.inFly.Forget(js.key)
+}
+
+// worker consumes the queue until it is closed and drained (graceful
+// drain) or the base context is cancelled (forced stop).
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		item, err := s.queue.Dequeue(s.baseCtx)
+		if err != nil {
+			return
+		}
+		w := item.Payload.(*work)
+		s.c.busyWorkers.Add(1)
+		s.runJob(w)
+		s.c.busyWorkers.Add(-1)
+	}
+}
+
+// runJob executes one dequeued job and publishes its outcome: result
+// into the cache (before the singleflight key is forgotten, so there is
+// no window where duplicates recompute), state to all waiters.
+func (s *Server) runJob(w *work) {
+	js := w.state
+	js.setRunning()
+	res, err := s.cfg.Backend(w.ctx, w.fn, w.opts)
+	if err != nil {
+		s.c.failed.Add(1)
+		js.finish(StatusFailed, res, err)
+		s.inFly.Forget(js.key)
+		return
+	}
+	s.c.completed.Add(1)
+	s.cache.Add(js.key, res)
+	js.finish(StatusDone, res, nil)
+	s.inFly.Forget(js.key)
+}
+
+// Drain gracefully shuts the server down: stop admitting, let workers
+// finish every queued and in-flight job, then return. If ctx expires
+// first, remaining jobs are cancelled via the base context and Drain
+// waits (briefly) for the workers to observe it.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.queue.Close()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.stop()
+		return nil
+	case <-ctx.Done():
+		s.stop() // cancel in-flight pipelines; they poll interrupts
+		<-done
+		return ctx.Err()
+	}
+}
+
+// Close force-stops the server without waiting for the backlog.
+func (s *Server) Close() {
+	s.draining.Store(true)
+	s.queue.Close()
+	s.stop()
+	s.wg.Wait()
+}
+
+// Draining reports whether the server has stopped admitting work.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Stats is the /statsz payload.
+type Stats struct {
+	UptimeSeconds float64        `json:"uptime_seconds"`
+	Workers       int            `json:"workers"`
+	BusyWorkers   int64          `json:"busy_workers"`
+	Draining      bool           `json:"draining"`
+	Queue         jobqueue.Stats `json:"queue"`
+	Submitted     int64          `json:"submitted"`
+	Completed     int64          `json:"completed"`
+	Failed        int64          `json:"failed"`
+	Rejected      int64          `json:"rejected"`
+	Expired       int64          `json:"expired"`
+	Coalesced     int64          `json:"coalesced"`
+	CacheHits     int64          `json:"cache_hits"`
+	CacheMisses   int64          `json:"cache_misses"`
+	CacheLen      int            `json:"cache_len"`
+	CacheCap      int            `json:"cache_cap"`
+	InFlightKeys  int            `json:"in_flight_keys"`
+}
+
+// Stats snapshots the service counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Workers:       s.cfg.Workers,
+		BusyWorkers:   s.c.busyWorkers.Load(),
+		Draining:      s.draining.Load(),
+		Queue:         s.queue.Stats(),
+		Submitted:     s.c.submitted.Load(),
+		Completed:     s.c.completed.Load(),
+		Failed:        s.c.failed.Load(),
+		Rejected:      s.c.rejected.Load(),
+		Expired:       s.c.expired.Load(),
+		Coalesced:     s.c.coalesced.Load(),
+		CacheHits:     s.c.cacheHits.Load(),
+		CacheMisses:   s.c.cacheMisses.Load(),
+		CacheLen:      s.cache.Len(),
+		CacheCap:      s.cache.Cap(),
+		InFlightKeys:  s.inFly.Len(),
+	}
+}
+
+// RetryAfter returns the configured 429 retry hint.
+func (s *Server) RetryAfter() time.Duration { return s.cfg.RetryAfter }
+
+func newJobID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic(fmt.Sprintf("server: entropy unavailable: %v", err))
+	}
+	return "job_" + hex.EncodeToString(b[:])
+}

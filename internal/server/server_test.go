@@ -1,0 +1,531 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"relsyn/internal/pipeline"
+	"relsyn/internal/tt"
+)
+
+// specPLA builds a tiny but distinct 4-input spec per seed.
+func specPLA(seed int) string {
+	var b strings.Builder
+	b.WriteString(".i 4\n.o 1\n")
+	on := []int{seed % 16, (seed*3 + 1) % 16, (seed*5 + 2) % 16}
+	dc := (seed*7 + 5) % 16
+	seen := map[int]bool{}
+	for _, m := range on {
+		if m == dc || seen[m] {
+			continue
+		}
+		seen[m] = true
+		fmt.Fprintf(&b, "%04b 1\n", m)
+	}
+	fmt.Fprintf(&b, "%04b -\n", dc)
+	b.WriteString(".e\n")
+	return b.String()
+}
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		s.Close()
+	})
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) (*http.Response, []byte) {
+	t.Helper()
+	raw, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func getJSON(t *testing.T, url string, v any) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if v != nil {
+		if err := json.NewDecoder(resp.Body).Decode(v); err != nil {
+			t.Fatalf("decode %s: %v", url, err)
+		}
+	}
+	return resp
+}
+
+func serverStats(t *testing.T, base string) Stats {
+	t.Helper()
+	var st Stats
+	getJSON(t, base+"/statsz", &st)
+	return st
+}
+
+// The acceptance scenario: a 64-job concurrent mix of duplicate and
+// distinct specs completes race-clean, with every duplicate served by
+// the cache or in-flight coalescing (exactly one pipeline execution per
+// distinct spec), verified via /statsz counters.
+func TestServer64ConcurrentMixedRequests(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 128, CacheSize: 64})
+	const total, distinct = 64, 8
+
+	var wg sync.WaitGroup
+	errs := make(chan error, total)
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			req := SynthRequest{
+				PLA:      specPLA(i % distinct),
+				Options:  pipeline.JobOptions{Method: "lcf", Threshold: 0.55},
+				Priority: i % 3,
+			}
+			resp, data := postJSON(t, ts.URL+"/v1/synth", req)
+			if resp.StatusCode != http.StatusOK {
+				errs <- fmt.Errorf("request %d: HTTP %d: %s", i, resp.StatusCode, data)
+				return
+			}
+			var sr SynthResponse
+			if err := json.Unmarshal(data, &sr); err != nil {
+				errs <- fmt.Errorf("request %d: %v", i, err)
+				return
+			}
+			if sr.Status != StatusDone || sr.Result == nil {
+				errs <- fmt.Errorf("request %d: status %q error %q", i, sr.Status, sr.Error)
+				return
+			}
+			if !sr.Result.Verified {
+				errs <- fmt.Errorf("request %d: result not verified", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	st := serverStats(t, ts.URL)
+	if st.Submitted != total {
+		t.Fatalf("submitted %d, want %d", st.Submitted, total)
+	}
+	// Singleflight + cache guarantee exactly one execution per distinct
+	// spec: every other request must have been coalesced or cache-hit.
+	if st.Completed != distinct {
+		t.Fatalf("completed %d pipeline executions, want %d (stats %+v)", st.Completed, distinct, st)
+	}
+	if st.CacheHits+st.Coalesced != total-distinct {
+		t.Fatalf("cache_hits %d + coalesced %d != %d", st.CacheHits, st.Coalesced, total-distinct)
+	}
+	if st.Failed != 0 || st.Rejected != 0 || st.Expired != 0 {
+		t.Fatalf("unexpected failures: %+v", st)
+	}
+	if st.CacheLen != distinct {
+		t.Fatalf("cache holds %d entries, want %d", st.CacheLen, distinct)
+	}
+	_ = s
+}
+
+// Identical specs written differently (permuted rows, redundant cubes)
+// and equivalent option spellings land on the same cache entry.
+func TestServerCanonicalCacheKey(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 16, CacheSize: 16})
+	variants := []SynthRequest{
+		{PLA: ".i 3\n.o 1\n01- 1\n111 1\n000 -\n.e\n",
+			Options: pipeline.JobOptions{Method: "lcf", Threshold: 0.55}},
+		{PLA: ".i 3\n.o 1\n111 1\n000 -\n01- 1\n.e\n", // permuted rows
+			Options: pipeline.JobOptions{Method: "LCF", Threshold: 0.55}},
+		{PLA: ".i 3\n.o 1\n01- 1\n010 1\n111 1\n000 -\n.e\n", // redundant cube
+			Options: pipeline.JobOptions{Method: "lcf", Threshold: 0.55, Fraction: 0.9}},
+	}
+	for i, req := range variants {
+		resp, data := postJSON(t, ts.URL+"/v1/synth", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("variant %d: HTTP %d: %s", i, resp.StatusCode, data)
+		}
+	}
+	st := serverStats(t, ts.URL)
+	if st.Completed != 1 {
+		t.Fatalf("equivalent requests ran %d pipelines, want 1 (%+v)", st.Completed, st)
+	}
+	if st.CacheHits != 2 {
+		t.Fatalf("cache hits %d, want 2", st.CacheHits)
+	}
+}
+
+// blockingBackend lets a test hold workers busy deterministically.
+type blockingBackend struct {
+	release chan struct{}
+	started chan string
+}
+
+func (b *blockingBackend) run(ctx context.Context, _ *tt.Function, _ pipeline.JobOptions) (*pipeline.JobResult, error) {
+	select {
+	case b.started <- "":
+	default:
+	}
+	select {
+	case <-b.release:
+		return &pipeline.JobResult{Verified: true}, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// A full queue rejects with 429 and a Retry-After header; after the
+// backlog clears, the same request is admitted.
+func TestServerQueueFullRejectsWith429(t *testing.T) {
+	bb := &blockingBackend{release: make(chan struct{}), started: make(chan string, 8)}
+	_, ts := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 1, CacheSize: 8,
+		RetryAfter: 2 * time.Second, Backend: bb.run,
+	})
+
+	async := false
+	submit := func(seed int) (*http.Response, []byte) {
+		return postJSON(t, ts.URL+"/v1/synth", SynthRequest{PLA: specPLA(seed), Wait: &async})
+	}
+	// First job occupies the worker...
+	if resp, data := submit(0); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job 0: HTTP %d: %s", resp.StatusCode, data)
+	}
+	<-bb.started
+	// ...second fills the queue...
+	if resp, data := submit(1); resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("job 1: HTTP %d: %s", resp.StatusCode, data)
+	}
+	// ...third distinct spec must be shed.
+	resp, data := submit(2)
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overload: HTTP %d, want 429: %s", resp.StatusCode, data)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After %q, want 2", ra)
+	}
+	var sr SynthResponse
+	if err := json.Unmarshal(data, &sr); err != nil || sr.Status != "rejected" {
+		t.Fatalf("rejection body %s (%v)", data, err)
+	}
+	st := serverStats(t, ts.URL)
+	if st.Rejected != 1 {
+		t.Fatalf("rejected counter %d, want 1", st.Rejected)
+	}
+	// Release the workers; the backlog drains and admission resumes.
+	close(bb.release)
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if resp, _ := submit(2); resp.StatusCode == http.StatusAccepted ||
+			resp.StatusCode == http.StatusOK {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("admission did not resume after drain")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// Drain finishes queued and in-flight jobs before returning, while new
+// submissions are refused with 503 and healthz flips to draining.
+func TestServerDrainFinishesBacklog(t *testing.T) {
+	bb := &blockingBackend{release: make(chan struct{}), started: make(chan string, 8)}
+	s := New(Config{Workers: 1, QueueDepth: 8, CacheSize: 8, Backend: bb.run})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+
+	async := false
+	ids := make([]string, 3)
+	for i := range ids {
+		resp, data := postJSON(t, ts.URL+"/v1/synth", SynthRequest{PLA: specPLA(i), Wait: &async})
+		if resp.StatusCode != http.StatusAccepted {
+			t.Fatalf("job %d: HTTP %d: %s", i, resp.StatusCode, data)
+		}
+		var sr SynthResponse
+		if err := json.Unmarshal(data, &sr); err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = sr.JobID
+	}
+	<-bb.started // worker holds job 0; jobs 1,2 queued
+
+	drained := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- s.Drain(ctx)
+	}()
+	// Draining must become observable, then refuse new work.
+	deadline := time.Now().Add(2 * time.Second)
+	for !s.Draining() {
+		if time.Now().After(deadline) {
+			t.Fatal("server never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if resp := getJSON(t, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("healthz while draining: HTTP %d", resp.StatusCode)
+	}
+	if resp, data := postJSON(t, ts.URL+"/v1/synth", SynthRequest{PLA: specPLA(9)}); resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("submit while draining: HTTP %d: %s", resp.StatusCode, data)
+	}
+
+	close(bb.release) // let the backlog finish
+	if err := <-drained; err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	// Every job — including the two that were still queued at drain time —
+	// must have completed.
+	for i, id := range ids {
+		var sr SynthResponse
+		getJSON(t, ts.URL+"/v1/jobs/"+id, &sr)
+		if sr.Status != StatusDone {
+			t.Fatalf("job %d (%s) status %q after drain", i, id, sr.Status)
+		}
+	}
+	st := s.Stats()
+	if st.Completed != 3 || st.Queue.Len != 0 {
+		t.Fatalf("post-drain stats %+v", st)
+	}
+}
+
+// Async submission + polling via GET /v1/jobs/{id}.
+func TestServerAsyncJobLifecycle(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 16, CacheSize: 16})
+	async := false
+	resp, data := postJSON(t, ts.URL+"/v1/synth", SynthRequest{
+		PLA:  specPLA(3),
+		Wait: &async,
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, data)
+	}
+	var sr SynthResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	if sr.JobID == "" {
+		t.Fatalf("no job id in %s", data)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		var poll SynthResponse
+		r := getJSON(t, ts.URL+"/v1/jobs/"+sr.JobID, &poll)
+		if r.StatusCode != http.StatusOK {
+			t.Fatalf("poll HTTP %d", r.StatusCode)
+		}
+		if poll.Status == StatusDone {
+			if poll.Result == nil || !poll.Result.Verified {
+				t.Fatalf("done without verified result: %+v", poll)
+			}
+			break
+		}
+		if poll.Status == StatusFailed || poll.Status == StatusExpired {
+			t.Fatalf("job ended %q: %s", poll.Status, poll.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", poll.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// The batch endpoint coalesces duplicates inside one request.
+func TestServerBatch(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, QueueDepth: 32, CacheSize: 16})
+	var jobs []SynthRequest
+	for i := 0; i < 8; i++ {
+		jobs = append(jobs, SynthRequest{PLA: specPLA(i % 4)})
+	}
+	resp, data := postJSON(t, ts.URL+"/v1/synth/batch", BatchRequest{Jobs: jobs})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, data)
+	}
+	var br BatchResponse
+	if err := json.Unmarshal(data, &br); err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Results) != 8 {
+		t.Fatalf("%d results", len(br.Results))
+	}
+	for i, r := range br.Results {
+		if r.Status != StatusDone || r.Result == nil {
+			t.Fatalf("batch item %d: %+v", i, r)
+		}
+	}
+	st := serverStats(t, ts.URL)
+	if st.Completed != 4 {
+		t.Fatalf("batch ran %d pipelines, want 4 (%+v)", st.Completed, st)
+	}
+}
+
+// A job whose pipeline fails (strict + impossible budget) surfaces as
+// status "failed" with the error preserved, and is not cached.
+func TestServerFailedJobNotCached(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8, CacheSize: 8})
+	req := SynthRequest{
+		PLA: specPLA(1),
+		Options: pipeline.JobOptions{Method: "lcf", Threshold: 0.55,
+			UseBDD: true, MaxBDDNodes: 4, Strict: true},
+	}
+	for i := 0; i < 2; i++ {
+		resp, data := postJSON(t, ts.URL+"/v1/synth", req)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("HTTP %d: %s", resp.StatusCode, data)
+		}
+		var sr SynthResponse
+		if err := json.Unmarshal(data, &sr); err != nil {
+			t.Fatal(err)
+		}
+		if sr.Status != StatusFailed || !strings.Contains(sr.Error, "budget") {
+			t.Fatalf("attempt %d: %+v", i, sr)
+		}
+	}
+	st := serverStats(t, ts.URL)
+	if st.Failed != 2 || st.CacheLen != 0 {
+		t.Fatalf("failures must not be cached: %+v", st)
+	}
+}
+
+func TestServerBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1, QueueDepth: 8})
+	cases := []struct {
+		name string
+		url  string
+		body string
+		want int
+	}{
+		{"bad json", "/v1/synth", `{"pla": `, http.StatusBadRequest},
+		{"unknown field", "/v1/synth", `{"plaa": "x"}`, http.StatusBadRequest},
+		{"empty pla", "/v1/synth", `{"pla": ""}`, http.StatusBadRequest},
+		{"malformed pla", "/v1/synth", `{"pla": ".i 2\n.o 1\n11 2x\n.e\n"}`, http.StatusBadRequest},
+		{"bad options", "/v1/synth", `{"pla": ".i 2\n.o 1\n11 1\n.e\n", "options": {"method": "bogus"}}`, http.StatusBadRequest},
+		{"empty batch", "/v1/synth/batch", `{"jobs": []}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+tc.url, "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp.Body.Close()
+			if resp.StatusCode != tc.want {
+				t.Fatalf("HTTP %d, want %d", resp.StatusCode, tc.want)
+			}
+		})
+	}
+	if resp := getJSON(t, ts.URL+"/v1/jobs/job_nonesuch", nil); resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown job: HTTP %d", resp.StatusCode)
+	}
+	if resp := getJSON(t, ts.URL+"/healthz", nil); resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: HTTP %d", resp.StatusCode)
+	}
+}
+
+// Jobs that exhaust their deadline while queued are dropped by the
+// queue, reported as expired, and never reach a worker.
+func TestServerQueuedJobExpires(t *testing.T) {
+	bb := &blockingBackend{release: make(chan struct{}), started: make(chan string, 8)}
+	s, ts := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 4, CacheSize: 8, Backend: bb.run,
+	})
+	async := false
+	// Occupy the worker with a long-lived job.
+	if resp, _ := postJSON(t, ts.URL+"/v1/synth", SynthRequest{PLA: specPLA(0), Wait: &async}); resp.StatusCode != http.StatusAccepted {
+		t.Fatal("setup job rejected")
+	}
+	<-bb.started
+	// Queue a job with a tiny deadline; it expires while waiting.
+	resp, data := postJSON(t, ts.URL+"/v1/synth", SynthRequest{
+		PLA: specPLA(1), Wait: &async,
+		Options: pipeline.JobOptions{TimeoutMs: 30},
+	})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("HTTP %d: %s", resp.StatusCode, data)
+	}
+	var sr SynthResponse
+	if err := json.Unmarshal(data, &sr); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(80 * time.Millisecond)
+	close(bb.release) // worker picks the queue up; expired job is dropped
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		var poll SynthResponse
+		getJSON(t, ts.URL+"/v1/jobs/"+sr.JobID, &poll)
+		if poll.Status == StatusExpired {
+			break
+		}
+		if poll.Status == StatusDone {
+			t.Fatal("expired job ran anyway")
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %q", poll.Status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if st := s.Stats(); st.Expired != 1 {
+		t.Fatalf("expired counter %d, want 1", st.Expired)
+	}
+}
+
+// Priorities reorder the backlog: with one busy worker, a later
+// high-priority job overtakes earlier low-priority ones.
+func TestServerPriorityOvertakes(t *testing.T) {
+	bb := &blockingBackend{release: make(chan struct{}), started: make(chan string, 8)}
+	s := New(Config{Workers: 1, QueueDepth: 8, CacheSize: 8, Backend: bb.run})
+	defer s.Close()
+
+	fn := tt.New(2, 1)
+	fn.SetPhase(0, 3, tt.On)
+	submit := func(seed, prio int) *jobState {
+		t.Helper()
+		o, err := s.Submit(fn, fmt.Sprintf("spec-%d", seed), pipeline.JobOptions{}, prio)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return o.Job
+	}
+	submit(0, 0)
+	<-bb.started // worker busy with job 0
+	low := submit(1, 0)
+	high := submit(2, 9)
+	// Drain deterministically: release all and close admissions.
+	close(bb.release)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatal(err)
+	}
+	<-low.done
+	<-high.done
+	if !high.finished.Before(low.finished) {
+		t.Fatalf("high-priority job finished at %v, after low-priority at %v",
+			high.finished, low.finished)
+	}
+}

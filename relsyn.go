@@ -278,3 +278,27 @@ const (
 func RunPipeline(ctx context.Context, f *Function, opt PipelineOptions) (*PipelineResult, error) {
 	return pipeline.Run(ctx, f, opt)
 }
+
+// JobOptions is the flat, JSON-serializable job configuration shared by
+// the relsynd service, the relsyn CLI, and library callers; see
+// pipeline.JobOptions. Its Normalize/Key methods define the
+// content-addressed cache identity used by the server.
+type JobOptions = pipeline.JobOptions
+
+// JobResult is the serializable outcome of a pipeline job — the same
+// struct the relsynd HTTP API returns and `relsyn synth -json` prints;
+// see pipeline.JobResult.
+type JobResult = pipeline.JobResult
+
+// RunJob executes one pipeline job described by flat, serializable
+// options and returns a serializable result. On failure the returned
+// error carries the typed *StageError chain, and the JobResult (when
+// non-nil) still describes the partial run.
+func RunJob(ctx context.Context, f *Function, o JobOptions) (*JobResult, error) {
+	return pipeline.RunJob(ctx, f, o)
+}
+
+// HashPLA returns the canonical content hash of a function: stable
+// across cube order, redundant cubes, and .pla logic-type encodings.
+// This is the spec half of the relsynd cache key.
+func HashPLA(f *Function) string { return pla.HashFunction(f) }
