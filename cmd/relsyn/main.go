@@ -105,7 +105,7 @@ func usage() {
   relsyn synth  [-in spec.pla | -bench name] [-objective delay|power|area] [-flow sop|resyn]
                 [-method none|rank|lcf|complete] [-fraction F] [-threshold T]
                 [-timeout D] [-max-bdd-nodes N] [-max-conflicts N] [-max-aig-nodes N] [-strict]
-                [-json]
+                [-json] [-trace]
   relsyn verilog [-in spec.pla | -bench name] [-module name] [-out file.v]
   relsyn decompose [-in spec.pla | -bench name] [-k 5] [-threshold 0.7] [-blif file.blif]
 
@@ -268,6 +268,7 @@ func runSynth(args []string) error {
 	maxAIG := fs.Int("max-aig-nodes", 0, "AIG node budget for synthesis (0 = unlimited)")
 	strict := fs.Bool("strict", false, "fail on budget exhaustion instead of degrading")
 	jsonOut := fs.Bool("json", false, "print the result as JSON (the relsynd wire format)")
+	trace := fs.Bool("trace", false, "print the span tree of the run to stderr")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -319,8 +320,18 @@ func runSynth(args []string) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
+	var root *relsyn.Span
+	if *trace {
+		ctx, root = relsyn.WithTrace(ctx, "cli/synth")
+	}
 
 	jr, err := relsyn.RunJob(ctx, f, jo)
+	if root != nil {
+		root.End()
+		if rerr := root.Render(os.Stderr); rerr != nil {
+			return rerr
+		}
+	}
 	if *jsonOut {
 		env := synthEnvelope{Status: "done", Result: jr}
 		if err != nil {

@@ -1,15 +1,22 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 
+	"relsyn/internal/obs"
 	"relsyn/internal/pipeline"
+	"relsyn/internal/server"
 )
 
 // capture runs fn with os.Stdout redirected to a pipe and returns what
@@ -373,5 +380,118 @@ func TestLoadSpecMissingFile(t *testing.T) {
 	}
 	if _, err := loadSpec("", "nonesuch-benchmark"); err == nil {
 		t.Fatal("unknown benchmark accepted")
+	}
+}
+
+// synth -trace prints a span tree to stderr: the CLI root span with the
+// pipeline run and one span per stage attempt nested under it.
+func TestRunSynthTrace(t *testing.T) {
+	in := writeTemp(t, testPLA)
+	// -trace writes to stderr; capture it alongside stdout.
+	oldErr := os.Stderr
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stderr = w
+	_, runErr := capture(t, func() error {
+		return runSynth([]string{"-in", in, "-method", "rank", "-fraction", "1", "-trace"})
+	})
+	w.Close()
+	os.Stderr = oldErr
+	raw, _ := io.ReadAll(r)
+	r.Close()
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	tree := string(raw)
+	for _, want := range []string{"cli/synth", "pipeline/run", "stage/assign/bdd", "stage/synth/sop", "stage/verify/"} {
+		if !strings.Contains(tree, want) {
+			t.Fatalf("trace output missing %q:\n%s", want, tree)
+		}
+	}
+	// Nesting: the pipeline span is indented under the CLI root.
+	if !strings.Contains(tree, "\n  pipeline/run") {
+		t.Fatalf("pipeline span not nested under root:\n%s", tree)
+	}
+}
+
+// timingRE blanks the wall-clock fields that legitimately differ
+// between two identical runs.
+var timingRE = regexp.MustCompile(`"(took_ms|elapsed_ms)": [0-9.eE+-]+`)
+
+func normalizeTimings(raw []byte) []byte {
+	return timingRE.ReplaceAll(raw, []byte(`"$1": 0`))
+}
+
+// Differential test: for a fixed spec and options, the "result" object
+// printed by `relsyn synth -json` is byte-identical (modulo wall-clock
+// timings) to the "result" object in the relsynd /v1/synth response
+// body — one wire format, produced by two front ends.
+func TestSynthJSONMatchesServiceResponse(t *testing.T) {
+	in := writeTemp(t, testPLA)
+	cliOut, err := capture(t, func() error {
+		return runSynth([]string{"-in", in, "-method", "rank", "-fraction", "1", "-json"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cliEnv struct {
+		Status string          `json:"status"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal([]byte(cliOut), &cliEnv); err != nil {
+		t.Fatalf("CLI output not JSON: %v\n%s", err, cliOut)
+	}
+	if cliEnv.Status != "done" {
+		t.Fatalf("CLI status %q", cliEnv.Status)
+	}
+
+	srv := server.New(server.Config{
+		Workers: 1, QueueDepth: 8, CacheSize: 8, Metrics: obs.NewRegistry(),
+	})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	// Mirror the CLI's effective options exactly (runSynth sets UseBDD
+	// for method=rank and defaults objective=power, flow=sop).
+	body, err := json.Marshal(map[string]any{
+		"pla": testPLA,
+		"options": map[string]any{
+			"method": "rank", "fraction": 1.0, "use_bdd": true,
+			"objective": "power", "flow": "sop",
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(ts.URL+"/v1/synth", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("service HTTP %d: %s", resp.StatusCode, raw)
+	}
+	var svcEnv struct {
+		Status string          `json:"status"`
+		Result json.RawMessage `json:"result"`
+	}
+	if err := json.Unmarshal(raw, &svcEnv); err != nil {
+		t.Fatalf("service body not JSON: %v\n%s", err, raw)
+	}
+	if svcEnv.Status != "done" {
+		t.Fatalf("service status %q: %s", svcEnv.Status, raw)
+	}
+
+	cliRes := normalizeTimings(cliEnv.Result)
+	svcRes := normalizeTimings(svcEnv.Result)
+	if !bytes.Equal(cliRes, svcRes) {
+		t.Fatalf("CLI and service results diverge\n--- cli ---\n%s\n--- service ---\n%s", cliRes, svcRes)
 	}
 }

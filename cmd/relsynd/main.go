@@ -7,8 +7,14 @@
 //
 //	relsynd [-addr :8337] [-workers N] [-queue-depth N] [-cache-size N]
 //	        [-default-timeout 30s] [-max-timeout 5m] [-retry-after 1s]
-//	        [-drain-timeout 30s]
+//	        [-drain-timeout 30s] [-pprof-addr localhost:6060]
 //	        [-max-bdd-nodes N] [-max-conflicts N] [-max-aig-nodes N]
+//
+// Observability: GET /metrics serves the Prometheus text exposition of
+// every queue/cache/pipeline/HTTP series, GET /statsz the JSON view.
+// -pprof-addr (off by default) starts a second listener serving only
+// net/http/pprof — kept off the public mux so profiling endpoints are
+// never exposed on the service port.
 //
 // SIGINT/SIGTERM starts a graceful drain: the listener stops accepting,
 // queued and in-flight jobs run to completion (bounded by
@@ -24,6 +30,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -34,6 +41,19 @@ import (
 	"relsyn/internal/tt"
 )
 
+// pprofMux serves the standard net/http/pprof endpoints on an explicit
+// mux (the package's init registers on http.DefaultServeMux, which we
+// never serve).
+func pprofMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 func main() {
 	sig := make(chan os.Signal, 2)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -43,6 +63,7 @@ func main() {
 // daemonConfig is the parsed flag set.
 type daemonConfig struct {
 	addr         string
+	pprofAddr    string
 	drainTimeout time.Duration
 	server       server.Config
 	budget       budgetDefaults
@@ -69,6 +90,7 @@ func parseFlags(args []string, stderr io.Writer) (*daemonConfig, error) {
 	fs.DurationVar(&cfg.server.MaxTimeout, "max-timeout", 0, "cap on requested per-job timeouts (default 5m)")
 	fs.DurationVar(&cfg.server.RetryAfter, "retry-after", 0, "Retry-After hint on 429 responses (default 1s)")
 	fs.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "grace period for finishing jobs on shutdown")
+	fs.StringVar(&cfg.pprofAddr, "pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	fs.IntVar(&cfg.budget.maxBDDNodes, "max-bdd-nodes", 0, "default BDD node budget for jobs that carry none (0 = unlimited)")
 	fs.Int64Var(&cfg.budget.maxConflicts, "max-conflicts", 0, "default SAT conflict budget for jobs that carry none (0 = unlimited)")
 	fs.IntVar(&cfg.budget.maxAIGNodes, "max-aig-nodes", 0, "default AIG node budget for jobs that carry none (0 = unlimited)")
@@ -126,6 +148,28 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
+
+	// Opt-in pprof on its own listener, never on the service mux.
+	var pprofSrv *http.Server
+	if cfg.pprofAddr != "" {
+		pln, err := net.Listen("tcp", cfg.pprofAddr)
+		if err != nil {
+			ln.Close()
+			fmt.Fprintf(stderr, "relsynd: pprof listen: %v\n", err)
+			return 1
+		}
+		pprofSrv = &http.Server{
+			Handler:           pprofMux(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() { _ = pprofSrv.Serve(pln) }()
+		fmt.Fprintf(stdout, "relsynd: pprof on %s\n", pln.Addr())
+	}
+	defer func() {
+		if pprofSrv != nil {
+			pprofSrv.Close()
+		}
+	}()
 
 	fmt.Fprintf(stdout, "relsynd: listening on %s\n", ln.Addr())
 

@@ -218,3 +218,69 @@ func TestDaemonBudgetDefaultsApplied(t *testing.T) {
 		t.Fatalf("exit %d; stderr: %s", c, errOut.String())
 	}
 }
+
+var pprofRE = regexp.MustCompile(`pprof on (\S+)`)
+
+// -pprof-addr serves net/http/pprof on its own listener, and the main
+// mux exposes Prometheus metrics on /metrics.
+func TestDaemonPprofAndMetrics(t *testing.T) {
+	out, errOut := &lockedBuffer{}, &lockedBuffer{}
+	base, sig, code := startDaemon(t, []string{"-pprof-addr", "127.0.0.1:0"}, out, errOut)
+
+	m := pprofRE.FindStringSubmatch(out.String())
+	if m == nil {
+		t.Fatalf("daemon never announced the pprof address; output: %q", out.String())
+	}
+	resp, err := http.Get("http://" + m[1] + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("pprof index: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("pprof index status %d", resp.StatusCode)
+	}
+	// pprof stays off the service mux.
+	resp, err = http.Get(base + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("service pprof probe: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		t.Fatal("pprof endpoints leaked onto the service mux")
+	}
+
+	// Run one job so the counters move, then scrape.
+	body, _ := json.Marshal(map[string]any{"pla": daemonPLA})
+	if r, err := http.Post(base+"/v1/synth", "application/json", bytes.NewReader(body)); err != nil {
+		t.Fatalf("post: %v", err)
+	} else {
+		io.Copy(io.Discard, r.Body)
+		r.Body.Close()
+	}
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics status %d", resp.StatusCode)
+	}
+	for _, want := range []string{
+		"relsyn_queue_depth",
+		"relsyn_jobs_submitted_total 1",
+		"relsyn_stage_duration_seconds",
+		"relsyn_http_requests_total",
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Errorf("metrics missing %q", want)
+		}
+	}
+
+	sig <- syscall.SIGTERM
+	if c := waitExit(t, code); c != 0 {
+		t.Fatalf("exit %d; stderr: %s", c, errOut.String())
+	}
+}

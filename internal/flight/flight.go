@@ -8,12 +8,52 @@
 // which duplicates could start redundant work.
 package flight
 
-import "sync"
+import (
+	"sync"
+
+	"relsyn/internal/obs"
+)
 
 // Group tracks in-flight values by key. The zero value is ready to use.
 type Group[V any] struct {
 	mu sync.Mutex
 	m  map[string]V
+
+	// started counts leader Do calls; coalesced counts joiners. Always
+	// live (zero-value counters); Instrument exports them.
+	started, coalesced obs.Counter
+}
+
+// Instrument exports the group's counters and in-flight key gauge on
+// reg, labeled group=name: relsyn_flight_{started,coalesced}_total and
+// relsyn_flight_inflight_keys.
+func (g *Group[V]) Instrument(reg *obs.Registry, name string) {
+	if reg == nil {
+		return
+	}
+	l := obs.L("group", name)
+	reg.SetHelp("relsyn_flight_started_total", "Singleflight executions started (leaders).")
+	reg.SetHelp("relsyn_flight_coalesced_total", "Singleflight joins onto an in-flight key.")
+	reg.SetHelp("relsyn_flight_inflight_keys", "Currently tracked in-flight keys.")
+	reg.RegisterCounter("relsyn_flight_started_total", &g.started, l)
+	reg.RegisterCounter("relsyn_flight_coalesced_total", &g.coalesced, l)
+	reg.GaugeFunc("relsyn_flight_inflight_keys", func() float64 { return float64(g.Len()) }, l)
+}
+
+// Stats is a snapshot of the group counters.
+type Stats struct {
+	Started   int64 `json:"started"`
+	Coalesced int64 `json:"coalesced"`
+	InFlight  int   `json:"in_flight"`
+}
+
+// Stats snapshots the leader/joiner counters and in-flight key count.
+func (g *Group[V]) Stats() Stats {
+	return Stats{
+		Started:   g.started.Value(),
+		Coalesced: g.coalesced.Value(),
+		InFlight:  g.Len(),
+	}
 }
 
 // Do returns the in-flight value for key, starting one with start() if
@@ -30,6 +70,7 @@ func (g *Group[V]) Do(key string, start func() (V, error)) (v V, started bool, e
 		g.m = make(map[string]V)
 	}
 	if v, ok := g.m[key]; ok {
+		g.coalesced.Inc()
 		return v, false, nil
 	}
 	v, err = start()
@@ -38,6 +79,7 @@ func (g *Group[V]) Do(key string, start func() (V, error)) (v V, started bool, e
 		return zero, false, err
 	}
 	g.m[key] = v
+	g.started.Inc()
 	return v, true, nil
 }
 

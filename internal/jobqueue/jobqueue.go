@@ -27,6 +27,8 @@ import (
 	"errors"
 	"sync"
 	"time"
+
+	"relsyn/internal/obs"
 )
 
 // Queue-state errors.
@@ -36,6 +38,12 @@ var (
 	// ErrClosed is returned by Enqueue after Close, and by Dequeue once
 	// the queue is closed and drained.
 	ErrClosed = errors.New("jobqueue: queue closed")
+	// ErrExpired is the typed cause for items dropped because their
+	// context deadline passed while they were queued. The queue never
+	// hands such an item to a consumer; it invokes the item's OnExpire
+	// hook, whose owner should surface an error wrapping ErrExpired to
+	// the item's waiters (internal/server does exactly that).
+	ErrExpired = errors.New("jobqueue: item deadline expired in queue")
 )
 
 // Item is one queued unit of work.
@@ -69,6 +77,17 @@ type Stats struct {
 	Expired  int64 `json:"expired"`  // deadline drops
 }
 
+// queueMetrics are the queue's exported series. Counters are the
+// authoritative storage (Stats derives from them); occupancy is a
+// callback gauge so it can never drift from len(h).
+type queueMetrics struct {
+	enqueued      obs.Counter
+	dequeued      obs.Counter
+	rejectFull    obs.Counter
+	rejectExpired obs.Counter
+	wait          obs.Histogram // seconds between Enqueue and Dequeue
+}
+
 // Queue is a bounded priority FIFO. The zero value is unusable; use New.
 type Queue struct {
 	mu     sync.Mutex
@@ -77,19 +96,41 @@ type Queue struct {
 	depth  int
 	seq    uint64
 	closed bool
-	stats  Stats
+	maxLen int
+	m      queueMetrics
 }
 
-// New returns an empty queue with the given capacity (minimum 1).
-func New(depth int) *Queue {
+// New returns an empty queue with the given capacity (minimum 1),
+// instrumented on the default observability registry.
+func New(depth int) *Queue { return NewWithRegistry(depth, obs.Default) }
+
+// NewWithRegistry is New with an explicit metrics registry (tests pass a
+// fresh registry for isolation; nil disables registration but the queue
+// still counts internally for Stats).
+func NewWithRegistry(depth int, reg *obs.Registry) *Queue {
 	if depth < 1 {
 		depth = 1
 	}
-	return &Queue{
+	q := &Queue{
 		notify: make(chan struct{}),
 		depth:  depth,
-		stats:  Stats{Depth: depth},
 	}
+	if reg != nil {
+		reg.SetHelp("relsyn_queue_depth", "Current job-queue occupancy.")
+		reg.SetHelp("relsyn_queue_capacity", "Configured job-queue capacity.")
+		reg.SetHelp("relsyn_queue_wait_seconds", "Time jobs spent queued before dispatch.")
+		reg.SetHelp("relsyn_queue_enqueued_total", "Jobs admitted to the queue.")
+		reg.SetHelp("relsyn_queue_dequeued_total", "Jobs handed to workers.")
+		reg.SetHelp("relsyn_queue_rejections_total", "Jobs the queue refused to run, by reason (full = backpressure at admission, expired = deadline passed while queued).")
+		reg.GaugeFunc("relsyn_queue_depth", func() float64 { return float64(q.Len()) })
+		reg.GaugeFunc("relsyn_queue_capacity", func() float64 { return float64(depth) })
+		reg.RegisterCounter("relsyn_queue_enqueued_total", &q.m.enqueued)
+		reg.RegisterCounter("relsyn_queue_dequeued_total", &q.m.dequeued)
+		reg.RegisterCounter("relsyn_queue_rejections_total", &q.m.rejectFull, obs.L("reason", "full"))
+		reg.RegisterCounter("relsyn_queue_rejections_total", &q.m.rejectExpired, obs.L("reason", "expired"))
+		reg.RegisterHistogram("relsyn_queue_wait_seconds", &q.m.wait)
+	}
+	return q
 }
 
 // Enqueue admits it or fails fast with ErrFull / ErrClosed. It never
@@ -104,25 +145,29 @@ func (q *Queue) Enqueue(it *Item) error {
 		return ErrClosed
 	}
 	if len(q.h) >= q.depth {
-		q.stats.Rejected++
+		q.m.rejectFull.Inc()
 		return ErrFull
 	}
 	q.seq++
 	it.seq = q.seq
 	it.EnqueuedAt = time.Now()
 	heap.Push(&q.h, it)
-	q.stats.Enqueued++
-	if len(q.h) > q.stats.MaxLen {
-		q.stats.MaxLen = len(q.h)
+	q.m.enqueued.Inc()
+	if len(q.h) > q.maxLen {
+		q.maxLen = len(q.h)
 	}
 	q.broadcastLocked()
 	return nil
 }
 
 // Dequeue blocks until an item is available, the queue is closed and
-// drained (ErrClosed), or ctx is done (ctx.Err()). Expired items are
-// dropped transparently; their OnExpire hooks run on the dequeuing
-// goroutine before it continues waiting.
+// drained (ErrClosed), or ctx is done (ctx.Err()). An item whose
+// deadline already expired is never returned: it is counted as a
+// rejection (Stats.Expired, relsyn_queue_rejections_total{reason=
+// "expired"}) and its OnExpire hook runs on the dequeuing goroutine —
+// the hook's owner is responsible for failing the item's waiters with an
+// error wrapping ErrExpired. The dequeuer then continues to the next
+// live item.
 func (q *Queue) Dequeue(ctx context.Context) (*Item, error) {
 	for {
 		q.mu.Lock()
@@ -130,11 +175,12 @@ func (q *Queue) Dequeue(ctx context.Context) (*Item, error) {
 		for len(q.h) > 0 {
 			it := heap.Pop(&q.h).(*Item)
 			if it.Ctx != nil && it.Ctx.Err() != nil {
-				q.stats.Expired++
+				q.m.rejectExpired.Inc()
 				expired = append(expired, it)
 				continue
 			}
-			q.stats.Dequeued++
+			q.m.dequeued.Inc()
+			q.m.wait.Observe(time.Since(it.EnqueuedAt).Seconds())
 			q.mu.Unlock()
 			runExpiry(expired)
 			return it, nil
@@ -185,9 +231,15 @@ func (q *Queue) Len() int {
 func (q *Queue) Stats() Stats {
 	q.mu.Lock()
 	defer q.mu.Unlock()
-	s := q.stats
-	s.Len = len(q.h)
-	return s
+	return Stats{
+		Depth:    q.depth,
+		Len:      len(q.h),
+		MaxLen:   q.maxLen,
+		Enqueued: q.m.enqueued.Value(),
+		Dequeued: q.m.dequeued.Value(),
+		Rejected: q.m.rejectFull.Value(),
+		Expired:  q.m.rejectExpired.Value(),
+	}
 }
 
 // broadcastLocked wakes every waiter. Callers hold q.mu.

@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"relsyn/internal/obs"
 )
 
 func TestFIFOWithinPriority(t *testing.T) {
@@ -148,6 +150,87 @@ func TestExpiredItemsDropped(t *testing.T) {
 	st := q.Stats()
 	if st.Expired != 3 || st.Dequeued != 1 {
 		t.Fatalf("stats %+v", st)
+	}
+}
+
+// Regression for the expired-dequeue contract: an item whose deadline
+// passed while queued must never be handed to a worker ("silently run");
+// it must be counted as a rejection (reason="expired") on the metrics
+// registry, and ErrExpired must be the typed cause OnExpire owners
+// surface to waiters.
+func TestExpiredDequeueIsTypedRejection(t *testing.T) {
+	reg := obs.NewRegistry()
+	q := NewWithRegistry(4, reg)
+
+	expiredCtx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var expireErr error
+	if err := q.Enqueue(&Item{
+		ID: "dead", Ctx: expiredCtx,
+		// The hook's owner (the server) wraps ErrExpired; mirror that
+		// here to pin the sentinel's role in the contract.
+		OnExpire: func() { expireErr = fmt.Errorf("job dead: %w", ErrExpired) },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue(&Item{ID: "live", Ctx: context.Background()}); err != nil {
+		t.Fatal(err)
+	}
+
+	it, err := q.Dequeue(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if it.ID != "live" {
+		t.Fatalf("dequeued %q: expired item must not reach a worker", it.ID)
+	}
+	if !errors.Is(expireErr, ErrExpired) {
+		t.Fatalf("OnExpire error %v is not typed ErrExpired", expireErr)
+	}
+	if got := reg.Counter("relsyn_queue_rejections_total", obs.L("reason", "expired")).Value(); got != 1 {
+		t.Fatalf("expired rejection counter = %d, want 1", got)
+	}
+	if got := reg.Counter("relsyn_queue_rejections_total", obs.L("reason", "full")).Value(); got != 0 {
+		t.Fatalf("full rejection counter = %d, want 0", got)
+	}
+	st := q.Stats()
+	if st.Expired != 1 || st.Dequeued != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// The queue's registry series must reflect admissions, dispatches,
+// occupancy, and wait time.
+func TestQueueMetricsSeries(t *testing.T) {
+	reg := obs.NewRegistry()
+	q := NewWithRegistry(2, reg)
+	if err := q.Enqueue(&Item{ID: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue(&Item{ID: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Enqueue(&Item{ID: "c"}); !errors.Is(err, ErrFull) {
+		t.Fatalf("want ErrFull, got %v", err)
+	}
+	snap := reg.Snapshot()
+	if snap.Gauges["relsyn_queue_depth"] != 2 || snap.Gauges["relsyn_queue_capacity"] != 2 {
+		t.Fatalf("gauges: %+v", snap.Gauges)
+	}
+	if snap.Counters[`relsyn_queue_rejections_total{reason="full"}`] != 1 {
+		t.Fatalf("counters: %+v", snap.Counters)
+	}
+	if _, err := q.Dequeue(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	snap = reg.Snapshot()
+	if snap.Counters["relsyn_queue_enqueued_total"] != 2 ||
+		snap.Counters["relsyn_queue_dequeued_total"] != 1 {
+		t.Fatalf("counters: %+v", snap.Counters)
+	}
+	h := snap.Histograms["relsyn_queue_wait_seconds"]
+	if h.Count != 1 || h.Sum < 0 {
+		t.Fatalf("wait histogram: %+v", h)
 	}
 }
 

@@ -8,6 +8,8 @@ package lru
 import (
 	"container/list"
 	"sync"
+
+	"relsyn/internal/obs"
 )
 
 // Cache is a fixed-capacity least-recently-used map.
@@ -16,6 +18,10 @@ type Cache[K comparable, V any] struct {
 	cap   int
 	ll    *list.List // front = most recently used
 	items map[K]*list.Element
+
+	// hit/miss/evict counters are always live (zero-value obs.Counter is
+	// usable); Instrument additionally exports them on a registry.
+	hits, misses, evictions obs.Counter
 }
 
 type entry[K comparable, V any] struct {
@@ -36,14 +42,57 @@ func New[K comparable, V any](capacity int) *Cache[K, V] {
 	}
 }
 
+// Instrument exports the cache's counters and occupancy on reg, labeled
+// cache=name: relsyn_cache_{hits,misses,evictions}_total and the
+// relsyn_cache_entries / relsyn_cache_capacity gauges. Call once, before
+// the cache is shared.
+func (c *Cache[K, V]) Instrument(reg *obs.Registry, name string) {
+	if reg == nil {
+		return
+	}
+	l := obs.L("cache", name)
+	reg.SetHelp("relsyn_cache_hits_total", "Cache lookups served from the cache.")
+	reg.SetHelp("relsyn_cache_misses_total", "Cache lookups that missed.")
+	reg.SetHelp("relsyn_cache_evictions_total", "Entries evicted by capacity pressure.")
+	reg.SetHelp("relsyn_cache_entries", "Current cache occupancy.")
+	reg.SetHelp("relsyn_cache_capacity", "Configured cache capacity.")
+	reg.RegisterCounter("relsyn_cache_hits_total", &c.hits, l)
+	reg.RegisterCounter("relsyn_cache_misses_total", &c.misses, l)
+	reg.RegisterCounter("relsyn_cache_evictions_total", &c.evictions, l)
+	reg.GaugeFunc("relsyn_cache_entries", func() float64 { return float64(c.Len()) }, l)
+	reg.GaugeFunc("relsyn_cache_capacity", func() float64 { return float64(c.cap) }, l)
+}
+
+// Stats is a snapshot of the cache counters.
+type Stats struct {
+	Hits      int64 `json:"hits"`
+	Misses    int64 `json:"misses"`
+	Evictions int64 `json:"evictions"`
+	Len       int   `json:"len"`
+	Cap       int   `json:"cap"`
+}
+
+// Stats snapshots the hit/miss/eviction counters and occupancy.
+func (c *Cache[K, V]) Stats() Stats {
+	return Stats{
+		Hits:      c.hits.Value(),
+		Misses:    c.misses.Value(),
+		Evictions: c.evictions.Value(),
+		Len:       c.Len(),
+		Cap:       c.cap,
+	}
+}
+
 // Get returns the value for k and marks it most recently used.
 func (c *Cache[K, V]) Get(k K) (V, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[k]; ok {
+		c.hits.Inc()
 		c.ll.MoveToFront(el)
 		return el.Value.(*entry[K, V]).val, true
 	}
+	c.misses.Inc()
 	var zero V
 	return zero, false
 }
@@ -66,6 +115,7 @@ func (c *Cache[K, V]) Add(k K, v V) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*entry[K, V]).key)
+		c.evictions.Inc()
 	}
 }
 

@@ -1,0 +1,177 @@
+// Package metatest is a metamorphic test harness for the synthesis
+// flow: instead of pinning exact outputs (which shift whenever a
+// heuristic is tuned), it checks relations that must hold for every
+// (benchmark, method) combination no matter how the heuristics evolve:
+//
+//  1. Care-set equivalence — the synthesized implementation agrees with
+//     the specification on every care minterm (DC assignment may only
+//     spend don't-cares, never flip specified behavior).
+//  2. Exact-bound bracketing — the implementation's exact error rate
+//     lies within the specification's analytically derived
+//     [ErrorRateMin, ErrorRateMax] interval (paper §5): no DC
+//     assignment can escape the bounds.
+//  3. Ranking-fraction extremes — fraction 0 is a no-op (nothing
+//     assigned, function unchanged) and fraction 1 leaves no
+//     reliability-rankable DC unassigned.
+//  4. Complexity-threshold monotonicity — raising the LC^f threshold
+//     never assigns fewer DC minterms (the paper's Fig. 7 predicate is
+//     "assign iff LC^f < threshold", so the assigned set grows with the
+//     threshold).
+//
+// The harness is a plain library (returning errors, not calling
+// testing.T) so the same checks can back tests, fuzzing, and one-off
+// audits. internal/metatest's own test file sweeps every
+// internal/benchmarks circuit against every assignment method.
+package metatest
+
+import (
+	"fmt"
+
+	"relsyn/internal/core"
+	"relsyn/internal/reliability"
+	"relsyn/internal/synth"
+	"relsyn/internal/tt"
+)
+
+// Method is one named don't-care assignment strategy under test. Apply
+// returns the (partially) bound function to hand to synthesis; it must
+// not mutate its input.
+type Method struct {
+	Name  string
+	Apply func(f *tt.Function) (*tt.Function, error)
+}
+
+// Methods returns the assignment strategies the sweep covers: the
+// conventional baseline plus each of the paper's reliability-driven
+// algorithms at a representative operating point.
+func Methods() []Method {
+	return []Method{
+		{Name: "none", Apply: func(f *tt.Function) (*tt.Function, error) {
+			return f.Clone(), nil
+		}},
+		{Name: "rank-0.5", Apply: func(f *tt.Function) (*tt.Function, error) {
+			res, err := core.Ranking(f, 0.5, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			return res.Func, nil
+		}},
+		{Name: "lcf-0.55", Apply: func(f *tt.Function) (*tt.Function, error) {
+			res, err := core.LCF(f, 0.55, core.Options{})
+			if err != nil {
+				return nil, err
+			}
+			return res.Func, nil
+		}},
+		{Name: "complete", Apply: func(f *tt.Function) (*tt.Function, error) {
+			return core.Complete(f).Func, nil
+		}},
+	}
+}
+
+// Synthesize runs the full conventional flow on f (espresso, factoring,
+// AIG optimization, mapping) and returns the completely specified
+// function the netlist computes.
+func Synthesize(f *tt.Function) (*tt.Function, error) {
+	res, err := synth.Synthesize(f, synth.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return res.Impl, nil
+}
+
+// CheckCareSet verifies property 1: impl matches spec on every care
+// minterm of every output (combinational equivalence restricted to the
+// care set; the DCs are the only freedom synthesis has).
+func CheckCareSet(spec, impl *tt.Function) error {
+	if spec.NumIn != impl.NumIn || spec.NumOut() != impl.NumOut() {
+		return fmt.Errorf("dimension mismatch: spec %d/%d vs impl %d/%d",
+			spec.NumIn, spec.NumOut(), impl.NumIn, impl.NumOut())
+	}
+	size := spec.Size()
+	for o := 0; o < spec.NumOut(); o++ {
+		for m := 0; m < size; m++ {
+			want := spec.Phase(o, m)
+			if want == tt.DC {
+				continue
+			}
+			if got := impl.Phase(o, m); got != want {
+				return fmt.Errorf("output %d minterm %d: spec %v, impl %v",
+					o, m, want, got)
+			}
+		}
+	}
+	return nil
+}
+
+// boundsEps absorbs float summation order differences between the bound
+// and error-rate computations; the quantities themselves are exact
+// rationals over n·2^n events.
+const boundsEps = 1e-9
+
+// CheckErrorRateBounds verifies property 2: the exact error rate of
+// impl against spec lies within spec's [min, max] achievable interval.
+func CheckErrorRateBounds(spec, impl *tt.Function) error {
+	lo, hi := reliability.BoundsMean(spec)
+	er, err := reliability.ErrorRateMean(spec, impl)
+	if err != nil {
+		return err
+	}
+	if er < lo-boundsEps || er > hi+boundsEps {
+		return fmt.Errorf("error rate %.12f outside exact bounds [%.12f, %.12f]", er, lo, hi)
+	}
+	return nil
+}
+
+// CheckRankingExtremes verifies property 3 on spec: fraction 0 assigns
+// nothing and returns an identical function; fraction 1 assigns every
+// rankable DC minterm (RankableCounts is the per-output census of DCs
+// with at least one specified neighbor — the only ones ranking may
+// bind).
+func CheckRankingExtremes(spec *tt.Function) error {
+	zero, err := core.Ranking(spec, 0, core.Options{})
+	if err != nil {
+		return err
+	}
+	if len(zero.Assigned) != 0 {
+		return fmt.Errorf("fraction=0 assigned %d minterms, want 0", len(zero.Assigned))
+	}
+	if !zero.Func.Equal(spec) {
+		return fmt.Errorf("fraction=0 modified the function")
+	}
+
+	one, err := core.Ranking(spec, 1, core.Options{})
+	if err != nil {
+		return err
+	}
+	rankable := 0
+	for _, c := range core.RankableCounts(spec, core.Options{}) {
+		rankable += c
+	}
+	if len(one.Assigned) != rankable {
+		return fmt.Errorf("fraction=1 assigned %d of %d rankable DC minterms",
+			len(one.Assigned), rankable)
+	}
+	return nil
+}
+
+// CheckLCFMonotonic verifies property 4 on spec: sweeping the LC^f
+// threshold upward through thresholds (which must be ascending, each in
+// (0,1)) never decreases the number of assigned DC minterms.
+func CheckLCFMonotonic(spec *tt.Function, thresholds []float64) error {
+	prev := -1
+	prevT := 0.0
+	for _, th := range thresholds {
+		res, err := core.LCF(spec, th, core.Options{})
+		if err != nil {
+			return err
+		}
+		if n := len(res.Assigned); n < prev {
+			return fmt.Errorf("threshold %.3f assigned %d minterms, fewer than %d at %.3f",
+				th, n, prev, prevT)
+		} else {
+			prev, prevT = n, th
+		}
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package metatest
+
+import (
+	"testing"
+
+	"relsyn/internal/benchmarks"
+	"relsyn/internal/tt"
+)
+
+// loadBench fetches one suite benchmark (generation is cached inside
+// internal/benchmarks, so repeated loads are cheap).
+func loadBench(t *testing.T, name string) *tt.Function {
+	t.Helper()
+	f, err := benchmarks.Load(name)
+	if err != nil {
+		t.Fatalf("load %s: %v", name, err)
+	}
+	return f
+}
+
+// suite returns the benchmark names the sweep covers. -short trims the
+// 12-input tail, which dominates wall-clock.
+func suite(t *testing.T) []string {
+	var names []string
+	for _, s := range benchmarks.Specs() {
+		if testing.Short() && s.Inputs >= 12 {
+			continue
+		}
+		names = append(names, s.Name)
+	}
+	if len(names) == 0 {
+		t.Fatal("empty benchmark suite")
+	}
+	return names
+}
+
+// Properties 1 and 2, swept over every benchmark × every assignment
+// method: synthesis output agrees with the spec on its care set, and
+// its exact error rate stays inside the spec's achievable bounds.
+func TestCareSetAndBoundsAcrossSuite(t *testing.T) {
+	for _, name := range suite(t) {
+		for _, method := range Methods() {
+			name, method := name, method
+			t.Run(name+"/"+method.Name, func(t *testing.T) {
+				t.Parallel()
+				spec := loadBench(t, name)
+				assigned, err := method.Apply(spec)
+				if err != nil {
+					t.Fatalf("assign: %v", err)
+				}
+				// The method must only bind DCs: the assigned function is
+				// itself care-set-equivalent to the spec.
+				if err := CheckCareSet(spec, assigned); err != nil {
+					t.Fatalf("assignment violated the care set: %v", err)
+				}
+				impl, err := Synthesize(assigned)
+				if err != nil {
+					t.Fatalf("synthesize: %v", err)
+				}
+				if !impl.CompletelySpecified() {
+					t.Fatal("synthesized implementation still has DCs")
+				}
+				if err := CheckCareSet(spec, impl); err != nil {
+					t.Errorf("care-set equivalence: %v", err)
+				}
+				if err := CheckErrorRateBounds(spec, impl); err != nil {
+					t.Errorf("bound bracketing: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// Property 3: ranking with fraction 0 is a no-op; fraction 1 leaves no
+// rankable DC unassigned — on every benchmark.
+func TestRankingFractionExtremesAcrossSuite(t *testing.T) {
+	for _, name := range suite(t) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			if err := CheckRankingExtremes(loadBench(t, name)); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// Property 4: the LC^f threshold sweep is monotone — a higher threshold
+// never assigns fewer DC minterms — on every benchmark.
+func TestLCFThresholdMonotonicAcrossSuite(t *testing.T) {
+	thresholds := []float64{0.05, 0.2, 0.35, 0.45, 0.5, 0.55, 0.6, 0.65, 0.8, 0.95}
+	for _, name := range suite(t) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			if err := CheckLCFMonotonic(loadBench(t, name), thresholds); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// The harness's checkers must themselves catch violations: a mutated
+// care bit fails property 1 and (for a flipped majority) can break 2.
+func TestCheckersDetectViolations(t *testing.T) {
+	spec := loadBench(t, "bench")
+	impl, err := Synthesize(spec.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Flip one care minterm of the implementation.
+	broken := impl.Clone()
+	size := spec.Size()
+	found := false
+	for o := 0; o < spec.NumOut() && !found; o++ {
+		for m := 0; m < size && !found; m++ {
+			if p := spec.Phase(o, m); p != tt.DC {
+				flip := tt.On
+				if p == tt.On {
+					flip = tt.Off
+				}
+				broken.SetPhase(o, m, flip)
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Fatal("benchmark has no care minterms")
+	}
+	if err := CheckCareSet(spec, broken); err == nil {
+		t.Error("care-set checker accepted a broken implementation")
+	}
+	if err := CheckCareSet(spec, impl); err != nil {
+		t.Errorf("care-set checker rejected a valid implementation: %v", err)
+	}
+	// Dimension mismatches are errors, not silent passes.
+	if err := CheckCareSet(spec, tt.New(spec.NumIn+1, spec.NumOut())); err == nil {
+		t.Error("dimension mismatch accepted")
+	}
+}

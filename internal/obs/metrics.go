@@ -1,0 +1,549 @@
+// Package obs is the dependency-free observability layer: a metrics
+// registry (atomic counters, gauges, ring-buffer histograms with
+// p50/p95/p99 summaries) plus lightweight span tracing (span.go).
+//
+// Design constraints, in order:
+//
+//  1. Zero dependencies. The package imports only the standard library,
+//     so every internal package — including the hot synthesis pipeline —
+//     can instrument itself without pulling a metrics stack into the
+//     build.
+//  2. Cheap on the hot path. Counter.Add and Gauge.Set are single
+//     atomic operations; Histogram.Observe is one short mutex-protected
+//     ring-buffer write. Series lookup (Registry.Counter etc.) takes a
+//     lock, so call sites that fire per-event should resolve their
+//     series once and hold the pointer.
+//  3. Deterministic output. WritePrometheus emits series sorted by
+//     (name, labels) so golden tests can compare exact bytes, and
+//     Snapshot returns the same data JSON-shaped for /statsz.
+//
+// Naming convention (see DESIGN §8): metrics are
+// `relsyn_<subsystem>_<quantity>[_<unit>][_total]`, e.g.
+// `relsyn_queue_wait_seconds`, `relsyn_cache_hits_total`. Label keys are
+// lower_snake; label cardinality must be bounded by code (stage names,
+// ladder rungs, routes — never user input).
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one key=value dimension of a metric series.
+type Label struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Counter is a monotonically increasing integer metric.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by n (negative n is ignored: counters are
+// monotonic by contract).
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an instantaneous float value (stored as math.Float64bits).
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set replaces the gauge value.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adjusts the gauge by delta (lock-free CAS loop).
+func (g *Gauge) Add(delta float64) {
+	for {
+		old := g.bits.Load()
+		next := math.Float64bits(math.Float64frombits(old) + delta)
+		if g.bits.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current gauge value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// histogramRing is the default number of retained observations per
+// histogram. Quantiles are computed over this sliding window; count and
+// sum are exact over the full lifetime.
+const histogramRing = 1024
+
+// Histogram records float observations in a fixed ring buffer and
+// reports sliding-window quantiles plus exact lifetime count/sum. The
+// zero value is ready to use (the ring allocates on first Observe), so
+// subsystems can embed histograms directly and register them later via
+// Registry.RegisterHistogram.
+type Histogram struct {
+	mu    sync.Mutex
+	ring  []float64
+	next  int
+	full  bool
+	count int64
+	sum   float64
+}
+
+func newHistogram() *Histogram {
+	return &Histogram{ring: make([]float64, histogramRing)}
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	h.mu.Lock()
+	if h.ring == nil {
+		h.ring = make([]float64, histogramRing)
+	}
+	h.ring[h.next] = v
+	h.next++
+	if h.next == len(h.ring) {
+		h.next, h.full = 0, true
+	}
+	h.count++
+	h.sum += v
+	h.mu.Unlock()
+}
+
+// window returns a copy of the retained observations.
+func (h *Histogram) window() []float64 {
+	n := h.next
+	if h.full {
+		n = len(h.ring)
+	}
+	out := make([]float64, n)
+	copy(out, h.ring[:n])
+	return out
+}
+
+// Quantile returns the q-quantile (q in [0,1]) of the retained window,
+// or NaN when empty. Uses the nearest-rank method on a sorted copy.
+func (h *Histogram) Quantile(q float64) float64 {
+	h.mu.Lock()
+	w := h.window()
+	h.mu.Unlock()
+	return quantileOf(w, q)
+}
+
+func quantileOf(w []float64, q float64) float64 {
+	if len(w) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(w)
+	if q <= 0 {
+		return w[0]
+	}
+	if q >= 1 {
+		return w[len(w)-1]
+	}
+	idx := int(math.Ceil(q*float64(len(w)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	return w[idx]
+}
+
+// HistogramSnapshot is a point-in-time summary of a histogram.
+type HistogramSnapshot struct {
+	Count int64   `json:"count"`
+	Sum   float64 `json:"sum"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+}
+
+// Snapshot summarizes the histogram. Quantiles are NaN-free: an empty
+// histogram reports zeros.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	w := h.window()
+	s := HistogramSnapshot{Count: h.count, Sum: h.sum}
+	h.mu.Unlock()
+	if len(w) == 0 {
+		return s
+	}
+	sort.Float64s(w)
+	s.P50 = quantileSorted(w, 0.5)
+	s.P95 = quantileSorted(w, 0.95)
+	s.P99 = quantileSorted(w, 0.99)
+	return s
+}
+
+func quantileSorted(w []float64, q float64) float64 {
+	idx := int(math.Ceil(q*float64(len(w)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(w) {
+		idx = len(w) - 1
+	}
+	return w[idx]
+}
+
+// series is one registered (name, labels) time series.
+type series struct {
+	name   string
+	labels []Label // sorted by key
+	key    string  // rendered "name{k="v",...}" identity
+}
+
+// Registry holds named metric series. The zero value is not usable; use
+// NewRegistry. Default is the process-wide registry that all relsyn
+// subsystems instrument by default.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	hists      map[string]*Histogram
+	gaugeFuncs map[string]func() float64
+	meta       map[string]series // key -> identity (for output)
+	help       map[string]string // metric name -> HELP text
+}
+
+// Default is the process-wide registry.
+var Default = NewRegistry()
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		hists:      make(map[string]*Histogram),
+		gaugeFuncs: make(map[string]func() float64),
+		meta:       make(map[string]series),
+		help:       make(map[string]string),
+	}
+}
+
+// SetHelp sets the Prometheus HELP text for a metric name.
+func (r *Registry) SetHelp(name, help string) {
+	r.mu.Lock()
+	r.help[sanitizeName(name)] = help
+	r.mu.Unlock()
+}
+
+// Counter returns (creating if needed) the counter series for
+// name+labels. The returned pointer is stable; hot paths should cache it.
+func (r *Registry) Counter(name string, labels ...Label) *Counter {
+	s := makeSeries(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[s.key]; ok {
+		return c
+	}
+	c := &Counter{}
+	r.counters[s.key] = c
+	r.meta[s.key] = s
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge series for name+labels.
+func (r *Registry) Gauge(name string, labels ...Label) *Gauge {
+	s := makeSeries(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[s.key]; ok {
+		return g
+	}
+	g := &Gauge{}
+	r.gauges[s.key] = g
+	r.meta[s.key] = s
+	return g
+}
+
+// Histogram returns (creating if needed) the histogram series for
+// name+labels.
+func (r *Registry) Histogram(name string, labels ...Label) *Histogram {
+	s := makeSeries(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[s.key]; ok {
+		return h
+	}
+	h := newHistogram()
+	r.hists[s.key] = h
+	r.meta[s.key] = s
+	return h
+}
+
+// RegisterCounter binds an existing counter (e.g. a zero-value Counter
+// embedded in another struct) into the registry under name+labels,
+// replacing any prior series with that identity. This lets a subsystem
+// own its counters as plain fields — one source of truth — while still
+// exporting them.
+func (r *Registry) RegisterCounter(name string, c *Counter, labels ...Label) {
+	s := makeSeries(name, labels)
+	r.mu.Lock()
+	r.counters[s.key] = c
+	r.meta[s.key] = s
+	r.mu.Unlock()
+}
+
+// RegisterGauge binds an existing gauge into the registry (see
+// RegisterCounter).
+func (r *Registry) RegisterGauge(name string, g *Gauge, labels ...Label) {
+	s := makeSeries(name, labels)
+	r.mu.Lock()
+	r.gauges[s.key] = g
+	r.meta[s.key] = s
+	r.mu.Unlock()
+}
+
+// RegisterHistogram binds an existing histogram into the registry (see
+// RegisterCounter).
+func (r *Registry) RegisterHistogram(name string, h *Histogram, labels ...Label) {
+	s := makeSeries(name, labels)
+	r.mu.Lock()
+	r.hists[s.key] = h
+	r.meta[s.key] = s
+	r.mu.Unlock()
+}
+
+// GaugeFunc registers (or replaces) a callback gauge, evaluated at
+// scrape/snapshot time. Use for live values owned elsewhere (queue
+// occupancy, cache length) so they cannot drift from the truth.
+func (r *Registry) GaugeFunc(name string, fn func() float64, labels ...Label) {
+	s := makeSeries(name, labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[s.key] = fn
+	r.meta[s.key] = s
+}
+
+// Snapshot is the JSON shape of a registry: every series keyed by its
+// rendered identity.
+type Snapshot struct {
+	Counters   map[string]int64             `json:"counters,omitempty"`
+	Gauges     map[string]float64           `json:"gauges,omitempty"`
+	Histograms map[string]HistogramSnapshot `json:"histograms,omitempty"`
+}
+
+// Snapshot captures every series. Callback gauges are evaluated outside
+// the registry lock (they may take their own locks).
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	snap := Snapshot{
+		Counters:   make(map[string]int64, len(r.counters)),
+		Gauges:     make(map[string]float64, len(r.gauges)+len(r.gaugeFuncs)),
+		Histograms: make(map[string]HistogramSnapshot, len(r.hists)),
+	}
+	for k, c := range r.counters {
+		snap.Counters[k] = c.Value()
+	}
+	for k, g := range r.gauges {
+		snap.Gauges[k] = g.Value()
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, h := range r.hists {
+		hists[k] = h
+	}
+	funcs := make(map[string]func() float64, len(r.gaugeFuncs))
+	for k, fn := range r.gaugeFuncs {
+		funcs[k] = fn
+	}
+	r.mu.Unlock()
+	for k, h := range hists {
+		snap.Histograms[k] = h.Snapshot()
+	}
+	for k, fn := range funcs {
+		snap.Gauges[k] = fn()
+	}
+	return snap
+}
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4). Counters and gauges emit one line per series;
+// histograms emit a summary (quantile series plus _sum and _count).
+// Output is sorted by (metric name, label set) and therefore
+// deterministic for a fixed registry state.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	type row struct {
+		s    series
+		kind string // "counter", "gauge", "summary"
+		val  float64
+		hist *Histogram
+		fn   func() float64
+	}
+	r.mu.Lock()
+	rows := make([]row, 0, len(r.meta))
+	for k, c := range r.counters {
+		rows = append(rows, row{s: r.meta[k], kind: "counter", val: float64(c.Value())})
+	}
+	for k, g := range r.gauges {
+		rows = append(rows, row{s: r.meta[k], kind: "gauge", val: g.Value()})
+	}
+	for k, fn := range r.gaugeFuncs {
+		rows = append(rows, row{s: r.meta[k], kind: "gauge", fn: fn})
+	}
+	for k, h := range r.hists {
+		rows = append(rows, row{s: r.meta[k], kind: "summary", hist: h})
+	}
+	help := make(map[string]string, len(r.help))
+	for k, v := range r.help {
+		help[k] = v
+	}
+	r.mu.Unlock()
+
+	// Evaluate callbacks and snapshot histograms outside the lock.
+	snaps := make([]HistogramSnapshot, len(rows))
+	for i := range rows {
+		if rows[i].fn != nil {
+			rows[i].val = rows[i].fn()
+		}
+		if rows[i].hist != nil {
+			snaps[i] = rows[i].hist.Snapshot()
+		}
+	}
+	order := make([]int, len(rows))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		ra, rb := rows[order[a]], rows[order[b]]
+		if ra.s.name != rb.s.name {
+			return ra.s.name < rb.s.name
+		}
+		return ra.s.key < rb.s.key
+	})
+
+	var lastName string
+	for _, i := range order {
+		rw := rows[i]
+		if rw.s.name != lastName {
+			if h, ok := help[rw.s.name]; ok {
+				if _, err := fmt.Fprintf(w, "# HELP %s %s\n", rw.s.name, escapeHelp(h)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", rw.s.name, rw.kind); err != nil {
+				return err
+			}
+			lastName = rw.s.name
+		}
+		if rw.kind == "summary" {
+			sn := snaps[i]
+			for _, q := range []struct {
+				q string
+				v float64
+			}{{"0.5", sn.P50}, {"0.95", sn.P95}, {"0.99", sn.P99}} {
+				if _, err := fmt.Fprintf(w, "%s %s\n",
+					renderKey(rw.s.name, append(cloneLabels(rw.s.labels), L("quantile", q.q))),
+					formatFloat(q.v)); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s %s\n", renderKey(rw.s.name+"_sum", rw.s.labels), formatFloat(sn.Sum)); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "%s %d\n", renderKey(rw.s.name+"_count", rw.s.labels), sn.Count); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "%s %s\n", rw.s.key, formatFloat(rw.val)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatFloat renders a sample value: integers without a decimal point,
+// everything else in Go's shortest-round-trip form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// makeSeries canonicalizes a metric identity: sanitized name, labels
+// sorted by key.
+func makeSeries(name string, labels []Label) series {
+	s := series{name: sanitizeName(name), labels: cloneLabels(labels)}
+	sort.Slice(s.labels, func(i, j int) bool { return s.labels[i].Key < s.labels[j].Key })
+	for i := range s.labels {
+		s.labels[i].Key = sanitizeName(s.labels[i].Key)
+	}
+	s.key = renderKey(s.name, s.labels)
+	return s
+}
+
+func cloneLabels(labels []Label) []Label {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := make([]Label, len(labels))
+	copy(out, labels)
+	return out
+}
+
+// renderKey renders `name{k="v",...}` (or bare name without labels).
+func renderKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, l := range labels {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// sanitizeName maps arbitrary strings onto the Prometheus metric/label
+// name alphabet [a-zA-Z_:][a-zA-Z0-9_:]*.
+func sanitizeName(name string) string {
+	if name == "" {
+		return "_"
+	}
+	var b []byte
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		ok := c == '_' || c == ':' ||
+			(c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+			(c >= '0' && c <= '9' && i > 0)
+		if ok {
+			b = append(b, c)
+		} else {
+			b = append(b, '_')
+		}
+	}
+	return string(b)
+}
+
+func escapeLabel(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	return strings.ReplaceAll(v, `"`, `\"`)
+}
+
+func escapeHelp(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}

@@ -1,0 +1,249 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("relsyn_test_total", L("worker", "any"))
+	const goroutines, perG = 64, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := c.Value(), int64(goroutines*perG); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+	// Same series resolves to the same pointer regardless of label order.
+	if r.Counter("relsyn_test_total", L("worker", "any")) != c {
+		t.Fatal("series lookup not stable")
+	}
+	c.Add(-5)
+	if c.Value() != int64(goroutines*perG) {
+		t.Fatal("negative Add must be ignored (counters are monotonic)")
+	}
+}
+
+func TestGaugeConcurrent(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("relsyn_test_gauge")
+	const goroutines, perG = 32, 1000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perG; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+			g.Add(2)
+		}()
+	}
+	wg.Wait()
+	if got, want := g.Value(), float64(2*goroutines); got != want {
+		t.Fatalf("gauge = %v, want %v", got, want)
+	}
+	g.Set(-3.5)
+	if g.Value() != -3.5 {
+		t.Fatalf("Set: got %v", g.Value())
+	}
+}
+
+func TestHistogramConcurrentHammer(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("relsyn_test_seconds")
+	const goroutines, perG = 16, 500
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.Observe(float64(g*perG + i))
+				if i%64 == 0 {
+					// Concurrent readers must not race the ring writes.
+					_ = h.Quantile(0.5)
+					_ = h.Snapshot()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != int64(goroutines*perG) {
+		t.Fatalf("count = %d, want %d", s.Count, goroutines*perG)
+	}
+	wantSum := float64(goroutines*perG) * float64(goroutines*perG-1) / 2
+	if math.Abs(s.Sum-wantSum) > 1e-6 {
+		t.Fatalf("sum = %v, want %v", s.Sum, wantSum)
+	}
+	if s.P50 > s.P95 || s.P95 > s.P99 {
+		t.Fatalf("quantiles not ordered: %+v", s)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	h := newHistogram()
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Fatal("empty histogram quantile should be NaN")
+	}
+	if s := h.Snapshot(); s.P50 != 0 || s.Count != 0 {
+		t.Fatalf("empty snapshot should be zero: %+v", s)
+	}
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i))
+	}
+	for _, tc := range []struct {
+		q, want float64
+	}{{0, 1}, {0.5, 50}, {0.95, 95}, {0.99, 99}, {1, 100}} {
+		if got := h.Quantile(tc.q); got != tc.want {
+			t.Fatalf("q%v = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestHistogramRingSlides(t *testing.T) {
+	h := newHistogram()
+	// Fill the ring twice over with ascending values; the window must
+	// retain only the newest histogramRing observations.
+	n := 2 * histogramRing
+	for i := 0; i < n; i++ {
+		h.Observe(float64(i))
+	}
+	if got := h.Quantile(0); got != float64(n-histogramRing) {
+		t.Fatalf("window min = %v, want %v", got, n-histogramRing)
+	}
+	s := h.Snapshot()
+	if s.Count != int64(n) {
+		t.Fatalf("lifetime count = %d, want %d", s.Count, n)
+	}
+}
+
+// TestPrometheusGolden locks the exact text exposition bytes for a
+// registry with every series kind.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.SetHelp("relsyn_jobs_total", "Jobs admitted by outcome.")
+	r.Counter("relsyn_jobs_total", L("outcome", "ok")).Add(3)
+	r.Counter("relsyn_jobs_total", L("outcome", "failed")).Add(1)
+	r.SetHelp("relsyn_queue_depth", "Current queue occupancy.")
+	r.Gauge("relsyn_queue_depth").Set(7)
+	r.GaugeFunc("relsyn_cache_entries", func() float64 { return 42 }, L("cache", "results"))
+	h := r.Histogram("relsyn_stage_duration_seconds", L("stage", "assign"))
+	for _, v := range []float64{0.25, 0.5, 1} {
+		h.Observe(v)
+	}
+
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := strings.Join([]string{
+		`# TYPE relsyn_cache_entries gauge`,
+		`relsyn_cache_entries{cache="results"} 42`,
+		`# HELP relsyn_jobs_total Jobs admitted by outcome.`,
+		`# TYPE relsyn_jobs_total counter`,
+		`relsyn_jobs_total{outcome="failed"} 1`,
+		`relsyn_jobs_total{outcome="ok"} 3`,
+		`# HELP relsyn_queue_depth Current queue occupancy.`,
+		`# TYPE relsyn_queue_depth gauge`,
+		`relsyn_queue_depth 7`,
+		`# TYPE relsyn_stage_duration_seconds summary`,
+		`relsyn_stage_duration_seconds{stage="assign",quantile="0.5"} 0.5`,
+		`relsyn_stage_duration_seconds{stage="assign",quantile="0.95"} 1`,
+		`relsyn_stage_duration_seconds{stage="assign",quantile="0.99"} 1`,
+		`relsyn_stage_duration_seconds_sum{stage="assign"} 1.75`,
+		`relsyn_stage_duration_seconds_count{stage="assign"} 3`,
+		``,
+	}, "\n")
+	if got := buf.String(); got != want {
+		t.Fatalf("prometheus output mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+	}
+}
+
+func TestPrometheusEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.SetHelp("m_total", "line one\nline \\two")
+	r.Counter("m_total", L("path", `a"b\c`+"\nd"), L("bad key!", "v")).Inc()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		`# HELP m_total line one\nline \\two`,
+		`bad_key_="v"`,
+		`path="a\"b\\c\nd"`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSanitizeName(t *testing.T) {
+	for in, want := range map[string]string{
+		"relsyn_ok_total": "relsyn_ok_total",
+		"9leading":        "_leading",
+		"with space":      "with_space",
+		"":                "_",
+		"a:b":             "a:b",
+	} {
+		if got := sanitizeName(in); got != want {
+			t.Fatalf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total").Add(5)
+	r.Gauge("g").Set(1.5)
+	r.GaugeFunc("gf", func() float64 { return 9 })
+	r.Histogram("h_seconds").Observe(2)
+	s := r.Snapshot()
+	if s.Counters["c_total"] != 5 {
+		t.Fatalf("counters: %+v", s.Counters)
+	}
+	if s.Gauges["g"] != 1.5 || s.Gauges["gf"] != 9 {
+		t.Fatalf("gauges: %+v", s.Gauges)
+	}
+	hs := s.Histograms["h_seconds"]
+	if hs.Count != 1 || hs.Sum != 2 || hs.P50 != 2 {
+		t.Fatalf("histograms: %+v", s.Histograms)
+	}
+}
+
+func TestRegistryConcurrentSeriesCreation(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for g := 0; g < 32; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				r.Counter("shared_total", L("i", "x")).Inc()
+				r.Histogram("shared_seconds").Observe(1)
+				r.Gauge("shared_gauge").Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("shared_total", L("i", "x")).Value(); got != 32*200 {
+		t.Fatalf("counter = %d", got)
+	}
+}

@@ -45,9 +45,25 @@ import (
 	"relsyn/internal/core"
 	"relsyn/internal/espresso"
 	"relsyn/internal/factor"
+	"relsyn/internal/obs"
 	"relsyn/internal/synth"
 	"relsyn/internal/tt"
 )
+
+// init seeds the base observability series on the default registry so a
+// freshly started service exposes the pipeline metric names (with zero
+// values) before the first job runs — scrapers and the CI smoke test can
+// rely on their presence.
+func init() {
+	obs.Default.SetHelp("relsyn_pipeline_runs_total", "Pipeline runs by terminal status.")
+	obs.Default.SetHelp("relsyn_pipeline_fallbacks_total", "Degradation-ladder steps taken, by stage and rung.")
+	obs.Default.SetHelp("relsyn_stage_attempts_total", "Stage-attempt executions, by stage and ladder rung.")
+	obs.Default.SetHelp("relsyn_stage_failures_total", "Failed stage attempts, by stage, ladder rung, and reason class.")
+	obs.Default.SetHelp("relsyn_stage_duration_seconds", "Per-stage-attempt wall-clock latency.")
+	obs.Default.Counter("relsyn_pipeline_fallbacks_total")
+	obs.Default.Counter("relsyn_pipeline_runs_total", obs.L("status", "ok"))
+	obs.Default.Counter("relsyn_pipeline_runs_total", obs.L("status", "error"))
+}
 
 // Stage identifies one phase of the pipeline.
 type Stage string
@@ -185,6 +201,11 @@ type Options struct {
 	// panic or return an error (e.g. wrapping ErrBudget) to simulate
 	// faults; see internal/faultinject. Production callers leave it nil.
 	Inject func(point string) error
+	// Metrics receives the runner's counters and latency histograms
+	// (stage attempts/failures/durations, fallbacks, run outcomes).
+	// Nil means obs.Default. Span tracing is orthogonal: it activates
+	// when the context passed to Run carries obs.WithTrace.
+	Metrics *obs.Registry
 }
 
 // StageReport records one executed stage for observability.
@@ -221,9 +242,18 @@ func (r *Result) Degraded() bool { return len(r.Fallbacks) > 0 }
 
 // runner threads shared state through the stages.
 type runner struct {
-	ctx context.Context
-	opt Options
-	res *Result
+	ctx  context.Context
+	opt  Options
+	res  *Result
+	span *obs.Span // run-level trace span (nil when tracing is off)
+}
+
+// reg returns the runner's metrics registry.
+func (r *runner) reg() *obs.Registry {
+	if r.opt.Metrics != nil {
+		return r.opt.Metrics
+	}
+	return obs.Default
 }
 
 // Run executes assignment, synthesis, and verification on f under opt.
@@ -246,25 +276,47 @@ func Run(ctx context.Context, f *tt.Function, opt Options) (*Result, error) {
 		defer cancel()
 	}
 	start := time.Now()
-	r := &runner{ctx: ctx, opt: opt, res: &Result{}}
+	ctx, span := obs.StartSpan(ctx, "pipeline/run")
+	span.SetAttr("method", string(opt.Assign.Method))
+	if opt.Budget.Timeout > 0 {
+		span.SetAttrf("budget_timeout_ms", "%d", opt.Budget.Timeout.Milliseconds())
+	}
+	r := &runner{ctx: ctx, opt: opt, res: &Result{}, span: span}
 	defer func() { r.res.Elapsed = time.Since(start) }()
-
-	if serr := r.runAssign(f); serr != nil {
+	serr := r.runStages(f)
+	status := "ok"
+	if serr != nil {
+		status = "error"
+		span.SetAttr("error", serr.Error())
+	}
+	r.reg().Counter("relsyn_pipeline_runs_total", obs.L("status", status)).Inc()
+	span.SetAttrf("fallbacks", "%d", len(r.res.Fallbacks))
+	span.End()
+	if serr != nil {
 		return r.res, serr
+	}
+	return r.res, nil
+}
+
+// runStages executes the three stages in order, stopping at the first
+// unrecoverable failure.
+func (r *runner) runStages(f *tt.Function) *StageError {
+	if serr := r.runAssign(f); serr != nil {
+		return serr
 	}
 	fa := f
 	if r.res.Assign != nil {
 		fa = r.res.Assign.Func
 	}
 	if serr := r.runSynth(fa); serr != nil {
-		return r.res, serr
+		return serr
 	}
-	if !opt.SkipVerify {
+	if !r.opt.SkipVerify {
 		if serr := r.runVerify(); serr != nil {
-			return r.res, serr
+			return serr
 		}
 	}
-	return r.res, nil
+	return nil
 }
 
 func validateAssign(a AssignSpec) error {
@@ -292,8 +344,13 @@ func (r *runner) interruptBool() bool { return r.ctx.Err() != nil }
 
 // attempt runs fn for one ladder rung under panic recovery, firing the
 // injection hook first, and classifies any failure into a *StageError.
+// Every attempt is observable: one trace span ("stage/<rung>") plus a
+// latency observation and attempt/failure counters labeled with the
+// stage, the ladder rung, and (on failure) the StageError reason class.
 func (r *runner) attempt(stage Stage, name string, fn func() error) (serr *StageError) {
 	r.recordAttempt(stage, name)
+	_, span := obs.StartSpan(r.ctx, "stage/"+name)
+	began := time.Now()
 	defer func() {
 		if p := recover(); p != nil {
 			serr = &StageError{
@@ -304,6 +361,18 @@ func (r *runner) attempt(stage Stage, name string, fn func() error) (serr *Stage
 				Stack:   debug.Stack(),
 			}
 		}
+		reg := r.reg()
+		stageL, attemptL := obs.L("stage", string(stage)), obs.L("attempt", name)
+		reg.Histogram("relsyn_stage_duration_seconds", stageL, attemptL).
+			Observe(time.Since(began).Seconds())
+		reg.Counter("relsyn_stage_attempts_total", stageL, attemptL).Inc()
+		if serr != nil {
+			reg.Counter("relsyn_stage_failures_total", stageL, attemptL,
+				obs.L("reason", string(serr.Reason))).Inc()
+			span.SetAttr("reason", string(serr.Reason))
+			span.SetAttr("error", serr.Err.Error())
+		}
+		span.End()
 	}()
 	if err := r.ctx.Err(); err != nil {
 		return r.classify(stage, name, err)
@@ -348,6 +417,13 @@ func (r *runner) degrade(cause *StageError, to string) *StageError {
 		To:    to,
 		Cause: cause,
 	})
+	r.reg().Counter("relsyn_pipeline_fallbacks_total",
+		obs.L("stage", string(cause.Stage)),
+		obs.L("from", cause.Attempt),
+		obs.L("to", to)).Inc()
+	// Record the degradation event on the run span so -trace output shows
+	// which rung replaced which.
+	r.span.SetAttrf("fallback/"+cause.Attempt, "-> %s (%s)", to, cause.Reason)
 	return nil
 }
 

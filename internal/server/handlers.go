@@ -9,6 +9,12 @@
 //	GET  /v1/jobs/{id}    poll a job
 //	GET  /healthz         liveness; 503 + "draining" during shutdown
 //	GET  /statsz          queue/worker/cache counters as JSON
+//	GET  /metrics         Prometheus text exposition (obs registry)
+//
+// Every route is wrapped in instrumentation middleware recording
+// relsyn_http_requests_total{route,code}, a per-route latency histogram
+// relsyn_http_request_duration_seconds{route}, and the
+// relsyn_http_in_flight gauge.
 //
 // Status mapping: 400 malformed request or spec, 404 unknown job, 429
 // queue full (with Retry-After), 503 draining, 200/202 otherwise. A job
@@ -23,7 +29,9 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
+	"relsyn/internal/obs"
 	"relsyn/internal/pipeline"
 	"relsyn/internal/pla"
 	"relsyn/internal/tt"
@@ -69,12 +77,58 @@ type BatchResponse struct {
 // Handler returns the service's HTTP handler.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/synth", s.handleSynth)
-	mux.HandleFunc("POST /v1/synth/batch", s.handleBatch)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
-	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	route := func(pattern, name string, h http.HandlerFunc) {
+		mux.Handle(pattern, s.instrument(name, h))
+	}
+	route("POST /v1/synth", "/v1/synth", s.handleSynth)
+	route("POST /v1/synth/batch", "/v1/synth/batch", s.handleBatch)
+	route("GET /v1/jobs/{id}", "/v1/jobs/{id}", s.handleJob)
+	route("GET /healthz", "/healthz", s.handleHealthz)
+	route("GET /statsz", "/statsz", s.handleStatsz)
+	route("GET /metrics", "/metrics", s.handleMetrics)
 	return mux
+}
+
+// statusWriter captures the response code for the request counter. The
+// zero code means WriteHeader was never called (implicit 200 on first
+// Write, or a hijacked/abandoned connection); it is reported as 200.
+type statusWriter struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.code == 0 {
+		sw.code = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+// instrument wraps a route handler with the HTTP metrics. The route
+// label is the registered pattern (bounded cardinality: path parameters
+// stay as placeholders, never raw client input).
+func (s *Server) instrument(routeName string, h http.HandlerFunc) http.Handler {
+	reg := s.cfg.Metrics
+	reg.SetHelp("relsyn_http_requests_total", "HTTP requests served, by route and status code.")
+	reg.SetHelp("relsyn_http_request_duration_seconds", "HTTP request latency, by route.")
+	reg.SetHelp("relsyn_http_in_flight", "HTTP requests currently being served.")
+	routeL := obs.L("route", routeName)
+	dur := reg.Histogram("relsyn_http_request_duration_seconds", routeL)
+	inFlight := reg.Gauge("relsyn_http_in_flight")
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		inFlight.Add(1)
+		sw := &statusWriter{ResponseWriter: w}
+		h(sw, r)
+		inFlight.Add(-1)
+		dur.Observe(time.Since(start).Seconds())
+		code := sw.code
+		if code == 0 {
+			code = http.StatusOK
+		}
+		reg.Counter("relsyn_http_requests_total", routeL,
+			obs.L("code", strconv.Itoa(code))).Inc()
+	})
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -233,7 +287,24 @@ func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, s.Stats())
+	writeJSON(w, http.StatusOK, StatszPayload{
+		Stats:   s.Stats(),
+		Metrics: s.cfg.Metrics.Snapshot(),
+	})
+}
+
+// StatszPayload is the enriched /statsz body: the classic service
+// counters plus a full snapshot of the observability registry (every
+// counter/gauge series and histogram quantiles), so operators get one
+// JSON view of everything /metrics exports.
+type StatszPayload struct {
+	Stats
+	Metrics obs.Snapshot `json:"metrics"`
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.cfg.Metrics.WritePrometheus(w)
 }
 
 func decodeBody(w http.ResponseWriter, r *http.Request, v any) error {

@@ -32,6 +32,7 @@ import (
 	"relsyn/internal/flight"
 	"relsyn/internal/jobqueue"
 	"relsyn/internal/lru"
+	"relsyn/internal/obs"
 	"relsyn/internal/pipeline"
 	"relsyn/internal/tt"
 )
@@ -72,6 +73,11 @@ type Config struct {
 	MaxJobStates int
 	// Backend overrides the job executor (default pipeline.RunJob).
 	Backend Backend
+	// Metrics is the observability registry the server (and its queue,
+	// cache, and singleflight group) exports on GET /metrics. Default:
+	// obs.Default, which also carries the pipeline stage metrics. Tests
+	// pass a fresh registry for isolation.
+	Metrics *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -101,6 +107,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Backend == nil {
 		c.Backend = pipeline.RunJob
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.Default
 	}
 	return c
 }
@@ -184,17 +193,17 @@ type work struct {
 	opts  pipeline.JobOptions
 }
 
-// counters are the service-level monotonic metrics exported on /statsz.
+// counters are the service-level job metrics, exported both on /statsz
+// (JSON) and /metrics (Prometheus). They are obs series registered in
+// New — a single source of truth for both views. Cache hit/miss/evict
+// and coalescing counters live in the cache and flight group themselves.
 type counters struct {
-	submitted   atomic.Int64
-	completed   atomic.Int64
-	failed      atomic.Int64
-	rejected    atomic.Int64
-	expired     atomic.Int64
-	coalesced   atomic.Int64
-	cacheHits   atomic.Int64
-	cacheMisses atomic.Int64
-	busyWorkers atomic.Int64
+	submitted   obs.Counter
+	completed   obs.Counter
+	failed      obs.Counter
+	rejected    obs.Counter
+	expired     obs.Counter
+	busyWorkers obs.Gauge
 }
 
 // Server is the concurrent synthesis service.
@@ -222,15 +231,38 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	ctx, cancel := context.WithCancel(context.Background())
+	reg := cfg.Metrics
 	s := &Server{
 		cfg:     cfg,
 		baseCtx: ctx,
 		stop:    cancel,
-		queue:   jobqueue.New(cfg.QueueDepth),
+		queue:   jobqueue.NewWithRegistry(cfg.QueueDepth, reg),
 		cache:   lru.New[string, *pipeline.JobResult](cfg.CacheSize),
 		jobs:    make(map[string]*jobState),
 		started: time.Now(),
 	}
+	s.cache.Instrument(reg, "results")
+	s.inFly.Instrument(reg, "synth")
+	reg.SetHelp("relsyn_jobs_submitted_total", "Jobs submitted (before cache/coalesce short-circuits).")
+	reg.SetHelp("relsyn_jobs_completed_total", "Jobs that ran to a successful result.")
+	reg.SetHelp("relsyn_jobs_failed_total", "Jobs whose backend returned an error.")
+	reg.SetHelp("relsyn_jobs_rejected_total", "Jobs refused at admission (queue full).")
+	reg.SetHelp("relsyn_jobs_expired_total", "Jobs whose deadline passed before execution.")
+	reg.SetHelp("relsyn_workers", "Configured worker-pool size.")
+	reg.SetHelp("relsyn_workers_busy", "Workers currently executing a job.")
+	reg.RegisterCounter("relsyn_jobs_submitted_total", &s.c.submitted)
+	reg.RegisterCounter("relsyn_jobs_completed_total", &s.c.completed)
+	reg.RegisterCounter("relsyn_jobs_failed_total", &s.c.failed)
+	reg.RegisterCounter("relsyn_jobs_rejected_total", &s.c.rejected)
+	reg.RegisterCounter("relsyn_jobs_expired_total", &s.c.expired)
+	reg.RegisterGauge("relsyn_workers_busy", &s.c.busyWorkers)
+	reg.GaugeFunc("relsyn_workers", func() float64 { return float64(cfg.Workers) })
+	reg.GaugeFunc("relsyn_draining", func() float64 {
+		if s.draining.Load() {
+			return 1
+		}
+		return 0
+	})
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -267,16 +299,15 @@ func (s *Server) Submit(fn *tt.Function, specHash string, jo pipeline.JobOptions
 	if err := jo.Validate(); err != nil {
 		return nil, err
 	}
-	s.c.submitted.Add(1)
+	s.c.submitted.Inc()
 	key := specHash + "|" + jo.Key()
 
+	// The cache counts its own hits/misses (lru.Instrument).
 	if res, ok := s.cache.Get(key); ok {
-		s.c.cacheHits.Add(1)
 		js := s.completedState(key, res)
 		s.register(js)
 		return &SubmitOutcome{Job: js, Cached: true}, nil
 	}
-	s.c.cacheMisses.Add(1)
 
 	js, started, err := s.inFly.Do(key, func() (*jobState, error) {
 		js := &jobState{
@@ -300,7 +331,7 @@ func (s *Server) Submit(fn *tt.Function, specHash string, jo pipeline.JobOptions
 			cancel()
 			switch {
 			case errors.Is(err, jobqueue.ErrFull):
-				s.c.rejected.Add(1)
+				s.c.rejected.Inc()
 				return nil, ErrQueueFull
 			case errors.Is(err, jobqueue.ErrClosed):
 				return nil, ErrDraining
@@ -314,7 +345,7 @@ func (s *Server) Submit(fn *tt.Function, specHash string, jo pipeline.JobOptions
 		return nil, err
 	}
 	if !started {
-		s.c.coalesced.Add(1)
+		// The flight group counted the join (flight.Instrument).
 		return &SubmitOutcome{Job: js, Coalesced: true}, nil
 	}
 	s.register(js)
@@ -362,10 +393,11 @@ func (s *Server) completedState(key string, res *pipeline.JobResult) *jobState {
 	return js
 }
 
-// expireJob marks a job dropped by the queue's deadline check.
+// expireJob marks a job dropped by the queue's deadline check. The
+// waiters' error is typed: errors.Is(err, jobqueue.ErrExpired) holds.
 func (s *Server) expireJob(js *jobState) {
-	s.c.expired.Add(1)
-	js.finish(StatusExpired, nil, fmt.Errorf("server: job %s expired in queue", js.id))
+	s.c.expired.Inc()
+	js.finish(StatusExpired, nil, fmt.Errorf("server: job %s: %w", js.id, jobqueue.ErrExpired))
 	s.inFly.Forget(js.key)
 }
 
@@ -388,17 +420,27 @@ func (s *Server) worker() {
 // runJob executes one dequeued job and publishes its outcome: result
 // into the cache (before the singleflight key is forgotten, so there is
 // no window where duplicates recompute), state to all waiters.
+//
+// A job whose deadline passed between dequeue and execution (the queue
+// only checks at dequeue time) is never handed to the backend: it is
+// published as expired with the same typed jobqueue.ErrExpired cause as
+// a queue-side drop, closing the race in which a just-expired job would
+// burn worker time and surface as a generic "failed".
 func (s *Server) runJob(w *work) {
 	js := w.state
+	if w.ctx.Err() != nil {
+		s.expireJob(js)
+		return
+	}
 	js.setRunning()
 	res, err := s.cfg.Backend(w.ctx, w.fn, w.opts)
 	if err != nil {
-		s.c.failed.Add(1)
+		s.c.failed.Inc()
 		js.finish(StatusFailed, res, err)
 		s.inFly.Forget(js.key)
 		return
 	}
-	s.c.completed.Add(1)
+	s.c.completed.Inc()
 	s.cache.Add(js.key, res)
 	js.finish(StatusDone, res, nil)
 	s.inFly.Forget(js.key)
@@ -451,10 +493,7 @@ type Stats struct {
 	Rejected      int64          `json:"rejected"`
 	Expired       int64          `json:"expired"`
 	Coalesced     int64          `json:"coalesced"`
-	CacheHits     int64          `json:"cache_hits"`
-	CacheMisses   int64          `json:"cache_misses"`
-	CacheLen      int            `json:"cache_len"`
-	CacheCap      int            `json:"cache_cap"`
+	Cache         lru.Stats      `json:"cache"`
 	InFlightKeys  int            `json:"in_flight_keys"`
 }
 
@@ -463,19 +502,16 @@ func (s *Server) Stats() Stats {
 	return Stats{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Workers:       s.cfg.Workers,
-		BusyWorkers:   s.c.busyWorkers.Load(),
+		BusyWorkers:   int64(s.c.busyWorkers.Value()),
 		Draining:      s.draining.Load(),
 		Queue:         s.queue.Stats(),
-		Submitted:     s.c.submitted.Load(),
-		Completed:     s.c.completed.Load(),
-		Failed:        s.c.failed.Load(),
-		Rejected:      s.c.rejected.Load(),
-		Expired:       s.c.expired.Load(),
-		Coalesced:     s.c.coalesced.Load(),
-		CacheHits:     s.c.cacheHits.Load(),
-		CacheMisses:   s.c.cacheMisses.Load(),
-		CacheLen:      s.cache.Len(),
-		CacheCap:      s.cache.Cap(),
+		Submitted:     s.c.submitted.Value(),
+		Completed:     s.c.completed.Value(),
+		Failed:        s.c.failed.Value(),
+		Rejected:      s.c.rejected.Value(),
+		Expired:       s.c.expired.Value(),
+		Coalesced:     s.inFly.Stats().Coalesced,
+		Cache:         s.cache.Stats(),
 		InFlightKeys:  s.inFly.Len(),
 	}
 }

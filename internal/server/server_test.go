@@ -13,6 +13,8 @@ import (
 	"testing"
 	"time"
 
+	"relsyn/internal/jobqueue"
+	"relsyn/internal/obs"
 	"relsyn/internal/pipeline"
 	"relsyn/internal/tt"
 )
@@ -140,14 +142,14 @@ func TestServer64ConcurrentMixedRequests(t *testing.T) {
 	if st.Completed != distinct {
 		t.Fatalf("completed %d pipeline executions, want %d (stats %+v)", st.Completed, distinct, st)
 	}
-	if st.CacheHits+st.Coalesced != total-distinct {
-		t.Fatalf("cache_hits %d + coalesced %d != %d", st.CacheHits, st.Coalesced, total-distinct)
+	if st.Cache.Hits+st.Coalesced != total-distinct {
+		t.Fatalf("cache_hits %d + coalesced %d != %d", st.Cache.Hits, st.Coalesced, total-distinct)
 	}
 	if st.Failed != 0 || st.Rejected != 0 || st.Expired != 0 {
 		t.Fatalf("unexpected failures: %+v", st)
 	}
-	if st.CacheLen != distinct {
-		t.Fatalf("cache holds %d entries, want %d", st.CacheLen, distinct)
+	if st.Cache.Len != distinct {
+		t.Fatalf("cache holds %d entries, want %d", st.Cache.Len, distinct)
 	}
 	_ = s
 }
@@ -174,8 +176,8 @@ func TestServerCanonicalCacheKey(t *testing.T) {
 	if st.Completed != 1 {
 		t.Fatalf("equivalent requests ran %d pipelines, want 1 (%+v)", st.Completed, st)
 	}
-	if st.CacheHits != 2 {
-		t.Fatalf("cache hits %d, want 2", st.CacheHits)
+	if st.Cache.Hits != 2 {
+		t.Fatalf("cache hits %d, want 2", st.Cache.Hits)
 	}
 }
 
@@ -407,7 +409,7 @@ func TestServerFailedJobNotCached(t *testing.T) {
 		}
 	}
 	st := serverStats(t, ts.URL)
-	if st.Failed != 2 || st.CacheLen != 0 {
+	if st.Failed != 2 || st.Cache.Len != 0 {
 		t.Fatalf("failures must not be cached: %+v", st)
 	}
 }
@@ -527,5 +529,123 @@ func TestServerPriorityOvertakes(t *testing.T) {
 	if !high.finished.Before(low.finished) {
 		t.Fatalf("high-priority job finished at %v, after low-priority at %v",
 			high.finished, low.finished)
+	}
+}
+
+// Regression: a job whose deadline passes between queue dequeue and
+// execution (the queue only checks at dequeue time) must never be
+// handed to the backend. It is published as expired with the same typed
+// jobqueue.ErrExpired cause as a queue-side drop — not run, and not
+// surfaced as a generic "failed".
+func TestServerExpiredJobNeverRunsBackend(t *testing.T) {
+	backendRan := make(chan struct{}, 1)
+	s := New(Config{
+		Workers: 1, QueueDepth: 4, CacheSize: 4,
+		Metrics: obs.NewRegistry(),
+		Backend: func(context.Context, *tt.Function, pipeline.JobOptions) (*pipeline.JobResult, error) {
+			backendRan <- struct{}{}
+			return &pipeline.JobResult{}, nil
+		},
+	})
+	defer s.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // deadline already gone when the "worker" picks it up
+	js := &jobState{
+		id: "job_test_expired", key: "k", status: StatusQueued,
+		created: time.Now(), done: make(chan struct{}),
+	}
+	s.runJob(&work{state: js, ctx: ctx, fn: tt.New(2, 1), opts: pipeline.JobOptions{}})
+
+	select {
+	case <-backendRan:
+		t.Fatal("backend ran for an expired job")
+	default:
+	}
+	status, _, errMsg := js.snapshot()
+	if status != StatusExpired {
+		t.Fatalf("status %q, want %q", status, StatusExpired)
+	}
+	if !strings.Contains(errMsg, jobqueue.ErrExpired.Error()) {
+		t.Fatalf("error %q does not carry the typed expiry cause", errMsg)
+	}
+	if st := s.Stats(); st.Expired != 1 || st.Failed != 0 || st.Completed != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+// The /metrics endpoint serves Prometheus text exposition with the
+// queue, cache, job, worker, and HTTP series present.
+func TestServerMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Workers: 2, QueueDepth: 8, CacheSize: 8, Metrics: obs.NewRegistry(),
+	})
+	// Serve one real job (twice: second hit comes from the cache) so the
+	// counters move before scraping.
+	for i := 0; i < 2; i++ {
+		if resp, data := postJSON(t, ts.URL+"/v1/synth", SynthRequest{PLA: specPLA(3)}); resp.StatusCode != http.StatusOK {
+			t.Fatalf("synth: HTTP %d: %s", resp.StatusCode, data)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("metrics: HTTP %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("content type %q", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"# TYPE relsyn_queue_depth gauge",
+		"relsyn_queue_capacity 8",
+		"relsyn_queue_enqueued_total 1",
+		"relsyn_queue_wait_seconds_count 1",
+		`relsyn_cache_hits_total{cache="results"} 1`,
+		`relsyn_cache_misses_total{cache="results"} 1`,
+		"relsyn_jobs_submitted_total 2",
+		"relsyn_jobs_completed_total 1",
+		"relsyn_workers 2",
+		"relsyn_workers_busy 0",
+		`relsyn_flight_started_total{group="synth"} 1`,
+		`relsyn_http_requests_total{code="200",route="/v1/synth"} 2`,
+		`relsyn_http_request_duration_seconds_count{route="/v1/synth"} 2`,
+		"# TYPE relsyn_http_in_flight gauge",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics output missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Logf("full /metrics body:\n%s", text)
+	}
+}
+
+// /statsz carries both the classic counters and the full metrics
+// snapshot, so the JSON view and the Prometheus view cannot diverge.
+func TestServerStatszIncludesMetricsSnapshot(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Workers: 1, QueueDepth: 8, CacheSize: 8, Metrics: obs.NewRegistry(),
+	})
+	if resp, data := postJSON(t, ts.URL+"/v1/synth", SynthRequest{PLA: specPLA(4)}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("synth: HTTP %d: %s", resp.StatusCode, data)
+	}
+	var payload StatszPayload
+	getJSON(t, ts.URL+"/statsz", &payload)
+	if payload.Submitted != 1 || payload.Completed != 1 {
+		t.Fatalf("embedded stats: %+v", payload.Stats)
+	}
+	if payload.Metrics.Counters["relsyn_jobs_submitted_total"] != 1 {
+		t.Fatalf("metrics snapshot counters: %+v", payload.Metrics.Counters)
+	}
+	if payload.Metrics.Gauges["relsyn_queue_capacity"] != 8 {
+		t.Fatalf("metrics snapshot gauges: %+v", payload.Metrics.Gauges)
 	}
 }

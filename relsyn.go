@@ -39,6 +39,7 @@ import (
 	"relsyn/internal/estimate"
 	"relsyn/internal/faultsim"
 	"relsyn/internal/network"
+	"relsyn/internal/obs"
 	"relsyn/internal/pipeline"
 	"relsyn/internal/pla"
 	"relsyn/internal/reliability"
@@ -302,3 +303,29 @@ func RunJob(ctx context.Context, f *Function, o JobOptions) (*JobResult, error) 
 // across cube order, redundant cubes, and .pla logic-type encodings.
 // This is the spec half of the relsynd cache key.
 func HashPLA(f *Function) string { return pla.HashFunction(f) }
+
+// Span is one node of an execution trace recorded by the observability
+// layer; see internal/obs. Pipeline runs under a traced context record
+// one span per stage attempt, annotated with the degradation-ladder rung
+// and failure class.
+type Span = obs.Span
+
+// WithTrace returns a context under which pipeline runs record a span
+// tree rooted at the returned span. Call End on the root when the run
+// finishes, then Render it (this powers `relsyn synth -trace`):
+//
+//	ctx, root := relsyn.WithTrace(ctx, "cli/synth")
+//	res, err := relsyn.RunJob(ctx, f, opts)
+//	root.End()
+//	root.Render(os.Stderr)
+//
+// Without WithTrace, span recording is disabled and costs one nil check
+// per stage.
+func WithTrace(ctx context.Context, name string) (context.Context, *Span) {
+	return obs.WithTrace(ctx, name)
+}
+
+// MetricsRegistry is the process-wide observability registry; see
+// internal/obs. Every queue/cache/pipeline/HTTP series the relsynd
+// /metrics endpoint exports lives here by default.
+func MetricsRegistry() *obs.Registry { return obs.Default }
