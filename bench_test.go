@@ -6,16 +6,24 @@ package relsyn_test
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
 
+	"relsyn/internal/complexity"
+	"relsyn/internal/core"
 	"relsyn/internal/experiments"
+	"relsyn/internal/reliability"
 	"relsyn/internal/server"
+	"relsyn/internal/synth"
+	"relsyn/internal/synthetic"
+	"relsyn/internal/tt"
 )
 
 var benchFractions = []float64{0, 0.5, 1}
@@ -131,6 +139,119 @@ func BenchmarkQuality(b *testing.B) {
 		if _, err := experiments.Quality(1, 8000); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// ---------------------------------------------------------------------
+// Sequential-vs-parallel kernel benchmarks (internal/par engine).
+//
+// Every kernel is bit-identical at any worker count (the metatest
+// property-5 sweep enforces it), so these benchmarks measure pure
+// scheduling overhead and scaling: j=1 is the inline sequential path,
+// j=2/4 the bounded pool. GOMAXPROCS is raised to 4 so the pool can
+// actually run concurrently on small CI machines; on a 1-core host the
+// parallel rows then measure pool overhead under forced multiplexing
+// rather than true speedup.
+
+// benchParProcs raises GOMAXPROCS for the duration of one benchmark.
+func benchParProcs(b *testing.B, n int) {
+	b.Helper()
+	prev := runtime.GOMAXPROCS(n)
+	b.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+}
+
+// benchParSpec generates the multi-output spec shared by the kernel
+// benchmarks: 14 inputs and 8 outputs (the issue's n>=14 operating
+// point) gives the per-output fan-out the pool distributes. Generation
+// is cached across sub-benchmarks.
+var benchParSpecOnce struct {
+	sync.Once
+	f   *tt.Function
+	err error
+}
+
+func benchParSpec(b *testing.B) *tt.Function {
+	b.Helper()
+	benchParSpecOnce.Do(func() {
+		benchParSpecOnce.f, benchParSpecOnce.err = synthetic.Generate(synthetic.Params{
+			Inputs: 14, Outputs: 8, DCFraction: 0.5, TargetCf: 0.5,
+			Tolerance: 0.05, Seed: 4242, BestEffort: true,
+		})
+	})
+	if benchParSpecOnce.err != nil {
+		b.Fatal(benchParSpecOnce.err)
+	}
+	return benchParSpecOnce.f
+}
+
+var benchParWorkers = []int{1, 2, 4}
+
+func BenchmarkParBoundsMean(b *testing.B) {
+	spec := benchParSpec(b)
+	for _, j := range benchParWorkers {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			benchParProcs(b, 4)
+			ctx := context.Background()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := reliability.BoundsMeanCtx(ctx, spec, j); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkParErrorRateMean(b *testing.B) {
+	spec := benchParSpec(b)
+	impl := core.Complete(spec).Func
+	for _, j := range benchParWorkers {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			benchParProcs(b, 4)
+			ctx := context.Background()
+			for i := 0; i < b.N; i++ {
+				if _, err := reliability.ErrorRateMeanCtx(ctx, spec, impl, j); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkParFactorMean(b *testing.B) {
+	spec := benchParSpec(b)
+	for _, j := range benchParWorkers {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			benchParProcs(b, 4)
+			ctx := context.Background()
+			for i := 0; i < b.N; i++ {
+				if _, err := complexity.FactorMeanCtx(ctx, spec, j); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkParSynthesize(b *testing.B) {
+	// Synthesis runs full espresso+factoring per output, so it uses a
+	// smaller spec than the analysis kernels to keep -benchtime=1x (the
+	// CI race smoke) affordable.
+	spec, err := synthetic.Generate(synthetic.Params{
+		Inputs: 10, Outputs: 8, DCFraction: 0.5, TargetCf: 0.5,
+		Tolerance: 0.05, Seed: 4242, BestEffort: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, j := range benchParWorkers {
+		b.Run(fmt.Sprintf("j=%d", j), func(b *testing.B) {
+			benchParProcs(b, 4)
+			for i := 0; i < b.N; i++ {
+				if _, err := synth.Synthesize(spec, synth.Options{Parallelism: j}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -48,8 +48,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
 		os.Exit(1)
 	}
+	cf0, err := relsyn.ComplexityFactor(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+		os.Exit(1)
+	}
+	ecf, err := relsyn.ExpectedComplexityFactor(f)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchgen: %v\n", err)
+		os.Exit(1)
+	}
 	fmt.Fprintf(os.Stderr, "generated: C^f=%.3f E[C^f]=%.3f %%DC=%.1f\n",
-		relsyn.ComplexityFactor(f), relsyn.ExpectedComplexityFactor(f), 100*f.DCFraction())
+		cf0, ecf, 100*f.DCFraction())
 	w := os.Stdout
 	if *out != "" {
 		file, err := os.Create(*out)

@@ -105,7 +105,7 @@ func usage() {
   relsyn synth  [-in spec.pla | -bench name] [-objective delay|power|area] [-flow sop|resyn]
                 [-method none|rank|lcf|complete] [-fraction F] [-threshold T]
                 [-timeout D] [-max-bdd-nodes N] [-max-conflicts N] [-max-aig-nodes N] [-strict]
-                [-json] [-trace]
+                [-j N] [-json] [-trace]
   relsyn verilog [-in spec.pla | -bench name] [-module name] [-out file.v]
   relsyn decompose [-in spec.pla | -bench name] [-k 5] [-threshold 0.7] [-blif file.blif]
 
@@ -171,14 +171,31 @@ func runStats(args []string) error {
 	if err != nil {
 		return err
 	}
-	lo, hi := relsyn.ExactBounds(f)
-	sig := relsyn.SignalEstimate(f)
-	bor := relsyn.BorderEstimate(f)
+	lo, hi, err := relsyn.ExactBounds(f)
+	if err != nil {
+		return err
+	}
+	sig, err := relsyn.SignalEstimate(f)
+	if err != nil {
+		return err
+	}
+	bor, err := relsyn.BorderEstimate(f)
+	if err != nil {
+		return err
+	}
+	cf, err := relsyn.ComplexityFactor(f)
+	if err != nil {
+		return err
+	}
+	ecf, err := relsyn.ExpectedComplexityFactor(f)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("inputs            %d\n", f.NumIn)
 	fmt.Printf("outputs           %d\n", f.NumOut())
 	fmt.Printf("%%DC               %.1f\n", 100*f.DCFraction())
-	fmt.Printf("C^f               %.3f\n", relsyn.ComplexityFactor(f))
-	fmt.Printf("E[C^f]            %.3f\n", relsyn.ExpectedComplexityFactor(f))
+	fmt.Printf("C^f               %.3f\n", cf)
+	fmt.Printf("E[C^f]            %.3f\n", ecf)
 	fmt.Printf("exact bounds      [%.3f, %.3f]\n", lo, hi)
 	fmt.Printf("signal estimate   [%.3f, %.3f]\n", sig.Min, sig.Max)
 	fmt.Printf("border estimate   [%.3f, %.3f]\n", bor.Min, bor.Max)
@@ -269,8 +286,12 @@ func runSynth(args []string) error {
 	strict := fs.Bool("strict", false, "fail on budget exhaustion instead of degrading")
 	jsonOut := fs.Bool("json", false, "print the result as JSON (the relsynd wire format)")
 	trace := fs.Bool("trace", false, "print the span tree of the run to stderr")
+	jobs := fs.Int("j", 0, "worker parallelism for per-output analysis (0 = GOMAXPROCS, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *jobs < 0 {
+		return usagef("-j must be >= 0, got %d", *jobs)
 	}
 	if err := checkFraction(*fraction); err != nil {
 		return err
@@ -305,6 +326,7 @@ func runSynth(args []string) error {
 		MaxBDDNodes:  *maxBDD,
 		MaxConflicts: *maxConflicts,
 		MaxAIGNodes:  *maxAIG,
+		Parallelism:  *jobs,
 	}
 	switch *method {
 	case "rank":

@@ -8,7 +8,7 @@
 //	relsynd [-addr :8337] [-workers N] [-queue-depth N] [-cache-size N]
 //	        [-default-timeout 30s] [-max-timeout 5m] [-retry-after 1s]
 //	        [-drain-timeout 30s] [-pprof-addr localhost:6060]
-//	        [-max-bdd-nodes N] [-max-conflicts N] [-max-aig-nodes N]
+//	        [-max-bdd-nodes N] [-max-conflicts N] [-max-aig-nodes N] [-j N]
 //
 // Observability: GET /metrics serves the Prometheus text exposition of
 // every queue/cache/pipeline/HTTP series, GET /statsz the JSON view.
@@ -75,6 +75,7 @@ type budgetDefaults struct {
 	maxBDDNodes  int
 	maxConflicts int64
 	maxAIGNodes  int
+	parallelism  int
 }
 
 func parseFlags(args []string, stderr io.Writer) (*daemonConfig, error) {
@@ -94,6 +95,7 @@ func parseFlags(args []string, stderr io.Writer) (*daemonConfig, error) {
 	fs.IntVar(&cfg.budget.maxBDDNodes, "max-bdd-nodes", 0, "default BDD node budget for jobs that carry none (0 = unlimited)")
 	fs.Int64Var(&cfg.budget.maxConflicts, "max-conflicts", 0, "default SAT conflict budget for jobs that carry none (0 = unlimited)")
 	fs.IntVar(&cfg.budget.maxAIGNodes, "max-aig-nodes", 0, "default AIG node budget for jobs that carry none (0 = unlimited)")
+	fs.IntVar(&cfg.budget.parallelism, "j", 0, "default per-job analysis parallelism for jobs that carry none (0 = GOMAXPROCS, 1 = sequential)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -101,13 +103,20 @@ func parseFlags(args []string, stderr io.Writer) (*daemonConfig, error) {
 		fs.Usage()
 		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
 	}
+	if cfg.budget.parallelism < 0 {
+		fs.Usage()
+		return nil, fmt.Errorf("-j must be >= 0, got %d", cfg.budget.parallelism)
+	}
 	return cfg, nil
 }
 
 // backendWithDefaults wraps pipeline.RunJob, filling in server-wide
 // resource budgets for jobs that do not set their own. Applied in the
 // backend (after the cache key is derived) so the defaults do not
-// fragment the cache when they change across restarts.
+// fragment the cache when they change across restarts. Parallelism gets
+// the same treatment: it is an execution knob, never part of the cache
+// key (JobOptions.Key strips it), so the server-wide -j default is also
+// applied post-key.
 func (b budgetDefaults) backend() server.Backend {
 	return func(ctx context.Context, f *tt.Function, jo pipeline.JobOptions) (*pipeline.JobResult, error) {
 		if jo.MaxBDDNodes == 0 {
@@ -118,6 +127,9 @@ func (b budgetDefaults) backend() server.Backend {
 		}
 		if jo.MaxAIGNodes == 0 {
 			jo.MaxAIGNodes = b.maxAIGNodes
+		}
+		if jo.Parallelism == 0 {
+			jo.Parallelism = b.parallelism
 		}
 		return pipeline.RunJob(ctx, f, jo)
 	}

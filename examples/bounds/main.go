@@ -5,6 +5,7 @@
 package main
 
 import (
+	"errors"
 	"fmt"
 	"log"
 
@@ -35,9 +36,18 @@ func main() {
 
 	show := func(name string, f *relsyn.Function) {
 		f0, f1, fdc := f.SignalProbabilities(0)
-		lo, hi := relsyn.ExactBounds(f)
-		sig := relsyn.SignalEstimate(f)
-		bor := relsyn.BorderEstimate(f)
+		lo, hi, err := relsyn.ExactBounds(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sig, err := relsyn.SignalEstimate(f)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bor, err := relsyn.BorderEstimate(f)
+		if err != nil {
+			log.Fatal(err)
+		}
 		fmt.Printf("%s: f0=%.2f f1=%.2f fDC=%.2f\n", name, f0, f1, fdc)
 		fmt.Printf("  exact bounds    [%.3f, %.3f]\n", lo, hi)
 		fmt.Printf("  signal estimate [%.3f, %.3f]   (sees only probabilities)\n", sig.Min, sig.Max)
@@ -46,7 +56,11 @@ func main() {
 	show("clustered (few borders)", clustered)
 	show("scattered (many borders)", scattered)
 
-	sigA, sigB := relsyn.SignalEstimate(clustered), relsyn.SignalEstimate(scattered)
+	sigA, errA := relsyn.SignalEstimate(clustered)
+	sigB, errB := relsyn.SignalEstimate(scattered)
+	if errA != nil || errB != nil {
+		log.Fatal(errors.Join(errA, errB))
+	}
 	if sigA == sigB {
 		fmt.Println("signal-probability estimates are IDENTICAL for both functions;")
 		fmt.Println("only the border-based estimate distinguishes their reliability ranges.")

@@ -41,7 +41,10 @@ func main() {
 		fmt.Printf("  minterm %04b -> %v\n", m, res.Func.Phase(0, m))
 	}
 
-	lo, hi := relsyn.ExactBounds(f)
+	lo, hi, err := relsyn.ExactBounds(f)
+	if err != nil {
+		log.Fatal(err)
+	}
 	impl, err := relsyn.Synthesize(res.Func, relsyn.SynthOptions{})
 	if err != nil {
 		log.Fatal(err)

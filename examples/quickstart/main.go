@@ -15,10 +15,17 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	cf, err := relsyn.ComplexityFactor(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("ex1010: %d inputs, %d outputs, %.1f%% DC, C^f=%.3f\n",
-		spec.NumIn, spec.NumOut(), 100*spec.DCFraction(), relsyn.ComplexityFactor(spec))
+		spec.NumIn, spec.NumOut(), 100*spec.DCFraction(), cf)
 
-	lo, hi := relsyn.ExactBounds(spec)
+	lo, hi, err := relsyn.ExactBounds(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("achievable error-rate range: [%.4f, %.4f]\n\n", lo, hi)
 
 	// Conventional: every DC spent on area by the minimizer.

@@ -15,7 +15,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("exam: %.1f%% DC, C^f=%.3f\n\n", 100*spec.DCFraction(), relsyn.ComplexityFactor(spec))
+	cf, err := relsyn.ComplexityFactor(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("exam: %.1f%% DC, C^f=%.3f\n\n", 100*spec.DCFraction(), cf)
 
 	for _, obj := range []struct {
 		name string

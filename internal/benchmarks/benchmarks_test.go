@@ -50,13 +50,21 @@ func TestSuiteMatchesTable1(t *testing.T) {
 			if dc := f.DCFraction(); math.Abs(dc-s.DCFraction) > 0.01 {
 				t.Errorf("%%DC = %.3f, want %.3f", dc, s.DCFraction)
 			}
-			if cf := complexity.FactorMean(f); math.Abs(cf-s.Cf) > 0.025 {
+			cf, err := complexity.FactorMean(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(cf-s.Cf) > 0.025 {
 				t.Errorf("C^f = %.3f, want %.3f", cf, s.Cf)
 			}
 			// E[C^f] follows from the signal probabilities; it should land
 			// near the published value since the on/off split was derived
 			// from it.
-			if ecf := complexity.ExpectedMean(f); math.Abs(ecf-s.ExpectedCf) > 0.03 {
+			ecf, err := complexity.ExpectedMean(f)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Abs(ecf-s.ExpectedCf) > 0.03 {
 				t.Errorf("E[C^f] = %.3f, want %.3f", ecf, s.ExpectedCf)
 			}
 			if f.Name != s.Name {

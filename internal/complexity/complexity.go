@@ -18,10 +18,23 @@
 package complexity
 
 import (
+	"context"
+	"fmt"
 	"math/bits"
 
+	"relsyn/internal/par"
 	"relsyn/internal/tt"
 )
+
+// checkOutputs rejects zero-output functions at the API boundary with
+// the typed tt.ErrZeroOutputs sentinel (per-output means over zero
+// outputs used to silently divide by zero and return NaN).
+func checkOutputs(f *tt.Function) error {
+	if f.NumOut() == 0 {
+		return fmt.Errorf("complexity: %w", tt.ErrZeroOutputs)
+	}
+	return nil
+}
 
 // SamePhaseNeighbors returns, for every minterm m, the number of m's n
 // 1-Hamming neighbors that share m's phase in output o. This is the O(n·2^n)
@@ -68,13 +81,33 @@ func Factor(f *tt.Function, o int) float64 {
 }
 
 // FactorMean returns the mean C^f across all outputs — the per-benchmark
-// figure reported in paper Table 1.
-func FactorMean(f *tt.Function) float64 {
-	sum := 0.0
-	for o := range f.Outs {
-		sum += Factor(f, o)
+// figure reported in paper Table 1 — computed with full machine
+// parallelism. Zero-output functions are rejected with an error wrapping
+// tt.ErrZeroOutputs.
+func FactorMean(f *tt.Function) (float64, error) {
+	return FactorMeanCtx(context.Background(), f, 0)
+}
+
+// FactorMeanCtx is FactorMean with cooperative cancellation and an
+// explicit parallelism cap (0 = GOMAXPROCS, 1 = sequential). Per-output
+// factors are computed concurrently but accumulated in output order, so
+// the result is bit-identical at every parallelism level.
+func FactorMeanCtx(ctx context.Context, f *tt.Function, parallelism int) (float64, error) {
+	if err := checkOutputs(f); err != nil {
+		return 0, err
 	}
-	return sum / float64(f.NumOut())
+	factors := make([]float64, f.NumOut())
+	if err := par.Do(ctx, parallelism, f.NumOut(), func(o int) error {
+		factors[o] = Factor(f, o)
+		return nil
+	}); err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for _, v := range factors {
+		sum += v
+	}
+	return sum / float64(f.NumOut()), nil
 }
 
 // Expected returns E[C^f] for output o: the complexity factor a random
@@ -85,13 +118,17 @@ func Expected(f *tt.Function, o int) float64 {
 	return f0*f0 + f1*f1 + fdc*fdc
 }
 
-// ExpectedMean returns the mean E[C^f] across outputs.
-func ExpectedMean(f *tt.Function) float64 {
+// ExpectedMean returns the mean E[C^f] across outputs. Zero-output
+// functions are rejected with an error wrapping tt.ErrZeroOutputs.
+func ExpectedMean(f *tt.Function) (float64, error) {
+	if err := checkOutputs(f); err != nil {
+		return 0, err
+	}
 	sum := 0.0
 	for o := range f.Outs {
 		sum += Expected(f, o)
 	}
-	return sum / float64(f.NumOut())
+	return sum / float64(f.NumOut()), nil
 }
 
 // Local returns LC^f for minterm m of output o.
@@ -104,12 +141,33 @@ func Local(f *tt.Function, o, m int) float64 {
 // used by the complexity-factor-based assignment algorithm, which needs
 // the value for every DC minterm.
 func LocalAll(f *tt.Function, o int) []float64 {
+	out, _ := LocalAllCtx(context.Background(), f, o, 1)
+	return out
+}
+
+// localAllChunk is the minimum minterm-chunk size LocalAllCtx hands to
+// one worker; below this the per-chunk dispatch overhead dominates the
+// O(n) work per minterm.
+const localAllChunk = 1024
+
+// LocalAllCtx is LocalAll with cooperative cancellation and an explicit
+// parallelism cap (0 = GOMAXPROCS, 1 = sequential). The minterm space is
+// split into contiguous chunks and each worker writes only its own
+// index range, so the result is bit-identical at every parallelism
+// level.
+func LocalAllCtx(ctx context.Context, f *tt.Function, o, parallelism int) ([]float64, error) {
 	same := SamePhaseNeighbors(f, o)
 	out := make([]float64, f.Size())
-	for m := range out {
-		out[m] = localFrom(f, same, m)
+	err := par.DoRange(ctx, parallelism, f.Size(), localAllChunk, func(lo, hi int) error {
+		for m := lo; m < hi; m++ {
+			out[m] = localFrom(f, same, m)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	return out
+	return out, nil
 }
 
 func localFrom(f *tt.Function, same []int, m int) float64 {

@@ -1,8 +1,11 @@
 package complexity
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"relsyn/internal/tt"
@@ -207,15 +210,94 @@ func TestMeans(t *testing.T) {
 	for o := 0; o < 3; o++ {
 		sum += Factor(f, o)
 	}
-	if got := FactorMean(f); math.Abs(got-sum/3) > 1e-12 {
+	got, err := FactorMean(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-sum/3) > 1e-12 {
 		t.Fatalf("FactorMean = %v, want %v", got, sum/3)
 	}
 	sum = 0.0
 	for o := 0; o < 3; o++ {
 		sum += Expected(f, o)
 	}
-	if got := ExpectedMean(f); math.Abs(got-sum/3) > 1e-12 {
+	got, err = ExpectedMean(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-sum/3) > 1e-12 {
 		t.Fatalf("ExpectedMean = %v, want %v", got, sum/3)
+	}
+}
+
+// Regression: the mean helpers silently returned NaN on zero-output
+// functions; they must now reject them with the typed sentinel.
+func TestMeansZeroOutputsRejected(t *testing.T) {
+	f := &tt.Function{NumIn: 4} // hand-built: no outputs
+	if _, err := FactorMean(f); !errors.Is(err, tt.ErrZeroOutputs) {
+		t.Fatalf("FactorMean: got %v, want tt.ErrZeroOutputs", err)
+	}
+	if _, err := ExpectedMean(f); !errors.Is(err, tt.ErrZeroOutputs) {
+		t.Fatalf("ExpectedMean: got %v, want tt.ErrZeroOutputs", err)
+	}
+}
+
+// withProcs raises GOMAXPROCS so the parallel path actually runs
+// concurrently even on single-core machines.
+func withProcs(t *testing.T, n int) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
+// The parallel kernels must be bit-identical to the sequential path at
+// every parallelism level.
+func TestParallelMatchesSequential(t *testing.T) {
+	withProcs(t, 8)
+	rng := rand.New(rand.NewSource(99))
+	ctx := context.Background()
+	for trial := 0; trial < 3; trial++ {
+		f := randomFunction(rng, 7, 5)
+		seqMean, err := FactorMeanCtx(ctx, f, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqLocal, err := LocalAllCtx(ctx, f, 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{2, 8, 0} {
+			mean, err := FactorMeanCtx(ctx, f, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if mean != seqMean {
+				t.Fatalf("p=%d: FactorMean %v != sequential %v", p, mean, seqMean)
+			}
+			local, err := LocalAllCtx(ctx, f, 0, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for m := range local {
+				if local[m] != seqLocal[m] {
+					t.Fatalf("p=%d: LocalAll[%d] %v != sequential %v", p, m, local[m], seqLocal[m])
+				}
+			}
+		}
+	}
+}
+
+// A cancelled context aborts the parallel kernels with ctx.Err().
+func TestCancellationAborts(t *testing.T) {
+	rng := rand.New(rand.NewSource(100))
+	f := randomFunction(rng, 6, 4)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := FactorMeanCtx(ctx, f, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("FactorMeanCtx: got %v, want context.Canceled", err)
+	}
+	if _, err := LocalAllCtx(ctx, f, 0, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("LocalAllCtx: got %v, want context.Canceled", err)
 	}
 }
 

@@ -20,11 +20,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"relsyn/internal/complexity"
+	"relsyn/internal/par"
 	"relsyn/internal/tt"
 )
 
@@ -78,6 +80,13 @@ type Options struct {
 	// *bdd.LimitError; callers may then fall back to the dense
 	// truth-table path, which computes the identical result.
 	MaxBDDNodes int
+
+	// Parallelism caps the worker count for the per-output candidate
+	// selection fan-out (0 = GOMAXPROCS, 1 = sequential). It never
+	// changes the computed assignment: selections land in
+	// index-addressed slots and are applied sequentially in output
+	// order, so it is deliberately NOT part of Canonical().
+	Parallelism int
 }
 
 // check polls the Interrupt hook.
@@ -90,7 +99,7 @@ func (o Options) check() error {
 
 // Canonical returns o reduced to the fields that determine the computed
 // assignment, with every operational knob (cancellation hooks, resource
-// budgets) cleared. Two Options values with equal Canonical() forms
+// budgets, parallelism caps) cleared. Two Options values with equal Canonical() forms
 // produce bit-identical results on the same input, so cache keys and
 // request-coalescing identities (internal/server) must be derived from
 // the canonical form — deriving them from the raw struct would split
@@ -105,23 +114,11 @@ func Ranking(f *tt.Function, fraction float64, opt Options) (*Result, error) {
 	if fraction < 0 || fraction > 1 {
 		return nil, fmt.Errorf("core: fraction %v outside [0,1]", fraction)
 	}
-	res := newResult(f)
-	for o := range f.Outs {
-		if err := opt.check(); err != nil {
-			return nil, err
-		}
-		cands := rankCandidates(f, o, opt)
-		// Decreasing weight; ties broken by minterm index for determinism.
-		sort.SliceStable(cands, func(i, j int) bool {
-			if cands[i].Weight != cands[j].Weight {
-				return cands[i].Weight > cands[j].Weight
-			}
-			return cands[i].Minterm < cands[j].Minterm
-		})
-		k := int(math.Round(fraction * float64(len(cands))))
-		res.apply(o, cands[:k])
+	fractions := make([]float64, f.NumOut())
+	for o := range fractions {
+		fractions[o] = fraction
 	}
-	return res, nil
+	return rankingWith(f, fractions, opt)
 }
 
 // RankingPerOutput is Ranking with an independent fraction per output,
@@ -131,24 +128,43 @@ func RankingPerOutput(f *tt.Function, fractions []float64, opt Options) (*Result
 	if len(fractions) != f.NumOut() {
 		return nil, fmt.Errorf("core: %d fractions for %d outputs", len(fractions), f.NumOut())
 	}
-	res := newResult(f)
-	for o := range f.Outs {
-		fr := fractions[o]
+	for _, fr := range fractions {
 		if fr < 0 || fr > 1 {
 			return nil, fmt.Errorf("core: fraction %v outside [0,1]", fr)
 		}
+	}
+	return rankingWith(f, fractions, opt)
+}
+
+// rankingWith is the shared body of Ranking and RankingPerOutput: the
+// per-output candidate ranking fans out through the work pool into
+// index-addressed slots, and the selections are applied sequentially in
+// output order — the computed assignment is bit-identical at every
+// parallelism level.
+func rankingWith(f *tt.Function, fractions []float64, opt Options) (*Result, error) {
+	res := newResult(f)
+	sels := make([][]Assignment, f.NumOut())
+	err := par.Do(context.Background(), opt.Parallelism, f.NumOut(), func(o int) error {
 		if err := opt.check(); err != nil {
-			return nil, err
+			return err
 		}
 		cands := rankCandidates(f, o, opt)
+		// Decreasing weight; ties broken by minterm index for determinism.
 		sort.SliceStable(cands, func(i, j int) bool {
 			if cands[i].Weight != cands[j].Weight {
 				return cands[i].Weight > cands[j].Weight
 			}
 			return cands[i].Minterm < cands[j].Minterm
 		})
-		k := int(math.Round(fr * float64(len(cands))))
-		res.apply(o, cands[:k])
+		k := int(math.Round(fractions[o] * float64(len(cands))))
+		sels[o] = cands[:k]
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for o, sel := range sels {
+		res.apply(o, sel)
 	}
 	return res, nil
 }
@@ -162,11 +178,17 @@ func LCF(f *tt.Function, threshold float64, opt Options) (*Result, error) {
 		return nil, fmt.Errorf("core: threshold %v outside [0,1]", threshold)
 	}
 	res := newResult(f)
-	for o := range f.Outs {
+	sels := make([][]Assignment, f.NumOut())
+	err := par.Do(context.Background(), opt.Parallelism, f.NumOut(), func(o int) error {
 		if err := opt.check(); err != nil {
-			return nil, err
+			return err
 		}
-		local := complexity.LocalAll(f, o)
+		// The LC^f kernel itself also fans out over minterm chunks, so a
+		// single-output function still uses the whole parallelism budget.
+		local, err := complexity.LocalAllCtx(context.Background(), f, o, opt.Parallelism)
+		if err != nil {
+			return err
+		}
 		var sel []Assignment
 		f.Outs[o].DC.ForEach(func(m int) {
 			if local[m] >= threshold {
@@ -176,6 +198,13 @@ func LCF(f *tt.Function, threshold float64, opt Options) (*Result, error) {
 				sel = append(sel, a)
 			}
 		})
+		sels[o] = sel
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for o, sel := range sels {
 		res.apply(o, sel)
 	}
 	return res, nil

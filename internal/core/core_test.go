@@ -3,6 +3,7 @@ package core
 import (
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"relsyn/internal/reliability"
@@ -194,7 +195,10 @@ func TestCompleteSpecifiesEverything(t *testing.T) {
 	if len(res.Assigned) != res.TotalDCs {
 		t.Fatalf("assigned %d of %d", len(res.Assigned), res.TotalDCs)
 	}
-	lo, _ := reliability.BoundsMean(f)
+	lo, _, err := reliability.BoundsMean(f)
+	if err != nil {
+		t.Fatal(err)
+	}
 	got, err := reliability.ErrorRateMean(f, res.Func)
 	if err != nil {
 		t.Fatal(err)
@@ -386,16 +390,59 @@ func TestOptionsCanonical(t *testing.T) {
 		AssignTies:  true,
 		Interrupt:   func() error { return nil },
 		MaxBDDNodes: 1234,
+		Parallelism: 8,
 	}
 	c := loaded.Canonical()
 	if !c.AssignTies {
 		t.Fatal("Canonical dropped AssignTies")
 	}
-	if c.Interrupt != nil || c.MaxBDDNodes != 0 {
+	if c.Interrupt != nil || c.MaxBDDNodes != 0 || c.Parallelism != 0 {
 		t.Fatalf("Canonical kept operational knobs: %+v", c)
 	}
 	c2 := Options{MaxBDDNodes: 7}.Canonical()
 	if c2.AssignTies || c2.Interrupt != nil || c2.MaxBDDNodes != 0 {
 		t.Fatalf("Canonical of budget-only options not zero: %+v", c2)
+	}
+}
+
+// The assignment algorithms must compute the exact same result at every
+// parallelism level: candidate selection fans out, application is
+// sequential in output order.
+func TestAssignmentParallelMatchesSequential(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+	rng := rand.New(rand.NewSource(59))
+	for trial := 0; trial < 3; trial++ {
+		f := randomFunction(rng, 6, 5, 0.5)
+		seqRank, err := Ranking(f, 0.6, Options{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqLCF, err := LCF(f, 0.55, Options{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{2, 8, 0} {
+			rank, err := Ranking(f, 0.6, Options{Parallelism: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rank.Func.Equal(seqRank.Func) || len(rank.Assigned) != len(seqRank.Assigned) {
+				t.Fatalf("p=%d: Ranking result differs from sequential", p)
+			}
+			for i := range rank.Assigned {
+				if rank.Assigned[i] != seqRank.Assigned[i] {
+					t.Fatalf("p=%d: Ranking assignment %d differs: %+v vs %+v",
+						p, i, rank.Assigned[i], seqRank.Assigned[i])
+				}
+			}
+			lcf, err := LCF(f, 0.55, Options{Parallelism: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !lcf.Func.Equal(seqLCF.Func) || len(lcf.Assigned) != len(seqLCF.Assigned) {
+				t.Fatalf("p=%d: LCF result differs from sequential", p)
+			}
+		}
 	}
 }

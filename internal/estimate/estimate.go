@@ -19,8 +19,11 @@
 package estimate
 
 import (
+	"context"
+	"fmt"
 	"math"
 
+	"relsyn/internal/par"
 	"relsyn/internal/reliability"
 	"relsyn/internal/tt"
 )
@@ -127,23 +130,55 @@ func poisson(k int, lambda float64) float64 {
 	return p
 }
 
-// SignalBasedMean averages SignalBased over all outputs.
-func SignalBasedMean(f *tt.Function) Bounds {
-	return meanOver(f, SignalBased)
+// SignalBasedMean averages SignalBased over all outputs with full
+// machine parallelism. Zero-output functions are rejected with an error
+// wrapping tt.ErrZeroOutputs.
+func SignalBasedMean(f *tt.Function) (Bounds, error) {
+	return SignalBasedMeanCtx(context.Background(), f, 0)
 }
 
-// BorderBasedMean averages BorderBased over all outputs.
-func BorderBasedMean(f *tt.Function) Bounds {
-	return meanOver(f, BorderBased)
+// SignalBasedMeanCtx is SignalBasedMean with cooperative cancellation
+// and an explicit parallelism cap (0 = GOMAXPROCS, 1 = sequential);
+// results are bit-identical at every parallelism level.
+func SignalBasedMeanCtx(ctx context.Context, f *tt.Function, parallelism int) (Bounds, error) {
+	return meanOver(ctx, f, parallelism, SignalBased)
 }
 
-func meanOver(f *tt.Function, fn func(*tt.Function, int) Bounds) Bounds {
+// BorderBasedMean averages BorderBased over all outputs with full
+// machine parallelism. Zero-output functions are rejected with an error
+// wrapping tt.ErrZeroOutputs.
+func BorderBasedMean(f *tt.Function) (Bounds, error) {
+	return BorderBasedMeanCtx(context.Background(), f, 0)
+}
+
+// BorderBasedMeanCtx is BorderBasedMean with cooperative cancellation
+// and an explicit parallelism cap (0 = GOMAXPROCS, 1 = sequential);
+// results are bit-identical at every parallelism level.
+func BorderBasedMeanCtx(ctx context.Context, f *tt.Function, parallelism int) (Bounds, error) {
+	return meanOver(ctx, f, parallelism, BorderBased)
+}
+
+// meanOver computes per-output bounds concurrently into index-addressed
+// slots and accumulates them sequentially in output order, so the mean
+// is bit-identical at every parallelism level. Zero-output functions
+// are rejected with the typed tt.ErrZeroOutputs sentinel (historically
+// this divided by zero and returned NaN bounds).
+func meanOver(ctx context.Context, f *tt.Function, parallelism int, fn func(*tt.Function, int) Bounds) (Bounds, error) {
+	if f.NumOut() == 0 {
+		return Bounds{}, fmt.Errorf("estimate: %w", tt.ErrZeroOutputs)
+	}
+	per := make([]Bounds, f.NumOut())
+	if err := par.Do(ctx, parallelism, f.NumOut(), func(o int) error {
+		per[o] = fn(f, o)
+		return nil
+	}); err != nil {
+		return Bounds{}, err
+	}
 	var acc Bounds
-	for o := range f.Outs {
-		b := fn(f, o)
+	for _, b := range per {
 		acc.Min += b.Min
 		acc.Max += b.Max
 	}
 	m := float64(f.NumOut())
-	return Bounds{Min: acc.Min / m, Max: acc.Max / m}
+	return Bounds{Min: acc.Min / m, Max: acc.Max / m}, nil
 }

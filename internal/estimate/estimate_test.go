@@ -1,8 +1,11 @@
 package estimate
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"relsyn/internal/reliability"
@@ -178,9 +181,62 @@ func TestMeansAverageOutputs(t *testing.T) {
 		wantMin += b.Min / 3
 		wantMax += b.Max / 3
 	}
-	got := SignalBasedMean(f)
+	got, err := SignalBasedMean(f)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if math.Abs(got.Min-wantMin) > 1e-12 || math.Abs(got.Max-wantMax) > 1e-12 {
 		t.Fatalf("mean = %+v, want {%v %v}", got, wantMin, wantMax)
+	}
+}
+
+// Regression: the mean estimates silently returned NaN bounds on
+// zero-output functions; they must reject them with the typed sentinel.
+func TestMeansZeroOutputsRejected(t *testing.T) {
+	f := &tt.Function{NumIn: 4} // hand-built: no outputs
+	if _, err := SignalBasedMean(f); !errors.Is(err, tt.ErrZeroOutputs) {
+		t.Fatalf("SignalBasedMean: got %v, want tt.ErrZeroOutputs", err)
+	}
+	if _, err := BorderBasedMean(f); !errors.Is(err, tt.ErrZeroOutputs) {
+		t.Fatalf("BorderBasedMean: got %v, want tt.ErrZeroOutputs", err)
+	}
+}
+
+// The mean estimates must be bit-identical at every parallelism level.
+func TestMeansParallelMatchSequential(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+	rng := rand.New(rand.NewSource(135))
+	ctx := context.Background()
+	f := tt.New(6, 6)
+	for o := 0; o < f.NumOut(); o++ {
+		for m := 0; m < f.Size(); m++ {
+			f.SetPhase(o, m, tt.Phase(rng.Intn(3)))
+		}
+	}
+	seqSig, err := SignalBasedMeanCtx(ctx, f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seqBor, err := BorderBasedMeanCtx(ctx, f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []int{2, 8, 0} {
+		sig, err := SignalBasedMeanCtx(ctx, f, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sig != seqSig {
+			t.Fatalf("p=%d: SignalBasedMean %+v != sequential %+v", p, sig, seqSig)
+		}
+		bor, err := BorderBasedMeanCtx(ctx, f, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if bor != seqBor {
+			t.Fatalf("p=%d: BorderBasedMean %+v != sequential %+v", p, bor, seqBor)
+		}
 	}
 }
 

@@ -8,11 +8,13 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 	"math/bits"
 	"sort"
 
 	"relsyn/internal/cube"
+	"relsyn/internal/par"
 	"relsyn/internal/tt"
 )
 
@@ -20,6 +22,10 @@ import (
 type Limits struct {
 	MaxPrimes int // abort prime generation beyond this many (default 20000)
 	MaxNodes  int // abort branch & bound beyond this many nodes (default 1 << 22)
+	// Parallelism caps the worker count of the prime-generation adjacency
+	// merge (0 = GOMAXPROCS, 1 = sequential). It never changes results:
+	// the merge is a set union folded in deterministic group order.
+	Parallelism int
 }
 
 func (l *Limits) defaults() {
@@ -57,8 +63,27 @@ func (im implicant) toCube(n int) cube.Cube {
 }
 
 // Primes returns every prime implicant of the function on∪dc, for a
-// function given as a dense spec output.
+// function given as a dense spec output, with full machine parallelism.
 func Primes(f *tt.Function, o int, lim Limits) ([]cube.Cube, error) {
+	return PrimesCtx(context.Background(), f, o, lim)
+}
+
+// mergeResult is the output of one popcount-group adjacency-merge task:
+// the implicants produced by merging group pc with group pc+1 and the
+// inputs consumed by at least one merge. Tasks write only their own
+// slot; the fold into sets happens sequentially in group order, so the
+// (sorted) prime list is identical at every parallelism level.
+type mergeResult struct {
+	merged []implicant
+	used   []implicant
+}
+
+// PrimesCtx is Primes with cooperative cancellation and the parallelism
+// cap taken from lim.Parallelism. Each Quine-McCluskey level merges the
+// per-popcount groups concurrently: the group pairs (pc, pc+1) are
+// independent, so they fan out through the shared work pool while the
+// union of their results is folded deterministically.
+func PrimesCtx(ctx context.Context, f *tt.Function, o int, lim Limits) ([]cube.Cube, error) {
 	lim.defaults()
 	n := f.NumIn
 	if n > 20 {
@@ -79,10 +104,18 @@ func Primes(f *tt.Function, o int, lim Limits) ([]cube.Cube, error) {
 		for im := range cur {
 			groups[bits.OnesCount32(im.values)] = append(groups[bits.OnesCount32(im.values)], im)
 		}
-		merged := map[implicant]bool{}
-		used := map[implicant]bool{}
-		for pc, g := range groups {
-			next := groups[pc+1]
+		// The (pc, pc+1) group pairs are independent merge tasks; run
+		// them concurrently, each writing only results[i]. groups is
+		// read-only during the fan-out.
+		pcs := make([]int, 0, len(groups))
+		for pc := range groups {
+			pcs = append(pcs, pc)
+		}
+		sort.Ints(pcs)
+		results := make([]mergeResult, len(pcs))
+		err := par.Do(ctx, lim.Parallelism, len(pcs), func(i int) error {
+			g, next := groups[pcs[i]], groups[pcs[i]+1]
+			var res mergeResult
 			for _, a := range g {
 				for _, b := range next {
 					if a.mask != b.mask {
@@ -93,10 +126,24 @@ func Primes(f *tt.Function, o int, lim Limits) ([]cube.Cube, error) {
 						continue
 					}
 					nm := implicant{values: a.values &^ diff, mask: a.mask | diff}
-					merged[nm] = true
-					used[a] = true
-					used[b] = true
+					res.merged = append(res.merged, nm)
+					res.used = append(res.used, a, b)
 				}
+			}
+			results[i] = res
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		merged := map[implicant]bool{}
+		used := map[implicant]bool{}
+		for _, res := range results {
+			for _, im := range res.merged {
+				merged[im] = true
+			}
+			for _, im := range res.used {
+				used[im] = true
 			}
 		}
 		for im := range cur {

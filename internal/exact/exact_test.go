@@ -1,7 +1,10 @@
 package exact
 
 import (
+	"context"
+	"errors"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"relsyn/internal/cube"
@@ -202,5 +205,45 @@ func BenchmarkExactMinimize7(b *testing.B) {
 		if _, err := Minimize(f, 0, Limits{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// The parallel adjacency merge must produce the exact same (sorted)
+// prime list as the sequential path at every parallelism level.
+func TestPrimesParallelMatchSequential(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+	rng := rand.New(rand.NewSource(77))
+	ctx := context.Background()
+	for trial := 0; trial < 5; trial++ {
+		f := randomFunction(rng, 8, 0.3)
+		seq, err := PrimesCtx(ctx, f, 0, Limits{Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{2, 8, 0} {
+			got, err := PrimesCtx(ctx, f, 0, Limits{Parallelism: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(seq) {
+				t.Fatalf("p=%d: %d primes != sequential %d", p, len(got), len(seq))
+			}
+			for i := range got {
+				if got[i].String() != seq[i].String() {
+					t.Fatalf("p=%d: prime %d = %s != sequential %s", p, i, got[i], seq[i])
+				}
+			}
+		}
+	}
+}
+
+// A cancelled context aborts prime generation with ctx.Err().
+func TestPrimesCancellation(t *testing.T) {
+	f := randomFunction(rand.New(rand.NewSource(78)), 8, 0.3)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := PrimesCtx(ctx, f, 0, Limits{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
 	}
 }

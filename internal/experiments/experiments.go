@@ -6,7 +6,7 @@
 package experiments
 
 import (
-	"runtime"
+	"context"
 	"sync"
 
 	"relsyn/internal/benchmarks"
@@ -14,6 +14,7 @@ import (
 	"relsyn/internal/core"
 	"relsyn/internal/espresso"
 	"relsyn/internal/estimate"
+	"relsyn/internal/par"
 	"relsyn/internal/reliability"
 	"relsyn/internal/synth"
 	"relsyn/internal/synthetic"
@@ -27,42 +28,12 @@ var DefaultFractions = []float64{0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875,
 // recommends 0.45–0.65; reliability-leaning).
 const DefaultThreshold = 0.55
 
-// parallelFor runs fn(i) for i in [0,n) across workers.
+// parallelFor runs fn(i) for i in [0,n) through the shared bounded work
+// pool (internal/par): full machine parallelism, lowest-indexed error,
+// panic-to-error. Rows land in index-addressed slots, so experiment
+// tables are identical at every parallelism level.
 func parallelFor(n int, fn func(i int) error) error {
-	workers := runtime.GOMAXPROCS(0)
-	if workers > n {
-		workers = n
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	var (
-		wg    sync.WaitGroup
-		mu    sync.Mutex
-		first error
-	)
-	next := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range next {
-				if err := fn(i); err != nil {
-					mu.Lock()
-					if first == nil {
-						first = err
-					}
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		next <- i
-	}
-	close(next)
-	wg.Wait()
-	return first
+	return par.Do(context.Background(), 0, n, fn)
 }
 
 // synthER synthesizes f and measures its mean input-error rate against
@@ -100,13 +71,21 @@ func Table1() ([]Table1Row, error) {
 		if err != nil {
 			return err
 		}
+		ecf, err := complexity.ExpectedMean(f)
+		if err != nil {
+			return err
+		}
+		cf, err := complexity.FactorMean(f)
+		if err != nil {
+			return err
+		}
 		rows[i] = Table1Row{
 			Name:       specs[i].Name,
 			Inputs:     f.NumIn,
 			Outputs:    f.NumOut(),
 			DCPct:      100 * f.DCFraction(),
-			ExpectedCf: complexity.ExpectedMean(f),
-			Cf:         complexity.FactorMean(f),
+			ExpectedCf: ecf,
+			Cf:         cf,
 		}
 		return nil
 	})
@@ -473,9 +452,13 @@ func Table2(threshold float64) ([]Table2Row, error) {
 			return err
 		}
 
+		cf, err := complexity.FactorMean(spec)
+		if err != nil {
+			return err
+		}
 		row := Table2Row{
 			Name: specs[i].Name, Inputs: spec.NumIn, Outputs: spec.NumOut(),
-			Cf:               complexity.FactorMean(spec),
+			Cf:               cf,
 			FractionAssigned: lcf.FractionAssigned(),
 		}
 		row.LCFArea, row.LCFER = imp(lcfM, lcfER)
@@ -520,9 +503,18 @@ func Table3(threshold float64) ([]Table3Row, error) {
 		if err != nil {
 			return err
 		}
-		exLo, exHi := reliability.BoundsMean(spec)
-		sig := estimate.SignalBasedMean(spec)
-		bor := estimate.BorderBasedMean(spec)
+		exLo, exHi, err := reliability.BoundsMean(spec)
+		if err != nil {
+			return err
+		}
+		sig, err := estimate.SignalBasedMean(spec)
+		if err != nil {
+			return err
+		}
+		bor, err := estimate.BorderBasedMean(spec)
+		if err != nil {
+			return err
+		}
 
 		convM, convER, err := synthER(spec, spec, synth.OptimizePower)
 		if err != nil {

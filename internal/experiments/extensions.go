@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"relsyn/internal/benchmarks"
 	"relsyn/internal/core"
 	"relsyn/internal/espresso"
@@ -194,11 +196,12 @@ func MultiBit(names []string) ([]MultiBitRow, error) {
 			return err
 		}
 		row := MultiBitRow{Name: names[i]}
+		ctx := context.Background()
 		for k := 1; k <= 3; k++ {
-			if row.Conv[k-1], err = reliability.ErrorRateMultiMean(spec, conv.Impl, k); err != nil {
+			if row.Conv[k-1], err = reliability.ErrorRateMultiMean(ctx, spec, conv.Impl, k); err != nil {
 				return err
 			}
-			if row.Full[k-1], err = reliability.ErrorRateMultiMean(spec, full.Impl, k); err != nil {
+			if row.Full[k-1], err = reliability.ErrorRateMultiMean(ctx, spec, full.Impl, k); err != nil {
 				return err
 			}
 		}

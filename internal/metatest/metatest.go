@@ -17,6 +17,11 @@
 //     never assigns fewer DC minterms (the paper's Fig. 7 predicate is
 //     "assign iff LC^f < threshold", so the assigned set grows with the
 //     threshold).
+//  5. Parallel ≡ sequential — every analysis and synthesis kernel that
+//     fans per-output work through internal/par produces bit-identical
+//     results (exact float equality, identical assignments, identical
+//     netlist metrics) at every worker count. Parallelism is an
+//     execution knob, never an answer knob.
 //
 // The harness is a plain library (returning errors, not calling
 // testing.T) so the same checks can back tests, fuzzing, and one-off
@@ -25,9 +30,12 @@
 package metatest
 
 import (
+	"context"
 	"fmt"
 
+	"relsyn/internal/complexity"
 	"relsyn/internal/core"
+	"relsyn/internal/estimate"
 	"relsyn/internal/reliability"
 	"relsyn/internal/synth"
 	"relsyn/internal/tt"
@@ -112,7 +120,10 @@ const boundsEps = 1e-9
 // CheckErrorRateBounds verifies property 2: the exact error rate of
 // impl against spec lies within spec's [min, max] achievable interval.
 func CheckErrorRateBounds(spec, impl *tt.Function) error {
-	lo, hi := reliability.BoundsMean(spec)
+	lo, hi, err := reliability.BoundsMean(spec)
+	if err != nil {
+		return err
+	}
 	er, err := reliability.ErrorRateMean(spec, impl)
 	if err != nil {
 		return err
@@ -151,6 +162,139 @@ func CheckRankingExtremes(spec *tt.Function) error {
 	if len(one.Assigned) != rankable {
 		return fmt.Errorf("fraction=1 assigned %d of %d rankable DC minterms",
 			len(one.Assigned), rankable)
+	}
+	return nil
+}
+
+// CheckLCFMonotonic verifies property 4 on spec: sweeping the LC^f
+// threshold upward through thresholds (which must be ascending, each in
+// (0,1)) never decreases the number of assigned DC minterms.
+// ParallelReference bundles the sequential (parallelism 1) results of
+// every kernel CheckParallelEquivalence compares, so one reference can
+// be reused across worker counts.
+type ParallelReference struct {
+	BoundsLo, BoundsHi float64
+	Cf                 float64
+	Signal, Border     estimate.Bounds
+	Rank               *core.Result
+	LCF                *core.Result
+	Impl               *tt.Function
+	Metrics            synth.Metrics
+	ErrorRate          float64
+}
+
+// parallelOperatingPoint pins the assignment knobs the equivalence sweep
+// exercises (representative mid-range values, same as Methods()).
+const (
+	parEquivFraction  = 0.5
+	parEquivThreshold = 0.55
+)
+
+// ParallelBaseline computes the sequential reference for property 5 on
+// spec.
+func ParallelBaseline(spec *tt.Function) (*ParallelReference, error) {
+	ref := &ParallelReference{}
+	ctx := context.Background()
+	var err error
+	if ref.BoundsLo, ref.BoundsHi, err = reliability.BoundsMeanCtx(ctx, spec, 1); err != nil {
+		return nil, err
+	}
+	if ref.Cf, err = complexity.FactorMeanCtx(ctx, spec, 1); err != nil {
+		return nil, err
+	}
+	if ref.Signal, err = estimate.SignalBasedMeanCtx(ctx, spec, 1); err != nil {
+		return nil, err
+	}
+	if ref.Border, err = estimate.BorderBasedMeanCtx(ctx, spec, 1); err != nil {
+		return nil, err
+	}
+	if ref.Rank, err = core.Ranking(spec, parEquivFraction, core.Options{Parallelism: 1}); err != nil {
+		return nil, err
+	}
+	if ref.LCF, err = core.LCF(spec, parEquivThreshold, core.Options{Parallelism: 1}); err != nil {
+		return nil, err
+	}
+	res, err := synth.Synthesize(spec, synth.Options{Parallelism: 1})
+	if err != nil {
+		return nil, err
+	}
+	ref.Impl, ref.Metrics = res.Impl, res.Metrics
+	ref.ErrorRate, err = reliability.ErrorRateMeanCtx(ctx, spec, res.Impl, 1)
+	if err != nil {
+		return nil, err
+	}
+	return ref, nil
+}
+
+// CheckParallelEquivalence verifies property 5 on spec at worker count
+// p: every parallelized kernel reproduces the sequential reference ref
+// bit for bit. Float comparisons are exact (==), not within an epsilon:
+// the pool writes results into index-addressed slots and reduces them
+// in index order, so summation order — and therefore every bit of the
+// result — is independent of the worker count.
+func CheckParallelEquivalence(spec *tt.Function, ref *ParallelReference, p int) error {
+	ctx := context.Background()
+	lo, hi, err := reliability.BoundsMeanCtx(ctx, spec, p)
+	if err != nil {
+		return err
+	}
+	if lo != ref.BoundsLo || hi != ref.BoundsHi {
+		return fmt.Errorf("BoundsMean(p=%d) = [%v, %v], sequential [%v, %v]",
+			p, lo, hi, ref.BoundsLo, ref.BoundsHi)
+	}
+	cf, err := complexity.FactorMeanCtx(ctx, spec, p)
+	if err != nil {
+		return err
+	}
+	if cf != ref.Cf {
+		return fmt.Errorf("FactorMean(p=%d) = %v, sequential %v", p, cf, ref.Cf)
+	}
+	sig, err := estimate.SignalBasedMeanCtx(ctx, spec, p)
+	if err != nil {
+		return err
+	}
+	if sig != ref.Signal {
+		return fmt.Errorf("SignalBasedMean(p=%d) = %+v, sequential %+v", p, sig, ref.Signal)
+	}
+	bor, err := estimate.BorderBasedMeanCtx(ctx, spec, p)
+	if err != nil {
+		return err
+	}
+	if bor != ref.Border {
+		return fmt.Errorf("BorderBasedMean(p=%d) = %+v, sequential %+v", p, bor, ref.Border)
+	}
+	rank, err := core.Ranking(spec, parEquivFraction, core.Options{Parallelism: p})
+	if err != nil {
+		return err
+	}
+	if !rank.Func.Equal(ref.Rank.Func) || len(rank.Assigned) != len(ref.Rank.Assigned) {
+		return fmt.Errorf("Ranking(p=%d) diverged from sequential (assigned %d vs %d)",
+			p, len(rank.Assigned), len(ref.Rank.Assigned))
+	}
+	lcf, err := core.LCF(spec, parEquivThreshold, core.Options{Parallelism: p})
+	if err != nil {
+		return err
+	}
+	if !lcf.Func.Equal(ref.LCF.Func) || len(lcf.Assigned) != len(ref.LCF.Assigned) {
+		return fmt.Errorf("LCF(p=%d) diverged from sequential (assigned %d vs %d)",
+			p, len(lcf.Assigned), len(ref.LCF.Assigned))
+	}
+	res, err := synth.Synthesize(spec, synth.Options{Parallelism: p})
+	if err != nil {
+		return err
+	}
+	if !res.Impl.Equal(ref.Impl) {
+		return fmt.Errorf("Synthesize(p=%d) produced a different implementation", p)
+	}
+	if res.Metrics != ref.Metrics {
+		return fmt.Errorf("Synthesize(p=%d) metrics %+v, sequential %+v", p, res.Metrics, ref.Metrics)
+	}
+	er, err := reliability.ErrorRateMeanCtx(ctx, spec, res.Impl, p)
+	if err != nil {
+		return err
+	}
+	if er != ref.ErrorRate {
+		return fmt.Errorf("ErrorRateMean(p=%d) = %v, sequential %v", p, er, ref.ErrorRate)
 	}
 	return nil
 }

@@ -1,6 +1,8 @@
 package metatest
 
 import (
+	"fmt"
+	"runtime"
 	"testing"
 
 	"relsyn/internal/benchmarks"
@@ -95,6 +97,36 @@ func TestLCFThresholdMonotonicAcrossSuite(t *testing.T) {
 			t.Parallel()
 			if err := CheckLCFMonotonic(loadBench(t, name), thresholds); err != nil {
 				t.Error(err)
+			}
+		})
+	}
+}
+
+// Property 5: parallel ≡ sequential. Every parallelized kernel —
+// reliability bounds and error-rate means, complexity factor means,
+// signal/border estimates, ranking/LC^f assignment, and the full
+// synthesis flow — must reproduce its sequential result bit for bit at
+// worker counts 1, 2, and 8, on every benchmark. GOMAXPROCS is raised
+// so the higher counts genuinely run concurrently even on small CI
+// machines; this test is part of the -race CI gate.
+func TestParallelEquivalenceAcrossSuite(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+	for _, name := range suite(t) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec := loadBench(t, name)
+			ref, err := ParallelBaseline(spec)
+			if err != nil {
+				t.Fatalf("sequential baseline: %v", err)
+			}
+			for _, p := range []int{1, 2, 8} {
+				t.Run(fmt.Sprintf("p=%d", p), func(t *testing.T) {
+					if err := CheckParallelEquivalence(spec, ref, p); err != nil {
+						t.Error(err)
+					}
+				})
 			}
 		})
 	}

@@ -56,6 +56,12 @@ type JobOptions struct {
 	MaxConflicts int64 `json:"max_conflicts,omitempty"`
 	// MaxAIGNodes caps the optimized AIG size (0 = unlimited).
 	MaxAIGNodes int `json:"max_aig_nodes,omitempty"`
+
+	// Parallelism caps the worker count of the per-output kernels
+	// (0 = GOMAXPROCS, 1 = sequential). Purely operational: it never
+	// changes results, so Key() strips it — two jobs differing only in
+	// Parallelism share one cache entry.
+	Parallelism int `json:"parallelism,omitempty"`
 }
 
 // Job option string values.
@@ -133,13 +139,22 @@ func (o JobOptions) Validate() error {
 	if o.TimeoutMs < 0 || o.MaxBDDNodes < 0 || o.MaxConflicts < 0 || o.MaxAIGNodes < 0 {
 		return fmt.Errorf("pipeline: job budgets must be non-negative")
 	}
+	if o.Parallelism < 0 {
+		return fmt.Errorf("pipeline: job parallelism must be non-negative")
+	}
 	return nil
 }
 
 // Key returns a stable digest of the normalized options, suitable for
 // combining with a spec content hash into a result-cache key.
+// Parallelism is zeroed before hashing: it cannot affect the computed
+// result (the parallel kernels are bit-identical to the sequential
+// path), so hashing it would needlessly split identical work across
+// cache entries and defeat request coalescing.
 func (o JobOptions) Key() string {
-	b, err := json.Marshal(o.Normalize())
+	n := o.Normalize()
+	n.Parallelism = 0
+	b, err := json.Marshal(n)
 	if err != nil { // unreachable: plain struct of scalars
 		panic(fmt.Sprintf("pipeline: marshal job options: %v", err))
 	}
@@ -155,8 +170,9 @@ func (o JobOptions) Options() (Options, error) {
 		return Options{}, err
 	}
 	opt := Options{
-		Strict:     n.Strict,
-		SkipVerify: n.SkipVerify,
+		Strict:      n.Strict,
+		SkipVerify:  n.SkipVerify,
+		Parallelism: n.Parallelism,
 		Budget: Budget{
 			Timeout:      time.Duration(n.TimeoutMs) * time.Millisecond,
 			MaxBDDNodes:  n.MaxBDDNodes,
@@ -320,12 +336,15 @@ func RunJob(ctx context.Context, f *tt.Function, jo JobOptions) (*JobResult, err
 		AIGDepth: m.AIGDepth,
 	}
 	jr.Verified, jr.VerifyMethod = res.Verified, res.VerifyMethod
-	er, err := reliability.ErrorRateMean(f, res.Synth.Impl)
+	er, err := reliability.ErrorRateMeanCtx(ctx, f, res.Synth.Impl, n.Parallelism)
 	if err != nil {
 		return jr, fmt.Errorf("pipeline: error-rate report: %w", err)
 	}
 	jr.ErrorRate = er
-	lo, hi := reliability.BoundsMean(f)
+	lo, hi, err := reliability.BoundsMeanCtx(ctx, f, n.Parallelism)
+	if err != nil {
+		return jr, fmt.Errorf("pipeline: bounds report: %w", err)
+	}
 	jr.Bounds = JobBounds{Min: lo, Max: hi}
 	return jr, nil
 }

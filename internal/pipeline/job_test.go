@@ -56,6 +56,10 @@ func TestJobOptionsKey(t *testing.T) {
 		{Method: "LCF", Threshold: 0.55},
 		{Method: "lcf", Threshold: 0.55, Fraction: 0.9}, // fraction inert for lcf
 		{Method: " lcf ", Threshold: 0.55, Objective: "power", Flow: "sop"},
+		// Parallelism is an execution knob: every worker count computes
+		// bit-identical results, so it must never fragment the cache.
+		{Method: "lcf", Threshold: 0.55, Parallelism: 1},
+		{Method: "lcf", Threshold: 0.55, Parallelism: 8},
 	}
 	for i, o := range same {
 		if o.Key() != base.Key() {
@@ -96,6 +100,7 @@ func TestJobOptionsValidate(t *testing.T) {
 		{Flow: "fast"},
 		{TimeoutMs: -1},
 		{MaxBDDNodes: -2},
+		{Parallelism: -1},
 	}
 	for i, o := range bad {
 		if err := o.Normalize().Validate(); err == nil {

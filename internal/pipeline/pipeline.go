@@ -206,6 +206,13 @@ type Options struct {
 	// Nil means obs.Default. Span tracing is orthogonal: it activates
 	// when the context passed to Run carries obs.WithTrace.
 	Metrics *obs.Registry
+	// Parallelism caps the worker count of the per-output kernels in
+	// the assignment and synthesis stages (0 = GOMAXPROCS, 1 =
+	// sequential). It never changes results — the parallel paths are
+	// bit-identical to the sequential ones — so it is a purely
+	// operational knob and MUST stay out of cache keys (JobOptions.Key
+	// strips it).
+	Parallelism int
 }
 
 // StageReport records one executed stage for observability.
@@ -458,6 +465,7 @@ func (r *runner) runAssign(f *tt.Function) *StageError {
 		AssignTies:  a.AssignTies,
 		Interrupt:   r.interrupt,
 		MaxBDDNodes: r.opt.Budget.MaxBDDNodes,
+		Parallelism: r.opt.Parallelism,
 	}
 	dense := func() error {
 		var err error
@@ -501,6 +509,7 @@ func (r *runner) runSynth(fa *tt.Function) *StageError {
 	sopt := r.opt.Synth
 	sopt.Interrupt = r.interrupt
 	sopt.MaxAIGNodes = r.opt.Budget.MaxAIGNodes
+	sopt.Parallelism = r.opt.Parallelism
 
 	runFlow := func(name string, flow synth.Flow) *StageError {
 		return r.attempt(StageSynth, name, func() error {

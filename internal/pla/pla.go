@@ -183,6 +183,12 @@ func (f *File) ToFunction() (*tt.Function, error) {
 	if f.NumIn > 24 {
 		return nil, fmt.Errorf("pla: %d inputs too large for dense truth table", f.NumIn)
 	}
+	if f.NumOut <= 0 {
+		// Parse rejects ".o 0", but a hand-built File can still carry no
+		// outputs; reject it here with the typed sentinel so downstream
+		// per-output means never divide by zero.
+		return nil, fmt.Errorf("pla: %w", tt.ErrZeroOutputs)
+	}
 	fn := tt.New(f.NumIn, f.NumOut)
 	size := fn.Size()
 

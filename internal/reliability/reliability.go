@@ -16,11 +16,24 @@
 package reliability
 
 import (
+	"context"
 	"fmt"
 
 	"relsyn/internal/bitset"
+	"relsyn/internal/par"
 	"relsyn/internal/tt"
 )
+
+// checkOutputs rejects zero-output functions at the API boundary with
+// the typed tt.ErrZeroOutputs sentinel: a per-output mean over zero
+// outputs has no value (historically these helpers divided by zero and
+// silently returned NaN).
+func checkOutputs(f *tt.Function) error {
+	if f.NumOut() == 0 {
+		return fmt.Errorf("reliability: %w", tt.ErrZeroOutputs)
+	}
+	return nil
+}
 
 // Counts holds the raw exact pair counts for one output of a
 // specification (paper §5 formulas).
@@ -76,15 +89,36 @@ func Bounds(f *tt.Function, o int) (lo, hi float64) {
 	return c.NormMin(f.NumIn, f.Size()), c.NormMax(f.NumIn, f.Size())
 }
 
-// BoundsMean returns Bounds averaged over all outputs.
-func BoundsMean(f *tt.Function) (lo, hi float64) {
-	for o := range f.Outs {
-		l, h := Bounds(f, o)
-		lo += l
-		hi += h
+// BoundsMean returns Bounds averaged over all outputs, computed with
+// full machine parallelism. Zero-output functions are rejected with an
+// error wrapping tt.ErrZeroOutputs.
+func BoundsMean(f *tt.Function) (lo, hi float64, err error) {
+	return BoundsMeanCtx(context.Background(), f, 0)
+}
+
+// BoundsMeanCtx is BoundsMean with cooperative cancellation and an
+// explicit parallelism cap (0 = GOMAXPROCS, 1 = sequential). The
+// per-output bounds are computed concurrently but accumulated in output
+// order, so the result is bit-identical at every parallelism level.
+func BoundsMeanCtx(ctx context.Context, f *tt.Function, parallelism int) (lo, hi float64, err error) {
+	if err := checkOutputs(f); err != nil {
+		return 0, 0, err
+	}
+	los := make([]float64, f.NumOut())
+	his := make([]float64, f.NumOut())
+	err = par.Do(ctx, parallelism, f.NumOut(), func(o int) error {
+		los[o], his[o] = Bounds(f, o)
+		return nil
+	})
+	if err != nil {
+		return 0, 0, err
+	}
+	for o := range los {
+		lo += los[o]
+		hi += his[o]
 	}
 	m := float64(f.NumOut())
-	return lo / m, hi / m
+	return lo / m, hi / m, nil
 }
 
 // checkPair validates the public-API boundary: spec and impl must have
@@ -135,14 +169,34 @@ func implValue(impl *tt.Function, o int) *bitset.Set {
 }
 
 // ErrorRateMean returns ErrorRate averaged over all outputs — the
-// per-benchmark reliability number used throughout the paper's plots.
+// per-benchmark reliability number used throughout the paper's plots —
+// computed with full machine parallelism. Zero-output functions are
+// rejected with an error wrapping tt.ErrZeroOutputs.
 func ErrorRateMean(spec, impl *tt.Function) (float64, error) {
-	sum := 0.0
-	for o := range spec.Outs {
+	return ErrorRateMeanCtx(context.Background(), spec, impl, 0)
+}
+
+// ErrorRateMeanCtx is ErrorRateMean with cooperative cancellation and an
+// explicit parallelism cap (0 = GOMAXPROCS, 1 = sequential); results are
+// bit-identical at every parallelism level.
+func ErrorRateMeanCtx(ctx context.Context, spec, impl *tt.Function, parallelism int) (float64, error) {
+	if err := checkOutputs(spec); err != nil {
+		return 0, err
+	}
+	rates := make([]float64, spec.NumOut())
+	err := par.Do(ctx, parallelism, spec.NumOut(), func(o int) error {
 		r, err := ErrorRate(spec, impl, o)
 		if err != nil {
-			return 0, err
+			return err
 		}
+		rates[o] = r
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for _, r := range rates {
 		sum += r
 	}
 	return sum / float64(spec.NumOut()), nil
@@ -150,23 +204,31 @@ func ErrorRateMean(spec, impl *tt.Function) (float64, error) {
 
 // SelfErrorRate measures a completely specified function against its own
 // care set (all minterms): the plain fraction of adjacent minterm pairs
-// with differing values.
-func SelfErrorRate(f *tt.Function, o int) float64 {
-	r, err := ErrorRate(f, f, o)
-	if err != nil {
-		// Unreachable: a function always matches its own dimensions, and
-		// callers pass a valid output index (internal invariant).
-		panic(err)
-	}
-	return r
+// with differing values. An invalid output index is reported as an
+// error, matching its ErrorRate/ErrorRateMulti siblings (this function
+// is exported; a bad index from a caller must not crash a serving
+// process).
+func SelfErrorRate(f *tt.Function, o int) (float64, error) {
+	return ErrorRate(f, f, o)
 }
+
+// multiCancelStride is how many k-subsets ErrorRateMulti enumerates
+// between context polls. The enumeration is C(n,k) and can run for
+// minutes on hostile inputs; polling every ~1k subsets keeps the
+// cancellation latency in the microsecond range without measurable
+// overhead.
+const multiCancelStride = 1024
 
 // ErrorRateMulti generalizes ErrorRate to simultaneous k-bit input
 // errors: the fraction of (care minterm, k-subset of input bits) events
 // whose joint flip changes output o of impl. k = 1 reproduces ErrorRate.
 // The paper argues single-bit errors dominate when pin errors are rare
 // and uncorrelated (§2); this extension quantifies the k ≥ 2 tail.
-func ErrorRateMulti(spec, impl *tt.Function, o, k int) (float64, error) {
+//
+// The C(n,k) subset enumeration polls ctx every ~1k subsets and aborts
+// with ctx.Err() once the context is done, so a request budget
+// (internal/pipeline) bounds even adversarially large (n, k) choices.
+func ErrorRateMulti(ctx context.Context, spec, impl *tt.Function, o, k int) (float64, error) {
 	if err := checkPair(spec, impl, o); err != nil {
 		return 0, err
 	}
@@ -177,7 +239,12 @@ func ErrorRateMulti(spec, impl *tt.Function, o, k int) (float64, error) {
 	care := spec.Outs[o].DC.Complement()
 	val := implValue(impl, o)
 	errs, events := 0, 0
-	forEachSubset(n, k, func(mask uint) {
+	err := forEachSubset(n, k, func(mask uint) error {
+		if events%multiCancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+		}
 		events++
 		valSh := val
 		for b := 0; b < n; b++ {
@@ -188,37 +255,63 @@ func ErrorRateMulti(spec, impl *tt.Function, o, k int) (float64, error) {
 		diff := val.Clone()
 		diff.InPlaceSymDiff(valSh)
 		errs += diff.IntersectionCount(care)
+		return nil
 	})
+	if err != nil {
+		return 0, err
+	}
 	return float64(errs) / float64(events*spec.Size()), nil
 }
 
-// ErrorRateMultiMean averages ErrorRateMulti over all outputs.
-func ErrorRateMultiMean(spec, impl *tt.Function, k int) (float64, error) {
-	sum := 0.0
-	for o := range spec.Outs {
-		r, err := ErrorRateMulti(spec, impl, o, k)
+// ErrorRateMultiMean averages ErrorRateMulti over all outputs with full
+// machine parallelism. Zero-output functions are rejected with an error
+// wrapping tt.ErrZeroOutputs.
+func ErrorRateMultiMean(ctx context.Context, spec, impl *tt.Function, k int) (float64, error) {
+	return ErrorRateMultiMeanCtx(ctx, spec, impl, k, 0)
+}
+
+// ErrorRateMultiMeanCtx is ErrorRateMultiMean with an explicit
+// parallelism cap (0 = GOMAXPROCS, 1 = sequential); results are
+// bit-identical at every parallelism level.
+func ErrorRateMultiMeanCtx(ctx context.Context, spec, impl *tt.Function, k, parallelism int) (float64, error) {
+	if err := checkOutputs(spec); err != nil {
+		return 0, err
+	}
+	rates := make([]float64, spec.NumOut())
+	err := par.Do(ctx, parallelism, spec.NumOut(), func(o int) error {
+		r, err := ErrorRateMulti(ctx, spec, impl, o, k)
 		if err != nil {
-			return 0, err
+			return err
 		}
+		rates[o] = r
+		return nil
+	})
+	if err != nil {
+		return 0, err
+	}
+	sum := 0.0
+	for _, r := range rates {
 		sum += r
 	}
 	return sum / float64(spec.NumOut()), nil
 }
 
 // forEachSubset enumerates the C(n,k) bit masks with exactly k of n bits
-// set, in ascending order.
-func forEachSubset(n, k int, fn func(mask uint)) {
-	var rec func(start int, mask uint, left int)
-	rec = func(start int, mask uint, left int) {
+// set, in ascending order, stopping at the first error fn returns.
+func forEachSubset(n, k int, fn func(mask uint) error) error {
+	var rec func(start int, mask uint, left int) error
+	rec = func(start int, mask uint, left int) error {
 		if left == 0 {
-			fn(mask)
-			return
+			return fn(mask)
 		}
 		for b := start; b <= n-left; b++ {
-			rec(b+1, mask|1<<uint(b), left-1)
+			if err := rec(b+1, mask|1<<uint(b), left-1); err != nil {
+				return err
+			}
 		}
+		return nil
 	}
-	rec(0, 0, k)
+	return rec(0, 0, k)
 }
 
 // Borders holds the border counts of paper §5: ordered pairs of 1-Hamming

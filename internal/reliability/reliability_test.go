@@ -1,8 +1,11 @@
 package reliability
 
 import (
+	"context"
+	"errors"
 	"math"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"relsyn/internal/tt"
@@ -235,11 +238,22 @@ func TestSelfErrorRateXORAndConstant(t *testing.T) {
 			xor.SetPhase(0, m, tt.On)
 		}
 	}
-	if got := SelfErrorRate(xor, 0); got != 1.0 {
+	if got := mustRate(t)(SelfErrorRate(xor, 0)); got != 1.0 {
 		t.Fatalf("XOR self error rate = %v, want 1", got)
 	}
-	if got := SelfErrorRate(tt.New(n, 1), 0); got != 0.0 {
+	if got := mustRate(t)(SelfErrorRate(tt.New(n, 1), 0)); got != 0.0 {
 		t.Fatalf("constant self error rate = %v, want 0", got)
+	}
+}
+
+// Regression: SelfErrorRate used to panic on an out-of-range output
+// index; it must now return an error like its ErrorRate siblings.
+func TestSelfErrorRateInvalidIndexIsError(t *testing.T) {
+	f := tt.New(3, 2)
+	for _, o := range []int{-1, 2, 100} {
+		if _, err := SelfErrorRate(f, o); err == nil {
+			t.Fatalf("SelfErrorRate(f, %d): expected error, got nil", o)
+		}
 	}
 }
 
@@ -306,7 +320,7 @@ func TestErrorRateMultiK1MatchesErrorRate(t *testing.T) {
 		impl := spec.Clone()
 		spec.Outs[0].DC.ForEach(func(m int) { impl.SetPhase(0, m, tt.Off) })
 		a := mustRate(t)(ErrorRate(spec, impl, 0))
-		b := mustRate(t)(ErrorRateMulti(spec, impl, 0, 1))
+		b := mustRate(t)(ErrorRateMulti(context.Background(), spec, impl, 0, 1))
 		if math.Abs(a-b) > 1e-12 {
 			t.Fatalf("k=1 multi rate %v != single rate %v", b, a)
 		}
@@ -319,12 +333,12 @@ func TestErrorRateMultiNaive(t *testing.T) {
 	impl := spec.Clone()
 	spec.Outs[0].DC.ForEach(func(m int) { impl.SetPhase(0, m, tt.On) })
 	for _, k := range []int{2, 3} {
-		got := mustRate(t)(ErrorRateMulti(spec, impl, 0, k))
+		got := mustRate(t)(ErrorRateMulti(context.Background(), spec, impl, 0, k))
 		// Naive: enumerate all k-subsets and care minterms.
 		n := spec.NumIn
 		errs, events := 0, 0
 		var masks []uint
-		forEachSubset(n, k, func(m uint) { masks = append(masks, m) })
+		forEachSubset(n, k, func(m uint) error { masks = append(masks, m); return nil })
 		for _, mask := range masks {
 			events++
 			for m := 0; m < spec.Size(); m++ {
@@ -354,10 +368,10 @@ func TestErrorRateMultiXOR(t *testing.T) {
 			f.SetPhase(0, m, tt.On)
 		}
 	}
-	if got := mustRate(t)(ErrorRateMulti(f, f, 0, 2)); got != 0 {
+	if got := mustRate(t)(ErrorRateMulti(context.Background(), f, f, 0, 2)); got != 0 {
 		t.Fatalf("XOR 2-bit rate = %v, want 0", got)
 	}
-	if got := mustRate(t)(ErrorRateMulti(f, f, 0, 3)); got != 1 {
+	if got := mustRate(t)(ErrorRateMulti(context.Background(), f, f, 0, 3)); got != 1 {
 		t.Fatalf("XOR 3-bit rate = %v, want 1", got)
 	}
 }
@@ -365,7 +379,7 @@ func TestErrorRateMultiXOR(t *testing.T) {
 func TestForEachSubsetCount(t *testing.T) {
 	count := 0
 	seen := map[uint]bool{}
-	forEachSubset(6, 3, func(m uint) {
+	forEachSubset(6, 3, func(m uint) error {
 		count++
 		if popcount(int(m)) != 3 {
 			t.Fatalf("mask %b has wrong popcount", m)
@@ -374,6 +388,7 @@ func TestForEachSubsetCount(t *testing.T) {
 			t.Fatalf("duplicate mask %b", m)
 		}
 		seen[m] = true
+		return nil
 	})
 	if count != 20 { // C(6,3)
 		t.Fatalf("enumerated %d subsets, want 20", count)
@@ -405,12 +420,104 @@ func TestErrorRateBoundaryErrors(t *testing.T) {
 func TestErrorRateMultiMultiplicityErrors(t *testing.T) {
 	f := tt.New(3, 1)
 	for _, k := range []int{0, -1, 4} {
-		if _, err := ErrorRateMulti(f, f, 0, k); err == nil {
+		if _, err := ErrorRateMulti(context.Background(), f, f, 0, k); err == nil {
 			t.Fatalf("expected error for multiplicity k=%d", k)
 		}
 	}
-	if _, err := ErrorRateMultiMean(f, tt.New(4, 1), 1); err == nil {
+	if _, err := ErrorRateMultiMean(context.Background(), f, tt.New(4, 1), 1); err == nil {
 		t.Fatal("expected ErrorRateMultiMean to propagate the mismatch error")
+	}
+}
+
+// Regression: mean helpers divided by zero outputs and silently returned
+// NaN; they must reject zero-output specs with the typed sentinel.
+func TestZeroOutputMeansRejected(t *testing.T) {
+	f := &tt.Function{NumIn: 3} // hand-built: no outputs
+	if _, _, err := BoundsMean(f); !errors.Is(err, tt.ErrZeroOutputs) {
+		t.Fatalf("BoundsMean: got %v, want tt.ErrZeroOutputs", err)
+	}
+	if _, err := ErrorRateMean(f, f); !errors.Is(err, tt.ErrZeroOutputs) {
+		t.Fatalf("ErrorRateMean: got %v, want tt.ErrZeroOutputs", err)
+	}
+	if _, err := ErrorRateMultiMean(context.Background(), f, f, 1); !errors.Is(err, tt.ErrZeroOutputs) {
+		t.Fatalf("ErrorRateMultiMean: got %v, want tt.ErrZeroOutputs", err)
+	}
+}
+
+// Regression: ErrorRateMulti used to enumerate all C(n,k) subsets with no
+// way to stop; it must now honor context cancellation mid-enumeration.
+func TestErrorRateMultiCancellation(t *testing.T) {
+	// n=20, k=10 gives C(20,10) = 184756 subsets over a 2^20 space —
+	// long enough that a pre-cancelled context must abort well before
+	// completion (the first stride poll fires at subset 0).
+	f := tt.New(20, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ErrorRateMulti(ctx, f, f, 0, 10); !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	// And the mean wrapper propagates it unchanged.
+	if _, err := ErrorRateMultiMean(ctx, f, f, 2); !errors.Is(err, context.Canceled) {
+		t.Fatalf("mean: got %v, want context.Canceled", err)
+	}
+}
+
+// withProcs raises GOMAXPROCS so the parallel path actually runs
+// concurrently even on single-core machines.
+func withProcs(t *testing.T, n int) {
+	t.Helper()
+	old := runtime.GOMAXPROCS(n)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+}
+
+// The mean kernels must be bit-identical at every parallelism level:
+// per-output results are computed concurrently but summed in output
+// order.
+func TestMeansParallelMatchSequential(t *testing.T) {
+	withProcs(t, 8)
+	rng := rand.New(rand.NewSource(600))
+	ctx := context.Background()
+	for trial := 0; trial < 5; trial++ {
+		spec := randomFunction(rng, 6, 7)
+		impl := spec.Clone()
+		for o := 0; o < spec.NumOut(); o++ {
+			spec.Outs[o].DC.ForEach(func(m int) { impl.SetPhase(o, m, tt.Off) })
+		}
+		seqLo, seqHi, err := BoundsMeanCtx(ctx, spec, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqER, err := ErrorRateMeanCtx(ctx, spec, impl, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		seqMulti, err := ErrorRateMultiMeanCtx(ctx, spec, impl, 2, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{2, 8, 0} {
+			lo, hi, err := BoundsMeanCtx(ctx, spec, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if lo != seqLo || hi != seqHi {
+				t.Fatalf("p=%d: BoundsMean (%v,%v) != sequential (%v,%v)", p, lo, hi, seqLo, seqHi)
+			}
+			er, err := ErrorRateMeanCtx(ctx, spec, impl, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if er != seqER {
+				t.Fatalf("p=%d: ErrorRateMean %v != sequential %v", p, er, seqER)
+			}
+			multi, err := ErrorRateMultiMeanCtx(ctx, spec, impl, 2, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if multi != seqMulti {
+				t.Fatalf("p=%d: ErrorRateMultiMean %v != sequential %v", p, multi, seqMulti)
+			}
+		}
 	}
 }
 

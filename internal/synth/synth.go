@@ -20,6 +20,7 @@
 package synth
 
 import (
+	"context"
 	"errors"
 	"fmt"
 
@@ -31,6 +32,7 @@ import (
 	"relsyn/internal/factor"
 	"relsyn/internal/mapper"
 	"relsyn/internal/network"
+	"relsyn/internal/par"
 	"relsyn/internal/tt"
 )
 
@@ -92,6 +94,12 @@ type Options struct {
 	// after each restructuring phase; exhaustion returns an error wrapping
 	// ErrAIGBudget.
 	MaxAIGNodes int
+
+	// Parallelism caps the worker count for the per-output (and per-node)
+	// minimize+factor passes (0 = GOMAXPROCS, 1 = sequential). It never
+	// changes results: minimization fans out into index-addressed slots
+	// and the AIG is always built sequentially in output order.
+	Parallelism int
 }
 
 // check polls the Interrupt hook.
@@ -144,15 +152,27 @@ func Synthesize(f *tt.Function, opt Options) (*Result, error) {
 	}
 	g := aig.New(f.NumIn)
 	literals := 0
-	for o := range f.Outs {
+	// Per-output two-level minimization and factoring are independent;
+	// fan them out through the shared pool into index-addressed slots.
+	// The AIG itself is built sequentially in output order below, so the
+	// structural hash (and hence every downstream metric) is identical
+	// at every parallelism level.
+	exprs := make([]*factor.Expr, f.NumOut())
+	err := par.Do(context.Background(), opt.Parallelism, f.NumOut(), func(o int) error {
 		if err := opt.check(); err != nil {
-			return nil, err
+			return err
 		}
 		cov, err := espresso.MinimizeInterruptible(f.OnCover(o), f.DCCover(o), opt.Interrupt)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		e := factor.GoodFactor(cov)
+		exprs[o] = factor.GoodFactor(cov)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range exprs {
 		literals += e.NumLiterals()
 		g.AddPO(g.FromExpr(e))
 	}
@@ -162,11 +182,11 @@ func Synthesize(f *tt.Function, opt Options) (*Result, error) {
 	}
 	if opt.Flow == FlowResyn {
 		var err error
-		g, err = refactorPoll(g, opt.Interrupt)
+		g, err = refactorPoll(g, opt.Interrupt, opt.Parallelism)
 		if err != nil {
 			return nil, err
 		}
-		if g2, err := resynNodesPoll(g, 6, opt.Interrupt); err == nil {
+		if g2, err := resynNodesPoll(g, 6, opt.Interrupt, opt.Parallelism); err == nil {
 			g = g2
 		} else if opt.Interrupt != nil && opt.Interrupt() != nil {
 			return nil, err
@@ -238,25 +258,35 @@ func implFunction(spec *tt.Function, g *aig.Graph) (*tt.Function, error) {
 // a fresh strashed graph. Cones whose rebuild is larger keep their
 // original structure.
 func Refactor(g *aig.Graph) *aig.Graph {
-	out, _ := refactorPoll(g, nil)
+	out, _ := refactorPoll(g, nil, 0)
 	return out
 }
 
-// refactorPoll is Refactor with a cooperative cancellation hook.
-func refactorPoll(g *aig.Graph, poll func() error) (*aig.Graph, error) {
+// refactorPoll is Refactor with a cooperative cancellation hook and a
+// parallelism cap for the per-cone minimize+factor fan-out.
+func refactorPoll(g *aig.Graph, poll func() error, parallelism int) (*aig.Graph, error) {
 	n := g.NumPI()
 	if n > 16 {
 		return g, nil
 	}
 	tts := g.NodeTruthTables()
-	out := aig.New(n)
-	for o := 0; o < g.NumPO(); o++ {
+	// Per-cone re-minimization reads only the (immutable) simulation
+	// tables; rebuild stays sequential in PO order for determinism.
+	exprs := make([]*factor.Expr, g.NumPO())
+	err := par.Do(context.Background(), parallelism, g.NumPO(), func(o int) error {
 		table := g.LitTable(tts, g.PO(o))
 		cov, err := espresso.MinimizeInterruptible(coverFromBits(n, table), nil, poll)
 		if err != nil {
-			return nil, err
+			return err
 		}
-		e := factor.GoodFactor(cov)
+		exprs[o] = factor.GoodFactor(cov)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := aig.New(n)
+	for _, e := range exprs {
 		out.AddPO(out.FromExpr(e))
 	}
 	out = out.Cleanup()
@@ -278,12 +308,27 @@ func coverFromBits(n int, s *bitset.Set) *cube.Cover {
 // function, and compose the factored forms back into a fresh strashed
 // graph. The rebuild is kept only if it has fewer AND nodes.
 func ResynNodes(g *aig.Graph, k int) (*aig.Graph, error) {
-	return resynNodesPoll(g, k, nil)
+	return resynNodesPoll(g, k, nil, 0)
 }
 
-// resynNodesPoll is ResynNodes with a cooperative cancellation hook.
-func resynNodesPoll(g *aig.Graph, k int, poll func() error) (*aig.Graph, error) {
+// resynNodesPoll is ResynNodes with a cooperative cancellation hook and
+// a parallelism cap. Each node's local minimize+factor depends only on
+// the node's own truth table, so the expensive phase fans out; the
+// fanin-ordered graph composition stays sequential for determinism.
+func resynNodesPoll(g *aig.Graph, k int, poll func() error, parallelism int) (*aig.Graph, error) {
 	nw, err := network.FromAIG(g, k)
+	if err != nil {
+		return nil, err
+	}
+	exprs := make([]*factor.Expr, len(nw.Nodes))
+	err = par.Do(context.Background(), parallelism, len(nw.Nodes), func(ni int) error {
+		cov, err := espresso.MinimizeInterruptible(nw.Nodes[ni].OnCover(), nil, poll)
+		if err != nil {
+			return err
+		}
+		exprs[ni] = factor.GoodFactor(cov)
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -293,16 +338,11 @@ func resynNodesPoll(g *aig.Graph, k int, poll func() error) (*aig.Graph, error) 
 		sig[i] = out.PI(i)
 	}
 	for ni, nd := range nw.Nodes {
-		cov, err := espresso.MinimizeInterruptible(nd.OnCover(), nil, poll)
-		if err != nil {
-			return nil, err
-		}
-		e := factor.GoodFactor(cov)
 		leaves := make([]aig.Lit, nd.NumIn())
 		for j, f := range nd.Fanins {
 			leaves[j] = sig[f]
 		}
-		sig[nw.NumPI+ni] = out.FromExprSubst(e, leaves)
+		sig[nw.NumPI+ni] = out.FromExprSubst(exprs[ni], leaves)
 	}
 	for i, s := range nw.POs {
 		switch {

@@ -2,6 +2,7 @@ package synth
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"relsyn/internal/core"
@@ -158,7 +159,10 @@ func TestPipelineErrorRateImproves(t *testing.T) {
 			t.Fatal(err)
 		}
 
-		lo, hi := reliability.BoundsMean(spec)
+		lo, hi, err := reliability.BoundsMean(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if relER < lo-1e-12 || convER < lo-1e-12 || relER > hi+1e-12 || convER > hi+1e-12 {
 			t.Fatalf("error rates outside exact bounds: conv=%v rel=%v in [%v,%v]",
 				convER, relER, lo, hi)
@@ -248,5 +252,32 @@ func TestSynthesizeAllDCFunction(t *testing.T) {
 	}
 	if res.Metrics.Gates != 0 {
 		t.Fatal("all-DC function should synthesize to a constant")
+	}
+}
+
+// The synthesized netlist must be identical at every parallelism level:
+// minimization fans out, but the AIG is always built in output order.
+func TestSynthesizeParallelMatchesSequential(t *testing.T) {
+	old := runtime.GOMAXPROCS(8)
+	t.Cleanup(func() { runtime.GOMAXPROCS(old) })
+	rng := rand.New(rand.NewSource(119))
+	for _, flow := range []Flow{FlowSOP, FlowResyn} {
+		spec := randomFunction(rng, 6, 4, 0.4)
+		seq, err := Synthesize(spec, Options{Flow: flow, Parallelism: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{2, 8, 0} {
+			got, err := Synthesize(spec, Options{Flow: flow, Parallelism: p})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Impl.Equal(seq.Impl) {
+				t.Fatalf("flow=%v p=%d: implementation differs from sequential", flow, p)
+			}
+			if got.Metrics != seq.Metrics {
+				t.Fatalf("flow=%v p=%d: metrics %+v != sequential %+v", flow, p, got.Metrics, seq.Metrics)
+			}
+		}
 	}
 }

@@ -9,11 +9,20 @@
 package tt
 
 import (
+	"errors"
 	"fmt"
 
 	"relsyn/internal/bitset"
 	"relsyn/internal/cube"
 )
+
+// ErrZeroOutputs is returned (wrapped) wherever a zero-output function
+// is rejected: by Validate, by the .pla boundary (pla.File.ToFunction),
+// and by every per-output mean metric in internal/{reliability,
+// complexity, estimate}. A function with no outputs has no per-output
+// mean — before this sentinel existed the mean helpers silently divided
+// by zero and returned NaN.
+var ErrZeroOutputs = errors.New("tt: function has zero outputs")
 
 // Phase classifies a minterm with respect to one output.
 type Phase uint8
@@ -102,9 +111,13 @@ func (f *Function) SetPhase(o, m int, p Phase) {
 	out.DC.SetTo(m, p == DC)
 }
 
-// Validate checks the representation invariant: for every output, the
-// on-set and DC-set are disjoint and sized to 2^NumIn.
+// Validate checks the representation invariant: the function has at
+// least one output, and for every output the on-set and DC-set are
+// disjoint and sized to 2^NumIn.
 func (f *Function) Validate() error {
+	if len(f.Outs) == 0 {
+		return ErrZeroOutputs
+	}
 	for i, o := range f.Outs {
 		if o.On.Len() != f.Size() || o.DC.Len() != f.Size() {
 			return fmt.Errorf("tt: output %d sets sized %d/%d, want %d", i, o.On.Len(), o.DC.Len(), f.Size())

@@ -65,6 +65,12 @@ const (
 // NewFunction returns an all-zero function with n inputs and m outputs.
 func NewFunction(n, m int) *Function { return tt.New(n, m) }
 
+// ErrZeroOutputs is the typed sentinel wrapped by every per-output mean
+// helper (ComplexityFactor, ExactBounds, SignalEstimate, ...) when given
+// a function with no outputs: such a mean has no value, and historically
+// these helpers silently divided by zero and returned NaN.
+var ErrZeroOutputs = tt.ErrZeroOutputs
+
 // ParsePLA reads an Espresso-format .pla description (types f, fd, fr,
 // fdr) into a dense function.
 func ParsePLA(r io.Reader) (*Function, error) {
@@ -130,11 +136,14 @@ func LCFAssignBDD(f *Function, threshold float64) (*AssignResult, error) {
 }
 
 // ComplexityFactor returns the mean normalized complexity factor C^f
-// across outputs (paper §2.2).
-func ComplexityFactor(f *Function) float64 { return complexity.FactorMean(f) }
+// across outputs (paper §2.2). Zero-output functions are rejected with
+// an error wrapping ErrZeroOutputs.
+func ComplexityFactor(f *Function) (float64, error) { return complexity.FactorMean(f) }
 
 // ExpectedComplexityFactor returns the mean E[C^f] = f0²+f1²+fDC².
-func ExpectedComplexityFactor(f *Function) float64 { return complexity.ExpectedMean(f) }
+// Zero-output functions are rejected with an error wrapping
+// ErrZeroOutputs.
+func ExpectedComplexityFactor(f *Function) (float64, error) { return complexity.ExpectedMean(f) }
 
 // LocalComplexityFactor returns LC^f for one minterm of one output
 // (paper §4).
@@ -152,14 +161,17 @@ func ErrorRate(spec, impl *Function) (float64, error) {
 
 // ExactBounds returns the minimum and maximum error rates achievable by
 // any DC assignment of f (paper §5 exact formulas), averaged over
-// outputs.
-func ExactBounds(f *Function) (lo, hi float64) { return reliability.BoundsMean(f) }
+// outputs. Zero-output functions are rejected with an error wrapping
+// ErrZeroOutputs.
+func ExactBounds(f *Function) (lo, hi float64, err error) { return reliability.BoundsMean(f) }
 
 // ErrorRateMulti returns the exact k-bit input error rate of impl
 // against spec (k = 1 reproduces ErrorRate), averaged over outputs.
-// Dimension mismatches and k outside [1, n] are reported as errors.
-func ErrorRateMulti(spec, impl *Function, k int) (float64, error) {
-	return reliability.ErrorRateMultiMean(spec, impl, k)
+// Dimension mismatches and k outside [1, n] are reported as errors; the
+// C(n,k) enumeration polls ctx and aborts with ctx.Err() once it is
+// done, so callers can bound adversarially large (n, k) requests.
+func ErrorRateMulti(ctx context.Context, spec, impl *Function, k int) (float64, error) {
+	return reliability.ErrorRateMultiMean(ctx, spec, impl, k)
 }
 
 // FaultReport summarizes exhaustive stuck-at fault simulation of a
@@ -177,12 +189,14 @@ func AnalyzeFaults(res *SynthResult, numPI int) (*FaultReport, error) {
 type EstimateBounds = estimate.Bounds
 
 // SignalEstimate returns the Gaussian signal-probability min-max
-// estimate (paper §5), averaged over outputs.
-func SignalEstimate(f *Function) EstimateBounds { return estimate.SignalBasedMean(f) }
+// estimate (paper §5), averaged over outputs. Zero-output functions are
+// rejected with an error wrapping ErrZeroOutputs.
+func SignalEstimate(f *Function) (EstimateBounds, error) { return estimate.SignalBasedMean(f) }
 
 // BorderEstimate returns the Poisson border-count min-max estimate
-// (paper §5), averaged over outputs.
-func BorderEstimate(f *Function) EstimateBounds { return estimate.BorderBasedMean(f) }
+// (paper §5), averaged over outputs. Zero-output functions are rejected
+// with an error wrapping ErrZeroOutputs.
+func BorderEstimate(f *Function) (EstimateBounds, error) { return estimate.BorderBasedMean(f) }
 
 // SynthOptions configures the synthesis flow; see synth.Options.
 type SynthOptions = synth.Options

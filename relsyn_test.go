@@ -2,6 +2,7 @@ package relsyn_test
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -66,7 +67,10 @@ func TestQuickstartPipeline(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	lo, hi := relsyn.ExactBounds(spec)
+	lo, hi, err := relsyn.ExactBounds(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for _, er := range []float64{convER, relER} {
 		if er < lo-1e-12 || er > hi+1e-12 {
 			t.Fatalf("error rate %v outside exact bounds [%v, %v]", er, lo, hi)
@@ -85,11 +89,17 @@ func TestFacadeMetrics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cf := relsyn.ComplexityFactor(spec)
+	cf, err := relsyn.ComplexityFactor(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if cf <= 0 || cf >= 1 {
 		t.Fatalf("C^f = %v", cf)
 	}
-	ecf := relsyn.ExpectedComplexityFactor(spec)
+	ecf, err := relsyn.ExpectedComplexityFactor(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ecf <= 0 || ecf >= 1 {
 		t.Fatalf("E[C^f] = %v", ecf)
 	}
@@ -97,8 +107,14 @@ func TestFacadeMetrics(t *testing.T) {
 	if lcf < 0 || lcf > 1 {
 		t.Fatalf("LC^f = %v", lcf)
 	}
-	sig := relsyn.SignalEstimate(spec)
-	bor := relsyn.BorderEstimate(spec)
+	sig, err := relsyn.SignalEstimate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bor, err := relsyn.BorderEstimate(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if sig.Min > sig.Max || bor.Min > bor.Max {
 		t.Fatal("estimate intervals inverted")
 	}
@@ -131,7 +147,7 @@ func TestFacadeExtensions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r1, err := relsyn.ErrorRateMulti(spec, res.Impl, 1)
+	r1, err := relsyn.ErrorRateMulti(context.Background(), spec, res.Impl, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +158,7 @@ func TestFacadeExtensions(t *testing.T) {
 	if math.Abs(r1-single) > 1e-12 {
 		t.Fatal("ErrorRateMulti(k=1) disagrees with ErrorRate")
 	}
-	r2, err := relsyn.ErrorRateMulti(spec, res.Impl, 2)
+	r2, err := relsyn.ErrorRateMulti(context.Background(), spec, res.Impl, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +242,11 @@ func TestGenerateSyntheticFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := relsyn.ComplexityFactor(f); math.Abs(got-0.6) > 0.011 {
+	got, err := relsyn.ComplexityFactor(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-0.6) > 0.011 {
 		t.Fatalf("C^f = %v, want ~0.6", got)
 	}
 }
