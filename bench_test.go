@@ -255,6 +255,167 @@ func BenchmarkParSynthesize(b *testing.B) {
 	}
 }
 
+// ---------------------------------------------------------------------
+// Kernel-vs-scalar benchmarks (internal/bitset word-parallel paths).
+//
+// Each benchmark runs the same Θ(n·2^n) scan through the word-parallel
+// kernel and through its scalar oracle at n = 12/14/16. Both paths are
+// pinned per call (exported *Kernel/*Scalar entry points and
+// core.Options.Kernels) — the process-wide bitset.UseKernels switch is
+// never touched, so these are safe alongside parallel tests.
+// cmd/benchjson pairs the kernel/scalar rows of this output into
+// BENCH_kernels.json and gates CI on the speedup ratios.
+
+var benchKernelInputs = []int{12, 14, 16}
+
+// benchKernelSpecs caches one single-output synthetic spec per input
+// count (generation at n=16 walks 65536 minterms; do it once).
+var benchKernelSpecs struct {
+	sync.Mutex
+	specs map[int]*tt.Function
+}
+
+func benchKernelSpec(b *testing.B, n int) *tt.Function {
+	b.Helper()
+	benchKernelSpecs.Lock()
+	defer benchKernelSpecs.Unlock()
+	if f, ok := benchKernelSpecs.specs[n]; ok {
+		return f
+	}
+	f, err := synthetic.Generate(synthetic.Params{
+		Inputs: n, Outputs: 1, DCFraction: 0.3, TargetCf: 0.5,
+		Tolerance: 0.05, Seed: int64(1600 + n), BestEffort: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if benchKernelSpecs.specs == nil {
+		benchKernelSpecs.specs = map[int]*tt.Function{}
+	}
+	benchKernelSpecs.specs[n] = f
+	return f
+}
+
+// benchKernelPair runs the kernel and scalar variants of one scan as
+// n=<N>/kernel and n=<N>/scalar sub-benchmarks.
+func benchKernelPair(b *testing.B, n int, kernel, scalar func(b *testing.B)) {
+	b.Helper()
+	b.Run(fmt.Sprintf("n=%d/kernel", n), kernel)
+	b.Run(fmt.Sprintf("n=%d/scalar", n), scalar)
+}
+
+func BenchmarkKernelErrorRate(b *testing.B) {
+	for _, n := range benchKernelInputs {
+		spec := benchKernelSpec(b, n)
+		impl := core.Complete(spec).Func
+		benchKernelPair(b, n,
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := reliability.ErrorRateKernel(spec, impl, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := reliability.ErrorRateScalar(spec, impl, 0); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+	}
+}
+
+func BenchmarkKernelBounds(b *testing.B) {
+	for _, n := range benchKernelInputs {
+		spec := benchKernelSpec(b, n)
+		benchKernelPair(b, n,
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					reliability.BoundsKernel(spec, 0)
+				}
+			},
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					reliability.BoundsScalar(spec, 0)
+				}
+			})
+	}
+}
+
+func BenchmarkKernelFactor(b *testing.B) {
+	for _, n := range benchKernelInputs {
+		spec := benchKernelSpec(b, n)
+		benchKernelPair(b, n,
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					complexity.FactorKernel(spec, 0)
+				}
+			},
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					complexity.FactorScalar(spec, 0)
+				}
+			})
+	}
+}
+
+func BenchmarkKernelLocal(b *testing.B) {
+	ctx := context.Background()
+	for _, n := range benchKernelInputs {
+		spec := benchKernelSpec(b, n)
+		benchKernelPair(b, n,
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := complexity.LocalAllKernelCtx(ctx, spec, 0, 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			},
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					if _, err := complexity.LocalAllScalarCtx(ctx, spec, 0, 1); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+	}
+}
+
+func BenchmarkKernelBorder(b *testing.B) {
+	for _, n := range benchKernelInputs {
+		spec := benchKernelSpec(b, n)
+		benchKernelPair(b, n,
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					reliability.CountBordersKernel(spec, 0)
+				}
+			},
+			func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					reliability.CountBordersScalar(spec, 0)
+				}
+			})
+	}
+}
+
+func BenchmarkKernelRanking(b *testing.B) {
+	for _, n := range benchKernelInputs {
+		spec := benchKernelSpec(b, n)
+		run := func(mode core.KernelMode) func(b *testing.B) {
+			return func(b *testing.B) {
+				opt := core.Options{Kernels: mode, Parallelism: 1}
+				for i := 0; i < b.N; i++ {
+					if _, err := core.Ranking(spec, 0.5, opt); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		}
+		benchKernelPair(b, n, run(core.KernelsOn), run(core.KernelsOff))
+	}
+}
+
 // benchServerPLA generates one of the distinct 4-input specifications
 // used by BenchmarkServerThroughput: deterministic per seed, with a mix
 // of on-set and DC rows so the full assign+synth+verify pipeline runs.

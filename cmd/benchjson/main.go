@@ -1,0 +1,284 @@
+// Command benchjson turns `go test -bench BenchmarkKernel` output into
+// a machine-readable speedup baseline, and gates CI against it.
+//
+// The kernel benchmarks (bench_test.go) emit paired sub-benchmarks
+//
+//	BenchmarkKernelErrorRate/n=16/kernel-8    1000   25235 ns/op
+//	BenchmarkKernelErrorRate/n=16/scalar-8     100  105370 ns/op
+//
+// benchjson pairs each <group>/kernel row with its <group>/scalar row
+// and records the speedup ratio scalar/kernel. Ratios — not raw ns/op —
+// are what the gate compares: they are stable across machine
+// generations, while absolute nanoseconds are not.
+//
+// Usage:
+//
+//	go test -run xxx -bench BenchmarkKernel -benchtime 200x . \
+//	    | go run ./cmd/benchjson -record -o BENCH_kernels.json
+//
+//	go test -run xxx -bench BenchmarkKernel -benchtime 200x . \
+//	    | go run ./cmd/benchjson -gate BENCH_kernels.json [-max-regress 1.25]
+//
+// In -gate mode the exit status is 1 if any benchmark's current speedup
+// has regressed by more than -max-regress relative to the committed
+// baseline (baseline.speedup / current.speedup > max-regress), or if a
+// baseline benchmark is missing from the current run. New benchmarks
+// absent from the baseline are reported but do not fail the gate —
+// refresh the baseline with -record to start tracking them.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Entry is one kernel/scalar benchmark pair.
+type Entry struct {
+	// Name is the shared group name, e.g. "KernelErrorRate/n=16".
+	Name string `json:"name"`
+	// KernelNsOp / ScalarNsOp are informational (machine-dependent).
+	KernelNsOp float64 `json:"kernel_ns_op"`
+	ScalarNsOp float64 `json:"scalar_ns_op"`
+	// Speedup is ScalarNsOp / KernelNsOp — the gated quantity.
+	Speedup float64 `json:"speedup"`
+}
+
+// File is the on-disk format of BENCH_kernels.json.
+type File struct {
+	// Note documents how to regenerate the file.
+	Note string `json:"note"`
+	// GOOS/GOARCH/CPU echo the `go test -bench` header of the recording
+	// run (informational).
+	GOOS   string `json:"goos,omitempty"`
+	GOARCH string `json:"goarch,omitempty"`
+	CPU    string `json:"cpu,omitempty"`
+	// Recorded is the recording date (not re-read by the gate).
+	Recorded string `json:"recorded,omitempty"`
+	// Benchmarks is sorted by name.
+	Benchmarks []Entry `json:"benchmarks"`
+}
+
+// benchLine matches one result row of `go test -bench` output:
+// name, iteration count, ns/op (other -benchmem columns are ignored).
+var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
+
+// side splits a full benchmark name into its group key and kernel/scalar
+// side, e.g. "BenchmarkKernelErrorRate/n=16/kernel-8" ->
+// ("KernelErrorRate/n=16", "kernel"). The trailing -N GOMAXPROCS suffix
+// is stripped; names without a /kernel or /scalar leaf return ok=false.
+func side(name string) (group, leaf string, ok bool) {
+	name = strings.TrimPrefix(name, "Benchmark")
+	i := strings.LastIndex(name, "/")
+	if i < 0 {
+		return "", "", false
+	}
+	group, leaf = name[:i], name[i+1:]
+	// Strip the -N parallelism suffix go test appends.
+	if j := strings.LastIndex(leaf, "-"); j >= 0 {
+		if _, err := strconv.Atoi(leaf[j+1:]); err == nil {
+			leaf = leaf[:j]
+		}
+	}
+	if leaf != "kernel" && leaf != "scalar" {
+		return "", "", false
+	}
+	return group, leaf, true
+}
+
+// parse reads `go test -bench` output and pairs kernel/scalar rows.
+// Repeated rows for the same name (from -count) keep the minimum ns/op:
+// on shared/noisy CI machines the minimum is the standard low-variance
+// estimator of the true cost (noise only ever adds time).
+func parse(r io.Reader) (*File, error) {
+	type acc struct {
+		min float64
+		n   int
+	}
+	kernels := map[string]*acc{}
+	scalars := map[string]*acc{}
+	f := &File{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "goos: "):
+			f.GOOS = strings.TrimPrefix(line, "goos: ")
+		case strings.HasPrefix(line, "goarch: "):
+			f.GOARCH = strings.TrimPrefix(line, "goarch: ")
+		case strings.HasPrefix(line, "cpu: "):
+			f.CPU = strings.TrimPrefix(line, "cpu: ")
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil || ns <= 0 {
+			return nil, fmt.Errorf("bad ns/op in %q", line)
+		}
+		group, leaf, ok := side(m[1])
+		if !ok {
+			continue
+		}
+		dst := kernels
+		if leaf == "scalar" {
+			dst = scalars
+		}
+		if dst[group] == nil {
+			dst[group] = &acc{min: ns}
+		} else if ns < dst[group].min {
+			dst[group].min = ns
+		}
+		dst[group].n++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	for group, k := range kernels {
+		s, ok := scalars[group]
+		if !ok {
+			return nil, fmt.Errorf("benchmark %s has a kernel row but no scalar row", group)
+		}
+		f.Benchmarks = append(f.Benchmarks, Entry{
+			Name: group, KernelNsOp: k.min, ScalarNsOp: s.min, Speedup: s.min / k.min,
+		})
+	}
+	for group := range scalars {
+		if _, ok := kernels[group]; !ok {
+			return nil, fmt.Errorf("benchmark %s has a scalar row but no kernel row", group)
+		}
+	}
+	if len(f.Benchmarks) == 0 {
+		return nil, errors.New("no kernel/scalar benchmark pairs found in input")
+	}
+	sort.Slice(f.Benchmarks, func(i, j int) bool {
+		return f.Benchmarks[i].Name < f.Benchmarks[j].Name
+	})
+	return f, nil
+}
+
+// gate compares current speedups against the baseline, writing one line
+// per benchmark to w, and returns an error describing every regression.
+func gate(baseline, current *File, maxRegress float64, w io.Writer) error {
+	cur := map[string]Entry{}
+	for _, e := range current.Benchmarks {
+		cur[e.Name] = e
+	}
+	var failures []string
+	for _, base := range baseline.Benchmarks {
+		got, ok := cur[base.Name]
+		if !ok {
+			failures = append(failures, fmt.Sprintf("%s: in baseline but missing from current run", base.Name))
+			continue
+		}
+		ratio := base.Speedup / got.Speedup
+		status := "ok"
+		if ratio > maxRegress {
+			status = "REGRESSED"
+			failures = append(failures,
+				fmt.Sprintf("%s: speedup %.2fx, baseline %.2fx (%.2fx regression > %.2fx allowed)",
+					base.Name, got.Speedup, base.Speedup, ratio, maxRegress))
+		}
+		fmt.Fprintf(w, "%-40s speedup %6.2fx  baseline %6.2fx  %s\n",
+			base.Name, got.Speedup, base.Speedup, status)
+	}
+	for _, e := range current.Benchmarks {
+		found := false
+		for _, base := range baseline.Benchmarks {
+			if base.Name == e.Name {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(w, "%-40s speedup %6.2fx  (new, not in baseline)\n", e.Name, e.Speedup)
+		}
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("kernel speedup regressions:\n  %s", strings.Join(failures, "\n  "))
+	}
+	return nil
+}
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+// run is the testable entry point. Exit codes: 0 success, 1 parse/gate
+// failure, 2 flag errors.
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		record     = fs.Bool("record", false, "parse bench output from stdin and write the baseline JSON")
+		out        = fs.String("o", "BENCH_kernels.json", "output path for -record ('-' = stdout)")
+		gateFile   = fs.String("gate", "", "baseline JSON to gate the stdin bench output against")
+		maxRegress = fs.Float64("max-regress", 1.25, "maximum allowed baseline/current speedup ratio")
+	)
+	if err := fs.Parse(args); err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		return 2
+	}
+	fail := func(err error) int {
+		fmt.Fprintf(stderr, "benchjson: %v\n", err)
+		return 1
+	}
+	if *record == (*gateFile != "") {
+		fmt.Fprintln(stderr, "benchjson: exactly one of -record or -gate is required")
+		fs.Usage()
+		return 2
+	}
+	if *maxRegress < 1 {
+		fmt.Fprintf(stderr, "benchjson: -max-regress must be >= 1, got %v\n", *maxRegress)
+		return 2
+	}
+	current, err := parse(stdin)
+	if err != nil {
+		return fail(err)
+	}
+	if *record {
+		current.Note = "kernel-vs-scalar speedup baseline; regenerate with: " +
+			"go test -run xxx -bench BenchmarkKernel -benchtime 200x . | go run ./cmd/benchjson -record"
+		current.Recorded = time.Now().UTC().Format("2006-01-02")
+		b, err := json.MarshalIndent(current, "", "  ")
+		if err != nil {
+			return fail(err)
+		}
+		b = append(b, '\n')
+		if *out == "-" {
+			_, err = stdout.Write(b)
+		} else {
+			err = os.WriteFile(*out, b, 0o644)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		fmt.Fprintf(stderr, "benchjson: recorded %d benchmark pairs\n", len(current.Benchmarks))
+		return 0
+	}
+	raw, err := os.ReadFile(*gateFile)
+	if err != nil {
+		return fail(err)
+	}
+	var baseline File
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		return fail(fmt.Errorf("parsing baseline %s: %w", *gateFile, err))
+	}
+	if err := gate(&baseline, current, *maxRegress, stdout); err != nil {
+		return fail(err)
+	}
+	return 0
+}

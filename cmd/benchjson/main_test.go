@@ -1,0 +1,191 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleBench = `goos: linux
+goarch: amd64
+pkg: relsyn
+cpu: Test CPU @ 2.10GHz
+BenchmarkKernelErrorRate/n=12/kernel-8         	    1000	      1000 ns/op
+BenchmarkKernelErrorRate/n=12/scalar-8         	     200	      5000 ns/op
+BenchmarkKernelErrorRate/n=16/kernel-8         	     100	     25000 ns/op
+BenchmarkKernelErrorRate/n=16/scalar-8         	     100	    100000 ns/op
+BenchmarkKernelFactor/n=16/kernel-8            	     100	     10000 ns/op
+BenchmarkKernelFactor/n=16/scalar-8            	     100	     80000 ns/op
+BenchmarkUnrelated-8                           	     100	        10 ns/op
+PASS
+ok  	relsyn	1.000s
+`
+
+func TestParsePairsRows(t *testing.T) {
+	f, err := parse(strings.NewReader(sampleBench))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.GOOS != "linux" || f.GOARCH != "amd64" || f.CPU != "Test CPU @ 2.10GHz" {
+		t.Fatalf("header not captured: %+v", f)
+	}
+	want := map[string]float64{
+		"KernelErrorRate/n=12": 5,
+		"KernelErrorRate/n=16": 4,
+		"KernelFactor/n=16":    8,
+	}
+	if len(f.Benchmarks) != len(want) {
+		t.Fatalf("got %d pairs, want %d: %+v", len(f.Benchmarks), len(want), f.Benchmarks)
+	}
+	for _, e := range f.Benchmarks {
+		if w, ok := want[e.Name]; !ok || e.Speedup != w {
+			t.Fatalf("entry %+v, want speedup %v", e, w)
+		}
+	}
+	// Sorted by name.
+	for i := 1; i < len(f.Benchmarks); i++ {
+		if f.Benchmarks[i-1].Name >= f.Benchmarks[i].Name {
+			t.Fatalf("not sorted: %+v", f.Benchmarks)
+		}
+	}
+}
+
+func TestParseKeepsMinOfRepeats(t *testing.T) {
+	in := `BenchmarkKernelX/n=12/kernel-8 100 100 ns/op
+BenchmarkKernelX/n=12/kernel-8 100 300 ns/op
+BenchmarkKernelX/n=12/scalar-8 100 600 ns/op
+BenchmarkKernelX/n=12/scalar-8 100 900 ns/op
+`
+	f, err := parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 1 || f.Benchmarks[0].Speedup != 6 {
+		t.Fatalf("min-of-repeats wrong: %+v", f.Benchmarks)
+	}
+}
+
+func TestParseRejectsUnpairedAndEmpty(t *testing.T) {
+	if _, err := parse(strings.NewReader("BenchmarkKernelX/n=12/kernel-8 1 5 ns/op\n")); err == nil {
+		t.Fatal("kernel row without scalar row accepted")
+	}
+	if _, err := parse(strings.NewReader("BenchmarkKernelX/n=12/scalar-8 1 5 ns/op\n")); err == nil {
+		t.Fatal("scalar row without kernel row accepted")
+	}
+	if _, err := parse(strings.NewReader("PASS\n")); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestSideParsing(t *testing.T) {
+	cases := []struct {
+		in, group, leaf string
+		ok              bool
+	}{
+		{"BenchmarkKernelErrorRate/n=16/kernel-8", "KernelErrorRate/n=16", "kernel", true},
+		{"BenchmarkKernelErrorRate/n=16/scalar", "KernelErrorRate/n=16", "scalar", true},
+		{"BenchmarkKernelRanking/n=12/kernel-16", "KernelRanking/n=12", "kernel", true},
+		{"BenchmarkParBoundsMean/j=2-8", "", "", false},
+		{"BenchmarkTable1-8", "", "", false},
+	}
+	for _, c := range cases {
+		g, l, ok := side(c.in)
+		if g != c.group || l != c.leaf || ok != c.ok {
+			t.Fatalf("side(%q) = (%q, %q, %v), want (%q, %q, %v)",
+				c.in, g, l, ok, c.group, c.leaf, c.ok)
+		}
+	}
+}
+
+func TestGateDetectsRegression(t *testing.T) {
+	base := &File{Benchmarks: []Entry{
+		{Name: "KernelErrorRate/n=16", Speedup: 4},
+		{Name: "KernelFactor/n=16", Speedup: 8},
+	}}
+	okRun := &File{Benchmarks: []Entry{
+		{Name: "KernelErrorRate/n=16", Speedup: 3.5}, // 4/3.5 = 1.14 < 1.25
+		{Name: "KernelFactor/n=16", Speedup: 9},
+		{Name: "KernelNew/n=16", Speedup: 2}, // new: reported, not fatal
+	}}
+	var out bytes.Buffer
+	if err := gate(base, okRun, 1.25, &out); err != nil {
+		t.Fatalf("within-tolerance run failed the gate: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "new, not in baseline") {
+		t.Fatalf("new benchmark not reported:\n%s", out.String())
+	}
+
+	badRun := &File{Benchmarks: []Entry{
+		{Name: "KernelErrorRate/n=16", Speedup: 3}, // 4/3 = 1.33 > 1.25
+		{Name: "KernelFactor/n=16", Speedup: 9},
+	}}
+	out.Reset()
+	err := gate(base, badRun, 1.25, &out)
+	if err == nil || !strings.Contains(err.Error(), "KernelErrorRate/n=16") {
+		t.Fatalf("regression not caught: %v", err)
+	}
+
+	missing := &File{Benchmarks: []Entry{
+		{Name: "KernelFactor/n=16", Speedup: 9},
+	}}
+	if err := gate(base, missing, 1.25, &out); err == nil {
+		t.Fatal("missing benchmark not caught")
+	}
+}
+
+func TestRunRecordAndGate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "baseline.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-record", "-o", path},
+		strings.NewReader(sampleBench), &stdout, &stderr); code != 0 {
+		t.Fatalf("record exited %d: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatalf("recorded file is not valid JSON: %v\n%s", err, raw)
+	}
+	if len(f.Benchmarks) != 3 || f.Note == "" || f.Recorded == "" {
+		t.Fatalf("recorded file incomplete: %+v", f)
+	}
+
+	// The same output gates cleanly against its own recording.
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-gate", path},
+		strings.NewReader(sampleBench), &stdout, &stderr); code != 0 {
+		t.Fatalf("self-gate exited %d: %s", code, stderr.String())
+	}
+
+	// A slowed-down kernel fails the gate.
+	slowed := strings.Replace(sampleBench,
+		"BenchmarkKernelFactor/n=16/kernel-8            	     100	     10000 ns/op",
+		"BenchmarkKernelFactor/n=16/kernel-8            	     100	     90000 ns/op", 1)
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-gate", path},
+		strings.NewReader(slowed), &stdout, &stderr); code != 1 {
+		t.Fatalf("regressed run exited %d, want 1\nstdout: %s\nstderr: %s",
+			code, stdout.String(), stderr.String())
+	}
+
+	// Flag misuse: both or neither mode.
+	if code := run([]string{}, strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Fatalf("no mode exited %d, want 2", code)
+	}
+	if code := run([]string{"-record", "-gate", path},
+		strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Fatalf("both modes exited %d, want 2", code)
+	}
+	if code := run([]string{"-gate", path, "-max-regress", "0.5"},
+		strings.NewReader(""), &stdout, &stderr); code != 2 {
+		t.Fatalf("bad -max-regress exited %d, want 2", code)
+	}
+}

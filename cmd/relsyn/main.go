@@ -105,7 +105,7 @@ func usage() {
   relsyn synth  [-in spec.pla | -bench name] [-objective delay|power|area] [-flow sop|resyn]
                 [-method none|rank|lcf|complete] [-fraction F] [-threshold T]
                 [-timeout D] [-max-bdd-nodes N] [-max-conflicts N] [-max-aig-nodes N] [-strict]
-                [-j N] [-json] [-trace]
+                [-j N] [-kernels=false] [-json] [-trace]
   relsyn verilog [-in spec.pla | -bench name] [-module name] [-out file.v]
   relsyn decompose [-in spec.pla | -bench name] [-k 5] [-threshold 0.7] [-blif file.blif]
 
@@ -287,12 +287,16 @@ func runSynth(args []string) error {
 	jsonOut := fs.Bool("json", false, "print the result as JSON (the relsynd wire format)")
 	trace := fs.Bool("trace", false, "print the span tree of the run to stderr")
 	jobs := fs.Int("j", 0, "worker parallelism for per-output analysis (0 = GOMAXPROCS, 1 = sequential)")
+	kernels := fs.Bool("kernels", true, "use word-parallel bitset kernels (false = bit-identical scalar paths)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *jobs < 0 {
 		return usagef("-j must be >= 0, got %d", *jobs)
 	}
+	// Process-wide switch, set before any work begins: the scalar paths
+	// compute bit-identical results, so this only trades speed.
+	relsyn.SetKernels(*kernels)
 	if err := checkFraction(*fraction); err != nil {
 		return err
 	}

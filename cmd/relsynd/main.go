@@ -36,6 +36,7 @@ import (
 	"syscall"
 	"time"
 
+	"relsyn"
 	"relsyn/internal/pipeline"
 	"relsyn/internal/server"
 	"relsyn/internal/tt"
@@ -65,6 +66,7 @@ type daemonConfig struct {
 	addr         string
 	pprofAddr    string
 	drainTimeout time.Duration
+	kernels      bool
 	server       server.Config
 	budget       budgetDefaults
 }
@@ -96,6 +98,7 @@ func parseFlags(args []string, stderr io.Writer) (*daemonConfig, error) {
 	fs.Int64Var(&cfg.budget.maxConflicts, "max-conflicts", 0, "default SAT conflict budget for jobs that carry none (0 = unlimited)")
 	fs.IntVar(&cfg.budget.maxAIGNodes, "max-aig-nodes", 0, "default AIG node budget for jobs that carry none (0 = unlimited)")
 	fs.IntVar(&cfg.budget.parallelism, "j", 0, "default per-job analysis parallelism for jobs that carry none (0 = GOMAXPROCS, 1 = sequential)")
+	fs.BoolVar(&cfg.kernels, "kernels", true, "use word-parallel bitset kernels process-wide (false = bit-identical scalar paths); per-job override via the \"kernels\" wire option")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -147,6 +150,9 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 		fmt.Fprintf(stderr, "relsynd: %v\n", err)
 		return 2
 	}
+	// Process-wide kernel switch, set before the worker pool starts any
+	// job (the scalar paths are bit-identical, only slower).
+	relsyn.SetKernels(cfg.kernels)
 	cfg.server.Backend = cfg.budget.backend()
 
 	ln, err := net.Listen("tcp", cfg.addr)

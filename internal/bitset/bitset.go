@@ -104,7 +104,7 @@ func (s *Set) Clone() *Set {
 
 // Copy overwrites s with the contents of o.
 func (s *Set) Copy(o *Set) {
-	s.mustMatch(o)
+	s.mustMatch("bitset.Copy", o)
 	copy(s.words, o.words)
 }
 
@@ -129,15 +129,24 @@ func (s *Set) trim() {
 	}
 }
 
-func (s *Set) mustMatch(o *Set) {
+// Trim re-masks the final word so that bits at and above Len are zero.
+// Callers that write through Words() (bit-parallel simulators build
+// truth tables word by word) must call Trim before handing the set to
+// anything that counts bits.
+func (s *Set) Trim() { s.trim() }
+
+// mustMatch panics with a typed *SizeMismatchError (matching
+// ErrSizeMismatch via errors.Is) when the two sets were built for
+// different universe sizes.
+func (s *Set) mustMatch(op string, o *Set) {
 	if s.n != o.n {
-		panic(fmt.Sprintf("bitset: capacity mismatch %d vs %d", s.n, o.n))
+		panic(NewSizeMismatch(op, s.n, o.n))
 	}
 }
 
 // InPlaceUnion sets s = s | o.
 func (s *Set) InPlaceUnion(o *Set) {
-	s.mustMatch(o)
+	s.mustMatch("bitset.InPlaceUnion", o)
 	for i, w := range o.words {
 		s.words[i] |= w
 	}
@@ -145,7 +154,7 @@ func (s *Set) InPlaceUnion(o *Set) {
 
 // InPlaceIntersect sets s = s & o.
 func (s *Set) InPlaceIntersect(o *Set) {
-	s.mustMatch(o)
+	s.mustMatch("bitset.InPlaceIntersect", o)
 	for i, w := range o.words {
 		s.words[i] &= w
 	}
@@ -153,7 +162,7 @@ func (s *Set) InPlaceIntersect(o *Set) {
 
 // InPlaceDifference sets s = s &^ o.
 func (s *Set) InPlaceDifference(o *Set) {
-	s.mustMatch(o)
+	s.mustMatch("bitset.InPlaceDifference", o)
 	for i, w := range o.words {
 		s.words[i] &^= w
 	}
@@ -161,7 +170,7 @@ func (s *Set) InPlaceDifference(o *Set) {
 
 // InPlaceSymDiff sets s = s ^ o.
 func (s *Set) InPlaceSymDiff(o *Set) {
-	s.mustMatch(o)
+	s.mustMatch("bitset.InPlaceSymDiff", o)
 	for i, w := range o.words {
 		s.words[i] ^= w
 	}
@@ -200,7 +209,7 @@ func (s *Set) Complement() *Set {
 
 // IntersectsWith reports whether s & o is non-empty.
 func (s *Set) IntersectsWith(o *Set) bool {
-	s.mustMatch(o)
+	s.mustMatch("bitset.IntersectsWith", o)
 	for i, w := range o.words {
 		if s.words[i]&w != 0 {
 			return true
@@ -211,7 +220,7 @@ func (s *Set) IntersectsWith(o *Set) bool {
 
 // IntersectionCount returns |s & o| without allocating.
 func (s *Set) IntersectionCount(o *Set) int {
-	s.mustMatch(o)
+	s.mustMatch("bitset.IntersectionCount", o)
 	c := 0
 	for i, w := range o.words {
 		c += bits.OnesCount64(s.words[i] & w)
@@ -221,7 +230,7 @@ func (s *Set) IntersectionCount(o *Set) int {
 
 // SubsetOf reports whether every bit of s is also in o.
 func (s *Set) SubsetOf(o *Set) bool {
-	s.mustMatch(o)
+	s.mustMatch("bitset.SubsetOf", o)
 	for i, w := range s.words {
 		if w&^o.words[i] != 0 {
 			return false
@@ -288,27 +297,9 @@ func (s *Set) Indices() []int {
 // the original set. For bit < 6 the permutation acts inside each word and
 // is computed with masked shifts; for larger bits it swaps whole words.
 func (s *Set) ShiftXor(bit int) *Set {
-	if s.n == 0 || s.n&(s.n-1) != 0 {
-		panic(fmt.Sprintf("bitset: ShiftXor requires power-of-two capacity, got %d", s.n))
-	}
-	if bit < 0 || (s.n > 1 && bit >= bits.Len(uint(s.n-1))) {
-		panic(fmt.Sprintf("bitset: ShiftXor bit %d out of range for capacity %d", bit, s.n))
-	}
+	s.checkShift("ShiftXor", bit)
 	c := New(s.n)
-	if bit < 6 {
-		sh := uint(1) << uint(bit)
-		mask := xorMasks[bit]
-		for i, w := range s.words {
-			// Bits whose `bit` is 0 move up by sh; bits whose `bit` is 1 move down.
-			c.words[i] = (w&mask)<<sh | (w>>sh)&mask
-		}
-	} else {
-		stride := 1 << uint(bit-6) // distance in words
-		for i := range s.words {
-			c.words[i] = s.words[i^stride]
-		}
-	}
-	c.trim()
+	ShiftNeighborInto(c, s, bit)
 	return c
 }
 

@@ -1,0 +1,445 @@
+// Word-parallel (SWAR) kernels for the Θ(n·2^n) hot loops.
+//
+// Every paper metric — masked-error rates, complexity factors, border
+// counts — reduces to scans that relate each minterm m to its 1-Hamming
+// neighbor m^2^i. Over a dense bitset that neighbor permutation is just
+// a shift of the whole vector: for 2^i < 64 it acts inside each word as
+// a pair of masked shifts, above that it swaps whole words. Composing
+// the shift with fused popcounts turns per-minterm loops into
+// 64-minterms-per-op passes, the same packed-simulation trick ABC uses
+// for bit-parallel truth-table evaluation.
+//
+// The kernels in this file never change results: the scalar
+// implementations in internal/{reliability,complexity,estimate,exact,
+// core} are kept under *Scalar names and remain the oracle (metatest
+// property 6 pins kernel ≡ scalar bit for bit). UseKernels is the
+// process-wide escape hatch.
+package bitset
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// UseKernels is the process-wide default for the word-parallel kernel
+// paths in the metric packages (reliability, complexity, estimate,
+// exact, core). It exists as an operational escape hatch: flipping it
+// to false routes every dispatching entry point through the scalar
+// oracle implementations, which compute bit-identical results ~8–30×
+// slower. Set it at process start (relsyn -kernels=false, relsynd
+// -kernels=false), before any concurrent work begins; it is a plain
+// bool and is not synchronized.
+var UseKernels = true
+
+// ErrSizeMismatch is the sentinel matched (via errors.Is) by the
+// *SizeMismatchError panics raised when two sets built for different
+// universe sizes are combined. Binary ops used to panic with an
+// anonymous formatted string, which recovery boundaries (the pipeline
+// recovers library panics into typed *StageError values) could not
+// classify, and raw Words()-level loops outside this package silently
+// truncated to the shorter word slice instead of failing at all.
+var ErrSizeMismatch = errors.New("bitset: size mismatch")
+
+// SizeMismatchError reports a binary operation over two sets with
+// different capacities. It is raised by panic: mixing universe sizes
+// means mixing functions with different input counts, which is a
+// programming error, not a runtime condition.
+type SizeMismatchError struct {
+	Op   string // the operation, e.g. "bitset.AndPopcount"
+	A, B int    // the two capacities involved
+}
+
+func (e *SizeMismatchError) Error() string {
+	return fmt.Sprintf("%s: %v: %d vs %d bits", e.Op, ErrSizeMismatch, e.A, e.B)
+}
+
+// Unwrap lets errors.Is(err, ErrSizeMismatch) match recovered panics.
+func (e *SizeMismatchError) Unwrap() error { return ErrSizeMismatch }
+
+// NewSizeMismatch builds the typed error for callers outside this
+// package that combine raw word slices and must fail loudly instead of
+// truncating (see internal/faultsim).
+func NewSizeMismatch(op string, a, b int) *SizeMismatchError {
+	return &SizeMismatchError{Op: op, A: a, B: b}
+}
+
+// checkShift validates the neighbor-permutation preconditions shared by
+// ShiftXor, ShiftNeighbor and the fused kernels: power-of-two capacity
+// and a bit index inside the input count.
+func (s *Set) checkShift(op string, bit int) {
+	if s.n == 0 || s.n&(s.n-1) != 0 {
+		panic(fmt.Sprintf("bitset: %s requires power-of-two capacity, got %d", op, s.n))
+	}
+	if bit < 0 || (s.n > 1 && bit >= bits.Len(uint(s.n-1))) {
+		panic(fmt.Sprintf("bitset: %s bit %d out of range for capacity %d", op, bit, s.n))
+	}
+}
+
+// ShiftNeighbor returns a new set t with t[m] = s[m ^ 2^bit]: every
+// minterm mapped to its 1-Hamming neighbor along input `bit`. It is the
+// primitive the word-parallel kernels are built from; ShiftXor is the
+// historical name for the same permutation.
+func (s *Set) ShiftNeighbor(bit int) *Set {
+	s.checkShift("ShiftNeighbor", bit)
+	c := New(s.n)
+	ShiftNeighborInto(c, s, bit)
+	return c
+}
+
+// ShiftNeighborInto writes the neighbor permutation of src along input
+// `bit` into dst without allocating. dst must have src's capacity and
+// must not alias src (for 2^bit >= 64 the permutation swaps whole words
+// and an in-place swap would read already-overwritten words).
+func ShiftNeighborInto(dst, src *Set, bit int) {
+	src.checkShift("ShiftNeighborInto", bit)
+	if dst.n != src.n {
+		panic(NewSizeMismatch("bitset.ShiftNeighborInto", dst.n, src.n))
+	}
+	if dst == src {
+		panic("bitset: ShiftNeighborInto dst must not alias src")
+	}
+	if bit < 6 {
+		sh := uint(1) << uint(bit)
+		mask := xorMasks[bit]
+		for i, w := range src.words {
+			// Bits whose `bit` is 0 move up by sh; bits whose `bit` is 1 move down.
+			dst.words[i] = (w&mask)<<sh | (w>>sh)&mask
+		}
+	} else {
+		stride := 1 << uint(bit-6) // distance in words
+		for i := range src.words {
+			dst.words[i] = src.words[i^stride]
+		}
+	}
+	dst.trim()
+}
+
+// AndPopcount returns |s & o| in one fused pass (no intermediate set).
+func (s *Set) AndPopcount(o *Set) int {
+	s.mustMatch("bitset.AndPopcount", o)
+	c := 0
+	for i, w := range o.words {
+		c += bits.OnesCount64(s.words[i] & w)
+	}
+	return c
+}
+
+// XorPopcount returns |s ^ o| — the Hamming distance between the two
+// sets — in one fused pass.
+func (s *Set) XorPopcount(o *Set) int {
+	s.mustMatch("bitset.XorPopcount", o)
+	c := 0
+	for i, w := range o.words {
+		c += bits.OnesCount64(s.words[i] ^ w)
+	}
+	return c
+}
+
+// AndNotPopcount returns |s &^ o| in one fused pass.
+func (s *Set) AndNotPopcount(o *Set) int {
+	s.mustMatch("bitset.AndNotPopcount", o)
+	c := 0
+	for i, w := range o.words {
+		c += bits.OnesCount64(s.words[i] &^ w)
+	}
+	return c
+}
+
+// ShiftAndPopcount returns |s & ShiftNeighbor(o, bit)| without
+// materializing the shifted set: the per-word shift is fused into the
+// popcount pass. This is the border-count / base-pair workhorse.
+func (s *Set) ShiftAndPopcount(o *Set, bit int) int {
+	o.checkShift("ShiftAndPopcount", bit)
+	s.mustMatch("bitset.ShiftAndPopcount", o)
+	c := 0
+	if bit < 6 {
+		sh := uint(1) << uint(bit)
+		mask := xorMasks[bit]
+		for i, w := range o.words {
+			c += bits.OnesCount64(s.words[i] & ((w&mask)<<sh | (w>>sh)&mask))
+		}
+	} else {
+		stride := 1 << uint(bit-6)
+		for i := range s.words {
+			c += bits.OnesCount64(s.words[i] & o.words[i^stride])
+		}
+	}
+	return c
+}
+
+// NeighborDiffPopcount returns |{m ∈ care : s[m] != s[m ^ 2^bit]}| —
+// the number of care minterms whose value changes when input `bit`
+// flips — in one fused pass. This is the error-rate workhorse:
+// summing it over all inputs counts every propagating (minterm, bit)
+// event without n·2^n phase lookups.
+func (s *Set) NeighborDiffPopcount(care *Set, bit int) int {
+	s.checkShift("NeighborDiffPopcount", bit)
+	s.mustMatch("bitset.NeighborDiffPopcount", care)
+	c := 0
+	if bit < 6 {
+		sh := uint(1) << uint(bit)
+		mask := xorMasks[bit]
+		cw := care.words[:len(s.words)] // bounds-check elimination
+		for i, w := range s.words {
+			c += bits.OnesCount64((w ^ ((w&mask)<<sh | (w>>sh)&mask)) & cw[i])
+		}
+	} else {
+		// The value difference w_i ^ w_{i^stride} is symmetric in the
+		// pair, so compute each XOR once and mask it against both care
+		// words (half the loads and XORs of the naive per-word loop).
+		// The block sub-slices let the compiler drop bounds checks.
+		stride := 1 << uint(bit-6)
+		cw, sw := care.words, s.words
+		for base := 0; base < len(sw); base += 2 * stride {
+			lo, hi := sw[base:base+stride], sw[base+stride:base+2*stride]
+			clo, chi := cw[base:base+stride], cw[base+stride:base+2*stride]
+			for i, w := range lo {
+				x := w ^ hi[i]
+				c += bits.OnesCount64(x&clo[i]) + bits.OnesCount64(x&chi[i])
+			}
+		}
+	}
+	return c
+}
+
+// NeighborDiffAndNotPopcount is NeighborDiffPopcount with the care set
+// expressed as its complement: it returns
+// |{m ∉ excl : s[m] != s[m ^ 2^bit]}|. The error-rate scan cares about
+// everything outside the DC set, so taking the DC set directly avoids
+// materializing a complemented care set per call. Padding bits are
+// safe without trimming: the XOR of two trimmed words is trimmed, and
+// the neighbor permutation maps padding positions to padding positions.
+func (s *Set) NeighborDiffAndNotPopcount(excl *Set, bit int) int {
+	s.checkShift("NeighborDiffAndNotPopcount", bit)
+	s.mustMatch("bitset.NeighborDiffAndNotPopcount", excl)
+	c := 0
+	if bit < 6 {
+		sh := uint(1) << uint(bit)
+		mask := xorMasks[bit]
+		ew := excl.words[:len(s.words)] // bounds-check elimination
+		for i, w := range s.words {
+			c += bits.OnesCount64((w ^ ((w&mask)<<sh | (w>>sh)&mask)) &^ ew[i])
+		}
+	} else {
+		stride := 1 << uint(bit-6)
+		ew, sw := excl.words, s.words
+		for base := 0; base < len(sw); base += 2 * stride {
+			lo, hi := sw[base:base+stride], sw[base+stride:base+2*stride]
+			elo, ehi := ew[base:base+stride], ew[base+stride:base+2*stride]
+			for i, w := range lo {
+				x := w ^ hi[i]
+				c += bits.OnesCount64(x&^elo[i]) + bits.OnesCount64(x&^ehi[i])
+			}
+		}
+	}
+	return c
+}
+
+// NeighborDiffAndNotPopcountAll sums NeighborDiffAndNotPopcount over
+// every input bit: |{(m, b) : m ∉ excl, s[m] != s[m ^ 2^b]}| — the full
+// error-event count of one output in a single call. The six in-word
+// bits share one fully unrolled pass (each word and its exclusion mask
+// are loaded once and feed six shift+popcount lanes), and every
+// word-swap bit reuses the symmetric-pair halving of the per-bit
+// kernel. This is what the error-rate scan calls; the per-bit
+// NeighborDiffAndNotPopcount remains for callers that need the
+// per-input breakdown.
+func (s *Set) NeighborDiffAndNotPopcountAll(excl *Set) int {
+	s.checkShift("NeighborDiffAndNotPopcountAll", 0)
+	s.mustMatch("bitset.NeighborDiffAndNotPopcountAll", excl)
+	k := bits.Len(uint(s.n - 1))
+	if s.n == 1 {
+		k = 0
+	}
+	c := 0
+	if s.n >= 64 {
+		// All six in-word bits in one pass.
+		ew := excl.words[:len(s.words)]
+		for i, w := range s.words {
+			keep := ^ew[i]
+			c += bits.OnesCount64((w^((w&xorMasks[0])<<1|(w>>1)&xorMasks[0]))&keep) +
+				bits.OnesCount64((w^((w&xorMasks[1])<<2|(w>>2)&xorMasks[1]))&keep) +
+				bits.OnesCount64((w^((w&xorMasks[2])<<4|(w>>4)&xorMasks[2]))&keep) +
+				bits.OnesCount64((w^((w&xorMasks[3])<<8|(w>>8)&xorMasks[3]))&keep) +
+				bits.OnesCount64((w^((w&xorMasks[4])<<16|(w>>16)&xorMasks[4]))&keep) +
+				bits.OnesCount64((w^((w&xorMasks[5])<<32|(w>>32)&xorMasks[5]))&keep)
+		}
+	} else {
+		for b := 0; b < k; b++ {
+			c += s.NeighborDiffAndNotPopcount(excl, b)
+		}
+		return c
+	}
+	for b := 6; b < k; b++ {
+		c += s.NeighborDiffAndNotPopcount(excl, b)
+	}
+	return c
+}
+
+// KernelScratch is a small arena of reusable sets for allocation-free
+// kernel loops: a scan that needs shifted or composed intermediates
+// grabs numbered slots instead of allocating 2^n-bit sets per input
+// bit. Slots are lazily allocated at the scratch's capacity and their
+// contents are unspecified between uses; a KernelScratch is not safe
+// for concurrent use.
+type KernelScratch struct {
+	n     int
+	slots []*Set
+}
+
+// NewKernelScratch returns a scratch arena for n-bit sets.
+func NewKernelScratch(n int) *KernelScratch {
+	if n < 0 {
+		panic("bitset: negative scratch capacity")
+	}
+	return &KernelScratch{n: n}
+}
+
+// Scratch returns slot i, allocating it on first use. The returned set
+// is owned by the scratch: it stays valid until the next call that
+// asks for the same slot, and must not escape the kernel loop.
+func (k *KernelScratch) Scratch(i int) *Set {
+	if i < 0 {
+		panic("bitset: negative scratch slot")
+	}
+	for len(k.slots) <= i {
+		k.slots = append(k.slots, nil)
+	}
+	if k.slots[i] == nil {
+		k.slots[i] = New(k.n)
+	}
+	return k.slots[i]
+}
+
+// ShiftNeighbor shifts src along input `bit` into scratch slot i and
+// returns the slot.
+func (k *KernelScratch) ShiftNeighbor(i int, src *Set, bit int) *Set {
+	dst := k.Scratch(i)
+	ShiftNeighborInto(dst, src, bit)
+	return dst
+}
+
+// Counter is a bit-sliced (vertical SWAR) counter: one small unsigned
+// counter per position of a 2^k minterm space, stored as bit planes so
+// that 64 counters are updated per word operation. It is how the
+// kernels recover *per-minterm* quantities (neighbor censuses, local
+// complexity numerators) that a popcount alone cannot: adding a 0/1
+// set into the counter is a ripple-carry across the planes.
+type Counter struct {
+	n      int
+	planes []*Set
+}
+
+// NewCounter returns a counter over an n-position space that can hold
+// values up to max in every position. Exceeding max panics ("counter
+// overflow"): a silent wrap would corrupt metric results.
+func NewCounter(n, max int) *Counter {
+	if max < 1 {
+		panic(fmt.Sprintf("bitset: counter max %d < 1", max))
+	}
+	c := &Counter{n: n, planes: make([]*Set, bits.Len(uint(max)))}
+	for i := range c.planes {
+		c.planes[i] = New(n)
+	}
+	return c
+}
+
+// Len returns the number of positions.
+func (c *Counter) Len() int { return c.n }
+
+// NumPlanes returns the number of bit planes (the counter width).
+func (c *Counter) NumPlanes() int { return len(c.planes) }
+
+// Plane returns bit plane p (plane 0 is the least significant). The
+// returned set is live: mutating it mutates the counter.
+func (c *Counter) Plane(p int) *Set { return c.planes[p] }
+
+// addWordAt ripple-carries the 0/1-per-position word x into word wi of
+// the planes, entering at plane `level` (i.e. adding x·2^level).
+func (c *Counter) addWordAt(wi int, x uint64, level int) {
+	for p := level; p < len(c.planes); p++ {
+		if x == 0 {
+			return
+		}
+		carry := c.planes[p].words[wi] & x
+		c.planes[p].words[wi] ^= x
+		x = carry
+	}
+	if x != 0 {
+		panic("bitset: counter overflow")
+	}
+}
+
+// Add increments every position m by s[m].
+func (c *Counter) Add(s *Set) {
+	if s.n != c.n {
+		panic(NewSizeMismatch("bitset.Counter.Add", c.n, s.n))
+	}
+	for wi, w := range s.words {
+		c.addWordAt(wi, w, 0)
+	}
+}
+
+// AddShifted increments every position m by s[m ^ 2^bit], fusing the
+// neighbor shift into the carry pass.
+func (c *Counter) AddShifted(s *Set, bit int) { c.AddShiftedAtLevel(s, bit, 0) }
+
+// AddShiftedAtLevel increments every position m by s[m ^ 2^bit]·2^level.
+// Weighted adds let one counter fold another counter's planes: plane p
+// of a census counter enters at level p.
+func (c *Counter) AddShiftedAtLevel(s *Set, bit, level int) {
+	s.checkShift("Counter.AddShiftedAtLevel", bit)
+	if s.n != c.n {
+		panic(NewSizeMismatch("bitset.Counter.AddShiftedAtLevel", c.n, s.n))
+	}
+	if level < 0 || level >= len(c.planes) {
+		panic(fmt.Sprintf("bitset: counter level %d outside [0,%d)", level, len(c.planes)))
+	}
+	if bit < 6 {
+		sh := uint(1) << uint(bit)
+		mask := xorMasks[bit]
+		for wi, w := range s.words {
+			c.addWordAt(wi, (w&mask)<<sh|(w>>sh)&mask, level)
+		}
+	} else {
+		stride := 1 << uint(bit-6)
+		for wi := range s.words {
+			c.addWordAt(wi, s.words[wi^stride], level)
+		}
+	}
+}
+
+// Get returns the counter value at position m.
+func (c *Counter) Get(m int) int {
+	if m < 0 || m >= c.n {
+		panic(fmt.Sprintf("bitset: counter index %d out of range [0,%d)", m, c.n))
+	}
+	wi, b := m/wordBits, uint(m)%wordBits
+	v := 0
+	for p := range c.planes {
+		v |= int(c.planes[p].words[wi]>>b&1) << p
+	}
+	return v
+}
+
+// NeighborCount returns, for every position m, how many of the k
+// 1-Hamming neighbors of m (k = log2(s.Len())) are set in s — the
+// word-parallel form of the per-minterm neighbor census that the
+// ranking weights and exact DC-pair bounds are built on.
+func NeighborCount(s *Set) *Counter {
+	s.checkShift("NeighborCount", 0)
+	k := bits.Len(uint(s.n - 1))
+	if s.n == 1 {
+		k = 0
+	}
+	max := k
+	if max < 1 {
+		max = 1
+	}
+	c := NewCounter(s.n, max)
+	for b := 0; b < k; b++ {
+		c.AddShifted(s, b)
+	}
+	return c
+}

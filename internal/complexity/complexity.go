@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math/bits"
 
+	"relsyn/internal/bitset"
 	"relsyn/internal/par"
 	"relsyn/internal/tt"
 )
@@ -38,7 +39,8 @@ func checkOutputs(f *tt.Function) error {
 
 // SamePhaseNeighbors returns, for every minterm m, the number of m's n
 // 1-Hamming neighbors that share m's phase in output o. This is the O(n·2^n)
-// kernel shared by Factor and Local.
+// scalar kernel shared by FactorScalar and Local, and the oracle the
+// word-parallel census (samePhaseCounter) is tested against.
 func SamePhaseNeighbors(f *tt.Function, o int) []int {
 	n := f.NumIn
 	size := f.Size()
@@ -70,12 +72,74 @@ func SamePhaseNeighbors(f *tt.Function, o int) []int {
 	return same
 }
 
-// Factor returns C^f for output o.
+// samePhaseCounter is the word-parallel form of SamePhaseNeighbors: a
+// bit-sliced counter holding, per minterm, the same-phase neighbor
+// census. Per input bit it builds the match set
+//
+//	match_b = (on & sh_b(on)) | (dc & sh_b(dc)) | (off & sh_b(off))
+//
+// with three allocation-free neighbor shifts and one word pass, then
+// ripple-adds it into the counter — 64 minterms per word op instead of
+// a TrailingZeros walk over every set match bit.
+func samePhaseCounter(f *tt.Function, o int) *bitset.Counter {
+	n, size := f.NumIn, f.Size()
+	out := f.Outs[o]
+	on, dc := out.On, out.DC
+	off := f.OffSet(o)
+	maxVal := n
+	if maxVal < 1 {
+		maxVal = 1
+	}
+	c := bitset.NewCounter(size, maxVal)
+	scratch := bitset.NewKernelScratch(size)
+	match := scratch.Scratch(3)
+	for b := 0; b < n; b++ {
+		onSh := scratch.ShiftNeighbor(0, on, b)
+		dcSh := scratch.ShiftNeighbor(1, dc, b)
+		offSh := scratch.ShiftNeighbor(2, off, b)
+		mw := match.Words()
+		onW, dcW, offW := on.Words(), dc.Words(), off.Words()
+		onShW, dcShW, offShW := onSh.Words(), dcSh.Words(), offSh.Words()
+		for wi := range mw {
+			mw[wi] = onW[wi]&onShW[wi] | dcW[wi]&dcShW[wi] | offW[wi]&offShW[wi]
+		}
+		match.Trim()
+		c.Add(match)
+	}
+	return c
+}
+
+// Factor returns C^f for output o. It dispatches between the
+// word-parallel kernel and the scalar oracle on bitset.UseKernels; the
+// integer pair totals are identical either way, so the floats are too.
 func Factor(f *tt.Function, o int) float64 {
+	if bitset.UseKernels {
+		return FactorKernel(f, o)
+	}
+	return FactorScalar(f, o)
+}
+
+// FactorScalar is the pre-kernel implementation and the testing oracle.
+func FactorScalar(f *tt.Function, o int) float64 {
 	same := SamePhaseNeighbors(f, o)
 	total := 0
 	for _, s := range same {
 		total += s
+	}
+	return float64(total) / float64(f.NumIn*f.Size())
+}
+
+// FactorKernel computes the same-phase pair total as three fused
+// shift+popcount passes per input bit — no per-minterm census at all.
+func FactorKernel(f *tt.Function, o int) float64 {
+	out := f.Outs[o]
+	on, dc := out.On, out.DC
+	off := f.OffSet(o)
+	total := 0
+	for b := 0; b < f.NumIn; b++ {
+		total += on.ShiftAndPopcount(on, b) +
+			dc.ShiftAndPopcount(dc, b) +
+			off.ShiftAndPopcount(off, b)
 	}
 	return float64(total) / float64(f.NumIn*f.Size())
 }
@@ -154,13 +218,66 @@ const localAllChunk = 1024
 // parallelism cap (0 = GOMAXPROCS, 1 = sequential). The minterm space is
 // split into contiguous chunks and each worker writes only its own
 // index range, so the result is bit-identical at every parallelism
-// level.
+// level. It dispatches between the word-parallel two-level census fold
+// and the scalar oracle on bitset.UseKernels; both sum identical
+// integers per minterm, so the floats are identical too.
 func LocalAllCtx(ctx context.Context, f *tt.Function, o, parallelism int) ([]float64, error) {
+	if bitset.UseKernels {
+		return LocalAllKernelCtx(ctx, f, o, parallelism)
+	}
+	return LocalAllScalarCtx(ctx, f, o, parallelism)
+}
+
+// LocalAllKernelCtx is LocalAllCtx pinned to the word-parallel census
+// fold, for callers that select the path per call (core.Options.Kernels)
+// instead of through the process-wide switch. Zero-input functions fall
+// back to the scalar path (the kernel fold needs at least one plane).
+func LocalAllKernelCtx(ctx context.Context, f *tt.Function, o, parallelism int) ([]float64, error) {
+	if f.NumIn == 0 {
+		return LocalAllScalarCtx(ctx, f, o, parallelism)
+	}
+	return localAllKernel(ctx, f, o, parallelism)
+}
+
+// LocalAllScalarCtx is LocalAllCtx pinned to the scalar oracle, for
+// differential tests that cross-check the kernel path.
+func LocalAllScalarCtx(ctx context.Context, f *tt.Function, o, parallelism int) ([]float64, error) {
 	same := SamePhaseNeighbors(f, o)
 	out := make([]float64, f.Size())
 	err := par.DoRange(ctx, parallelism, f.Size(), localAllChunk, func(lo, hi int) error {
 		for m := lo; m < hi; m++ {
 			out[m] = localFrom(f, same, m)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// localAllKernel computes every LC^f numerator word-parallel: the
+// same-phase census counter C is folded one more neighbor step into
+//
+//	L[m] = Σ_b C[m ^ 2^b]
+//
+// by ripple-adding each bit plane of C at its own weight
+// (AddShiftedAtLevel), so the n² two-step pair count for all 2^n
+// minterms costs n·log(n) plane passes instead of n·2^n array lookups.
+func localAllKernel(ctx context.Context, f *tt.Function, o, parallelism int) ([]float64, error) {
+	n := f.NumIn
+	census := samePhaseCounter(f, o)
+	fold := bitset.NewCounter(f.Size(), n*n)
+	for b := 0; b < n; b++ {
+		for p := 0; p < census.NumPlanes(); p++ {
+			fold.AddShiftedAtLevel(census.Plane(p), b, p)
+		}
+	}
+	out := make([]float64, f.Size())
+	norm := float64(n * n)
+	err := par.DoRange(ctx, parallelism, f.Size(), localAllChunk, func(lo, hi int) error {
+		for m := lo; m < hi; m++ {
+			out[m] = float64(fold.Get(m)) / norm
 		}
 		return nil
 	})

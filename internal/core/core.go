@@ -25,9 +25,23 @@ import (
 	"math"
 	"sort"
 
+	"relsyn/internal/bitset"
 	"relsyn/internal/complexity"
 	"relsyn/internal/par"
 	"relsyn/internal/tt"
+)
+
+// KernelMode selects between the word-parallel bitset kernels and the
+// scalar oracle implementations for one assignment pass.
+type KernelMode int
+
+const (
+	// KernelsDefault follows the process-wide bitset.UseKernels switch.
+	KernelsDefault KernelMode = iota
+	// KernelsOn forces the word-parallel kernel paths for this call.
+	KernelsOn
+	// KernelsOff forces the scalar oracle paths for this call.
+	KernelsOff
 )
 
 // Assignment records one DC minterm decision.
@@ -87,6 +101,27 @@ type Options struct {
 	// index-addressed slots and are applied sequentially in output
 	// order, so it is deliberately NOT part of Canonical().
 	Parallelism int
+
+	// Kernels selects the word-parallel bitset kernels or the scalar
+	// oracles for the neighbor censuses and LC^f scans of this pass
+	// (default: follow the process-wide bitset.UseKernels switch). Both
+	// paths compute bit-identical assignments — metatest property 6
+	// pins the equivalence — so, like Parallelism, Kernels is an
+	// operational knob and deliberately NOT part of Canonical().
+	Kernels KernelMode
+}
+
+// kernelsEnabled resolves the tri-state Kernels knob against the
+// process-wide default.
+func (o Options) kernelsEnabled() bool {
+	switch o.Kernels {
+	case KernelsOn:
+		return true
+	case KernelsOff:
+		return false
+	default:
+		return bitset.UseKernels
+	}
 }
 
 // check polls the Interrupt hook.
@@ -185,16 +220,19 @@ func LCF(f *tt.Function, threshold float64, opt Options) (*Result, error) {
 		}
 		// The LC^f kernel itself also fans out over minterm chunks, so a
 		// single-output function still uses the whole parallelism budget.
-		local, err := complexity.LocalAllCtx(context.Background(), f, o, opt.Parallelism)
+		// The kernel/scalar choice is pinned per call from opt rather
+		// than read from the process-wide switch mid-pass.
+		local, err := localAll(f, o, opt)
 		if err != nil {
 			return err
 		}
+		no := newNeighborOracle(f, o, opt.kernelsEnabled())
 		var sel []Assignment
 		f.Outs[o].DC.ForEach(func(m int) {
 			if local[m] >= threshold {
 				return
 			}
-			if a, ok := decide(f, o, m, opt); ok {
+			if a, ok := no.decide(m, opt); ok {
 				sel = append(sel, a)
 			}
 		})
@@ -210,6 +248,15 @@ func LCF(f *tt.Function, threshold float64, opt Options) (*Result, error) {
 	return res, nil
 }
 
+// localAll computes LC^f for every minterm of output o, pinned to the
+// kernel or scalar path by opt (never the process-wide switch mid-pass).
+func localAll(f *tt.Function, o int, opt Options) ([]float64, error) {
+	if opt.kernelsEnabled() {
+		return complexity.LocalAllKernelCtx(context.Background(), f, o, opt.Parallelism)
+	}
+	return complexity.LocalAllScalarCtx(context.Background(), f, o, opt.Parallelism)
+}
+
 // Complete binds every DC minterm to its majority neighbor phase — the
 // "Complete" column of paper Table 2 (full reliability-driven assignment,
 // maximal error masking, typically large area overhead). Ties are bound
@@ -217,9 +264,10 @@ func LCF(f *tt.Function, threshold float64, opt Options) (*Result, error) {
 func Complete(f *tt.Function) *Result {
 	res := newResult(f)
 	for o := range f.Outs {
+		no := newNeighborOracle(f, o, Options{}.kernelsEnabled())
 		var sel []Assignment
 		f.Outs[o].DC.ForEach(func(m int) {
-			a, ok := decide(f, o, m, Options{AssignTies: true})
+			a, ok := no.decide(m, Options{AssignTies: true})
 			if !ok {
 				panic("core: Complete decide must always assign")
 			}
@@ -253,27 +301,58 @@ func RankableCounts(f *tt.Function, opt Options) []int {
 	return out
 }
 
+// neighborOracle answers per-minterm on/off neighbor-count queries for
+// one output. On the kernel path the counts come from two bit-sliced
+// neighbor-census counters built in n word-parallel passes and read at
+// O(log n) per minterm; on the scalar path every query walks the n
+// neighbors with phase lookups. Both return identical integers.
+type neighborOracle struct {
+	f             *tt.Function
+	o             int
+	onCnt, offCnt *bitset.Counter // nil → scalar lookups
+}
+
+// newNeighborOracle builds the oracle, precomputing the censuses when
+// the kernel path is selected and the output has any DC minterm to
+// decide (the censuses cost n passes; skip them when nothing asks).
+func newNeighborOracle(f *tt.Function, o int, kernels bool) *neighborOracle {
+	no := &neighborOracle{f: f, o: o}
+	if kernels && f.Outs[o].DC.Any() {
+		no.onCnt = bitset.NeighborCount(f.Outs[o].On)
+		no.offCnt = bitset.NeighborCount(f.OffSet(o))
+	}
+	return no
+}
+
+func (no *neighborOracle) counts(m int) (on, off int) {
+	if no.onCnt != nil {
+		return no.onCnt.Get(m), no.offCnt.Get(m)
+	}
+	return no.f.OnNeighbors(no.o, m), no.f.OffNeighbors(no.o, m)
+}
+
 // rankCandidates lists output o's DC minterms eligible for ranking.
 func rankCandidates(f *tt.Function, o int, opt Options) []Assignment {
+	no := newNeighborOracle(f, o, opt.kernelsEnabled())
 	var cands []Assignment
 	f.Outs[o].DC.ForEach(func(m int) {
-		if a, ok := decide(f, o, m, opt); ok {
+		if a, ok := no.decide(m, opt); ok {
 			cands = append(cands, a)
 		}
 	})
 	return cands
 }
 
-// decide computes the majority-phase binding for DC minterm m of output o.
-// It returns ok=false for a tie unless opt.AssignTies is set.
-func decide(f *tt.Function, o, m int, opt Options) (Assignment, bool) {
-	on := f.OnNeighbors(o, m)
-	off := f.OffNeighbors(o, m)
+// decide computes the majority-phase binding for DC minterm m of the
+// oracle's output. It returns ok=false for a tie unless opt.AssignTies
+// is set.
+func (no *neighborOracle) decide(m int, opt Options) (Assignment, bool) {
+	on, off := no.counts(m)
 	w := on - off
 	if w < 0 {
 		w = -w
 	}
-	a := Assignment{Output: o, Minterm: m, Weight: w}
+	a := Assignment{Output: no.o, Minterm: m, Weight: w}
 	switch {
 	case on > off:
 		a.Value = tt.On

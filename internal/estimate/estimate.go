@@ -68,11 +68,30 @@ func meanAbsGaussian(mu, variance float64) float64 {
 }
 
 // BorderBased computes the Poisson border-count estimate for output o.
+// The border measurement inherits the kernel/scalar dispatch of
+// reliability.CountBorders (the analytical model on top is pure float
+// arithmetic either way).
 func BorderBased(f *tt.Function, o int) Bounds {
+	return borderBasedFrom(f, o, reliability.CountBorders(f, o))
+}
+
+// BorderBasedScalar is BorderBased pinned to the scalar border-count
+// oracle, for differential tests that cross-check the kernel path.
+func BorderBasedScalar(f *tt.Function, o int) Bounds {
+	return borderBasedFrom(f, o, reliability.CountBordersScalar(f, o))
+}
+
+// BorderBasedKernel is BorderBased pinned to the word-parallel
+// border-count kernel.
+func BorderBasedKernel(f *tt.Function, o int) Bounds {
+	return borderBasedFrom(f, o, reliability.CountBordersKernel(f, o))
+}
+
+// borderBasedFrom evaluates the Poisson model on measured border counts.
+func borderBasedFrom(f *tt.Function, o int, b reliability.Borders) Bounds {
 	n := float64(f.NumIn)
 	size := float64(f.Size())
 	f0, f1, fdc := f.SignalProbabilities(o)
-	b := reliability.CountBorders(f, o)
 
 	base := 0.0
 	if f0+fdc > 0 {

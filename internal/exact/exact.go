@@ -13,6 +13,7 @@ import (
 	"math/bits"
 	"sort"
 
+	"relsyn/internal/bitset"
 	"relsyn/internal/cube"
 	"relsyn/internal/par"
 	"relsyn/internal/tt"
@@ -78,17 +79,47 @@ type mergeResult struct {
 	used   []implicant
 }
 
+// kernelMaxInputs bounds the word-parallel merge: it represents each
+// mask group as a dense 2^n-bit set, which is the winning trade for the
+// small functions exact minimization targets (n ≲ 10) but would cost
+// 2^n bits per live mask on adversarially large inputs. Above the bound
+// PrimesCtx silently uses the scalar merge.
+const kernelMaxInputs = 16
+
 // PrimesCtx is Primes with cooperative cancellation and the parallelism
-// cap taken from lim.Parallelism. Each Quine-McCluskey level merges the
-// per-popcount groups concurrently: the group pairs (pc, pc+1) are
-// independent, so they fan out through the shared work pool while the
-// union of their results is folded deterministically.
+// cap taken from lim.Parallelism. It dispatches between the
+// word-parallel mask-group merge and the scalar popcount-group merge on
+// bitset.UseKernels; both produce the identical sorted prime list.
 func PrimesCtx(ctx context.Context, f *tt.Function, o int, lim Limits) ([]cube.Cube, error) {
 	lim.defaults()
 	n := f.NumIn
 	if n > 20 {
 		return nil, fmt.Errorf("exact: %d inputs too large", n)
 	}
+	if bitset.UseKernels && n <= kernelMaxInputs {
+		return primesKernel(ctx, f, o, lim)
+	}
+	return primesScalar(ctx, f, o, lim)
+}
+
+// PrimesScalarCtx is PrimesCtx pinned to the scalar popcount-group
+// merge, for differential tests that cross-check the kernel path.
+func PrimesScalarCtx(ctx context.Context, f *tt.Function, o int, lim Limits) ([]cube.Cube, error) {
+	lim.defaults()
+	n := f.NumIn
+	if n > 20 {
+		return nil, fmt.Errorf("exact: %d inputs too large", n)
+	}
+	return primesScalar(ctx, f, o, lim)
+}
+
+// primesScalar is the pre-kernel Quine-McCluskey merge: each level
+// groups implicants by popcount of values and merges the per-popcount
+// group pairs (pc, pc+1) concurrently — the pairs are independent, so
+// they fan out through the shared work pool while the union of their
+// results is folded deterministically.
+func primesScalar(ctx context.Context, f *tt.Function, o int, lim Limits) ([]cube.Cube, error) {
+	n := f.NumIn
 	// Level 0: all care-1 minterms (on ∪ dc).
 	cur := map[implicant]bool{}
 	out := f.Outs[o]
@@ -156,6 +187,15 @@ func PrimesCtx(ctx context.Context, f *tt.Function, o int, lim Limits) ([]cube.C
 		}
 		cur = merged
 	}
+	return sortedCubes(primes, n, lim)
+}
+
+// sortedCubes canonicalizes a prime list: sorted by (mask, values) so
+// the output is identical regardless of which merge produced it.
+func sortedCubes(primes []implicant, n int, lim Limits) ([]cube.Cube, error) {
+	if len(primes) > lim.MaxPrimes {
+		return nil, fmt.Errorf("exact: more than %d primes", lim.MaxPrimes)
+	}
 	sort.Slice(primes, func(i, j int) bool {
 		if primes[i].mask != primes[j].mask {
 			return primes[i].mask < primes[j].mask
@@ -167,6 +207,114 @@ func PrimesCtx(ctx context.Context, f *tt.Function, o int, lim Limits) ([]cube.C
 		cubes[i] = im.toCube(n)
 	}
 	return cubes, nil
+}
+
+// maskedSet carries the merge output for one (source mask, merge bit)
+// pair: the set of lower-endpoint values that merged, tagged with the
+// widened mask they produce.
+type maskedSet struct {
+	mask uint32
+	set  *bitset.Set
+}
+
+// maskMergeResult is one mask group's merge output: the merged
+// lower-endpoint sets per widened mask and the union of every value
+// consumed by at least one merge.
+type maskMergeResult struct {
+	merged []maskedSet
+	used   *bitset.Set
+}
+
+// primesKernel is the word-parallel Quine-McCluskey merge. Implicants
+// sharing a DC mask form one dense bitset S over the 2^n value space,
+// and the classic adjacency merge along variable b becomes pure set
+// algebra:
+//
+//	mergeable_b = S ∩ shift_b(S) ∩ {values with bit b = 0}
+//	used_b      = mergeable_b ∪ shift_b(mergeable_b)
+//
+// — every (v, v|2^b) pair in S merges, 64 candidates per word op,
+// instead of the scalar cross-product over popcount groups. Mask groups
+// are independent, so they fan out through the shared work pool; the
+// fold into the next level's groups runs sequentially in ascending mask
+// order, and the final (mask, values) sort makes the output identical
+// to the scalar merge at every parallelism level.
+func primesKernel(ctx context.Context, f *tt.Function, o int, lim Limits) ([]cube.Cube, error) {
+	n := f.NumIn
+	size := f.Size()
+	out := f.Outs[o]
+
+	// Level 0: all care-1 minterms (on ∪ dc) under the empty mask.
+	care := out.On.Union(out.DC)
+	cur := map[uint32]*bitset.Set{}
+	if care.Any() {
+		cur[0] = care
+	}
+	// Half-plane masks: varPat[b] selects values whose bit b is 1.
+	varPat := make([]*bitset.Set, n)
+	for b := range varPat {
+		varPat[b] = bitset.VarPattern(size, b)
+	}
+
+	var primes []implicant
+	for len(cur) > 0 {
+		masks := make([]uint32, 0, len(cur))
+		for mask := range cur {
+			masks = append(masks, mask)
+		}
+		sort.Slice(masks, func(i, j int) bool { return masks[i] < masks[j] })
+
+		results := make([]maskMergeResult, len(masks))
+		err := par.Do(ctx, lim.Parallelism, len(masks), func(i int) error {
+			mask := masks[i]
+			s := cur[mask]
+			res := maskMergeResult{used: bitset.New(size)}
+			for b := 0; b < n; b++ {
+				if mask>>uint(b)&1 == 1 {
+					continue
+				}
+				lower := s.Intersect(s.ShiftNeighbor(b))
+				lower.InPlaceDifference(varPat[b])
+				if lower.None() {
+					continue
+				}
+				res.used.InPlaceUnion(lower)
+				res.used.InPlaceUnion(lower.ShiftNeighbor(b))
+				res.merged = append(res.merged, maskedSet{mask: mask | 1<<uint(b), set: lower})
+			}
+			results[i] = res
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+
+		next := map[uint32]*bitset.Set{}
+		for i, mask := range masks {
+			res := results[i]
+			// Implicants untouched by any merge are prime at this level.
+			rem := cur[mask].Difference(res.used)
+			overflow := false
+			rem.ForEach(func(v int) {
+				primes = append(primes, implicant{values: uint32(v), mask: mask})
+				if len(primes) > lim.MaxPrimes {
+					overflow = true
+				}
+			})
+			if overflow {
+				return nil, fmt.Errorf("exact: more than %d primes", lim.MaxPrimes)
+			}
+			for _, ms := range res.merged {
+				if ex, ok := next[ms.mask]; ok {
+					ex.InPlaceUnion(ms.set)
+				} else {
+					next[ms.mask] = ms.set
+				}
+			}
+		}
+		cur = next
+	}
+	return sortedCubes(primes, n, lim)
 }
 
 // Minimize returns a minimum-cube-count cover of output o of f (ties

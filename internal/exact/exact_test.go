@@ -247,3 +247,28 @@ func TestPrimesCancellation(t *testing.T) {
 		t.Fatalf("got %v, want context.Canceled", err)
 	}
 }
+
+func TestPrimesKernelMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	ctx := context.Background()
+	for trial := 0; trial < 40; trial++ {
+		n := 1 + rng.Intn(8)
+		f := randomFunction(rng, n, 0.3)
+		kp, err := primesKernel(ctx, f, 0, Limits{MaxPrimes: 20000, MaxNodes: 1 << 22})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sp, err := PrimesScalarCtx(ctx, f, 0, Limits{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(kp) != len(sp) {
+			t.Fatalf("trial %d (n=%d): kernel %d primes, scalar %d", trial, n, len(kp), len(sp))
+		}
+		for i := range kp {
+			if kp[i].String() != sp[i].String() {
+				t.Fatalf("trial %d (n=%d): prime %d: kernel %s, scalar %s", trial, n, i, kp[i], sp[i])
+			}
+		}
+	}
+}

@@ -183,11 +183,20 @@ func (s *sim) value(vals netValues, n mapper.Net) *bitset.Set {
 
 // evalGate computes a gate's output table from its input tables with
 // word-level sum-of-rows evaluation.
+//
+// Every input table must span exactly s.size vectors: the raw word loop
+// below would otherwise silently truncate a longer table (or index out
+// of range on a shorter one), so a mismatch panics with the same typed
+// bitset.ErrSizeMismatch the Set binary ops raise.
 func (s *sim) evalGate(vals netValues, gt mapper.Gate) *bitset.Set {
 	k := gt.Cell.NumIn
 	ins := make([][]uint64, k)
 	for i, in := range gt.Inputs {
-		ins[i] = s.value(vals, in).Words()
+		t := s.value(vals, in)
+		if t.Len() != s.size {
+			panic(bitset.NewSizeMismatch("faultsim.evalGate", t.Len(), s.size))
+		}
+		ins[i] = t.Words()
 	}
 	out := bitset.New(s.size)
 	w := out.Words()
@@ -209,15 +218,8 @@ func (s *sim) evalGate(vals netValues, gt mapper.Gate) *bitset.Set {
 		}
 		w[wi] = acc
 	}
-	trim(out, s.size)
+	out.Trim()
 	return out
-}
-
-func trim(s *bitset.Set, size int) {
-	if rem := size % 64; rem != 0 {
-		w := s.Words()
-		w[len(w)-1] &= (1 << uint(rem)) - 1
-	}
 }
 
 // run simulates all gates; override, when non-nil, replaces specific net

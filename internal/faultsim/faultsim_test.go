@@ -1,11 +1,13 @@
 package faultsim
 
 import (
+	"errors"
 	"math/rand"
 	"strings"
 	"testing"
 
 	"relsyn/internal/aig"
+	"relsyn/internal/bitset"
 	"relsyn/internal/celllib"
 	"relsyn/internal/mapper"
 )
@@ -69,6 +71,40 @@ func TestMaskingByDownstreamGate(t *testing.T) {
 	if rep.MeanObservability < 0 || rep.MeanObservability > 1 {
 		t.Fatalf("observability out of range: %v", rep.MeanObservability)
 	}
+}
+
+// evalGate's raw word loop used to silently truncate an input table
+// longer than the simulation size (and index out of range on a shorter
+// one). It must now refuse the mismatch with the same typed error the
+// Set binary ops raise.
+func TestEvalGateRejectsMismatchedTable(t *testing.T) {
+	g := aig.New(2)
+	g.AddPO(g.And(g.PI(0), g.PI(1)))
+	r := mapGraph(t, g)
+	if len(r.Gates) == 0 {
+		t.Fatal("no gates mapped")
+	}
+	s := newSim(r, 2, 4)
+	gt := r.Gates[0]
+	vals := netValues{
+		// Wrong-sized table injected for the first gate input.
+		gt.Inputs[0]: bitset.New(128),
+	}
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			t.Fatal("mismatched input table accepted")
+		}
+		err, ok := rec.(error)
+		if !ok || !errors.Is(err, bitset.ErrSizeMismatch) {
+			t.Fatalf("panic %v is not a bitset.ErrSizeMismatch", rec)
+		}
+		var sm *bitset.SizeMismatchError
+		if !errors.As(err, &sm) || sm.Op != "faultsim.evalGate" {
+			t.Fatalf("mismatch detail wrong: %#v", rec)
+		}
+	}()
+	s.evalGate(vals, gt)
 }
 
 func TestStuckFaultsExhaustiveVsNaive(t *testing.T) {

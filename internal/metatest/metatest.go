@@ -22,6 +22,13 @@
 //     results (exact float equality, identical assignments, identical
 //     netlist metrics) at every worker count. Parallelism is an
 //     execution knob, never an answer knob.
+//  6. Kernel ≡ scalar — every word-parallel bitset kernel
+//     (internal/bitset SWAR paths behind exact counts, error rates,
+//     border counts, C^f/LC^f, and the assignment passes) reproduces
+//     its scalar oracle bit for bit: identical integer counts, exact
+//     float equality, identical assignments including ranking weights.
+//     Like parallelism, the kernel switch is an execution knob, never
+//     an answer knob.
 //
 // The harness is a plain library (returning errors, not calling
 // testing.T) so the same checks can back tests, fuzzing, and one-off
@@ -36,6 +43,7 @@ import (
 	"relsyn/internal/complexity"
 	"relsyn/internal/core"
 	"relsyn/internal/estimate"
+	"relsyn/internal/par"
 	"relsyn/internal/reliability"
 	"relsyn/internal/synth"
 	"relsyn/internal/tt"
@@ -297,6 +305,167 @@ func CheckParallelEquivalence(spec *tt.Function, ref *ParallelReference, p int) 
 		return fmt.Errorf("ErrorRateMean(p=%d) = %v, sequential %v", p, er, ref.ErrorRate)
 	}
 	return nil
+}
+
+// KernelReference bundles the scalar-oracle results of every quantity
+// the word-parallel kernels reimplement, so one baseline can be reused
+// across worker counts when checking property 6. All scalar results are
+// computed sequentially (parallelism 1, Kernels forced off), never
+// through the process-wide bitset.UseKernels switch — the check is
+// race-free and independent of how the test binary was launched.
+type KernelReference struct {
+	Counts    []reliability.Counts  // exact pair counts per output
+	BoundsLo  []float64             // exact min error rate per output
+	BoundsHi  []float64             // exact max error rate per output
+	Borders   []reliability.Borders // border counts per output
+	Factor    []float64             // C^f per output
+	Border    []estimate.Bounds     // Poisson border estimate per output
+	Local     [][]float64           // LC^f per output per minterm
+	ErrorRate []float64             // impl-vs-spec error rate per output
+	SelfRate  []float64             // impl self error rate per output
+	Rank      *core.Result          // ranking at parEquivFraction
+	LCF       *core.Result          // LC^f assignment at parEquivThreshold
+	Impl      *tt.Function          // synthesized implementation measured above
+}
+
+// KernelBaseline computes the scalar reference for property 6 on spec.
+func KernelBaseline(spec *tt.Function) (*KernelReference, error) {
+	impl, err := Synthesize(spec)
+	if err != nil {
+		return nil, err
+	}
+	ctx := context.Background()
+	nOut := spec.NumOut()
+	ref := &KernelReference{
+		Counts:    make([]reliability.Counts, nOut),
+		BoundsLo:  make([]float64, nOut),
+		BoundsHi:  make([]float64, nOut),
+		Borders:   make([]reliability.Borders, nOut),
+		Factor:    make([]float64, nOut),
+		Border:    make([]estimate.Bounds, nOut),
+		Local:     make([][]float64, nOut),
+		ErrorRate: make([]float64, nOut),
+		SelfRate:  make([]float64, nOut),
+		Impl:      impl,
+	}
+	for o := 0; o < nOut; o++ {
+		ref.Counts[o] = reliability.ExactCountsScalar(spec, o)
+		ref.BoundsLo[o], ref.BoundsHi[o] = reliability.BoundsScalar(spec, o)
+		ref.Borders[o] = reliability.CountBordersScalar(spec, o)
+		ref.Factor[o] = complexity.FactorScalar(spec, o)
+		ref.Border[o] = estimate.BorderBasedScalar(spec, o)
+		if ref.Local[o], err = complexity.LocalAllScalarCtx(ctx, spec, o, 1); err != nil {
+			return nil, err
+		}
+		if ref.ErrorRate[o], err = reliability.ErrorRateScalar(spec, impl, o); err != nil {
+			return nil, err
+		}
+		if ref.SelfRate[o], err = reliability.SelfErrorRateScalar(impl, o); err != nil {
+			return nil, err
+		}
+	}
+	scalarOpt := core.Options{Kernels: core.KernelsOff, Parallelism: 1}
+	if ref.Rank, err = core.Ranking(spec, parEquivFraction, scalarOpt); err != nil {
+		return nil, err
+	}
+	if ref.LCF, err = core.LCF(spec, parEquivThreshold, scalarOpt); err != nil {
+		return nil, err
+	}
+	return ref, nil
+}
+
+// sameAssignments compares two assignment passes decision for decision,
+// including the ranking weights recorded at decision time.
+func sameAssignments(what string, got, want *core.Result) error {
+	if !got.Func.Equal(want.Func) {
+		return fmt.Errorf("%s: kernel path bound different minterms", what)
+	}
+	if len(got.Assigned) != len(want.Assigned) {
+		return fmt.Errorf("%s: kernel assigned %d minterms, scalar %d",
+			what, len(got.Assigned), len(want.Assigned))
+	}
+	for i := range got.Assigned {
+		if got.Assigned[i] != want.Assigned[i] {
+			return fmt.Errorf("%s: assignment %d diverged: kernel %+v, scalar %+v",
+				what, i, got.Assigned[i], want.Assigned[i])
+		}
+	}
+	return nil
+}
+
+// CheckKernelEquivalence verifies property 6 on spec at worker count p:
+// every word-parallel kernel reproduces the scalar reference ref bit
+// for bit. All float comparisons are exact (==): both paths accumulate
+// the same integer event counts before the single final division, so
+// there is no rounding to absorb. The per-output scans themselves run
+// through internal/par at parallelism p, so under -race this check also
+// proves the kernels (and their shared scratch) are safe to fan out.
+func CheckKernelEquivalence(spec *tt.Function, ref *KernelReference, p int) error {
+	ctx := context.Background()
+	err := par.Do(ctx, p, spec.NumOut(), func(o int) error {
+		if c := reliability.ExactCountsKernel(spec, o); c != ref.Counts[o] {
+			return fmt.Errorf("output %d: ExactCounts kernel %+v, scalar %+v", o, c, ref.Counts[o])
+		}
+		lo, hi := reliability.BoundsKernel(spec, o)
+		if lo != ref.BoundsLo[o] || hi != ref.BoundsHi[o] {
+			return fmt.Errorf("output %d: Bounds kernel [%v, %v], scalar [%v, %v]",
+				o, lo, hi, ref.BoundsLo[o], ref.BoundsHi[o])
+		}
+		if b := reliability.CountBordersKernel(spec, o); b != ref.Borders[o] {
+			return fmt.Errorf("output %d: CountBorders kernel %+v, scalar %+v", o, b, ref.Borders[o])
+		}
+		if cf := complexity.FactorKernel(spec, o); cf != ref.Factor[o] {
+			return fmt.Errorf("output %d: Factor kernel %v, scalar %v", o, cf, ref.Factor[o])
+		}
+		if eb := estimate.BorderBasedKernel(spec, o); eb != ref.Border[o] {
+			return fmt.Errorf("output %d: BorderBased kernel %+v, scalar %+v", o, eb, ref.Border[o])
+		}
+		local, err := complexity.LocalAllKernelCtx(ctx, spec, o, 1)
+		if err != nil {
+			return err
+		}
+		if len(local) != len(ref.Local[o]) {
+			return fmt.Errorf("output %d: LocalAll kernel length %d, scalar %d",
+				o, len(local), len(ref.Local[o]))
+		}
+		for m := range local {
+			if local[m] != ref.Local[o][m] {
+				return fmt.Errorf("output %d minterm %d: LC^f kernel %v, scalar %v",
+					o, m, local[m], ref.Local[o][m])
+			}
+		}
+		er, err := reliability.ErrorRateKernel(spec, ref.Impl, o)
+		if err != nil {
+			return err
+		}
+		if er != ref.ErrorRate[o] {
+			return fmt.Errorf("output %d: ErrorRate kernel %v, scalar %v", o, er, ref.ErrorRate[o])
+		}
+		sr, err := reliability.SelfErrorRateKernel(ref.Impl, o)
+		if err != nil {
+			return err
+		}
+		if sr != ref.SelfRate[o] {
+			return fmt.Errorf("output %d: SelfErrorRate kernel %v, scalar %v", o, sr, ref.SelfRate[o])
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	kernelOpt := core.Options{Kernels: core.KernelsOn, Parallelism: p}
+	rank, err := core.Ranking(spec, parEquivFraction, kernelOpt)
+	if err != nil {
+		return err
+	}
+	if err := sameAssignments(fmt.Sprintf("Ranking(p=%d)", p), rank, ref.Rank); err != nil {
+		return err
+	}
+	lcf, err := core.LCF(spec, parEquivThreshold, kernelOpt)
+	if err != nil {
+		return err
+	}
+	return sameAssignments(fmt.Sprintf("LCF(p=%d)", p), lcf, ref.LCF)
 }
 
 // CheckLCFMonotonic verifies property 4 on spec: sweeping the LC^f

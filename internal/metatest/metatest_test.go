@@ -132,6 +132,39 @@ func TestParallelEquivalenceAcrossSuite(t *testing.T) {
 	}
 }
 
+// Property 6: kernel ≡ scalar. Every word-parallel bitset kernel —
+// exact pair counts and bounds, error rates (impl-vs-spec and self),
+// border counts and the Poisson estimate on top, C^f and the LC^f
+// census, and the ranking/LC^f assignment passes including recorded
+// weights — must reproduce its scalar oracle bit for bit on every
+// benchmark, with the kernel scans fanned out at worker counts 1 and 8.
+// Both paths are pinned per call (exported *Scalar/*Kernel entry points
+// and core.Options.Kernels), never by toggling the process-wide
+// bitset.UseKernels switch, so the sweep is race-free under t.Parallel
+// and part of the -race CI gate.
+func TestKernelEquivalenceAcrossSuite(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+	for _, name := range suite(t) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec := loadBench(t, name)
+			ref, err := KernelBaseline(spec)
+			if err != nil {
+				t.Fatalf("scalar baseline: %v", err)
+			}
+			for _, p := range []int{1, 8} {
+				t.Run(fmt.Sprintf("j=%d", p), func(t *testing.T) {
+					if err := CheckKernelEquivalence(spec, ref, p); err != nil {
+						t.Error(err)
+					}
+				})
+			}
+		})
+	}
+}
+
 // The harness's checkers must themselves catch violations: a mutated
 // care bit fails property 1 and (for a flipped majority) can break 2.
 func TestCheckersDetectViolations(t *testing.T) {

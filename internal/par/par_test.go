@@ -24,12 +24,12 @@ func TestWorkersBounds(t *testing.T) {
 	cases := []struct {
 		limit, n, want int
 	}{
-		{0, 100, procs},              // limit 0 = GOMAXPROCS
-		{-3, 100, procs},             // negative = GOMAXPROCS
-		{1, 100, 1},                  // explicit sequential
-		{1000, 2, min(2, procs)},     // never more workers than tasks/cores
-		{1000, 100, procs},           // never more workers than cores
-		{0, 0, 1},                    // degenerate: at least one
+		{0, 100, procs},          // limit 0 = GOMAXPROCS
+		{-3, 100, procs},         // negative = GOMAXPROCS
+		{1, 100, 1},              // explicit sequential
+		{1000, 2, min(2, procs)}, // never more workers than tasks/cores
+		{1000, 100, procs},       // never more workers than cores
+		{0, 0, 1},                // degenerate: at least one
 		{2, 100, min(2, procs)},
 	}
 	for _, c := range cases {

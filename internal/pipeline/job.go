@@ -62,6 +62,13 @@ type JobOptions struct {
 	// changes results, so Key() strips it — two jobs differing only in
 	// Parallelism share one cache entry.
 	Parallelism int `json:"parallelism,omitempty"`
+
+	// Kernels selects the word-parallel bitset kernels ("on"), the
+	// scalar oracles ("off"), or the process default ("") for the
+	// assignment scans. Purely operational like Parallelism: both paths
+	// compute bit-identical results, so Key() strips it — two jobs
+	// differing only in Kernels share one cache entry.
+	Kernels string `json:"kernels,omitempty"`
 }
 
 // Job option string values.
@@ -108,6 +115,10 @@ func (o JobOptions) Normalize() JobOptions {
 		// assignment knob, and it is inert for these methods.
 		n.AssignTies = core.Options{}.Canonical().AssignTies
 	}
+	n.Kernels = strings.ToLower(strings.TrimSpace(n.Kernels))
+	if n.Kernels == "default" {
+		n.Kernels = ""
+	}
 	return n
 }
 
@@ -142,24 +153,43 @@ func (o JobOptions) Validate() error {
 	if o.Parallelism < 0 {
 		return fmt.Errorf("pipeline: job parallelism must be non-negative")
 	}
+	switch o.Kernels {
+	case "", "on", "off":
+	default:
+		return fmt.Errorf("pipeline: job kernels %q must be \"\", \"on\" or \"off\"", o.Kernels)
+	}
 	return nil
 }
 
 // Key returns a stable digest of the normalized options, suitable for
 // combining with a spec content hash into a result-cache key.
-// Parallelism is zeroed before hashing: it cannot affect the computed
-// result (the parallel kernels are bit-identical to the sequential
-// path), so hashing it would needlessly split identical work across
-// cache entries and defeat request coalescing.
+// Parallelism and Kernels are zeroed before hashing: neither can affect
+// the computed result (the parallel and kernel paths are bit-identical
+// to the sequential scalar path), so hashing them would needlessly
+// split identical work across cache entries and defeat request
+// coalescing.
 func (o JobOptions) Key() string {
 	n := o.Normalize()
 	n.Parallelism = 0
+	n.Kernels = ""
 	b, err := json.Marshal(n)
 	if err != nil { // unreachable: plain struct of scalars
 		panic(fmt.Sprintf("pipeline: marshal job options: %v", err))
 	}
 	sum := sha256.Sum256(append([]byte("relsyn/job/v1\n"), b...))
 	return hex.EncodeToString(sum[:])
+}
+
+// kernelMode lowers the wire-format kernels knob onto core.KernelMode.
+func kernelMode(s string) core.KernelMode {
+	switch s {
+	case "on":
+		return core.KernelsOn
+	case "off":
+		return core.KernelsOff
+	default:
+		return core.KernelsDefault
+	}
 }
 
 // Options lowers the job options onto the runner's Options. The receiver
@@ -173,6 +203,7 @@ func (o JobOptions) Options() (Options, error) {
 		Strict:      n.Strict,
 		SkipVerify:  n.SkipVerify,
 		Parallelism: n.Parallelism,
+		Kernels:     kernelMode(n.Kernels),
 		Budget: Budget{
 			Timeout:      time.Duration(n.TimeoutMs) * time.Millisecond,
 			MaxBDDNodes:  n.MaxBDDNodes,

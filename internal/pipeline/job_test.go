@@ -60,6 +60,12 @@ func TestJobOptionsKey(t *testing.T) {
 		// bit-identical results, so it must never fragment the cache.
 		{Method: "lcf", Threshold: 0.55, Parallelism: 1},
 		{Method: "lcf", Threshold: 0.55, Parallelism: 8},
+		// Kernels is likewise operational: kernel and scalar paths are
+		// bit-identical (metatest property 6), so it must never
+		// fragment the cache either.
+		{Method: "lcf", Threshold: 0.55, Kernels: "on"},
+		{Method: "lcf", Threshold: 0.55, Kernels: "OFF"},
+		{Method: "lcf", Threshold: 0.55, Kernels: "default"},
 	}
 	for i, o := range same {
 		if o.Key() != base.Key() {
@@ -101,6 +107,7 @@ func TestJobOptionsValidate(t *testing.T) {
 		{TimeoutMs: -1},
 		{MaxBDDNodes: -2},
 		{Parallelism: -1},
+		{Kernels: "fast"},
 	}
 	for i, o := range bad {
 		if err := o.Normalize().Validate(); err == nil {

@@ -213,6 +213,12 @@ type Options struct {
 	// operational knob and MUST stay out of cache keys (JobOptions.Key
 	// strips it).
 	Parallelism int
+	// Kernels selects the word-parallel bitset kernels or the scalar
+	// oracle implementations for the assignment stage's neighbor and
+	// LC^f scans (default: follow the process-wide bitset.UseKernels
+	// switch). Like Parallelism it never changes results — metatest
+	// property 6 pins kernel ≡ scalar — so JobOptions.Key strips it.
+	Kernels core.KernelMode
 }
 
 // StageReport records one executed stage for observability.
@@ -466,6 +472,7 @@ func (r *runner) runAssign(f *tt.Function) *StageError {
 		Interrupt:   r.interrupt,
 		MaxBDDNodes: r.opt.Budget.MaxBDDNodes,
 		Parallelism: r.opt.Parallelism,
+		Kernels:     r.opt.Kernels,
 	}
 	dense := func() error {
 		var err error

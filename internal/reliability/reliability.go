@@ -63,7 +63,20 @@ func (c Counts) NormMax(n, size int) float64 {
 }
 
 // ExactCounts computes the base/min-dc/max-dc pair counts for output o.
+// It dispatches between the word-parallel kernel path and the scalar
+// oracle on bitset.UseKernels; both produce identical integer counts
+// (metatest property 6 pins the equivalence).
 func ExactCounts(f *tt.Function, o int) Counts {
+	if bitset.UseKernels {
+		return ExactCountsKernel(f, o)
+	}
+	return ExactCountsScalar(f, o)
+}
+
+// ExactCountsScalar is the pre-kernel implementation and the testing
+// oracle: base pairs by per-bit set intersection, DC pair bounds by a
+// per-minterm neighbor walk (n phase lookups per DC minterm).
+func ExactCountsScalar(f *tt.Function, o int) Counts {
 	var c Counts
 	out := f.Outs[o]
 	off := f.OffSet(o)
@@ -82,10 +95,50 @@ func ExactCounts(f *tt.Function, o int) Counts {
 	return c
 }
 
+// ExactCountsKernel is the word-parallel path: base pairs are n fused
+// shift+popcount passes (no intermediate sets), and the per-DC-minterm
+// neighbor min/max comes from two bit-sliced neighbor-census counters
+// read at O(log n) per DC minterm instead of n phase lookups each.
+// Exported (like its Scalar sibling) so differential tests can pin both
+// paths without flipping the process-wide switch.
+func ExactCountsKernel(f *tt.Function, o int) Counts {
+	var c Counts
+	out := f.Outs[o]
+	off := f.OffSet(o)
+	n := f.NumIn
+	for b := 0; b < n; b++ {
+		c.BasePairs += 2 * out.On.ShiftAndPopcount(off, b)
+	}
+	if out.DC.Any() {
+		onCnt := bitset.NeighborCount(out.On)
+		offCnt := bitset.NeighborCount(off)
+		out.DC.ForEach(func(m int) {
+			on := onCnt.Get(m)
+			offN := offCnt.Get(m)
+			c.MinDCPairs += min(on, offN)
+			c.MaxDCPairs += max(on, offN)
+		})
+	}
+	return c
+}
+
 // Bounds returns the exact minimum and maximum achievable error rates for
 // output o over all possible DC assignments.
 func Bounds(f *tt.Function, o int) (lo, hi float64) {
 	c := ExactCounts(f, o)
+	return c.NormMin(f.NumIn, f.Size()), c.NormMax(f.NumIn, f.Size())
+}
+
+// BoundsScalar is Bounds pinned to the scalar oracle, for differential
+// tests that cross-check the kernel path.
+func BoundsScalar(f *tt.Function, o int) (lo, hi float64) {
+	c := ExactCountsScalar(f, o)
+	return c.NormMin(f.NumIn, f.Size()), c.NormMax(f.NumIn, f.Size())
+}
+
+// BoundsKernel is Bounds pinned to the word-parallel kernel path.
+func BoundsKernel(f *tt.Function, o int) (lo, hi float64) {
+	c := ExactCountsKernel(f, o)
 	return c.NormMin(f.NumIn, f.Size()), c.NormMax(f.NumIn, f.Size())
 }
 
@@ -148,6 +201,33 @@ func ErrorRate(spec, impl *tt.Function, o int) (float64, error) {
 	if err := checkPair(spec, impl, o); err != nil {
 		return 0, err
 	}
+	if bitset.UseKernels {
+		return errorRateKernel(spec, impl, o), nil
+	}
+	return errorRateScalar(spec, impl, o), nil
+}
+
+// ErrorRateScalar is ErrorRate pinned to the scalar oracle, for
+// differential tests that cross-check the kernel path.
+func ErrorRateScalar(spec, impl *tt.Function, o int) (float64, error) {
+	if err := checkPair(spec, impl, o); err != nil {
+		return 0, err
+	}
+	return errorRateScalar(spec, impl, o), nil
+}
+
+// ErrorRateKernel is ErrorRate pinned to the word-parallel kernel path.
+func ErrorRateKernel(spec, impl *tt.Function, o int) (float64, error) {
+	if err := checkPair(spec, impl, o); err != nil {
+		return 0, err
+	}
+	return errorRateKernel(spec, impl, o), nil
+}
+
+// errorRateScalar is the pre-kernel implementation: per input bit it
+// materializes the shifted value vector, the symmetric difference, and
+// intersects with the care set (three 2^n-bit temporaries per bit).
+func errorRateScalar(spec, impl *tt.Function, o int) float64 {
 	n := spec.NumIn
 	care := spec.Outs[o].DC.Complement()
 	val := implValue(impl, o)
@@ -158,7 +238,19 @@ func ErrorRate(spec, impl *tt.Function, o int) (float64, error) {
 		diff.InPlaceSymDiff(valSh) // minterms whose value differs from the b-neighbor
 		errs += diff.IntersectionCount(care)
 	}
-	return float64(errs) / float64(n*spec.Size()), nil
+	return float64(errs) / float64(n*spec.Size())
+}
+
+// errorRateKernel fuses the shift, the value comparison and the care
+// masking into one popcount pass per input bit: n passes total and no
+// allocations at all — the care set is expressed as the complement of
+// the DC set directly inside the fused pass.
+func errorRateKernel(spec, impl *tt.Function, o int) float64 {
+	n := spec.NumIn
+	dc := spec.Outs[o].DC
+	val := impl.Outs[o].On // read-only: no clone needed on the kernel path
+	errs := val.NeighborDiffAndNotPopcountAll(dc)
+	return float64(errs) / float64(n*spec.Size())
 }
 
 // implValue returns impl's output-o value vector. DC minterms of impl are
@@ -210,6 +302,16 @@ func ErrorRateMeanCtx(ctx context.Context, spec, impl *tt.Function, parallelism 
 // process).
 func SelfErrorRate(f *tt.Function, o int) (float64, error) {
 	return ErrorRate(f, f, o)
+}
+
+// SelfErrorRateScalar is SelfErrorRate pinned to the scalar oracle.
+func SelfErrorRateScalar(f *tt.Function, o int) (float64, error) {
+	return ErrorRateScalar(f, f, o)
+}
+
+// SelfErrorRateKernel is SelfErrorRate pinned to the kernel path.
+func SelfErrorRateKernel(f *tt.Function, o int) (float64, error) {
+	return ErrorRateKernel(f, f, o)
 }
 
 // multiCancelStride is how many k-subsets ErrorRateMulti enumerates
@@ -323,8 +425,19 @@ type Borders struct {
 	BDC int // first ∈ DC-set
 }
 
-// CountBorders computes the three border counts for output o.
+// CountBorders computes the three border counts for output o. It
+// dispatches between the word-parallel kernel and the scalar oracle on
+// bitset.UseKernels; the integer counts are identical either way.
 func CountBorders(f *tt.Function, o int) Borders {
+	if bitset.UseKernels {
+		return CountBordersKernel(f, o)
+	}
+	return CountBordersScalar(f, o)
+}
+
+// CountBordersScalar is the pre-kernel implementation and the testing
+// oracle: it materializes three shifted sets per input bit.
+func CountBordersScalar(f *tt.Function, o int) Borders {
 	out := f.Outs[o]
 	off := f.OffSet(o)
 	var b Borders
@@ -336,6 +449,20 @@ func CountBorders(f *tt.Function, o int) Borders {
 		b.B1 += out.On.IntersectionCount(offSh) + out.On.IntersectionCount(dcSh)
 		b.B0 += off.IntersectionCount(onSh) + off.IntersectionCount(dcSh)
 		b.BDC += out.DC.IntersectionCount(onSh) + out.DC.IntersectionCount(offSh)
+	}
+	return b
+}
+
+// CountBordersKernel is the word-parallel path: six fused shift+popcount
+// passes per input bit, no shifted temporaries.
+func CountBordersKernel(f *tt.Function, o int) Borders {
+	out := f.Outs[o]
+	off := f.OffSet(o)
+	var b Borders
+	for bit := 0; bit < f.NumIn; bit++ {
+		b.B1 += out.On.ShiftAndPopcount(off, bit) + out.On.ShiftAndPopcount(out.DC, bit)
+		b.B0 += off.ShiftAndPopcount(out.On, bit) + off.ShiftAndPopcount(out.DC, bit)
+		b.BDC += out.DC.ShiftAndPopcount(out.On, bit) + out.DC.ShiftAndPopcount(off, bit)
 	}
 	return b
 }

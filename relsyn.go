@@ -32,6 +32,7 @@ import (
 
 	"relsyn/internal/aig"
 	"relsyn/internal/benchmarks"
+	"relsyn/internal/bitset"
 	"relsyn/internal/blif"
 	"relsyn/internal/cec"
 	"relsyn/internal/complexity"
@@ -64,6 +65,18 @@ const (
 
 // NewFunction returns an all-zero function with n inputs and m outputs.
 func NewFunction(n, m int) *Function { return tt.New(n, m) }
+
+// SetKernels flips the process-wide switch between the word-parallel
+// bitset kernels (the default) and the scalar oracle implementations of
+// the analysis scans. Both paths compute bit-identical results — the
+// switch only trades speed — and it must be set at process start,
+// before any concurrent work begins (it is a plain, unsynchronized
+// bool). Per-call control is available through AssignOptions.Kernels
+// and JobOptions.Kernels without touching the global.
+func SetKernels(enabled bool) { bitset.UseKernels = enabled }
+
+// KernelsEnabled reports the process-wide kernel switch.
+func KernelsEnabled() bool { return bitset.UseKernels }
 
 // ErrZeroOutputs is the typed sentinel wrapped by every per-output mean
 // helper (ComplexityFactor, ExactBounds, SignalEstimate, ...) when given
