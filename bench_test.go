@@ -21,6 +21,7 @@ import (
 	"relsyn/internal/experiments"
 	"relsyn/internal/reliability"
 	"relsyn/internal/server"
+	"relsyn/internal/store"
 	"relsyn/internal/synth"
 	"relsyn/internal/synthetic"
 	"relsyn/internal/tt"
@@ -515,4 +516,108 @@ func BenchmarkServerThroughput(b *testing.B) {
 			fireServerRequests(b, ts.URL, specs, total)
 		}
 	})
+}
+
+// BenchmarkStoreThroughput measures what the durable job store costs on
+// the serving path: the same 64-request cold-cache burst as
+// BenchmarkServerThroughput, once without a store (base) and once
+// persisting every job record with -wal-sync always (wal). The gated
+// quantity in BENCH_store.json is the base/wal ratio (cmd/benchjson
+// -pair wal,base) — not absolute throughput — so the gate fails when
+// WAL overhead grows relative to the serving path.
+func BenchmarkStoreThroughput(b *testing.B) {
+	const total, distinct = 64, 8
+	specs := make([]string, distinct)
+	for i := range specs {
+		specs[i] = benchServerPLA(i)
+	}
+	base := server.Config{Workers: 4, QueueDepth: 2 * total, CacheSize: 2 * distinct}
+
+	run := func(b *testing.B, durable bool) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			cfg := base
+			var st *store.Store
+			if durable {
+				var err error
+				st, _, err = store.Open(store.Options{Dir: b.TempDir(), Sync: store.SyncAlways})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg.Store = st
+			}
+			srv := server.New(cfg)
+			ts := httptest.NewServer(srv.Handler())
+			b.StartTimer()
+			fireServerRequests(b, ts.URL, specs, total)
+			b.StopTimer()
+			ts.Close()
+			srv.Close()
+			if st != nil {
+				st.Close()
+			}
+			b.StartTimer()
+		}
+	}
+	b.Run("conc=64/base", func(b *testing.B) { run(b, false) })
+	b.Run("conc=64/wal", func(b *testing.B) { run(b, true) })
+}
+
+// BenchmarkStoreRecovery measures warm-restart time: reopening a store
+// directory holding 512 terminal job records. The wal side replays the
+// full append-only log (a crash left it uncompacted); the base side
+// loads the checkpointed snapshot a clean shutdown leaves behind. The
+// base/wal ratio gated in BENCH_store.json is the replay penalty a
+// crash pays over a clean restart.
+func BenchmarkStoreRecovery(b *testing.B) {
+	const jobs = 512
+	seed := func(b *testing.B, checkpoint bool) string {
+		b.Helper()
+		dir := b.TempDir()
+		st, _, err := store.Open(store.Options{Dir: dir, Sync: store.SyncOff})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for i := 0; i < jobs; i++ {
+			rec := store.Record{
+				ID:      fmt.Sprintf("job_%04d", i),
+				Key:     fmt.Sprintf("key_%04d", i),
+				Status:  "done",
+				SpecPLA: benchServerPLA(i % 8),
+			}
+			if err := st.Append(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if checkpoint {
+			if err := st.Checkpoint(); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+		return dir
+	}
+
+	run := func(b *testing.B, checkpoint bool) {
+		dir := seed(b, checkpoint)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			st, recovered, err := store.Open(store.Options{Dir: dir, Sync: store.SyncOff})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(recovered) != jobs {
+				b.Fatalf("recovered %d records, want %d", len(recovered), jobs)
+			}
+			b.StopTimer()
+			if err := st.Close(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+		}
+	}
+	b.Run("jobs=512/base", func(b *testing.B) { run(b, true) })
+	b.Run("jobs=512/wal", func(b *testing.B) { run(b, false) })
 }

@@ -1,0 +1,369 @@
+// Package client is the Go client for the relsynd synthesis service,
+// with the reliability behaviors a fleet caller needs built in:
+//
+//   - Retries with capped exponential backoff and jitter on transport
+//     errors, 429 (queue backpressure), 503 (draining), and other 5xx
+//     responses. A 429's Retry-After header overrides the computed
+//     backoff (capped at MaxBackoff) — the server's hint is
+//     authoritative.
+//   - Per-request hedging for tail latency: when HedgeAfter is set and
+//     the primary request has not answered in time, an identical
+//     request is raced against it and the first response wins. Hedging
+//     is safe against relsynd by construction — requests are
+//     content-addressed, so duplicates coalesce server-side onto one
+//     execution instead of doubling work.
+//
+// Both behaviors assume idempotent submissions, which relsynd
+// guarantees: identical (spec, options) pairs share one cache entry and
+// one in-flight execution.
+//
+// The client exports relsyn_client_* metrics (requests by code,
+// retries, hedges) on the configured obs registry.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"relsyn/internal/obs"
+	"relsyn/internal/pipeline"
+)
+
+// Response is the relsynd job envelope (the wire shape of
+// internal/server.SynthResponse).
+type Response struct {
+	JobID     string              `json:"job_id,omitempty"`
+	Status    string              `json:"status"`
+	Cached    bool                `json:"cached,omitempty"`
+	Coalesced bool                `json:"coalesced,omitempty"`
+	Result    *pipeline.JobResult `json:"result,omitempty"`
+	Error     string              `json:"error,omitempty"`
+}
+
+// Terminal reports whether the envelope describes a finished job.
+func (r *Response) Terminal() bool {
+	switch r.Status {
+	case "done", "failed", "expired":
+		return true
+	}
+	return false
+}
+
+// Config configures New. The zero value of every field has a sensible
+// default; only BaseURL is required.
+type Config struct {
+	// BaseURL locates the service, e.g. "http://127.0.0.1:8337".
+	BaseURL string
+	// HTTPClient overrides the transport (default: http.Client with a
+	// 2-minute overall timeout; per-call deadlines come from ctx).
+	HTTPClient *http.Client
+
+	// MaxAttempts bounds tries per logical request, first attempt
+	// included (default 4).
+	MaxAttempts int
+	// BaseBackoff is the first retry delay (default 100ms); attempt k
+	// waits BaseBackoff·2^(k-1), capped at MaxBackoff (default 5s).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// JitterFrac spreads each delay uniformly over ±frac·delay
+	// (default 0.2; 0 < frac <= 1). Jitter prevents synchronized retry
+	// storms from a fleet of clients hitting one recovering server.
+	JitterFrac float64
+
+	// HedgeAfter, when positive, launches an identical hedge request if
+	// the primary has not answered within the delay; first response
+	// wins, the loser is cancelled (default off).
+	HedgeAfter time.Duration
+	// MaxHedges bounds extra requests per attempt (default 1).
+	MaxHedges int
+
+	// Metrics receives relsyn_client_* series (default obs.Default).
+	Metrics *obs.Registry
+
+	// Sleep and Rand are injectable for deterministic tests.
+	Sleep func(ctx context.Context, d time.Duration) error
+	Rand  func() float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{Timeout: 2 * time.Minute}
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.BaseBackoff <= 0 {
+		c.BaseBackoff = 100 * time.Millisecond
+	}
+	if c.MaxBackoff <= 0 {
+		c.MaxBackoff = 5 * time.Second
+	}
+	if c.JitterFrac <= 0 || c.JitterFrac > 1 {
+		c.JitterFrac = 0.2
+	}
+	if c.MaxHedges <= 0 {
+		c.MaxHedges = 1
+	}
+	if c.Metrics == nil {
+		c.Metrics = obs.Default
+	}
+	if c.Sleep == nil {
+		c.Sleep = func(ctx context.Context, d time.Duration) error {
+			t := time.NewTimer(d)
+			defer t.Stop()
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			case <-t.C:
+				return nil
+			}
+		}
+	}
+	if c.Rand == nil {
+		var mu sync.Mutex
+		rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+		c.Rand = func() float64 {
+			mu.Lock()
+			defer mu.Unlock()
+			return rng.Float64()
+		}
+	}
+	return c
+}
+
+// Client is a relsynd API client. Safe for concurrent use.
+type Client struct {
+	cfg     Config
+	retries obs.Counter
+	hedges  obs.Counter
+	wins    obs.Counter
+}
+
+// New validates cfg and returns a client.
+func New(cfg Config) (*Client, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BaseURL == "" {
+		return nil, errors.New("client: Config.BaseURL is required")
+	}
+	cfg.BaseURL = strings.TrimRight(cfg.BaseURL, "/")
+	c := &Client{cfg: cfg}
+	reg := cfg.Metrics
+	reg.SetHelp("relsyn_client_retries_total", "Requests retried after a retryable failure (429/503/5xx/transport).")
+	reg.SetHelp("relsyn_client_hedges_total", "Hedge requests launched against slow primaries.")
+	reg.SetHelp("relsyn_client_hedge_wins_total", "Hedge requests that answered before the primary.")
+	reg.RegisterCounter("relsyn_client_retries_total", &c.retries)
+	reg.RegisterCounter("relsyn_client_hedges_total", &c.hedges)
+	reg.RegisterCounter("relsyn_client_hedge_wins_total", &c.wins)
+	return c, nil
+}
+
+// SynthRequest mirrors the POST /v1/synth body.
+type synthRequest struct {
+	PLA      string              `json:"pla"`
+	Options  pipeline.JobOptions `json:"options"`
+	Priority int                 `json:"priority,omitempty"`
+	Wait     *bool               `json:"wait,omitempty"`
+}
+
+// Synth submits one job and waits for its result (server-side wait).
+func (c *Client) Synth(ctx context.Context, plaText string, opts pipeline.JobOptions) (*Response, error) {
+	return c.postJob(ctx, synthRequest{PLA: plaText, Options: opts})
+}
+
+// SynthAsync submits one job without waiting; poll the returned JobID
+// with Job (or use Wait).
+func (c *Client) SynthAsync(ctx context.Context, plaText string, opts pipeline.JobOptions) (*Response, error) {
+	f := false
+	return c.postJob(ctx, synthRequest{PLA: plaText, Options: opts, Wait: &f})
+}
+
+// Job polls one job by id.
+func (c *Client) Job(ctx context.Context, id string) (*Response, error) {
+	return c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil)
+}
+
+// Wait polls id until the job reaches a terminal state, backing off
+// between polls with the client's backoff schedule (restarting the
+// schedule on every successful poll).
+func (c *Client) Wait(ctx context.Context, id string) (*Response, error) {
+	for poll := 1; ; poll++ {
+		resp, err := c.Job(ctx, id)
+		if err != nil {
+			return nil, err
+		}
+		if resp.Terminal() {
+			return resp, nil
+		}
+		if err := c.cfg.Sleep(ctx, c.backoff(min(poll, 6))); err != nil {
+			return nil, err
+		}
+	}
+}
+
+func (c *Client) postJob(ctx context.Context, req synthRequest) (*Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: marshal request: %w", err)
+	}
+	return c.do(ctx, http.MethodPost, "/v1/synth", body)
+}
+
+// retryableStatus classifies responses worth retrying: backpressure,
+// draining, and transient server errors.
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code >= 500
+}
+
+// do runs one logical request through the retry (and hedging) policy.
+func (c *Client) do(ctx context.Context, method, path string, body []byte) (*Response, error) {
+	var lastErr error
+	for attempt := 1; ; attempt++ {
+		r := c.attempt(ctx, method, path, body)
+		switch {
+		case r.err == nil && !retryableStatus(r.code):
+			if r.code >= 400 {
+				msg := ""
+				if r.resp != nil {
+					msg = r.resp.Error
+				}
+				return r.resp, fmt.Errorf("client: %s %s: HTTP %d: %s", method, path, r.code, msg)
+			}
+			return r.resp, nil
+		case r.err == nil:
+			lastErr = fmt.Errorf("client: %s %s: HTTP %d", method, path, r.code)
+		default:
+			lastErr = fmt.Errorf("client: %s %s: %w", method, path, r.err)
+		}
+		if attempt >= c.cfg.MaxAttempts || ctx.Err() != nil {
+			return nil, fmt.Errorf("%w (after %d attempts)", lastErr, attempt)
+		}
+		delay := c.backoff(attempt)
+		// Retry-After (seconds form) from a 429/503 overrides the
+		// computed backoff, capped at MaxBackoff — the server knows its
+		// own recovery horizon better than our schedule does.
+		if r.retryAfter > 0 {
+			delay = min(r.retryAfter, c.cfg.MaxBackoff)
+		}
+		c.retries.Inc()
+		if err := c.cfg.Sleep(ctx, delay); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// backoff computes the k-th retry delay with jitter.
+func (c *Client) backoff(attempt int) time.Duration {
+	d := c.cfg.BaseBackoff << (attempt - 1)
+	if d > c.cfg.MaxBackoff || d <= 0 {
+		d = c.cfg.MaxBackoff
+	}
+	jitter := 1 + c.cfg.JitterFrac*(2*c.cfg.Rand()-1)
+	return time.Duration(float64(d) * jitter)
+}
+
+// attemptResult carries one physical exchange's outcome, including any
+// Retry-After hint parsed from a 429/503 response.
+type attemptResult struct {
+	resp       *Response
+	code       int
+	retryAfter time.Duration
+	err        error
+	hedged     bool
+}
+
+// attempt performs one (possibly hedged) physical exchange.
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte) attemptResult {
+	if c.cfg.HedgeAfter <= 0 || method != http.MethodPost {
+		return c.exchange(ctx, method, path, body, false)
+	}
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel() // reap the loser
+	results := make(chan attemptResult, c.cfg.MaxHedges+1)
+	launch := func(hedged bool) {
+		go func() { results <- c.exchange(hctx, method, path, body, hedged) }()
+	}
+	launch(false)
+	timer := time.NewTimer(c.cfg.HedgeAfter)
+	defer timer.Stop()
+	launched, failures := 1, 0
+	var firstFail attemptResult
+	for {
+		select {
+		case r := <-results:
+			if r.err == nil {
+				if r.hedged {
+					c.wins.Inc()
+				}
+				return r
+			}
+			failures++
+			if failures == 1 {
+				firstFail = r
+			}
+			if failures >= launched {
+				if launched > c.cfg.MaxHedges {
+					// Everything we may launch has failed; report the
+					// first failure (the primary's, usually).
+					return firstFail
+				}
+				// Primary failed fast: hedge immediately rather than
+				// waiting out the timer.
+				c.hedges.Inc()
+				launch(true)
+				launched++
+			}
+		case <-timer.C:
+			if launched <= c.cfg.MaxHedges {
+				c.hedges.Inc()
+				launch(true)
+				launched++
+				timer.Reset(c.cfg.HedgeAfter)
+			}
+		case <-ctx.Done():
+			return attemptResult{err: ctx.Err()}
+		}
+	}
+}
+
+// exchange performs one HTTP round trip and decodes the envelope.
+func (c *Client) exchange(ctx context.Context, method, path string, body []byte, hedged bool) attemptResult {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.cfg.BaseURL+path, rd)
+	if err != nil {
+		return attemptResult{err: err, hedged: hedged}
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	httpResp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		return attemptResult{err: err, hedged: hedged}
+	}
+	defer httpResp.Body.Close()
+	c.cfg.Metrics.Counter("relsyn_client_requests_total",
+		obs.L("code", strconv.Itoa(httpResp.StatusCode))).Inc()
+	var env Response
+	if err := json.NewDecoder(io.LimitReader(httpResp.Body, 64<<20)).Decode(&env); err != nil {
+		return attemptResult{err: fmt.Errorf("decode response (HTTP %d): %w", httpResp.StatusCode, err), hedged: hedged}
+	}
+	out := attemptResult{resp: &env, code: httpResp.StatusCode, hedged: hedged}
+	if out.code == http.StatusTooManyRequests || out.code == http.StatusServiceUnavailable {
+		if ra, err := strconv.Atoi(httpResp.Header.Get("Retry-After")); err == nil && ra > 0 {
+			out.retryAfter = time.Duration(ra) * time.Second
+		}
+	}
+	return out
+}

@@ -1,15 +1,21 @@
-// Command benchjson turns `go test -bench BenchmarkKernel` output into
-// a machine-readable speedup baseline, and gates CI against it.
+// Command benchjson turns paired `go test -bench` output into a
+// machine-readable speedup baseline, and gates CI against it.
 //
-// The kernel benchmarks (bench_test.go) emit paired sub-benchmarks
+// Benchmarks emit paired sub-benchmarks whose leaf names identify the
+// fast and slow variant of the same workload:
 //
 //	BenchmarkKernelErrorRate/n=16/kernel-8    1000   25235 ns/op
 //	BenchmarkKernelErrorRate/n=16/scalar-8     100  105370 ns/op
 //
-// benchjson pairs each <group>/kernel row with its <group>/scalar row
-// and records the speedup ratio scalar/kernel. Ratios — not raw ns/op —
+// benchjson pairs each <group>/<fast> row with its <group>/<slow> row
+// and records the speedup ratio slow/fast. Ratios — not raw ns/op —
 // are what the gate compares: they are stable across machine
-// generations, while absolute nanoseconds are not.
+// generations, while absolute nanoseconds are not. The leaf names
+// default to kernel,scalar (the SIMD-kernel baselines) and are
+// configurable with -pair. Order matters for gate direction: the gate
+// fails when slow/fast shrinks, so put the side whose relative cost
+// must not grow first — the durability benchmarks use -pair wal,base
+// (speedup = base/wal), which fails when WAL overhead creeps up.
 //
 // Usage:
 //
@@ -42,21 +48,23 @@ import (
 	"time"
 )
 
-// Entry is one kernel/scalar benchmark pair.
+// Entry is one fast/slow benchmark pair.
 type Entry struct {
 	// Name is the shared group name, e.g. "KernelErrorRate/n=16".
 	Name string `json:"name"`
-	// KernelNsOp / ScalarNsOp are informational (machine-dependent).
-	KernelNsOp float64 `json:"kernel_ns_op"`
-	ScalarNsOp float64 `json:"scalar_ns_op"`
-	// Speedup is ScalarNsOp / KernelNsOp — the gated quantity.
+	// FastNsOp / SlowNsOp are informational (machine-dependent).
+	FastNsOp float64 `json:"fast_ns_op"`
+	SlowNsOp float64 `json:"slow_ns_op"`
+	// Speedup is SlowNsOp / FastNsOp — the gated quantity.
 	Speedup float64 `json:"speedup"`
 }
 
-// File is the on-disk format of BENCH_kernels.json.
+// File is the on-disk format of a benchjson baseline.
 type File struct {
 	// Note documents how to regenerate the file.
 	Note string `json:"note"`
+	// Pair records the fast,slow leaf names the file was parsed with.
+	Pair string `json:"pair,omitempty"`
 	// GOOS/GOARCH/CPU echo the `go test -bench` header of the recording
 	// run (informational).
 	GOOS   string `json:"goos,omitempty"`
@@ -72,11 +80,12 @@ type File struct {
 // name, iteration count, ns/op (other -benchmem columns are ignored).
 var benchLine = regexp.MustCompile(`^(Benchmark\S+)\s+\d+\s+([0-9.]+) ns/op`)
 
-// side splits a full benchmark name into its group key and kernel/scalar
-// side, e.g. "BenchmarkKernelErrorRate/n=16/kernel-8" ->
-// ("KernelErrorRate/n=16", "kernel"). The trailing -N GOMAXPROCS suffix
-// is stripped; names without a /kernel or /scalar leaf return ok=false.
-func side(name string) (group, leaf string, ok bool) {
+// side splits a full benchmark name into its group key and fast/slow
+// side, e.g. "BenchmarkKernelErrorRate/n=16/kernel-8" with pair
+// kernel,scalar -> ("KernelErrorRate/n=16", "kernel"). The trailing -N
+// GOMAXPROCS suffix is stripped; names whose leaf is neither pair name
+// return ok=false.
+func side(name, fast, slow string) (group, leaf string, ok bool) {
 	name = strings.TrimPrefix(name, "Benchmark")
 	i := strings.LastIndex(name, "/")
 	if i < 0 {
@@ -89,24 +98,24 @@ func side(name string) (group, leaf string, ok bool) {
 			leaf = leaf[:j]
 		}
 	}
-	if leaf != "kernel" && leaf != "scalar" {
+	if leaf != fast && leaf != slow {
 		return "", "", false
 	}
 	return group, leaf, true
 }
 
-// parse reads `go test -bench` output and pairs kernel/scalar rows.
+// parse reads `go test -bench` output and pairs fast/slow rows.
 // Repeated rows for the same name (from -count) keep the minimum ns/op:
 // on shared/noisy CI machines the minimum is the standard low-variance
 // estimator of the true cost (noise only ever adds time).
-func parse(r io.Reader) (*File, error) {
+func parse(r io.Reader, fast, slow string) (*File, error) {
 	type acc struct {
 		min float64
 		n   int
 	}
-	kernels := map[string]*acc{}
-	scalars := map[string]*acc{}
-	f := &File{}
+	fasts := map[string]*acc{}
+	slows := map[string]*acc{}
+	f := &File{Pair: fast + "," + slow}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	for sc.Scan() {
@@ -127,13 +136,13 @@ func parse(r io.Reader) (*File, error) {
 		if err != nil || ns <= 0 {
 			return nil, fmt.Errorf("bad ns/op in %q", line)
 		}
-		group, leaf, ok := side(m[1])
+		group, leaf, ok := side(m[1], fast, slow)
 		if !ok {
 			continue
 		}
-		dst := kernels
-		if leaf == "scalar" {
-			dst = scalars
+		dst := fasts
+		if leaf == slow {
+			dst = slows
 		}
 		if dst[group] == nil {
 			dst[group] = &acc{min: ns}
@@ -145,22 +154,22 @@ func parse(r io.Reader) (*File, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	for group, k := range kernels {
-		s, ok := scalars[group]
+	for group, k := range fasts {
+		s, ok := slows[group]
 		if !ok {
-			return nil, fmt.Errorf("benchmark %s has a kernel row but no scalar row", group)
+			return nil, fmt.Errorf("benchmark %s has a %s row but no %s row", group, fast, slow)
 		}
 		f.Benchmarks = append(f.Benchmarks, Entry{
-			Name: group, KernelNsOp: k.min, ScalarNsOp: s.min, Speedup: s.min / k.min,
+			Name: group, FastNsOp: k.min, SlowNsOp: s.min, Speedup: s.min / k.min,
 		})
 	}
-	for group := range scalars {
-		if _, ok := kernels[group]; !ok {
-			return nil, fmt.Errorf("benchmark %s has a scalar row but no kernel row", group)
+	for group := range slows {
+		if _, ok := fasts[group]; !ok {
+			return nil, fmt.Errorf("benchmark %s has a %s row but no %s row", group, slow, fast)
 		}
 	}
 	if len(f.Benchmarks) == 0 {
-		return nil, errors.New("no kernel/scalar benchmark pairs found in input")
+		return nil, fmt.Errorf("no %s/%s benchmark pairs found in input", fast, slow)
 	}
 	sort.Slice(f.Benchmarks, func(i, j int) bool {
 		return f.Benchmarks[i].Name < f.Benchmarks[j].Name
@@ -206,7 +215,7 @@ func gate(baseline, current *File, maxRegress float64, w io.Writer) error {
 		}
 	}
 	if len(failures) > 0 {
-		return fmt.Errorf("kernel speedup regressions:\n  %s", strings.Join(failures, "\n  "))
+		return fmt.Errorf("speedup regressions:\n  %s", strings.Join(failures, "\n  "))
 	}
 	return nil
 }
@@ -225,6 +234,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		out        = fs.String("o", "BENCH_kernels.json", "output path for -record ('-' = stdout)")
 		gateFile   = fs.String("gate", "", "baseline JSON to gate the stdin bench output against")
 		maxRegress = fs.Float64("max-regress", 1.25, "maximum allowed baseline/current speedup ratio")
+		pair       = fs.String("pair", "kernel,scalar", "fast,slow leaf names identifying the two sides of each benchmark pair")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -245,13 +255,19 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "benchjson: -max-regress must be >= 1, got %v\n", *maxRegress)
 		return 2
 	}
-	current, err := parse(stdin)
+	fast, slow, ok := strings.Cut(*pair, ",")
+	if !ok || fast == "" || slow == "" || fast == slow {
+		fmt.Fprintf(stderr, "benchjson: -pair must be two distinct comma-separated names, got %q\n", *pair)
+		return 2
+	}
+	current, err := parse(stdin, fast, slow)
 	if err != nil {
 		return fail(err)
 	}
 	if *record {
-		current.Note = "kernel-vs-scalar speedup baseline; regenerate with: " +
-			"go test -run xxx -bench BenchmarkKernel -benchtime 200x . | go run ./cmd/benchjson -record"
+		current.Note = fmt.Sprintf("%s-vs-%s speedup baseline; regenerate with: "+
+			"go test -run xxx -bench <pattern> | go run ./cmd/benchjson -record -pair %s",
+			fast, slow, *pair)
 		current.Recorded = time.Now().UTC().Format("2006-01-02")
 		b, err := json.MarshalIndent(current, "", "  ")
 		if err != nil {

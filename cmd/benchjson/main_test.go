@@ -25,12 +25,15 @@ ok  	relsyn	1.000s
 `
 
 func TestParsePairsRows(t *testing.T) {
-	f, err := parse(strings.NewReader(sampleBench))
+	f, err := parse(strings.NewReader(sampleBench), "kernel", "scalar")
 	if err != nil {
 		t.Fatal(err)
 	}
 	if f.GOOS != "linux" || f.GOARCH != "amd64" || f.CPU != "Test CPU @ 2.10GHz" {
 		t.Fatalf("header not captured: %+v", f)
+	}
+	if f.Pair != "kernel,scalar" {
+		t.Fatalf("pair not recorded: %q", f.Pair)
 	}
 	want := map[string]float64{
 		"KernelErrorRate/n=12": 5,
@@ -59,7 +62,7 @@ BenchmarkKernelX/n=12/kernel-8 100 300 ns/op
 BenchmarkKernelX/n=12/scalar-8 100 600 ns/op
 BenchmarkKernelX/n=12/scalar-8 100 900 ns/op
 `
-	f, err := parse(strings.NewReader(in))
+	f, err := parse(strings.NewReader(in), "kernel", "scalar")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,14 +72,38 @@ BenchmarkKernelX/n=12/scalar-8 100 900 ns/op
 }
 
 func TestParseRejectsUnpairedAndEmpty(t *testing.T) {
-	if _, err := parse(strings.NewReader("BenchmarkKernelX/n=12/kernel-8 1 5 ns/op\n")); err == nil {
+	if _, err := parse(strings.NewReader("BenchmarkKernelX/n=12/kernel-8 1 5 ns/op\n"), "kernel", "scalar"); err == nil {
 		t.Fatal("kernel row without scalar row accepted")
 	}
-	if _, err := parse(strings.NewReader("BenchmarkKernelX/n=12/scalar-8 1 5 ns/op\n")); err == nil {
+	if _, err := parse(strings.NewReader("BenchmarkKernelX/n=12/scalar-8 1 5 ns/op\n"), "kernel", "scalar"); err == nil {
 		t.Fatal("scalar row without kernel row accepted")
 	}
-	if _, err := parse(strings.NewReader("PASS\n")); err == nil {
+	if _, err := parse(strings.NewReader("PASS\n"), "kernel", "scalar"); err == nil {
 		t.Fatal("empty input accepted")
+	}
+}
+
+// TestParseCustomPair exercises the -pair seam used by the store
+// benchmarks: pair wal,base makes the gated "speedup" base/wal, which
+// shrinks — and so fails the gate — when WAL overhead grows.
+func TestParseCustomPair(t *testing.T) {
+	in := `BenchmarkStoreThroughput/conc=64/base-8 100 1000 ns/op
+BenchmarkStoreThroughput/conc=64/wal-8 100 2000 ns/op
+`
+	f, err := parse(strings.NewReader(in), "wal", "base")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.Pair != "wal,base" {
+		t.Fatalf("pair = %q, want wal,base", f.Pair)
+	}
+	if len(f.Benchmarks) != 1 || f.Benchmarks[0].Speedup != 0.5 {
+		t.Fatalf("custom pair not parsed: %+v", f.Benchmarks)
+	}
+	// Rows whose leaves don't match the pair are ignored, so an input
+	// holding only kernel/scalar rows yields no wal/base pairs.
+	if _, err := parse(strings.NewReader(sampleBench), "wal", "base"); err == nil {
+		t.Fatal("kernel/scalar rows accepted as wal/base pairs")
 	}
 }
 
@@ -92,7 +119,7 @@ func TestSideParsing(t *testing.T) {
 		{"BenchmarkTable1-8", "", "", false},
 	}
 	for _, c := range cases {
-		g, l, ok := side(c.in)
+		g, l, ok := side(c.in, "kernel", "scalar")
 		if g != c.group || l != c.leaf || ok != c.ok {
 			t.Fatalf("side(%q) = (%q, %q, %v), want (%q, %q, %v)",
 				c.in, g, l, ok, c.group, c.leaf, c.ok)
@@ -187,5 +214,50 @@ func TestRunRecordAndGate(t *testing.T) {
 	if code := run([]string{"-gate", path, "-max-regress", "0.5"},
 		strings.NewReader(""), &stdout, &stderr); code != 2 {
 		t.Fatalf("bad -max-regress exited %d, want 2", code)
+	}
+	for _, bad := range []string{"kernel", "kernel,", ",scalar", "x,x"} {
+		if code := run([]string{"-record", "-o", "-", "-pair", bad},
+			strings.NewReader(""), &stdout, &stderr); code != 2 {
+			t.Fatalf("-pair %q exited %d, want 2", bad, code)
+		}
+	}
+}
+
+func TestRunCustomPairRecordAndGate(t *testing.T) {
+	in := `BenchmarkStoreRecovery/jobs=512/base-8 10 2000000 ns/op
+BenchmarkStoreRecovery/jobs=512/wal-8 10 4000000 ns/op
+`
+	dir := t.TempDir()
+	path := filepath.Join(dir, "store.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-record", "-o", path, "-pair", "wal,base"},
+		strings.NewReader(in), &stdout, &stderr); code != 0 {
+		t.Fatalf("record exited %d: %s", code, stderr.String())
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f File
+	if err := json.Unmarshal(raw, &f); err != nil {
+		t.Fatal(err)
+	}
+	if f.Pair != "wal,base" || len(f.Benchmarks) != 1 || f.Benchmarks[0].Speedup != 0.5 {
+		t.Fatalf("recorded custom-pair file wrong: %+v", f)
+	}
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-gate", path, "-pair", "wal,base", "-max-regress", "1.5"},
+		strings.NewReader(in), &stdout, &stderr); code != 0 {
+		t.Fatalf("self-gate exited %d: %s", code, stderr.String())
+	}
+
+	// WAL overhead doubling shrinks base/wal; the gate must catch it.
+	worse := strings.Replace(in, "4000000", "8000000", 1)
+	stdout.Reset()
+	stderr.Reset()
+	if code := run([]string{"-gate", path, "-pair", "wal,base", "-max-regress", "1.5"},
+		strings.NewReader(worse), &stdout, &stderr); code != 1 {
+		t.Fatalf("grown WAL overhead exited %d, want 1\n%s%s", code, stdout.String(), stderr.String())
 	}
 }

@@ -1,0 +1,217 @@
+// Process-level crash-recovery test: SIGKILL a live relsynd mid-batch,
+// restart it on the same -store-dir, and assert that every accepted job
+// reaches a terminal state and that recovered results are never
+// recomputed. SIGKILL cannot be delivered to an in-process run(), so the
+// victim daemon is this test binary re-executed with RELSYND_RUN_MAIN=1
+// (see TestMain).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv("RELSYND_RUN_MAIN") == "1" {
+		sig := make(chan os.Signal, 2)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		os.Exit(run(strings.Fields(os.Getenv("RELSYND_ARGS")), os.Stdout, os.Stderr, sig))
+	}
+	os.Exit(m.Run())
+}
+
+// startVictim launches the daemon as a child process (killable with
+// SIGKILL) and returns its base URL and the exec handle.
+func startVictim(t *testing.T, args []string) (string, *exec.Cmd) {
+	t.Helper()
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatalf("os.Executable: %v", err)
+	}
+	cmd := exec.Command(exe)
+	cmd.Env = append(os.Environ(),
+		"RELSYND_RUN_MAIN=1",
+		"RELSYND_ARGS=-addr 127.0.0.1:0 "+strings.Join(args, " "))
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start victim: %v", err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+		}
+		_, _ = cmd.Process.Wait()
+	})
+
+	lines := make(chan string, 64)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatal("victim exited before announcing its address")
+			}
+			if m := listenRE.FindStringSubmatch(line); m != nil {
+				go func() { // drain remaining output so the child never blocks
+					for range lines {
+					}
+				}()
+				return "http://" + m[1], cmd
+			}
+		case <-deadline:
+			t.Fatal("victim never announced its address")
+		}
+	}
+}
+
+func postSynth(t *testing.T, base string, body map[string]any) (int, map[string]any) {
+	t.Helper()
+	raw, _ := json.Marshal(body)
+	resp, err := http.Post(base+"/v1/synth", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("post: %v", err)
+	}
+	defer resp.Body.Close()
+	var env map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&env); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	return resp.StatusCode, env
+}
+
+// crashSpec builds a distinct 3-input spec per seed.
+func crashSpec(seed int) string {
+	return strings.Replace(daemonPLA, "000 1", fmt.Sprintf("%03b 1", seed%8), 1)
+}
+
+func TestDaemonCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	storeArgs := []string{"-store-dir", dir, "-wal-sync", "always", "-workers", "1"}
+
+	// Phase 1: the victim accepts a batch, then dies mid-flight.
+	base, victim := startVictim(t, storeArgs)
+	var accepted []string
+	doneSpec := crashSpec(1)
+	// One job runs to completion first so the store holds a finished
+	// result whose recomputation we can detect after the crash.
+	code, env := postSynth(t, base, map[string]any{"pla": doneSpec})
+	if code != http.StatusOK || env["status"] != "done" {
+		t.Fatalf("warm job: %d %v", code, env)
+	}
+	// A burst of async jobs on one worker: some will still be queued or
+	// running when the SIGKILL lands.
+	for seed := 2; seed <= 7; seed++ {
+		code, env := postSynth(t, base, map[string]any{
+			"pla":     crashSpec(seed),
+			"options": map[string]any{"method": "complete"},
+			"wait":    false,
+		})
+		if code != http.StatusAccepted {
+			t.Fatalf("async submit seed %d: %d %v", seed, code, env)
+		}
+		id, _ := env["job_id"].(string)
+		if id == "" {
+			t.Fatalf("async submit seed %d returned no job_id: %v", seed, env)
+		}
+		accepted = append(accepted, id)
+	}
+
+	// The crash: no drain, no checkpoint, no goodbye.
+	if err := victim.Process.Kill(); err != nil {
+		t.Fatalf("SIGKILL: %v", err)
+	}
+	_, _ = victim.Process.Wait()
+
+	// Phase 2: restart on the same store dir (in-process this time; only
+	// the victim needed to be killable).
+	out, errOut := &lockedBuffer{}, &lockedBuffer{}
+	base2, sig, exitCode := startDaemon(t, storeArgs, out, errOut)
+	if !strings.Contains(out.String(), "recovered") {
+		t.Fatalf("restart did not report recovery; output: %q", out.String())
+	}
+
+	// Every accepted job must reach a terminal state — and with fast
+	// specs and a restarted deadline clock, specifically "done".
+	for _, id := range accepted {
+		status := waitJobTerminal(t, base2, id)
+		if status != "done" {
+			t.Errorf("recovered job %s = %s, want done", id, status)
+		}
+	}
+
+	// No duplicate computation for recovered keys: resubmitting the
+	// pre-crash specs must be served from the recovered/recomputed cache.
+	code, env = postSynth(t, base2, map[string]any{"pla": doneSpec})
+	if code != http.StatusOK || env["status"] != "done" || env["cached"] != true {
+		t.Fatalf("resubmit of pre-crash result not served from cache: %d %v", code, env)
+	}
+
+	// Clean shutdown of the restarted daemon checkpoints the store; a
+	// third start must recover the compacted state without requeues.
+	sig <- syscall.SIGTERM
+	if c := waitExit(t, exitCode); c != 0 {
+		t.Fatalf("restart exit %d; stderr: %s", c, errOut.String())
+	}
+	out3, errOut3 := &lockedBuffer{}, &lockedBuffer{}
+	_, sig3, exit3 := startDaemon(t, storeArgs, out3, errOut3)
+	if s := out3.String(); !strings.Contains(s, "requeued 0") {
+		t.Fatalf("third start requeued work after a clean drain: %q", s)
+	}
+	sig3 <- syscall.SIGTERM
+	if c := waitExit(t, exit3); c != 0 {
+		t.Fatalf("third exit %d; stderr: %s", c, errOut3.String())
+	}
+}
+
+func waitJobTerminal(t *testing.T, base, id string) string {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		resp, err := http.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			t.Fatalf("poll %s: %v", id, err)
+		}
+		var env struct {
+			Status string `json:"status"`
+			Error  string `json:"error"`
+		}
+		err = json.NewDecoder(resp.Body).Decode(&env)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatalf("decode poll %s: %v", id, err)
+		}
+		if resp.StatusCode == http.StatusNotFound {
+			t.Fatalf("accepted job %s unknown after restart", id)
+		}
+		switch env.Status {
+		case "done", "failed", "expired":
+			return env.Status
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("job %s never reached a terminal state", id)
+	return ""
+}

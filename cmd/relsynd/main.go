@@ -9,6 +9,16 @@
 //	        [-default-timeout 30s] [-max-timeout 5m] [-retry-after 1s]
 //	        [-drain-timeout 30s] [-pprof-addr localhost:6060]
 //	        [-max-bdd-nodes N] [-max-conflicts N] [-max-aig-nodes N] [-j N]
+//	        [-store-dir DIR] [-wal-sync always|interval|off]
+//
+// Durability: -store-dir enables the crash-safe job store (internal/
+// store) — every accepted job is WAL-logged, and on restart interrupted
+// jobs are re-enqueued (deduplicated against recovered results) while
+// finished jobs stay pollable under their old IDs. -wal-sync picks the
+// fsync policy: "always" (default; no accepted record lost even to a
+// machine crash), "interval" (bounded loss window, lower latency), or
+// "off" (process-crash safe only). Without -store-dir the service is
+// volatile, as before.
 //
 // Observability: GET /metrics serves the Prometheus text exposition of
 // every queue/cache/pipeline/HTTP series, GET /statsz the JSON view.
@@ -37,8 +47,10 @@ import (
 	"time"
 
 	"relsyn"
+	"relsyn/internal/obs"
 	"relsyn/internal/pipeline"
 	"relsyn/internal/server"
+	"relsyn/internal/store"
 	"relsyn/internal/tt"
 )
 
@@ -67,6 +79,8 @@ type daemonConfig struct {
 	pprofAddr    string
 	drainTimeout time.Duration
 	kernels      bool
+	storeDir     string
+	walSync      string
 	server       server.Config
 	budget       budgetDefaults
 }
@@ -99,6 +113,8 @@ func parseFlags(args []string, stderr io.Writer) (*daemonConfig, error) {
 	fs.IntVar(&cfg.budget.maxAIGNodes, "max-aig-nodes", 0, "default AIG node budget for jobs that carry none (0 = unlimited)")
 	fs.IntVar(&cfg.budget.parallelism, "j", 0, "default per-job analysis parallelism for jobs that carry none (0 = GOMAXPROCS, 1 = sequential)")
 	fs.BoolVar(&cfg.kernels, "kernels", true, "use word-parallel bitset kernels process-wide (false = bit-identical scalar paths); per-job override via the \"kernels\" wire option")
+	fs.StringVar(&cfg.storeDir, "store-dir", "", "directory for the durable job store (empty = volatile, no durability)")
+	fs.StringVar(&cfg.walSync, "wal-sync", "always", "WAL fsync policy: always, interval, or off")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -109,6 +125,10 @@ func parseFlags(args []string, stderr io.Writer) (*daemonConfig, error) {
 	if cfg.budget.parallelism < 0 {
 		fs.Usage()
 		return nil, fmt.Errorf("-j must be >= 0, got %d", cfg.budget.parallelism)
+	}
+	if _, err := store.ParseSyncMode(cfg.walSync); err != nil {
+		fs.Usage()
+		return nil, err
 	}
 	return cfg, nil
 }
@@ -155,6 +175,30 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 	relsyn.SetKernels(cfg.kernels)
 	cfg.server.Backend = cfg.budget.backend()
 
+	// Durable store: opened (replaying any crash leftovers) before the
+	// server exists, recovered into it before the listener takes traffic.
+	var st *store.Store
+	var recovered []store.Record
+	if cfg.storeDir != "" {
+		mode, _ := store.ParseSyncMode(cfg.walSync) // validated in parseFlags
+		reg := cfg.server.Metrics
+		if reg == nil {
+			reg = obs.Default // same registry server.New defaults to
+		}
+		var err error
+		st, recovered, err = store.Open(store.Options{
+			Dir:     cfg.storeDir,
+			Sync:    mode,
+			Metrics: reg,
+		})
+		if err != nil {
+			// store errors are already "store: ..."-prefixed.
+			fmt.Fprintf(stderr, "relsynd: %v\n", err)
+			return 1
+		}
+		cfg.server.Store = st
+	}
+
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		fmt.Fprintf(stderr, "relsynd: listen: %v\n", err)
@@ -162,6 +206,12 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 	}
 
 	srv := server.New(cfg.server)
+	if st != nil {
+		rs := srv.Recover(recovered)
+		fmt.Fprintf(stdout,
+			"relsynd: store %s recovered %d records (requeued %d, deduped %d, unreplayable %d)\n",
+			cfg.storeDir, len(recovered), rs.Requeued, rs.Deduped, rs.Failed)
+	}
 	httpSrv := &http.Server{
 		Handler:           srv.Handler(),
 		ReadHeaderTimeout: 10 * time.Second,
@@ -219,6 +269,16 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 
 	drainErr := srv.Drain(drainCtx)
 	shutErr := httpSrv.Shutdown(drainCtx)
+	if st != nil {
+		// Every drained job is terminal in the WAL; compact it so the next
+		// start replays a snapshot instead of the whole log.
+		if err := st.Checkpoint(); err != nil {
+			fmt.Fprintf(stderr, "relsynd: store checkpoint: %v\n", err)
+		}
+		if err := st.Close(); err != nil {
+			fmt.Fprintf(stderr, "relsynd: store close: %v\n", err)
+		}
+	}
 	if drainErr != nil || (shutErr != nil && !errors.Is(shutErr, context.Canceled) && !errors.Is(shutErr, context.DeadlineExceeded)) {
 		if drainErr != nil {
 			fmt.Fprintf(stderr, "relsynd: drain: %v\n", drainErr)

@@ -1,0 +1,280 @@
+package chaos_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"relsyn/internal/chaos"
+	"relsyn/internal/jobqueue"
+	"relsyn/internal/obs"
+	"relsyn/internal/pipeline"
+	"relsyn/internal/store"
+	"relsyn/internal/tt"
+)
+
+func TestTriggerOrdinals(t *testing.T) {
+	cases := []struct {
+		name  string
+		trig  *chaos.Trigger
+		calls int
+		want  []int // 1-based ordinals that must fire
+	}{
+		{"zero value never fires", &chaos.Trigger{}, 5, nil},
+		{"on 3 fires once", &chaos.Trigger{On: 3}, 6, []int{3}},
+		{"on 2 count 3", &chaos.Trigger{On: 2, Count: 3}, 6, []int{2, 3, 4}},
+		{"on 4 forever", &chaos.Trigger{On: 4, Count: -1}, 7, []int{4, 5, 6, 7}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var fired []int
+			for i := 1; i <= tc.calls; i++ {
+				if tc.trig.Fire() {
+					fired = append(fired, i)
+				}
+			}
+			if fmt.Sprint(fired) != fmt.Sprint(tc.want) {
+				t.Fatalf("fired on %v, want %v", fired, tc.want)
+			}
+			if tc.trig.Fired() != len(tc.want) {
+				t.Fatalf("Fired() = %d, want %d", tc.trig.Fired(), len(tc.want))
+			}
+		})
+	}
+	var nilTrig *chaos.Trigger
+	if nilTrig.Fire() || nilTrig.Fired() != 0 {
+		t.Fatal("nil trigger must be inert")
+	}
+}
+
+func TestInjectedErrors(t *testing.T) {
+	err := chaos.Injected("write")
+	if !chaos.IsInjected(err) {
+		t.Fatal("IsInjected(Injected(...)) = false")
+	}
+	if !chaos.IsInjected(fmt.Errorf("outer: %w", err)) {
+		t.Fatal("IsInjected must see through wrapping")
+	}
+	if chaos.IsInjected(errors.New("organic failure")) {
+		t.Fatal("IsInjected claimed an organic error")
+	}
+	if chaos.IsInjected(nil) {
+		t.Fatal("IsInjected(nil) = true")
+	}
+}
+
+// TestTornWriteRecovered injects a torn write into a real store's WAL
+// append — the power-cut-mid-write artifact — and proves the next Open
+// truncates the torn tail and keeps every record that was fully framed.
+func TestTornWriteRecovered(t *testing.T) {
+	dir := t.TempDir()
+	faults := &chaos.FSFaults{TornWrite: &chaos.Trigger{On: 3}}
+	st, _, err := store.Open(store.Options{Dir: dir, FS: chaos.FS(store.OSFS{}, faults)})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	if err := st.Append(store.Record{ID: "a", Status: store.StatusQueued}); err != nil {
+		t.Fatalf("append a: %v", err)
+	}
+	if err := st.Append(store.Record{ID: "b", Status: store.StatusQueued}); err != nil {
+		t.Fatalf("append b: %v", err)
+	}
+	// Third append tears: half the frame lands on disk, then the error
+	// surfaces to the caller (whose breaker would record it).
+	err = st.Append(store.Record{ID: "c", Status: store.StatusQueued})
+	if !chaos.IsInjected(err) {
+		t.Fatalf("torn append error = %v, want injected", err)
+	}
+	st.Close()
+
+	st2, recs, err := store.Open(store.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("reopen after torn write: %v", err)
+	}
+	defer st2.Close()
+	if len(recs) != 2 {
+		t.Fatalf("recovered %d records, want 2 (torn frame dropped)", len(recs))
+	}
+	if st2.Stats().TornTails != 1 {
+		t.Fatalf("TornTails = %d, want 1", st2.Stats().TornTails)
+	}
+	// The store must be fully usable after absorbing the tear.
+	if err := st2.Append(store.Record{ID: "d", Status: store.StatusQueued}); err != nil {
+		t.Fatalf("append after recovery: %v", err)
+	}
+}
+
+func TestSyncErrorSurfaces(t *testing.T) {
+	faults := &chaos.FSFaults{SyncErr: &chaos.Trigger{On: 1, Count: -1}}
+	st, _, err := store.Open(store.Options{Dir: t.TempDir(), FS: chaos.FS(store.OSFS{}, faults)})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer st.Close()
+	err = st.Append(store.Record{ID: "a", Status: store.StatusQueued})
+	if !chaos.IsInjected(err) {
+		t.Fatalf("append under fsync fault = %v, want injected", err)
+	}
+	if st.Stats().AppendErrors != 1 {
+		t.Fatalf("AppendErrors = %d, want 1", st.Stats().AppendErrors)
+	}
+}
+
+// TestSyncErrorOpensBreaker wires the chaos FS, a real store, and the
+// breaker together: persistent fsync failures must trip the circuit
+// open, and a healthy probe after cooldown must close it.
+func TestSyncErrorOpensBreaker(t *testing.T) {
+	faults := &chaos.FSFaults{SyncErr: &chaos.Trigger{On: 1, Count: 3}}
+	st, _, err := store.Open(store.Options{Dir: t.TempDir(), FS: chaos.FS(store.OSFS{}, faults)})
+	if err != nil {
+		t.Fatalf("Open: %v", err)
+	}
+	defer st.Close()
+	b := store.NewBreaker(3, time.Second)
+	now := time.Unix(0, 0)
+	b.SetClock(func() time.Time { return now })
+
+	appends := 0
+	for i := 0; i < 10; i++ {
+		if !b.Allow() {
+			break
+		}
+		appends++
+		b.Record(st.Append(store.Record{ID: fmt.Sprintf("j%d", i), Status: store.StatusQueued}))
+	}
+	if appends != 3 {
+		t.Fatalf("breaker admitted %d appends before opening, want 3", appends)
+	}
+	if b.State() != store.BreakerOpen {
+		t.Fatalf("breaker state = %s, want open", b.State())
+	}
+	// Cooldown passes; the fault script is exhausted, so the half-open
+	// probe succeeds and the circuit closes.
+	now = now.Add(2 * time.Second)
+	if !b.Allow() {
+		t.Fatal("breaker refused the post-cooldown probe")
+	}
+	b.Record(st.Append(store.Record{ID: "probe", Status: store.StatusQueued}))
+	if b.State() != store.BreakerClosed {
+		t.Fatalf("breaker state after healthy probe = %s, want closed", b.State())
+	}
+}
+
+func TestQueueReject(t *testing.T) {
+	q := jobqueue.NewWithRegistry(8, obs.NewRegistry())
+	q.SetFaultHook(&chaos.QueueFaults{Reject: &chaos.Trigger{On: 2}})
+	if err := q.Enqueue(&jobqueue.Item{ID: "a"}); err != nil {
+		t.Fatalf("first enqueue: %v", err)
+	}
+	err := q.Enqueue(&jobqueue.Item{ID: "b"})
+	if !errors.Is(err, jobqueue.ErrFull) {
+		t.Fatalf("injected rejection = %v, want ErrFull (backpressure path)", err)
+	}
+	if err := q.Enqueue(&jobqueue.Item{ID: "c"}); err != nil {
+		t.Fatalf("third enqueue: %v", err)
+	}
+	if s := q.Stats(); s.Len != 2 || s.Rejected != 1 {
+		t.Fatalf("stats = %+v, want len 2 rejected 1", s)
+	}
+}
+
+// TestQueueDropFiresExpiry proves a chaos-dropped item still terminates
+// its waiters: the drop routes through OnExpire, the same path a
+// deadline expiry takes, so the owner can fail the job.
+func TestQueueDropFiresExpiry(t *testing.T) {
+	q := jobqueue.NewWithRegistry(8, obs.NewRegistry())
+	q.SetFaultHook(&chaos.QueueFaults{Drop: &chaos.Trigger{On: 1}})
+	expired := make(chan string, 2)
+	for _, id := range []string{"a", "b"} {
+		id := id
+		if err := q.Enqueue(&jobqueue.Item{ID: id, OnExpire: func() { expired <- id }}); err != nil {
+			t.Fatalf("enqueue %s: %v", id, err)
+		}
+	}
+	it, err := q.Dequeue(context.Background())
+	if err != nil {
+		t.Fatalf("dequeue: %v", err)
+	}
+	// The first item was dropped; the dequeuer transparently got the
+	// second, and the dropped item's expiry hook fired.
+	if it.ID != "b" {
+		t.Fatalf("delivered %s, want b (a dropped)", it.ID)
+	}
+	select {
+	case id := <-expired:
+		if id != "a" {
+			t.Fatalf("expired %s, want a", id)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("dropped item's OnExpire never fired")
+	}
+	if s := q.Stats(); s.Dropped != 1 || s.Dequeued != 1 {
+		t.Fatalf("stats = %+v, want dropped 1 dequeued 1", s)
+	}
+}
+
+func TestQueueLatency(t *testing.T) {
+	q := jobqueue.NewWithRegistry(8, obs.NewRegistry())
+	q.SetFaultHook(&chaos.QueueFaults{
+		LatencyOn: &chaos.Trigger{On: 1},
+		Latency:   30 * time.Millisecond,
+	})
+	if err := q.Enqueue(&jobqueue.Item{ID: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	if _, err := q.Dequeue(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delivery took %v, want >= 30ms of injected latency", d)
+	}
+}
+
+func TestWorkerFaults(t *testing.T) {
+	inner := func(ctx context.Context, f *tt.Function, opt pipeline.JobOptions) (*pipeline.JobResult, error) {
+		return &pipeline.JobResult{}, nil
+	}
+
+	t.Run("fail", func(t *testing.T) {
+		b := chaos.Backend(inner, &chaos.WorkerFaults{Fail: &chaos.Trigger{On: 2}})
+		if _, err := b(context.Background(), nil, pipeline.JobOptions{}); err != nil {
+			t.Fatalf("call 1: %v", err)
+		}
+		if _, err := b(context.Background(), nil, pipeline.JobOptions{}); !chaos.IsInjected(err) {
+			t.Fatalf("call 2 = %v, want injected", err)
+		}
+		if _, err := b(context.Background(), nil, pipeline.JobOptions{}); err != nil {
+			t.Fatalf("call 3: %v", err)
+		}
+	})
+
+	t.Run("panic", func(t *testing.T) {
+		b := chaos.Backend(inner, &chaos.WorkerFaults{Panic: &chaos.Trigger{On: 1}})
+		defer func() {
+			if recover() == nil {
+				t.Fatal("backend did not panic")
+			}
+		}()
+		_, _ = b(context.Background(), nil, pipeline.JobOptions{})
+	})
+
+	t.Run("stall cut by context", func(t *testing.T) {
+		b := chaos.Backend(inner, &chaos.WorkerFaults{
+			StallOn: &chaos.Trigger{On: 1},
+			Stall:   time.Minute,
+		})
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		defer cancel()
+		start := time.Now()
+		_, err := b(ctx, nil, pipeline.JobOptions{})
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("stalled call = %v, want DeadlineExceeded", err)
+		}
+		if time.Since(start) > 5*time.Second {
+			t.Fatal("stall ignored the context deadline")
+		}
+	})
+}

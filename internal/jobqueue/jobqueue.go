@@ -75,6 +75,24 @@ type Stats struct {
 	Dequeued int64 `json:"dequeued"` // items handed to consumers
 	Rejected int64 `json:"rejected"` // ErrFull admissions
 	Expired  int64 `json:"expired"`  // deadline drops
+	Dropped  int64 `json:"dropped"`  // fault-hook drops (chaos)
+}
+
+// FaultHook intercepts queue operations for fault injection
+// (internal/chaos). Both methods run outside the queue lock and must be
+// safe for concurrent use. A nil hook (the default) is a no-op.
+type FaultHook interface {
+	// Admit may veto an Enqueue before the item is considered: a non-nil
+	// error is returned to the caller verbatim (wrap ErrFull to exercise
+	// the backpressure path).
+	Admit(it *Item) error
+	// Deliver runs as a dequeued item is about to be handed to a
+	// consumer. Returning false drops the item: it is counted under
+	// relsyn_queue_rejections_total{reason="dropped"} and its OnExpire
+	// hook fires, so the item's waiters still reach a terminal state
+	// through the owner's deadline machinery. Deliver may sleep to
+	// inject queue latency.
+	Deliver(it *Item) bool
 }
 
 // queueMetrics are the queue's exported series. Counters are the
@@ -85,6 +103,7 @@ type queueMetrics struct {
 	dequeued      obs.Counter
 	rejectFull    obs.Counter
 	rejectExpired obs.Counter
+	rejectDropped obs.Counter
 	wait          obs.Histogram // seconds between Enqueue and Dequeue
 }
 
@@ -98,6 +117,9 @@ type Queue struct {
 	closed bool
 	maxLen int
 	m      queueMetrics
+
+	hookMu sync.RWMutex
+	hook   FaultHook
 }
 
 // New returns an empty queue with the given capacity (minimum 1),
@@ -128,16 +150,45 @@ func NewWithRegistry(depth int, reg *obs.Registry) *Queue {
 		reg.RegisterCounter("relsyn_queue_dequeued_total", &q.m.dequeued)
 		reg.RegisterCounter("relsyn_queue_rejections_total", &q.m.rejectFull, obs.L("reason", "full"))
 		reg.RegisterCounter("relsyn_queue_rejections_total", &q.m.rejectExpired, obs.L("reason", "expired"))
+		reg.RegisterCounter("relsyn_queue_rejections_total", &q.m.rejectDropped, obs.L("reason", "dropped"))
 		reg.RegisterHistogram("relsyn_queue_wait_seconds", &q.m.wait)
 	}
 	return q
 }
 
+// SetFaultHook installs (or, with nil, removes) the fault-injection
+// hook. Intended for chaos tests; call before the queue is shared or
+// accept that in-flight operations may miss the change.
+func (q *Queue) SetFaultHook(h FaultHook) {
+	q.hookMu.Lock()
+	q.hook = h
+	q.hookMu.Unlock()
+}
+
+func (q *Queue) faultHook() FaultHook {
+	q.hookMu.RLock()
+	defer q.hookMu.RUnlock()
+	return q.hook
+}
+
 // Enqueue admits it or fails fast with ErrFull / ErrClosed. It never
-// blocks.
+// blocks. Enqueue is safe to call concurrently with Close: an admission
+// racing a shutdown loses with the typed ErrClosed, never a panic — the
+// queue's waiter wakeup is a mutex-guarded replace-on-close channel, so
+// no send ever races a close.
 func (q *Queue) Enqueue(it *Item) error {
 	if it == nil {
 		return errors.New("jobqueue: nil item")
+	}
+	if h := q.faultHook(); h != nil {
+		if err := h.Admit(it); err != nil {
+			if errors.Is(err, ErrFull) {
+				q.m.rejectFull.Inc()
+			} else {
+				q.m.rejectDropped.Inc()
+			}
+			return err
+		}
 	}
 	q.mu.Lock()
 	defer q.mu.Unlock()
@@ -172,6 +223,7 @@ func (q *Queue) Dequeue(ctx context.Context) (*Item, error) {
 	for {
 		q.mu.Lock()
 		var expired []*Item
+		var deliver *Item
 		for len(q.h) > 0 {
 			it := heap.Pop(&q.h).(*Item)
 			if it.Ctx != nil && it.Ctx.Err() != nil {
@@ -179,11 +231,26 @@ func (q *Queue) Dequeue(ctx context.Context) (*Item, error) {
 				expired = append(expired, it)
 				continue
 			}
-			q.m.dequeued.Inc()
-			q.m.wait.Observe(time.Since(it.EnqueuedAt).Seconds())
+			deliver = it
+			break
+		}
+		if deliver != nil {
 			q.mu.Unlock()
 			runExpiry(expired)
-			return it, nil
+			// The fault hook runs outside the lock: it may sleep (latency
+			// injection) or drop the item (lossy-queue fault). A dropped
+			// item still fires OnExpire so its waiters reach a terminal
+			// state through the owner's deadline machinery.
+			if h := q.faultHook(); h != nil && !h.Deliver(deliver) {
+				q.m.rejectDropped.Inc()
+				if deliver.OnExpire != nil {
+					deliver.OnExpire()
+				}
+				continue
+			}
+			q.m.dequeued.Inc()
+			q.m.wait.Observe(time.Since(deliver.EnqueuedAt).Seconds())
+			return deliver, nil
 		}
 		closed := q.closed
 		ch := q.notify
@@ -239,6 +306,7 @@ func (q *Queue) Stats() Stats {
 		Dequeued: q.m.dequeued.Value(),
 		Rejected: q.m.rejectFull.Value(),
 		Expired:  q.m.rejectExpired.Value(),
+		Dropped:  q.m.rejectDropped.Value(),
 	}
 }
 

@@ -366,3 +366,85 @@ func TestNilItemAndTinyDepth(t *testing.T) {
 		t.Fatalf("depth %d", q.Stats().Depth)
 	}
 }
+
+// TestCloseEnqueueRaceStress hammers Enqueue from many goroutines while
+// Close fires mid-storm. The contract under test: an admission racing a
+// shutdown loses with the typed ErrClosed (or the queue was still full),
+// never a panic or an untyped error, and every successfully admitted
+// item is either dequeued or still countable — nothing is lost.
+func TestCloseEnqueueRaceStress(t *testing.T) {
+	for round := 0; round < 20; round++ {
+		q := NewWithRegistry(64, obs.NewRegistry())
+		const producers = 8
+		var admitted atomic.Int64
+		var wg sync.WaitGroup
+		start := make(chan struct{})
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func(p int) {
+				defer wg.Done()
+				<-start
+				for i := 0; ; i++ {
+					err := q.Enqueue(&Item{ID: fmt.Sprintf("p%d-%d", p, i)})
+					switch {
+					case err == nil:
+						admitted.Add(1)
+					case errors.Is(err, ErrClosed):
+						return
+					case errors.Is(err, ErrFull):
+						// Backpressure; keep hammering until Close lands.
+					default:
+						t.Errorf("Enqueue returned untyped error: %v", err)
+						return
+					}
+				}
+			}(p)
+		}
+		// One consumer drains so ErrFull doesn't stall the storm.
+		var drained atomic.Int64
+		consumerDone := make(chan struct{})
+		go func() {
+			defer close(consumerDone)
+			for {
+				if _, err := q.Dequeue(context.Background()); err != nil {
+					return // ErrClosed after drain
+				}
+				drained.Add(1)
+			}
+		}()
+		close(start)
+		time.Sleep(time.Duration(round%5) * 100 * time.Microsecond)
+		q.Close()
+		wg.Wait()
+		<-consumerDone
+		if got := drained.Load(); got != admitted.Load() {
+			t.Fatalf("round %d: admitted %d items but drained %d", round, admitted.Load(), got)
+		}
+	}
+}
+
+// nopHook is a FaultHook that admits and delivers everything, proving
+// the hook plumbing itself perturbs nothing.
+type nopHook struct{}
+
+func (nopHook) Admit(*Item) error  { return nil }
+func (nopHook) Deliver(*Item) bool { return true }
+
+func TestFaultHookNopAndReset(t *testing.T) {
+	q := NewWithRegistry(4, obs.NewRegistry())
+	q.SetFaultHook(nopHook{})
+	if err := q.Enqueue(&Item{ID: "a"}); err != nil {
+		t.Fatalf("enqueue through nop hook: %v", err)
+	}
+	it, err := q.Dequeue(context.Background())
+	if err != nil || it.ID != "a" {
+		t.Fatalf("dequeue through nop hook = %v, %v", it, err)
+	}
+	q.SetFaultHook(nil) // removal restores the unhooked fast path
+	if err := q.Enqueue(&Item{ID: "b"}); err != nil {
+		t.Fatalf("enqueue after hook removal: %v", err)
+	}
+	if s := q.Stats(); s.Dropped != 0 {
+		t.Fatalf("nop hook dropped %d items", s.Dropped)
+	}
+}

@@ -7,7 +7,8 @@
 //	                      202 + job id for later polling
 //	POST /v1/synth/batch  submit many jobs ({"jobs": [...]}), wait for all
 //	GET  /v1/jobs/{id}    poll a job
-//	GET  /healthz         liveness; 503 + "draining" during shutdown
+//	GET  /healthz         health JSON: {"status":"ok"|"degraded"|"draining",
+//	                      "reasons":[...]}; 503 only while draining
 //	GET  /statsz          queue/worker/cache counters as JSON
 //	GET  /metrics         Prometheus text exposition (obs registry)
 //
@@ -168,7 +169,7 @@ func (s *Server) submitRequest(req *SynthRequest) (*SubmitOutcome, *SynthRespons
 	if err != nil {
 		return nil, &SynthResponse{Status: "invalid", Error: fmt.Sprintf("parse pla: %v", err)}
 	}
-	out, err := s.Submit(fn, hash, req.Options, req.Priority)
+	out, err := s.SubmitSpec(fn, hash, req.PLA, req.Options, req.Priority)
 	switch {
 	case errors.Is(err, ErrQueueFull):
 		return nil, &SynthResponse{Status: "rejected", Error: err.Error()}
@@ -278,12 +279,17 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, respond(js, false, false))
 }
 
+// handleHealthz reports ok / degraded / draining with a JSON body.
+// Draining maps to 503 (stop routing here); degraded stays 200 — the
+// service still serves, but the body tells operators it is shedding
+// durability (store circuit open) or saturated (queue full).
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	if s.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-		return
+	h := s.Health()
+	code := http.StatusOK
+	if h.Status == "draining" {
+		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	writeJSON(w, code, h)
 }
 
 func (s *Server) handleStatsz(w http.ResponseWriter, _ *http.Request) {

@@ -25,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -34,6 +35,8 @@ import (
 	"relsyn/internal/lru"
 	"relsyn/internal/obs"
 	"relsyn/internal/pipeline"
+	"relsyn/internal/pla"
+	"relsyn/internal/store"
 	"relsyn/internal/tt"
 )
 
@@ -43,6 +46,9 @@ var (
 	ErrQueueFull = errors.New("server: queue full")
 	// ErrDraining reports that the server no longer admits work.
 	ErrDraining = errors.New("server: draining")
+	// ErrBackendPanic wraps a panic recovered from the job backend: the
+	// job fails, the worker survives.
+	ErrBackendPanic = errors.New("server: backend panic")
 )
 
 // Backend executes one synthesis job. The default is pipeline.RunJob;
@@ -73,6 +79,16 @@ type Config struct {
 	MaxJobStates int
 	// Backend overrides the job executor (default pipeline.RunJob).
 	Backend Backend
+	// Store, when non-nil, makes accepted jobs durable: every lifecycle
+	// transition is appended to the store's WAL, and Recover re-admits
+	// interrupted work after a restart. nil keeps the pre-durability
+	// volatile behavior.
+	Store *store.Store
+	// Breaker guards Store appends; persistent failures open it and the
+	// server degrades to in-memory serving (relsyn_store_degraded=1)
+	// instead of failing requests. Default: store.NewBreaker(0, 0)
+	// (3 consecutive failures, 5s cooldown) when Store is set.
+	Breaker *store.Breaker
 	// Metrics is the observability registry the server (and its queue,
 	// cache, and singleflight group) exports on GET /metrics. Default:
 	// obs.Default, which also carries the pipeline stage metrics. Tests
@@ -137,9 +153,25 @@ type jobState struct {
 	err      string
 	created  time.Time
 	finished time.Time
+	// aliases are additional durable job IDs coalesced onto this state
+	// during crash recovery; terminal persistence covers them too, so a
+	// recovered duplicate's record does not stay "queued" forever.
+	aliases []string
 
 	done   chan struct{}
 	cancel context.CancelFunc
+}
+
+func (js *jobState) addAlias(id string) {
+	js.mu.Lock()
+	js.aliases = append(js.aliases, id)
+	js.mu.Unlock()
+}
+
+func (js *jobState) aliasIDs() []string {
+	js.mu.Lock()
+	defer js.mu.Unlock()
+	return append([]string(nil), js.aliases...)
 }
 
 func (js *jobState) setRunning() {
@@ -212,9 +244,11 @@ type Server struct {
 	baseCtx context.Context
 	stop    context.CancelFunc
 
-	queue *jobqueue.Queue
-	cache *lru.Cache[string, *pipeline.JobResult]
-	inFly flight.Group[*jobState]
+	queue   *jobqueue.Queue
+	cache   *lru.Cache[string, *pipeline.JobResult]
+	inFly   flight.Group[*jobState]
+	st      *store.Store
+	breaker *store.Breaker
 
 	mu       sync.Mutex
 	jobs     map[string]*jobState
@@ -243,6 +277,14 @@ func New(cfg Config) *Server {
 	}
 	s.cache.Instrument(reg, "results")
 	s.inFly.Instrument(reg, "synth")
+	if cfg.Store != nil {
+		s.st = cfg.Store
+		s.breaker = cfg.Breaker
+		if s.breaker == nil {
+			s.breaker = store.NewBreaker(0, 0)
+		}
+		s.breaker.Instrument(reg)
+	}
 	reg.SetHelp("relsyn_jobs_submitted_total", "Jobs submitted (before cache/coalesce short-circuits).")
 	reg.SetHelp("relsyn_jobs_completed_total", "Jobs that ran to a successful result.")
 	reg.SetHelp("relsyn_jobs_failed_total", "Jobs whose backend returned an error.")
@@ -282,7 +324,18 @@ type SubmitOutcome struct {
 // Submit admits one job: cache lookup, in-flight coalescing, then queue
 // admission. The returned state's done channel closes when the result
 // (or error) is available. priority orders the queue (higher first).
+// With a durable store configured, the spec is re-serialized from fn for
+// persistence; callers that hold the original .pla text should prefer
+// SubmitSpec, which persists it verbatim.
 func (s *Server) Submit(fn *tt.Function, specHash string, jo pipeline.JobOptions, priority int) (*SubmitOutcome, error) {
+	return s.SubmitSpec(fn, specHash, "", jo, priority)
+}
+
+// SubmitSpec is Submit with the specification's .pla text, persisted on
+// the job's durable record so crash recovery can re-parse and re-enqueue
+// it. An empty specPLA is serialized from fn on demand (only when a
+// store is configured).
+func (s *Server) SubmitSpec(fn *tt.Function, specHash, specPLA string, jo pipeline.JobOptions, priority int) (*SubmitOutcome, error) {
 	if s.draining.Load() {
 		return nil, ErrDraining
 	}
@@ -306,40 +359,19 @@ func (s *Server) Submit(fn *tt.Function, specHash string, jo pipeline.JobOptions
 	if res, ok := s.cache.Get(key); ok {
 		js := s.completedState(key, res)
 		s.register(js)
+		// Durable trail for /v1/jobs/{id} across restarts. The result is
+		// not repeated on the record: recovery resolves it through the
+		// cache by key.
+		s.persist(store.Record{
+			ID: js.id, Key: key, Status: store.StatusDone,
+			CreatedUnixMs:  js.created.UnixMilli(),
+			FinishedUnixMs: js.finished.UnixMilli(),
+		})
 		return &SubmitOutcome{Job: js, Cached: true}, nil
 	}
 
 	js, started, err := s.inFly.Do(key, func() (*jobState, error) {
-		js := &jobState{
-			id:      newJobID(),
-			key:     key,
-			status:  StatusQueued,
-			created: time.Now(),
-			done:    make(chan struct{}),
-		}
-		ctx, cancel := context.WithTimeout(s.baseCtx,
-			time.Duration(jo.TimeoutMs)*time.Millisecond)
-		js.cancel = cancel
-		item := &jobqueue.Item{
-			ID:       js.id,
-			Priority: priority,
-			Ctx:      ctx,
-			Payload:  &work{state: js, ctx: ctx, fn: fn, opts: jo},
-			OnExpire: func() { s.expireJob(js) },
-		}
-		if err := s.queue.Enqueue(item); err != nil {
-			cancel()
-			switch {
-			case errors.Is(err, jobqueue.ErrFull):
-				s.c.rejected.Inc()
-				return nil, ErrQueueFull
-			case errors.Is(err, jobqueue.ErrClosed):
-				return nil, ErrDraining
-			default:
-				return nil, err
-			}
-		}
-		return js, nil
+		return s.enqueueJob(newJobID(), key, fn, jo, priority)
 	})
 	if err != nil {
 		return nil, err
@@ -349,7 +381,104 @@ func (s *Server) Submit(fn *tt.Function, specHash string, jo pipeline.JobOptions
 		return &SubmitOutcome{Job: js, Coalesced: true}, nil
 	}
 	s.register(js)
+	s.persist(store.Record{
+		ID: js.id, Key: key, Status: store.StatusQueued,
+		Priority:      priority,
+		SpecPLA:       s.specText(fn, specPLA),
+		Options:       &jo,
+		CreatedUnixMs: js.created.UnixMilli(),
+	})
 	return &SubmitOutcome{Job: js}, nil
+}
+
+// enqueueJob creates the jobState for one leader job and admits it to
+// the queue. Runs under the flight-group lock; it must not call back
+// into the group.
+func (s *Server) enqueueJob(id, key string, fn *tt.Function, jo pipeline.JobOptions, priority int) (*jobState, error) {
+	js := &jobState{
+		id:      id,
+		key:     key,
+		status:  StatusQueued,
+		created: time.Now(),
+		done:    make(chan struct{}),
+	}
+	ctx, cancel := context.WithTimeout(s.baseCtx,
+		time.Duration(jo.TimeoutMs)*time.Millisecond)
+	js.cancel = cancel
+	item := &jobqueue.Item{
+		ID:       js.id,
+		Priority: priority,
+		Ctx:      ctx,
+		Payload:  &work{state: js, ctx: ctx, fn: fn, opts: jo},
+		OnExpire: func() { s.expireJob(js) },
+	}
+	if err := s.queue.Enqueue(item); err != nil {
+		cancel()
+		switch {
+		case errors.Is(err, jobqueue.ErrFull):
+			s.c.rejected.Inc()
+			return nil, ErrQueueFull
+		case errors.Is(err, jobqueue.ErrClosed):
+			return nil, ErrDraining
+		default:
+			return nil, err
+		}
+	}
+	return js, nil
+}
+
+// specText returns the .pla text to persist for fn: the caller's
+// original text when available, otherwise a re-serialization. Returns ""
+// (skipping the work) when no store is configured.
+func (s *Server) specText(fn *tt.Function, specPLA string) string {
+	if s.st == nil {
+		return ""
+	}
+	if specPLA != "" {
+		return specPLA
+	}
+	var sb strings.Builder
+	if err := pla.FromFunction(fn, nil, nil).Write(&sb); err != nil {
+		return "" // recovery will mark the record unreplayable
+	}
+	return sb.String()
+}
+
+// persist appends one record to the durable store through the circuit
+// breaker. With no store configured, or with the breaker open (store
+// degraded), it is a no-op — durability degrades, serving never does.
+func (s *Server) persist(rec store.Record) {
+	if s.st == nil {
+		return
+	}
+	if !s.breaker.Allow() {
+		return
+	}
+	s.breaker.Record(s.st.Append(rec))
+}
+
+// persistFinish appends the terminal record for js (and any recovery
+// aliases coalesced onto it). The result payload is persisted only for
+// successful completions; failures persist the message.
+func (s *Server) persistFinish(js *jobState, status string, res *pipeline.JobResult, err error) {
+	if s.st == nil {
+		return
+	}
+	rec := store.Record{
+		Key: js.key, Status: status,
+		FinishedUnixMs: time.Now().UnixMilli(),
+	}
+	if status == StatusDone {
+		rec.Result = res
+	}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	for _, id := range append([]string{js.id}, js.aliasIDs()...) {
+		r := rec
+		r.ID = id
+		s.persist(r)
+	}
 }
 
 // Lookup returns the job registered under id.
@@ -362,11 +491,15 @@ func (s *Server) Lookup(id string) (*jobState, bool) {
 
 // register adds js to the bounded job registry, evicting the oldest
 // finished entries beyond MaxJobStates.
-func (s *Server) register(js *jobState) {
+func (s *Server) register(js *jobState) { s.registerAs(js.id, js) }
+
+// registerAs registers js under an explicit id — recovery aliases a
+// coalesced record's durable ID onto the surviving in-flight state.
+func (s *Server) registerAs(id string, js *jobState) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	s.jobs[js.id] = js
-	s.jobOrder = append(s.jobOrder, js.id)
+	s.jobs[id] = js
+	s.jobOrder = append(s.jobOrder, id)
 	for len(s.jobOrder) > s.cfg.MaxJobStates {
 		oldest := s.jobOrder[0]
 		if old, ok := s.jobs[oldest]; ok && !old.isFinished() {
@@ -397,7 +530,9 @@ func (s *Server) completedState(key string, res *pipeline.JobResult) *jobState {
 // waiters' error is typed: errors.Is(err, jobqueue.ErrExpired) holds.
 func (s *Server) expireJob(js *jobState) {
 	s.c.expired.Inc()
-	js.finish(StatusExpired, nil, fmt.Errorf("server: job %s: %w", js.id, jobqueue.ErrExpired))
+	err := fmt.Errorf("server: job %s: %w", js.id, jobqueue.ErrExpired)
+	js.finish(StatusExpired, nil, err)
+	s.persistFinish(js, StatusExpired, nil, err)
 	s.inFly.Forget(js.key)
 }
 
@@ -433,17 +568,189 @@ func (s *Server) runJob(w *work) {
 		return
 	}
 	js.setRunning()
-	res, err := s.cfg.Backend(w.ctx, w.fn, w.opts)
+	s.persist(store.Record{ID: js.id, Key: js.key, Status: store.StatusRunning})
+	res, err := s.callBackend(w)
 	if err != nil {
 		s.c.failed.Inc()
 		js.finish(StatusFailed, res, err)
+		s.persistFinish(js, StatusFailed, res, err)
 		s.inFly.Forget(js.key)
 		return
 	}
 	s.c.completed.Inc()
 	s.cache.Add(js.key, res)
 	js.finish(StatusDone, res, nil)
+	s.persistFinish(js, StatusDone, res, nil)
 	s.inFly.Forget(js.key)
+}
+
+// callBackend shields the worker pool from a panicking backend: the
+// panic becomes a job failure wrapping ErrBackendPanic instead of
+// killing the process (the chaos harness injects exactly this fault).
+func (s *Server) callBackend(w *work) (res *pipeline.JobResult, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			res, err = nil, fmt.Errorf("%w: %v", ErrBackendPanic, r)
+		}
+	}()
+	return s.cfg.Backend(w.ctx, w.fn, w.opts)
+}
+
+// RecoveryStats reports what Recover did with the store's records.
+type RecoveryStats struct {
+	// Restored terminal records re-registered for /v1/jobs/{id} (done
+	// results also re-primed the cache).
+	Restored int
+	// Requeued interrupted (queued/running) jobs re-admitted to the
+	// queue, after coalescing duplicates and cache hits.
+	Requeued int
+	// Deduped interrupted jobs satisfied without recomputation: joined
+	// an identical requeued job or completed from a recovered result.
+	Deduped int
+	// Failed records that could not be replayed (unparseable spec or a
+	// full queue); each is finished as failed — still a terminal state.
+	Failed int
+}
+
+// Recover ingests the records returned by store.Open, called once
+// after New and before the listener starts taking traffic:
+//
+//   - terminal records re-populate the /v1/jobs registry, and done
+//     results re-prime the content-addressed cache;
+//   - queued/running records — work the previous process accepted but
+//     never finished — are re-enqueued idempotently: a key whose result
+//     was recovered completes immediately from cache, and identical
+//     interrupted jobs coalesce through the singleflight group, so a
+//     recovered job never recomputes a cached result.
+//
+// Re-enqueued jobs keep their original IDs (pollers holding a pre-crash
+// job id keep working) and their original priority and options; their
+// deadline clock restarts at recovery time.
+func (s *Server) Recover(records []store.Record) RecoveryStats {
+	var st RecoveryStats
+	// Pass 1: terminal records, so the cache is warm before any
+	// interrupted job is considered.
+	for _, rec := range records {
+		if !store.Terminal(rec.Status) {
+			continue
+		}
+		res := rec.Result
+		if res == nil && rec.Status == store.StatusDone && rec.Key != "" {
+			res, _ = s.cache.Get(rec.Key) // cache-hit trail record
+		}
+		if rec.Status == store.StatusDone && rec.Result != nil && rec.Key != "" {
+			s.cache.Add(rec.Key, rec.Result)
+		}
+		js := &jobState{
+			id: rec.ID, key: rec.Key, status: rec.Status, result: res,
+			err:     rec.Error,
+			created: time.UnixMilli(rec.CreatedUnixMs),
+			done:    make(chan struct{}),
+		}
+		js.finished = time.UnixMilli(rec.FinishedUnixMs)
+		close(js.done)
+		s.register(js)
+		st.Restored++
+	}
+	// Pass 2: interrupted work.
+	for _, rec := range records {
+		if store.Terminal(rec.Status) {
+			continue
+		}
+		s.recoverPending(rec, &st)
+	}
+	return st
+}
+
+// recoverPending re-admits one interrupted record.
+func (s *Server) recoverPending(rec store.Record, st *RecoveryStats) {
+	fail := func(err error) {
+		st.Failed++
+		js := &jobState{
+			id: rec.ID, key: rec.Key, status: StatusQueued,
+			created: time.UnixMilli(rec.CreatedUnixMs),
+			done:    make(chan struct{}),
+		}
+		js.finish(StatusFailed, nil, err)
+		s.persistFinish(js, StatusFailed, nil, err)
+		s.register(js)
+	}
+	if rec.SpecPLA == "" || rec.Options == nil || rec.Key == "" {
+		fail(fmt.Errorf("server: recovered job %s: record carries no replayable spec", rec.ID))
+		return
+	}
+	file, err := pla.Parse(strings.NewReader(rec.SpecPLA))
+	if err != nil {
+		fail(fmt.Errorf("server: recovered job %s: parse spec: %w", rec.ID, err))
+		return
+	}
+	fn, err := file.ToFunction()
+	if err != nil {
+		fail(fmt.Errorf("server: recovered job %s: rebuild spec: %w", rec.ID, err))
+		return
+	}
+	// Cached result (recovered in pass 1, or computed by an earlier
+	// requeued duplicate that already finished): terminal, no recompute.
+	if res, ok := s.cache.Get(rec.Key); ok {
+		js := &jobState{
+			id: rec.ID, key: rec.Key, status: StatusQueued,
+			created: time.UnixMilli(rec.CreatedUnixMs),
+			done:    make(chan struct{}),
+		}
+		js.finish(StatusDone, res, nil)
+		s.persistFinish(js, StatusDone, res, nil)
+		s.register(js)
+		st.Deduped++
+		return
+	}
+	jo := *rec.Options
+	js, started, err := s.inFly.Do(rec.Key, func() (*jobState, error) {
+		return s.enqueueJob(rec.ID, rec.Key, fn, jo, rec.Priority)
+	})
+	if err != nil {
+		fail(fmt.Errorf("server: recovered job %s: re-enqueue: %w", rec.ID, err))
+		return
+	}
+	if !started {
+		// Identical interrupted job already requeued: alias this record's
+		// ID onto the in-flight state so Lookup works and the terminal
+		// append covers it.
+		js.addAlias(rec.ID)
+		s.registerAs(rec.ID, js)
+		st.Deduped++
+		return
+	}
+	s.register(js)
+	st.Requeued++
+}
+
+// Health classifies the service for load balancers and operators.
+type Health struct {
+	// Status is "ok", "degraded" (still serving, but shedding
+	// durability or saturated), or "draining" (shutting down).
+	Status string `json:"status"`
+	// Reasons lists what degraded the service.
+	Reasons []string `json:"reasons,omitempty"`
+}
+
+// Health reports ok / degraded / draining. Degraded covers: job queue
+// at capacity (admissions are being rejected with 429) and store
+// circuit open (serving without durability).
+func (s *Server) Health() Health {
+	if s.draining.Load() {
+		return Health{Status: "draining"}
+	}
+	var reasons []string
+	if qs := s.queue.Stats(); qs.Len >= qs.Depth {
+		reasons = append(reasons, "queue saturated")
+	}
+	if s.breaker != nil && s.breaker.Degraded() {
+		reasons = append(reasons, "store circuit open")
+	}
+	if len(reasons) > 0 {
+		return Health{Status: "degraded", Reasons: reasons}
+	}
+	return Health{Status: "ok"}
 }
 
 // Drain gracefully shuts the server down: stop admitting, let workers
@@ -495,11 +802,22 @@ type Stats struct {
 	Coalesced     int64          `json:"coalesced"`
 	Cache         lru.Stats      `json:"cache"`
 	InFlightKeys  int            `json:"in_flight_keys"`
+	Store         *store.Stats   `json:"store,omitempty"`
+	StoreBreaker  string         `json:"store_breaker,omitempty"`
 }
 
 // Stats snapshots the service counters.
 func (s *Server) Stats() Stats {
+	var storeStats *store.Stats
+	var breakerState string
+	if s.st != nil {
+		st := s.st.Stats()
+		storeStats = &st
+		breakerState = s.breaker.State()
+	}
 	return Stats{
+		Store:         storeStats,
+		StoreBreaker:  breakerState,
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Workers:       s.cfg.Workers,
 		BusyWorkers:   int64(s.c.busyWorkers.Value()),

@@ -1,0 +1,131 @@
+// Circuit breaker over the durable store: persistent append failures
+// (disk full, dying volume, injected chaos) must degrade relsynd to
+// in-memory serving instead of failing or stalling the request path.
+package store
+
+import (
+	"sync"
+	"time"
+
+	"relsyn/internal/obs"
+)
+
+// Breaker states.
+const (
+	BreakerClosed   = "closed"    // store healthy, appends flow
+	BreakerOpen     = "open"      // appends skipped, cooling down
+	BreakerHalfOpen = "half-open" // one probe append in flight
+)
+
+// Breaker is a consecutive-failure circuit breaker. Closed until
+// Threshold consecutive failures, then open for Cooldown; the first
+// Allow after the cooldown admits exactly one probe (half-open), whose
+// outcome closes or re-opens the circuit. The zero value is not usable;
+// use NewBreaker.
+type Breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // injectable for tests
+
+	mu          sync.Mutex
+	state       string
+	consecutive int
+	openedAt    time.Time
+
+	trips    obs.Counter
+	degraded obs.Gauge
+}
+
+// NewBreaker returns a closed breaker. threshold <= 0 defaults to 3
+// consecutive failures; cooldown <= 0 defaults to 5s.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold <= 0 {
+		threshold = 3
+	}
+	if cooldown <= 0 {
+		cooldown = 5 * time.Second
+	}
+	return &Breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+		state:     BreakerClosed,
+	}
+}
+
+// Instrument exports relsyn_store_degraded (1 while the breaker is not
+// closed — the "serving from memory only" signal operators page on) and
+// relsyn_store_breaker_trips_total.
+func (b *Breaker) Instrument(reg *obs.Registry) *Breaker {
+	if reg == nil {
+		return b
+	}
+	reg.SetHelp("relsyn_store_degraded", "1 while the store circuit breaker is open and jobs are served without durability.")
+	reg.SetHelp("relsyn_store_breaker_trips_total", "Times the store circuit breaker opened.")
+	reg.RegisterGauge("relsyn_store_degraded", &b.degraded)
+	reg.RegisterCounter("relsyn_store_breaker_trips_total", &b.trips)
+	return b
+}
+
+// SetClock overrides the breaker's time source (tests).
+func (b *Breaker) SetClock(now func() time.Time) {
+	b.mu.Lock()
+	b.now = now
+	b.mu.Unlock()
+}
+
+// Allow reports whether a store operation should be attempted. While
+// open it returns false until the cooldown elapses, then admits exactly
+// one half-open probe; further calls return false until that probe's
+// outcome is Recorded.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case BreakerClosed:
+		return true
+	case BreakerHalfOpen:
+		return false
+	default: // open
+		if b.now().Sub(b.openedAt) < b.cooldown {
+			return false
+		}
+		b.state = BreakerHalfOpen
+		return true
+	}
+}
+
+// Record reports the outcome of an attempted store operation. A nil err
+// resets the failure streak (and closes a half-open circuit); a non-nil
+// err extends it and opens the circuit at the threshold.
+func (b *Breaker) Record(err error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if err == nil {
+		b.consecutive = 0
+		if b.state != BreakerClosed {
+			b.state = BreakerClosed
+			b.degraded.Set(0)
+		}
+		return
+	}
+	b.consecutive++
+	if b.state == BreakerHalfOpen || (b.state == BreakerClosed && b.consecutive >= b.threshold) {
+		b.state = BreakerOpen
+		b.openedAt = b.now()
+		b.trips.Inc()
+		b.degraded.Set(1)
+	} else if b.state == BreakerOpen {
+		b.openedAt = b.now()
+	}
+}
+
+// State returns the current breaker state.
+func (b *Breaker) State() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Degraded reports whether the breaker is anything but closed.
+func (b *Breaker) Degraded() bool { return b.State() != BreakerClosed }

@@ -1,0 +1,658 @@
+// Package store is the crash-safe durable job store behind relsynd: an
+// append-only write-ahead log (WAL) of job records plus a periodic
+// snapshot, replayed on startup so that accepted work survives a
+// process crash.
+//
+// Durability model:
+//
+//   - Every job transition (queued → running → done/failed/expired) is
+//     appended to the WAL as one self-checking frame: a fixed 8-byte
+//     header (payload length + CRC32) followed by the JSON-encoded
+//     Record. A frame is the unit of atomicity — a torn or short write
+//     at the tail is detected by the length/CRC check on replay and the
+//     file is truncated back to the last complete frame. Interior
+//     corruption cannot occur under the append-only discipline, so any
+//     bad frame is treated as end-of-log.
+//   - A snapshot (snapshot.json, written atomically via temp-file +
+//     rename) compacts the merged record state every SnapshotEvery
+//     appends and on explicit Checkpoint (the SIGTERM drain path). A
+//     crash between the snapshot rename and the WAL reset is safe:
+//     replay merges records by ID with monotonic sequence numbers, so
+//     re-applying WAL frames already folded into the snapshot is a
+//     no-op.
+//   - Open replays snapshot + WAL and returns every recovered record in
+//     sequence order. Callers (internal/server.Recover) re-enqueue the
+//     non-terminal ones and re-publish the terminal ones.
+//
+// All file I/O goes through the FS seam so that internal/chaos can
+// inject torn writes, fsync failures, and open errors deterministically.
+// The Breaker (breaker.go) turns persistent append failures into an
+// explicit degraded mode instead of failing the serving path.
+package store
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"relsyn/internal/obs"
+	"relsyn/internal/pipeline"
+)
+
+// Job status values as persisted. They mirror internal/server's job
+// lifecycle states (server passes its constants through verbatim).
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+	StatusExpired = "expired"
+)
+
+// Terminal reports whether status is a terminal job state: a record in
+// a terminal state is never re-enqueued by crash recovery.
+func Terminal(status string) bool {
+	switch status {
+	case StatusDone, StatusFailed, StatusExpired:
+		return true
+	}
+	return false
+}
+
+// Record is one durable job record. The first append for a job carries
+// the full submission (spec text, options, priority); subsequent
+// transition appends carry only the fields that changed — replay merges
+// them by ID in sequence order.
+type Record struct {
+	// Seq is the store-assigned, strictly increasing sequence number.
+	Seq uint64 `json:"seq"`
+	// ID is the job id (server-assigned, stable across recovery).
+	ID string `json:"id"`
+	// Key is the content-addressed cache key (spec hash | options key).
+	Key string `json:"key,omitempty"`
+	// Status is the job lifecycle state (see the Status constants).
+	Status string `json:"status"`
+	// Priority is the queue priority of the original submission.
+	Priority int `json:"priority,omitempty"`
+	// SpecPLA is the specification in .pla text form, carried on the
+	// initial "queued" record so recovery can re-parse and re-enqueue.
+	SpecPLA string `json:"spec_pla,omitempty"`
+	// Options is the normalized job configuration, carried with SpecPLA.
+	Options *pipeline.JobOptions `json:"options,omitempty"`
+	// Result is the job outcome, carried on "done" (and, when partial
+	// results exist, "failed") records.
+	Result *pipeline.JobResult `json:"result,omitempty"`
+	// Error is the failure message on "failed"/"expired" records.
+	Error string `json:"error,omitempty"`
+	// CreatedUnixMs / FinishedUnixMs are wall-clock stamps.
+	CreatedUnixMs  int64 `json:"created_unix_ms,omitempty"`
+	FinishedUnixMs int64 `json:"finished_unix_ms,omitempty"`
+}
+
+// merge folds a later record for the same ID into r. Zero-valued fields
+// of upd leave the earlier value in place, so transition appends stay
+// small.
+func (r *Record) merge(upd Record) {
+	r.Seq = upd.Seq
+	if upd.Status != "" {
+		r.Status = upd.Status
+	}
+	if upd.Key != "" {
+		r.Key = upd.Key
+	}
+	if upd.Priority != 0 {
+		r.Priority = upd.Priority
+	}
+	if upd.SpecPLA != "" {
+		r.SpecPLA = upd.SpecPLA
+	}
+	if upd.Options != nil {
+		r.Options = upd.Options
+	}
+	if upd.Result != nil {
+		r.Result = upd.Result
+	}
+	if upd.Error != "" {
+		r.Error = upd.Error
+	}
+	if upd.CreatedUnixMs != 0 {
+		r.CreatedUnixMs = upd.CreatedUnixMs
+	}
+	if upd.FinishedUnixMs != 0 {
+		r.FinishedUnixMs = upd.FinishedUnixMs
+	}
+}
+
+// File is the writable-file seam: what the store needs from an open WAL
+// or snapshot file. *os.File satisfies it.
+type File interface {
+	io.Writer
+	Sync() error
+	Close() error
+}
+
+// FS is the filesystem seam. The default is the real OS filesystem
+// (OSFS); internal/chaos wraps it to inject faults at every call.
+type FS interface {
+	MkdirAll(dir string) error
+	// OpenAppend opens name for appending, creating it if absent.
+	OpenAppend(name string) (File, error)
+	// Create truncates or creates name for writing (snapshot temp file).
+	Create(name string) (File, error)
+	// Open opens name for reading.
+	Open(name string) (io.ReadCloser, error)
+	Rename(oldpath, newpath string) error
+	Remove(name string) error
+	Truncate(name string, size int64) error
+}
+
+// OSFS is the real filesystem.
+type OSFS struct{}
+
+func (OSFS) MkdirAll(dir string) error { return os.MkdirAll(dir, 0o755) }
+func (OSFS) OpenAppend(name string) (File, error) {
+	return os.OpenFile(name, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+}
+func (OSFS) Create(name string) (File, error)        { return os.Create(name) }
+func (OSFS) Open(name string) (io.ReadCloser, error) { return os.Open(name) }
+func (OSFS) Rename(o, n string) error                { return os.Rename(o, n) }
+func (OSFS) Remove(name string) error                { return os.Remove(name) }
+func (OSFS) Truncate(name string, size int64) error  { return os.Truncate(name, size) }
+
+// SyncMode selects the WAL fsync policy.
+type SyncMode string
+
+const (
+	// SyncAlways fsyncs after every append: no accepted record is lost
+	// even to a machine crash. The default.
+	SyncAlways SyncMode = "always"
+	// SyncInterval fsyncs on a background tick (Options.SyncInterval):
+	// bounded loss window, near-volatile append latency.
+	SyncInterval SyncMode = "interval"
+	// SyncOff never fsyncs explicitly: process-crash safe (the OS holds
+	// the pages), machine-crash unsafe.
+	SyncOff SyncMode = "off"
+)
+
+// ParseSyncMode validates a -wal-sync flag value.
+func ParseSyncMode(s string) (SyncMode, error) {
+	switch SyncMode(s) {
+	case SyncAlways, SyncInterval, SyncOff:
+		return SyncMode(s), nil
+	}
+	return "", fmt.Errorf("store: unknown sync mode %q (want always, interval, or off)", s)
+}
+
+// Options configures Open.
+type Options struct {
+	// Dir is the store directory (created if absent).
+	Dir string
+	// Sync is the WAL fsync policy (default SyncAlways).
+	Sync SyncMode
+	// SyncInterval is the flush period for SyncInterval (default 100ms).
+	SyncInterval time.Duration
+	// SnapshotEvery compacts the WAL into a snapshot after this many
+	// appends (default 1024; negative disables automatic snapshots).
+	SnapshotEvery int
+	// FS overrides the filesystem (default OSFS; chaos injects here).
+	FS FS
+	// Metrics receives the relsyn_store_* series (nil = not exported;
+	// the store still counts internally for Stats).
+	Metrics *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.Sync == "" {
+		o.Sync = SyncAlways
+	}
+	if o.SyncInterval <= 0 {
+		o.SyncInterval = 100 * time.Millisecond
+	}
+	if o.SnapshotEvery == 0 {
+		o.SnapshotEvery = 1024
+	}
+	if o.FS == nil {
+		o.FS = OSFS{}
+	}
+	return o
+}
+
+// WAL frame layout: 4-byte little-endian payload length, 4-byte IEEE
+// CRC32 of the payload, then the JSON payload. One frame per Append, one
+// Write call per frame, so a crash can only ever tear the final frame.
+const (
+	frameHeaderLen = 8
+	// maxRecordBytes bounds a single frame; anything larger on replay is
+	// treated as tail corruption. Generous: the HTTP layer caps request
+	// bodies at 8 MiB.
+	maxRecordBytes = 32 << 20
+
+	walName      = "wal.log"
+	snapshotName = "snapshot.json"
+)
+
+// storeMetrics are the exported relsyn_store_* series.
+type storeMetrics struct {
+	appends      obs.Counter
+	appendErrors obs.Counter
+	snapshots    obs.Counter
+	tornTails    obs.Counter
+	recovered    obs.Gauge
+}
+
+// Stats is a snapshot of the store counters.
+type Stats struct {
+	Appends      int64 `json:"appends"`
+	AppendErrors int64 `json:"append_errors"`
+	Snapshots    int64 `json:"snapshots"`
+	TornTails    int64 `json:"torn_tails"`
+	Records      int   `json:"records"`
+	WALBytes     int64 `json:"wal_bytes"`
+}
+
+// Store is the durable job store. All methods are safe for concurrent
+// use.
+type Store struct {
+	opts     Options
+	walPath  string
+	snapPath string
+
+	mu        sync.Mutex
+	wal       File
+	seq       uint64
+	state     map[string]*Record // merged current state by job ID
+	walBytes  int64
+	sinceSnap int
+	dirty     bool // unsynced appends (SyncInterval mode)
+	closed    bool
+
+	stopSync chan struct{}
+	syncDone chan struct{}
+
+	m storeMetrics
+}
+
+// snapshotFile is the on-disk snapshot format.
+type snapshotFile struct {
+	Seq     uint64   `json:"seq"`
+	Records []Record `json:"records"`
+}
+
+// Open opens (or creates) the store in o.Dir, replays the snapshot and
+// WAL, and returns the recovered records in sequence order. A torn WAL
+// tail — the expected state after a crash mid-append — is truncated and
+// counted, never an error.
+func Open(o Options) (*Store, []Record, error) {
+	o = o.withDefaults()
+	if o.Dir == "" {
+		return nil, nil, errors.New("store: Options.Dir is required")
+	}
+	if err := o.FS.MkdirAll(o.Dir); err != nil {
+		// The os error already names the op and path.
+		return nil, nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		opts:     o,
+		walPath:  filepath.Join(o.Dir, walName),
+		snapPath: filepath.Join(o.Dir, snapshotName),
+		state:    make(map[string]*Record),
+		stopSync: make(chan struct{}),
+		syncDone: make(chan struct{}),
+	}
+	// Leftover snapshot temp file from a crash mid-checkpoint: discard.
+	_ = o.FS.Remove(s.snapPath + ".tmp")
+
+	if err := s.loadSnapshot(); err != nil {
+		return nil, nil, err
+	}
+	if err := s.replayWAL(); err != nil {
+		return nil, nil, err
+	}
+	wal, err := o.FS.OpenAppend(s.walPath)
+	if err != nil {
+		return nil, nil, fmt.Errorf("store: open wal: %w", err)
+	}
+	s.wal = wal
+
+	s.register(o.Metrics)
+	s.m.recovered.Set(float64(len(s.state)))
+
+	recovered := make([]Record, 0, len(s.state))
+	for _, r := range s.state {
+		recovered = append(recovered, *r)
+	}
+	sort.Slice(recovered, func(i, j int) bool { return recovered[i].Seq < recovered[j].Seq })
+
+	if o.Sync == SyncInterval {
+		go s.syncLoop()
+	} else {
+		close(s.syncDone)
+	}
+	return s, recovered, nil
+}
+
+// register exports the relsyn_store_* series.
+func (s *Store) register(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.SetHelp("relsyn_store_appends_total", "WAL records appended.")
+	reg.SetHelp("relsyn_store_append_errors_total", "WAL appends that failed (write or fsync error).")
+	reg.SetHelp("relsyn_store_snapshots_total", "Snapshot compactions completed.")
+	reg.SetHelp("relsyn_store_torn_tails_total", "Torn WAL tails truncated during recovery.")
+	reg.SetHelp("relsyn_store_recovered_records", "Job records recovered at the last Open.")
+	reg.SetHelp("relsyn_store_wal_bytes", "Current WAL size in bytes.")
+	reg.SetHelp("relsyn_store_records", "Job records tracked in the merged store state.")
+	reg.RegisterCounter("relsyn_store_appends_total", &s.m.appends)
+	reg.RegisterCounter("relsyn_store_append_errors_total", &s.m.appendErrors)
+	reg.RegisterCounter("relsyn_store_snapshots_total", &s.m.snapshots)
+	reg.RegisterCounter("relsyn_store_torn_tails_total", &s.m.tornTails)
+	reg.RegisterGauge("relsyn_store_recovered_records", &s.m.recovered)
+	reg.GaugeFunc("relsyn_store_wal_bytes", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(s.walBytes)
+	})
+	reg.GaugeFunc("relsyn_store_records", func() float64 {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return float64(len(s.state))
+	})
+}
+
+func (s *Store) loadSnapshot() error {
+	f, err := s.opts.FS.Open(s.snapPath)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("store: open snapshot: %w", err)
+	}
+	defer f.Close()
+	var snap snapshotFile
+	if err := json.NewDecoder(f).Decode(&snap); err != nil {
+		// A snapshot is written atomically (temp + rename); a parse error
+		// means operator-level corruption, not a crash artifact. Fail
+		// loudly rather than silently dropping completed work.
+		return fmt.Errorf("store: corrupt snapshot %s: %w", s.snapPath, err)
+	}
+	s.seq = snap.Seq
+	for i := range snap.Records {
+		r := snap.Records[i]
+		s.state[r.ID] = &r
+		if r.Seq > s.seq {
+			s.seq = r.Seq
+		}
+	}
+	return nil
+}
+
+// replayWAL applies every complete frame and truncates the file after
+// the last one (dropping a torn tail, if any).
+func (s *Store) replayWAL() error {
+	f, err := s.opts.FS.Open(s.walPath)
+	if err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return nil
+		}
+		return fmt.Errorf("store: open wal: %w", err)
+	}
+	var good int64 // offset just past the last valid frame
+	torn := false
+	func() {
+		defer f.Close()
+		var header [frameHeaderLen]byte
+		for {
+			if _, err := io.ReadFull(f, header[:]); err != nil {
+				torn = !errors.Is(err, io.EOF) // clean EOF at a frame boundary
+				return
+			}
+			n := binary.LittleEndian.Uint32(header[0:4])
+			want := binary.LittleEndian.Uint32(header[4:8])
+			if n == 0 || n > maxRecordBytes {
+				torn = true
+				return
+			}
+			payload := make([]byte, n)
+			if _, err := io.ReadFull(f, payload); err != nil {
+				torn = true
+				return
+			}
+			if crc32.ChecksumIEEE(payload) != want {
+				torn = true
+				return
+			}
+			var rec Record
+			if err := json.Unmarshal(payload, &rec); err != nil {
+				torn = true
+				return
+			}
+			good += int64(frameHeaderLen) + int64(n)
+			s.applyLocked(rec)
+		}
+	}()
+	if torn {
+		s.m.tornTails.Inc()
+		if err := s.opts.FS.Truncate(s.walPath, good); err != nil {
+			return fmt.Errorf("store: truncate torn wal tail at %d: %w", good, err)
+		}
+	}
+	s.walBytes = good
+	return nil
+}
+
+// applyLocked merges rec into the in-memory state. Records older than
+// what the snapshot already folded in (Seq <= existing.Seq) are skipped,
+// which makes replaying a WAL that survived its own checkpoint a no-op.
+func (s *Store) applyLocked(rec Record) {
+	if rec.Seq > s.seq {
+		s.seq = rec.Seq
+	}
+	if cur, ok := s.state[rec.ID]; ok {
+		if rec.Seq <= cur.Seq {
+			return
+		}
+		cur.merge(rec)
+		return
+	}
+	r := rec
+	s.state[rec.ID] = &r
+}
+
+// Append persists one record transition. The record's Seq is assigned
+// by the store. Under SyncAlways the append has been fsynced when
+// Append returns; any error means the record may not be durable (the
+// caller's breaker decides whether to degrade).
+func (s *Store) Append(rec Record) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	if rec.ID == "" {
+		return errors.New("store: record without ID")
+	}
+	s.seq++
+	rec.Seq = s.seq
+	payload, err := json.Marshal(rec)
+	if err != nil { // unreachable: plain struct of scalars
+		return fmt.Errorf("store: marshal record: %w", err)
+	}
+	frame := make([]byte, frameHeaderLen+len(payload))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.ChecksumIEEE(payload))
+	copy(frame[frameHeaderLen:], payload)
+	if _, err := s.wal.Write(frame); err != nil {
+		s.m.appendErrors.Inc()
+		return fmt.Errorf("store: wal append: %w", err)
+	}
+	if s.opts.Sync == SyncAlways {
+		if err := s.wal.Sync(); err != nil {
+			s.m.appendErrors.Inc()
+			return fmt.Errorf("store: wal sync: %w", err)
+		}
+	} else {
+		s.dirty = true
+	}
+	s.walBytes += int64(len(frame))
+	s.applyLocked(rec)
+	s.m.appends.Inc()
+	s.sinceSnap++
+	if s.opts.SnapshotEvery > 0 && s.sinceSnap >= s.opts.SnapshotEvery {
+		if err := s.checkpointLocked(); err != nil {
+			// The WAL append itself succeeded; compaction failure is not
+			// data loss. Report it so the breaker sees persistent trouble.
+			return fmt.Errorf("store: auto checkpoint: %w", err)
+		}
+	}
+	return nil
+}
+
+// Get returns the merged record for a job ID.
+func (s *Store) Get(id string) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.state[id]
+	if !ok {
+		return Record{}, false
+	}
+	return *r, true
+}
+
+// Len returns the number of tracked records.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.state)
+}
+
+// Checkpoint compacts the store: write a snapshot of the merged state
+// atomically, then reset the WAL. Called on SIGTERM drain and every
+// SnapshotEvery appends.
+func (s *Store) Checkpoint() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errors.New("store: closed")
+	}
+	return s.checkpointLocked()
+}
+
+func (s *Store) checkpointLocked() error {
+	snap := snapshotFile{Seq: s.seq, Records: make([]Record, 0, len(s.state))}
+	for _, r := range s.state {
+		snap.Records = append(snap.Records, *r)
+	}
+	sort.Slice(snap.Records, func(i, j int) bool { return snap.Records[i].Seq < snap.Records[j].Seq })
+
+	tmp := s.snapPath + ".tmp"
+	f, err := s.opts.FS.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("store: create snapshot temp: %w", err)
+	}
+	enc := json.NewEncoder(f)
+	if err := enc.Encode(&snap); err != nil {
+		f.Close()
+		return fmt.Errorf("store: write snapshot: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("store: sync snapshot: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("store: close snapshot: %w", err)
+	}
+	if err := s.opts.FS.Rename(tmp, s.snapPath); err != nil {
+		return fmt.Errorf("store: publish snapshot: %w", err)
+	}
+	// Reset the WAL. A crash right here leaves the full pre-checkpoint
+	// WAL next to the new snapshot; replay skips the already-folded
+	// frames by sequence number.
+	if err := s.wal.Sync(); err != nil && s.opts.Sync != SyncOff {
+		return fmt.Errorf("store: sync wal before reset: %w", err)
+	}
+	if err := s.wal.Close(); err != nil {
+		return fmt.Errorf("store: close wal: %w", err)
+	}
+	if err := s.opts.FS.Truncate(s.walPath, 0); err != nil {
+		return fmt.Errorf("store: reset wal: %w", err)
+	}
+	wal, err := s.opts.FS.OpenAppend(s.walPath)
+	if err != nil {
+		return fmt.Errorf("store: reopen wal: %w", err)
+	}
+	s.wal = wal
+	s.walBytes = 0
+	s.sinceSnap = 0
+	s.dirty = false
+	s.m.snapshots.Inc()
+	return nil
+}
+
+// syncLoop is the SyncInterval flusher.
+func (s *Store) syncLoop() {
+	defer close(s.syncDone)
+	t := time.NewTicker(s.opts.SyncInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopSync:
+			return
+		case <-t.C:
+			s.mu.Lock()
+			if s.dirty && !s.closed {
+				if err := s.wal.Sync(); err != nil {
+					s.m.appendErrors.Inc()
+				} else {
+					s.dirty = false
+				}
+			}
+			s.mu.Unlock()
+		}
+	}
+}
+
+// Stats snapshots the store counters.
+func (s *Store) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Appends:      s.m.appends.Value(),
+		AppendErrors: s.m.appendErrors.Value(),
+		Snapshots:    s.m.snapshots.Value(),
+		TornTails:    s.m.tornTails.Value(),
+		Records:      len(s.state),
+		WALBytes:     s.walBytes,
+	}
+}
+
+// Close flushes and closes the WAL. It does not checkpoint — callers
+// that want a compacted store on shutdown call Checkpoint first (the
+// relsynd drain path does).
+func (s *Store) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	close(s.stopSync)
+	var err error
+	if s.opts.Sync != SyncOff {
+		err = s.wal.Sync()
+	}
+	if cerr := s.wal.Close(); err == nil {
+		err = cerr
+	}
+	s.mu.Unlock()
+	<-s.syncDone
+	return err
+}

@@ -24,6 +24,11 @@
 // aig, mapper, celllib, synth}), synthetic benchmark generation
 // (internal/synthetic, internal/benchmarks), and nodal decomposition
 // with internal-DC reassignment (internal/network).
+//
+// The pipeline is also served over HTTP by cmd/relsynd — optionally
+// crash-safe via a durable job store (internal/store) — and consumed
+// with retries, backoff, and hedging through the relsyn/client
+// package.
 package relsyn
 
 import (
