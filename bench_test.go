@@ -9,6 +9,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -16,9 +17,11 @@ import (
 	"sync"
 	"testing"
 
+	"relsyn/internal/cluster"
 	"relsyn/internal/complexity"
 	"relsyn/internal/core"
 	"relsyn/internal/experiments"
+	"relsyn/internal/obs"
 	"relsyn/internal/reliability"
 	"relsyn/internal/server"
 	"relsyn/internal/store"
@@ -620,4 +623,110 @@ func BenchmarkStoreRecovery(b *testing.B) {
 	}
 	b.Run("jobs=512/base", func(b *testing.B) { run(b, true) })
 	b.Run("jobs=512/wal", func(b *testing.B) { run(b, false) })
+}
+
+// benchClusterPLA builds a distinct 8-input spec per seed — heavy
+// enough that synthesizing one clearly dominates routing + cache-hit
+// serving, which is the contrast the cluster warm/cold gate rides on.
+func benchClusterPLA(seed int) string {
+	var sb strings.Builder
+	sb.WriteString(".i 8\n.o 1\n.type fd\n")
+	for m := 0; m < 256; m++ {
+		switch (m*37 + seed*101 + m*m*13) % 7 {
+		case 0, 4:
+			fmt.Fprintf(&sb, "%08b 1\n", m)
+		case 1:
+			fmt.Fprintf(&sb, "%08b -\n", m)
+		}
+	}
+	sb.WriteString(".e\n")
+	return sb.String()
+}
+
+// bootBenchCluster starts three cluster-aware shards plus a router over
+// them, listener-first so the fleet membership is known before any node
+// serves. Returns the router's base URL and a teardown.
+func bootBenchCluster(b *testing.B, workers int) (routerURL string, shutdown func()) {
+	b.Helper()
+	const n = 3
+	lns := make([]net.Listener, n)
+	peers := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		lns[i] = ln
+		peers[i] = ln.Addr().String()
+	}
+	var closers []func()
+	for i, ln := range lns {
+		srv := server.New(server.Config{
+			Workers:    workers,
+			QueueDepth: 256,
+			CacheSize:  64,
+			Metrics:    obs.NewRegistry(),
+			Peers:      peers,
+			SelfAddr:   peers[i],
+		})
+		ts := &httptest.Server{Listener: ln, Config: &http.Server{Handler: srv.Handler()}}
+		ts.Start()
+		closers = append(closers, func() { ts.Close(); srv.Close() })
+	}
+	rt, err := cluster.NewRouter(cluster.RouterConfig{Peers: peers, Metrics: obs.NewRegistry()})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rts := httptest.NewServer(rt.Handler())
+	closers = append(closers, rts.Close)
+	return rts.URL, func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+}
+
+// BenchmarkClusterThroughput measures the sharded tier end to end: 64
+// concurrent mixed requests over 8 distinct specifications through the
+// router (content-addressed placement onto 3 shards) and the shards'
+// full serving stack.
+//
+//   - cold: every iteration boots an empty fleet, so each distinct spec
+//     synthesizes once on its ring owner while duplicates coalesce
+//     there or hit its cache.
+//   - warm: the fleet's caches are primed before the timer, so the
+//     measured path is routing + forwarding + shard cache hits — the
+//     cluster serving overhead in isolation.
+//
+// CI gates the warm/cold speedup ratio via cmd/benchjson -pair
+// warm,cold (BENCH_cluster.json): a machine-independent check that the
+// routed hot path stays cheap relative to actual synthesis.
+func BenchmarkClusterThroughput(b *testing.B) {
+	const total, distinct = 64, 8
+	specs := make([]string, distinct)
+	for i := range specs {
+		specs[i] = benchClusterPLA(i)
+	}
+
+	b.Run("shards=3/cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			url, shutdown := bootBenchCluster(b, 4)
+			b.StartTimer()
+			fireServerRequests(b, url, specs, total)
+			b.StopTimer()
+			shutdown()
+			b.StartTimer()
+		}
+	})
+
+	b.Run("shards=3/warm", func(b *testing.B) {
+		url, shutdown := bootBenchCluster(b, 4)
+		defer shutdown()
+		fireServerRequests(b, url, specs, distinct) // prime every owner's cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			fireServerRequests(b, url, specs, total)
+		}
+	})
 }

@@ -30,6 +30,7 @@ import (
 	"io"
 	"math/rand"
 	"net/http"
+	"net/url"
 	"strconv"
 	"strings"
 	"sync"
@@ -86,6 +87,12 @@ type Config struct {
 	HedgeAfter time.Duration
 	// MaxHedges bounds extra requests per attempt (default 1).
 	MaxHedges int
+
+	// Header holds extra headers applied to every request — e.g. the
+	// cluster forwarding marker (internal/cluster.HeaderForwarded) that
+	// relsyn-router and relsynd's peer-fill path stamp on forwarded
+	// traffic. Per-call headers passed to Do override same-named keys.
+	Header http.Header
 
 	// Metrics receives relsyn_client_* series (default obs.Default).
 	Metrics *obs.Registry
@@ -175,6 +182,17 @@ type synthRequest struct {
 	Wait     *bool               `json:"wait,omitempty"`
 }
 
+// BatchResponse is the relsynd batch envelope (the wire shape of
+// internal/server.BatchResponse): one Response per submitted job, in
+// request order.
+type BatchResponse struct {
+	Results []Response `json:"results"`
+}
+
+// BaseURL returns the configured service base URL (scheme included,
+// trailing slash trimmed).
+func (c *Client) BaseURL() string { return c.cfg.BaseURL }
+
 // Synth submits one job and waits for its result (server-side wait).
 func (c *Client) Synth(ctx context.Context, plaText string, opts pipeline.JobOptions) (*Response, error) {
 	return c.postJob(ctx, synthRequest{PLA: plaText, Options: opts})
@@ -224,28 +242,109 @@ func retryableStatus(code int) bool {
 	return code == http.StatusTooManyRequests || code >= 500
 }
 
-// do runs one logical request through the retry (and hedging) policy.
+// do runs one logical request and decodes the single-job envelope,
+// turning 4xx responses into errors (legacy convenience shape used by
+// Synth/Job/Wait).
 func (c *Client) do(ctx context.Context, method, path string, body []byte) (*Response, error) {
+	env, code, err := c.Do(ctx, method, path, body, nil)
+	if err != nil {
+		return env, err
+	}
+	if code >= 400 {
+		return env, fmt.Errorf("client: %s %s: HTTP %d: %s", method, path, code, env.Error)
+	}
+	return env, nil
+}
+
+// Do runs one logical request through the retry (and hedging) policy
+// and decodes the single-job envelope. Unlike Synth/Job it reports
+// definitive 4xx responses with a nil error — the envelope and status
+// code are the answer — which is what a forwarding router needs to pass
+// a shard's verdict through verbatim. A non-nil error means there was
+// no definitive response: transport failure or retryable statuses
+// (429/5xx) through every attempt. hdr sets per-call headers on top of
+// Config.Header.
+func (c *Client) Do(ctx context.Context, method, path string, body []byte, hdr http.Header) (*Response, int, error) {
+	r, err := c.doRaw(ctx, method, path, body, hdr)
+	if err != nil {
+		return nil, 0, err
+	}
+	var env Response
+	if derr := json.Unmarshal(r.body, &env); derr != nil {
+		return nil, r.code, fmt.Errorf("client: %s %s: decode response (HTTP %d): %w", method, path, r.code, derr)
+	}
+	if r.code >= 400 && env.Status == "" {
+		env.Status = "error"
+	}
+	return &env, r.code, nil
+}
+
+// DoBatch posts a pre-marshaled /v1/synth/batch body through the retry
+// policy. Like Do, a definitive response — including a 4xx rejection —
+// returns a nil error; the caller inspects the code. On 4xx the batch
+// envelope is nil and the error body is returned as errEnv.
+func (c *Client) DoBatch(ctx context.Context, body []byte, hdr http.Header) (batch *BatchResponse, errEnv *Response, code int, err error) {
+	r, err := c.doRaw(ctx, http.MethodPost, "/v1/synth/batch", body, hdr)
+	if err != nil {
+		return nil, nil, 0, err
+	}
+	if r.code >= 400 {
+		var env Response
+		if derr := json.Unmarshal(r.body, &env); derr != nil {
+			return nil, nil, r.code, fmt.Errorf("client: POST /v1/synth/batch: decode response (HTTP %d): %w", r.code, derr)
+		}
+		return nil, &env, r.code, nil
+	}
+	var br BatchResponse
+	if derr := json.Unmarshal(r.body, &br); derr != nil {
+		return nil, nil, r.code, fmt.Errorf("client: POST /v1/synth/batch: decode response (HTTP %d): %w", r.code, derr)
+	}
+	return &br, nil, r.code, nil
+}
+
+// FetchCache asks the shard's internal cache endpoint for a finished
+// result by its full cache key (spec hash + "|" + options key). It is a
+// single round trip with no retries: a fill is an optimization, and a
+// miss must stay cheaper than the recompute it avoids. ok reports a
+// hit; a 404 is (nil, false, nil).
+func (c *Client) FetchCache(ctx context.Context, key string) (*pipeline.JobResult, bool, error) {
+	r := c.exchange(ctx, http.MethodGet, "/v1/cache/"+url.PathEscape(key), nil, nil, false)
+	if r.err != nil {
+		return nil, false, fmt.Errorf("client: GET /v1/cache: %w", r.err)
+	}
+	if r.code == http.StatusNotFound {
+		return nil, false, nil
+	}
+	if r.code != http.StatusOK {
+		return nil, false, fmt.Errorf("client: GET /v1/cache: HTTP %d", r.code)
+	}
+	var env Response
+	if err := json.Unmarshal(r.body, &env); err != nil {
+		return nil, false, fmt.Errorf("client: GET /v1/cache: decode response: %w", err)
+	}
+	if env.Result == nil {
+		return nil, false, nil
+	}
+	return env.Result, true, nil
+}
+
+// doRaw runs one logical request through the retry (and hedging)
+// policy, returning the first definitive exchange (any status outside
+// the retryable set). The response body is fully read but not decoded.
+func (c *Client) doRaw(ctx context.Context, method, path string, body []byte, hdr http.Header) (attemptResult, error) {
 	var lastErr error
 	for attempt := 1; ; attempt++ {
-		r := c.attempt(ctx, method, path, body)
+		r := c.attempt(ctx, method, path, body, hdr)
 		switch {
 		case r.err == nil && !retryableStatus(r.code):
-			if r.code >= 400 {
-				msg := ""
-				if r.resp != nil {
-					msg = r.resp.Error
-				}
-				return r.resp, fmt.Errorf("client: %s %s: HTTP %d: %s", method, path, r.code, msg)
-			}
-			return r.resp, nil
+			return r, nil
 		case r.err == nil:
 			lastErr = fmt.Errorf("client: %s %s: HTTP %d", method, path, r.code)
 		default:
 			lastErr = fmt.Errorf("client: %s %s: %w", method, path, r.err)
 		}
 		if attempt >= c.cfg.MaxAttempts || ctx.Err() != nil {
-			return nil, fmt.Errorf("%w (after %d attempts)", lastErr, attempt)
+			return attemptResult{}, fmt.Errorf("%w (after %d attempts)", lastErr, attempt)
 		}
 		delay := c.backoff(attempt)
 		// Retry-After (seconds form) from a 429/503 overrides the
@@ -256,7 +355,7 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte) (*Res
 		}
 		c.retries.Inc()
 		if err := c.cfg.Sleep(ctx, delay); err != nil {
-			return nil, err
+			return attemptResult{}, err
 		}
 	}
 }
@@ -271,10 +370,11 @@ func (c *Client) backoff(attempt int) time.Duration {
 	return time.Duration(float64(d) * jitter)
 }
 
-// attemptResult carries one physical exchange's outcome, including any
+// attemptResult carries one physical exchange's outcome — the status
+// code and raw body of a completed round trip — including any
 // Retry-After hint parsed from a 429/503 response.
 type attemptResult struct {
-	resp       *Response
+	body       []byte
 	code       int
 	retryAfter time.Duration
 	err        error
@@ -282,15 +382,15 @@ type attemptResult struct {
 }
 
 // attempt performs one (possibly hedged) physical exchange.
-func (c *Client) attempt(ctx context.Context, method, path string, body []byte) attemptResult {
+func (c *Client) attempt(ctx context.Context, method, path string, body []byte, hdr http.Header) attemptResult {
 	if c.cfg.HedgeAfter <= 0 || method != http.MethodPost {
-		return c.exchange(ctx, method, path, body, false)
+		return c.exchange(ctx, method, path, body, hdr, false)
 	}
 	hctx, cancel := context.WithCancel(ctx)
 	defer cancel() // reap the loser
 	results := make(chan attemptResult, c.cfg.MaxHedges+1)
 	launch := func(hedged bool) {
-		go func() { results <- c.exchange(hctx, method, path, body, hedged) }()
+		go func() { results <- c.exchange(hctx, method, path, body, hdr, hedged) }()
 	}
 	launch(false)
 	timer := time.NewTimer(c.cfg.HedgeAfter)
@@ -335,8 +435,10 @@ func (c *Client) attempt(ctx context.Context, method, path string, body []byte) 
 	}
 }
 
-// exchange performs one HTTP round trip and decodes the envelope.
-func (c *Client) exchange(ctx context.Context, method, path string, body []byte, hedged bool) attemptResult {
+// exchange performs one HTTP round trip and reads the full body. A
+// body-read failure (e.g. the peer died mid-response) is a transport
+// error and therefore retryable; decoding is the caller's concern.
+func (c *Client) exchange(ctx context.Context, method, path string, body []byte, hdr http.Header, hedged bool) attemptResult {
 	var rd io.Reader
 	if body != nil {
 		rd = bytes.NewReader(body)
@@ -348,6 +450,14 @@ func (c *Client) exchange(ctx context.Context, method, path string, body []byte,
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	for k, vs := range c.cfg.Header {
+		for _, v := range vs {
+			req.Header.Add(k, v)
+		}
+	}
+	for k, vs := range hdr {
+		req.Header[k] = vs // per-call headers override Config.Header
+	}
 	httpResp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
 		return attemptResult{err: err, hedged: hedged}
@@ -355,11 +465,11 @@ func (c *Client) exchange(ctx context.Context, method, path string, body []byte,
 	defer httpResp.Body.Close()
 	c.cfg.Metrics.Counter("relsyn_client_requests_total",
 		obs.L("code", strconv.Itoa(httpResp.StatusCode))).Inc()
-	var env Response
-	if err := json.NewDecoder(io.LimitReader(httpResp.Body, 64<<20)).Decode(&env); err != nil {
-		return attemptResult{err: fmt.Errorf("decode response (HTTP %d): %w", httpResp.StatusCode, err), hedged: hedged}
+	raw, err := io.ReadAll(io.LimitReader(httpResp.Body, 64<<20))
+	if err != nil {
+		return attemptResult{err: fmt.Errorf("read response (HTTP %d): %w", httpResp.StatusCode, err), hedged: hedged}
 	}
-	out := attemptResult{resp: &env, code: httpResp.StatusCode, hedged: hedged}
+	out := attemptResult{body: raw, code: httpResp.StatusCode, hedged: hedged}
 	if out.code == http.StatusTooManyRequests || out.code == http.StatusServiceUnavailable {
 		if ra, err := strconv.Atoi(httpResp.Header.Get("Retry-After")); err == nil && ra > 0 {
 			out.retryAfter = time.Duration(ra) * time.Second

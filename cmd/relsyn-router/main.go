@@ -1,0 +1,152 @@
+// Command relsyn-router is the stateless front door of a sharded
+// relsynd fleet. It owns no compute and no cache: each submission is
+// parsed just far enough to content-address it, mapped onto the
+// consistent-hash ring (internal/cluster), and forwarded to the owning
+// shard — hedging to the next ring replica when the owner is slow,
+// failing over past dead shards behind per-peer circuit breakers, and
+// refusing forwarded re-entry (508) so a misconfigured -peers list that
+// includes the router itself cannot loop.
+//
+// Usage:
+//
+//	relsyn-router -peers host:port,... [-addr :8338] [-vnodes 64]
+//	              [-hedge-after 100ms] [-forward-timeout 2m]
+//	              [-max-attempts 2] [-breaker-threshold 3]
+//	              [-breaker-cooldown 5s] [-drain-timeout 30s]
+//
+// -peers is the full shard fleet, in any order — the same list every
+// relsynd was given, so router and shards agree on placement. -vnodes
+// must match the shards' setting. -hedge-after 0 disables hedging.
+//
+// Endpoints mirror a shard's public surface (POST /v1/synth,
+// POST /v1/synth/batch, GET /v1/jobs/{id}) plus router-side GET
+// /healthz (200 while at least one shard is live; per-peer breaker
+// state in the body), /statsz (ring + peer snapshot), and /metrics
+// (relsyn_cluster_* series). See DESIGN §12.
+//
+// SIGINT/SIGTERM shuts down gracefully: in-flight forwards finish
+// (bounded by -drain-timeout), then the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"relsyn/internal/cluster"
+)
+
+func main() {
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr, sig))
+}
+
+// routerConfig is the parsed flag set.
+type routerConfig struct {
+	addr         string
+	drainTimeout time.Duration
+	router       cluster.RouterConfig
+}
+
+func parseFlags(args []string, stderr io.Writer) (*routerConfig, error) {
+	fs := flag.NewFlagSet("relsyn-router", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	cfg := &routerConfig{}
+	var peers string
+	fs.StringVar(&cfg.addr, "addr", ":8338", "listen address")
+	fs.StringVar(&peers, "peers", "", "comma-separated relsynd shard fleet (required)")
+	fs.IntVar(&cfg.router.VNodes, "vnodes", 0, "virtual nodes per peer on the placement ring (default 64; must match the shards)")
+	fs.DurationVar(&cfg.router.HedgeAfter, "hedge-after", 100*time.Millisecond, "race the next ring replica after this delay (0 = no hedging)")
+	fs.DurationVar(&cfg.router.ForwardTimeout, "forward-timeout", 0, "budget for one forwarded exchange (default 2m)")
+	fs.IntVar(&cfg.router.MaxAttempts, "max-attempts", 0, "per-shard retry budget before failing over (default 2)")
+	fs.IntVar(&cfg.router.BreakerThreshold, "breaker-threshold", 0, "consecutive failures that open a peer's breaker (default 3)")
+	fs.DurationVar(&cfg.router.BreakerCooldown, "breaker-cooldown", 0, "open-breaker cooldown before a half-open probe (default 5s)")
+	fs.DurationVar(&cfg.drainTimeout, "drain-timeout", 30*time.Second, "grace period for in-flight forwards on shutdown")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		fs.Usage()
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if peers == "" {
+		fs.Usage()
+		return nil, errors.New("-peers is required")
+	}
+	cfg.router.Peers = strings.Split(peers, ",")
+	// Validate the ring now so flag errors exit 2 with a parse-time
+	// message instead of a boot failure.
+	if _, err := cluster.NewRing(cfg.router.Peers, cfg.router.VNodes); err != nil {
+		fs.Usage()
+		return nil, err
+	}
+	return cfg, nil
+}
+
+// run is the testable entry point. Exit codes: 0 clean shutdown, 1
+// runtime failure, 2 flag errors.
+func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
+	cfg, err := parseFlags(args, stderr)
+	if err != nil {
+		if errors.Is(err, flag.ErrHelp) {
+			return 0
+		}
+		fmt.Fprintf(stderr, "relsyn-router: %v\n", err)
+		return 2
+	}
+	rt, err := cluster.NewRouter(cfg.router)
+	if err != nil {
+		fmt.Fprintf(stderr, "relsyn-router: %v\n", err)
+		return 1
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		fmt.Fprintf(stderr, "relsyn-router: listen: %v\n", err)
+		return 1
+	}
+	httpSrv := &http.Server{
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	fmt.Fprintf(stdout, "relsyn-router: listening on %s, routing %d shards\n",
+		ln.Addr(), len(rt.Ring().Peers()))
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintf(stderr, "relsyn-router: serve: %v\n", err)
+		return 1
+	case s := <-sig:
+		fmt.Fprintf(stdout, "relsyn-router: %v received, draining (up to %s)\n", s, cfg.drainTimeout)
+	}
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.drainTimeout)
+	defer cancel()
+	go func() {
+		select {
+		case s := <-sig:
+			fmt.Fprintf(stderr, "relsyn-router: second %v, forcing stop\n", s)
+			cancel()
+		case <-drainCtx.Done():
+		}
+	}()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(stderr, "relsyn-router: shutdown: %v\n", err)
+		httpSrv.Close()
+		return 1
+	}
+	fmt.Fprintln(stdout, "relsyn-router: drained cleanly")
+	return 0
+}

@@ -1,0 +1,134 @@
+package main
+
+import (
+	"bytes"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// lockedBuffer lets the test poll output written by the daemon
+// goroutine without racing.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+var listenRE = regexp.MustCompile(`listening on ([^\s,]+)`)
+
+// startRouter runs the daemon on an ephemeral port and returns its base
+// URL, signal channel, and a channel carrying the exit code.
+func startRouter(t *testing.T, args []string, out *lockedBuffer, errOut io.Writer) (string, chan os.Signal, chan int) {
+	t.Helper()
+	sig := make(chan os.Signal, 2)
+	code := make(chan int, 1)
+	go func() { code <- run(append([]string{"-addr", "127.0.0.1:0"}, args...), out, errOut, sig) }()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := listenRE.FindStringSubmatch(out.String()); m != nil {
+			return "http://" + m[1], sig, code
+		}
+		select {
+		case c := <-code:
+			t.Fatalf("daemon exited %d before listening; output: %q", c, out.String())
+		default:
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("daemon never announced its address; output: %q", out.String())
+	return "", nil, nil
+}
+
+func TestFlagErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string
+	}{
+		{"missing peers", nil, "-peers is required"},
+		{"duplicate peer", []string{"-peers", "a:1,b:2,a:1"}, "duplicate peer"},
+		{"positional args", []string{"-peers", "a:1", "extra"}, "unexpected arguments"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errOut lockedBuffer
+			if code := run(tc.args, &out, &errOut, nil); code != 2 {
+				t.Fatalf("exit code = %d, want 2", code)
+			}
+			if !strings.Contains(errOut.String(), tc.want) {
+				t.Fatalf("stderr %q does not mention %q", errOut.String(), tc.want)
+			}
+		})
+	}
+}
+
+func TestListenFailureExitsOne(t *testing.T) {
+	// Occupy a port, then ask the daemon to bind it.
+	ts := httptest.NewServer(http.NotFoundHandler())
+	defer ts.Close()
+	addr := strings.TrimPrefix(ts.URL, "http://")
+
+	var out, errOut lockedBuffer
+	if code := run([]string{"-addr", addr, "-peers", "127.0.0.1:1"}, &out, &errOut, nil); code != 1 {
+		t.Fatalf("exit code = %d, want 1; stderr: %q", code, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "listen") {
+		t.Fatalf("stderr %q does not mention listen", errOut.String())
+	}
+}
+
+// The daemon boots against an unreachable fleet (the router is
+// stateless — shard liveness is a data-plane concern), serves its
+// control endpoints, and drains cleanly on the first signal.
+func TestGracefulShutdown(t *testing.T) {
+	var out, errOut lockedBuffer
+	url, sig, code := startRouter(t, []string{"-peers", "127.0.0.1:1,127.0.0.1:2"}, &out, &errOut)
+
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	resp, err = http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatalf("metrics: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(body), "relsyn_cluster_forwards_total") {
+		t.Fatalf("/metrics missing relsyn_cluster_forwards_total:\n%s", body)
+	}
+
+	sig <- syscall.SIGTERM
+	select {
+	case c := <-code:
+		if c != 0 {
+			t.Fatalf("exit code = %d, want 0; stderr: %q", c, errOut.String())
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("daemon did not exit after SIGTERM")
+	}
+	if !strings.Contains(out.String(), "drained cleanly") {
+		t.Fatalf("stdout %q missing drain message", out.String())
+	}
+}

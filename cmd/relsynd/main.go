@@ -10,6 +10,16 @@
 //	        [-drain-timeout 30s] [-pprof-addr localhost:6060]
 //	        [-max-bdd-nodes N] [-max-conflicts N] [-max-aig-nodes N] [-j N]
 //	        [-store-dir DIR] [-wal-sync always|interval|off]
+//	        [-peers host:port,... -self host:port] [-vnodes 64]
+//	        [-peer-fill-timeout 1s]
+//
+// Clustering: -peers (the full shard fleet, identical on every node and
+// on the router) plus -self (this node's entry in that list) makes the
+// shard cluster-aware: before computing a cache miss it asks the key's
+// consistent-hash ring owner for the finished result via the internal
+// GET /v1/cache/{key} endpoint, so keys that arrive here via router
+// hedging or failover are fetched instead of recomputed. -vnodes must
+// match the router's setting. See cmd/relsyn-router and DESIGN §12.
 //
 // Durability: -store-dir enables the crash-safe job store (internal/
 // store) — every accepted job is WAL-logged, and on restart interrupted
@@ -43,10 +53,12 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"relsyn"
+	"relsyn/internal/cluster"
 	"relsyn/internal/obs"
 	"relsyn/internal/pipeline"
 	"relsyn/internal/server"
@@ -81,6 +93,7 @@ type daemonConfig struct {
 	kernels      bool
 	storeDir     string
 	walSync      string
+	peers        string
 	server       server.Config
 	budget       budgetDefaults
 }
@@ -115,6 +128,10 @@ func parseFlags(args []string, stderr io.Writer) (*daemonConfig, error) {
 	fs.BoolVar(&cfg.kernels, "kernels", true, "use word-parallel bitset kernels process-wide (false = bit-identical scalar paths); per-job override via the \"kernels\" wire option")
 	fs.StringVar(&cfg.storeDir, "store-dir", "", "directory for the durable job store (empty = volatile, no durability)")
 	fs.StringVar(&cfg.walSync, "wal-sync", "always", "WAL fsync policy: always, interval, or off")
+	fs.StringVar(&cfg.peers, "peers", "", "comma-separated shard fleet (including this node) for peer cache fill; empty = standalone")
+	fs.StringVar(&cfg.server.SelfAddr, "self", "", "this node's entry in -peers (required with -peers)")
+	fs.IntVar(&cfg.server.PeerVNodes, "vnodes", 0, "virtual nodes per peer on the placement ring (default 64; must match the router)")
+	fs.DurationVar(&cfg.server.PeerFillTimeout, "peer-fill-timeout", 0, "budget for one peer cache-fill fetch (default 1s)")
 	if err := fs.Parse(args); err != nil {
 		return nil, err
 	}
@@ -130,7 +147,40 @@ func parseFlags(args []string, stderr io.Writer) (*daemonConfig, error) {
 		fs.Usage()
 		return nil, err
 	}
+	if err := cfg.validateCluster(); err != nil {
+		fs.Usage()
+		return nil, err
+	}
 	return cfg, nil
+}
+
+// validateCluster checks the -peers/-self pair before server.New (which
+// treats cluster misconfiguration as a boot-time panic): the list must
+// build a valid ring and -self must be one of its members.
+func (cfg *daemonConfig) validateCluster() error {
+	if cfg.peers == "" {
+		if cfg.server.SelfAddr != "" {
+			return errors.New("-self requires -peers")
+		}
+		return nil
+	}
+	peers := strings.Split(cfg.peers, ",")
+	ring, err := cluster.NewRing(peers, cfg.server.PeerVNodes)
+	if err != nil {
+		return err
+	}
+	self := strings.TrimSpace(cfg.server.SelfAddr)
+	if self == "" {
+		return errors.New("-peers requires -self (this node's entry in the list)")
+	}
+	for _, p := range ring.Peers() {
+		if p == self {
+			cfg.server.Peers = peers
+			cfg.server.SelfAddr = self
+			return nil
+		}
+	}
+	return fmt.Errorf("-self %q is not in -peers %v", self, ring.Peers())
 }
 
 // backendWithDefaults wraps pipeline.RunJob, filling in server-wide

@@ -1,0 +1,83 @@
+package cluster
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// FuzzRing drives the two placement invariants with fuzzer-chosen peer
+// sets and keys:
+//
+//  1. permutation invariance — reversing (any reordering of) the peer
+//     list changes no placement;
+//  2. bounded churn — removing one peer remaps only keys that peer
+//     owned, and every remapped key lands on the removed peer's
+//     successor chain, never reshuffling survivors among themselves.
+func FuzzRing(f *testing.F) {
+	f.Add("a:1,b:2,c:3", "some-spec-hash", uint8(3))
+	f.Add("shard-0:8337,shard-1:8337,shard-2:8337,shard-3:8337", "deadbeef", uint8(16))
+	f.Add("x", "k", uint8(1))
+	f.Add("p:1,q:2", "", uint8(64))
+	f.Fuzz(func(t *testing.T, peerCSV, key string, vnodes uint8) {
+		peers := strings.Split(peerCSV, ",")
+		r, err := NewRing(peers, int(vnodes))
+		if err != nil {
+			t.Skip() // invalid peer set (empty/dup) — rejected by construction
+		}
+		// Derive a family of keys from the fuzz key so each input
+		// exercises many placements.
+		keys := make([]string, 0, 32)
+		for i := 0; i < 32; i++ {
+			keys = append(keys, fmt.Sprintf("%s/%d", key, i))
+		}
+
+		// Invariant 1: permutation invariance (reverse order).
+		rev := make([]string, len(peers))
+		for i, p := range peers {
+			rev[len(peers)-1-i] = p
+		}
+		rr, err := NewRing(rev, int(vnodes))
+		if err != nil {
+			t.Fatalf("reversed peer list rejected: %v", err)
+		}
+		for _, k := range keys {
+			if a, b := r.Owner(k), rr.Owner(k); a != b {
+				t.Fatalf("Owner(%q) order-dependent: %q vs %q", k, a, b)
+			}
+		}
+
+		// Invariant 2: bounded churn on single-peer removal.
+		if len(r.Peers()) < 2 {
+			return
+		}
+		removed := r.Owner(keys[0]) // remove a peer that owns something
+		rest := make([]string, 0, len(r.Peers())-1)
+		for _, p := range r.Peers() {
+			if p != removed {
+				rest = append(rest, p)
+			}
+		}
+		smaller, err := NewRing(rest, int(vnodes))
+		if err != nil {
+			t.Fatalf("removal peer list rejected: %v", err)
+		}
+		for _, k := range keys {
+			before, after := r.Owner(k), smaller.Owner(k)
+			if before != removed && before != after {
+				t.Fatalf("removing %q moved key %q owned by %q to %q", removed, k, before, after)
+			}
+			if before == removed {
+				// The orphaned key must land on its next live replica.
+				for _, succ := range r.Replicas(k, 0)[1:] {
+					if succ == after {
+						break
+					}
+					if succ != removed {
+						t.Fatalf("orphaned key %q skipped live successor %q to land on %q", k, succ, after)
+					}
+				}
+			}
+		}
+	})
+}

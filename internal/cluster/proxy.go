@@ -1,0 +1,66 @@
+// Forwarding hygiene shared by the router and relsynd's peer-fill
+// client: hop-by-hop header stripping and the loop-breaking forwarded
+// marker.
+package cluster
+
+import (
+	"net/http"
+	"net/textproto"
+	"strings"
+)
+
+// HeaderForwarded marks a request that already crossed one relsyn
+// routing hop. The router sets it on every forwarded request and
+// refuses (508 Loop Detected) any inbound request that carries it: a
+// -peers list that mistakenly includes the router itself then degrades
+// into an ordinary failover instead of an infinite forwarding loop.
+// relsynd sets it on peer cache-fill fetches for the same reason.
+const HeaderForwarded = "X-Relsyn-Forwarded"
+
+// hopByHop are the RFC 9110 §7.6.1 connection-scoped headers a proxy
+// must not forward (keys in canonical MIME form).
+var hopByHop = map[string]bool{
+	"Connection":          true,
+	"Keep-Alive":          true,
+	"Proxy-Authenticate":  true,
+	"Proxy-Authorization": true,
+	"Te":                  true,
+	"Trailer":             true,
+	"Transfer-Encoding":   true,
+	"Upgrade":             true,
+}
+
+// ForwardHeaders returns the headers safe to attach to a forwarded
+// request: a copy of src with hop-by-hop headers (and any header named
+// in Connection) stripped, message-framing headers dropped (the
+// forwarder re-frames the body it sends), and HeaderForwarded set to
+// via so the next hop can detect a forwarding loop.
+func ForwardHeaders(src http.Header, via string) http.Header {
+	drop := make(map[string]bool, len(hopByHop)+2)
+	for k := range hopByHop {
+		drop[k] = true
+	}
+	for _, field := range src.Values("Connection") {
+		for _, name := range strings.Split(field, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				drop[textproto.CanonicalMIMEHeaderKey(name)] = true
+			}
+		}
+	}
+	dst := make(http.Header, len(src))
+	for k, vs := range src {
+		ck := textproto.CanonicalMIMEHeaderKey(k)
+		switch {
+		case drop[ck]:
+		case ck == "Host" || ck == "Content-Length" || ck == "Content-Type":
+			// Re-framed by the outbound request.
+		case ck == HeaderForwarded:
+			// Never propagate an inbound marker: the loop check already
+			// ran, and the outbound hop gets this forwarder's own.
+		default:
+			dst[ck] = append([]string(nil), vs...)
+		}
+	}
+	dst.Set(HeaderForwarded, via)
+	return dst
+}

@@ -1,0 +1,203 @@
+// Package cluster is the sharded serving tier: a consistent-hash ring
+// that assigns every content-addressed specification to exactly one
+// owning relsynd shard, and a stateless router (router.go) that maps
+// requests onto the ring, hedges slow shards against their ring
+// successors, and fails over past dead ones.
+//
+// Placement contract (DESIGN §12):
+//
+//   - Deterministic: ownership depends only on the peer *set* and the
+//     key — never on the order peers were listed, the node computing
+//     the placement, or any runtime state. Every shard and every router
+//     holding the same -peers list computes identical owners, which is
+//     what makes peer cache fill (internal/server) and router hedging
+//     safe without coordination.
+//   - Bounded churn: removing one peer remaps only the keys that peer
+//     owned; every other key keeps its owner. Virtual nodes (VNodes
+//     points per peer) keep the per-peer load share balanced.
+//   - Replica order: Replicas(key, n) walks the ring clockwise from the
+//     key's point and returns the first n distinct peers. Index 0 is
+//     the owner; the rest are the hedging / failover chain, again
+//     identical on every node.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// DefaultVNodes is the virtual-node count per peer: 64 points per peer
+// keeps the largest/smallest ownership share within ~2x of even for
+// small fleets while the ring stays tiny (3 shards = 192 points).
+const DefaultVNodes = 64
+
+// Domain separators keep ring-point hashes and key hashes in disjoint
+// hash families (a peer name can never collide with a key).
+const (
+	ringPointDomain = "relsyn/ring/point/v1\n"
+	ringKeyDomain   = "relsyn/ring/key/v1\n"
+)
+
+// point is one virtual node: a position on the 64-bit ring owned by a
+// peer (indexed into Ring.peers).
+type point struct {
+	h    uint64
+	peer int32
+}
+
+// Ring is an immutable consistent-hash ring over a static peer set.
+// Safe for concurrent use.
+type Ring struct {
+	vnodes int
+	peers  []string // sorted, deduplicated
+	points []point  // sorted by (h, peer name)
+}
+
+// NewRing builds a ring over peers with vnodes virtual nodes per peer
+// (vnodes <= 0 selects DefaultVNodes). Peer strings are trimmed; empty
+// entries are dropped; duplicates are an error (they would silently
+// double that peer's share).
+func NewRing(peers []string, vnodes int) (*Ring, error) {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	seen := make(map[string]bool, len(peers))
+	clean := make([]string, 0, len(peers))
+	for _, p := range peers {
+		p = strings.TrimSpace(p)
+		if p == "" {
+			continue
+		}
+		if seen[p] {
+			return nil, fmt.Errorf("cluster: duplicate peer %q", p)
+		}
+		seen[p] = true
+		clean = append(clean, p)
+	}
+	if len(clean) == 0 {
+		return nil, errors.New("cluster: ring needs at least one peer")
+	}
+	sort.Strings(clean)
+	r := &Ring{vnodes: vnodes, peers: clean}
+	r.points = make([]point, 0, len(clean)*vnodes)
+	for pi, p := range clean {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, point{h: pointHash(p, v), peer: int32(pi)})
+		}
+	}
+	// Ties (64-bit collisions between different peers' points) are
+	// broken by peer name so that placement stays deterministic and the
+	// bounded-churn property survives removals.
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].h != r.points[j].h {
+			return r.points[i].h < r.points[j].h
+		}
+		return r.peers[r.points[i].peer] < r.peers[r.points[j].peer]
+	})
+	return r, nil
+}
+
+// pointHash places virtual node v of a peer on the ring.
+func pointHash(peer string, v int) uint64 {
+	sum := sha256.Sum256([]byte(ringPointDomain + peer + "#" + strconv.Itoa(v)))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// KeyPoint maps a cache/spec key onto the ring. Exported so tests and
+// diagnostics can reason about placement directly.
+func KeyPoint(key string) uint64 {
+	sum := sha256.Sum256([]byte(ringKeyDomain + key))
+	return binary.BigEndian.Uint64(sum[:8])
+}
+
+// Peers returns the ring membership in sorted order. The slice is
+// shared; callers must not mutate it.
+func (r *Ring) Peers() []string { return r.peers }
+
+// VNodes returns the virtual-node count per peer.
+func (r *Ring) VNodes() int { return r.vnodes }
+
+// Owner returns the peer owning key: the peer whose virtual node is
+// first at or clockwise after the key's ring point.
+func (r *Ring) Owner(key string) string {
+	return r.replicas(KeyPoint(key), 1)[0]
+}
+
+// Replicas returns the first n distinct peers clockwise from key's ring
+// point: the owner first, then its failover/hedging successors. n <= 0
+// or n > len(peers) returns every peer in ring order for this key.
+func (r *Ring) Replicas(key string, n int) []string {
+	return r.replicas(KeyPoint(key), n)
+}
+
+func (r *Ring) replicas(h uint64, n int) []string {
+	if n <= 0 || n > len(r.peers) {
+		n = len(r.peers)
+	}
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].h >= h })
+	out := make([]string, 0, n)
+	taken := make([]bool, len(r.peers))
+	for k := 0; k < len(r.points) && len(out) < n; k++ {
+		pt := r.points[(i+k)%len(r.points)]
+		if !taken[pt.peer] {
+			taken[pt.peer] = true
+			out = append(out, r.peers[pt.peer])
+		}
+	}
+	return out
+}
+
+// Shares returns each peer's exact fraction of the ring (arc length of
+// the key space it owns). Shares sum to 1; with enough virtual nodes
+// they concentrate around 1/len(peers).
+func (r *Ring) Shares() map[string]float64 {
+	out := make(map[string]float64, len(r.peers))
+	for _, p := range r.peers {
+		out[p] = 0
+	}
+	for i, pt := range r.points {
+		// A point owns the arc reaching back to its predecessor;
+		// uint64 subtraction wraps correctly for the first point.
+		arc := pt.h - r.points[(i+len(r.points)-1)%len(r.points)].h
+		if len(r.points) == 1 {
+			arc = math.MaxUint64 // single point owns the whole ring
+		}
+		out[r.peers[pt.peer]] += float64(arc)
+	}
+	const ringSize = float64(1<<63) * 2
+	for k := range out {
+		out[k] /= ringSize
+	}
+	return out
+}
+
+// RingSnapshot is the JSON view of a ring for /statsz.
+type RingSnapshot struct {
+	Peers  []string           `json:"peers"`
+	VNodes int                `json:"vnodes"`
+	Shares map[string]float64 `json:"shares"`
+}
+
+// Snapshot summarizes the ring.
+func (r *Ring) Snapshot() RingSnapshot {
+	return RingSnapshot{
+		Peers:  append([]string(nil), r.peers...),
+		VNodes: r.vnodes,
+		Shares: r.Shares(),
+	}
+}
+
+// BaseURL normalizes a peer address into a client base URL: addresses
+// without a scheme get "http://".
+func BaseURL(addr string) string {
+	if strings.Contains(addr, "://") {
+		return addr
+	}
+	return "http://" + addr
+}

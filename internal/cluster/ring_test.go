@@ -1,0 +1,193 @@
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func keysN(n int) []string {
+	keys := make([]string, n)
+	for i := range keys {
+		keys[i] = fmt.Sprintf("key-%04d", i)
+	}
+	return keys
+}
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty peer list: want error")
+	}
+	if _, err := NewRing([]string{" ", ""}, 0); err == nil {
+		t.Fatal("all-blank peer list: want error")
+	}
+	if _, err := NewRing([]string{"a:1", "a:1"}, 0); err == nil {
+		t.Fatal("duplicate peer: want error")
+	}
+	if _, err := NewRing([]string{"a:1", " a:1 "}, 0); err == nil {
+		t.Fatal("duplicate peer after trim: want error")
+	}
+	r, err := NewRing([]string{" b:2 ", "a:1", ""}, 0)
+	if err != nil {
+		t.Fatalf("NewRing: %v", err)
+	}
+	if got, want := r.Peers(), []string{"a:1", "b:2"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Peers() = %v, want %v (trimmed, sorted)", got, want)
+	}
+	if r.VNodes() != DefaultVNodes {
+		t.Fatalf("VNodes() = %d, want default %d", r.VNodes(), DefaultVNodes)
+	}
+}
+
+// Placement must depend only on the peer set, never on list order.
+func TestRingPermutationInvariance(t *testing.T) {
+	peers := []string{"s1:8337", "s2:8337", "s3:8337", "s4:8337", "s5:8337"}
+	base, err := NewRing(peers, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := keysN(500)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5; trial++ {
+		shuffled := append([]string(nil), peers...)
+		rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+		r, err := NewRing(shuffled, 16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range keys {
+			if got, want := r.Owner(k), base.Owner(k); got != want {
+				t.Fatalf("trial %d: Owner(%q) = %q under order %v, want %q", trial, k, got, shuffled, want)
+			}
+			if got, want := r.Replicas(k, 3), base.Replicas(k, 3); !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d: Replicas(%q) = %v, want %v", trial, k, got, want)
+			}
+		}
+	}
+}
+
+func TestRingReplicas(t *testing.T) {
+	r, err := NewRing([]string{"a:1", "b:2", "c:3"}, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keysN(100) {
+		all := r.Replicas(k, 0)
+		if len(all) != 3 {
+			t.Fatalf("Replicas(%q, 0) = %v, want all 3 peers", k, all)
+		}
+		seen := map[string]bool{}
+		for _, p := range all {
+			if seen[p] {
+				t.Fatalf("Replicas(%q, 0) repeats %q: %v", k, p, all)
+			}
+			seen[p] = true
+		}
+		if all[0] != r.Owner(k) {
+			t.Fatalf("Replicas(%q)[0] = %q, Owner = %q", k, all[0], r.Owner(k))
+		}
+		if two := r.Replicas(k, 2); !reflect.DeepEqual(two, all[:2]) {
+			t.Fatalf("Replicas(%q, 2) = %v, want prefix of %v", k, two, all)
+		}
+		if ten := r.Replicas(k, 10); !reflect.DeepEqual(ten, all) {
+			t.Fatalf("Replicas(%q, 10) = %v, want clamped to %v", k, ten, all)
+		}
+	}
+}
+
+// Removing one peer must remap only the keys that peer owned.
+func TestRingBoundedChurn(t *testing.T) {
+	peers := []string{"s1:8337", "s2:8337", "s3:8337", "s4:8337"}
+	full, err := NewRing(peers, DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := keysN(2000)
+	for drop := range peers {
+		rest := make([]string, 0, len(peers)-1)
+		for i, p := range peers {
+			if i != drop {
+				rest = append(rest, p)
+			}
+		}
+		smaller, err := NewRing(rest, DefaultVNodes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, k := range keys {
+			before, after := full.Owner(k), smaller.Owner(k)
+			if before == after {
+				continue
+			}
+			if before != peers[drop] {
+				t.Fatalf("dropping %q moved key %q from %q to %q — churn must be bounded to the removed peer's keys",
+					peers[drop], k, before, after)
+			}
+			moved++
+		}
+		if moved == 0 {
+			t.Fatalf("dropping %q moved no keys out of %d — implausible", peers[drop], len(keys))
+		}
+	}
+}
+
+func TestRingSharesBalanced(t *testing.T) {
+	r, err := NewRing([]string{"s1:8337", "s2:8337", "s3:8337"}, DefaultVNodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shares := r.Shares()
+	sum := 0.0
+	for p, s := range shares {
+		sum += s
+		// 64 vnodes keeps every share within a loose factor of even.
+		if s < 1.0/3/3 || s > 3.0/3 {
+			t.Fatalf("share[%s] = %f, wildly unbalanced", p, s)
+		}
+	}
+	if sum < 0.999 || sum > 1.001 {
+		t.Fatalf("shares sum to %f, want 1", sum)
+	}
+	// Placement counts should roughly follow the arc shares.
+	counts := map[string]int{}
+	keys := keysN(3000)
+	for _, k := range keys {
+		counts[r.Owner(k)]++
+	}
+	for p, c := range counts {
+		frac := float64(c) / float64(len(keys))
+		if diff := frac - shares[p]; diff > 0.1 || diff < -0.1 {
+			t.Fatalf("peer %s: observed %f of keys vs arc share %f", p, frac, shares[p])
+		}
+	}
+}
+
+func TestRingSinglePeer(t *testing.T) {
+	r, err := NewRing([]string{"only:1"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range keysN(10) {
+		if r.Owner(k) != "only:1" {
+			t.Fatalf("Owner(%q) = %q", k, r.Owner(k))
+		}
+	}
+	if s := r.Shares()["only:1"]; s < 0.999 || s > 1.001 {
+		t.Fatalf("single peer share = %f, want 1", s)
+	}
+}
+
+func TestBaseURL(t *testing.T) {
+	for in, want := range map[string]string{
+		"127.0.0.1:8337":        "http://127.0.0.1:8337",
+		"http://shard-a:8337":   "http://shard-a:8337",
+		"https://shard-a":       "https://shard-a",
+		"shard-b.internal:8337": "http://shard-b.internal:8337",
+	} {
+		if got := BaseURL(in); got != want {
+			t.Errorf("BaseURL(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

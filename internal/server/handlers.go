@@ -84,6 +84,7 @@ func (s *Server) Handler() http.Handler {
 	route("POST /v1/synth", "/v1/synth", s.handleSynth)
 	route("POST /v1/synth/batch", "/v1/synth/batch", s.handleBatch)
 	route("GET /v1/jobs/{id}", "/v1/jobs/{id}", s.handleJob)
+	route("GET /v1/cache/{key}", "/v1/cache/{key}", s.handleCacheGet)
 	route("GET /healthz", "/healthz", s.handleHealthz)
 	route("GET /statsz", "/statsz", s.handleStatsz)
 	route("GET /metrics", "/metrics", s.handleMetrics)
@@ -267,6 +268,22 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		results[i] = respond(sl.out.Job, sl.out.Cached, sl.out.Coalesced)
 	}
 	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+}
+
+// handleCacheGet is the intra-cluster cache-fill protocol: a peer shard
+// probing for a finished result by full cache key ("<spec hash>|<options
+// key>"). Read-only — a probe never enqueues work and never initiates
+// fetches of its own, so shard-to-shard fills cannot cascade or loop.
+// Registered unconditionally: on a non-clustered node it is just a
+// cache inspection endpoint.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	res, ok := s.cache.Get(key)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, SynthResponse{Status: "miss"})
+		return
+	}
+	writeJSON(w, http.StatusOK, SynthResponse{Status: StatusDone, Cached: true, Result: res})
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {

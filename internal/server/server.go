@@ -94,6 +94,21 @@ type Config struct {
 	// obs.Default, which also carries the pipeline stage metrics. Tests
 	// pass a fresh registry for isolation.
 	Metrics *obs.Registry
+	// Peers, when non-empty, makes this shard cluster-aware: the full
+	// fleet membership (including this node, matching every other node's
+	// -peers flag) used to build the placement ring for peer cache fill.
+	Peers []string
+	// SelfAddr is this shard's own entry in Peers (required with Peers):
+	// it pins which ring positions are local so the shard never fetches
+	// from itself.
+	SelfAddr string
+	// PeerVNodes is the ring's virtual-node count per peer (default
+	// cluster.DefaultVNodes). Must match the routers' setting.
+	PeerVNodes int
+	// PeerFillTimeout bounds one peer cache-fill fetch (default 1s) —
+	// kept short because the fallback, computing locally, is always
+	// available.
+	PeerFillTimeout time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -249,6 +264,7 @@ type Server struct {
 	inFly   flight.Group[*jobState]
 	st      *store.Store
 	breaker *store.Breaker
+	peers   *peerFill // nil outside sharded deployments
 
 	mu       sync.Mutex
 	jobs     map[string]*jobState
@@ -284,6 +300,15 @@ func New(cfg Config) *Server {
 			s.breaker = store.NewBreaker(0, 0)
 		}
 		s.breaker.Instrument(reg)
+	}
+	if len(cfg.Peers) > 0 {
+		pf, err := newPeerFill(cfg, reg)
+		if err != nil {
+			// Cluster misconfiguration is a boot-time programmer/operator
+			// error; cmd/relsynd validates its flags before reaching here.
+			panic(err)
+		}
+		s.peers = pf
 	}
 	reg.SetHelp("relsyn_jobs_submitted_total", "Jobs submitted (before cache/coalesce short-circuits).")
 	reg.SetHelp("relsyn_jobs_completed_total", "Jobs that ran to a successful result.")
@@ -569,6 +594,15 @@ func (s *Server) runJob(w *work) {
 	}
 	js.setRunning()
 	s.persist(store.Record{ID: js.id, Key: js.key, Status: store.StatusRunning})
+	// Sharded deployments: before computing, ask the key's ring owner
+	// for the finished result — hedged/failed-over/rebalanced keys are
+	// fetched, not recomputed. Best-effort; any miss computes locally.
+	if s.peers != nil {
+		if res, ok := s.peers.fetch(w.ctx, js.key); ok {
+			s.completeJob(js, res)
+			return
+		}
+	}
 	res, err := s.callBackend(w)
 	if err != nil {
 		s.c.failed.Inc()
@@ -577,6 +611,13 @@ func (s *Server) runJob(w *work) {
 		s.inFly.Forget(js.key)
 		return
 	}
+	s.completeJob(js, res)
+}
+
+// completeJob publishes a successful result: cache first (before the
+// singleflight key is forgotten, so duplicates never recompute), then
+// waiters, then the durable trail.
+func (s *Server) completeJob(js *jobState, res *pipeline.JobResult) {
 	s.c.completed.Inc()
 	s.cache.Add(js.key, res)
 	js.finish(StatusDone, res, nil)
