@@ -17,10 +17,12 @@ import (
 	"sync"
 	"testing"
 
+	"relsyn/client"
 	"relsyn/internal/cluster"
 	"relsyn/internal/complexity"
 	"relsyn/internal/core"
 	"relsyn/internal/experiments"
+	"relsyn/internal/fleet"
 	"relsyn/internal/obs"
 	"relsyn/internal/reliability"
 	"relsyn/internal/server"
@@ -727,6 +729,76 @@ func BenchmarkClusterThroughput(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			fireServerRequests(b, url, specs, total)
+		}
+	})
+}
+
+// BenchmarkFleetThroughput measures the serving stack through the fleet
+// harness itself: 64 unpaced closed-loop ops from internal/fleet's
+// generator against one in-process shard, reusing the same pinned spec
+// pool both ways.
+//
+//   - cold: every iteration boots an empty shard and sweeps the pool
+//     round-robin (grid mix) — cache-adversarial, so the measured path
+//     is real synthesis behind the harness.
+//   - warm: one primed shard, hot-skewed mix — the measured path is the
+//     harness plus cache-hit serving, i.e. the load-generation overhead
+//     in isolation.
+//
+// CI gates the warm/cold speedup ratio via cmd/benchjson -pair
+// warm,cold (BENCH_fleet.json). Verdicts are ignored here: the SLO
+// engine is off (zero-valued SLO) and only throughput is measured.
+func BenchmarkFleetThroughput(b *testing.B) {
+	pool, err := fleet.BuildPool(fleet.PoolParams{Inputs: 6, Outputs: 1, Size: 8, Seed: 7})
+	if err != nil {
+		b.Fatal(err)
+	}
+	newDriver := func(base string) *client.Client {
+		cl, err := client.New(client.Config{BaseURL: base, Metrics: obs.NewRegistry()})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return cl
+	}
+	runFleet := func(base string, mix fleet.Mix) {
+		rep, err := fleet.Run(context.Background(), fleet.Config{
+			Driver:   newDriver(base),
+			Pool:     pool,
+			TotalOps: 64,
+			Mix:      mix,
+			Seed:     7,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Lost != 0 {
+			b.Fatalf("lost %d accepted jobs", rep.Lost)
+		}
+	}
+
+	b.Run("node=1/cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			srv := server.New(server.Config{Workers: 4, Metrics: obs.NewRegistry()})
+			ts := httptest.NewServer(srv.Handler())
+			b.StartTimer()
+			runFleet(ts.URL, fleet.Mix{fleet.OpGrid: 1})
+			b.StopTimer()
+			ts.Close()
+			srv.Close()
+			b.StartTimer()
+		}
+	})
+
+	b.Run("node=1/warm", func(b *testing.B) {
+		srv := server.New(server.Config{Workers: 4, Metrics: obs.NewRegistry()})
+		defer srv.Close()
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		runFleet(ts.URL, fleet.Mix{fleet.OpGrid: 1}) // prime the cache
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			runFleet(ts.URL, fleet.Mix{fleet.OpHot: 1})
 		}
 	})
 }

@@ -289,3 +289,98 @@ func TestClientMetricsExposition(t *testing.T) {
 		}
 	}
 }
+
+// TestWaitHonorsRetryAfterUnder429 pins the poll loop's interaction
+// with backpressure: a 429 inside a poll is retried by the transport
+// layer honoring the server's Retry-After hint, and the poll schedule
+// resumes where it left off once the server answers again.
+func TestWaitHonorsRetryAfterUnder429(t *testing.T) {
+	ts, calls := scriptedServer(t, []struct {
+		code    int
+		body    string
+		headers map[string]string
+	}{
+		{code: 200, body: `{"status":"queued","job_id":"j"}`},
+		{code: 429, body: `{"status":"rejected"}`, headers: map[string]string{"Retry-After": "3"}},
+		{code: 429, body: `{"status":"rejected"}`, headers: map[string]string{"Retry-After": "2"}},
+		{code: 200, body: `{"status":"running","job_id":"j"}`},
+		{code: 200, body: `{"status":"done","job_id":"j"}`},
+	})
+	c, delays, reg := testClient(t, ts.URL, nil)
+	resp, err := c.Wait(context.Background(), "j")
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if resp.Status != "done" {
+		t.Fatalf("status = %s, want done", resp.Status)
+	}
+	if calls.Load() != 5 {
+		t.Fatalf("server saw %d calls, want 5", calls.Load())
+	}
+	// poll 1 sleeps backoff(1); the 429s sleep their Retry-After hints;
+	// poll 2 (which absorbed both 429s) sleeps backoff(2).
+	want := []time.Duration{
+		100 * time.Millisecond, // after the first pending poll
+		3 * time.Second,        // Retry-After: 3
+		2 * time.Second,        // Retry-After: 2
+		200 * time.Millisecond, // after the second pending poll
+	}
+	if len(*delays) != len(want) {
+		t.Fatalf("delays = %v, want %v", *delays, want)
+	}
+	for i, d := range *delays {
+		if d != want[i] {
+			t.Fatalf("delay[%d] = %v, want %v", i, d, want[i])
+		}
+	}
+	if got := reg.Counter("relsyn_client_retries_total").Value(); got != 2 {
+		t.Fatalf("retries counter = %d, want 2 (the 429s; poll sleeps are not retries)", got)
+	}
+}
+
+// TestWaitBoundedPollsAndCtxCancel pins two Wait safety properties: the
+// per-poll delay is capped (the schedule stops growing at backoff(6)),
+// and a context cancellation mid-wait surfaces promptly instead of
+// looping forever against a never-terminal job.
+func TestWaitBoundedPollsAndCtxCancel(t *testing.T) {
+	ts, calls := scriptedServer(t, []struct {
+		code    int
+		body    string
+		headers map[string]string
+	}{
+		{code: 200, body: `{"status":"running","job_id":"j"}`},
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const sleepsBeforeCancel = 8
+	var delays []time.Duration
+	c, _, _ := testClient(t, ts.URL, func(cfg *Config) {
+		cfg.Sleep = func(ctx context.Context, d time.Duration) error {
+			delays = append(delays, d)
+			if len(delays) >= sleepsBeforeCancel {
+				cancel()
+			}
+			return ctx.Err()
+		}
+	})
+	if _, err := c.Wait(ctx, "j"); err == nil || ctx.Err() == nil {
+		t.Fatalf("Wait = %v, want context cancellation error", err)
+	}
+	// One poll per sleep: the cancelled sleep ends the loop.
+	if calls.Load() != sleepsBeforeCancel {
+		t.Fatalf("server saw %d polls, want %d", calls.Load(), sleepsBeforeCancel)
+	}
+	// 100ms << 5 = 3.2s: the schedule doubles for five polls and then
+	// holds — an unbounded doubling would blow through MaxBackoff and
+	// make long waits unresponsive to cancellation.
+	cap6 := 3200 * time.Millisecond
+	want := []time.Duration{
+		100 * time.Millisecond, 200 * time.Millisecond, 400 * time.Millisecond,
+		800 * time.Millisecond, 1600 * time.Millisecond, cap6, cap6, cap6,
+	}
+	for i, d := range delays {
+		if d != want[i] {
+			t.Fatalf("delay[%d] = %v, want %v (full: %v)", i, d, want[i], delays)
+		}
+	}
+}

@@ -1,0 +1,368 @@
+// Command relsyn-fleet is the load generator + verdict engine behind
+// the "millions of users" claim: it drives a relsynd deployment with a
+// deterministic, seeded traffic mix — hot-key Zipf skew over a pinned
+// spec pool, batch bursts, async submit-then-poll waves, hostile
+// oversized/invalid bodies, and a C^f/DC-fraction grid sweep from
+// internal/synthetic — scrapes /metrics and /statsz before and after,
+// and emits FLEET_report.json with pass/fail SLO verdicts. The heavy
+// lifting lives in internal/fleet; this binary adds target wiring.
+//
+// Usage (attach to a live deployment):
+//
+//	relsyn-fleet -targets http://router:8338,http://shard1:8337,... \
+//	    -duration 30s -rate 50 [-mix hot=0.5,grid=0.1,batch=0.15,async=0.2,hostile=0.05] \
+//	    [-slo-p99 2s -slo-error-rate 0.01 -slo-hit-rate 0.2] [-report FLEET_report.json]
+//
+// The FIRST -targets entry is driven; every entry is scraped, so list
+// the router first and then the shards to get fleet-wide cache and
+// breaker counters into the verdicts.
+//
+// Usage (self-contained: spawn an in-process cluster):
+//
+//	relsyn-fleet -spawn 3 [-kill-after 8s] -duration 20s -rate 40 ...
+//
+// -spawn N boots N real relsynd shards over loopback TCP (plus a
+// relsyn-router in front when N > 1) inside this process, drives them,
+// and tears them down — the one-command soak used by CI. -kill-after D
+// kills shard 0 mid-soak, reproducing the acceptance scenario: the
+// report must still show zero lost accepted jobs.
+//
+// Exit codes: 0 = SLO verdict pass, 1 = verdict fail, 2 = usage error,
+// 3 = runtime failure (could not build the pool, reach the target, or
+// write the report).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"relsyn/client"
+	"relsyn/internal/cluster"
+	"relsyn/internal/fleet"
+	"relsyn/internal/obs"
+	"relsyn/internal/server"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+type fleetFlags struct {
+	targets   string
+	spawn     int
+	killAfter time.Duration
+
+	duration       time.Duration
+	totalOps       int
+	rate           float64
+	maxOutstanding int
+	mix            string
+	batchSize      int
+	zipfS          float64
+	seed           int64
+	reqTimeout     time.Duration
+	drainGrace     time.Duration
+
+	poolSize int
+	inputs   int
+	outputs  int
+
+	sloP99        time.Duration
+	sloErrorRate  float64
+	sloHitRate    float64
+	sloMaxLost    int64
+	expectLoops   bool
+	expectBreaker bool
+
+	report string
+	quiet  bool
+}
+
+func parseFlags(args []string, stderr io.Writer) (*fleetFlags, error) {
+	fs := flag.NewFlagSet("relsyn-fleet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	f := &fleetFlags{}
+	fs.StringVar(&f.targets, "targets", "", "comma-separated base URLs; first is driven, all are scraped")
+	fs.IntVar(&f.spawn, "spawn", 0, "boot N in-process shards (+router when N>1) instead of attaching")
+	fs.DurationVar(&f.killAfter, "kill-after", 0, "with -spawn: kill shard 0 after this delay")
+	fs.DurationVar(&f.duration, "duration", 30*time.Second, "soak length (wall clock)")
+	fs.IntVar(&f.totalOps, "total-ops", 0, "generate exactly N arrivals instead of running -duration")
+	fs.Float64Var(&f.rate, "rate", 50, "open-loop arrival rate per second (<=0: unpaced closed-loop)")
+	fs.IntVar(&f.maxOutstanding, "max-outstanding", 128, "in-flight op cap (closed-loop fallback)")
+	fs.StringVar(&f.mix, "mix", "", "traffic mix, e.g. hot=0.5,grid=0.1,batch=0.15,async=0.2,hostile=0.05")
+	fs.IntVar(&f.batchSize, "batch-size", 8, "specs per batch op")
+	fs.Float64Var(&f.zipfS, "zipf", 1.25, "hot-key Zipf exponent (>1)")
+	fs.Int64Var(&f.seed, "seed", 1, "master seed for pool, mix schedule, and pacing")
+	fs.DurationVar(&f.reqTimeout, "req-timeout", 30*time.Second, "per-op end-to-end budget")
+	fs.DurationVar(&f.drainGrace, "drain-grace", 30*time.Second, "wait for in-flight ops after generation stops")
+	fs.IntVar(&f.poolSize, "pool", 24, "pinned spec pool size (C^f × DC grid)")
+	fs.IntVar(&f.inputs, "inputs", 8, "truth-table inputs per spec")
+	fs.IntVar(&f.outputs, "outputs", 2, "outputs per spec")
+	fs.DurationVar(&f.sloP99, "slo-p99", 2*time.Second, "p99 bound on sync latency (0 disables)")
+	fs.Float64Var(&f.sloErrorRate, "slo-error-rate", 0.01, "error-rate ceiling (<0 disables)")
+	fs.Float64Var(&f.sloHitRate, "slo-hit-rate", 0, "cache hit-rate floor (0 disables)")
+	fs.Int64Var(&f.sloMaxLost, "slo-max-lost", 0, "lost accepted-jobs ceiling (production bar: 0)")
+	fs.BoolVar(&f.expectLoops, "expect-no-loops", true, "assert zero forwarding-loop breaks")
+	fs.BoolVar(&f.expectBreaker, "expect-no-breaker-trips", true, "assert zero store breaker trips")
+	fs.StringVar(&f.report, "report", "FLEET_report.json", "report path ('-' for stdout)")
+	fs.BoolVar(&f.quiet, "q", false, "suppress progress output")
+	if err := fs.Parse(args); err != nil {
+		return nil, err
+	}
+	if fs.NArg() > 0 {
+		return nil, fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	if (f.targets == "") == (f.spawn == 0) {
+		return nil, fmt.Errorf("exactly one of -targets or -spawn is required")
+	}
+	if f.spawn < 0 {
+		return nil, fmt.Errorf("-spawn %d must be positive", f.spawn)
+	}
+	if f.killAfter > 0 && f.spawn == 0 {
+		return nil, fmt.Errorf("-kill-after requires -spawn")
+	}
+	if f.killAfter > 0 && f.spawn < 2 {
+		return nil, fmt.Errorf("-kill-after needs -spawn >= 2 (killing the only shard proves nothing)")
+	}
+	return f, nil
+}
+
+// spawned is an in-process shard set (plus router when n > 1).
+type spawned struct {
+	driverURL string
+	scrape    []string
+	shards    []*http.Server
+	servers   []*server.Server
+	listeners []net.Listener
+	router    *http.Server
+	routerLn  net.Listener
+}
+
+// killShard severs shard i the way a process death would: connections
+// reset, port closed, workers stopped without drain.
+func (sp *spawned) killShard(i int) {
+	sp.listeners[i].Close()
+	sp.shards[i].Close()
+	sp.servers[i].Close()
+}
+
+func (sp *spawned) shutdown() {
+	for i := range sp.shards {
+		sp.listeners[i].Close()
+		sp.shards[i].Close()
+		sp.servers[i].Close()
+	}
+	if sp.router != nil {
+		sp.routerLn.Close()
+		sp.router.Close()
+	}
+}
+
+// spawnCluster boots n real relsynd shards on loopback (claiming every
+// listener first so the -peers membership is complete before traffic),
+// and fronts them with a relsyn-router when n > 1.
+func spawnCluster(n int) (*spawned, error) {
+	sp := &spawned{}
+	peers := make([]string, n)
+	for i := 0; i < n; i++ {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			sp.shutdown()
+			return nil, err
+		}
+		sp.listeners = append(sp.listeners, ln)
+		peers[i] = ln.Addr().String()
+	}
+	for i := 0; i < n; i++ {
+		cfg := server.Config{Workers: 0, Metrics: obs.NewRegistry()}
+		if n > 1 {
+			cfg.Peers = peers
+			cfg.SelfAddr = peers[i]
+		}
+		srv := server.New(cfg)
+		hs := &http.Server{Handler: srv.Handler()}
+		sp.servers = append(sp.servers, srv)
+		sp.shards = append(sp.shards, hs)
+		go hs.Serve(sp.listeners[i])
+		sp.scrape = append(sp.scrape, "http://"+peers[i])
+	}
+	if n == 1 {
+		sp.driverURL = sp.scrape[0]
+		return sp, nil
+	}
+	rt, err := cluster.NewRouter(cluster.RouterConfig{Peers: peers, Metrics: obs.NewRegistry()})
+	if err != nil {
+		sp.shutdown()
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		sp.shutdown()
+		return nil, err
+	}
+	sp.routerLn = ln
+	sp.router = &http.Server{Handler: rt.Handler()}
+	go sp.router.Serve(ln)
+	sp.driverURL = "http://" + ln.Addr().String()
+	sp.scrape = append([]string{sp.driverURL}, sp.scrape...)
+	return sp, nil
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	f, err := parseFlags(args, stderr)
+	if err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		fmt.Fprintf(stderr, "relsyn-fleet: %v\n", err)
+		return 2
+	}
+	logf := func(format string, a ...any) {
+		if !f.quiet {
+			fmt.Fprintf(stderr, format+"\n", a...)
+		}
+	}
+
+	mix := fleet.DefaultMix()
+	if f.mix != "" {
+		if mix, err = fleet.ParseMix(f.mix); err != nil {
+			fmt.Fprintf(stderr, "relsyn-fleet: %v\n", err)
+			return 2
+		}
+	}
+
+	logf("relsyn-fleet: building %d-spec pool (n=%d, m=%d, seed=%d)", f.poolSize, f.inputs, f.outputs, f.seed)
+	pool, err := fleet.BuildPool(fleet.PoolParams{
+		Inputs: f.inputs, Outputs: f.outputs, Size: f.poolSize, Seed: f.seed,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "relsyn-fleet: %v\n", err)
+		return 3
+	}
+
+	var driverURL string
+	var scrape []string
+	if f.spawn > 0 {
+		sp, err := spawnCluster(f.spawn)
+		if err != nil {
+			fmt.Fprintf(stderr, "relsyn-fleet: spawn: %v\n", err)
+			return 3
+		}
+		defer sp.shutdown()
+		driverURL, scrape = sp.driverURL, sp.scrape
+		logf("relsyn-fleet: spawned %d shard(s), driving %s", f.spawn, driverURL)
+		if f.killAfter > 0 {
+			victim := sp.scrape[len(sp.scrape)-f.spawn] // first shard entry
+			go func() {
+				select {
+				case <-ctx.Done():
+				case <-time.After(f.killAfter):
+					logf("relsyn-fleet: killing shard 0 (%s) after %s", victim, f.killAfter)
+					sp.killShard(0)
+				}
+			}()
+		}
+	} else {
+		for _, t := range strings.Split(f.targets, ",") {
+			t = strings.TrimSpace(t)
+			if t == "" {
+				continue
+			}
+			scrape = append(scrape, strings.TrimRight(t, "/"))
+		}
+		if len(scrape) == 0 {
+			fmt.Fprintf(stderr, "relsyn-fleet: -targets has no URLs\n")
+			return 2
+		}
+		driverURL = scrape[0]
+	}
+
+	driver, err := client.New(client.Config{BaseURL: driverURL, Metrics: obs.NewRegistry()})
+	if err != nil {
+		fmt.Fprintf(stderr, "relsyn-fleet: %v\n", err)
+		return 3
+	}
+
+	slo := fleet.SLO{
+		P99:                  f.sloP99,
+		MaxErrorRate:         f.sloErrorRate,
+		SkipErrorRate:        f.sloErrorRate < 0,
+		MinCacheHitRate:      f.sloHitRate,
+		MaxLostJobs:          f.sloMaxLost,
+		ExpectNoLoopsBroken:  f.expectLoops,
+		ExpectNoBreakerTrips: f.expectBreaker,
+	}
+	if slo.SkipErrorRate {
+		slo.MaxErrorRate = 0
+	}
+
+	rep, err := fleet.Run(ctx, fleet.Config{
+		Driver:         driver,
+		ScrapeTargets:  scrape,
+		Pool:           pool,
+		Mix:            mix,
+		Duration:       f.duration,
+		TotalOps:       f.totalOps,
+		Rate:           f.rate,
+		MaxOutstanding: f.maxOutstanding,
+		BatchSize:      f.batchSize,
+		ZipfS:          f.zipfS,
+		Seed:           f.seed,
+		SLO:            slo,
+		ReqTimeout:     f.reqTimeout,
+		DrainGrace:     f.drainGrace,
+		Logf:           logf,
+	})
+	if err != nil {
+		fmt.Fprintf(stderr, "relsyn-fleet: %v\n", err)
+		return 3
+	}
+
+	raw, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(stderr, "relsyn-fleet: marshal report: %v\n", err)
+		return 3
+	}
+	raw = append(raw, '\n')
+	if f.report == "-" {
+		if _, err := stdout.Write(raw); err != nil {
+			fmt.Fprintf(stderr, "relsyn-fleet: write report: %v\n", err)
+			return 3
+		}
+	} else {
+		if err := os.WriteFile(f.report, raw, 0o644); err != nil {
+			fmt.Fprintf(stderr, "relsyn-fleet: write report: %v\n", err)
+			return 3
+		}
+		logf("relsyn-fleet: wrote %s", f.report)
+	}
+
+	for _, v := range rep.SLOs {
+		state := "PASS"
+		if v.Skipped {
+			state = "SKIP"
+		} else if !v.Pass {
+			state = "FAIL"
+		}
+		fmt.Fprintf(stdout, "%-4s %-22s observed=%-12.6g threshold=%-12.6g %s\n",
+			state, v.Name, v.Observed, v.Threshold, v.Detail)
+	}
+	fmt.Fprintf(stdout, "verdict: %s (accepted=%d resolved=%d lost=%d, %.1f ops/s)\n",
+		rep.Verdict, rep.Accepted, rep.Resolved, rep.Lost, rep.AchievedRate)
+	if rep.Verdict != "pass" {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"relsyn/internal/fleet"
+)
+
+func TestParseFlagRejections(t *testing.T) {
+	cases := [][]string{
+		{},                                      // neither -targets nor -spawn
+		{"-targets", "http://x", "-spawn", "1"}, // both
+		{"-spawn", "1", "-kill-after", "2s"},    // kill needs >= 2 shards
+		{"-targets", "http://x", "-kill-after", "2s"}, // kill needs spawn
+		{"-targets", "http://x", "extra"},             // positional garbage
+	}
+	var sink bytes.Buffer
+	for _, args := range cases {
+		if _, err := parseFlags(args, &sink); err == nil {
+			t.Fatalf("parseFlags(%v) = nil error, want error", args)
+		}
+	}
+	if code := run(context.Background(), []string{"-spawn", "-1"}, &sink, &sink); code != 2 {
+		t.Fatalf("usage error exit = %d, want 2", code)
+	}
+}
+
+// TestRunSpawnSingleNode is the CLI end-to-end: spawn one real shard,
+// drive a short mixed soak, and require a written report with a pass
+// verdict and exit 0.
+func TestRunSpawnSingleNode(t *testing.T) {
+	report := filepath.Join(t.TempDir(), "FLEET_report.json")
+	var out, errb bytes.Buffer
+	code := run(context.Background(), []string{
+		"-spawn", "1",
+		"-duration", "1200ms",
+		"-rate", "120",
+		"-inputs", "6",
+		"-outputs", "1",
+		"-pool", "8",
+		"-slo-p99", "5s",
+		"-slo-error-rate", "0",
+		"-slo-hit-rate", "0.1",
+		"-report", report,
+		"-q",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	raw, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep fleet.Report
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.Schema != fleet.ReportSchema || rep.Verdict != "pass" || rep.Lost != 0 {
+		t.Fatalf("report schema=%q verdict=%q lost=%d:\n%s", rep.Schema, rep.Verdict, rep.Lost, raw)
+	}
+	if !strings.Contains(out.String(), "verdict: pass") {
+		t.Fatalf("stdout missing verdict line:\n%s", out.String())
+	}
+}
+
+// TestRunSpawnKillMidSoak exercises the acceptance flags end to end:
+// 3 spawned shards, shard 0 killed mid-run, report still pass with
+// zero lost jobs.
+func TestRunSpawnKillMidSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second soak")
+	}
+	report := filepath.Join(t.TempDir(), "FLEET_report.json")
+	var out, errb bytes.Buffer
+	code := run(context.Background(), []string{
+		"-spawn", "3",
+		"-kill-after", "1s",
+		"-duration", "3s",
+		"-rate", "80",
+		"-inputs", "6",
+		"-outputs", "1",
+		"-pool", "10",
+		"-slo-p99", "8s",
+		"-slo-error-rate", "0.02",
+		"-expect-no-breaker-trips=false",
+		"-report", report,
+		"-q",
+	}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	var rep fleet.Report
+	raw, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(raw, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != "pass" || rep.Lost != 0 {
+		t.Fatalf("verdict=%q lost=%d:\n%s", rep.Verdict, rep.Lost, raw)
+	}
+	if len(rep.LostTargets) != 1 {
+		t.Fatalf("lost_targets = %v, want exactly the killed shard", rep.LostTargets)
+	}
+}

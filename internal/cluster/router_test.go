@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/httptest"
+	"regexp"
 	"strings"
 	"sync"
 	"testing"
@@ -501,7 +502,11 @@ func TestRouterHealthzAndStatsz(t *testing.T) {
 	}
 
 	// All breakers open: 503 down.
-	rt.byAddr[b.addr()].breaker.Record(fmt.Errorf("injected"))
+	// Default threshold is 3 consecutive failures: trip b's breaker so
+	// the peer map carries mixed raw states ("open" vs "closed").
+	for i := 0; i < 3; i++ {
+		rt.byAddr[b.addr()].breaker.Record(fmt.Errorf("injected"))
+	}
 	resp, body = get("/healthz")
 	if err := json.Unmarshal(body, &h); err != nil {
 		t.Fatal(err)
@@ -558,5 +563,74 @@ func TestRouterInvalidSpec(t *testing.T) {
 	}
 	if len(shard.calls("/v1/synth")) != 0 {
 		t.Fatal("invalid spec must not be forwarded")
+	}
+}
+
+// TestRouterStatszStableParseableJSON is the router half of the statsz
+// schema regression (the shard half lives in internal/server): the
+// fleet differ flattens this document, so it must stay one valid JSON
+// object with the documented keys and no non-finite floats — even with
+// traffic (and a dead peer) behind it.
+func TestRouterStatszStableParseableJSON(t *testing.T) {
+	a := newStubShard(t, "shard-a")
+	b := newStubShard(t, "shard-b")
+	rt := newTestRouter(t, RouterConfig{Peers: []string{a.addr(), b.addr()}})
+
+	// Some real traffic plus one open breaker, so peers carry mixed
+	// states and the histogram series hold samples.
+	text, _ := seedOwnedBy(t, rt.ring, a.addr())
+	raw, _ := json.Marshal(map[string]any{"pla": text})
+	req := httptest.NewRequest(http.MethodPost, "/v1/synth", bytes.NewReader(raw))
+	rec := httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("synth through router: %d: %s", rec.Code, rec.Body.String())
+	}
+	// Default threshold is 3 consecutive failures: trip b's breaker so
+	// the peer map carries mixed raw states ("open" vs "closed").
+	for i := 0; i < 3; i++ {
+		rt.byAddr[b.addr()].breaker.Record(fmt.Errorf("injected"))
+	}
+
+	req = httptest.NewRequest(http.MethodGet, "/statsz", nil)
+	rec = httptest.NewRecorder()
+	rt.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("statsz status %d", rec.Code)
+	}
+	body := rec.Body.Bytes()
+	if !json.Valid(body) {
+		t.Fatalf("router statsz is not valid JSON (truncated encode?):\n%s", body)
+	}
+	if bad := regexp.MustCompile(`\b(NaN|Inf|Infinity)\b`); bad.Match(body) {
+		t.Fatalf("router statsz leaks a non-finite float:\n%s", body)
+	}
+	var stats RouterStats
+	if err := json.Unmarshal(body, &stats); err != nil {
+		t.Fatalf("statsz does not decode into RouterStats: %v", err)
+	}
+	if stats.UptimeSeconds < 0 || len(stats.Ring.Peers) != 2 || len(stats.Peers) != 2 {
+		t.Fatalf("statsz content off: %+v", stats)
+	}
+	if stats.Peers[b.addr()] != "open" || stats.Peers[a.addr()] != "closed" {
+		t.Fatalf("peer breaker states = %v", stats.Peers)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(body, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"uptime_seconds", "ring", "peers", "metrics"} {
+		if _, ok := doc[key]; !ok {
+			t.Fatalf("router statsz missing required key %q:\n%s", key, body)
+		}
+	}
+	metrics, ok := doc["metrics"].(map[string]any)
+	if !ok {
+		t.Fatalf("router statsz metrics is %T, want object", doc["metrics"])
+	}
+	for _, key := range []string{"counters", "gauges", "histograms"} {
+		if _, ok := metrics[key]; !ok {
+			t.Fatalf("router statsz metrics missing %q", key)
+		}
 	}
 }

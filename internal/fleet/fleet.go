@@ -1,0 +1,676 @@
+// The fleet runner: deterministic seeded arrivals, open-loop pacing
+// with a closed-loop fallback, per-kind outcome accounting, and the
+// before/after scrape that turns a soak into an SLO verdict.
+//
+// Pacing contract (DESIGN §13): the primary discipline is OPEN-LOOP —
+// arrival times are fixed in advance by (seed, rate) as an exponential
+// (Poisson) process, independent of response latency, because a fleet
+// of real users does not slow down when the service does; closed-loop
+// generators hide overload by self-throttling (coordinated omission).
+// The fallback is the MaxOutstanding semaphore: when the SUT falls so
+// far behind that the generator would need unbounded goroutines to keep
+// the schedule, arrivals block on a slot and each blocked arrival is
+// counted as a PacerStall. Stalls are therefore themselves a signal:
+// a clean open-loop run reports zero.
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"relsyn/client"
+	"relsyn/internal/pipeline"
+)
+
+// ReportSchema identifies the FLEET_report.json wire shape.
+const ReportSchema = "relsyn/fleet-report/v1"
+
+// Config configures Run. Driver and Pool are required.
+type Config struct {
+	// Driver is where ops are sent — a relsynd shard or a relsyn-router.
+	Driver *client.Client
+	// ScrapeTargets are the base URLs snapshotted before/after (router
+	// AND shards, so cache/breaker counters are fleet-wide). Defaults to
+	// just the driver's base URL.
+	ScrapeTargets []string
+
+	Pool *Pool
+	Mix  Mix // default DefaultMix()
+
+	// Duration bounds arrival generation by wall clock. Ignored when
+	// TotalOps > 0.
+	Duration time.Duration
+	// TotalOps, when positive, generates exactly this many arrivals
+	// (benchmarks use this for a fixed work quantum).
+	TotalOps int
+	// Rate is the open-loop target in arrivals/sec. <= 0 means unpaced:
+	// arrivals are generated back-to-back and the MaxOutstanding
+	// semaphore becomes the only throttle (pure closed-loop mode).
+	Rate float64
+	// MaxOutstanding caps in-flight ops (default 64).
+	MaxOutstanding int
+
+	BatchSize int     // specs per batch op (default 8)
+	ZipfS     float64 // hot-key Zipf exponent, must be > 1 (default 1.25)
+	Seed      int64   // default 1
+
+	SLO SLO
+
+	// ReqTimeout bounds each op end-to-end, async resolution included
+	// (default 30s).
+	ReqTimeout time.Duration
+	// DrainGrace bounds the wait for in-flight ops after generation
+	// stops (default 30s). Ops still unfinished after the grace are
+	// cancelled — accepted ones then count as lost.
+	DrainGrace time.Duration
+
+	// HTTPClient is used for scrapes (default: 10s-timeout client).
+	HTTPClient *http.Client
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if len(c.ScrapeTargets) == 0 && c.Driver != nil {
+		c.ScrapeTargets = []string{c.Driver.BaseURL()}
+	}
+	if c.Mix == nil {
+		c.Mix = DefaultMix()
+	}
+	if c.MaxOutstanding <= 0 {
+		c.MaxOutstanding = 64
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 8
+	}
+	if c.ZipfS == 0 {
+		c.ZipfS = 1.25
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.ReqTimeout <= 0 {
+		c.ReqTimeout = 30 * time.Second
+	}
+	if c.DrainGrace <= 0 {
+		c.DrainGrace = 30 * time.Second
+	}
+	if c.HTTPClient == nil {
+		c.HTTPClient = &http.Client{Timeout: 10 * time.Second}
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// OpCounts is the per-kind outcome ledger.
+type OpCounts struct {
+	Started      int64 `json:"started"`
+	OK           int64 `json:"ok"`
+	CacheHits    int64 `json:"cache_hits"`   // client-visible cached flag on OK ops
+	JobFailures  int64 `json:"job_failures"` // accepted jobs that ended failed/expired
+	Backpressure int64 `json:"backpressure"` // 429 through every retry — shed, never accepted
+	Rejected     int64 `json:"rejected"`     // expected 4xx on hostile input
+	Resubmits    int64 `json:"resubmits"`    // async jobs recovered by idempotent resubmit
+	Errors       int64 `json:"errors"`       // everything unexpected
+}
+
+// LatencySummary summarizes one latency class over the FULL sample set
+// (nearest-rank quantiles) — unlike the server's /metrics histograms,
+// nothing here is windowed.
+type LatencySummary struct {
+	Count       int     `json:"count"`
+	MeanSeconds float64 `json:"mean_seconds"`
+	P50Seconds  float64 `json:"p50_seconds"`
+	P95Seconds  float64 `json:"p95_seconds"`
+	P99Seconds  float64 `json:"p99_seconds"`
+	MaxSeconds  float64 `json:"max_seconds"`
+}
+
+// RunInfo echoes the effective run parameters into the report.
+type RunInfo struct {
+	Driver          string   `json:"driver"`
+	ScrapeTargets   []string `json:"scrape_targets"`
+	PoolSpecs       int      `json:"pool_specs"`
+	Inputs          int      `json:"inputs"`
+	Outputs         int      `json:"outputs"`
+	Seed            int64    `json:"seed"`
+	Rate            float64  `json:"rate_per_sec"`
+	DurationSeconds float64  `json:"duration_seconds"`
+	TotalOps        int      `json:"total_ops,omitempty"`
+	MaxOutstanding  int      `json:"max_outstanding"`
+	BatchSize       int      `json:"batch_size"`
+	ZipfS           float64  `json:"zipf_s"`
+	Mix             Mix      `json:"mix"`
+}
+
+// Report is the machine-readable run record (FLEET_report.json).
+type Report struct {
+	Schema         string                    `json:"schema"`
+	Verdict        string                    `json:"verdict"` // "pass" | "fail"
+	SLOs           []Verdict                 `json:"slos"`
+	Config         RunInfo                   `json:"config"`
+	ElapsedSeconds float64                   `json:"elapsed_seconds"`
+	AchievedRate   float64                   `json:"achieved_ops_per_sec"`
+	Ops            map[string]*OpCounts      `json:"ops"`
+	Latency        map[string]LatencySummary `json:"latency"`
+	Accepted       int64                     `json:"accepted"`
+	Resolved       int64                     `json:"resolved"`
+	Lost           int64                     `json:"lost"`
+	PacerStalls    int64                     `json:"pacer_stalls"`
+	ErrorSamples   []string                  `json:"error_samples,omitempty"`
+	MetricsDelta   Series                    `json:"metrics_delta"`
+	StatszDelta    Series                    `json:"statsz_delta"`
+	LostTargets    []string                  `json:"lost_targets,omitempty"`
+	ScrapeErrors   []string                  `json:"scrape_errors,omitempty"`
+}
+
+// totals returns (completed ops, unexpected errors) across kinds.
+func (r *Report) totals() (total, errs int64) {
+	for _, c := range r.Ops {
+		total += c.OK + c.JobFailures + c.Backpressure + c.Rejected + c.Errors
+		errs += c.Errors
+	}
+	return total, errs
+}
+
+// collector accumulates outcomes from concurrent op goroutines.
+type collector struct {
+	mu       sync.Mutex
+	ops      map[string]*OpCounts
+	lat      map[string][]float64
+	accepted int64
+	resolved int64
+	lost     int64
+	stalls   int64
+	samples  []string
+}
+
+func newCollector() *collector {
+	c := &collector{ops: map[string]*OpCounts{}, lat: map[string][]float64{}}
+	for _, k := range opKinds {
+		c.ops[k] = &OpCounts{}
+	}
+	return c
+}
+
+func (c *collector) counts(kind string) *OpCounts { return c.ops[kind] }
+
+func (c *collector) summaries() map[string]LatencySummary {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]LatencySummary, len(c.lat))
+	for class, xs := range c.lat {
+		out[class] = summarize(xs)
+	}
+	return out
+}
+
+func summarize(xs []float64) LatencySummary {
+	s := LatencySummary{Count: len(xs)}
+	if len(xs) == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	sum := 0.0
+	for _, x := range sorted {
+		sum += x
+	}
+	q := func(p float64) float64 { // nearest-rank, matching internal/obs
+		i := int(math.Ceil(p*float64(len(sorted)))) - 1
+		if i < 0 {
+			i = 0
+		}
+		return sorted[i]
+	}
+	s.MeanSeconds = sum / float64(len(sorted))
+	s.P50Seconds = q(0.50)
+	s.P95Seconds = q(0.95)
+	s.P99Seconds = q(0.99)
+	s.MaxSeconds = sorted[len(sorted)-1]
+	return s
+}
+
+type runner struct {
+	cfg     Config
+	col     *collector
+	hostile [][]byte
+}
+
+// hostilePayloads builds the cycling hostile bodies once: malformed
+// PLA, empty PLA, unknown method option, and a body just over relsynd's
+// 8 MiB limit (built from one valid spec padded with comment lines so
+// the size — not the syntax — is what trips the server).
+func hostilePayloads(p *Pool) [][]byte {
+	valid := p.Specs[0].PLA
+	mustJSON := func(v any) []byte {
+		b, err := json.Marshal(v)
+		if err != nil {
+			panic(err) // static shapes; cannot fail
+		}
+		return b
+	}
+	type req struct {
+		PLA     string               `json:"pla"`
+		Options *pipeline.JobOptions `json:"options,omitempty"`
+	}
+	oversized := valid + strings.Repeat("# padding padding padding padding padding padding\n", (9<<20)/50)
+	return [][]byte{
+		mustJSON(req{PLA: ".i 2\n.o 1\nthis is not a pla body\n.e\n"}),
+		mustJSON(req{PLA: ""}),
+		mustJSON(req{PLA: valid, Options: &pipeline.JobOptions{Method: "bogus"}}),
+		mustJSON(req{PLA: oversized}),
+	}
+}
+
+// Run executes one soak and returns its report. An error means the
+// harness itself could not run (bad config); an SLO failure is a
+// "fail" verdict on a nil-error report.
+func Run(ctx context.Context, cfg Config) (*Report, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Driver == nil {
+		return nil, fmt.Errorf("fleet: Config.Driver is required")
+	}
+	if cfg.Pool == nil || len(cfg.Pool.Specs) == 0 {
+		return nil, fmt.Errorf("fleet: Config.Pool is required and must be non-empty")
+	}
+	if cfg.TotalOps <= 0 && cfg.Duration <= 0 {
+		return nil, fmt.Errorf("fleet: set Config.Duration or Config.TotalOps")
+	}
+	r := &runner{cfg: cfg, col: newCollector(), hostile: hostilePayloads(cfg.Pool)}
+	sched, err := newScheduler(len(cfg.Pool.Specs), cfg.Mix, cfg.BatchSize, cfg.ZipfS, cfg.Seed, len(r.hostile))
+	if err != nil {
+		return nil, err
+	}
+	// The pacer draws inter-arrival gaps from its own seeded stream so
+	// op content and op timing stay independently reproducible.
+	pacer := rand.New(rand.NewSource(cfg.Seed + 1))
+
+	cfg.Logf("fleet: scraping %d target(s) before run", len(cfg.ScrapeTargets))
+	before := ScrapeTargets(ctx, cfg.HTTPClient, cfg.ScrapeTargets)
+
+	opBase, opCancel := context.WithCancel(ctx)
+	defer opCancel()
+	sem := make(chan struct{}, cfg.MaxOutstanding)
+	var wg sync.WaitGroup
+
+	start := time.Now()
+	deadline := start.Add(cfg.Duration)
+	next := start
+	launched := 0
+generate:
+	for {
+		if ctx.Err() != nil {
+			break
+		}
+		if cfg.TotalOps > 0 {
+			if launched >= cfg.TotalOps {
+				break
+			}
+		} else if !time.Now().Before(deadline) {
+			break
+		}
+		if cfg.Rate > 0 {
+			gap := time.Duration(pacer.ExpFloat64() / cfg.Rate * float64(time.Second))
+			next = next.Add(gap)
+			if d := time.Until(next); d > 0 {
+				t := time.NewTimer(d)
+				select {
+				case <-ctx.Done():
+					t.Stop()
+					break generate
+				case <-t.C:
+				}
+			}
+		}
+		// Closed-loop fallback: block for a slot only when the open-loop
+		// schedule has outrun the SUT, and count every such stall.
+		select {
+		case sem <- struct{}{}:
+		default:
+			r.col.mu.Lock()
+			r.col.stalls++
+			r.col.mu.Unlock()
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				break generate
+			}
+		}
+		r.launch(opBase, sem, &wg, sched.next())
+		launched++
+	}
+	genElapsed := time.Since(start)
+	cfg.Logf("fleet: generation done: %d ops in %s; draining", launched, genElapsed.Round(time.Millisecond))
+
+	drained := make(chan struct{})
+	go func() { wg.Wait(); close(drained) }()
+	select {
+	case <-drained:
+	case <-time.After(cfg.DrainGrace):
+		cfg.Logf("fleet: drain grace %s expired; cancelling stragglers", cfg.DrainGrace)
+		opCancel()
+		<-drained
+	}
+	elapsed := time.Since(start)
+
+	after := ScrapeTargets(ctx, cfg.HTTPClient, cfg.ScrapeTargets)
+	metricsDelta, statszDelta, lostTargets := FleetDelta(before, after)
+
+	rep := &Report{
+		Schema: ReportSchema,
+		Config: RunInfo{
+			Driver:          cfg.Driver.BaseURL(),
+			ScrapeTargets:   cfg.ScrapeTargets,
+			PoolSpecs:       len(cfg.Pool.Specs),
+			Inputs:          cfg.Pool.Params.Inputs,
+			Outputs:         cfg.Pool.Params.Outputs,
+			Seed:            cfg.Seed,
+			Rate:            cfg.Rate,
+			DurationSeconds: cfg.Duration.Seconds(),
+			TotalOps:        cfg.TotalOps,
+			MaxOutstanding:  cfg.MaxOutstanding,
+			BatchSize:       cfg.BatchSize,
+			ZipfS:           cfg.ZipfS,
+			Mix:             cfg.Mix,
+		},
+		ElapsedSeconds: elapsed.Seconds(),
+		Ops:            r.col.ops,
+		Latency:        r.col.summaries(),
+		Accepted:       r.col.accepted,
+		Resolved:       r.col.resolved,
+		Lost:           r.col.lost,
+		PacerStalls:    r.col.stalls,
+		ErrorSamples:   r.col.samples,
+		MetricsDelta:   metricsDelta,
+		StatszDelta:    statszDelta,
+		LostTargets:    lostTargets,
+	}
+	for _, snaps := range [][]TargetSnapshot{before, after} {
+		for i := range snaps {
+			for _, e := range snaps[i].Errs {
+				rep.ScrapeErrors = append(rep.ScrapeErrors, snaps[i].Target+": "+e)
+			}
+		}
+	}
+	if total, _ := rep.totals(); elapsed > 0 {
+		rep.AchievedRate = float64(total) / elapsed.Seconds()
+	}
+	verdicts, pass := cfg.SLO.evaluate(rep)
+	rep.SLOs = verdicts
+	rep.Verdict = "fail"
+	if pass {
+		rep.Verdict = "pass"
+	}
+	cfg.Logf("fleet: verdict=%s accepted=%d resolved=%d lost=%d", rep.Verdict, rep.Accepted, rep.Resolved, rep.Lost)
+	return rep, nil
+}
+
+func (r *runner) launch(ctx context.Context, sem chan struct{}, wg *sync.WaitGroup, o op) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer func() { <-sem }()
+		opCtx, cancel := context.WithTimeout(ctx, r.cfg.ReqTimeout)
+		defer cancel()
+		r.runOp(opCtx, o)
+	}()
+}
+
+func (r *runner) runOp(ctx context.Context, o op) {
+	c := r.col.counts(o.kind)
+	r.col.mu.Lock()
+	c.Started++
+	r.col.mu.Unlock()
+	switch o.kind {
+	case OpHot, OpGrid:
+		r.syncOp(ctx, o.kind, o.spec)
+	case OpBatch:
+		r.batchOp(ctx, o.batch)
+	case OpAsync:
+		r.asyncOp(ctx, o.spec)
+	case OpHostile:
+		r.hostileOp(ctx, o.hostile)
+	}
+}
+
+func is429(err error) bool {
+	return err != nil && strings.Contains(err.Error(), "HTTP 429")
+}
+
+func (r *runner) syncOp(ctx context.Context, kind string, spec int) {
+	body, _ := json.Marshal(map[string]string{"pla": r.cfg.Pool.Specs[spec].PLA})
+	c := r.col.counts(kind)
+	start := time.Now()
+	env, code, err := r.cfg.Driver.Do(ctx, http.MethodPost, "/v1/synth", body, nil)
+	lat := time.Since(start)
+	r.col.mu.Lock()
+	defer r.col.mu.Unlock()
+	switch {
+	case is429(err):
+		c.Backpressure++
+	case err != nil:
+		c.Errors++
+		r.sampleErrorLocked(kind, err.Error())
+	case code >= 400:
+		c.Errors++
+		r.sampleErrorLocked(kind, fmt.Sprintf("unexpected HTTP %d: %s", code, env.Error))
+	default:
+		switch env.Status {
+		case "done":
+			c.OK++
+			r.col.accepted++
+			r.col.resolved++
+			if env.Cached {
+				c.CacheHits++
+			}
+			r.col.lat["sync"] = append(r.col.lat["sync"], lat.Seconds())
+		case "failed", "expired":
+			c.JobFailures++
+			r.col.accepted++
+			r.col.resolved++
+		default:
+			c.Errors++
+			r.sampleErrorLocked(kind, "non-terminal sync status "+env.Status)
+		}
+	}
+}
+
+func (r *runner) batchOp(ctx context.Context, specs []int) {
+	type item struct {
+		PLA string `json:"pla"`
+	}
+	jobs := make([]item, len(specs))
+	for i, s := range specs {
+		jobs[i] = item{PLA: r.cfg.Pool.Specs[s].PLA}
+	}
+	body, _ := json.Marshal(map[string]any{"jobs": jobs})
+	c := r.col.counts(OpBatch)
+	start := time.Now()
+	br, errEnv, code, err := r.cfg.Driver.DoBatch(ctx, body, nil)
+	lat := time.Since(start)
+	r.col.mu.Lock()
+	defer r.col.mu.Unlock()
+	switch {
+	case is429(err):
+		c.Backpressure++
+		return
+	case err != nil:
+		c.Errors++
+		r.sampleErrorLocked(OpBatch, err.Error())
+		return
+	case code >= 400:
+		c.Errors++
+		msg := fmt.Sprintf("batch HTTP %d", code)
+		if errEnv != nil {
+			msg += ": " + errEnv.Error
+		}
+		r.sampleErrorLocked(OpBatch, msg)
+		return
+	}
+	r.col.lat["batch"] = append(r.col.lat["batch"], lat.Seconds())
+	for i := range br.Results {
+		res := &br.Results[i]
+		switch res.Status {
+		case "done":
+			c.OK++
+			r.col.accepted++
+			r.col.resolved++
+			if res.Cached {
+				c.CacheHits++
+			}
+		case "failed", "expired":
+			c.JobFailures++
+			r.col.accepted++
+			r.col.resolved++
+		case "rejected":
+			c.Backpressure++
+		default:
+			c.Errors++
+			r.sampleErrorLocked(OpBatch, "batch item status "+res.Status)
+		}
+	}
+}
+
+// asyncOp submits with wait=false, then polls to terminal. If the job
+// id vanishes mid-poll (404 — the owning shard died before finishing),
+// the op recovers by resubmitting synchronously: submissions are
+// content-addressed and idempotent, so at-least-once delivery is safe
+// and "accepted" still ends "resolved". This client-side recovery is
+// exactly what the zero-lost-jobs SLO certifies end to end.
+func (r *runner) asyncOp(ctx context.Context, spec int) {
+	plaText := r.cfg.Pool.Specs[spec].PLA
+	env, err := r.cfg.Driver.SynthAsync(ctx, plaText, pipeline.JobOptions{})
+	c := r.col.counts(OpAsync)
+	if err != nil {
+		r.col.mu.Lock()
+		defer r.col.mu.Unlock()
+		if is429(err) {
+			c.Backpressure++
+		} else {
+			c.Errors++
+			r.sampleErrorLocked(OpAsync, "submit: "+err.Error())
+		}
+		return
+	}
+	r.col.mu.Lock()
+	r.col.accepted++
+	r.col.mu.Unlock()
+	start := time.Now()
+	if env.Terminal() { // cached/coalesced fast path: done at submit
+		r.finishAsync(c, env, false, time.Since(start), "")
+		return
+	}
+	final, recovered, errMsg := r.pollToTerminal(ctx, env.JobID, plaText)
+	r.finishAsync(c, final, recovered, time.Since(start), errMsg)
+}
+
+func (r *runner) finishAsync(c *OpCounts, env *client.Response, recovered bool, lat time.Duration, errMsg string) {
+	r.col.mu.Lock()
+	defer r.col.mu.Unlock()
+	if env == nil {
+		r.col.lost++
+		c.Errors++
+		r.sampleErrorLocked(OpAsync, "lost: "+errMsg)
+		return
+	}
+	r.col.resolved++
+	if recovered {
+		c.Resubmits++
+	}
+	switch env.Status {
+	case "done":
+		c.OK++
+		if env.Cached {
+			c.CacheHits++
+		}
+		r.col.lat["async"] = append(r.col.lat["async"], lat.Seconds())
+	default: // failed / expired
+		c.JobFailures++
+	}
+}
+
+// pollToTerminal polls /v1/jobs/{id} with a fixed bounded backoff
+// schedule until the job is terminal, recovering from a vanished id by
+// one synchronous resubmit. Returns (nil, false, reason) only when the
+// accepted job could not be resolved within ctx — i.e. it was lost.
+func (r *runner) pollToTerminal(ctx context.Context, id, plaText string) (*client.Response, bool, string) {
+	delay := 25 * time.Millisecond
+	const maxDelay = 500 * time.Millisecond
+	for {
+		env, code, err := r.cfg.Driver.Do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, nil)
+		switch {
+		case err != nil:
+			return nil, false, "poll: " + err.Error()
+		case code == http.StatusNotFound:
+			// Owner died holding the job: idempotent sync resubmit.
+			env2, code2, err2 := r.cfg.Driver.Do(ctx, http.MethodPost, "/v1/synth",
+				mustMarshal(map[string]string{"pla": plaText}), nil)
+			if err2 != nil {
+				return nil, false, "resubmit: " + err2.Error()
+			}
+			if code2 >= 400 || !env2.Terminal() {
+				return nil, false, fmt.Sprintf("resubmit: HTTP %d status %s", code2, env2.Status)
+			}
+			return env2, true, ""
+		case code >= 400:
+			return nil, false, fmt.Sprintf("poll: HTTP %d: %s", code, env.Error)
+		case env.Terminal():
+			return env, false, ""
+		}
+		t := time.NewTimer(delay)
+		select {
+		case <-ctx.Done():
+			t.Stop()
+			return nil, false, "poll: " + ctx.Err().Error()
+		case <-t.C:
+		}
+		if delay *= 2; delay > maxDelay {
+			delay = maxDelay
+		}
+	}
+}
+
+func (r *runner) hostileOp(ctx context.Context, idx int) {
+	c := r.col.counts(OpHostile)
+	env, code, err := r.cfg.Driver.Do(ctx, http.MethodPost, "/v1/synth", r.hostile[idx], nil)
+	r.col.mu.Lock()
+	defer r.col.mu.Unlock()
+	switch {
+	case is429(err):
+		c.Backpressure++
+	case err != nil:
+		c.Errors++
+		r.sampleErrorLocked(OpHostile, err.Error())
+	case code >= 400 && code < 500:
+		c.Rejected++ // the expected outcome: a clean, bounded rejection
+	default:
+		c.Errors++
+		r.sampleErrorLocked(OpHostile, fmt.Sprintf("hostile input %d got HTTP %d status %s", idx, code, env.Status))
+	}
+}
+
+// sampleErrorLocked requires r.col.mu held.
+func (r *runner) sampleErrorLocked(kind, msg string) {
+	if len(r.col.samples) < 20 {
+		r.col.samples = append(r.col.samples, kind+": "+msg)
+	}
+}
+
+func mustMarshal(v any) []byte {
+	b, err := json.Marshal(v)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}

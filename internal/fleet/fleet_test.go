@@ -1,0 +1,349 @@
+package fleet
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParsePrometheus(t *testing.T) {
+	const text = `# HELP relsyn_jobs_total Jobs.
+# TYPE relsyn_jobs_total counter
+relsyn_jobs_total 42
+relsyn_http_requests_total{code="200",route="synth"} 10
+relsyn_http_requests_total{code="429",route="synth"} 3
+relsyn_latency_seconds{quantile="0.99"} 0.125
+relsyn_bogus_quantile NaN
+
+relsyn_uptime_seconds 12.5
+`
+	s, err := ParsePrometheus(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s["relsyn_jobs_total"]; got != 42 {
+		t.Fatalf("relsyn_jobs_total = %v, want 42", got)
+	}
+	if got := s[`relsyn_http_requests_total{code="429",route="synth"}`]; got != 3 {
+		t.Fatalf("labeled series = %v, want 3", got)
+	}
+	if _, ok := s["relsyn_bogus_quantile"]; ok {
+		t.Fatal("NaN sample must be dropped")
+	}
+	if got := s.Sum("relsyn_http_requests_total"); got != 13 {
+		t.Fatalf("Sum across label sets = %v, want 13", got)
+	}
+	// Sum must not swallow metrics that merely share a prefix.
+	if got := s.Sum("relsyn_http"); got != 0 {
+		t.Fatalf("prefix-only Sum = %v, want 0", got)
+	}
+}
+
+func TestParsePrometheusRejectsGarbage(t *testing.T) {
+	for _, bad := range []string{"loneword\n", "name notanumber\n"} {
+		if _, err := ParsePrometheus(strings.NewReader(bad)); err == nil {
+			t.Fatalf("ParsePrometheus(%q) = nil error, want error", bad)
+		}
+	}
+}
+
+func TestSeriesDeltaAndMerge(t *testing.T) {
+	before := Series{"a": 10, "b": 5}
+	after := Series{"a": 17, "b": 5, "c": 2}
+	d := after.Delta(before)
+	want := Series{"a": 7, "c": 2}
+	if !reflect.DeepEqual(d, want) {
+		t.Fatalf("Delta = %v, want %v", d, want)
+	}
+	total := Series{"a": 1}
+	total.Merge(d)
+	if total["a"] != 8 || total["c"] != 2 {
+		t.Fatalf("Merge = %v", total)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	m, err := ParseMix("hot=0.5, batch=0.2,async=0.3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m[OpHot] != 0.5 || m[OpBatch] != 0.2 || m[OpAsync] != 0.3 {
+		t.Fatalf("ParseMix = %v", m)
+	}
+	if err := m.validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range []string{"hot", "hot=x"} {
+		if _, err := ParseMix(bad); err == nil {
+			t.Fatalf("ParseMix(%q) = nil error, want error", bad)
+		}
+	}
+	for _, bad := range []Mix{{"warp": 1}, {OpHot: -1}, {}, {OpHot: 0}} {
+		if err := bad.validate(); err == nil {
+			t.Fatalf("validate(%v) = nil error, want error", bad)
+		}
+	}
+}
+
+// TestSchedulerDeterministic pins the harness's core reproducibility
+// claim: the op stream is a pure function of (pool size, mix, seed).
+func TestSchedulerDeterministic(t *testing.T) {
+	mk := func(seed int64) []op {
+		sc, err := newScheduler(16, DefaultMix(), 4, 1.25, seed, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops := make([]op, 500)
+		for i := range ops {
+			ops[i] = sc.next()
+		}
+		return ops
+	}
+	a, b := mk(7), mk(7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different op streams")
+	}
+	c := mk(8)
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical op streams")
+	}
+	kinds := map[string]int{}
+	for _, o := range a {
+		kinds[o.kind]++
+		if o.kind == OpBatch && len(o.batch) != 4 {
+			t.Fatalf("batch op carries %d specs, want 4", len(o.batch))
+		}
+	}
+	for _, k := range opKinds {
+		if kinds[k] == 0 {
+			t.Fatalf("kind %s never scheduled in 500 ops of the default mix (%v)", k, kinds)
+		}
+	}
+}
+
+func TestSchedulerHonorsZeroWeights(t *testing.T) {
+	sc, err := newScheduler(8, Mix{OpHot: 1}, 4, 1.25, 1, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		if o := sc.next(); o.kind != OpHot {
+			t.Fatalf("op %d has kind %s, want only %s", i, o.kind, OpHot)
+		}
+	}
+}
+
+func TestSchedulerZipfSkew(t *testing.T) {
+	sc, err := newScheduler(32, Mix{OpHot: 1}, 4, 1.4, 3, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[int]int{}
+	const draws = 4000
+	for i := 0; i < draws; i++ {
+		counts[sc.next().spec]++
+	}
+	top := 0
+	for _, c := range counts {
+		if c > top {
+			top = c
+		}
+	}
+	// Zipf s=1.4 over 32 ranks puts well over a third of the mass on
+	// rank 0; uniform would give ~3%.
+	if top < draws/4 {
+		t.Fatalf("hottest key drew %d/%d — no Zipf skew", top, draws)
+	}
+}
+
+func TestBuildPoolDeterministicGrid(t *testing.T) {
+	p := PoolParams{Inputs: 4, Outputs: 1, Size: 6, Seed: 5,
+		CfTargets: []float64{0.3, 0.6}, DCFractions: []float64{0.2, 0.4}}
+	a, err := BuildPool(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := BuildPool(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Specs) != 6 {
+		t.Fatalf("pool size %d, want 6", len(a.Specs))
+	}
+	for i := range a.Specs {
+		if a.Specs[i].PLA != b.Specs[i].PLA || a.Specs[i].Hash != b.Specs[i].Hash {
+			t.Fatalf("spec %d differs across identical builds", i)
+		}
+		wantCf := p.CfTargets[i%2]
+		wantDC := p.DCFractions[(i/2)%2]
+		if a.Specs[i].TargetCf != wantCf || a.Specs[i].DCFraction != wantDC {
+			t.Fatalf("spec %d grid point (%v,%v), want (%v,%v)",
+				i, a.Specs[i].TargetCf, a.Specs[i].DCFraction, wantCf, wantDC)
+		}
+		if !strings.Contains(a.Specs[i].PLA, ".i 4") {
+			t.Fatalf("spec %d PLA missing .i header:\n%s", i, a.Specs[i].PLA)
+		}
+	}
+	seen := map[string]bool{}
+	for _, s := range a.Specs {
+		if seen[s.Hash] {
+			t.Fatalf("duplicate spec hash %s in pool", s.Hash)
+		}
+		seen[s.Hash] = true
+	}
+}
+
+func TestFlattenJSONSkipsMetricsAndArrays(t *testing.T) {
+	doc := map[string]any{
+		"uptime_seconds": 12.5,
+		"draining":       false,
+		"queue":          map[string]any{"depth": float64(64), "len": float64(0)},
+		"peers":          []any{"a", "b"},
+		"metrics":        map[string]any{"counters": map[string]any{"x": float64(9)}},
+		"bad":            math.NaN(),
+	}
+	out := Series{}
+	flattenJSON("", doc, out)
+	want := Series{"uptime_seconds": 12.5, "draining": 0, "queue.depth": 64, "queue.len": 0}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("flattenJSON = %v, want %v", out, want)
+	}
+}
+
+func TestFleetDeltaExcludesLostTargets(t *testing.T) {
+	before := []TargetSnapshot{
+		{Target: "http://a", Metrics: Series{"relsyn_cache_hits_total": 10}, Statsz: Series{"completed": 5}},
+		{Target: "http://b", Metrics: Series{"relsyn_cache_hits_total": 100}, Statsz: Series{"completed": 50}},
+	}
+	after := []TargetSnapshot{
+		{Target: "http://a", Metrics: Series{"relsyn_cache_hits_total": 30}, Statsz: Series{"completed": 11}},
+		{Target: "http://b", Errs: []string{"metrics: connection refused"}, Metrics: Series{}, Statsz: Series{}},
+	}
+	metrics, statsz, lost := FleetDelta(before, after)
+	if got := metrics.Sum("relsyn_cache_hits_total"); got != 20 {
+		t.Fatalf("metrics delta = %v, want 20 (dead target must not contribute −100)", got)
+	}
+	if statsz["completed"] != 6 {
+		t.Fatalf("statsz delta = %v, want completed=6", statsz)
+	}
+	if len(lost) != 1 || lost[0] != "http://b" {
+		t.Fatalf("lost = %v, want [http://b]", lost)
+	}
+}
+
+func TestSummarizeNearestRank(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i + 1) // 1..100
+	}
+	s := summarize(xs)
+	if s.P50Seconds != 50 || s.P95Seconds != 95 || s.P99Seconds != 99 || s.MaxSeconds != 100 {
+		t.Fatalf("summarize = %+v", s)
+	}
+	if s.Count != 100 || math.Abs(s.MeanSeconds-50.5) > 1e-9 {
+		t.Fatalf("count/mean = %d/%v", s.Count, s.MeanSeconds)
+	}
+	if z := summarize(nil); z.Count != 0 || z.P99Seconds != 0 {
+		t.Fatalf("empty summarize = %+v", z)
+	}
+}
+
+func TestSLOEvaluate(t *testing.T) {
+	rep := &Report{
+		Ops: map[string]*OpCounts{
+			OpHot:     {OK: 96, Errors: 2},
+			OpHostile: {Rejected: 2},
+		},
+		Latency: map[string]LatencySummary{
+			"sync": {Count: 96, P99Seconds: 0.150},
+		},
+		Accepted:     100,
+		Resolved:     99,
+		Lost:         1,
+		MetricsDelta: Series{"relsyn_cache_hits_total": 80, "relsyn_cache_misses_total": 20, "relsyn_cluster_loops_broken_total": 0},
+	}
+	slo := SLO{
+		P99:                  200 * time.Millisecond,
+		MaxErrorRate:         0.05,
+		MinCacheHitRate:      0.5,
+		ExpectNoLoopsBroken:  true,
+		ExpectNoBreakerTrips: true,
+	}
+	verdicts, pass := slo.evaluate(rep)
+	if pass {
+		t.Fatal("run with a lost job must fail overall")
+	}
+	byName := map[string]Verdict{}
+	for _, v := range verdicts {
+		byName[v.Name] = v
+	}
+	for name, want := range map[string]bool{
+		"p99_latency_seconds": true,  // 0.150 <= 0.200
+		"error_rate":          true,  // 2/100 <= 0.05
+		"cache_hit_rate":      true,  // 0.8 >= 0.5
+		"lost_accepted_jobs":  false, // 1 > 0
+		"loops_broken":        true,
+		"breaker_trips":       true,
+	} {
+		v, ok := byName[name]
+		if !ok {
+			t.Fatalf("missing verdict %s", name)
+		}
+		if v.Pass != want {
+			t.Fatalf("verdict %s pass=%v, want %v (%+v)", name, v.Pass, want, v)
+		}
+	}
+	if byName["error_rate"].Observed != 0.02 {
+		t.Fatalf("error_rate observed %v, want 0.02", byName["error_rate"].Observed)
+	}
+
+	// Now the healthy variant: zero lost and a breaker trip expected to
+	// flip only its own rule.
+	rep.Lost = 0
+	rep.MetricsDelta["relsyn_store_breaker_trips_total"] = 2
+	verdicts, pass = slo.evaluate(rep)
+	byName = map[string]Verdict{}
+	for _, v := range verdicts {
+		byName[v.Name] = v
+	}
+	if pass {
+		t.Fatal("breaker trips must fail the run when ExpectNoBreakerTrips")
+	}
+	if !byName["lost_accepted_jobs"].Pass || byName["breaker_trips"].Pass {
+		t.Fatalf("verdicts = %+v", byName)
+	}
+
+	// Skips: no p99 bound, disabled error rate, no cache floor.
+	verdicts, pass = SLO{SkipErrorRate: true}.evaluate(rep)
+	byName = map[string]Verdict{}
+	for _, v := range verdicts {
+		byName[v.Name] = v
+	}
+	if !pass {
+		t.Fatal("all-skipped SLO with zero lost must pass")
+	}
+	for _, name := range []string{"p99_latency_seconds", "error_rate", "cache_hit_rate", "loops_broken", "breaker_trips"} {
+		if !byName[name].Skipped {
+			t.Fatalf("%s not skipped: %+v", name, byName[name])
+		}
+	}
+	if byName["lost_accepted_jobs"].Skipped {
+		t.Fatal("lost_accepted_jobs must never be skippable")
+	}
+}
+
+func TestHostilePayloadsShapes(t *testing.T) {
+	pool, err := BuildPool(PoolParams{Inputs: 4, Outputs: 1, Size: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := hostilePayloads(pool)
+	if len(payloads) != 4 {
+		t.Fatalf("%d hostile payloads, want 4", len(payloads))
+	}
+	if len(payloads[3]) <= 8<<20 {
+		t.Fatalf("oversized payload is %d bytes, must exceed the 8 MiB server cap", len(payloads[3]))
+	}
+}

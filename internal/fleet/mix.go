@@ -1,0 +1,190 @@
+package fleet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Traffic kinds the scheduler can emit.
+const (
+	OpHot     = "hot"     // Zipf-skewed sync requests over the pinned pool
+	OpGrid    = "grid"    // uniform round-robin sweep of the full C^f/DC grid
+	OpBatch   = "batch"   // one POST /v1/synth/batch of BatchSize Zipf draws
+	OpAsync   = "async"   // submit-then-poll wave (wait=false + job polling)
+	OpHostile = "hostile" // malformed / empty / bad-options / oversized bodies
+)
+
+var opKinds = []string{OpHot, OpGrid, OpBatch, OpAsync, OpHostile}
+
+// Mix maps traffic kind → relative weight. Weights need not sum to 1;
+// they are normalized. A missing or zero-weight kind is simply never
+// scheduled.
+type Mix map[string]float64
+
+// DefaultMix approximates a production front door: mostly hot-key sync
+// traffic, a steady grid sweep, periodic batch bursts and async waves,
+// and a trickle of hostile input.
+func DefaultMix() Mix {
+	return Mix{OpHot: 0.50, OpGrid: 0.10, OpBatch: 0.15, OpAsync: 0.20, OpHostile: 0.05}
+}
+
+// ParseMix parses "hot=0.5,batch=0.2,..." (CLI form). Unknown kinds and
+// negative weights are errors.
+func ParseMix(s string) (Mix, error) {
+	m := Mix{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		kind, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return nil, fmt.Errorf("fleet: mix entry %q: want kind=weight", part)
+		}
+		w, err := strconv.ParseFloat(strings.TrimSpace(val), 64)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: mix entry %q: %v", part, err)
+		}
+		m[strings.TrimSpace(kind)] = w
+	}
+	return m, nil
+}
+
+func (m Mix) validate() error {
+	sum := 0.0
+	for kind, w := range m {
+		known := false
+		for _, k := range opKinds {
+			if kind == k {
+				known = true
+				break
+			}
+		}
+		if !known {
+			return fmt.Errorf("fleet: unknown mix kind %q (want one of %s)", kind, strings.Join(opKinds, "/"))
+		}
+		if w < 0 {
+			return fmt.Errorf("fleet: mix kind %q has negative weight %v", kind, w)
+		}
+		sum += w
+	}
+	if sum <= 0 {
+		return fmt.Errorf("fleet: mix has no positive weights")
+	}
+	return nil
+}
+
+// op is one scheduled unit of traffic.
+type op struct {
+	kind    string
+	spec    int   // pool index (hot/grid/async)
+	batch   []int // pool indices (batch)
+	hostile int   // hostile subtype index
+}
+
+// scheduler draws a deterministic op stream: all randomness flows from
+// one seeded source, so the same (pool, mix, seed) triple replays the
+// same arrival sequence — the property that makes soak regressions
+// bisectable.
+type scheduler struct {
+	rng       *rand.Rand
+	kinds     []string
+	cum       []float64 // cumulative normalized weights, parallel to kinds
+	zipf      *rand.Zipf
+	perm      []int // seeded hot-rank permutation of pool indices
+	poolSize  int
+	batchSize int
+	grid      int // round-robin cursor for OpGrid
+	uni       int // round-robin cursor for OpAsync
+	hostile   int // cycling cursor over hostile subtypes
+	nHostile  int
+}
+
+func newScheduler(poolSize int, mix Mix, batchSize int, zipfS float64, seed int64, nHostile int) (*scheduler, error) {
+	if poolSize < 1 {
+		return nil, fmt.Errorf("fleet: empty spec pool")
+	}
+	if err := mix.validate(); err != nil {
+		return nil, err
+	}
+	if zipfS <= 1 {
+		return nil, fmt.Errorf("fleet: zipf exponent %v must be > 1", zipfS)
+	}
+	if batchSize < 1 {
+		return nil, fmt.Errorf("fleet: batch size %d < 1", batchSize)
+	}
+	kinds := make([]string, 0, len(mix))
+	for kind, w := range mix {
+		if w > 0 {
+			kinds = append(kinds, kind)
+		}
+	}
+	sort.Strings(kinds) // map order must not leak into the op stream
+	sum := 0.0
+	for _, k := range kinds {
+		sum += mix[k]
+	}
+	cum := make([]float64, len(kinds))
+	acc := 0.0
+	for i, k := range kinds {
+		acc += mix[k] / sum
+		cum[i] = acc
+	}
+	cum[len(cum)-1] = 1.0 // absorb rounding
+	rng := rand.New(rand.NewSource(seed))
+	sc := &scheduler{
+		rng:       rng,
+		kinds:     kinds,
+		cum:       cum,
+		zipf:      rand.NewZipf(rng, zipfS, 1, uint64(poolSize-1)),
+		perm:      rng.Perm(poolSize),
+		poolSize:  poolSize,
+		batchSize: batchSize,
+		nHostile:  nHostile,
+	}
+	return sc, nil
+}
+
+// hotIdx draws a Zipf-ranked pool index: rank r (r=0 hottest) maps
+// through the seeded permutation so the hot set differs per seed.
+func (s *scheduler) hotIdx() int {
+	return s.perm[int(s.zipf.Uint64())]
+}
+
+func (s *scheduler) next() op {
+	r := s.rng.Float64()
+	kind := s.kinds[len(s.kinds)-1]
+	for i, c := range s.cum {
+		if r < c {
+			kind = s.kinds[i]
+			break
+		}
+	}
+	switch kind {
+	case OpHot:
+		return op{kind: kind, spec: s.hotIdx()}
+	case OpGrid:
+		idx := s.grid % s.poolSize
+		s.grid++
+		return op{kind: kind, spec: idx}
+	case OpBatch:
+		b := make([]int, s.batchSize)
+		for i := range b {
+			b[i] = s.hotIdx()
+		}
+		return op{kind: kind, batch: b}
+	case OpAsync:
+		// Round-robin (offset from grid's cursor) so async waves queue
+		// real work instead of riding the hot keys' cache entries.
+		idx := (s.uni*7 + 3) % s.poolSize
+		s.uni++
+		return op{kind: kind, spec: idx}
+	default: // OpHostile
+		idx := s.hostile % s.nHostile
+		s.hostile++
+		return op{kind: kind, hostile: idx}
+	}
+}

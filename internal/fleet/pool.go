@@ -1,0 +1,110 @@
+package fleet
+
+import (
+	"fmt"
+	"strings"
+
+	"relsyn/internal/pla"
+	"relsyn/internal/synthetic"
+)
+
+// PoolParams configures BuildPool. The zero value of every field gets a
+// sensible default; Seed defaults to 1 so the zero value is still fully
+// deterministic.
+type PoolParams struct {
+	Inputs  int // truth-table inputs per spec (default 8)
+	Outputs int // outputs per spec (default 2)
+	Size    int // number of specs (default 24)
+	Seed    int64
+
+	// CfTargets and DCFractions define the grid the pool sweeps,
+	// reproducing the paper's functionality axis (XOR-like → constant-
+	// like at fixed DC density). Spec i takes CfTargets[i%len] crossed
+	// with DCFractions[(i/len(CfTargets))%len].
+	CfTargets   []float64
+	DCFractions []float64
+}
+
+func (p PoolParams) withDefaults() PoolParams {
+	if p.Inputs == 0 {
+		p.Inputs = 8
+	}
+	if p.Outputs == 0 {
+		p.Outputs = 2
+	}
+	if p.Size == 0 {
+		p.Size = 24
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if len(p.CfTargets) == 0 {
+		p.CfTargets = []float64{0.15, 0.3, 0.45, 0.6, 0.75}
+	}
+	if len(p.DCFractions) == 0 {
+		p.DCFractions = []float64{0.1, 0.3, 0.5}
+	}
+	return p
+}
+
+// Spec is one pinned workload unit: a PLA body plus the metadata the
+// mix scheduler and report need. Hash is the content address relsynd
+// caches under, so the harness can reason about hit rates per spec.
+type Spec struct {
+	PLA        string  `json:"-"`
+	Hash       string  `json:"hash"`
+	TargetCf   float64 `json:"target_cf"`
+	DCFraction float64 `json:"dc_fraction"`
+	Seed       int64   `json:"seed"`
+}
+
+// Pool is an immutable, seed-deterministic spec set. The same
+// PoolParams always yield byte-identical PLA bodies (and therefore
+// identical cache keys), which is what makes hot-key skew and hit-rate
+// SLOs reproducible across runs and machines.
+type Pool struct {
+	Params PoolParams
+	Specs  []Spec
+}
+
+// BuildPool sweeps the C^f × DC-fraction grid with synthetic.Generate.
+// BestEffort is forced on: near the feasibility boundary (high C^f at
+// high DC density) the steering may stop short of tolerance, and a load
+// pool wants the closest real function, not an error.
+func BuildPool(p PoolParams) (*Pool, error) {
+	p = p.withDefaults()
+	if p.Size < 1 {
+		return nil, fmt.Errorf("fleet: pool size %d < 1", p.Size)
+	}
+	pool := &Pool{Params: p, Specs: make([]Spec, 0, p.Size)}
+	for i := 0; i < p.Size; i++ {
+		cf := p.CfTargets[i%len(p.CfTargets)]
+		dc := p.DCFractions[(i/len(p.CfTargets))%len(p.DCFractions)]
+		seed := p.Seed*1_000_003 + int64(i)
+		fn, err := synthetic.Generate(synthetic.Params{
+			Inputs:     p.Inputs,
+			Outputs:    p.Outputs,
+			DCFraction: dc,
+			TargetCf:   cf,
+			Tolerance:  0.05,
+			Seed:       seed,
+			BestEffort: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("fleet: generate spec %d (cf=%v dc=%v): %w", i, cf, dc, err)
+		}
+		fn.Name = fmt.Sprintf("fleet_%03d", i)
+		var sb strings.Builder
+		if err := pla.FromFunction(fn, nil, nil).Write(&sb); err != nil {
+			return nil, fmt.Errorf("fleet: serialize spec %d: %w", i, err)
+		}
+		pool.Specs = append(pool.Specs, Spec{
+			PLA:        sb.String(),
+			Hash:       pla.HashFunction(fn),
+			TargetCf:   cf,
+			DCFraction: dc,
+			Seed:       seed,
+		})
+	}
+	return pool, nil
+}

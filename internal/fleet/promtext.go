@@ -1,0 +1,97 @@
+// Prometheus text-format parsing for the fleet harness.
+//
+// The fleet's verdicts are computed from before/after scrapes of the
+// very /metrics endpoints operators dashboard on — not from privileged
+// in-process hooks — so a passing report certifies the deployment's
+// observable surface, not a lab shortcut. The parser therefore speaks
+// exactly the exposition dialect internal/obs writes (version 0.0.4,
+// no timestamps): `name{labels} value` lines, HELP/TYPE comments
+// skipped. See DESIGN §8 for the conventions it relies on.
+package fleet
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Series is a flat scrape: one entry per exposed time series, keyed
+// exactly as rendered — `name` or `name{k="v",...}`.
+type Series map[string]float64
+
+// ParsePrometheus reads a text exposition (format 0.0.4) into a Series.
+// Comment lines are skipped; a sample line is split at its last space
+// (label values may themselves contain spaces, the value never does).
+// Non-finite samples (NaN/Inf quantiles of empty summaries in other
+// exporters) are parsed but dropped: the differ and the report must
+// stay JSON-encodable, and a non-finite delta is meaningless.
+func ParsePrometheus(r io.Reader) (Series, error) {
+	s := Series{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(text, ' ')
+		if i <= 0 {
+			return nil, fmt.Errorf("fleet: metrics line %d: no value in %q", line, text)
+		}
+		key := strings.TrimSpace(text[:i])
+		v, err := strconv.ParseFloat(text[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: metrics line %d: bad value in %q: %v", line, text, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			continue
+		}
+		s[key] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("fleet: scan metrics: %w", err)
+	}
+	return s, nil
+}
+
+// Sum totals every series of the given metric name across its label
+// sets (exact-name match plus `name{...}` prefixed series). Intended
+// for counters and gauges; summing a summary's quantile series is the
+// caller's mistake.
+func (s Series) Sum(name string) float64 {
+	total := 0.0
+	for key, v := range s {
+		if key == name || strings.HasPrefix(key, name+"{") {
+			total += v
+		}
+	}
+	return total
+}
+
+// Delta returns after-minus-before per series, keyed like the receiver
+// (the "after" side). Series absent from before are treated as starting
+// at zero — the obs registries register every series eagerly, so a key
+// that appears mid-run genuinely started at zero. Zero deltas are
+// dropped to keep reports readable.
+func (s Series) Delta(before Series) Series {
+	d := Series{}
+	for key, v := range s {
+		if diff := v - before[key]; diff != 0 {
+			d[key] = diff
+		}
+	}
+	return d
+}
+
+// Merge adds other's samples into s (summing shared keys), used to fold
+// per-target deltas into one fleet-wide view.
+func (s Series) Merge(other Series) {
+	for key, v := range other {
+		s[key] += v
+	}
+}

@@ -1,0 +1,154 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+)
+
+// SLO is the rule set a run is judged against. Zero-valued rate/latency
+// rules are skipped (reported with Skipped=true, never failed); the
+// lost-jobs rule always evaluates — "zero lost accepted jobs" is the
+// fleet's reason to exist and must not be silently waivable.
+type SLO struct {
+	// P99 bounds the p99 of client-observed sync latencies (hot + grid
+	// ops, full-sample — not the server's sliding-window histogram; see
+	// the metric-catalog caveat in the README). Zero skips the rule.
+	P99 time.Duration
+	// MaxErrorRate ceilings unexpected failures per completed op.
+	// Backpressure (429 through every retry) and hostile rejections are
+	// classified separately and do not count as errors. Zero means
+	// "no errors tolerated" — it still evaluates.
+	MaxErrorRate float64
+	// SkipErrorRate disables the error-rate rule entirely (MaxErrorRate
+	// zero is a real, strict ceiling, so skipping needs its own flag).
+	SkipErrorRate bool
+	// MinCacheHitRate floors fleet-wide delta hit-rate
+	// (Δhits/(Δhits+Δmisses) from relsyn_cache_* counters). Zero skips;
+	// the rule is also skipped when no cache traffic was observed.
+	MinCacheHitRate float64
+	// MaxLostJobs ceilings accepted-but-unresolved jobs. Always
+	// evaluated; the production bar is 0.
+	MaxLostJobs int64
+	// ExpectNoLoopsBroken asserts Δrelsyn_cluster_loops_broken_total==0:
+	// healthy topologies never trip the forwarding-loop breaker.
+	ExpectNoLoopsBroken bool
+	// ExpectNoBreakerTrips asserts Δrelsyn_store_breaker_trips_total==0:
+	// the durable store must not brown out under the driven load.
+	ExpectNoBreakerTrips bool
+}
+
+// Verdict is one evaluated SLO rule.
+type Verdict struct {
+	Name      string  `json:"name"`
+	Pass      bool    `json:"pass"`
+	Skipped   bool    `json:"skipped,omitempty"`
+	Observed  float64 `json:"observed"`
+	Threshold float64 `json:"threshold"`
+	Detail    string  `json:"detail,omitempty"`
+}
+
+// evaluate renders the rule set against a built report (its counters,
+// latency summaries, and metrics delta must already be populated) and
+// returns the verdicts plus the overall pass flag: every non-skipped
+// rule must pass.
+func (s SLO) evaluate(rep *Report) ([]Verdict, bool) {
+	var out []Verdict
+	add := func(v Verdict) { out = append(out, v) }
+
+	// p99_latency: client-observed sync path.
+	{
+		v := Verdict{Name: "p99_latency_seconds", Threshold: s.P99.Seconds()}
+		lat, ok := rep.Latency["sync"]
+		switch {
+		case s.P99 <= 0:
+			v.Skipped, v.Pass = true, true
+			v.Detail = "no p99 bound configured"
+		case !ok || lat.Count == 0:
+			v.Skipped, v.Pass = true, true
+			v.Detail = "no sync latency samples"
+		default:
+			v.Observed = lat.P99Seconds
+			v.Pass = v.Observed <= v.Threshold
+			v.Detail = fmt.Sprintf("%d samples", lat.Count)
+		}
+		add(v)
+	}
+
+	// error_rate: unexpected failures over completed ops.
+	{
+		v := Verdict{Name: "error_rate", Threshold: s.MaxErrorRate}
+		total, errs := rep.totals()
+		switch {
+		case s.SkipErrorRate:
+			v.Skipped, v.Pass = true, true
+			v.Detail = "rule disabled"
+		case total == 0:
+			v.Skipped, v.Pass = true, true
+			v.Detail = "no completed ops"
+		default:
+			v.Observed = float64(errs) / float64(total)
+			v.Pass = v.Observed <= v.Threshold
+			v.Detail = fmt.Sprintf("%d errors / %d ops", errs, total)
+		}
+		add(v)
+	}
+
+	// cache_hit_rate: server-side, fleet-wide delta.
+	{
+		v := Verdict{Name: "cache_hit_rate", Threshold: s.MinCacheHitRate}
+		hits := rep.MetricsDelta.Sum("relsyn_cache_hits_total")
+		misses := rep.MetricsDelta.Sum("relsyn_cache_misses_total")
+		switch {
+		case s.MinCacheHitRate <= 0:
+			v.Skipped, v.Pass = true, true
+			v.Detail = "no hit-rate floor configured"
+		case hits+misses == 0:
+			v.Skipped, v.Pass = true, true
+			v.Detail = "no cache traffic observed (cache disabled or counters unscraped)"
+		default:
+			v.Observed = hits / (hits + misses)
+			v.Pass = v.Observed >= v.Threshold
+			v.Detail = fmt.Sprintf("Δhits=%.0f Δmisses=%.0f", hits, misses)
+		}
+		add(v)
+	}
+
+	// lost_accepted_jobs: always on.
+	{
+		v := Verdict{
+			Name:      "lost_accepted_jobs",
+			Threshold: float64(s.MaxLostJobs),
+			Observed:  float64(rep.Lost),
+			Detail:    fmt.Sprintf("accepted=%d resolved=%d", rep.Accepted, rep.Resolved),
+		}
+		v.Pass = rep.Lost <= s.MaxLostJobs
+		add(v)
+	}
+
+	// loops_broken / breaker_trips: expected-zero cluster health counters.
+	for _, rule := range []struct {
+		name, series string
+		on           bool
+	}{
+		{"loops_broken", "relsyn_cluster_loops_broken_total", s.ExpectNoLoopsBroken},
+		{"breaker_trips", "relsyn_store_breaker_trips_total", s.ExpectNoBreakerTrips},
+	} {
+		v := Verdict{Name: rule.name, Threshold: 0, Observed: rep.MetricsDelta.Sum(rule.series)}
+		if !rule.on {
+			v.Skipped, v.Pass = true, true
+			v.Detail = "rule disabled"
+		} else {
+			v.Pass = v.Observed == 0
+			v.Detail = "Δ" + rule.series
+		}
+		add(v)
+	}
+
+	pass := true
+	for _, v := range out {
+		if !v.Skipped && !v.Pass {
+			pass = false
+		}
+	}
+	return out, pass
+}

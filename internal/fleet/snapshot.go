@@ -1,0 +1,158 @@
+package fleet
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"time"
+)
+
+// TargetSnapshot is one node's observable state at an instant: its
+// /metrics exposition parsed into a Series and its /statsz document
+// flattened to dotted numeric keys ("queue.enqueued", "cache.hits", …).
+// Scrape failures are recorded, not fatal — a killed shard is an
+// expected snapshot outcome mid-soak, and the differ accounts for it.
+type TargetSnapshot struct {
+	Target  string   `json:"target"`
+	Errs    []string `json:"errs,omitempty"`
+	Metrics Series   `json:"-"`
+	Statsz  Series   `json:"-"`
+}
+
+// OK reports whether both endpoints scraped cleanly.
+func (ts *TargetSnapshot) OK() bool { return len(ts.Errs) == 0 }
+
+// ScrapeTargets snapshots every target concurrently. The returned slice
+// is parallel to targets.
+func ScrapeTargets(ctx context.Context, hc *http.Client, targets []string) []TargetSnapshot {
+	if hc == nil {
+		hc = &http.Client{Timeout: 10 * time.Second}
+	}
+	out := make([]TargetSnapshot, len(targets))
+	done := make(chan int, len(targets))
+	for i, t := range targets {
+		go func(i int, t string) {
+			out[i] = scrapeOne(ctx, hc, t)
+			done <- i
+		}(i, t)
+	}
+	for range targets {
+		<-done
+	}
+	return out
+}
+
+func scrapeOne(ctx context.Context, hc *http.Client, target string) TargetSnapshot {
+	ts := TargetSnapshot{Target: target, Metrics: Series{}, Statsz: Series{}}
+	if body, err := fetch(ctx, hc, target+"/metrics"); err != nil {
+		ts.Errs = append(ts.Errs, fmt.Sprintf("metrics: %v", err))
+	} else if series, err := ParsePrometheus(body); err != nil {
+		body.Close()
+		ts.Errs = append(ts.Errs, fmt.Sprintf("metrics: %v", err))
+	} else {
+		body.Close()
+		ts.Metrics = series
+	}
+	if body, err := fetch(ctx, hc, target+"/statsz"); err != nil {
+		ts.Errs = append(ts.Errs, fmt.Sprintf("statsz: %v", err))
+	} else {
+		raw, rerr := io.ReadAll(io.LimitReader(body, 4<<20))
+		body.Close()
+		if rerr != nil {
+			ts.Errs = append(ts.Errs, fmt.Sprintf("statsz: %v", rerr))
+		} else {
+			var doc map[string]any
+			if jerr := json.Unmarshal(raw, &doc); jerr != nil {
+				// This is the contract satellite-tested in internal/server
+				// and internal/cluster: /statsz must stay parseable JSON.
+				ts.Errs = append(ts.Errs, fmt.Sprintf("statsz: invalid JSON: %v", jerr))
+			} else {
+				flattenJSON("", doc, ts.Statsz)
+			}
+		}
+	}
+	return ts
+}
+
+func fetch(ctx context.Context, hc *http.Client, url string) (io.ReadCloser, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		resp.Body.Close()
+		return nil, fmt.Errorf("HTTP %d", resp.StatusCode)
+	}
+	return resp.Body, nil
+}
+
+// flattenJSON folds a decoded JSON document into dotted numeric keys.
+// Arrays and strings are skipped (the differ wants countable state, not
+// identity), bools become 0/1, and the registry mirror under "metrics"
+// is skipped too — the Prometheus side already carries those series
+// with label structure intact.
+func flattenJSON(prefix string, v any, out Series) {
+	switch x := v.(type) {
+	case map[string]any:
+		keys := make([]string, 0, len(x))
+		for k := range x {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			if prefix == "" && k == "metrics" {
+				continue
+			}
+			key := k
+			if prefix != "" {
+				key = prefix + "." + k
+			}
+			flattenJSON(key, x[k], out)
+		}
+	case float64:
+		if !math.IsNaN(x) && !math.IsInf(x, 0) {
+			out[prefix] = x
+		}
+	case bool:
+		if x {
+			out[prefix] = 1
+		} else {
+			out[prefix] = 0
+		}
+	}
+}
+
+// FleetDelta folds per-target deltas into one fleet-wide view. Only
+// targets that scraped cleanly on BOTH sides contribute — a target
+// present before but unreachable after (a killed shard) is listed in
+// lost instead of polluting the sums with a giant negative delta.
+func FleetDelta(before, after []TargetSnapshot) (metrics, statsz Series, lost []string) {
+	prior := make(map[string]*TargetSnapshot, len(before))
+	for i := range before {
+		prior[before[i].Target] = &before[i]
+	}
+	metrics, statsz = Series{}, Series{}
+	for i := range after {
+		a := &after[i]
+		b, had := prior[a.Target]
+		if !had {
+			continue
+		}
+		if !a.OK() || !b.OK() {
+			lost = append(lost, a.Target)
+			continue
+		}
+		metrics.Merge(a.Metrics.Delta(b.Metrics))
+		statsz.Merge(a.Statsz.Delta(b.Statsz))
+	}
+	sort.Strings(lost)
+	return metrics, statsz, lost
+}

@@ -1,0 +1,235 @@
+// Soak tests: the fleet harness driven against real in-process relsynd
+// shards (and a real router for the cluster scenario), over loopback
+// TCP. These are the end-to-end proof behind the serving tier — the
+// single-node soak pins the harness/SLO plumbing, and the
+// kill-one-mid-soak scenario pins the acceptance claim: one shard dies
+// under load and the fleet still resolves every accepted job.
+package fleet_test
+
+import (
+	"context"
+	"encoding/json"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"relsyn/client"
+	"relsyn/internal/cluster"
+	"relsyn/internal/fleet"
+	"relsyn/internal/obs"
+	"relsyn/internal/server"
+)
+
+func testPool(t *testing.T) *fleet.Pool {
+	t.Helper()
+	pool, err := fleet.BuildPool(fleet.PoolParams{Inputs: 6, Outputs: 1, Size: 10, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pool
+}
+
+func testDriver(t *testing.T, baseURL string) *client.Client {
+	t.Helper()
+	cl, err := client.New(client.Config{BaseURL: baseURL, Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cl
+}
+
+func TestFleetSingleNodeSoak(t *testing.T) {
+	reg := obs.NewRegistry()
+	srv := server.New(server.Config{Workers: 4, Metrics: reg})
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	rep, err := fleet.Run(context.Background(), fleet.Config{
+		Driver:   testDriver(t, ts.URL),
+		Pool:     testPool(t),
+		Duration: 1500 * time.Millisecond,
+		Rate:     150,
+		Seed:     11,
+		SLO: fleet.SLO{
+			P99:                  5 * time.Second,
+			MaxErrorRate:         0,
+			MinCacheHitRate:      0.10,
+			ExpectNoLoopsBroken:  true,
+			ExpectNoBreakerTrips: true,
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Verdict != "pass" {
+		raw, _ := json.MarshalIndent(rep, "", "  ")
+		t.Fatalf("verdict %q, want pass:\n%s", rep.Verdict, raw)
+	}
+	if rep.Lost != 0 {
+		t.Fatalf("lost = %d, want 0", rep.Lost)
+	}
+	if rep.Accepted == 0 || rep.Accepted != rep.Resolved {
+		t.Fatalf("accepted=%d resolved=%d", rep.Accepted, rep.Resolved)
+	}
+	for _, kind := range []string{fleet.OpHot, fleet.OpGrid, fleet.OpBatch, fleet.OpAsync, fleet.OpHostile} {
+		if rep.Ops[kind].Started == 0 {
+			t.Fatalf("kind %s never ran; ops=%v", kind, rep.Ops)
+		}
+	}
+	if rep.Ops[fleet.OpHostile].Rejected == 0 {
+		t.Fatal("hostile ops produced no clean rejections")
+	}
+	if rep.Ops[fleet.OpHostile].Errors != 0 {
+		t.Fatalf("hostile ops produced %d unexpected outcomes: %v",
+			rep.Ops[fleet.OpHostile].Errors, rep.ErrorSamples)
+	}
+	// The report is the product: it must round-trip as JSON with the
+	// schema marker intact.
+	raw, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatalf("report marshal: %v", err)
+	}
+	var back fleet.Report
+	if err := json.Unmarshal(raw, &back); err != nil {
+		t.Fatalf("report round-trip: %v", err)
+	}
+	if back.Schema != fleet.ReportSchema {
+		t.Fatalf("schema %q, want %q", back.Schema, fleet.ReportSchema)
+	}
+	if strings.Contains(string(raw), "NaN") {
+		t.Fatal("report leaks NaN")
+	}
+}
+
+// soakShard is one in-process relsynd for the cluster scenario.
+type soakShard struct {
+	addr string
+	srv  *server.Server
+	ts   *httptest.Server
+}
+
+func (sh *soakShard) kill() {
+	sh.ts.CloseClientConnections()
+	sh.ts.Close()
+	sh.srv.Close()
+}
+
+// bootSoakCluster claims listeners first (so membership is known before
+// traffic), then starts n cluster-aware shards plus one router.
+func bootSoakCluster(t *testing.T, n int) (shards []*soakShard, routerURL string, scrape []string) {
+	t.Helper()
+	lns := make([]net.Listener, n)
+	peers := make([]string, n)
+	for i := range lns {
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		lns[i] = ln
+		peers[i] = ln.Addr().String()
+	}
+	for _, ln := range lns {
+		sh := &soakShard{addr: ln.Addr().String()}
+		sh.srv = server.New(server.Config{
+			Workers:  4,
+			Metrics:  obs.NewRegistry(),
+			Peers:    peers,
+			SelfAddr: sh.addr,
+		})
+		sh.ts = &httptest.Server{Listener: ln, Config: &http.Server{Handler: sh.srv.Handler()}}
+		sh.ts.Start()
+		shards = append(shards, sh)
+		t.Cleanup(func() {
+			defer func() { recover() }() // the killed shard closes twice
+			sh.ts.Close()
+			sh.srv.Close()
+		})
+	}
+	rt, err := cluster.NewRouter(cluster.RouterConfig{Peers: peers, Metrics: obs.NewRegistry()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rts := httptest.NewServer(rt.Handler())
+	t.Cleanup(rts.Close)
+	scrape = append(scrape, rts.URL)
+	for _, sh := range shards {
+		scrape = append(scrape, sh.ts.URL)
+	}
+	return shards, rts.URL, scrape
+}
+
+// TestFleetClusterKillOneMidSoak is the acceptance scenario: a 3-shard
+// cluster under the full default mix, one shard killed mid-soak. The
+// run must still end with verdict pass and zero lost accepted jobs —
+// sync/batch traffic fails over inside the router, and async jobs that
+// died with the victim are recovered by the harness's idempotent
+// resubmit.
+func TestFleetClusterKillOneMidSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second soak")
+	}
+	shards, routerURL, scrape := bootSoakCluster(t, 3)
+
+	killed := make(chan struct{})
+	go func() {
+		time.Sleep(1200 * time.Millisecond)
+		shards[0].kill()
+		close(killed)
+	}()
+
+	rep, err := fleet.Run(context.Background(), fleet.Config{
+		Driver:        testDriver(t, routerURL),
+		ScrapeTargets: scrape,
+		Pool:          testPool(t),
+		Duration:      3500 * time.Millisecond,
+		Rate:          100,
+		Seed:          23,
+		ReqTimeout:    15 * time.Second,
+		SLO: fleet.SLO{
+			P99:                 8 * time.Second,
+			MaxErrorRate:        0.02,
+			ExpectNoLoopsBroken: true,
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-killed
+	raw, _ := json.MarshalIndent(rep, "", "  ")
+	if rep.Verdict != "pass" {
+		t.Fatalf("verdict %q, want pass:\n%s", rep.Verdict, raw)
+	}
+	if rep.Lost != 0 {
+		t.Fatalf("lost = %d, want 0:\n%s", rep.Lost, raw)
+	}
+	if rep.Accepted == 0 || rep.Accepted != rep.Resolved {
+		t.Fatalf("accepted=%d resolved=%d:\n%s", rep.Accepted, rep.Resolved, raw)
+	}
+	// The differ must have noticed the corpse instead of folding a giant
+	// negative delta into the fleet sums.
+	if len(rep.LostTargets) != 1 || rep.LostTargets[0] != shards[0].ts.URL {
+		t.Fatalf("lost_targets = %v, want [%s]", rep.LostTargets, shards[0].ts.URL)
+	}
+	// The kill happened a third of the way in at 100 ops/s: traffic must
+	// actually have crossed the failure.
+	if total, _ := repTotals(rep); total < 100 {
+		t.Fatalf("only %d completed ops — soak too thin to prove anything", total)
+	}
+	if rep.MetricsDelta.Sum("relsyn_cluster_failovers_total") < 1 {
+		t.Fatalf("no failovers recorded — the kill never bit:\n%s", raw)
+	}
+}
+
+func repTotals(rep *fleet.Report) (total, errs int64) {
+	for _, c := range rep.Ops {
+		total += c.OK + c.JobFailures + c.Backpressure + c.Rejected + c.Errors
+		errs += c.Errors
+	}
+	return
+}

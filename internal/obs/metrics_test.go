@@ -247,3 +247,60 @@ func TestRegistryConcurrentSeriesCreation(t *testing.T) {
 		t.Fatalf("counter = %d", got)
 	}
 }
+
+// TestHistogramQuantileAfterWraparound pins the sliding-window
+// semantics the fleet harness's p99 verdicts depend on: once the ring
+// wraps (>histogramRing observations), Quantile answers over exactly
+// the newest histogramRing samples while Count/Sum stay exact over the
+// lifetime. The two-band layout makes the window boundary observable:
+// 1024 ones then 512 twos leave a window of 512 ones + 512 twos.
+func TestHistogramQuantileAfterWraparound(t *testing.T) {
+	var h Histogram
+	for i := 0; i < histogramRing; i++ {
+		h.Observe(1.0)
+	}
+	for i := 0; i < histogramRing/2; i++ {
+		h.Observe(2.0)
+	}
+	// Nearest-rank: p50 lands on index ceil(.5·1024)−1 = 511, the last
+	// of the surviving ones; anything above the midpoint sees a two.
+	if got := h.Quantile(0.5); got != 1.0 {
+		t.Fatalf("p50 after wrap = %v, want 1.0 (last of the old band)", got)
+	}
+	if got := h.Quantile(0.51); got != 2.0 {
+		t.Fatalf("p51 after wrap = %v, want 2.0", got)
+	}
+	if got := h.Quantile(0.99); got != 2.0 {
+		t.Fatalf("p99 after wrap = %v, want 2.0", got)
+	}
+	if got := h.Quantile(0); got != 1.0 {
+		t.Fatalf("window min = %v, want 1.0", got)
+	}
+	if got := h.Quantile(1); got != 2.0 {
+		t.Fatalf("window max = %v, want 2.0", got)
+	}
+	s := h.Snapshot()
+	if s.Count != int64(histogramRing+histogramRing/2) {
+		t.Fatalf("lifetime count = %d, want %d (count must NOT be windowed)", s.Count, histogramRing+histogramRing/2)
+	}
+	if want := float64(histogramRing) + 2.0*float64(histogramRing/2); s.Sum != want {
+		t.Fatalf("lifetime sum = %v, want %v (sum must NOT be windowed)", s.Sum, want)
+	}
+	if s.P50 != 1.0 || s.P99 != 2.0 {
+		t.Fatalf("snapshot quantiles p50=%v p99=%v, want 1.0/2.0", s.P50, s.P99)
+	}
+	// Another half-ring of threes ages the ones out entirely: the
+	// window forgets an era histogramRing observations after it ends.
+	for i := 0; i < histogramRing/2; i++ {
+		h.Observe(3.0)
+	}
+	if got := h.Quantile(0); got != 2.0 {
+		t.Fatalf("window min after second wrap = %v, want 2.0 (ones fully aged out)", got)
+	}
+	if got := h.Quantile(0.5); got != 2.0 {
+		t.Fatalf("p50 after second wrap = %v, want 2.0", got)
+	}
+	if got := h.Quantile(1); got != 3.0 {
+		t.Fatalf("window max after second wrap = %v, want 3.0", got)
+	}
+}

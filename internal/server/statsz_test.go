@@ -1,0 +1,111 @@
+package server
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+
+	"relsyn/internal/obs"
+)
+
+// TestStatszStableParseableJSON is the schema regression behind the
+// fleet differ: /statsz must stay a single JSON document with the
+// documented top-level keys present and no NaN/Inf leaking through
+// writeJSON (encoding/json rejects non-finite floats, and writeJSON
+// drops the encoder error — a NaN would silently truncate the body).
+func TestStatszStableParseableJSON(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 2, Metrics: obs.NewRegistry()})
+
+	// Exercise enough surface that histograms, cache counters, and queue
+	// counters all have real values: one sync job (computed), the same
+	// job again (cache hit), and one rejected body.
+	pla := ".i 3\n.o 1\n01- 1\n111 1\n000 -\n.e\n"
+	for i := 0; i < 2; i++ {
+		resp, body := postJSON(t, ts.URL+"/v1/synth", map[string]any{"pla": pla})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("synth %d: status %d: %s", i, resp.StatusCode, body)
+		}
+	}
+	if resp, _ := postJSON(t, ts.URL+"/v1/synth", map[string]any{"pla": "garbage"}); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("hostile synth accepted: %d", resp.StatusCode)
+	}
+
+	resp, err := http.Get(ts.URL + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("statsz status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "application/json") {
+		t.Fatalf("statsz content-type %q", ct)
+	}
+	if !json.Valid(raw) {
+		t.Fatalf("statsz is not valid JSON (truncated encode?):\n%s", raw)
+	}
+	// Non-finite floats must never reach the wire. Word-boundary match
+	// so lowercase identifiers like "in_flight_keys" can't false-positive.
+	if bad := regexp.MustCompile(`\b(NaN|Inf|Infinity)\b`); bad.Match(raw) {
+		t.Fatalf("statsz leaks a non-finite float:\n%s", raw)
+	}
+
+	// The typed view must round-trip...
+	var payload StatszPayload
+	if err := json.Unmarshal(raw, &payload); err != nil {
+		t.Fatalf("statsz does not decode into StatszPayload: %v", err)
+	}
+	if payload.Workers != 2 || payload.Submitted < 2 || payload.Completed < 1 {
+		t.Fatalf("statsz counters off: %+v", payload.Stats)
+	}
+	if payload.Cache.Hits < 1 {
+		t.Fatalf("statsz cache.hits = %d, want >= 1 after a repeat", payload.Cache.Hits)
+	}
+
+	// ...and the untyped view must keep the documented key set — this is
+	// what external scrapers (the fleet differ included) key on.
+	var doc map[string]any
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{
+		"uptime_seconds", "workers", "busy_workers", "draining", "queue",
+		"submitted", "completed", "failed", "rejected", "expired",
+		"coalesced", "cache", "in_flight_keys", "metrics",
+	} {
+		if _, ok := doc[key]; !ok {
+			t.Fatalf("statsz missing required key %q:\n%s", key, raw)
+		}
+	}
+	queue, ok := doc["queue"].(map[string]any)
+	if !ok {
+		t.Fatalf("statsz queue is %T, want object", doc["queue"])
+	}
+	for _, key := range []string{"depth", "len", "enqueued", "dequeued", "rejected"} {
+		if _, ok := queue[key]; !ok {
+			t.Fatalf("statsz queue missing %q: %v", key, queue)
+		}
+	}
+	cache, ok := doc["cache"].(map[string]any)
+	if !ok {
+		t.Fatalf("statsz cache is %T, want object", doc["cache"])
+	}
+	for _, key := range []string{"hits", "misses", "len", "cap"} {
+		if _, ok := cache[key]; !ok {
+			t.Fatalf("statsz cache missing %q: %v", key, cache)
+		}
+	}
+	metrics, ok := doc["metrics"].(map[string]any)
+	if !ok {
+		t.Fatalf("statsz metrics is %T, want object", doc["metrics"])
+	}
+	for _, key := range []string{"counters", "gauges", "histograms"} {
+		if _, ok := metrics[key]; !ok {
+			t.Fatalf("statsz metrics missing %q", key)
+		}
+	}
+}

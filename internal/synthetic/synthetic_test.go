@@ -265,3 +265,123 @@ func BenchmarkGenerate10(b *testing.B) {
 		}
 	}
 }
+
+// TestGenerateEdgeParams table-drives the parameter edges the fleet's
+// pinned spec pool leans on: the OnFraction feasibility boundary, the
+// BestEffort fallback under a starved move budget, and the zero
+// MaxIters default.
+func TestGenerateEdgeParams(t *testing.T) {
+	cases := []struct {
+		name    string
+		p       Params
+		wantErr bool
+		check   func(t *testing.T, f *tt.Function)
+	}{
+		{
+			name: "on-fraction at the feasibility boundary leaves an empty off-set",
+			p: Params{Inputs: 6, Outputs: 1, DCFraction: 0.5, OnFraction: 0.5,
+				TargetCf: 0.6, Seed: 31, BestEffort: true},
+			check: func(t *testing.T, f *tt.Function) {
+				f0, f1, fdc := f.SignalProbabilities(0)
+				if f0 != 0 || f1 != 0.5 || fdc != 0.5 {
+					t.Fatalf("boundary probabilities f0=%v f1=%v fdc=%v, want 0/0.5/0.5", f0, f1, fdc)
+				}
+			},
+		},
+		{
+			name: "on-fraction one minterm past the boundary is rejected",
+			p: Params{Inputs: 6, Outputs: 1, DCFraction: 0.5, OnFraction: 0.5 + 1.0/64,
+				TargetCf: 0.5},
+			wantErr: true,
+		},
+		{
+			name: "zero MaxIters falls back to the default budget and converges",
+			p: Params{Inputs: 8, Outputs: 1, DCFraction: 0.6, TargetCf: 0.5,
+				Tolerance: 0.02, Seed: 7, MaxIters: 0},
+			check: func(t *testing.T, f *tt.Function) {
+				if cf := complexity.Factor(f, 0); math.Abs(cf-0.5) > 0.02+1e-9 {
+					t.Fatalf("C^f=%v, want within 0.02 of 0.5", cf)
+				}
+			},
+		},
+		{
+			name: "starved MaxIters without BestEffort reports the miss",
+			p: Params{Inputs: 8, Outputs: 1, DCFraction: 0.6, TargetCf: 0.9,
+				Tolerance: 0.005, Seed: 7, MaxIters: 1},
+			wantErr: true,
+		},
+		{
+			name: "starved MaxIters with BestEffort returns the closest function",
+			p: Params{Inputs: 8, Outputs: 1, DCFraction: 0.6, TargetCf: 0.9,
+				Tolerance: 0.005, Seed: 7, MaxIters: 1, BestEffort: true},
+			check: func(t *testing.T, f *tt.Function) {
+				_, _, fdc := f.SignalProbabilities(0)
+				if math.Abs(fdc-0.6) > 1.0/float64(f.Size()) {
+					t.Fatalf("BestEffort drifted the DC density to %v", fdc)
+				}
+			},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			f, err := Generate(tc.p)
+			if tc.wantErr {
+				if err == nil {
+					t.Fatal("want error, got nil")
+				}
+				return
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := f.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if tc.check != nil {
+				tc.check(t, f)
+			}
+		})
+	}
+}
+
+// TestGenerateSeedBitIdentical pins the determinism contract at the
+// representation level: the same Params.Seed must reproduce the same
+// tt.Function word for word (Equal checks phases; the fleet pool also
+// needs identical serialized bytes, hence identical bitset words).
+func TestGenerateSeedBitIdentical(t *testing.T) {
+	p := Params{Inputs: 8, Outputs: 3, DCFraction: 0.3, TargetCf: 0.5,
+		Seed: 42, BestEffort: true}
+	a, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Fatal("same seed gave semantically different functions")
+	}
+	for o := range a.Outs {
+		aw, bw := a.Outs[o].On.Words(), b.Outs[o].On.Words()
+		for w := range aw {
+			if aw[w] != bw[w] {
+				t.Fatalf("output %d on-set word %d differs: %#x vs %#x", o, w, aw[w], bw[w])
+			}
+		}
+		aw, bw = a.Outs[o].DC.Words(), b.Outs[o].DC.Words()
+		for w := range aw {
+			if aw[w] != bw[w] {
+				t.Fatalf("output %d dc-set word %d differs: %#x vs %#x", o, w, aw[w], bw[w])
+			}
+		}
+	}
+	p.Seed = 43
+	c, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(c) {
+		t.Fatal("different seeds gave identical functions")
+	}
+}
