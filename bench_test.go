@@ -18,12 +18,16 @@ import (
 	"testing"
 
 	"relsyn/client"
+	"relsyn/internal/bitset"
+	"relsyn/internal/census"
 	"relsyn/internal/cluster"
 	"relsyn/internal/complexity"
 	"relsyn/internal/core"
+	"relsyn/internal/estimate"
 	"relsyn/internal/experiments"
 	"relsyn/internal/fleet"
 	"relsyn/internal/obs"
+	"relsyn/internal/pla"
 	"relsyn/internal/reliability"
 	"relsyn/internal/server"
 	"relsyn/internal/store"
@@ -419,6 +423,89 @@ func BenchmarkKernelRanking(b *testing.B) {
 			}
 		}
 		benchKernelPair(b, n, run(core.KernelsOn), run(core.KernelsOff))
+	}
+}
+
+// ---------------------------------------------------------------------
+// Fused-vs-unfused census benchmarks (internal/census engine).
+//
+// BenchmarkSynthesize runs the full analysis bundle one /v1/synth job
+// pays before synthesis proper — exact bounds, C^f, the Poisson border
+// estimate, and both assignment passes — twice per input count:
+//
+//   - unfused: the PR 5 path, every metric re-deriving its neighbor
+//     censuses in its own ShiftNeighbor/popcount scan (kernels on).
+//   - fused: the metrics served from one shared neighbor census pulled
+//     through a content-addressed census.Engine exactly as the pipeline
+//     does — the first iteration computes the census, the rest ride the
+//     warm cache, which is the engine's steady serving state.
+//
+// Both lanes produce bit-identical answers (metatest property 7), so
+// the fused/unfused ratio is pure execution win. cmd/benchjson pairs
+// the rows into BENCH_fused.json and CI gates the n=16 ratio ≥ 2.0×.
+
+func benchCensusBundle(b *testing.B, spec *tt.Function, cs []*bitset.Census) {
+	b.Helper()
+	ctx := context.Background()
+	opt := core.Options{Kernels: core.KernelsOn, Parallelism: 1, Census: cs}
+	if _, _, err := reliability.BoundsMeanCensusCtx(ctx, spec, cs, 1); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := estimate.BorderBasedMeanCensusCtx(ctx, spec, cs, 1); err != nil {
+		b.Fatal(err)
+	}
+	for o := 0; o < spec.NumOut(); o++ {
+		if o < len(cs) && cs[o] != nil {
+			complexity.FactorCensus(cs[o])
+		} else {
+			complexity.FactorKernel(spec, o)
+		}
+	}
+	if _, err := core.Ranking(spec, 0.5, opt); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := core.LCF(spec, 0.55, opt); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkSynthesize(b *testing.B) {
+	for _, n := range benchKernelInputs {
+		spec := benchKernelSpec(b, n)
+		hash := pla.HashFunction(spec)
+		b.Run(fmt.Sprintf("n=%d/fused", n), func(b *testing.B) {
+			eng := census.NewEngine(4, 64<<20)
+			ctx := context.Background()
+			for i := 0; i < b.N; i++ {
+				fc, err := eng.For(ctx, hash, spec, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				benchCensusBundle(b, spec, fc.Outs)
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/unfused", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				benchCensusBundle(b, spec, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkCensusCompute isolates the fused pass itself: the one-time
+// cost a cold census cache pays per spec (amortized across every
+// consumer and every later job on the same spec).
+func BenchmarkCensusCompute(b *testing.B) {
+	for _, n := range benchKernelInputs {
+		spec := benchKernelSpec(b, n)
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			ctx := context.Background()
+			for i := 0; i < b.N; i++ {
+				if _, err := census.Compute(ctx, spec, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -58,6 +58,7 @@ import (
 	"time"
 
 	"relsyn"
+	"relsyn/internal/census"
 	"relsyn/internal/cluster"
 	"relsyn/internal/obs"
 	"relsyn/internal/pipeline"
@@ -91,6 +92,7 @@ type daemonConfig struct {
 	pprofAddr    string
 	drainTimeout time.Duration
 	kernels      bool
+	censusMB     int
 	storeDir     string
 	walSync      string
 	peers        string
@@ -126,6 +128,7 @@ func parseFlags(args []string, stderr io.Writer) (*daemonConfig, error) {
 	fs.IntVar(&cfg.budget.maxAIGNodes, "max-aig-nodes", 0, "default AIG node budget for jobs that carry none (0 = unlimited)")
 	fs.IntVar(&cfg.budget.parallelism, "j", 0, "default per-job analysis parallelism for jobs that carry none (0 = GOMAXPROCS, 1 = sequential)")
 	fs.BoolVar(&cfg.kernels, "kernels", true, "use word-parallel bitset kernels process-wide (false = bit-identical scalar paths); per-job override via the \"kernels\" wire option")
+	fs.IntVar(&cfg.censusMB, "census-cache-mb", 64, "byte budget (MiB) of the fused neighbor-census cache (0 disables census caching)")
 	fs.StringVar(&cfg.storeDir, "store-dir", "", "directory for the durable job store (empty = volatile, no durability)")
 	fs.StringVar(&cfg.walSync, "wal-sync", "always", "WAL fsync policy: always, interval, or off")
 	fs.StringVar(&cfg.peers, "peers", "", "comma-separated shard fleet (including this node) for peer cache fill; empty = standalone")
@@ -223,6 +226,24 @@ func run(args []string, stdout, stderr io.Writer, sig <-chan os.Signal) int {
 	// Process-wide kernel switch, set before the worker pool starts any
 	// job (the scalar paths are bit-identical, only slower).
 	relsyn.SetKernels(cfg.kernels)
+	// Fused-census cache: sized (or disabled) before any worker touches
+	// census.Default, and instrumented on the same registry the server
+	// exports so /metrics carries relsyn_census_{hits,misses,bytes} from
+	// the first scrape.
+	if cfg.censusMB != 64 {
+		if cfg.censusMB <= 0 {
+			census.SetDefault(nil)
+		} else {
+			census.SetDefault(census.NewEngine(census.DefaultMaxEntries, int64(cfg.censusMB)<<20))
+		}
+	}
+	if eng := census.Default; eng != nil {
+		reg := cfg.server.Metrics
+		if reg == nil {
+			reg = obs.Default
+		}
+		eng.Instrument(reg)
+	}
 	cfg.server.Backend = cfg.budget.backend()
 
 	// Durable store: opened (replaying any crash leftovers) before the

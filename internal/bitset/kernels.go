@@ -410,6 +410,77 @@ func (c *Counter) AddShiftedAtLevel(s *Set, bit, level int) {
 	}
 }
 
+// ValuesInto decodes every counter position into dst (whose length
+// must be at least c.n) and returns dst[:c.n]. The decode is
+// plane-sliced per 64-position lane: each plane word is loaded once and
+// its set bits scattered with trailing-zero iteration, so the cost is
+// proportional to the number of one-bits across planes (~the average
+// binary weight of the counts) instead of planes × positions with a
+// bounds-checked Get call per position. Streaming consumers that read
+// every position — the LC^f normalize, census reductions — are
+// Get-call-bound without it on n≥14 truth tables.
+func (c *Counter) ValuesInto(dst []int) []int {
+	if len(dst) < c.n {
+		panic(fmt.Sprintf("bitset: ValuesInto dst length %d < %d", len(dst), c.n))
+	}
+	dst = dst[:c.n]
+	for i := range dst {
+		dst[i] = 0
+	}
+	for p := range c.planes {
+		words := c.planes[p].words
+		for wi, w := range words {
+			base := wi * wordBits
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				dst[base+b] |= 1 << uint(p)
+				w &= w - 1
+			}
+		}
+	}
+	return dst
+}
+
+// decodePlanes is the allocation-owning core of Values8/Values16: one
+// trailing-zero scatter pass per plane into a fresh zeroed array, same
+// shape as ValuesInto but at the narrowest element width the counter's
+// value bound permits.
+func decodePlanes[T uint8 | uint16](n int, planes []*Set) []T {
+	dst := make([]T, n)
+	for p := range planes {
+		words := planes[p].words
+		for wi, w := range words {
+			base := wi * wordBits
+			for w != 0 {
+				b := bits.TrailingZeros64(w)
+				dst[base+b] |= 1 << uint(p)
+				w &= w - 1
+			}
+		}
+	}
+	return dst
+}
+
+// Values8 decodes every counter position into a fresh byte array —
+// the compact form of ValuesInto for counters whose values fit eight
+// planes. Every neighbor census qualifies (counts are bounded by the
+// input count); wider counters panic rather than truncate.
+func (c *Counter) Values8() []uint8 {
+	if len(c.planes) > 8 {
+		panic(fmt.Sprintf("bitset: Values8 on %d-plane counter", len(c.planes)))
+	}
+	return decodePlanes[uint8](c.n, c.planes)
+}
+
+// Values16 is Values8 for counters up to sixteen planes — wide enough
+// for the LC^f two-step fold, whose values are bounded by k².
+func (c *Counter) Values16() []uint16 {
+	if len(c.planes) > 16 {
+		panic(fmt.Sprintf("bitset: Values16 on %d-plane counter", len(c.planes)))
+	}
+	return decodePlanes[uint16](c.n, c.planes)
+}
+
 // Get returns the counter value at position m.
 func (c *Counter) Get(m int) int {
 	if m < 0 || m >= c.n {

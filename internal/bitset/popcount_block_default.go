@@ -1,0 +1,9 @@
+//go:build !amd64.v3
+
+package bitset
+
+// popcountBlockWords is the blocked-reduction tile in words. 512 words
+// = 4 KiB per plane block plus 4 KiB of mask: two blocks fit any L1
+// data cache alongside the accumulators, and the mask block survives a
+// full plane sweep.
+const popcountBlockWords = 512

@@ -1,0 +1,179 @@
+package census
+
+import (
+	"context"
+	"math/rand"
+	"testing"
+
+	"relsyn/internal/tt"
+)
+
+// randomSpec builds a k-input, m-output incompletely specified function.
+func randomSpec(k, m int, seed int64) *tt.Function {
+	rng := rand.New(rand.NewSource(seed))
+	f := tt.New(k, m)
+	for o := 0; o < m; o++ {
+		for i := 0; i < f.Size(); i++ {
+			switch rng.Intn(3) {
+			case 0:
+				f.SetPhase(o, i, tt.On)
+			case 1:
+				f.SetPhase(o, i, tt.DC)
+			}
+		}
+	}
+	return f
+}
+
+func TestComputeMatchesPerMinterm(t *testing.T) {
+	f := randomSpec(6, 3, 1)
+	fc, err := Compute(context.Background(), f, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for o := 0; o < 3; o++ {
+		c := fc.Out(o)
+		for m := 0; m < f.Size(); m++ {
+			if got, want := c.OnAt(m), f.OnNeighbors(o, m); got != want {
+				t.Fatalf("o=%d m=%d OnAt=%d want %d", o, m, got, want)
+			}
+			if got, want := c.OffAt(m), f.OffNeighbors(o, m); got != want {
+				t.Fatalf("o=%d m=%d OffAt=%d want %d", o, m, got, want)
+			}
+		}
+	}
+	if !fc.Matches(f) {
+		t.Fatal("freshly computed census fails its own Matches guard")
+	}
+	if fc.Bytes() <= 0 {
+		t.Fatal("census reports zero resident bytes")
+	}
+}
+
+// TestEngineKeyPurity is the cache-key contract test: the census cache
+// is keyed on the spec hash ALONE, so lookups under any combination of
+// execution knobs (parallelism here; the pipeline-level test covers the
+// kernels and fraction wire knobs) share one entry — the knobs never
+// fragment the cache.
+func TestEngineKeyPurity(t *testing.T) {
+	e := NewEngine(16, 1<<20)
+	f := randomSpec(5, 2, 2)
+	ctx := context.Background()
+	first, err := e.For(ctx, "spec-hash-a", f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, parallelism := range []int{0, 1, 4, 8} {
+		got, err := e.For(ctx, "spec-hash-a", f, parallelism)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != first {
+			t.Fatalf("parallelism=%d returned a different census instance: the knob fragmented the cache", parallelism)
+		}
+	}
+	st := e.Stats()
+	if st.Len != 1 {
+		t.Fatalf("cache holds %d entries after knob sweep, want 1", st.Len)
+	}
+	if st.Misses != 1 || st.Hits != 4 {
+		t.Fatalf("hits/misses = %d/%d, want 4/1", st.Hits, st.Misses)
+	}
+}
+
+func TestEngineMatchesGuardRejectsWrongSpec(t *testing.T) {
+	e := NewEngine(16, 1<<20)
+	ctx := context.Background()
+	f := randomSpec(5, 1, 3)
+	g := randomSpec(5, 1, 4)
+	if _, err := e.For(ctx, "h", f, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Same hash, different function (a collision or bad prime): the
+	// guard must recompute, not serve f's census for g.
+	got, err := e.For(ctx, "h", g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Matches(g) {
+		t.Fatal("engine served a census that does not match the requested function")
+	}
+}
+
+func TestEngineByteBudgetBounds(t *testing.T) {
+	f := randomSpec(8, 1, 5)
+	probe, err := Compute(context.Background(), f, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one := int64(probe.Bytes())
+	e := NewEngine(1024, 3*one)
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		spec := randomSpec(8, 1, int64(100+i))
+		if _, err := e.For(ctx, string(rune('a'+i)), spec, 1); err != nil {
+			t.Fatal(err)
+		}
+		if got := e.Stats().Bytes; got > 3*one {
+			t.Fatalf("resident census bytes %d exceed the %d budget", got, 3*one)
+		}
+	}
+	if got := e.Stats().Len; got > 3 {
+		t.Fatalf("cache holds %d censuses, byte budget allows at most 3", got)
+	}
+}
+
+func TestWireRoundTrip(t *testing.T) {
+	for _, k := range []int{0, 1, 5, 7} {
+		f := randomSpec(k, 2, int64(10+k))
+		fc, err := Compute(context.Background(), f, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf, err := fc.MarshalBinary()
+		if err != nil {
+			t.Fatalf("k=%d marshal: %v", k, err)
+		}
+		got, err := UnmarshalBinary(buf)
+		if err != nil {
+			t.Fatalf("k=%d unmarshal: %v", k, err)
+		}
+		if !got.Matches(f) {
+			t.Fatalf("k=%d round-tripped census does not match the source function", k)
+		}
+		for o := range fc.Outs {
+			want, have := fc.Out(o), got.Out(o)
+			for m := 0; m < f.Size(); m++ {
+				if want.OnAt(m) != have.OnAt(m) || want.OffAt(m) != have.OffAt(m) || want.DCAt(m) != have.DCAt(m) {
+					t.Fatalf("k=%d o=%d m=%d counts differ after round trip", k, o, m)
+				}
+			}
+			wb0, wb1, wbd := want.Borders()
+			gb0, gb1, gbd := have.Borders()
+			if wb0 != gb0 || wb1 != gb1 || wbd != gbd {
+				t.Fatalf("k=%d o=%d borders differ after round trip", k, o)
+			}
+		}
+	}
+}
+
+func TestWireRejectsCorruption(t *testing.T) {
+	f := randomSpec(4, 1, 20)
+	fc, _ := Compute(context.Background(), f, 1)
+	buf, err := fc.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := map[string][]byte{
+		"empty":        {},
+		"bad magic":    append([]byte("XXXX"), buf[4:]...),
+		"truncated":    buf[:len(buf)-3],
+		"trailing":     append(append([]byte{}, buf...), 0),
+		"insane numIn": append(append(append([]byte{}, buf[:4]...), 0xFF, 0xFF, 0, 0), buf[8:]...),
+	}
+	for name, data := range cases {
+		if _, err := UnmarshalBinary(data); err == nil {
+			t.Fatalf("%s payload accepted", name)
+		}
+	}
+}

@@ -144,6 +144,15 @@ func FactorKernel(f *tt.Function, o int) float64 {
 	return float64(total) / float64(f.NumIn*f.Size())
 }
 
+// FactorCensus is Factor served from a fused neighbor census
+// (internal/census): the same-phase pair total is three masked plane
+// sums over censuses that ranking, bounds and borders already share,
+// instead of 3n fused shift passes of its own. Identical integer
+// totals, identical float.
+func FactorCensus(c *bitset.Census) float64 {
+	return float64(c.SamePhasePairs()) / float64(c.K()*c.Len())
+}
+
 // FactorMean returns the mean C^f across all outputs — the per-benchmark
 // figure reported in paper Table 1 — computed with full machine
 // parallelism. Zero-output functions are rejected with an error wrapping
@@ -239,6 +248,32 @@ func LocalAllKernelCtx(ctx context.Context, f *tt.Function, o, parallelism int) 
 	return localAllKernel(ctx, f, o, parallelism)
 }
 
+// LocalAllCensusCtx is LocalAllKernelCtx served from a fused neighbor
+// census: the census carries the two-step same-phase fold precomputed
+// (bitset.Census.SamePhaseFold), so all that remains per call is the
+// normalize. The fold sums the exact integers localAllKernel folds for
+// itself — identical numerators, identical floats. Zero-input
+// functions fall back to the scalar path, as does a nil census.
+func LocalAllCensusCtx(ctx context.Context, f *tt.Function, o int, c *bitset.Census, parallelism int) ([]float64, error) {
+	if f.NumIn == 0 || c == nil {
+		return LocalAllKernelCtx(ctx, f, o, parallelism)
+	}
+	size := f.Size()
+	vals := c.SamePhaseFold()
+	out := make([]float64, size)
+	norm := float64(f.NumIn * f.NumIn)
+	err := par.DoRange(ctx, parallelism, size, localAllChunk, func(lo, hi int) error {
+		for m := lo; m < hi; m++ {
+			out[m] = float64(vals[m]) / norm
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // LocalAllScalarCtx is LocalAllCtx pinned to the scalar oracle, for
 // differential tests that cross-check the kernel path.
 func LocalAllScalarCtx(ctx context.Context, f *tt.Function, o, parallelism int) ([]float64, error) {
@@ -265,19 +300,27 @@ func LocalAllScalarCtx(ctx context.Context, f *tt.Function, o, parallelism int) 
 // (AddShiftedAtLevel), so the n² two-step pair count for all 2^n
 // minterms costs n·log(n) plane passes instead of n·2^n array lookups.
 func localAllKernel(ctx context.Context, f *tt.Function, o, parallelism int) ([]float64, error) {
-	n := f.NumIn
-	census := samePhaseCounter(f, o)
-	fold := bitset.NewCounter(f.Size(), n*n)
+	return localAllFold(ctx, f.NumIn, f.Size(), samePhaseCounter(f, o), parallelism)
+}
+
+// localAllFold is the shared second step of the kernel and census LC^f
+// paths: fold a same-phase counter one neighbor step and normalize.
+func localAllFold(ctx context.Context, n, size int, census *bitset.Counter, parallelism int) ([]float64, error) {
+	fold := bitset.NewCounter(size, n*n)
 	for b := 0; b < n; b++ {
 		for p := 0; p < census.NumPlanes(); p++ {
 			fold.AddShiftedAtLevel(census.Plane(p), b, p)
 		}
 	}
-	out := make([]float64, f.Size())
+	out := make([]float64, size)
 	norm := float64(n * n)
-	err := par.DoRange(ctx, parallelism, f.Size(), localAllChunk, func(lo, hi int) error {
+	// One streaming decode instead of a bounds-checked Get per minterm;
+	// the division stays (no reciprocal multiply) so the floats remain
+	// bit-identical to the scalar oracle at every n.
+	vals := fold.ValuesInto(make([]int, size))
+	err := par.DoRange(ctx, parallelism, size, localAllChunk, func(lo, hi int) error {
 		for m := lo; m < hi; m++ {
-			out[m] = float64(fold.Get(m)) / norm
+			out[m] = float64(vals[m]) / norm
 		}
 		return nil
 	})

@@ -23,7 +23,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"sort"
 
 	"relsyn/internal/bitset"
 	"relsyn/internal/complexity"
@@ -109,6 +108,26 @@ type Options struct {
 	// pins the equivalence — so, like Parallelism, Kernels is an
 	// operational knob and deliberately NOT part of Canonical().
 	Kernels KernelMode
+
+	// Census, when non-nil, supplies precomputed fused neighbor
+	// censuses (internal/bitset.Census), indexed by output. Outputs
+	// with a census skip their own neighbor-count and same-phase
+	// passes and read the shared counters instead; nil or missing
+	// entries fall back to the Kernels-selected path. The census is a
+	// spec-time snapshot of the same counts both other paths compute —
+	// metatest property 7 pins the fused/unfused equivalence
+	// bit-identically — so, like Parallelism and Kernels, Census is an
+	// operational knob and deliberately NOT part of Canonical().
+	Census []*bitset.Census
+}
+
+// censusFor returns the fused census for output o when one was supplied
+// and its minterm space matches f, else nil.
+func (o Options) censusFor(f *tt.Function, idx int) *bitset.Census {
+	if idx < len(o.Census) && o.Census[idx] != nil && o.Census[idx].Len() == f.Size() {
+		return o.Census[idx]
+	}
+	return nil
 }
 
 // kernelsEnabled resolves the tri-state Kernels knob against the
@@ -184,15 +203,29 @@ func rankingWith(f *tt.Function, fractions []float64, opt Options) (*Result, err
 			return err
 		}
 		cands := rankCandidates(f, o, opt)
-		// Decreasing weight; ties broken by minterm index for determinism.
-		sort.SliceStable(cands, func(i, j int) bool {
-			if cands[i].Weight != cands[j].Weight {
-				return cands[i].Weight > cands[j].Weight
-			}
-			return cands[i].Minterm < cands[j].Minterm
-		})
+		// Decreasing weight; ties broken by minterm index. Weights are
+		// bounded by the input count, so a two-pass stable counting sort
+		// over the inverted weight replaces a comparator sort — cands
+		// arrives in increasing minterm order, and stable placement
+		// preserves that order within each weight bucket, so the result
+		// is exactly the (weight desc, minterm asc) order of paper Fig. 5
+		// at O(cands) instead of O(cands·log). On large DC sets the sort
+		// was the single hottest slice of the ranking pass.
+		offs := make([]int, f.NumIn+2)
+		for _, a := range cands {
+			offs[f.NumIn-a.Weight+1]++
+		}
+		for i := 1; i < len(offs); i++ {
+			offs[i] += offs[i-1]
+		}
+		ordered := make([]Assignment, len(cands))
+		for _, a := range cands {
+			w := f.NumIn - a.Weight
+			ordered[offs[w]] = a
+			offs[w]++
+		}
 		k := int(math.Round(fractions[o] * float64(len(cands))))
-		sels[o] = cands[:k]
+		sels[o] = ordered[:k]
 		return nil
 	})
 	if err != nil {
@@ -226,7 +259,8 @@ func LCF(f *tt.Function, threshold float64, opt Options) (*Result, error) {
 		if err != nil {
 			return err
 		}
-		no := newNeighborOracle(f, o, opt.kernelsEnabled())
+		no := newNeighborOracle(f, o, opt)
+		no.decodeCounts()
 		var sel []Assignment
 		f.Outs[o].DC.ForEach(func(m int) {
 			if local[m] >= threshold {
@@ -248,9 +282,13 @@ func LCF(f *tt.Function, threshold float64, opt Options) (*Result, error) {
 	return res, nil
 }
 
-// localAll computes LC^f for every minterm of output o, pinned to the
-// kernel or scalar path by opt (never the process-wide switch mid-pass).
+// localAll computes LC^f for every minterm of output o: from the fused
+// census when one was supplied, else pinned to the kernel or scalar
+// path by opt (never the process-wide switch mid-pass).
 func localAll(f *tt.Function, o int, opt Options) ([]float64, error) {
+	if c := opt.censusFor(f, o); c != nil {
+		return complexity.LocalAllCensusCtx(context.Background(), f, o, c, opt.Parallelism)
+	}
 	if opt.kernelsEnabled() {
 		return complexity.LocalAllKernelCtx(context.Background(), f, o, opt.Parallelism)
 	}
@@ -264,7 +302,7 @@ func localAll(f *tt.Function, o int, opt Options) ([]float64, error) {
 func Complete(f *tt.Function) *Result {
 	res := newResult(f)
 	for o := range f.Outs {
-		no := newNeighborOracle(f, o, Options{}.kernelsEnabled())
+		no := newNeighborOracle(f, o, Options{})
 		var sel []Assignment
 		f.Outs[o].DC.ForEach(func(m int) {
 			a, ok := no.decide(m, Options{AssignTies: true})
@@ -307,17 +345,24 @@ func RankableCounts(f *tt.Function, opt Options) []int {
 // O(log n) per minterm; on the scalar path every query walks the n
 // neighbors with phase lookups. Both return identical integers.
 type neighborOracle struct {
-	f             *tt.Function
-	o             int
-	onCnt, offCnt *bitset.Counter // nil → scalar lookups
+	f              *tt.Function
+	o              int
+	onCnt, offCnt  *bitset.Counter // nil → scalar lookups
+	onVals, offVal []uint8         // decoded counters; a census supplies them prebuilt
 }
 
-// newNeighborOracle builds the oracle, precomputing the censuses when
-// the kernel path is selected and the output has any DC minterm to
-// decide (the censuses cost n passes; skip them when nothing asks).
-func newNeighborOracle(f *tt.Function, o int, kernels bool) *neighborOracle {
+// newNeighborOracle builds the oracle. A supplied fused census answers
+// queries directly from its precomputed decode arrays; otherwise the
+// kernel path precomputes the two censuses when the output has any DC
+// minterm to decide (the censuses cost n passes; skip them when
+// nothing asks).
+func newNeighborOracle(f *tt.Function, o int, opt Options) *neighborOracle {
 	no := &neighborOracle{f: f, o: o}
-	if kernels && f.Outs[o].DC.Any() {
+	if c := opt.censusFor(f, o); c != nil {
+		no.onVals, no.offVal = c.OnValues(), c.OffValues()
+		return no
+	}
+	if opt.kernelsEnabled() && f.Outs[o].DC.Any() {
 		no.onCnt = bitset.NeighborCount(f.Outs[o].On)
 		no.offCnt = bitset.NeighborCount(f.OffSet(o))
 	}
@@ -325,16 +370,33 @@ func newNeighborOracle(f *tt.Function, o int, kernels bool) *neighborOracle {
 }
 
 func (no *neighborOracle) counts(m int) (on, off int) {
+	if no.onVals != nil {
+		return int(no.onVals[m]), int(no.offVal[m])
+	}
 	if no.onCnt != nil {
 		return no.onCnt.Get(m), no.offCnt.Get(m)
 	}
 	return no.f.OnNeighbors(no.o, m), no.f.OffNeighbors(no.o, m)
 }
 
+// decodeCounts flattens the oracle's counters into plain arrays. The
+// assignment passes query every DC minterm, so two streaming decodes
+// beat per-minterm bit-gathered Get pairs; one-shot callers that probe
+// a few minterms skip this and pay Get instead. The census path is
+// already decoded at construction.
+func (no *neighborOracle) decodeCounts() {
+	if no.onCnt == nil || no.onVals != nil {
+		return
+	}
+	no.onVals = no.onCnt.Values8()
+	no.offVal = no.offCnt.Values8()
+}
+
 // rankCandidates lists output o's DC minterms eligible for ranking.
 func rankCandidates(f *tt.Function, o int, opt Options) []Assignment {
-	no := newNeighborOracle(f, o, opt.kernelsEnabled())
-	var cands []Assignment
+	no := newNeighborOracle(f, o, opt)
+	no.decodeCounts()
+	cands := make([]Assignment, 0, f.Outs[o].DC.Count())
 	f.Outs[o].DC.ForEach(func(m int) {
 		if a, ok := no.decide(m, opt); ok {
 			cands = append(cands, a)

@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"math"
 
+	"relsyn/internal/bitset"
 	"relsyn/internal/par"
 	"relsyn/internal/reliability"
 	"relsyn/internal/tt"
@@ -73,6 +74,18 @@ func meanAbsGaussian(mu, variance float64) float64 {
 // arithmetic either way).
 func BorderBased(f *tt.Function, o int) Bounds {
 	return borderBasedFrom(f, o, reliability.CountBorders(f, o))
+}
+
+// BorderBasedCensus is BorderBased with the border counts served from
+// a fused neighbor census (three masked plane sums) instead of a
+// dedicated shift+popcount pass. The integer border counts are
+// identical, so the estimate floats are too. A nil census falls back
+// to the dispatching path.
+func BorderBasedCensus(f *tt.Function, o int, c *bitset.Census) Bounds {
+	if c == nil {
+		return BorderBased(f, o)
+	}
+	return borderBasedFrom(f, o, reliability.CountBordersCensus(c))
 }
 
 // BorderBasedScalar is BorderBased pinned to the scalar border-count
@@ -175,6 +188,18 @@ func BorderBasedMean(f *tt.Function) (Bounds, error) {
 // results are bit-identical at every parallelism level.
 func BorderBasedMeanCtx(ctx context.Context, f *tt.Function, parallelism int) (Bounds, error) {
 	return meanOver(ctx, f, parallelism, BorderBased)
+}
+
+// BorderBasedMeanCensusCtx is BorderBasedMeanCtx with per-output border
+// counts served from fused censuses where available (nil or missing
+// entries fall back to the dispatching measurement path).
+func BorderBasedMeanCensusCtx(ctx context.Context, f *tt.Function, cs []*bitset.Census, parallelism int) (Bounds, error) {
+	return meanOver(ctx, f, parallelism, func(f *tt.Function, o int) Bounds {
+		if o < len(cs) {
+			return BorderBasedCensus(f, o, cs[o])
+		}
+		return BorderBased(f, o)
+	})
 }
 
 // meanOver computes per-output bounds concurrently into index-addressed

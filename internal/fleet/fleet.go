@@ -170,6 +170,7 @@ type Report struct {
 	ErrorSamples   []string                  `json:"error_samples,omitempty"`
 	MetricsDelta   Series                    `json:"metrics_delta"`
 	StatszDelta    Series                    `json:"statsz_delta"`
+	ResetTargets   []string                  `json:"reset_targets,omitempty"`
 	LostTargets    []string                  `json:"lost_targets,omitempty"`
 	ScrapeErrors   []string                  `json:"scrape_errors,omitempty"`
 }
@@ -365,7 +366,7 @@ generate:
 	elapsed := time.Since(start)
 
 	after := ScrapeTargets(ctx, cfg.HTTPClient, cfg.ScrapeTargets)
-	metricsDelta, statszDelta, lostTargets := FleetDelta(before, after)
+	metricsDelta, statszDelta, resetTargets, lostTargets := FleetDelta(before, after)
 
 	rep := &Report{
 		Schema: ReportSchema,
@@ -394,6 +395,7 @@ generate:
 		ErrorSamples:   r.col.samples,
 		MetricsDelta:   metricsDelta,
 		StatszDelta:    statszDelta,
+		ResetTargets:   resetTargets,
 		LostTargets:    lostTargets,
 	}
 	for _, snaps := range [][]TargetSnapshot{before, after} {

@@ -221,7 +221,7 @@ func TestFleetDeltaExcludesLostTargets(t *testing.T) {
 		{Target: "http://a", Metrics: Series{"relsyn_cache_hits_total": 30}, Statsz: Series{"completed": 11}},
 		{Target: "http://b", Errs: []string{"metrics: connection refused"}, Metrics: Series{}, Statsz: Series{}},
 	}
-	metrics, statsz, lost := FleetDelta(before, after)
+	metrics, statsz, reset, lost := FleetDelta(before, after)
 	if got := metrics.Sum("relsyn_cache_hits_total"); got != 20 {
 		t.Fatalf("metrics delta = %v, want 20 (dead target must not contribute −100)", got)
 	}
@@ -230,6 +230,68 @@ func TestFleetDeltaExcludesLostTargets(t *testing.T) {
 	}
 	if len(lost) != 1 || lost[0] != "http://b" {
 		t.Fatalf("lost = %v, want [http://b]", lost)
+	}
+	if len(reset) != 0 {
+		t.Fatalf("reset = %v, want none", reset)
+	}
+}
+
+// A shard that restarts between snapshots scrapes cleanly but with
+// counters (and uptime) rewound. It must be classified as reset — not
+// lost — and its post-restart progress must be counted from zero, not
+// folded in as a negative delta or dropped.
+func TestFleetDeltaCountsResetTargetsFromZero(t *testing.T) {
+	before := []TargetSnapshot{
+		{Target: "http://a", Metrics: Series{"relsyn_cache_hits_total": 10}, Statsz: Series{"completed": 5, "uptime_seconds": 100}},
+		{Target: "http://b", Metrics: Series{"relsyn_cache_hits_total": 100}, Statsz: Series{"completed": 50, "uptime_seconds": 100}},
+	}
+	after := []TargetSnapshot{
+		{Target: "http://a", Metrics: Series{"relsyn_cache_hits_total": 30}, Statsz: Series{"completed": 11, "uptime_seconds": 130}},
+		// b restarted: counters rebuilt from zero, uptime rewound.
+		{Target: "http://b", Metrics: Series{"relsyn_cache_hits_total": 7}, Statsz: Series{"completed": 3, "uptime_seconds": 12}},
+	}
+	metrics, statsz, reset, lost := FleetDelta(before, after)
+	if got := metrics.Sum("relsyn_cache_hits_total"); got != 27 {
+		t.Fatalf("metrics delta = %v, want 27 (20 from a + 7 post-restart from b)", got)
+	}
+	if statsz["completed"] != 9 {
+		t.Fatalf("statsz delta completed = %v, want 9 (6 from a + 3 post-restart from b)", statsz["completed"])
+	}
+	if len(reset) != 1 || reset[0] != "http://b" {
+		t.Fatalf("reset = %v, want [http://b]", reset)
+	}
+	if len(lost) != 0 {
+		t.Fatalf("lost = %v, want none (a restarted shard is alive)", lost)
+	}
+
+	// Uptime alone must also trip detection: a restart early enough that
+	// no counter has yet fallen below its prior value is still a restart.
+	before[1].Metrics["relsyn_cache_hits_total"] = 0
+	after[1].Metrics["relsyn_cache_hits_total"] = 2
+	_, _, reset, lost = FleetDelta(before, after)
+	if len(reset) != 1 || len(lost) != 0 {
+		t.Fatalf("uptime-only restart: reset=%v lost=%v, want reset=[http://b]", reset, lost)
+	}
+}
+
+// A single-spec pool must schedule without panicking: Zipf over one
+// rank is degenerate (imax would be 0, for which rand.NewZipf is not
+// safe on every Go release), so every hot/batch draw is spec 0.
+func TestSchedulerSingleSpecPool(t *testing.T) {
+	sc, err := newScheduler(1, DefaultMix(), 4, 1.25, 9, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 500; i++ {
+		o := sc.next()
+		if o.spec != 0 {
+			t.Fatalf("op %d drew spec %d from a pool of 1", i, o.spec)
+		}
+		for _, b := range o.batch {
+			if b != 0 {
+				t.Fatalf("op %d batch drew spec %d from a pool of 1", i, b)
+			}
+		}
 	}
 }
 

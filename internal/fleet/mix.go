@@ -135,11 +135,18 @@ func newScheduler(poolSize int, mix Mix, batchSize int, zipfS float64, seed int6
 	}
 	cum[len(cum)-1] = 1.0 // absorb rounding
 	rng := rand.New(rand.NewSource(seed))
+	// A single-spec pool has no rank distribution to draw from: imax=0
+	// makes NewZipf return nil on some Go releases and the first draw
+	// panic. Leave zipf nil and let hotIdx short-circuit to the one spec.
+	var zipf *rand.Zipf
+	if poolSize > 1 {
+		zipf = rand.NewZipf(rng, zipfS, 1, uint64(poolSize-1))
+	}
 	sc := &scheduler{
 		rng:       rng,
 		kinds:     kinds,
 		cum:       cum,
-		zipf:      rand.NewZipf(rng, zipfS, 1, uint64(poolSize-1)),
+		zipf:      zipf,
 		perm:      rng.Perm(poolSize),
 		poolSize:  poolSize,
 		batchSize: batchSize,
@@ -151,6 +158,9 @@ func newScheduler(poolSize int, mix Mix, batchSize int, zipfS float64, seed int6
 // hotIdx draws a Zipf-ranked pool index: rank r (r=0 hottest) maps
 // through the seeded permutation so the hot set differs per seed.
 func (s *scheduler) hotIdx() int {
+	if s.zipf == nil { // poolSize == 1: every rank is the one spec
+		return s.perm[0]
+	}
 	return s.perm[int(s.zipf.Uint64())]
 }
 

@@ -8,6 +8,7 @@ import (
 	"math"
 	"net/http"
 	"sort"
+	"strings"
 	"time"
 )
 
@@ -131,10 +132,16 @@ func flattenJSON(prefix string, v any, out Series) {
 }
 
 // FleetDelta folds per-target deltas into one fleet-wide view. Only
-// targets that scraped cleanly on BOTH sides contribute — a target
-// present before but unreachable after (a killed shard) is listed in
-// lost instead of polluting the sums with a giant negative delta.
-func FleetDelta(before, after []TargetSnapshot) (metrics, statsz Series, lost []string) {
+// targets that scraped cleanly on BOTH sides contribute full deltas — a
+// target present before but unreachable after (a killed shard) is
+// listed in lost instead of polluting the sums with a giant negative
+// delta. A target that scraped cleanly but restarted between the two
+// snapshots (its counters went backwards, or its uptime did) is alive,
+// not dead: it is listed in reset and its post-restart deltas are
+// counted from zero instead of being dropped — the standard monotonic
+// counter-reset treatment. Work accumulated before the restart and lost
+// with the old process is inherently unrecoverable and undercounted.
+func FleetDelta(before, after []TargetSnapshot) (metrics, statsz Series, reset, lost []string) {
 	prior := make(map[string]*TargetSnapshot, len(before))
 	for i := range before {
 		prior[before[i].Target] = &before[i]
@@ -150,9 +157,42 @@ func FleetDelta(before, after []TargetSnapshot) (metrics, statsz Series, lost []
 			lost = append(lost, a.Target)
 			continue
 		}
+		if resetDetected(b, a) {
+			reset = append(reset, a.Target)
+			metrics.Merge(a.Metrics.Delta(Series{}))
+			statsz.Merge(a.Statsz.Delta(Series{}))
+			continue
+		}
 		metrics.Merge(a.Metrics.Delta(b.Metrics))
 		statsz.Merge(a.Statsz.Delta(b.Statsz))
 	}
+	sort.Strings(reset)
 	sort.Strings(lost)
-	return metrics, statsz, lost
+	return metrics, statsz, reset, lost
+}
+
+// resetDetected reports whether a target restarted between two clean
+// scrapes: its /statsz uptime went backwards, or any Prometheus counter
+// (a `_total`-suffixed series) decreased. Counters the restart happened
+// to leave below their prior values are the only decreasing series a
+// healthy monotonic exporter can produce.
+func resetDetected(before, after *TargetSnapshot) bool {
+	if ub, ok := before.Statsz["uptime_seconds"]; ok {
+		if ua, ok2 := after.Statsz["uptime_seconds"]; ok2 && ua < ub {
+			return true
+		}
+	}
+	for key, bv := range before.Metrics {
+		name := key
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			name = name[:i]
+		}
+		if !strings.HasSuffix(name, "_total") {
+			continue
+		}
+		if av, ok := after.Metrics[key]; ok && av < bv {
+			return true
+		}
+	}
+	return false
 }

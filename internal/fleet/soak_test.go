@@ -226,6 +226,96 @@ func TestFleetClusterKillOneMidSoak(t *testing.T) {
 	}
 }
 
+// TestFleetSingleNodeRestartMidSoak pins the differ's restart
+// classification end to end: a shard that dies and comes back on the
+// same address scrapes cleanly on both sides but with uptime and
+// counters rewound. It must land in reset_targets — alive — with its
+// post-restart deltas counted from zero, not in lost_targets.
+func TestFleetSingleNodeRestartMidSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second soak")
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	boot := func(ln net.Listener) *soakShard {
+		sh := &soakShard{addr: addr}
+		sh.srv = server.New(server.Config{Workers: 4, Metrics: obs.NewRegistry()})
+		sh.ts = &httptest.Server{Listener: ln, Config: &http.Server{Handler: sh.srv.Handler()}}
+		sh.ts.Start()
+		return sh
+	}
+	sh := boot(ln)
+	url := sh.ts.URL
+	t.Cleanup(func() {
+		defer func() { recover() }() // the restarted-over shard closes twice
+		sh.ts.Close()
+		sh.srv.Close()
+	})
+
+	// Age the first incarnation so its before-snapshot uptime exceeds the
+	// whole soak: the replacement's uptime then reads as a rewind even
+	// though the replacement serves for most of the run.
+	time.Sleep(2 * time.Second)
+
+	restarted := make(chan *soakShard, 1)
+	go func() {
+		defer close(restarted)
+		time.Sleep(400 * time.Millisecond)
+		sh.kill()
+		// A restarted daemon keeps its address; the freed port may need a
+		// few retries to rebind.
+		for i := 0; i < 100; i++ {
+			ln2, err := net.Listen("tcp", addr)
+			if err == nil {
+				restarted <- boot(ln2)
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	rep, err := fleet.Run(context.Background(), fleet.Config{
+		Driver:        testDriver(t, url),
+		ScrapeTargets: []string{url},
+		Pool:          testPool(t),
+		Duration:      1500 * time.Millisecond,
+		Rate:          100,
+		Seed:          31,
+		// The restart window drops in-flight ops and kills accepted async
+		// jobs with the process; this test certifies the differ, not the
+		// zero-loss SLO (that one is the cluster kill scenario's job).
+		SLO:  fleet.SLO{P99: 15 * time.Second, MaxErrorRate: 1},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh2, ok := <-restarted
+	if !ok || sh2 == nil {
+		t.Fatal("shard never came back on its address")
+	}
+	t.Cleanup(func() { sh2.ts.Close(); sh2.srv.Close() })
+
+	raw, _ := json.MarshalIndent(rep, "", "  ")
+	if len(rep.ResetTargets) != 1 || rep.ResetTargets[0] != url {
+		t.Fatalf("reset_targets = %v, want [%s]:\n%s", rep.ResetTargets, url, raw)
+	}
+	if len(rep.LostTargets) != 0 {
+		t.Fatalf("lost_targets = %v — restarted shard misclassified as dead:\n%s", rep.LostTargets, raw)
+	}
+	for key, v := range rep.MetricsDelta {
+		if v < 0 {
+			t.Fatalf("metrics delta %s = %v — restart folded in as a negative delta:\n%s", key, v, raw)
+		}
+	}
+	if rep.MetricsDelta.Sum("relsyn_http_requests_total") < 1 {
+		t.Fatalf("no post-restart requests counted — reset deltas were dropped:\n%s", raw)
+	}
+}
+
 func repTotals(rep *fleet.Report) (total, errs int64) {
 	for _, c := range rep.Ops {
 		total += c.OK + c.JobFailures + c.Backpressure + c.Rejected + c.Errors

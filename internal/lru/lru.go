@@ -19,14 +19,25 @@ type Cache[K comparable, V any] struct {
 	ll    *list.List // front = most recently used
 	items map[K]*list.Element
 
+	// Byte accounting (NewSized): size charges each value at Add time
+	// and bytes tracks the resident total. The eviction loop keeps both
+	// the entry count and the byte total within budget, so values with
+	// large attached payloads (census blobs are two orders of magnitude
+	// bigger than a job result) cannot blow past the configured cap by
+	// riding an entry-count-only limit.
+	maxBytes int64
+	size     func(V) int
+	bytes    int64
+
 	// hit/miss/evict counters are always live (zero-value obs.Counter is
 	// usable); Instrument additionally exports them on a registry.
 	hits, misses, evictions obs.Counter
 }
 
 type entry[K comparable, V any] struct {
-	key K
-	val V
+	key  K
+	val  V
+	size int64
 }
 
 // New returns a cache holding at most capacity entries. capacity <= 0
@@ -40,6 +51,25 @@ func New[K comparable, V any](capacity int) *Cache[K, V] {
 		ll:    list.New(),
 		items: make(map[K]*list.Element),
 	}
+}
+
+// NewSized returns a cache bounded by both an entry count and a byte
+// budget: size reports each value's resident bytes at insertion time
+// and eviction runs until Σ size ≤ maxBytes (and the entry count is
+// within capacity). The byte cap is strict — a value larger than the
+// whole budget is evicted immediately rather than pinned — so the
+// resident total never exceeds maxBytes. maxBytes <= 0 disables byte
+// accounting; size must not be nil when maxBytes is positive.
+func NewSized[K comparable, V any](capacity int, maxBytes int64, size func(V) int) *Cache[K, V] {
+	c := New[K, V](capacity)
+	if maxBytes > 0 {
+		if size == nil {
+			panic("lru: NewSized requires a size function")
+		}
+		c.maxBytes = maxBytes
+		c.size = size
+	}
+	return c
 }
 
 // Instrument exports the cache's counters and occupancy on reg, labeled
@@ -61,6 +91,8 @@ func (c *Cache[K, V]) Instrument(reg *obs.Registry, name string) {
 	reg.RegisterCounter("relsyn_cache_evictions_total", &c.evictions, l)
 	reg.GaugeFunc("relsyn_cache_entries", func() float64 { return float64(c.Len()) }, l)
 	reg.GaugeFunc("relsyn_cache_capacity", func() float64 { return float64(c.cap) }, l)
+	reg.SetHelp("relsyn_cache_bytes", "Resident bytes of cached values (0 unless the cache is byte-accounted).")
+	reg.GaugeFunc("relsyn_cache_bytes", func() float64 { return float64(c.Bytes()) }, l)
 }
 
 // Stats is a snapshot of the cache counters.
@@ -70,6 +102,8 @@ type Stats struct {
 	Evictions int64 `json:"evictions"`
 	Len       int   `json:"len"`
 	Cap       int   `json:"cap"`
+	Bytes     int64 `json:"bytes,omitempty"`
+	MaxBytes  int64 `json:"max_bytes,omitempty"`
 }
 
 // Stats snapshots the hit/miss/eviction counters and occupancy.
@@ -80,6 +114,8 @@ func (c *Cache[K, V]) Stats() Stats {
 		Evictions: c.evictions.Value(),
 		Len:       c.Len(),
 		Cap:       c.cap,
+		Bytes:     c.Bytes(),
+		MaxBytes:  c.maxBytes,
 	}
 }
 
@@ -97,24 +133,43 @@ func (c *Cache[K, V]) Get(k K) (V, bool) {
 	return zero, false
 }
 
-// Add inserts or refreshes k -> v, evicting the least recently used
-// entry when over capacity.
+// Add inserts or refreshes k -> v, evicting least recently used
+// entries while either the entry count or the byte total is over
+// budget.
 func (c *Cache[K, V]) Add(k K, v V) {
 	if c.cap == 0 {
 		return
 	}
+	var sz int64
+	if c.size != nil {
+		sz = int64(c.size(v))
+	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.items[k]; ok {
-		el.Value.(*entry[K, V]).val = v
+		e := el.Value.(*entry[K, V])
+		c.bytes += sz - e.size
+		e.val, e.size = v, sz
 		c.ll.MoveToFront(el)
+		c.evictOver()
 		return
 	}
-	c.items[k] = c.ll.PushFront(&entry[K, V]{key: k, val: v})
-	if c.ll.Len() > c.cap {
+	c.items[k] = c.ll.PushFront(&entry[K, V]{key: k, val: v, size: sz})
+	c.bytes += sz
+	c.evictOver()
+}
+
+// evictOver drops LRU entries until both budgets hold. Called with the
+// lock held. The loop may consume the entry just inserted (an oversized
+// value evicts itself) — that keeps the byte bound strict instead of
+// letting one huge blob pin the cache over its cap.
+func (c *Cache[K, V]) evictOver() {
+	for c.ll.Len() > 0 && (c.ll.Len() > c.cap || (c.maxBytes > 0 && c.bytes > c.maxBytes)) {
 		oldest := c.ll.Back()
+		e := oldest.Value.(*entry[K, V])
 		c.ll.Remove(oldest)
-		delete(c.items, oldest.Value.(*entry[K, V]).key)
+		delete(c.items, e.key)
+		c.bytes -= e.size
 		c.evictions.Inc()
 	}
 }
@@ -128,6 +183,7 @@ func (c *Cache[K, V]) Remove(k K) bool {
 		return false
 	}
 	c.ll.Remove(el)
+	c.bytes -= el.Value.(*entry[K, V]).size
 	delete(c.items, k)
 	return true
 }
@@ -141,3 +197,13 @@ func (c *Cache[K, V]) Len() int {
 
 // Cap returns the configured capacity.
 func (c *Cache[K, V]) Cap() int { return c.cap }
+
+// Bytes returns the resident byte total (0 unless byte-accounted).
+func (c *Cache[K, V]) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
+// MaxBytes returns the configured byte budget (0 = unaccounted).
+func (c *Cache[K, V]) MaxBytes() int64 { return c.maxBytes }

@@ -29,6 +29,15 @@
 //     float equality, identical assignments including ranking weights.
 //     Like parallelism, the kernel switch is an execution knob, never
 //     an answer knob.
+//  7. Fused ≡ unfused — the one-pass fused neighbor census
+//     (internal/census over bitset.Census) serves every quantity the
+//     independent per-metric scans compute — exact pair counts and
+//     bounds, border counts, C^f and the LC^f fold, the Poisson border
+//     estimate, error rates, and both assignment passes — bit for bit
+//     against the same scalar oracle property 6 pins the kernels to:
+//     identical integers, exact float equality (==), identical
+//     assignments. The census is a third lane over the same answers,
+//     never a different answer.
 //
 // The harness is a plain library (returning errors, not calling
 // testing.T) so the same checks can back tests, fuzzing, and one-off
@@ -40,6 +49,7 @@ import (
 	"context"
 	"fmt"
 
+	"relsyn/internal/census"
 	"relsyn/internal/complexity"
 	"relsyn/internal/core"
 	"relsyn/internal/estimate"
@@ -466,6 +476,89 @@ func CheckKernelEquivalence(spec *tt.Function, ref *KernelReference, p int) erro
 		return err
 	}
 	return sameAssignments(fmt.Sprintf("LCF(p=%d)", p), lcf, ref.LCF)
+}
+
+// CheckCensusEquivalence verifies property 7 on spec at worker count p:
+// the fused neighbor census — one shared pass over the spec (and one
+// over the reference implementation, for the error rate) — reproduces
+// the scalar reference ref bit for bit through every consumer: exact
+// pair counts, bounds, border counts, C^f, the LC^f fold, the Poisson
+// border estimate, the error rate, and the ranking/LC^f assignment
+// passes including recorded weights. All float comparisons are exact
+// (==): the census carries the same integer event counts the scalar
+// scans accumulate, divided once at the end. Together with property 6
+// (kernel ≡ scalar) this pins fused ≡ unfused — both lanes must equal
+// the same oracle exactly. The censuses are computed fresh per call,
+// never through the process-global census engine, so the sweep is
+// deterministic and race-free under t.Parallel.
+func CheckCensusEquivalence(spec *tt.Function, ref *KernelReference, p int) error {
+	ctx := context.Background()
+	fc, err := census.Compute(ctx, spec, p)
+	if err != nil {
+		return err
+	}
+	implFC, err := census.Compute(ctx, ref.Impl, p)
+	if err != nil {
+		return err
+	}
+	err = par.Do(ctx, p, spec.NumOut(), func(o int) error {
+		c := fc.Outs[o]
+		if got := reliability.ExactCountsCensus(c); got != ref.Counts[o] {
+			return fmt.Errorf("output %d: ExactCounts census %+v, scalar %+v", o, got, ref.Counts[o])
+		}
+		lo, hi := reliability.BoundsCensus(c)
+		if lo != ref.BoundsLo[o] || hi != ref.BoundsHi[o] {
+			return fmt.Errorf("output %d: Bounds census [%v, %v], scalar [%v, %v]",
+				o, lo, hi, ref.BoundsLo[o], ref.BoundsHi[o])
+		}
+		if b := reliability.CountBordersCensus(c); b != ref.Borders[o] {
+			return fmt.Errorf("output %d: CountBorders census %+v, scalar %+v", o, b, ref.Borders[o])
+		}
+		if cf := complexity.FactorCensus(c); cf != ref.Factor[o] {
+			return fmt.Errorf("output %d: Factor census %v, scalar %v", o, cf, ref.Factor[o])
+		}
+		if eb := estimate.BorderBasedCensus(spec, o, c); eb != ref.Border[o] {
+			return fmt.Errorf("output %d: BorderBased census %+v, scalar %+v", o, eb, ref.Border[o])
+		}
+		local, err := complexity.LocalAllCensusCtx(ctx, spec, o, c, 1)
+		if err != nil {
+			return err
+		}
+		if len(local) != len(ref.Local[o]) {
+			return fmt.Errorf("output %d: LocalAll census length %d, scalar %d",
+				o, len(local), len(ref.Local[o]))
+		}
+		for m := range local {
+			if local[m] != ref.Local[o][m] {
+				return fmt.Errorf("output %d minterm %d: LC^f census %v, scalar %v",
+					o, m, local[m], ref.Local[o][m])
+			}
+		}
+		er, err := reliability.ErrorRateCensus(spec, o, implFC.Outs[o])
+		if err != nil {
+			return err
+		}
+		if er != ref.ErrorRate[o] {
+			return fmt.Errorf("output %d: ErrorRate census %v, scalar %v", o, er, ref.ErrorRate[o])
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	censusOpt := core.Options{Census: fc.Outs, Parallelism: p}
+	rank, err := core.Ranking(spec, parEquivFraction, censusOpt)
+	if err != nil {
+		return err
+	}
+	if err := sameAssignments(fmt.Sprintf("Ranking(census, p=%d)", p), rank, ref.Rank); err != nil {
+		return err
+	}
+	lcf, err := core.LCF(spec, parEquivThreshold, censusOpt)
+	if err != nil {
+		return err
+	}
+	return sameAssignments(fmt.Sprintf("LCF(census, p=%d)", p), lcf, ref.LCF)
 }
 
 // CheckLCFMonotonic verifies property 4 on spec: sweeping the LC^f

@@ -165,6 +165,38 @@ func TestKernelEquivalenceAcrossSuite(t *testing.T) {
 	}
 }
 
+// Property 7: fused ≡ unfused. The one-pass fused neighbor census must
+// serve every analysis quantity — exact pair counts and bounds, border
+// counts, C^f and the LC^f fold, the Poisson border estimate, the error
+// rate, and both assignment passes — bit for bit against the same
+// scalar oracle the kernel lane is pinned to in property 6, with the
+// census consumers fanned out at worker counts 1 and 8, on every
+// benchmark. Censuses are computed fresh per check (never through the
+// process-global engine), so the sweep is race-free under t.Parallel
+// and part of the -race CI gate.
+func TestCensusEquivalenceAcrossSuite(t *testing.T) {
+	prev := runtime.GOMAXPROCS(8)
+	t.Cleanup(func() { runtime.GOMAXPROCS(prev) })
+	for _, name := range suite(t) {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			spec := loadBench(t, name)
+			ref, err := KernelBaseline(spec)
+			if err != nil {
+				t.Fatalf("scalar baseline: %v", err)
+			}
+			for _, p := range []int{1, 8} {
+				t.Run(fmt.Sprintf("j=%d", p), func(t *testing.T) {
+					if err := CheckCensusEquivalence(spec, ref, p); err != nil {
+						t.Error(err)
+					}
+				})
+			}
+		})
+	}
+}
+
 // The harness's checkers must themselves catch violations: a mutated
 // care bit fails property 1 and (for a flipped majority) can break 2.
 func TestCheckersDetectViolations(t *testing.T) {

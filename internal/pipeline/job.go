@@ -19,7 +19,10 @@ import (
 	"strings"
 	"time"
 
+	"relsyn/internal/bitset"
+	"relsyn/internal/census"
 	"relsyn/internal/core"
+	"relsyn/internal/pla"
 	"relsyn/internal/reliability"
 	"relsyn/internal/synth"
 	"relsyn/internal/tt"
@@ -63,11 +66,15 @@ type JobOptions struct {
 	// Parallelism share one cache entry.
 	Parallelism int `json:"parallelism,omitempty"`
 
-	// Kernels selects the word-parallel bitset kernels ("on"), the
-	// scalar oracles ("off"), or the process default ("") for the
-	// assignment scans. Purely operational like Parallelism: both paths
-	// compute bit-identical results, so Key() strips it — two jobs
-	// differing only in Kernels share one cache entry.
+	// Kernels selects the analysis execution path: "" (process
+	// default), "on" (word-parallel kernels), "off" (scalar oracles),
+	// "fused" (kernels fed from the shared one-pass neighbor census,
+	// cached per spec hash in internal/census), or "unfused" (kernels
+	// with per-metric neighbor passes, the census engine bypassed).
+	// Purely operational like Parallelism: every path computes
+	// bit-identical results — metatest properties 6 and 7 pin the
+	// equivalences — so Key() strips it and two jobs differing only in
+	// Kernels share one cache entry.
 	Kernels string `json:"kernels,omitempty"`
 }
 
@@ -154,9 +161,9 @@ func (o JobOptions) Validate() error {
 		return fmt.Errorf("pipeline: job parallelism must be non-negative")
 	}
 	switch o.Kernels {
-	case "", "on", "off":
+	case "", "on", "off", "fused", "unfused":
 	default:
-		return fmt.Errorf("pipeline: job kernels %q must be \"\", \"on\" or \"off\"", o.Kernels)
+		return fmt.Errorf("pipeline: job kernels %q must be \"\", \"on\", \"off\", \"fused\" or \"unfused\"", o.Kernels)
 	}
 	return nil
 }
@@ -181,14 +188,33 @@ func (o JobOptions) Key() string {
 }
 
 // kernelMode lowers the wire-format kernels knob onto core.KernelMode.
+// "fused" and "unfused" both run the word-parallel kernels; whether the
+// shared census feeds them is decided separately (censusEnabled).
 func kernelMode(s string) core.KernelMode {
 	switch s {
-	case "on":
+	case "on", "fused", "unfused":
 		return core.KernelsOn
 	case "off":
 		return core.KernelsOff
 	default:
 		return core.KernelsDefault
+	}
+}
+
+// CensusEnabled reports whether the job's analysis should be served
+// from the shared neighbor-census engine. The census is the default on
+// every kernel path — "unfused" and "off" opt out (per-metric passes
+// and scalar oracles respectively), and the process default follows
+// the bitset.UseKernels switch. The server's census peer-fill gate
+// shares this predicate.
+func (o JobOptions) CensusEnabled() bool {
+	switch o.Normalize().Kernels {
+	case "fused", "on":
+		return true
+	case "unfused", "off":
+		return false
+	default:
+		return bitset.UseKernels
 	}
 }
 
@@ -317,6 +343,18 @@ func RunJob(ctx context.Context, f *tt.Function, jo JobOptions) (*JobResult, err
 		return nil, err
 	}
 	n := jo.Normalize()
+	// Fused analysis path: fetch (or compute and cache) the shared
+	// neighbor census, keyed on the spec content hash alone, and thread
+	// it through the assignment oracles and the reliability reports. A
+	// census failure is never fatal — the per-metric kernel passes
+	// compute the identical results without it.
+	var cs []*bitset.Census
+	if eng := census.Default; eng != nil && n.CensusEnabled() && f != nil && f.Validate() == nil {
+		if fc, cerr := eng.For(ctx, pla.HashFunction(f), f, n.Parallelism); cerr == nil {
+			cs = fc.Outs
+		}
+	}
+	opt.Census = cs
 	res, runErr := Run(ctx, f, opt)
 	if res == nil {
 		return nil, runErr
@@ -372,7 +410,7 @@ func RunJob(ctx context.Context, f *tt.Function, jo JobOptions) (*JobResult, err
 		return jr, fmt.Errorf("pipeline: error-rate report: %w", err)
 	}
 	jr.ErrorRate = er
-	lo, hi, err := reliability.BoundsMeanCtx(ctx, f, n.Parallelism)
+	lo, hi, err := reliability.BoundsMeanCensusCtx(ctx, f, cs, n.Parallelism)
 	if err != nil {
 		return jr, fmt.Errorf("pipeline: bounds report: %w", err)
 	}

@@ -7,6 +7,7 @@ import (
 	"strings"
 	"testing"
 
+	"relsyn/internal/census"
 	"relsyn/internal/tt"
 )
 
@@ -209,5 +210,61 @@ func TestRunJobNilAndInvalid(t *testing.T) {
 	if _, err := RunJob(context.Background(), jobTestFunction(),
 		JobOptions{Method: "bogus"}); err == nil {
 		t.Fatal("invalid options accepted")
+	}
+}
+
+// The fused-census knobs are execution knobs: "fused" and "unfused"
+// must validate, lower onto the kernel path, and never fragment the
+// result-cache key (the census cache itself is keyed on the spec hash
+// alone; internal/census pins that half of the contract).
+func TestJobOptionsFusedKnobKeyPurity(t *testing.T) {
+	base := JobOptions{Method: "lcf", Threshold: 0.55}
+	for _, k := range []string{"", "on", "off", "fused", "unfused", "FUSED", " Unfused "} {
+		o := JobOptions{Method: "lcf", Threshold: 0.55, Kernels: k, Parallelism: 4}
+		if err := o.Normalize().Validate(); err != nil {
+			t.Fatalf("kernels=%q rejected: %v", k, err)
+		}
+		if o.Key() != base.Key() {
+			t.Fatalf("kernels=%q fragmented the result-cache key", k)
+		}
+	}
+	if !(JobOptions{Kernels: "fused"}).CensusEnabled() {
+		t.Fatal("kernels=fused did not enable the census engine")
+	}
+	if (JobOptions{Kernels: "unfused"}).CensusEnabled() {
+		t.Fatal("kernels=unfused still enabled the census engine")
+	}
+	if (JobOptions{Kernels: "off"}).CensusEnabled() {
+		t.Fatal("kernels=off still enabled the census engine")
+	}
+}
+
+// One spec run under different option mixes (fractions, thresholds,
+// parallelism, fused knob spelled differently) must share a single
+// census-cache entry: the census key is the spec hash alone, so the
+// first job computes and every later job hits.
+func TestRunJobSharesCensusAcrossOptionKnobs(t *testing.T) {
+	old := census.Default
+	eng := census.NewEngine(16, 1<<22)
+	census.SetDefault(eng)
+	defer census.SetDefault(old)
+
+	f := jobTestFunction()
+	jobs := []JobOptions{
+		{Method: "rank", Fraction: 0.3, Kernels: "fused", SkipVerify: true},
+		{Method: "rank", Fraction: 0.9, Kernels: "fused", SkipVerify: true, Parallelism: 4},
+		{Method: "lcf", Threshold: 0.55, Kernels: "on", SkipVerify: true, Parallelism: 2},
+	}
+	for i, jo := range jobs {
+		if _, err := RunJob(context.Background(), f, jo); err != nil {
+			t.Fatalf("job %d: %v", i, err)
+		}
+	}
+	st := eng.Stats()
+	if st.Len != 1 {
+		t.Fatalf("census cache holds %d entries after option sweep, want 1 (knobs fragmented the key)", st.Len)
+	}
+	if st.Misses != 1 || st.Hits != 2 {
+		t.Fatalf("census hits/misses = %d/%d, want 2/1", st.Hits, st.Misses)
 	}
 }

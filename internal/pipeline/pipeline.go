@@ -41,6 +41,7 @@ import (
 
 	"relsyn/internal/aig"
 	"relsyn/internal/bdd"
+	"relsyn/internal/bitset"
 	"relsyn/internal/cec"
 	"relsyn/internal/core"
 	"relsyn/internal/espresso"
@@ -219,6 +220,13 @@ type Options struct {
 	// switch). Like Parallelism it never changes results — metatest
 	// property 6 pins kernel ≡ scalar — so JobOptions.Key strips it.
 	Kernels core.KernelMode
+	// Census, when non-nil, supplies the shared per-output neighbor
+	// censuses (internal/bitset.Census) for the assignment stage's
+	// oracles; RunJob fills it from the internal/census engine. Like
+	// Parallelism and Kernels it never changes results — metatest
+	// property 7 pins fused ≡ unfused bit-identically — so it stays
+	// out of cache keys.
+	Census []*bitset.Census
 }
 
 // StageReport records one executed stage for observability.
@@ -473,6 +481,7 @@ func (r *runner) runAssign(f *tt.Function) *StageError {
 		MaxBDDNodes: r.opt.Budget.MaxBDDNodes,
 		Parallelism: r.opt.Parallelism,
 		Kernels:     r.opt.Kernels,
+		Census:      r.opt.Census,
 	}
 	dense := func() error {
 		var err error

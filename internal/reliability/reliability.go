@@ -122,11 +122,29 @@ func ExactCountsKernel(f *tt.Function, o int) Counts {
 	return c
 }
 
+// ExactCountsCensus recovers the pair counts from a fused neighbor
+// census (internal/census) instead of running the per-metric scans:
+// base pairs are one masked plane sum, and the DC min/max read the
+// same census the ranking oracle shares. Bit-identical to both the
+// kernel and scalar paths — the counts are exact integer identities of
+// the same censuses (metatest property 7 pins it).
+func ExactCountsCensus(c *bitset.Census) Counts {
+	minDC, maxDC := c.DCPairBounds()
+	return Counts{BasePairs: c.BasePairs(), MinDCPairs: minDC, MaxDCPairs: maxDC}
+}
+
 // Bounds returns the exact minimum and maximum achievable error rates for
 // output o over all possible DC assignments.
 func Bounds(f *tt.Function, o int) (lo, hi float64) {
 	c := ExactCounts(f, o)
 	return c.NormMin(f.NumIn, f.Size()), c.NormMax(f.NumIn, f.Size())
+}
+
+// BoundsCensus is Bounds served from a fused census; the census
+// carries its own dimensions.
+func BoundsCensus(c *bitset.Census) (lo, hi float64) {
+	counts := ExactCountsCensus(c)
+	return counts.NormMin(c.K(), c.Len()), counts.NormMax(c.K(), c.Len())
 }
 
 // BoundsScalar is Bounds pinned to the scalar oracle, for differential
@@ -154,13 +172,26 @@ func BoundsMean(f *tt.Function) (lo, hi float64, err error) {
 // per-output bounds are computed concurrently but accumulated in output
 // order, so the result is bit-identical at every parallelism level.
 func BoundsMeanCtx(ctx context.Context, f *tt.Function, parallelism int) (lo, hi float64, err error) {
+	return BoundsMeanCensusCtx(ctx, f, nil, parallelism)
+}
+
+// BoundsMeanCensusCtx is BoundsMeanCtx consuming precomputed fused
+// censuses where available: cs is indexed by output (nil slice or nil
+// entries fall back to the per-call dispatch). The pipeline passes the
+// cached FunctionCensus.Outs here so the bounds report rides the same
+// census as the assignment stage.
+func BoundsMeanCensusCtx(ctx context.Context, f *tt.Function, cs []*bitset.Census, parallelism int) (lo, hi float64, err error) {
 	if err := checkOutputs(f); err != nil {
 		return 0, 0, err
 	}
 	los := make([]float64, f.NumOut())
 	his := make([]float64, f.NumOut())
 	err = par.Do(ctx, parallelism, f.NumOut(), func(o int) error {
-		los[o], his[o] = Bounds(f, o)
+		if o < len(cs) && cs[o] != nil {
+			los[o], his[o] = BoundsCensus(cs[o])
+		} else {
+			los[o], his[o] = Bounds(f, o)
+		}
 		return nil
 	})
 	if err != nil {
@@ -251,6 +282,26 @@ func errorRateKernel(spec, impl *tt.Function, o int) float64 {
 	val := impl.Outs[o].On // read-only: no clone needed on the kernel path
 	errs := val.NeighborDiffAndNotPopcountAll(dc)
 	return float64(errs) / float64(n*spec.Size())
+}
+
+// ErrorRateCensus is ErrorRate served from a fused census of the
+// *implementation*: implCensus's on-set is read as impl's value vector
+// (matching implValue's DC-at-0 convention only when impl is
+// completely specified, the case the census engine computes for), and
+// the spec contributes its DC set as the exclusion mask. The error
+// events come out of the census's plane sums instead of another
+// neighbor scan, and the integer count — hence the quotient — is
+// bit-identical to both kernel and scalar paths.
+func ErrorRateCensus(spec *tt.Function, o int, implCensus *bitset.Census) (float64, error) {
+	if o < 0 || o >= spec.NumOut() {
+		return 0, fmt.Errorf("reliability: output %d outside [0,%d)", o, spec.NumOut())
+	}
+	if implCensus.Len() != spec.Size() {
+		return 0, fmt.Errorf("reliability: census over %d minterms, spec has %d", implCensus.Len(), spec.Size())
+	}
+	n := spec.NumIn
+	errs := implCensus.DiffEvents(spec.Outs[o].DC)
+	return float64(errs) / float64(n*spec.Size()), nil
 }
 
 // implValue returns impl's output-o value vector. DC minterms of impl are
@@ -465,4 +516,13 @@ func CountBordersKernel(f *tt.Function, o int) Borders {
 		b.BDC += out.DC.ShiftAndPopcount(out.On, bit) + out.DC.ShiftAndPopcount(off, bit)
 	}
 	return b
+}
+
+// CountBordersCensus recovers the border counts from a fused census:
+// a minterm's out-of-region neighbor count is its input count minus its
+// same-region census, so each border is one masked plane sum instead of
+// 2n fused shift passes.
+func CountBordersCensus(c *bitset.Census) Borders {
+	b0, b1, bdc := c.Borders()
+	return Borders{B0: b0, B1: b1, BDC: bdc}
 }

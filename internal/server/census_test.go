@@ -1,0 +1,127 @@
+package server
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"testing"
+
+	"relsyn/internal/census"
+)
+
+// withFreshCensusEngine swaps census.Default for a private engine so
+// tests that touch the process-global census cache stay isolated.
+func withFreshCensusEngine(t *testing.T) *census.Engine {
+	t.Helper()
+	old := census.Default
+	eng := census.NewEngine(64, 1<<22)
+	census.SetDefault(eng)
+	t.Cleanup(func() { census.SetDefault(old) })
+	return eng
+}
+
+// The census endpoint is read-only: a primed census round-trips in the
+// RSC1 wire format, an unknown hash is a plain 404, and serving never
+// triggers a computation.
+func TestCensusEndpoint(t *testing.T) {
+	eng := withFreshCensusEngine(t)
+	shards, _ := newClusterShards(t, 1)
+	sh := shards[0]
+
+	text := clusterSpecPLA(1)
+	fn, hash, err := parseSpec(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := census.Compute(context.Background(), fn, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Prime(hash, fc)
+
+	resp, err := http.Get(sh.ts.URL + "/v1/census/" + hash)
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /v1/census/{hash} = %d, want 200", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/octet-stream" {
+		t.Fatalf("Content-Type = %q, want application/octet-stream", ct)
+	}
+	got, err := census.UnmarshalBinary(body)
+	if err != nil {
+		t.Fatalf("wire round trip: %v", err)
+	}
+	if !got.Matches(fn) {
+		t.Fatal("round-tripped census does not match the spec it was built from")
+	}
+
+	resp, err = http.Get(sh.ts.URL + "/v1/census/deadbeef")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("unknown hash = %d, want 404", resp.StatusCode)
+	}
+	if sh.backend.count(hash) != 0 {
+		t.Fatal("census GET triggered a computation on the serving shard")
+	}
+}
+
+// A non-owner shard pulls the owner's cached census over the wire: the
+// fetch goes through the peer client, unmarshals, matches the spec, and
+// bumps relsyn_cluster_census_fill_hits_total. An owner the ring maps to
+// self is not a fill candidate at all.
+func TestPeerCensusFill(t *testing.T) {
+	eng := withFreshCensusEngine(t)
+	shards, peers := newClusterShards(t, 2)
+	used := map[string]bool{}
+	text, hash := specOwnedBy(t, peers, shards[0].addr, used)
+	fn, _, err := parseSpec(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := census.Compute(context.Background(), fn, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Prime(hash, fc)
+
+	got, ok := shards[1].srv.peers.fetchCensus(context.Background(), hash)
+	if !ok {
+		t.Fatal("non-owner failed to fetch census from its ring owner")
+	}
+	if !got.Matches(fn) {
+		t.Fatal("fetched census does not match the spec")
+	}
+	if h := shards[1].srv.peers.censusHits.Value(); h != 1 {
+		t.Fatalf("census fill hits = %d, want 1", h)
+	}
+
+	// Self-owned hash: no peer to ask, no counter movement.
+	selfText, selfHash := specOwnedBy(t, peers, shards[1].addr, used)
+	_ = selfText
+	if _, ok := shards[1].srv.peers.fetchCensus(context.Background(), selfHash); ok {
+		t.Fatal("self-owned census reported a peer-fill hit")
+	}
+	if m := shards[1].srv.peers.censusMisses.Value(); m != 0 {
+		t.Fatalf("self-owned fetch counted a miss: %d", m)
+	}
+
+	// Owner not holding the census: counted as a fill miss.
+	missText, missHash := specOwnedBy(t, peers, shards[0].addr, used)
+	_ = missText
+	if _, ok := shards[1].srv.peers.fetchCensus(context.Background(), missHash); ok {
+		t.Fatal("fetch reported a hit for a census the owner never computed")
+	}
+	if m := shards[1].srv.peers.censusMisses.Value(); m != 1 {
+		t.Fatalf("census fill misses = %d, want 1", m)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"relsyn/internal/census"
 	"relsyn/internal/flight"
 	"relsyn/internal/jobqueue"
 	"relsyn/internal/lru"
@@ -602,6 +603,11 @@ func (s *Server) runJob(w *work) {
 			s.completeJob(js, res)
 			return
 		}
+		// Result miss: still try to pull the spec's fused census from the
+		// owner so the local compute at least skips the census build. The
+		// Matches gate keeps a stale or mismatched peer payload from ever
+		// being primed for this spec.
+		s.prefillCensus(w)
 	}
 	res, err := s.callBackend(w)
 	if err != nil {
@@ -623,6 +629,24 @@ func (s *Server) completeJob(js *jobState, res *pipeline.JobResult) {
 	js.finish(StatusDone, res, nil)
 	s.persistFinish(js, StatusDone, res, nil)
 	s.inFly.Forget(js.key)
+}
+
+// prefillCensus primes the process-wide census engine from the spec's
+// ring owner before a local compute. Gated on the job actually wanting
+// the fused path, the engine not already holding the census, and the
+// peer payload passing the Matches guard against the job's own spec.
+func (s *Server) prefillCensus(w *work) {
+	eng := census.Default
+	if eng == nil || w.fn == nil || !w.opts.CensusEnabled() {
+		return
+	}
+	specHash := specHashOf(w.state.key)
+	if _, ok := eng.Peek(specHash); ok {
+		return
+	}
+	if fc, ok := s.peers.fetchCensus(w.ctx, specHash); ok && fc.Matches(w.fn) {
+		eng.Prime(specHash, fc)
+	}
 }
 
 // callBackend shields the worker pool from a panicking backend: the
