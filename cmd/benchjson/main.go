@@ -107,8 +107,12 @@ func side(name, fast, slow string) (group, leaf string, ok bool) {
 // parse reads `go test -bench` output and pairs fast/slow rows.
 // Repeated rows for the same name (from -count) keep the minimum ns/op:
 // on shared/noisy CI machines the minimum is the standard low-variance
-// estimator of the true cost (noise only ever adds time).
-func parse(r io.Reader, fast, slow string) (*File, error) {
+// estimator of the true cost (noise only ever adds time). An unpaired
+// row is an error unless allowUnpaired: some suites have groups that
+// exist only on one side (e.g. a windowed SAT run at input counts no
+// exhaustive engine can reach) — those are reported to stderr and left
+// out of the baseline rather than failing the parse.
+func parse(r io.Reader, fast, slow string, allowUnpaired bool, warn io.Writer) (*File, error) {
 	type acc struct {
 		min float64
 		n   int
@@ -154,10 +158,21 @@ func parse(r io.Reader, fast, slow string) (*File, error) {
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
+	unpaired := func(group, have, miss string) error {
+		if !allowUnpaired {
+			return fmt.Errorf("benchmark %s has a %s row but no %s row", group, have, miss)
+		}
+		fmt.Fprintf(warn, "benchjson: %s has a %s row but no %s row; skipping (unpaired allowed)\n",
+			group, have, miss)
+		return nil
+	}
 	for group, k := range fasts {
 		s, ok := slows[group]
 		if !ok {
-			return nil, fmt.Errorf("benchmark %s has a %s row but no %s row", group, fast, slow)
+			if err := unpaired(group, fast, slow); err != nil {
+				return nil, err
+			}
+			continue
 		}
 		f.Benchmarks = append(f.Benchmarks, Entry{
 			Name: group, FastNsOp: k.min, SlowNsOp: s.min, Speedup: s.min / k.min,
@@ -165,7 +180,9 @@ func parse(r io.Reader, fast, slow string) (*File, error) {
 	}
 	for group := range slows {
 		if _, ok := fasts[group]; !ok {
-			return nil, fmt.Errorf("benchmark %s has a %s row but no %s row", group, slow, fast)
+			if err := unpaired(group, slow, fast); err != nil {
+				return nil, err
+			}
 		}
 	}
 	if len(f.Benchmarks) == 0 {
@@ -230,11 +247,12 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		record     = fs.Bool("record", false, "parse bench output from stdin and write the baseline JSON")
-		out        = fs.String("o", "BENCH_kernels.json", "output path for -record ('-' = stdout)")
-		gateFile   = fs.String("gate", "", "baseline JSON to gate the stdin bench output against")
-		maxRegress = fs.Float64("max-regress", 1.25, "maximum allowed baseline/current speedup ratio")
-		pair       = fs.String("pair", "kernel,scalar", "fast,slow leaf names identifying the two sides of each benchmark pair")
+		record        = fs.Bool("record", false, "parse bench output from stdin and write the baseline JSON")
+		out           = fs.String("o", "BENCH_kernels.json", "output path for -record ('-' = stdout)")
+		gateFile      = fs.String("gate", "", "baseline JSON to gate the stdin bench output against")
+		maxRegress    = fs.Float64("max-regress", 1.25, "maximum allowed baseline/current speedup ratio")
+		pair          = fs.String("pair", "kernel,scalar", "fast,slow leaf names identifying the two sides of each benchmark pair")
+		allowUnpaired = fs.Bool("allow-unpaired", false, "skip (with a warning) groups present on only one side instead of failing")
 	)
 	if err := fs.Parse(args); err != nil {
 		if errors.Is(err, flag.ErrHelp) {
@@ -260,7 +278,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "benchjson: -pair must be two distinct comma-separated names, got %q\n", *pair)
 		return 2
 	}
-	current, err := parse(stdin, fast, slow)
+	current, err := parse(stdin, fast, slow, *allowUnpaired, stderr)
 	if err != nil {
 		return fail(err)
 	}

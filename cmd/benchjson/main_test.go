@@ -3,6 +3,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -25,7 +26,7 @@ ok  	relsyn	1.000s
 `
 
 func TestParsePairsRows(t *testing.T) {
-	f, err := parse(strings.NewReader(sampleBench), "kernel", "scalar")
+	f, err := parse(strings.NewReader(sampleBench), "kernel", "scalar", false, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -62,7 +63,7 @@ BenchmarkKernelX/n=12/kernel-8 100 300 ns/op
 BenchmarkKernelX/n=12/scalar-8 100 600 ns/op
 BenchmarkKernelX/n=12/scalar-8 100 900 ns/op
 `
-	f, err := parse(strings.NewReader(in), "kernel", "scalar")
+	f, err := parse(strings.NewReader(in), "kernel", "scalar", false, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -72,14 +73,41 @@ BenchmarkKernelX/n=12/scalar-8 100 900 ns/op
 }
 
 func TestParseRejectsUnpairedAndEmpty(t *testing.T) {
-	if _, err := parse(strings.NewReader("BenchmarkKernelX/n=12/kernel-8 1 5 ns/op\n"), "kernel", "scalar"); err == nil {
+	if _, err := parse(strings.NewReader("BenchmarkKernelX/n=12/kernel-8 1 5 ns/op\n"), "kernel", "scalar", false, io.Discard); err == nil {
 		t.Fatal("kernel row without scalar row accepted")
 	}
-	if _, err := parse(strings.NewReader("BenchmarkKernelX/n=12/scalar-8 1 5 ns/op\n"), "kernel", "scalar"); err == nil {
+	if _, err := parse(strings.NewReader("BenchmarkKernelX/n=12/scalar-8 1 5 ns/op\n"), "kernel", "scalar", false, io.Discard); err == nil {
 		t.Fatal("scalar row without kernel row accepted")
 	}
-	if _, err := parse(strings.NewReader("PASS\n"), "kernel", "scalar"); err == nil {
+	if _, err := parse(strings.NewReader("PASS\n"), "kernel", "scalar", false, io.Discard); err == nil {
 		t.Fatal("empty input accepted")
+	}
+}
+
+// TestParseAllowUnpaired covers the -allow-unpaired seam used by the
+// SatDC baseline: the 120-input windowed group has no exhaustive
+// partner, so it must be warned about and skipped — not fatal, and not
+// silently folded into the baseline either.
+func TestParseAllowUnpaired(t *testing.T) {
+	in := `BenchmarkSatDC/t4/windowed-8 3 1000 ns/op
+BenchmarkSatDC/t4/exhaustive-8 3 2500 ns/op
+BenchmarkSatDC/n=120/windowed-8 3 9000 ns/op
+`
+	var warn bytes.Buffer
+	f, err := parse(strings.NewReader(in), "windowed", "exhaustive", true, &warn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.Benchmarks) != 1 || f.Benchmarks[0].Name != "SatDC/t4" || f.Benchmarks[0].Speedup != 2.5 {
+		t.Fatalf("paired group wrong: %+v", f.Benchmarks)
+	}
+	if !strings.Contains(warn.String(), "SatDC/n=120") {
+		t.Fatalf("unpaired group not warned about: %q", warn.String())
+	}
+	// An input that is ALL unpaired still fails: no pairs at all.
+	if _, err := parse(strings.NewReader("BenchmarkSatDC/n=120/windowed-8 3 9000 ns/op\n"),
+		"windowed", "exhaustive", true, io.Discard); err == nil {
+		t.Fatal("pair-free input accepted")
 	}
 }
 
@@ -90,7 +118,7 @@ func TestParseCustomPair(t *testing.T) {
 	in := `BenchmarkStoreThroughput/conc=64/base-8 100 1000 ns/op
 BenchmarkStoreThroughput/conc=64/wal-8 100 2000 ns/op
 `
-	f, err := parse(strings.NewReader(in), "wal", "base")
+	f, err := parse(strings.NewReader(in), "wal", "base", false, io.Discard)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +130,7 @@ BenchmarkStoreThroughput/conc=64/wal-8 100 2000 ns/op
 	}
 	// Rows whose leaves don't match the pair are ignored, so an input
 	// holding only kernel/scalar rows yields no wal/base pairs.
-	if _, err := parse(strings.NewReader(sampleBench), "wal", "base"); err == nil {
+	if _, err := parse(strings.NewReader(sampleBench), "wal", "base", false, io.Discard); err == nil {
 		t.Fatal("kernel/scalar rows accepted as wal/base pairs")
 	}
 }

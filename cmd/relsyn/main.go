@@ -57,6 +57,8 @@ func main() {
 		err = runVerilog(os.Args[2:])
 	case "decompose":
 		err = runDecompose(os.Args[2:])
+	case "resyn":
+		err = runResyn(os.Args[2:])
 	case "-h", "--help", "help":
 		usage()
 	default:
@@ -108,6 +110,9 @@ func usage() {
                 [-j N] [-kernels=false] [-json] [-trace]
   relsyn verilog [-in spec.pla | -bench name] [-module name] [-out file.v]
   relsyn decompose [-in spec.pla | -bench name] [-k 5] [-threshold 0.7] [-blif file.blif]
+  relsyn resyn  [-in file.blif] [-out file.blif] [-threshold T]
+                [-dc-mode auto|exhaustive|windowed-sat] [-window-tfi N] [-window-tfo N]
+                [-max-conflicts N] [-timeout D] [-strict] [-json]
 
 exit codes: 0 ok, 1 failure, 2 usage, 3 resource-limited (budget/timeout)`)
 }
@@ -460,6 +465,131 @@ func runDecompose(args []string) error {
 		fmt.Printf("BLIF written to      %s\n", *blifOut)
 	}
 	return nil
+}
+
+// resynEnvelope is the machine-readable wrapper printed by `resyn
+// -json`: the same NetworkJobResult struct the relsynd /v1/resyn
+// endpoint returns, plus the server's status vocabulary.
+type resynEnvelope struct {
+	Status string                   `json:"status"`
+	Result *relsyn.NetworkJobResult `json:"result,omitempty"`
+	Error  string                   `json:"error,omitempty"`
+}
+
+// runResyn reassigns the internal don't-cares of a BLIF network: parse,
+// extract per-node DCs (exhaustively or with windowed SAT), bind those
+// below the LC^f threshold, and emit the rewritten — provably
+// PO-equivalent — network as BLIF.
+func runResyn(args []string) error {
+	fs := flag.NewFlagSet("resyn", flag.ExitOnError)
+	in := fs.String("in", "", "input .blif file (default: stdin)")
+	out := fs.String("out", "", "output .blif file for the reassigned network")
+	threshold := fs.Float64("threshold", 0.55, "LC^f threshold for internal reassignment")
+	dcMode := fs.String("dc-mode", "auto", "DC extraction engine: auto, exhaustive, or windowed-sat")
+	windowTFI := fs.Int("window-tfi", 0, "window fanin depth for windowed-sat (0 = default, negative = full)")
+	windowTFO := fs.Int("window-tfo", 0, "window fanout depth for windowed-sat (0 = default, negative = full)")
+	maxConflicts := fs.Int64("max-conflicts", 0, "per-node SAT conflict budget (0 = default)")
+	timeout := fs.Duration("timeout", 0, "wall-clock budget for the whole run (0 = unlimited)")
+	strict := fs.Bool("strict", false, "fail on budget exhaustion instead of degrading")
+	jsonOut := fs.Bool("json", false, "print the result as JSON (the relsynd wire format)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if err := checkThreshold(*threshold); err != nil {
+		return err
+	}
+	switch *dcMode {
+	case "auto", "exhaustive", "windowed-sat":
+	default:
+		return usagef("unknown dc-mode %q", *dcMode)
+	}
+	var r io.Reader = os.Stdin
+	if *in != "" {
+		file, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		r = file
+	}
+	nw, err := relsyn.ParseBLIF(r)
+	if err != nil {
+		return err
+	}
+	jo := relsyn.JobOptions{
+		Method:       "lcf",
+		Threshold:    *threshold,
+		DCMode:       *dcMode,
+		WindowTFI:    *windowTFI,
+		WindowTFO:    *windowTFO,
+		MaxConflicts: *maxConflicts,
+		Strict:       *strict,
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	jr, err := relsyn.RunNetworkJob(ctx, nw, jo)
+	if *jsonOut {
+		env := resynEnvelope{Status: "done", Result: jr}
+		if err != nil {
+			env.Status, env.Error = "failed", err.Error()
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if encErr := enc.Encode(env); encErr != nil {
+			return encErr
+		}
+	}
+	if err != nil {
+		reportNetFallbacks(jr)
+		var se *relsyn.StageError
+		if errors.As(err, &se) {
+			return stageFailure{se}
+		}
+		return err
+	}
+	if !*jsonOut {
+		fmt.Printf("inputs           %d\n", jr.NumPI)
+		fmt.Printf("outputs          %d\n", jr.NumPO)
+		fmt.Printf("nodes            %d\n", jr.Nodes)
+		fmt.Printf("dc mode          %s\n", jr.DCMode)
+		fmt.Printf("DCs bound        %d\n", jr.Assigned)
+		if jr.Windows > 0 {
+			fmt.Printf("windows          %d (%d SAT calls, %d budget-exhausted)\n",
+				jr.Windows, jr.SATCalls, jr.BudgetExhausted)
+		}
+		fmt.Printf("SOP literals     %d -> %d\n", jr.LiteralsBefore, jr.LiteralsAfter)
+		fmt.Printf("PO-equivalent    %v (%s)\n", jr.Equivalent, jr.CECMethod)
+	}
+	reportNetFallbacks(jr)
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer file.Close()
+		if err := relsyn.WriteBLIF(file, jr.Network, "relsyn"); err != nil {
+			return err
+		}
+		if !*jsonOut {
+			fmt.Printf("BLIF written to  %s\n", *out)
+		}
+	}
+	return nil
+}
+
+// reportNetFallbacks mirrors reportFallbacks for network jobs.
+func reportNetFallbacks(jr *relsyn.NetworkJobResult) {
+	if jr == nil {
+		return
+	}
+	for _, fb := range jr.Fallbacks {
+		fmt.Fprintf(os.Stderr, "fallback    %s: %s -> %s (%s)\n",
+			fb.Stage, fb.From, fb.To, fb.Reason)
+	}
 }
 
 func runVerilog(args []string) error {

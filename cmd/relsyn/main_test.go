@@ -180,6 +180,130 @@ func TestRunDecompose(t *testing.T) {
 	}
 }
 
+const testBLIF = `.model fa
+.inputs a b cin
+.outputs sum cout
+.names a b axb
+10 1
+01 1
+.names axb cin sum
+10 1
+01 1
+.names a b ab
+11 1
+.names axb cin ac
+11 1
+.names ab ac cout
+1- 1
+-1 1
+.end
+`
+
+func writeTempBLIF(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "net.blif")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// resyn round-trips a BLIF network through the reassignment job: the
+// human summary reports the extraction, and the emitted BLIF is itself
+// consumable as resyn input.
+func TestRunResyn(t *testing.T) {
+	in := writeTempBLIF(t, testBLIF)
+	for _, mode := range []string{"auto", "exhaustive", "windowed-sat"} {
+		out := filepath.Join(t.TempDir(), mode+".blif")
+		text, err := capture(t, func() error {
+			return runResyn([]string{"-in", in, "-out", out, "-dc-mode", mode})
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		for _, want := range []string{"inputs           3", "outputs          2", "dc mode", "PO-equivalent    true"} {
+			if !strings.Contains(text, want) {
+				t.Fatalf("%s: resyn output missing %q:\n%s", mode, want, text)
+			}
+		}
+		data, err := os.ReadFile(out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), ".model relsyn") {
+			t.Fatalf("%s: BLIF malformed:\n%s", mode, data)
+		}
+		// The emitted network must itself be consumable by resyn.
+		if _, err := capture(t, func() error { return runResyn([]string{"-in", out}) }); err != nil {
+			t.Fatalf("%s: emitted BLIF rejected: %v", mode, err)
+		}
+	}
+}
+
+// resyn -json prints the relsynd /v1/resyn wire format: a status
+// envelope around pipeline.NetworkJobResult.
+func TestRunResynJSON(t *testing.T) {
+	in := writeTempBLIF(t, testBLIF)
+	out, err := capture(t, func() error {
+		return runResyn([]string{"-in", in, "-dc-mode", "windowed-sat", "-json"})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var env struct {
+		Status string `json:"status"`
+		Result *struct {
+			NumPI      int    `json:"num_pi"`
+			NumPO      int    `json:"num_po"`
+			DCMode     string `json:"dc_mode"`
+			Windows    int    `json:"windows"`
+			Equivalent bool   `json:"equivalent"`
+			CECMethod  string `json:"cec_method"`
+		} `json:"result"`
+	}
+	if err := json.Unmarshal([]byte(out), &env); err != nil {
+		t.Fatalf("resyn -json output is not JSON: %v\n%s", err, out)
+	}
+	if env.Status != "done" || env.Result == nil {
+		t.Fatalf("envelope %+v", env)
+	}
+	if env.Result.NumPI != 3 || env.Result.NumPO != 2 ||
+		env.Result.DCMode != "windowed-sat" || env.Result.Windows == 0 {
+		t.Fatalf("result %+v", env.Result)
+	}
+	if !env.Result.Equivalent || env.Result.CECMethod == "" {
+		t.Fatalf("CEC not reported: %+v", env.Result)
+	}
+	// Human metric lines must not leak into the JSON stream.
+	if strings.Contains(out, "dc mode ") {
+		t.Fatalf("human output mixed into -json stream:\n%s", out)
+	}
+}
+
+// resyn flag validation: enum and range mistakes are usage errors (exit
+// 2), a missing input file is a hard failure (exit 1).
+func TestRunResynFlagValidation(t *testing.T) {
+	in := writeTempBLIF(t, testBLIF)
+	_, err := capture(t, func() error {
+		return runResyn([]string{"-in", in, "-dc-mode", "bogus"})
+	})
+	if err == nil || exitCode(err) != exitUsage {
+		t.Fatalf("bad -dc-mode classified as %d (%v)", exitCode(err), err)
+	}
+	_, err = capture(t, func() error {
+		return runResyn([]string{"-in", in, "-threshold", "1.5"})
+	})
+	if err == nil || exitCode(err) != exitUsage {
+		t.Fatalf("bad -threshold classified as %d (%v)", exitCode(err), err)
+	}
+	_, err = capture(t, func() error {
+		return runResyn([]string{"-in", filepath.Join(t.TempDir(), "missing.blif")})
+	})
+	if err == nil || exitCode(err) != exitFailure {
+		t.Fatalf("missing input classified as %d (%v)", exitCode(err), err)
+	}
+}
+
 // Each numeric flag is validated with a clear error before any work
 // starts: -fraction in [0,1], -threshold in (0,1), -k >= 1.
 func TestFlagValidation(t *testing.T) {

@@ -19,7 +19,11 @@ import (
 
 // WriteNetwork serializes a network. Primary inputs are named i0…,
 // outputs o0…, internal nodes n0…. Node functions are emitted as
-// espresso-minimized single-output covers.
+// espresso-minimized single-output covers. A node that drives a primary
+// output takes that output's name directly, so a parse→write cycle is a
+// fixpoint: buffers appear only for PI-driven outputs and for outputs
+// sharing an already-named signal, and those buffers become the named
+// node on the next cycle.
 func WriteNetwork(w io.Writer, nw *network.Network, model string) error {
 	bw := bufio.NewWriter(w)
 	fmt.Fprintf(bw, ".model %s\n", model)
@@ -35,9 +39,23 @@ func WriteNetwork(w io.Writer, nw *network.Network, model string) error {
 	}
 	fmt.Fprintf(bw, ".outputs %s\n", strings.Join(outs, " "))
 
+	// poOf maps a node's signal to the first non-constant PO it drives;
+	// that node is emitted under the output's name.
+	poOf := make(map[int]int)
+	for i, s := range nw.POs {
+		if nw.POConst(i) >= 0 || s < nw.NumPI {
+			continue
+		}
+		if _, ok := poOf[s]; !ok {
+			poOf[s] = i
+		}
+	}
 	sigName := func(s int) string {
 		if s < nw.NumPI {
 			return fmt.Sprintf("i%d", s)
+		}
+		if i, ok := poOf[s]; ok {
+			return fmt.Sprintf("o%d", i)
 		}
 		return fmt.Sprintf("n%d", s-nw.NumPI)
 	}
@@ -46,19 +64,29 @@ func WriteNetwork(w io.Writer, nw *network.Network, model string) error {
 		for _, f := range nd.Fanins {
 			names = append(names, sigName(f))
 		}
-		names = append(names, fmt.Sprintf("n%d", ni))
+		names = append(names, sigName(nw.NumPI+ni))
 		fmt.Fprintf(bw, ".names %s\n", strings.Join(names, " "))
 		cov := espresso.Minimize(nd.OnCover(), nil)
+		if nd.NumIn() == 0 {
+			// A zero-input node (a parsed constant): the cover's universe
+			// cube stringifies empty, so spell the constant-1 row directly.
+			if cov.Len() > 0 {
+				fmt.Fprintln(bw, "1")
+			}
+			continue
+		}
 		for _, c := range cov.Cubes {
 			fmt.Fprintf(bw, "%s 1\n", c.String())
 		}
 	}
 	for i, s := range nw.POs {
-		switch nw.POConst(i) {
-		case 0:
+		switch {
+		case nw.POConst(i) == 0:
 			fmt.Fprintf(bw, ".names o%d\n", i) // no rows: constant 0
-		case 1:
+		case nw.POConst(i) == 1:
 			fmt.Fprintf(bw, ".names o%d\n1\n", i)
+		case s >= nw.NumPI && poOf[s] == i:
+			// Already emitted as the node named o<i>.
 		default:
 			fmt.Fprintf(bw, ".names %s o%d\n1 1\n", sigName(s), i)
 		}

@@ -38,6 +38,14 @@
 //     identical integers, exact float equality (==), identical
 //     assignments. The census is a third lane over the same answers,
 //     never a different answer.
+//  8. Windowed ⊆ exhaustive don't-cares — for every node of a
+//     k-feasible network, the per-node spec computed by the windowed
+//     SAT engine (internal/network LocalSpecWindowedSAT) at any window
+//     depth marks a subset of the don't-cares the exhaustive
+//     whole-network simulation (LocalSpec) marks, never flips a care
+//     phase, and at full window depth reproduces the exhaustive spec
+//     exactly. The window is a soundness-preserving restriction, never
+//     a different answer.
 //
 // The harness is a plain library (returning errors, not calling
 // testing.T) so the same checks can back tests, fuzzing, and one-off
@@ -53,6 +61,7 @@ import (
 	"relsyn/internal/complexity"
 	"relsyn/internal/core"
 	"relsyn/internal/estimate"
+	"relsyn/internal/network"
 	"relsyn/internal/par"
 	"relsyn/internal/reliability"
 	"relsyn/internal/synth"
@@ -559,6 +568,73 @@ func CheckCensusEquivalence(spec *tt.Function, ref *KernelReference, p int) erro
 		return err
 	}
 	return sameAssignments(fmt.Sprintf("LCF(census, p=%d)", p), lcf, ref.LCF)
+}
+
+// BuildNetwork lowers spec into a k-feasible multi-level network via the
+// conventional synthesis flow — the network form properties 8+ range
+// over.
+func BuildNetwork(spec *tt.Function, k int) (*network.Network, error) {
+	res, err := synth.Synthesize(spec, synth.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return network.FromAIG(res.Graph, k)
+}
+
+// CheckWindowedDCSubset verifies property 8 on nw at window depths opt:
+// for every checked node, the windowed SAT spec (a) agrees with the
+// exhaustive whole-network simulation spec on every minterm the window
+// marks as care, (b) marks don't-care only where the exhaustive spec
+// does, and (c) at full window depth equals the exhaustive spec exactly
+// — the containment collapses to equality when the window covers the
+// cone.
+//
+// maxNodes bounds how many nodes are checked (0 = every node): the two
+// oracle passes each cost O(network) per node — exhaustive simulation
+// of 2^NumPI vectors and a full-depth CNF — so sweeping every node of a
+// multi-thousand-node network is quadratic in circuit size. Over-budget
+// networks are sampled at a uniform stride from node 0, which keeps the
+// check suite-wide (every benchmark, every circuit shape) at bounded
+// per-benchmark cost. The property is per-node local, so a strided
+// sample loses breadth, not soundness of what it does check.
+func CheckWindowedDCSubset(nw *network.Network, opt network.WindowOptions, maxNodes int) error {
+	stride := 1
+	if n := len(nw.Nodes); maxNodes > 0 && n > maxNodes {
+		stride = (n + maxNodes - 1) / maxNodes
+	}
+	shallow := nw.NewDCExtractor(network.SatDCOptions{Window: opt})
+	fullDepth := nw.NewDCExtractor(network.SatDCOptions{Window: network.FullDepth()})
+	for ni := 0; ni < len(nw.Nodes); ni += stride {
+		exact := nw.LocalSpec(ni)
+		win, err := shallow.LocalSpec(ni)
+		if err != nil {
+			return fmt.Errorf("node %d: windowed spec: %w", ni, err)
+		}
+		size := exact.Size()
+		if win.NumIn != exact.NumIn || win.Size() != size {
+			return fmt.Errorf("node %d: windowed spec has %d inputs, exhaustive %d",
+				ni, win.NumIn, exact.NumIn)
+		}
+		for v := 0; v < size; v++ {
+			wp, ep := win.Phase(0, v), exact.Phase(0, v)
+			if wp == tt.DC && ep != tt.DC {
+				return fmt.Errorf("node %d pattern %d: windowed spec marked DC where the exhaustive spec is care (%v)",
+					ni, v, ep)
+			}
+			if wp != tt.DC && ep != tt.DC && wp != ep {
+				return fmt.Errorf("node %d pattern %d: care phase flipped (windowed %v, exhaustive %v)",
+					ni, v, wp, ep)
+			}
+		}
+		full, err := fullDepth.LocalSpec(ni)
+		if err != nil {
+			return fmt.Errorf("node %d: full-depth spec: %w", ni, err)
+		}
+		if !full.Equal(exact) {
+			return fmt.Errorf("node %d: full-depth windowed spec differs from the exhaustive spec", ni)
+		}
+	}
+	return nil
 }
 
 // CheckLCFMonotonic verifies property 4 on spec: sweeping the LC^f

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"relsyn/internal/benchmarks"
+	"relsyn/internal/network"
 	"relsyn/internal/tt"
 )
 
@@ -192,6 +193,56 @@ func TestCensusEquivalenceAcrossSuite(t *testing.T) {
 						t.Error(err)
 					}
 				})
+			}
+		})
+	}
+}
+
+// Property 8: windowed ⊆ exhaustive don't-cares. On every benchmark,
+// lowered to a k-feasible network, the windowed SAT extraction at a
+// deliberately shallow window (TFI 2, TFO 1 — small enough that real
+// circuits overflow it) marks a subset of the exhaustive DCs with no
+// care-phase flips, and the full-depth window reproduces the exhaustive
+// spec bit for bit. The node sweep inside the checker runs the SAT
+// encoder on every node, so this test is part of the -race CI gate.
+func TestWindowedDCSubsetAcrossSuite(t *testing.T) {
+	shallow := network.WindowOptions{TFI: 2, TFO: 1}
+	// The checker is O(nodes × 2^k SAT calls) plus a full-depth pass; in
+	// -short the sweep keeps the ≤8-input circuits, still several hundred
+	// nodes across both engines.
+	var names []string
+	for _, s := range benchmarks.Specs() {
+		if testing.Short() && s.Inputs >= 10 {
+			continue
+		}
+		names = append(names, s.Name)
+	}
+	if len(names) == 0 {
+		t.Fatal("empty benchmark suite")
+	}
+	for _, name := range names {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			nw, err := BuildNetwork(loadBench(t, name), 4)
+			if err != nil {
+				t.Fatalf("build network: %v", err)
+			}
+			// Both oracle passes cost O(network) per node (exhaustive
+			// simulation and the full-depth CNF), so sweeping every node
+			// is quadratic in circuit size — random1 lowers to ~2500
+			// nodes and would take the better part of an hour alone.
+			// Bound checked-nodes × network-size: small networks are
+			// swept completely, big ones at a uniform stride.
+			maxNodes := 0
+			if n := len(nw.Nodes); n*n > 20000 {
+				maxNodes = 20000 / n
+				if maxNodes < 8 {
+					maxNodes = 8
+				}
+			}
+			if err := CheckWindowedDCSubset(nw, shallow, maxNodes); err != nil {
+				t.Error(err)
 			}
 		})
 	}

@@ -76,6 +76,21 @@ type JobOptions struct {
 	// equivalences — so Key() strips it and two jobs differing only in
 	// Kernels share one cache entry.
 	Kernels string `json:"kernels,omitempty"`
+
+	// DCMode selects the internal don't-care extraction engine for
+	// network (BLIF-input) jobs: "" (auto: exhaustive when the network
+	// is small enough, windowed-SAT otherwise), "exhaustive" (complete
+	// DCs by bit-parallel simulation, NumPI <= 16), or "windowed-sat"
+	// (per-node TFI/TFO windows + SAT enumeration, any size). Unlike
+	// Parallelism/Kernels this changes the computed DC sets — windowed
+	// DCs are a subset of complete DCs — so it participates in Key().
+	DCMode string `json:"dc_mode,omitempty"`
+	// WindowTFI/WindowTFO bound the extraction window depths for
+	// dc_mode "windowed-sat" (0 = engine defaults, negative = full
+	// depth). They change which don't-cares are visible, so both
+	// participate in Key().
+	WindowTFI int `json:"window_tfi,omitempty"`
+	WindowTFO int `json:"window_tfo,omitempty"`
 }
 
 // Job option string values.
@@ -84,6 +99,12 @@ const (
 	JobMethodRank     = "rank"
 	JobMethodLCF      = "lcf"
 	JobMethodComplete = "complete"
+)
+
+// DC-extraction mode values for network jobs ("" = auto).
+const (
+	JobDCExhaustive  = "exhaustive"
+	JobDCWindowedSAT = "windowed-sat"
 )
 
 // Normalize returns o with defaults filled and method-irrelevant knobs
@@ -126,6 +147,21 @@ func (o JobOptions) Normalize() JobOptions {
 	if n.Kernels == "default" {
 		n.Kernels = ""
 	}
+	n.DCMode = strings.ToLower(strings.TrimSpace(n.DCMode))
+	if n.DCMode == "auto" {
+		n.DCMode = ""
+	}
+	if n.DCMode == JobDCExhaustive {
+		// Window depths are meaningless for the exhaustive engine.
+		n.WindowTFI, n.WindowTFO = 0, 0
+	}
+	// All negative depths mean "full depth": collapse to one spelling.
+	if n.WindowTFI < 0 {
+		n.WindowTFI = -1
+	}
+	if n.WindowTFO < 0 {
+		n.WindowTFO = -1
+	}
 	return n
 }
 
@@ -165,6 +201,11 @@ func (o JobOptions) Validate() error {
 	default:
 		return fmt.Errorf("pipeline: job kernels %q must be \"\", \"on\", \"off\", \"fused\" or \"unfused\"", o.Kernels)
 	}
+	switch o.DCMode {
+	case "", JobDCExhaustive, JobDCWindowedSAT:
+	default:
+		return fmt.Errorf("pipeline: job dc_mode %q must be \"\", %q or %q", o.DCMode, JobDCExhaustive, JobDCWindowedSAT)
+	}
 	return nil
 }
 
@@ -174,7 +215,10 @@ func (o JobOptions) Validate() error {
 // the computed result (the parallel and kernel paths are bit-identical
 // to the sequential scalar path), so hashing them would needlessly
 // split identical work across cache entries and defeat request
-// coalescing.
+// coalescing. DCMode, WindowTFI, and WindowTFO are NOT stripped: the
+// extraction engine and window depths change which don't-cares the job
+// sees, and therefore the answer — two jobs differing in them must
+// never share a cache entry.
 func (o JobOptions) Key() string {
 	n := o.Normalize()
 	n.Parallelism = 0

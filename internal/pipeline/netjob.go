@@ -1,0 +1,259 @@
+// Network jobs: the BLIF-input analogue of RunJob. Where RunJob
+// synthesizes a single truth-table specification, RunNetworkJob rewrites
+// the nodes of an existing multi-level network in place — extracting
+// each node's internal don't-cares and binding them with the LC^f
+// reassignment (paper §4 nodal decomposition) so the circuit masks more
+// internal errors without changing its primary-output functions.
+//
+// The extraction engine is the job's semantic fork (JobOptions.DCMode):
+//
+//	exhaustive    complete internal DCs by bit-parallel simulation over
+//	              all 2^NumPI minterms — exact, but only for NumPI <= 16.
+//	windowed-sat  per-node TFI/TFO windows + SAT enumeration
+//	              (internal/network window.go / satdc.go) — a sound
+//	              subset of the complete DCs at any network size.
+//
+// The degradation ladder connects them in both directions:
+//
+//	extract: exhaustive   -> windowed-sat  (network too large / budget)
+//	extract: windowed-sat -> exhaustive    (SAT budget ran out and the
+//	                                        network is small enough for
+//	                                        the complete extraction)
+//
+// As everywhere in this package, Strict disables the ladder and a
+// cancelled context never degrades.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"relsyn/internal/network"
+	"relsyn/internal/obs"
+	"relsyn/internal/sat"
+)
+
+// StageExtract is the DC-extraction + reassignment stage of network jobs.
+const StageExtract Stage = "extract"
+
+// MaxExhaustivePI is the largest primary-input count the exhaustive
+// (dense truth-table) extraction engine accepts: 2^16 minterms per
+// signal table keeps it in the same envelope as the exhaustive CEC path.
+const MaxExhaustivePI = 16
+
+// NetworkJobResult is the serializable outcome of one network job. On
+// failure RunNetworkJob returns a partial result (fallbacks and stages
+// populated) alongside the error, mirroring RunJob.
+type NetworkJobResult struct {
+	// Network is the reassigned network (nil on failure). It is excluded
+	// from the wire form — callers that want the circuit emit BLIF.
+	Network *network.Network `json:"-"`
+
+	NumPI int `json:"num_pi"`
+	NumPO int `json:"num_po"`
+	Nodes int `json:"nodes"`
+
+	// DCMode is the extraction rung that produced the result
+	// ("exhaustive" or "windowed-sat"), after auto-selection and any
+	// ladder step — see Fallbacks for the path taken.
+	DCMode string `json:"dc_mode"`
+	// Assigned counts DC patterns bound for reliability.
+	Assigned int `json:"assigned"`
+
+	// Windowed-extraction effort (zero for the exhaustive rung).
+	Windows         int `json:"windows,omitempty"`
+	SATCalls        int `json:"sat_calls,omitempty"`
+	BudgetExhausted int `json:"budget_exhausted,omitempty"`
+
+	// Equivalent reports the post-reassignment equivalence check of the
+	// windowed rung (always true on success); CECMethod is "sat" or
+	// "exhaustive". The exhaustive rung preserves POs by construction
+	// and reports Equivalent=true with CECMethod "construction".
+	Equivalent bool   `json:"equivalent"`
+	CECMethod  string `json:"cec_method,omitempty"`
+
+	// LiteralsBefore/After are the SOP-literal area proxy of the
+	// network before and after reassignment.
+	LiteralsBefore int `json:"literals_before"`
+	LiteralsAfter  int `json:"literals_after"`
+
+	Degraded  bool          `json:"degraded"`
+	Fallbacks []JobFallback `json:"fallbacks,omitempty"`
+	Stages    []JobStage    `json:"stages,omitempty"`
+	ElapsedMs float64       `json:"elapsed_ms"`
+}
+
+// RunNetworkJob executes one serializable network-reassignment job:
+// normalize and validate jo (Method must be "lcf" — the network path
+// exists to reassign internal DCs under the LC^f threshold), run the
+// extraction ladder, and fold the outcome into a NetworkJobResult.
+func RunNetworkJob(ctx context.Context, nw *network.Network, jo JobOptions) (*NetworkJobResult, error) {
+	n := jo.Normalize()
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	opt, err := n.Options()
+	if err != nil {
+		return nil, err
+	}
+	return RunNetworkJobOpt(ctx, nw, jo, opt)
+}
+
+// RunNetworkJobOpt is RunNetworkJob under explicit runner Options — the
+// Run analogue for network jobs, exposing Strict, Inject, and Metrics to
+// tests and the daemon. Budgets and strictness are taken from opt; the
+// semantic knobs (threshold, dc_mode, window depths) from jo.
+func RunNetworkJobOpt(ctx context.Context, nw *network.Network, jo JobOptions, opt Options) (*NetworkJobResult, error) {
+	n := jo.Normalize()
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if n.Method != JobMethodLCF {
+		return nil, fmt.Errorf("pipeline: network jobs require method %q, got %q", JobMethodLCF, n.Method)
+	}
+	if nw == nil {
+		return nil, fmt.Errorf("pipeline: nil network")
+	}
+	if opt.Budget.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Budget.Timeout)
+		defer cancel()
+	}
+	start := time.Now()
+	ctx, span := obs.StartSpan(ctx, "pipeline/netjob")
+	span.SetAttr("dc_mode", n.DCMode)
+	r := &runner{ctx: ctx, opt: opt, res: &Result{}, span: span}
+
+	jr := &NetworkJobResult{
+		NumPI:          nw.NumPI,
+		NumPO:          len(nw.POs),
+		Nodes:          nw.NumNodes(),
+		LiteralsBefore: nw.TotalLiterals(),
+	}
+	serr := r.runExtract(nw, n, jr)
+	status := "ok"
+	if serr != nil {
+		status = "error"
+		span.SetAttr("error", serr.Error())
+	}
+	r.reg().Counter("relsyn_pipeline_runs_total", obs.L("status", status)).Inc()
+	span.SetAttrf("fallbacks", "%d", len(r.res.Fallbacks))
+	span.End()
+
+	jr.Degraded = r.res.Degraded()
+	for _, fb := range r.res.Fallbacks {
+		jr.Fallbacks = append(jr.Fallbacks, JobFallback{
+			Stage:  string(fb.Stage),
+			From:   fb.From,
+			To:     fb.To,
+			Reason: string(fb.Cause.Reason),
+		})
+	}
+	for _, st := range r.res.Stages {
+		jr.Stages = append(jr.Stages, JobStage{
+			Stage:    string(st.Stage),
+			Attempts: append([]string(nil), st.Attempts...),
+			TookMs:   float64(st.Took) / float64(time.Millisecond),
+		})
+	}
+	jr.ElapsedMs = float64(time.Since(start)) / float64(time.Millisecond)
+	if serr != nil {
+		return jr, serr
+	}
+	jr.LiteralsAfter = jr.Network.TotalLiterals()
+	return jr, nil
+}
+
+// runExtract walks the extraction ladder. Each rung reassigns a clone of
+// the input network, so a failed rung leaves no partial mutation behind
+// and the fallback rung starts from the pristine circuit.
+func (r *runner) runExtract(nw *network.Network, n JobOptions, jr *NetworkJobResult) *StageError {
+	began := time.Now()
+	defer r.finishStage(StageExtract, began)
+
+	mode := n.DCMode
+	if mode == "" {
+		if nw.NumPI <= MaxExhaustivePI {
+			mode = JobDCExhaustive
+		} else {
+			mode = JobDCWindowedSAT
+		}
+	}
+
+	exhaustive := func() error {
+		if nw.NumPI > MaxExhaustivePI {
+			return fmt.Errorf("pipeline: exhaustive extraction limited to %d inputs, got %d: %w",
+				MaxExhaustivePI, nw.NumPI, ErrBudget)
+		}
+		c := nw.Clone()
+		assigned, err := c.ReassignLCF(n.Threshold)
+		if err != nil {
+			return err
+		}
+		jr.Network = c
+		jr.DCMode = JobDCExhaustive
+		jr.Assigned = assigned
+		jr.Windows, jr.SATCalls, jr.BudgetExhausted = 0, 0, 0
+		// ReassignLCF binds exact complete DCs node by node, which
+		// preserves PO functions by construction.
+		jr.Equivalent, jr.CECMethod = true, "construction"
+		return nil
+	}
+	windowed := func() error {
+		c := nw.Clone()
+		rep, err := c.ReassignLCFWindowed(n.Threshold, network.SatDCOptions{
+			Window:       network.WindowOptions{TFI: n.WindowTFI, TFO: n.WindowTFO},
+			MaxConflicts: r.opt.Budget.MaxConflicts,
+			Interrupt:    r.interruptBool,
+		})
+		if rep != nil {
+			jr.Windows, jr.SATCalls, jr.BudgetExhausted =
+				rep.Windows, rep.SATCalls, rep.BudgetExhausted
+		}
+		if err != nil {
+			return err
+		}
+		if rep.BudgetExhausted > 0 && nw.NumPI <= MaxExhaustivePI {
+			// Partial specs are sound but weaker; when the complete
+			// extraction is in reach, surface the exhaustion as a
+			// degradable budget failure instead of keeping the weaker
+			// answer.
+			return fmt.Errorf("pipeline: windowed extraction degraded on %d node(s): %w",
+				rep.BudgetExhausted, sat.ErrBudget)
+		}
+		jr.Network = c
+		jr.DCMode = JobDCWindowedSAT
+		jr.Assigned = rep.Assigned
+		jr.Equivalent, jr.CECMethod = rep.Equivalent, rep.CECMethod
+		return nil
+	}
+
+	canDegrade := func(serr *StageError) bool {
+		return serr.Reason == ReasonBudget || serr.Reason == ReasonPanic
+	}
+	if mode == JobDCExhaustive {
+		serr := r.attempt(StageExtract, "extract/exhaustive", exhaustive)
+		if serr == nil {
+			return nil
+		}
+		if !canDegrade(serr) {
+			return serr
+		}
+		if serr = r.degrade(serr, "extract/windowed-sat"); serr != nil {
+			return serr
+		}
+		return r.attempt(StageExtract, "extract/windowed-sat", windowed)
+	}
+	serr := r.attempt(StageExtract, "extract/windowed-sat", windowed)
+	if serr == nil {
+		return nil
+	}
+	if !canDegrade(serr) || nw.NumPI > MaxExhaustivePI {
+		return serr
+	}
+	if serr = r.degrade(serr, "extract/exhaustive"); serr != nil {
+		return serr
+	}
+	return r.attempt(StageExtract, "extract/exhaustive", exhaustive)
+}

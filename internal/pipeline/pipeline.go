@@ -47,6 +47,7 @@ import (
 	"relsyn/internal/espresso"
 	"relsyn/internal/factor"
 	"relsyn/internal/obs"
+	"relsyn/internal/sat"
 	"relsyn/internal/synth"
 	"relsyn/internal/tt"
 )
@@ -419,6 +420,7 @@ func (r *runner) classify(stage Stage, name string, err error) *StageError {
 	case errors.Is(err, ErrBudget),
 		errors.Is(err, synth.ErrAIGBudget),
 		errors.Is(err, cec.ErrUnknown),
+		errors.Is(err, sat.ErrBudget),
 		errors.As(err, &limit):
 		reason = ReasonBudget
 	}

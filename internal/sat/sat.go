@@ -8,7 +8,20 @@
 // Boolean networks").
 package sat
 
-import "fmt"
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrBudget is the typed budget-exhaustion sentinel for SAT-backed
+// computations: callers that receive Unknown from Solve wrap ErrBudget
+// into the error they return, so upstream layers (the pipeline
+// degradation ladder, partial-result extractors) can distinguish "ran
+// out of conflicts / interrupted" from a hard failure with errors.Is
+// instead of string matching. A budget error is always retryable with a
+// larger conflict cap, and any partial results accumulated before it
+// are sound — they just cover fewer cases.
+var ErrBudget = errors.New("sat: conflict budget exhausted")
 
 // Lit is a literal: variable index shifted left once, LSB = negated.
 // Variables are 1-based so the zero Lit is invalid.

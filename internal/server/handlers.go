@@ -6,6 +6,10 @@
 //	                      "priority": 0, "wait": true}); wait=false returns
 //	                      202 + job id for later polling
 //	POST /v1/synth/batch  submit many jobs ({"jobs": [...]}), wait for all
+//	POST /v1/resyn        reassign the internal don't-cares of a BLIF
+//	                      network ({"blif": "...", "options": {...}}) —
+//	                      synchronous, returns the NetworkJobResult plus
+//	                      the rewritten network as BLIF
 //	GET  /v1/jobs/{id}    poll a job
 //	GET  /healthz         health JSON: {"status":"ok"|"degraded"|"draining",
 //	                      "reasons":[...]}; 503 only while draining
@@ -32,6 +36,7 @@ import (
 	"strings"
 	"time"
 
+	"relsyn/internal/blif"
 	"relsyn/internal/census"
 	"relsyn/internal/obs"
 	"relsyn/internal/pipeline"
@@ -84,6 +89,7 @@ func (s *Server) Handler() http.Handler {
 	}
 	route("POST /v1/synth", "/v1/synth", s.handleSynth)
 	route("POST /v1/synth/batch", "/v1/synth/batch", s.handleBatch)
+	route("POST /v1/resyn", "/v1/resyn", s.handleResyn)
 	route("GET /v1/jobs/{id}", "/v1/jobs/{id}", s.handleJob)
 	route("GET /v1/cache/{key}", "/v1/cache/{key}", s.handleCacheGet)
 	route("GET /v1/census/{hash}", "/v1/census/{hash}", s.handleCensusGet)
@@ -270,6 +276,85 @@ func (s *Server) handleBatch(w http.ResponseWriter, r *http.Request) {
 		results[i] = respond(sl.out.Job, sl.out.Cached, sl.out.Coalesced)
 	}
 	writeJSON(w, http.StatusOK, BatchResponse{Results: results})
+}
+
+// ResynRequest is the POST /v1/resyn body: a combinational BLIF network
+// plus network-job options (method defaults to "lcf", threshold to 0.55;
+// dc_mode/window_tfi/window_tfo pick the DC-extraction engine).
+type ResynRequest struct {
+	// BLIF is the network in Berkeley Logic Interchange Format
+	// (combinational subset: .model/.inputs/.outputs/.names).
+	BLIF string `json:"blif"`
+	// Options configures the network job (all fields optional).
+	Options pipeline.JobOptions `json:"options"`
+}
+
+// ResynResponse is the envelope for network-reassignment jobs. On
+// success BLIF carries the rewritten, PO-equivalent network.
+type ResynResponse struct {
+	Status string                     `json:"status"`
+	Result *pipeline.NetworkJobResult `json:"result,omitempty"`
+	BLIF   string                     `json:"blif,omitempty"`
+	Error  string                     `json:"error,omitempty"`
+}
+
+// handleResyn runs one network-reassignment job synchronously on the
+// request goroutine. Network jobs bypass the queue/cache tier — their
+// identity would need a network content hash, and the windowed engine is
+// built to stay cheap at sizes the exhaustive one cannot touch — so the
+// handler is bounded only by the server's timeout policy and the job's
+// own budgets. A job that ran and failed reports inside a 200 envelope
+// with status "failed", like /v1/synth.
+func (s *Server) handleResyn(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, ResynResponse{Status: "draining", Error: ErrDraining.Error()})
+		return
+	}
+	var req ResynRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, ResynResponse{Status: "invalid", Error: fmt.Sprintf("decode request: %v", err)})
+		return
+	}
+	if strings.TrimSpace(req.BLIF) == "" {
+		writeJSON(w, http.StatusBadRequest, ResynResponse{Status: "invalid", Error: "empty blif"})
+		return
+	}
+	nw, err := blif.Parse(strings.NewReader(req.BLIF))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, ResynResponse{Status: "invalid", Error: fmt.Sprintf("parse blif: %v", err)})
+		return
+	}
+	jo := req.Options
+	if jo.Method == "" {
+		jo.Method = pipeline.JobMethodLCF
+	}
+	if jo.Method == pipeline.JobMethodLCF && jo.Threshold == 0 {
+		jo.Threshold = 0.55
+	}
+	// Same timeout policy as Submit: server default when the request
+	// carries none, capped at MaxTimeout.
+	if jo.TimeoutMs == 0 {
+		jo.TimeoutMs = s.cfg.DefaultTimeout.Milliseconds()
+	}
+	if max := s.cfg.MaxTimeout.Milliseconds(); jo.TimeoutMs > max {
+		jo.TimeoutMs = max
+	}
+	jo = jo.Normalize()
+	if err := jo.Validate(); err != nil {
+		writeJSON(w, http.StatusBadRequest, ResynResponse{Status: "invalid", Error: err.Error()})
+		return
+	}
+	res, err := s.cfg.ResynBackend(r.Context(), nw, jo)
+	if err != nil {
+		writeJSON(w, http.StatusOK, ResynResponse{Status: StatusFailed, Result: res, Error: err.Error()})
+		return
+	}
+	var sb strings.Builder
+	if err := blif.WriteNetwork(&sb, res.Network, "relsyn"); err != nil {
+		writeJSON(w, http.StatusInternalServerError, ResynResponse{Status: StatusFailed, Result: res, Error: fmt.Sprintf("emit blif: %v", err)})
+		return
+	}
+	writeJSON(w, http.StatusOK, ResynResponse{Status: StatusDone, Result: res, BLIF: sb.String()})
 }
 
 // handleCacheGet is the intra-cluster cache-fill protocol: a peer shard

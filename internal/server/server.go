@@ -34,6 +34,7 @@ import (
 	"relsyn/internal/flight"
 	"relsyn/internal/jobqueue"
 	"relsyn/internal/lru"
+	"relsyn/internal/network"
 	"relsyn/internal/obs"
 	"relsyn/internal/pipeline"
 	"relsyn/internal/pla"
@@ -55,6 +56,11 @@ var (
 // Backend executes one synthesis job. The default is pipeline.RunJob;
 // tests (and future remote/sharded backends) substitute their own.
 type Backend func(ctx context.Context, f *tt.Function, opt pipeline.JobOptions) (*pipeline.JobResult, error)
+
+// ResynBackend executes one network-reassignment job (POST /v1/resyn).
+// The default is pipeline.RunNetworkJob; relsynd substitutes a wrapper
+// that fills server-wide DC-mode and budget defaults.
+type ResynBackend func(ctx context.Context, nw *network.Network, opt pipeline.JobOptions) (*pipeline.NetworkJobResult, error)
 
 // Config sizes the service.
 type Config struct {
@@ -80,6 +86,9 @@ type Config struct {
 	MaxJobStates int
 	// Backend overrides the job executor (default pipeline.RunJob).
 	Backend Backend
+	// ResynBackend overrides the network-job executor behind POST
+	// /v1/resyn (default pipeline.RunNetworkJob).
+	ResynBackend ResynBackend
 	// Store, when non-nil, makes accepted jobs durable: every lifecycle
 	// transition is appended to the store's WAL, and Recover re-admits
 	// interrupted work after a restart. nil keeps the pre-durability
@@ -139,6 +148,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Backend == nil {
 		c.Backend = pipeline.RunJob
+	}
+	if c.ResynBackend == nil {
+		c.ResynBackend = pipeline.RunNetworkJob
 	}
 	if c.Metrics == nil {
 		c.Metrics = obs.Default

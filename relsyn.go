@@ -49,6 +49,7 @@ import (
 	"relsyn/internal/pipeline"
 	"relsyn/internal/pla"
 	"relsyn/internal/reliability"
+	"relsyn/internal/sat"
 	"relsyn/internal/synth"
 	"relsyn/internal/synthetic"
 	"relsyn/internal/tt"
@@ -263,6 +264,39 @@ func WriteBLIF(w io.Writer, nw *Network, model string) error {
 
 // ParseBLIF reads a combinational BLIF model into a network.
 func ParseBLIF(r io.Reader) (*Network, error) { return blif.Parse(r) }
+
+// WindowOptions bounds the per-node TFI/TFO cone of windowed SAT
+// don't-care extraction; see network.WindowOptions. Zero values use the
+// engine defaults; negative depths mean full depth (the windowed
+// extraction then equals the complete one).
+type WindowOptions = network.WindowOptions
+
+// SatDCOptions bounds a SAT-based don't-care extraction (window depths,
+// per-node conflict budget, interrupt hook); see network.SatDCOptions.
+type SatDCOptions = network.SatDCOptions
+
+// WindowedReassignReport summarizes a windowed reassignment run; see
+// network.WindowedReassignReport.
+type WindowedReassignReport = network.WindowedReassignReport
+
+// ErrSATBudget is the typed SAT conflict-budget sentinel wrapped by
+// errors from SAT-backed computations (windowed DC extraction, CEC).
+// Partial results accompanying it are sound — they just cover fewer
+// cases — and a retry with a larger budget can succeed.
+var ErrSATBudget = sat.ErrBudget
+
+// NetworkJobResult is the serializable outcome of a network
+// reassignment job — the same struct the relsynd /v1/resyn endpoint
+// returns and `relsyn resyn -json` prints; see pipeline.NetworkJobResult.
+type NetworkJobResult = pipeline.NetworkJobResult
+
+// RunNetworkJob rewrites a decomposed network's nodes by extracting
+// internal don't-cares (exhaustively or with windowed SAT, per
+// JobOptions.DCMode) and binding them with the LC^f reassignment, under
+// the pipeline's degradation ladder. Method must be "lcf".
+func RunNetworkJob(ctx context.Context, nw *Network, o JobOptions) (*NetworkJobResult, error) {
+	return pipeline.RunNetworkJob(ctx, nw, o)
+}
 
 // Counterexample is a distinguishing input found by CheckEquivalence.
 type Counterexample = cec.Counterexample
